@@ -1,0 +1,48 @@
+// Ablation: backtesting the trace-based premise. Train the translation and
+// placement on the first W-1 weeks, then replay the held-out final week and
+// ask whether the theta commitment would actually have held — the
+// "we assume the resource access QoS will be similar in the near future"
+// assumption of Section II, tested.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/backtest.h"
+#include "support.h"
+
+int main() {
+  using namespace ropus;
+
+  const std::size_t weeks = std::max<std::size_t>(2, bench::weeks_from_env());
+  const auto demands = bench::case_study(weeks);
+  const qos::Requirement req = bench::paper_requirement(97.0, 30.0);
+  const auto pool = sim::homogeneous_pool(13, 16);
+
+  std::cout << "Backtest — train on " << weeks - 1
+            << " week(s), validate on the held-out week\n\n";
+
+  TextTable table({"theta committed", "servers", "worst observed theta",
+                   "servers violating"});
+  for (double theta : {0.6, 0.8, 0.95}) {
+    BacktestConfig cfg;
+    cfg.training_weeks = weeks - 1;
+    cfg.consolidation = bench::bench_consolidation(
+        static_cast<std::uint64_t>(theta * 100));
+    const BacktestReport report = backtest(
+        demands, req, qos::CosCommitment{theta, 60.0}, pool, cfg);
+    table.add_row({TextTable::num(theta, 2),
+                   report.placement_feasible
+                       ? std::to_string(report.servers_used)
+                       : "infeasible",
+                   TextTable::num(report.worst_observed_theta, 3),
+                   std::to_string(report.violations) + " of " +
+                       std::to_string(report.servers.size())});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nreading: on a statistically stationary fleet the trained "
+               "commitments mostly hold out of sample; dips below the "
+               "commitment on individual servers are the price of placing "
+               "against history — and why the paper keeps a repair loop "
+               "(re-placement as service levels are evaluated)\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: the CoS constraint's deadline s. The paper fixes s = 60 min for
+// every Table I experiment (footnote 3); this bench shows what that choice
+// buys — short deadlines force capacity toward the peak, long deadlines let
+// deferred CoS2 demand ride out bursts.
+#include <iostream>
+
+#include "common/table.h"
+#include "placement/consolidator.h"
+#include "placement/problem.h"
+#include "qos/allocation.h"
+#include "support.h"
+
+int main() {
+  using namespace ropus;
+
+  const auto demands = bench::case_study(bench::weeks_from_env());
+  const qos::Requirement req = bench::paper_requirement(97.0, 30.0);
+  const auto pool = sim::homogeneous_pool(13, 16);
+
+  std::cout << "Ablation — CoS2 deadline s (theta = 0.95, M = 97%, "
+               "T_degr = 30 min)\n\n";
+
+  TextTable table({"deadline (min)", "servers", "C_requ CPU",
+                   "savings vs C_peak"});
+  for (double deadline : {0.0, 15.0, 30.0, 60.0, 120.0, 240.0}) {
+    const qos::CosCommitment cos2{0.95, deadline};
+    const auto allocations = qos::build_allocations(demands, req, cos2);
+    const placement::PlacementProblem problem(allocations, pool, cos2);
+    const placement::ConsolidationReport report = placement::consolidate(
+        problem,
+        bench::bench_consolidation(static_cast<std::uint64_t>(deadline)));
+    const double savings =
+        report.total_peak_allocation > 0.0
+            ? 100.0 * (1.0 - report.total_required_capacity /
+                                 report.total_peak_allocation)
+            : 0.0;
+    table.add_row({TextTable::num(deadline, 0),
+                   report.feasible ? std::to_string(report.servers_used)
+                                   : "infeasible",
+                   TextTable::num(report.total_required_capacity, 0),
+                   TextTable::num(savings, 0) + "%"});
+  }
+  table.render(std::cout);
+  std::cout << "\nreading: required capacity decreases (weakly) as the "
+               "deadline stretches; the paper's s = 60 min sits where most "
+               "of the benefit is already realized\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Ablation: the performability of a failure transition. The static planner
+// says the survivors *can* carry the fleet (Section VI-C); this bench
+// replays the worst single failure through the execution simulator and
+// reports what applications experience through the transition — before,
+// outage, after.
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.h"
+#include "failover/planner.h"
+#include "support.h"
+#include "wlm/failure_drill.h"
+
+int main() {
+  using namespace ropus;
+
+  const std::size_t weeks = bench::weeks_from_env();
+  const auto demands = bench::case_study(weeks);
+  const qos::Requirement normal_req =
+      bench::paper_requirement(100.0, std::nullopt);  // Table I case 4
+  const qos::Requirement failure_req =
+      bench::paper_requirement(97.0, 30.0);           // Table I case 5
+  qos::PoolCommitments commitments;
+  commitments.cos2 = qos::CosCommitment{0.95, 60.0};
+  const auto pool = sim::homogeneous_pool(13, 16);
+
+  std::vector<qos::ApplicationQos> app_qos;
+  for (const auto& d : demands) {
+    qos::ApplicationQos q;
+    q.app_name = d.name();
+    q.normal = normal_req;
+    q.failure = failure_req;
+    app_qos.push_back(std::move(q));
+  }
+
+  failover::PlannerConfig cfg;
+  cfg.normal = bench::bench_consolidation(4);
+  cfg.failure = bench::bench_consolidation(5);
+  const failover::FailurePlanner planner(demands, app_qos, commitments, pool);
+  const failover::FailoverReport plan = planner.plan(cfg);
+  if (!plan.normal.feasible) {
+    std::cout << "normal placement infeasible; nothing to drill\n";
+    return 1;
+  }
+
+  // Drill the failure of the busiest server (most hosted applications) at
+  // the fleet's aggregate peak instant — the worst case.
+  const failover::FailureOutcome* worst = nullptr;
+  for (const auto& o : plan.outcomes) {
+    if (worst == nullptr ||
+        o.affected_apps.size() > worst->affected_apps.size()) {
+      worst = &o;
+    }
+  }
+  const trace::DemandTrace total = trace::aggregate(demands, "total");
+  std::size_t peak_slot = 0;
+  for (std::size_t i = 0; i < total.size(); ++i) {
+    if (total[i] > total[peak_slot]) peak_slot = i;
+  }
+
+  // Translations and the post-failure assignment mapped to pool indices.
+  std::vector<qos::Translation> normal_tr;
+  std::vector<qos::Translation> failure_tr;
+  for (const auto& d : demands) {
+    normal_tr.push_back(qos::translate(d, normal_req, commitments.cos2));
+    failure_tr.push_back(qos::translate(d, failure_req, commitments.cos2));
+  }
+  placement::Assignment failure_assignment(demands.size());
+  for (std::size_t a = 0; a < demands.size(); ++a) {
+    failure_assignment[a] =
+        worst->surviving_servers[worst->assignment[a]];
+  }
+
+  wlm::DrillConfig drill_cfg;
+  drill_cfg.failure_slot = peak_slot;
+  drill_cfg.migration_outage_slots = 2;  // 10 minutes of migration
+  const wlm::DrillResult drill = wlm::run_failure_drill(
+      demands, normal_tr, failure_tr, plan.normal.assignment,
+      failure_assignment, pool, worst->failed_server, drill_cfg);
+
+  std::cout << "Failure drill — server " << drill.failed_server << " ("
+            << drill.affected_apps << " apps) dies at the fleet's peak "
+            << "instant (slot " << peak_slot << "), 10-minute migration\n\n";
+
+  double before_degraded = 0.0;
+  double after_degraded = 0.0;
+  double worst_after = 0.0;
+  double total_unserved = 0.0;
+  const double n = static_cast<double>(drill.apps.size());
+  for (const auto& app : drill.apps) {
+    before_degraded += 100.0 * app.before.degraded_fraction() / n;
+    const double after = 100.0 * app.after.degraded_fraction();
+    after_degraded += after / n;
+    worst_after = std::max(worst_after, after);
+    total_unserved += app.unserved_demand;
+  }
+
+  TextTable table({"metric", "value"});
+  table.add_row({"mean degraded-or-worse before failure (%)",
+                 TextTable::num(before_degraded, 2)});
+  table.add_row({"mean degraded-or-worse after failure (%)",
+                 TextTable::num(after_degraded, 2)});
+  table.add_row({"worst app after failure (%)",
+                 TextTable::num(worst_after, 2)});
+  table.add_row({"demand lost in the migration outage (CPU-intervals)",
+                 TextTable::num(drill.outage_unserved, 1)});
+  table.add_row({"total unserved demand (CPU-intervals)",
+                 TextTable::num(total_unserved, 1)});
+  table.render(std::cout);
+
+  std::cout << "\nreading: the static spare-server verdict ("
+            << (plan.spare_needed ? "spare needed" : "no spare needed")
+            << ") translates into a bounded, time-limited experience hit — "
+               "the performability the paper's title promises\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation: exact branch-and-bound vs the heuristics as the fleet grows —
+// the Section VIII argument ("the bin-packing method is NP-complete ...
+// impractical as a method for larger consolidation exercises") made
+// concrete. Node counts explode with fleet size while the genetic search
+// keeps matching the proven optimum where one is available.
+#include <chrono>
+#include <iostream>
+
+#include "common/table.h"
+#include "placement/consolidator.h"
+#include "placement/exact.h"
+#include "qos/allocation.h"
+#include "support.h"
+
+int main() {
+  using namespace ropus;
+  using Clock = std::chrono::steady_clock;
+
+  const auto all_demands = bench::case_study(1);  // 1 week is plenty here
+  const qos::Requirement req = bench::paper_requirement(97.0, 30.0);
+  const qos::CosCommitment cos2{0.95, 60.0};
+  constexpr std::size_t kNodeCap = 1500000;
+
+  std::cout << "Ablation — exact branch-and-bound vs genetic search "
+               "(node cap " << kNodeCap << ")\n\n";
+  TextTable table({"apps", "exact servers", "nodes", "proven?", "exact ms",
+                   "GA servers", "GA ms"});
+
+  for (std::size_t apps : {6u, 10u, 14u, 18u, 22u, 26u}) {
+    std::vector<trace::DemandTrace> demands(all_demands.begin(),
+                                            all_demands.begin() +
+                                                static_cast<std::ptrdiff_t>(apps));
+    const auto allocations = qos::build_allocations(demands, req, cos2);
+    const placement::PlacementProblem problem(
+        allocations, sim::homogeneous_pool(apps, 16), cos2);
+
+    const auto t0 = Clock::now();
+    const placement::ExactResult exact =
+        placement::exact_min_servers(problem, kNodeCap);
+    const double exact_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+    const auto t1 = Clock::now();
+    const placement::ConsolidationReport ga = placement::consolidate(
+        problem, bench::bench_consolidation(static_cast<std::uint64_t>(apps)));
+    const double ga_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t1).count();
+
+    table.add_row(
+        {std::to_string(apps),
+         exact.assignment ? std::to_string(exact.servers_used) : "-",
+         std::to_string(exact.nodes_explored),
+         exact.exhausted ? "yes" : "NO (cap hit)",
+         TextTable::num(exact_ms, 0),
+         ga.feasible ? std::to_string(ga.servers_used) : "infeasible",
+         TextTable::num(ga_ms, 0)});
+  }
+  table.render(std::cout);
+  std::cout << "\nreading: once the node counter stops saying 'yes' the "
+               "exact method has left the building — exactly the paper's "
+               "reason for a heuristic search\n";
+  return 0;
+}

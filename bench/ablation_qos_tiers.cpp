@@ -1,0 +1,82 @@
+// Ablation: independently specified per-application QoS (the R-Opus selling
+// point over pool-wide QoS objectives, Section VIII). Gold applications
+// tolerate no degradation; silver take the paper's 3%/30-min budget; bronze
+// run hot. Mixing tiers in one pool buys capacity back exactly where the
+// business allows it.
+#include <iostream>
+
+#include "common/table.h"
+#include "placement/consolidator.h"
+#include "placement/problem.h"
+#include "qos/allocation.h"
+#include "support.h"
+
+namespace {
+
+ropus::qos::Requirement tier_gold() {
+  return ropus::bench::paper_requirement(100.0, std::nullopt);
+}
+ropus::qos::Requirement tier_silver() {
+  return ropus::bench::paper_requirement(97.0, 30.0);
+}
+ropus::qos::Requirement tier_bronze() {
+  ropus::qos::Requirement r = ropus::bench::paper_requirement(95.0, 120.0);
+  r.u_low = 0.6;
+  r.u_high = 0.8;
+  r.u_degr = 0.95;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ropus;
+
+  const auto demands = bench::case_study(bench::weeks_from_env());
+  const qos::CosCommitment cos2{0.95, 60.0};
+  const auto pool = sim::homogeneous_pool(13, 16);
+
+  std::cout << "Ablation — per-application QoS tiers "
+               "(gold: M=100; silver: M=97/T=30min; bronze: hot band)\n\n";
+
+  struct Mix {
+    const char* label;
+    std::size_t gold;    // first `gold` applications
+    std::size_t silver;  // next `silver`; the rest are bronze
+  };
+  const Mix mixes[] = {
+      {"all gold", 26, 0},
+      {"all silver", 0, 26},
+      {"8 gold / 12 silver / 6 bronze", 8, 12},
+      {"all bronze", 0, 0},
+  };
+
+  TextTable table({"mix", "servers", "C_requ CPU", "C_peak CPU"});
+  std::uint64_t seed = 31;
+  for (const Mix& mix : mixes) {
+    std::vector<qos::AllocationTrace> allocations;
+    allocations.reserve(demands.size());
+    for (std::size_t a = 0; a < demands.size(); ++a) {
+      const qos::Requirement req = a < mix.gold ? tier_gold()
+                                   : a < mix.gold + mix.silver
+                                       ? tier_silver()
+                                       : tier_bronze();
+      allocations.emplace_back(demands[a],
+                               qos::translate(demands[a], req, cos2));
+    }
+    const placement::PlacementProblem problem(allocations, pool, cos2);
+    const placement::ConsolidationReport report =
+        placement::consolidate(problem, bench::bench_consolidation(seed++));
+    table.add_row({mix.label,
+                   report.feasible ? std::to_string(report.servers_used)
+                                   : "infeasible",
+                   TextTable::num(report.total_required_capacity, 0),
+                   TextTable::num(report.total_peak_allocation, 0)});
+  }
+  table.render(std::cout);
+  std::cout << "\nreading: every tier an application drops buys back peak "
+               "allocation; mixed fleets land between the extremes — the "
+               "per-application (not per-pool) specification is what makes "
+               "the trade granular\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 6: top percentiles (99.9 through 97) of CPU demand for the 26
+// case-study applications, normalized so each trace's peak is 100%.
+//
+// The shape checks from the paper's discussion:
+//  * two applications have a small share of very large points (their 99.9th
+//    percentile is far below the peak);
+//  * the ten leftmost applications have top-3% demand 2-10x the rest.
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "support.h"
+#include "trace/trace_stats.h"
+
+int main() {
+  using namespace ropus;
+
+  const auto demands = bench::case_study(bench::weeks_from_env());
+  const std::vector<double> pcts{99.9, 99.5, 99.0, 98.0, 97.0};
+
+  std::cout << "Figure 6 — top percentiles of CPU demand, normalized to "
+               "each application's peak (100%)\n\n";
+
+  TextTable table({"app", "99.9th", "99.5th", "99th", "98th", "97th",
+                   "peak/97th"});
+  std::size_t extreme_apps = 0;
+  std::size_t in_band_2_to_10 = 0;
+  for (const auto& t : demands) {
+    const trace::PercentileCurve curve = trace::percentile_curve(t, pcts);
+    std::vector<std::string> row{t.name()};
+    for (double v : curve.normalized_demand) {
+      row.push_back(TextTable::num(v, 1));
+    }
+    const double ratio = trace::peak_to_percentile_ratio(t, 97.0);
+    row.push_back(TextTable::num(ratio, 2));
+    table.add_row(std::move(row));
+    if (ratio >= 4.0) ++extreme_apps;
+    if (ratio >= 2.0 && ratio <= 10.0) ++in_band_2_to_10;
+  }
+  table.render(std::cout);
+
+  std::cout << "\npaper checks:\n"
+            << "  applications with peak >= 4x their 97th percentile: "
+            << extreme_apps << " (paper: ~2 extreme apps)\n"
+            << "  applications with peak 2-10x their 97th percentile: "
+            << in_band_2_to_10 << " (paper: ~10 leftmost apps)\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Micro benchmarks (google-benchmark): throughput of the hot paths — QoS
+// translation, the trace-replay evaluation, the required-capacity search,
+// and a genetic-search generation — at case-study scale.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "placement/genetic.h"
+#include "placement/problem.h"
+#include "qos/allocation.h"
+#include "sim/simulator.h"
+#include "support.h"
+
+namespace {
+
+using namespace ropus;
+
+const std::vector<trace::DemandTrace>& demands() {
+  static const auto traces = bench::case_study(1);
+  return traces;
+}
+
+const qos::CosCommitment& cos2() {
+  static const qos::CosCommitment c{0.95, 60.0};
+  return c;
+}
+
+const std::vector<qos::AllocationTrace>& allocations() {
+  static const auto allocs = qos::build_allocations(
+      demands(), bench::paper_requirement(97.0, 30.0), cos2());
+  return allocs;
+}
+
+void BM_Translate(benchmark::State& state) {
+  const auto& t = demands()[static_cast<std::size_t>(state.range(0))];
+  const qos::Requirement req = bench::paper_requirement(97.0, 30.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qos::translate(t, req, cos2()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_Translate)->Arg(0)->Arg(13)->Arg(25);
+
+void BM_AggregateWorkloads(benchmark::State& state) {
+  std::vector<const qos::AllocationTrace*> ptrs;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(state.range(0)); ++i) {
+    ptrs.push_back(&allocations()[i]);
+  }
+  const auto cal = demands()[0].calendar();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::aggregate_workloads(ptrs, cal));
+  }
+}
+BENCHMARK(BM_AggregateWorkloads)->Arg(4)->Arg(13)->Arg(26);
+
+void BM_Evaluate(benchmark::State& state) {
+  std::vector<const qos::AllocationTrace*> ptrs;
+  for (std::size_t i = 0; i < 8; ++i) ptrs.push_back(&allocations()[i]);
+  const sim::Aggregate agg =
+      sim::aggregate_workloads(ptrs, demands()[0].calendar());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::evaluate(agg, 16.0, cos2()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(agg.cos1.size()));
+}
+BENCHMARK(BM_Evaluate);
+
+void BM_RequiredCapacity(benchmark::State& state) {
+  std::vector<const qos::AllocationTrace*> ptrs;
+  for (std::size_t i = 0; i < 8; ++i) ptrs.push_back(&allocations()[i]);
+  const sim::Aggregate agg =
+      sim::aggregate_workloads(ptrs, demands()[0].calendar());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::required_capacity(agg, 16.0, cos2()));
+  }
+}
+BENCHMARK(BM_RequiredCapacity);
+
+void BM_GeneticGeneration(benchmark::State& state) {
+  const auto pool = sim::homogeneous_pool(13, 16);
+  const placement::PlacementProblem problem(allocations(), pool, cos2());
+  placement::GeneticConfig cfg;
+  cfg.population = 16;
+  cfg.max_generations = 1;  // cost of a single generation
+  cfg.stagnation_limit = 1;
+  const placement::Assignment initial(
+      problem.workload_count(), 0);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(
+        placement::genetic_search(problem, initial, cfg));
+  }
+}
+BENCHMARK(BM_GeneticGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

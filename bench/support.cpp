@@ -1,0 +1,72 @@
+#include "support.h"
+
+#include <cstdlib>
+
+#include "qos/translation.h"
+#include "workload/fleet.h"
+#include "workload/generator.h"
+
+namespace ropus::bench {
+
+std::size_t weeks_from_env() {
+  if (const char* env = std::getenv("ROPUS_BENCH_WEEKS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value >= 1 && value <= 52) return static_cast<std::size_t>(value);
+  }
+  return 4;
+}
+
+std::vector<trace::DemandTrace> case_study(std::size_t weeks) {
+  return workload::case_study_traces(trace::Calendar::standard(weeks), kSeed);
+}
+
+qos::Requirement paper_requirement(double m_percent,
+                                   std::optional<double> t_degr_minutes) {
+  qos::Requirement r;
+  r.u_low = 0.5;
+  r.u_high = 0.66;
+  r.u_degr = 0.9;
+  r.m_percent = m_percent;
+  r.t_degr_minutes = t_degr_minutes;
+  return r;
+}
+
+placement::ConsolidationConfig bench_consolidation(std::uint64_t seed) {
+  placement::ConsolidationConfig cfg;
+  cfg.genetic.seed = seed;
+  const char* fast = std::getenv("ROPUS_BENCH_FAST");
+  if (fast != nullptr && fast[0] == '1') {
+    cfg.genetic.population = 16;
+    cfg.genetic.max_generations = 60;
+    cfg.genetic.stagnation_limit = 12;
+  } else {
+    cfg.genetic.population = 32;
+    cfg.genetic.max_generations = 250;
+    cfg.genetic.stagnation_limit = 30;
+  }
+  return cfg;
+}
+
+std::vector<qos::WorkloadAllocations> case_study_multi(
+    std::size_t weeks, const qos::Requirement& req,
+    const qos::CosCommitment& cos2) {
+  const auto profiles = workload::case_study_profiles();
+  const trace::Calendar cal = trace::Calendar::standard(weeks);
+  std::vector<qos::WorkloadAllocations> out;
+  out.reserve(profiles.size());
+  for (const workload::Profile& p : profiles) {
+    trace::DemandTrace cpu = workload::generate(p, cal, kSeed);
+    workload::AttributeTraces attrs =
+        workload::generate_attributes(p, cpu, kSeed);
+    qos::WorkloadAllocations w(
+        qos::AllocationTrace(cpu, qos::translate(cpu, req, cos2)));
+    w.set_attribute(trace::Attribute::kMemoryGb, std::move(attrs.memory));
+    w.set_attribute(trace::Attribute::kDiskMbps, std::move(attrs.disk));
+    w.set_attribute(trace::Attribute::kNetworkMbps,
+                    std::move(attrs.network));
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace ropus::bench

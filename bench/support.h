@@ -1,0 +1,40 @@
+// Shared setup for the benchmark harness: the case-study fleet and the
+// Section VII QoS requirement, plus environment knobs so CI can run the
+// benches quickly (ROPUS_BENCH_WEEKS=1) while full runs match the paper
+// (4 weeks).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "placement/consolidator.h"
+#include "qos/requirements.h"
+#include "qos/workload_allocations.h"
+#include "trace/demand_trace.h"
+
+namespace ropus::bench {
+
+/// Seed used throughout the reproduction.
+inline constexpr std::uint64_t kSeed = 2006;
+
+/// Weeks of history: honours ROPUS_BENCH_WEEKS (default 4, as in the paper).
+std::size_t weeks_from_env();
+
+/// The 26-application case-study traces.
+std::vector<trace::DemandTrace> case_study(std::size_t weeks);
+
+/// The Section VII requirement: U_low=0.5, U_high=0.66, U_degr=0.9.
+qos::Requirement paper_requirement(double m_percent,
+                                   std::optional<double> t_degr_minutes);
+
+/// Consolidation configuration used by the larger benches; honours
+/// ROPUS_BENCH_FAST=1 for a smaller search budget.
+placement::ConsolidationConfig bench_consolidation(std::uint64_t seed = 1);
+
+/// Case-study workloads with translated CPU plus generated memory, disk,
+/// and network attribute traces (the multi-attribute extension).
+std::vector<qos::WorkloadAllocations> case_study_multi(
+    std::size_t weeks, const qos::Requirement& req,
+    const qos::CosCommitment& cos2);
+
+}  // namespace ropus::bench

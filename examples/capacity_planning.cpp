@@ -1,0 +1,81 @@
+// Long-term capacity planning (Figure 1): given the fleet's history and a
+// growth assumption, when does the current pool run out — and how many
+// servers will the next procurement need?
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/capacity_planner.h"
+#include "trace/forecast.h"
+#include "workload/fleet.h"
+
+int main() {
+  using namespace ropus;
+
+  const auto demands =
+      workload::case_study_traces(trace::Calendar::standard(2), 2006);
+
+  qos::Requirement req;
+  req.u_low = 0.5;
+  req.u_high = 0.66;
+  req.u_degr = 0.9;
+  req.m_percent = 97.0;
+  req.t_degr_minutes = 30.0;
+
+  qos::PoolCommitments commitments;
+  commitments.cos2 = qos::CosCommitment{0.95, 60.0};
+
+  placement::ConsolidationConfig search;
+  search.genetic.population = 24;
+  search.genetic.max_generations = 80;
+  search.genetic.stagnation_limit = 15;
+
+  try {
+    const CapacityPlanner planner(demands, req, commitments,
+                                  sim::homogeneous_pool(10, 16));
+
+    std::cout << "Per-application fitted weekly demand trend:\n";
+    for (std::size_t a = 0; a < 3; ++a) {  // a taste, not all 26
+      std::cout << "  " << demands[a].name() << ": "
+                << TextTable::num(
+                       100.0 * (trace::weekly_trend_ratio(demands[a]) - 1.0),
+                       2)
+                << "%/week\n";
+    }
+    std::cout << "  ...\n\n";
+
+    for (double growth : {0.01, 0.03}) {
+      GrowthScenario scenario;
+      scenario.weekly_growth = growth;
+      scenario.horizon_weeks = 40;
+      scenario.step_weeks = 8;
+      const CapacityPlanningReport report =
+          planner.project(scenario, search);
+
+      std::cout << "Scenario: " << TextTable::num(100.0 * growth, 0)
+                << "% demand growth per week, 40-week horizon\n";
+      TextTable table({"week", "demand scale", "servers", "C_requ CPU",
+                       "feasible"});
+      for (const auto& p : report.points) {
+        table.add_row({std::to_string(p.week),
+                       TextTable::num(p.mean_demand_scale, 2),
+                       std::to_string(p.servers_used),
+                       TextTable::num(p.total_required_capacity, 0),
+                       p.feasible ? "yes" : "NO"});
+      }
+      table.render(std::cout);
+      if (report.exhaustion_week.has_value()) {
+        std::cout << "=> pool exhausted in week " << *report.exhaustion_week
+                  << "; start procurement now\n\n";
+      } else {
+        std::cout << "=> pool lasts the horizon; "
+                  << report.servers_at_horizon()
+                  << " servers in use at week 40\n\n";
+      }
+    }
+  } catch (const Error& e) {
+    std::cerr << "planning failed: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

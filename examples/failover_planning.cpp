@@ -1,0 +1,119 @@
+// Failure-mode planning (Section VI-C): shows how weakening the
+// failure-mode QoS turns "needs a spare server" into "survivors absorb any
+// single failure", the trade the paper's case study makes between Table I
+// cases 1/4 (normal) and 2/3/5/6 (failure).
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "failover/economics.h"
+#include "failover/planner.h"
+#include "workload/fleet.h"
+
+namespace {
+
+ropus::qos::Requirement band(double u_low, double u_high, double u_degr,
+                             double m, std::optional<double> t_degr) {
+  ropus::qos::Requirement r;
+  r.u_low = u_low;
+  r.u_high = u_high;
+  r.u_degr = u_degr;
+  r.m_percent = m;
+  r.t_degr_minutes = t_degr;
+  return r;
+}
+
+void describe(const ropus::failover::FailoverReport& report,
+              const char* label) {
+  std::cout << label << "\n";
+  std::cout << "  normal mode: " << report.normal.servers_used
+            << " servers (feasible: "
+            << (report.normal.feasible ? "yes" : "no") << ")\n";
+  for (const auto& outcome : report.outcomes) {
+    std::cout << "  failure of server " << outcome.failed_server << " ("
+              << outcome.affected_apps.size() << " apps affected): "
+              << (outcome.supported ? "absorbed by survivors"
+                                    : "NOT supported")
+              << "\n";
+  }
+  std::cout << "  => " << (report.spare_needed
+                               ? "spare server needed"
+                               : "no spare server needed")
+            << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace ropus;
+
+  const auto demands =
+      workload::case_study_traces(trace::Calendar::standard(1), 2006);
+
+  qos::PoolCommitments commitments;
+  commitments.cos2 = qos::CosCommitment{0.95, 60.0};
+  const auto pool = sim::homogeneous_pool(13, 16);
+
+  // Strict everywhere: failure mode as demanding as normal mode.
+  std::vector<qos::ApplicationQos> strict;
+  // Relaxed failure mode: M_degr = 3%, T_degr = 30 min, hotter band.
+  std::vector<qos::ApplicationQos> relaxed;
+  for (const auto& d : demands) {
+    qos::ApplicationQos q;
+    q.app_name = d.name();
+    q.normal = band(0.5, 0.66, 0.9, 100.0, std::nullopt);
+    q.failure = q.normal;
+    strict.push_back(q);
+    q.failure = band(0.6, 0.8, 0.95, 97.0, 30.0);
+    relaxed.push_back(q);
+  }
+
+  failover::PlannerConfig cfg;
+  cfg.normal.genetic.population = 24;
+  cfg.normal.genetic.max_generations = 80;
+  cfg.normal.genetic.stagnation_limit = 15;
+  cfg.failure.genetic = cfg.normal.genetic;
+
+  try {
+    failover::FailurePlanner strict_planner(demands, strict, commitments,
+                                            pool);
+    describe(strict_planner.plan(cfg),
+             "Failure QoS == normal QoS (Table I case-1-style):");
+
+    failover::FailurePlanner relaxed_planner(demands, relaxed, commitments,
+                                             pool);
+    const failover::FailoverReport relaxed_report =
+        relaxed_planner.plan(cfg);
+    describe(relaxed_report, "Relaxed failure QoS (Table I case-5-style):");
+
+    // Section VI-C's cost question: is a spare worth it anyway?
+    failover::EconomicsInput econ;
+    econ.server_mtbf_hours = 4380.0;  // two failures per server-year
+    econ.server_mttr_hours = 48.0;
+    econ.spare_cost_per_year = 15000.0;
+    econ.violation_penalty_per_hour = 800.0;
+    econ.degraded_penalty_per_app_hour = 3.0;
+    const failover::SpareVerdict verdict =
+        failover::evaluate_spare(relaxed_report, econ);
+    std::cout << "Spare-server economics (MTBF "
+              << econ.server_mtbf_hours / 24.0 << " days, MTTR "
+              << econ.server_mttr_hours << " h):\n"
+              << "  expected failures/year:        "
+              << TextTable::num(verdict.failures_per_year, 1) << "\n"
+              << "  expected violation hours/year: "
+              << TextTable::num(verdict.expected_violation_hours, 1) << "\n"
+              << "  penalty without spare:         $"
+              << TextTable::num(verdict.annual_penalty_without_spare, 0)
+              << "/yr vs spare $"
+              << TextTable::num(verdict.annual_cost_with_spare, 0)
+              << "/yr\n"
+              << "  => "
+              << (verdict.spare_recommended ? "provision the spare"
+                                            : "skip the spare")
+              << "\n";
+  } catch (const Error& e) {
+    std::cerr << "planning failed: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,72 @@
+// Deriving an application's QoS requirement from responsiveness targets —
+// the stress-test exercise of Section III, run against the bundled queueing
+// simulator instead of a production system.
+//
+// The application owner knows two numbers: the response time users consider
+// good, and the worst response time they will tolerate. Calibration turns
+// them into the burst-factor range (equivalently U_low and U_high) that the
+// rest of R-Opus consumes.
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "qos/translation.h"
+#include "stress/calibration.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace ropus;
+
+  // An interactive application: 30 requests/s, 20 ms of CPU per request.
+  stress::Workload app{30.0, 0.020};
+  const stress::ResponsivenessTargets targets{0.050, 0.150};
+
+  std::cout << "Stress-testing: " << app.arrival_rate << " req/s, "
+            << app.mean_service_demand * 1000.0 << " ms CPU/request ("
+            << app.mean_cpu_demand() << " CPUs mean demand)\n";
+  std::cout << "Targets: good <= " << targets.good_seconds * 1000.0
+            << " ms, adequate <= " << targets.adequate_seconds * 1000.0
+            << " ms\n\n";
+
+  try {
+    stress::CalibrationConfig cfg;
+    cfg.requests = 300000;
+    const stress::BurstFactorRange range =
+        stress::calibrate(app, targets, cfg);
+
+    std::cout << "Calibrated burst factors:\n"
+              << "  good:     " << TextTable::num(range.burst_factor_good, 3)
+              << "  (U_low  = " << TextTable::num(range.u_low, 3) << ")\n"
+              << "  adequate: "
+              << TextTable::num(range.burst_factor_adequate, 3)
+              << "  (U_high = " << TextTable::num(range.u_high, 3) << ")\n\n";
+
+    // Attach degradation terms and translate a synthetic history.
+    const qos::Requirement req =
+        stress::to_requirement(range, 0.9, 97.0, 30.0);
+    workload::Profile profile;
+    profile.name = "calibrated-app";
+    profile.base_cpus = app.mean_cpu_demand();
+    profile.max_cpus = 6.0;
+    const auto demand =
+        workload::generate(profile, trace::Calendar::standard(1), 1);
+    const qos::CosCommitment cos2{0.9, 60.0};
+    const qos::Translation tr = qos::translate(demand, req, cos2);
+
+    std::cout << "Translation against theta = " << cos2.theta << ":\n"
+              << "  breakpoint p      = "
+              << TextTable::num(tr.breakpoint_p, 3) << "\n"
+              << "  D_max             = " << TextTable::num(tr.d_max, 3)
+              << " CPUs\n"
+              << "  D_new_max         = " << TextTable::num(tr.d_new_max, 3)
+              << " CPUs\n"
+              << "  peak allocation   = "
+              << TextTable::num(tr.peak_allocation(), 3) << " CPUs\n"
+              << "  max cap reduction = "
+              << TextTable::num(100.0 * tr.max_cap_reduction(), 1) << "%\n";
+  } catch (const Error& e) {
+    std::cerr << "calibration failed: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,62 @@
+// Quickstart: the smallest useful R-Opus program.
+//
+// Four synthetic applications share a pool of three 16-way servers. Each
+// application states its QoS requirement (utilization-of-allocation band,
+// degradation budget, time limit); the pool operator commits to a CoS2
+// resource access probability. R-Opus translates, places, and plans for a
+// single server failure.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdlib>
+#include <iostream>
+
+#include "core/pool.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace ropus;
+
+  // --- Pool operator: two classes of service; CoS2 delivers a unit of
+  // capacity with probability >= 0.9, deferred demand served within 60 min.
+  qos::PoolCommitments commitments;
+  commitments.cos2 = qos::CosCommitment{0.9, 60.0};
+  Pool pool(commitments, sim::homogeneous_pool(3, 16));
+
+  // --- Application owners: four workloads with one week of 5-minute
+  // synthetic history and a common QoS requirement.
+  qos::ApplicationQos app_qos;
+  app_qos.normal.u_low = 0.5;     // ideal utilization of allocation
+  app_qos.normal.u_high = 0.66;   // acceptable upper bound
+  app_qos.normal.u_degr = 0.9;    // hard bound during degradation
+  app_qos.normal.m_percent = 97.0;         // 97% of samples in band
+  app_qos.normal.t_degr_minutes = 30.0;    // degradation runs <= 30 min
+  app_qos.failure = app_qos.normal;
+  app_qos.failure.u_low = 0.6;    // tolerate tighter allocations while a
+  app_qos.failure.u_high = 0.8;   // failed server awaits repair
+  app_qos.failure.u_degr = 0.95;
+
+  const trace::Calendar calendar = trace::Calendar::standard(1);
+  for (int i = 0; i < 4; ++i) {
+    workload::Profile profile;
+    profile.name = "app-" + std::to_string(i + 1);
+    profile.base_cpus = 1.5 + 0.5 * i;
+    profile.peak_hour = 9.0 + 3.0 * i;
+    profile.spikes_per_day = 0.5;
+    profile.max_cpus = 8.0;
+    app_qos.app_name = profile.name;
+    pool.add_application(workload::generate(profile, calendar, 2006),
+                         app_qos);
+  }
+
+  // --- Plan: translation -> placement -> failure sweep.
+  try {
+    const CapacityPlan plan = pool.plan();
+    plan.render(std::cout);
+    std::cout << "\nplan is " << (plan.healthy() ? "healthy" : "NOT healthy")
+              << "\n";
+  } catch (const Error& e) {
+    std::cerr << "planning failed: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,103 @@
+#include "common/csv.h"
+
+#include <charconv>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace ropus::csv {
+
+Row parse_line(const std::string& line) {
+  Row fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF line endings.
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string format_line(const Row& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const std::string& f = fields[i];
+    const bool needs_quote = f.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote) {
+      out += f;
+      continue;
+    }
+    out.push_back('"');
+    for (char c : f) {
+      if (c == '"') out.push_back('"');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+Document read_file(const std::filesystem::path& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open for reading: " + path.string());
+  Document doc;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Row row = parse_line(line);
+    if (first && has_header) {
+      doc.header = std::move(row);
+    } else {
+      doc.rows.push_back(std::move(row));
+    }
+    first = false;
+  }
+  return doc;
+}
+
+void write_file(const std::filesystem::path& path, const Document& doc) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open for writing: " + path.string());
+  if (!doc.header.empty()) out << format_line(doc.header) << '\n';
+  for (const Row& row : doc.rows) out << format_line(row) << '\n';
+  if (!out) throw IoError("write failed: " + path.string());
+}
+
+double to_double(const std::string& field, std::size_t row, std::size_t col) {
+  double value = 0.0;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  // Skip leading whitespace, which from_chars does not accept.
+  while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw IoError("bad numeric field '" + field + "' at row " +
+                  std::to_string(row) + ", col " + std::to_string(col));
+  }
+  return value;
+}
+
+}  // namespace ropus::csv

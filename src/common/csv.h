@@ -1,0 +1,38 @@
+// Small CSV reader/writer used for trace import/export and bench output.
+// Supports RFC-4180 style quoting ("" escapes a quote inside a quoted field);
+// no embedded newlines inside fields (demand traces never need them).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace ropus::csv {
+
+using Row = std::vector<std::string>;
+
+/// Parses a single CSV line into fields.
+Row parse_line(const std::string& line);
+
+/// Serializes fields into one CSV line (quoting only when needed).
+std::string format_line(const Row& fields);
+
+/// A fully materialized CSV document.
+struct Document {
+  Row header;              // empty when has_header == false at read time
+  std::vector<Row> rows;
+};
+
+/// Reads a whole file; when `has_header` the first row becomes `header`.
+/// Throws IoError when the file cannot be opened.
+Document read_file(const std::filesystem::path& path, bool has_header);
+
+/// Writes a document; `header` is emitted first when non-empty.
+/// Throws IoError when the file cannot be created.
+void write_file(const std::filesystem::path& path, const Document& doc);
+
+/// Parses a field as double; throws IoError with row/column context on
+/// failure (row/col are 0-based indices used in the message only).
+double to_double(const std::string& field, std::size_t row, std::size_t col);
+
+}  // namespace ropus::csv

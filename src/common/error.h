@@ -1,0 +1,77 @@
+// Error-handling primitives shared across R-Opus.
+//
+// Policy (see DESIGN.md):
+//  * invalid arguments to public API functions throw ropus::InvalidArgument;
+//  * violated internal invariants throw ropus::InternalError (these indicate
+//    bugs, not user mistakes, and are never expected in a correct build);
+//  * I/O failures throw ropus::IoError.
+// All exception types derive from ropus::Error -> std::runtime_error so a
+// caller may catch the whole family at once.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ropus {
+
+/// Base class for all R-Opus exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller passed an argument that violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant failed; indicates a bug in R-Opus itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// A file could not be read, written, or parsed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid_argument(const char* expr,
+                                                const char* file, int line,
+                                                const std::string& msg) {
+  throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
+                        ": requirement failed: " + expr +
+                        (msg.empty() ? "" : " — " + msg));
+}
+
+[[noreturn]] inline void throw_internal_error(const char* expr,
+                                              const char* file, int line,
+                                              const std::string& msg) {
+  throw InternalError(std::string(file) + ":" + std::to_string(line) +
+                      ": invariant failed: " + expr +
+                      (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace ropus
+
+/// Validate a documented precondition on a public API; throws InvalidArgument.
+#define ROPUS_REQUIRE(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::ropus::detail::throw_invalid_argument(#expr, __FILE__, __LINE__, \
+                                              (msg));                    \
+    }                                                                    \
+  } while (false)
+
+/// Check an internal invariant; throws InternalError (a bug if it fires).
+#define ROPUS_ASSERT(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::ropus::detail::throw_internal_error(#expr, __FILE__, __LINE__, \
+                                            (msg));                    \
+    }                                                                  \
+  } while (false)

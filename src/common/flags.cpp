@@ -1,0 +1,103 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/error.h"
+
+namespace ropus {
+
+namespace {
+bool is_flag(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+}  // namespace
+
+Flags::Flags(std::span<const std::string> args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (!is_flag(arg)) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    if (const auto eq = body.find('='); eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else if (i + 1 < args.size() && !is_flag(args[i + 1])) {
+      name = body;
+      value = args[++i];
+    } else {
+      name = body;
+      value = "true";
+    }
+    ROPUS_REQUIRE(!name.empty(), "empty flag name in '" + arg + "'");
+    const auto [it, inserted] = values_.emplace(name, value);
+    ROPUS_REQUIRE(inserted, "flag --" + name + " given twice");
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.contains(name);
+}
+
+std::optional<std::string> Flags::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto raw = get(name);
+  if (!raw.has_value()) return fallback;
+  double value = 0.0;
+  const char* begin = raw->data();
+  const char* end = begin + raw->size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  ROPUS_REQUIRE(ec == std::errc{} && ptr == end,
+                "flag --" + name + " expects a number, got '" + *raw + "'");
+  return value;
+}
+
+std::size_t Flags::get_size(const std::string& name,
+                            std::size_t fallback) const {
+  const auto raw = get(name);
+  if (!raw.has_value()) return fallback;
+  std::size_t value = 0;
+  const char* begin = raw->data();
+  const char* end = begin + raw->size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  ROPUS_REQUIRE(ec == std::errc{} && ptr == end,
+                "flag --" + name + " expects a non-negative integer, got '" +
+                    *raw + "'");
+  return value;
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto raw = get(name);
+  if (!raw.has_value()) return fallback;
+  if (*raw == "true" || *raw == "1" || *raw == "yes") return true;
+  if (*raw == "false" || *raw == "0" || *raw == "no") return false;
+  throw InvalidArgument("flag --" + name + " expects a boolean, got '" +
+                        *raw + "'");
+}
+
+std::vector<std::string> Flags::unknown_flags(
+    std::span<const std::string> allowed) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    if (std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
+      unknown.push_back(name);
+    }
+  }
+  return unknown;
+}
+
+}  // namespace ropus

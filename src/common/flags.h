@@ -1,0 +1,46 @@
+// Minimal command-line flag parsing for the ropus_cli tool: GNU-style
+// `--name=value` / `--name value` flags plus positional arguments. No
+// global state, no registration — parse, then query with typed accessors.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ropus {
+
+class Flags {
+ public:
+  /// Parses `args` (no program name). `--name=value` and `--name value`
+  /// both bind `value`; a `--name` followed by another flag (or nothing)
+  /// becomes a boolean flag with value "true". Everything else is
+  /// positional. Throws InvalidArgument on repeated flags.
+  explicit Flags(std::span<const std::string> args);
+
+  bool has(const std::string& name) const;
+
+  /// Raw value; nullopt when the flag is absent.
+  std::optional<std::string> get(const std::string& name) const;
+
+  /// Typed accessors with defaults; throw InvalidArgument when the flag is
+  /// present but malformed.
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::size_t get_size(const std::string& name, std::size_t fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names of parsed flags that are not in `allowed`; callers reject typos.
+  std::vector<std::string> unknown_flags(
+      std::span<const std::string> allowed) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ropus

@@ -1,0 +1,151 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropus::json {
+
+void Writer::before_value() {
+  ROPUS_ASSERT(!done_, "document already complete");
+  if (stack_.empty()) return;
+  if (stack_.back() == Frame::kObject) {
+    ROPUS_ASSERT(pending_key_, "object members need a key first");
+    pending_key_ = false;
+    return;
+  }
+  if (has_items_.back()) out_.push_back(',');
+  has_items_.back() = true;
+}
+
+void Writer::emit_string(std::string_view s) {
+  out_.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+Writer& Writer::begin_object() {
+  before_value();
+  out_.push_back('{');
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  ROPUS_ASSERT(!stack_.empty() && stack_.back() == Frame::kObject,
+               "end_object without matching begin_object");
+  ROPUS_ASSERT(!pending_key_, "dangling key at end_object");
+  out_.push_back('}');
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  before_value();
+  out_.push_back('[');
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  ROPUS_ASSERT(!stack_.empty() && stack_.back() == Frame::kArray,
+               "end_array without matching begin_array");
+  out_.push_back(']');
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::key(std::string_view name) {
+  ROPUS_ASSERT(!stack_.empty() && stack_.back() == Frame::kObject,
+               "key outside an object");
+  ROPUS_ASSERT(!pending_key_, "two keys in a row");
+  if (has_items_.back()) out_.push_back(',');
+  has_items_.back() = true;
+  emit_string(name);
+  out_.push_back(':');
+  pending_key_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view s) {
+  before_value();
+  emit_string(s);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::value(double number) {
+  before_value();
+  if (!std::isfinite(number)) {
+    // JSON has no NaN/Inf; null is the conventional stand-in.
+    out_ += "null";
+  } else {
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), number);
+    ROPUS_ASSERT(ec == std::errc{}, "number formatting failed");
+    out_.append(buf, ptr);
+  }
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t number) {
+  before_value();
+  out_ += std::to_string(number);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::value(bool boolean) {
+  before_value();
+  out_ += boolean ? "true" : "false";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::null() {
+  before_value();
+  out_ += "null";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+std::string Writer::str() const {
+  ROPUS_ASSERT(stack_.empty() && done_, "incomplete JSON document");
+  return out_;
+}
+
+}  // namespace ropus::json

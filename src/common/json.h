@@ -1,0 +1,48 @@
+// Minimal streaming JSON writer (no external dependencies). Produces
+// compact, valid JSON; commas and nesting are managed by a state stack and
+// misuse (value without a key inside an object, unbalanced close) throws
+// InternalError at the call site rather than emitting garbage.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ropus::json {
+
+class Writer {
+ public:
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+
+  /// Introduces the next member of the enclosing object.
+  Writer& key(std::string_view name);
+
+  Writer& value(std::string_view s);
+  Writer& value(const char* s) { return value(std::string_view(s)); }
+  Writer& value(double number);
+  Writer& value(std::int64_t number);
+  Writer& value(std::size_t number) {
+    return value(static_cast<std::int64_t>(number));
+  }
+  Writer& value(bool boolean);
+  Writer& null();
+
+  /// Final document; throws InternalError when containers are unbalanced.
+  std::string str() const;
+
+ private:
+  enum class Frame { kObject, kArray };
+  void before_value();
+  void emit_string(std::string_view s);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;  // parallel to stack_
+  bool pending_key_ = false;
+  bool done_ = false;
+};
+
+}  // namespace ropus::json

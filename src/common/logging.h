@@ -1,0 +1,46 @@
+// Minimal leveled logger. Single global sink (stderr by default), thread-safe,
+// zero cost when the level is filtered out before formatting.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ropus::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that will be emitted. Default: kWarn (quiet for
+/// tests and benches unless explicitly enabled).
+void set_level(Level level);
+Level level();
+
+/// Emit a single log record. Prefer the ROPUS_LOG macro below.
+void write(Level level, const std::string& message);
+
+namespace detail {
+class Record {
+ public:
+  explicit Record(Level lvl) : level_(lvl) {}
+  Record(const Record&) = delete;
+  Record& operator=(const Record&) = delete;
+  ~Record() { write(level_, stream_.str()); }
+
+  template <typename T>
+  Record& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace ropus::log
+
+/// Usage: ROPUS_LOG(kInfo) << "placed " << n << " workloads";
+#define ROPUS_LOG(lvl)                                        \
+  if (::ropus::log::Level::lvl < ::ropus::log::level()) {     \
+  } else                                                      \
+    ::ropus::log::detail::Record(::ropus::log::Level::lvl)

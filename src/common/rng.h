@@ -1,0 +1,158 @@
+// Deterministic random-number utilities.
+//
+// Everything stochastic in R-Opus (workload generation, the genetic placement
+// search, the stress-test simulator) draws from ropus::Rng seeded with an
+// explicit 64-bit value, so that every experiment in the paper reproduction is
+// bit-for-bit repeatable across runs and machines (we avoid distribution
+// objects from <random> whose output is implementation-defined only for
+// *distributions*; the engines themselves are portable, and we implement the
+// distributions we need on top of the raw engine output).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace ropus {
+
+/// SplitMix64: tiny, high-quality 64-bit generator; used both directly and to
+/// seed derived streams. Reference: Steele, Lea, Flood, "Fast Splittable
+/// Pseudorandom Number Generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, 256-bit state, passes BigCrush.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+/// Seedable random stream with the handful of portable distributions R-Opus
+/// needs. All methods are deterministic functions of the seed and call order.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    // 53 high bits -> double mantissa.
+    return static_cast<double>(engine_.next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    ROPUS_REQUIRE(lo <= hi, "uniform range inverted");
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    ROPUS_REQUIRE(n > 0, "uniform_index needs n > 0");
+    // Lemire's multiply-shift with rejection for exact uniformity.
+    std::uint64_t x = engine_.next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = engine_.next();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (pairs cached).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    // Avoid log(0).
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate) {
+    ROPUS_REQUIRE(rate > 0.0, "exponential rate must be positive");
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -std::log(u) / rate;
+  }
+
+  /// Pareto (type I) with scale x_m > 0 and shape alpha > 0; heavy-tailed
+  /// spike magnitudes in the workload generator use this.
+  double pareto(double x_m, double alpha) {
+    ROPUS_REQUIRE(x_m > 0.0 && alpha > 0.0, "pareto parameters must be > 0");
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return x_m / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Geometric number of trials >= 1 with success probability p in (0, 1].
+  std::uint64_t geometric(double p) {
+    ROPUS_REQUIRE(p > 0.0 && p <= 1.0, "geometric p must be in (0,1]");
+    if (p >= 1.0) return 1;
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return 1 + static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+  }
+
+  /// Derive an independent child stream; child k of a given parent is stable.
+  Rng split() { return Rng(engine_.next()); }
+
+ private:
+  Xoshiro256 engine_;
+  bool has_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace ropus

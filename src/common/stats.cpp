@@ -1,0 +1,141 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropus::stats {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double total = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    total += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = total / static_cast<double>(values.size());
+  double ss = 0.0;
+  for (double v : values) {
+    const double d = v - s.mean;
+    ss += d * d;
+  }
+  s.stddev = std::sqrt(ss / static_cast<double>(values.size()));
+  return s;
+}
+
+namespace {
+double quantile_sorted(std::span<const double> sorted, double q) {
+  const auto n = sorted.size();
+  if (n == 1) return sorted[0];
+  const double pos = q * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+}  // namespace
+
+double quantile(std::span<const double> values, double q) {
+  ROPUS_REQUIRE(!values.empty(), "quantile of empty sample");
+  ROPUS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+double percentile(std::span<const double> values, double pct) {
+  ROPUS_REQUIRE(pct >= 0.0 && pct <= 100.0, "percentile must be in [0,100]");
+  return quantile(values, pct / 100.0);
+}
+
+double quantile_upper(std::span<const double> values, double q) {
+  ROPUS_REQUIRE(!values.empty(), "quantile of empty sample");
+  ROPUS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  // Smallest 0-based index k with (k + 1) / n >= q.
+  const double target = q * n - 1.0;
+  std::size_t k = target <= 0.0
+                      ? 0
+                      : static_cast<std::size_t>(std::ceil(target - 1e-9));
+  k = std::min(k, sorted.size() - 1);
+  return sorted[k];
+}
+
+double percentile_upper(std::span<const double> values, double pct) {
+  ROPUS_REQUIRE(pct >= 0.0 && pct <= 100.0, "percentile must be in [0,100]");
+  return quantile_upper(values, pct / 100.0);
+}
+
+std::vector<double> quantiles(std::span<const double> values,
+                              std::span<const double> qs) {
+  ROPUS_REQUIRE(!values.empty(), "quantiles of empty sample");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) {
+    ROPUS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+    out.push_back(quantile_sorted(sorted, q));
+  }
+  return out;
+}
+
+std::vector<Run> find_runs(const std::vector<bool>& flags) {
+  std::vector<Run> runs;
+  std::size_t i = 0;
+  const std::size_t n = flags.size();
+  while (i < n) {
+    if (!flags[i]) {
+      ++i;
+      continue;
+    }
+    std::size_t begin = i;
+    while (i < n && flags[i]) ++i;
+    runs.push_back(Run{begin, i - begin});
+  }
+  return runs;
+}
+
+std::size_t longest_run(const std::vector<bool>& flags) {
+  std::size_t best = 0;
+  std::size_t cur = 0;
+  for (bool f : flags) {
+    cur = f ? cur + 1 : 0;
+    best = std::max(best, cur);
+  }
+  return best;
+}
+
+double fraction_true(const std::vector<bool>& flags) {
+  if (flags.empty()) return 0.0;
+  std::size_t count = 0;
+  for (bool f : flags) count += f ? 1 : 0;
+  return static_cast<double>(count) / static_cast<double>(flags.size());
+}
+
+double max_value(std::span<const double> values) {
+  ROPUS_REQUIRE(!values.empty(), "max of empty sample");
+  return *std::max_element(values.begin(), values.end());
+}
+
+double sum(std::span<const double> values) {
+  double total = 0.0;
+  double comp = 0.0;  // Kahan compensation term.
+  for (double v : values) {
+    const double y = v - comp;
+    const double t = total + y;
+    comp = (t - total) - y;
+    total = t;
+  }
+  return total;
+}
+
+}  // namespace ropus::stats

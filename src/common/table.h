@@ -1,0 +1,33 @@
+// Plain-text table renderer used by the benchmark harness to print the
+// paper's tables and figure series in a readable, diff-friendly layout.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ropus {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; it may have fewer cells than the header (the rest
+  /// render empty) but not more.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule, columns padded to content width.
+  void render(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Formats a double with `digits` places — convenience for bench output.
+  static std::string num(double value, int digits = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ropus

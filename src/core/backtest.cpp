@@ -1,0 +1,83 @@
+#include "core/backtest.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "qos/allocation.h"
+
+namespace ropus {
+
+BacktestReport backtest(std::span<const trace::DemandTrace> demands,
+                        const qos::Requirement& requirement,
+                        const qos::CosCommitment& cos2,
+                        std::span<const sim::ServerSpec> pool,
+                        const BacktestConfig& config) {
+  ROPUS_REQUIRE(!demands.empty(), "backtest needs workloads");
+  ROPUS_REQUIRE(!pool.empty(), "backtest needs a pool");
+  const trace::Calendar& cal = demands.front().calendar();
+  ROPUS_REQUIRE(config.training_weeks >= 1 &&
+                    config.training_weeks < cal.weeks(),
+                "training weeks must leave at least one holdout week");
+  requirement.validate();
+  cos2.validate();
+
+  const std::size_t holdout_weeks = cal.weeks() - config.training_weeks;
+
+  // Train: translate and place on the head of the history.
+  std::vector<qos::Translation> translations;
+  std::vector<qos::AllocationTrace> training_allocs;
+  translations.reserve(demands.size());
+  training_allocs.reserve(demands.size());
+  for (const trace::DemandTrace& d : demands) {
+    ROPUS_REQUIRE(d.calendar() == cal, "traces must share a calendar");
+    const trace::DemandTrace train =
+        trace::head_weeks(d, config.training_weeks);
+    translations.push_back(qos::translate(train, requirement, cos2));
+    training_allocs.emplace_back(train, translations.back());
+  }
+  const placement::PlacementProblem problem(
+      training_allocs, std::vector<sim::ServerSpec>(pool.begin(), pool.end()),
+      cos2);
+  const placement::ConsolidationReport placed =
+      placement::consolidate(problem, config.consolidation);
+
+  BacktestReport report;
+  report.placement_feasible = placed.feasible;
+  report.servers_used = placed.servers_used;
+  if (!placed.feasible) return report;
+
+  // Validate: replay the holdout with the *training* translations against
+  // the chosen placement at full server capacity.
+  std::vector<qos::AllocationTrace> holdout_allocs;
+  holdout_allocs.reserve(demands.size());
+  for (std::size_t a = 0; a < demands.size(); ++a) {
+    holdout_allocs.emplace_back(
+        trace::tail_weeks(demands[a], holdout_weeks), translations[a]);
+  }
+  const trace::Calendar holdout_cal = holdout_allocs.front().calendar();
+
+  const auto by_server =
+      placement::workloads_by_server(placed.assignment, pool.size());
+  for (std::size_t s = 0; s < pool.size(); ++s) {
+    if (by_server[s].empty()) continue;
+    std::vector<const qos::AllocationTrace*> hosted;
+    for (std::size_t w : by_server[s]) hosted.push_back(&holdout_allocs[w]);
+    const sim::Aggregate agg = sim::aggregate_workloads(hosted, holdout_cal);
+    const sim::Evaluation ev = sim::evaluate(agg, pool[s].capacity(), cos2);
+
+    BacktestServerOutcome outcome;
+    outcome.server = s;
+    outcome.committed_theta = cos2.theta;
+    outcome.observed_theta = ev.theta;
+    outcome.cos1_satisfied = ev.cos1_satisfied;
+    outcome.deadline_met = ev.deadline_met;
+    outcome.commitment_held = ev.satisfies(cos2);
+    report.worst_observed_theta =
+        std::min(report.worst_observed_theta, ev.theta);
+    if (!outcome.commitment_held) report.violations += 1;
+    report.servers.push_back(outcome);
+  }
+  return report;
+}
+
+}  // namespace ropus

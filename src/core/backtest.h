@@ -1,0 +1,57 @@
+// Placement backtesting.
+//
+// The whole trace-based method rests on "the analysis of application
+// behaviour as described in the traces is representative of future
+// behaviour" (Section II). A backtest makes that falsifiable: translate and
+// place using only the first `training_weeks` of history, then replay the
+// held-out remainder against the chosen placement and report whether the
+// resource access commitments would actually have held.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "placement/consolidator.h"
+#include "placement/problem.h"
+#include "qos/requirements.h"
+#include "sim/server.h"
+#include "trace/demand_trace.h"
+
+namespace ropus {
+
+struct BacktestConfig {
+  std::size_t training_weeks = 3;  // history used for translation+placement
+  placement::ConsolidationConfig consolidation;
+};
+
+/// Outcome of replaying the holdout against one placed server.
+struct BacktestServerOutcome {
+  std::size_t server = 0;
+  double committed_theta = 0.0;  // what the pool promised
+  double observed_theta = 1.0;   // measured on the holdout
+  bool cos1_satisfied = true;
+  bool deadline_met = true;
+  bool commitment_held = true;
+};
+
+struct BacktestReport {
+  bool placement_feasible = false;      // on the training weeks
+  std::size_t servers_used = 0;
+  std::vector<BacktestServerOutcome> servers;
+  double worst_observed_theta = 1.0;
+  /// Servers whose holdout replay violated the commitment.
+  std::size_t violations = 0;
+  bool held() const { return placement_feasible && violations == 0; }
+};
+
+/// Trains on the head of `demands`, validates on the tail. Requires traces
+/// longer than `training_weeks`. The holdout replay keeps the *training*
+/// translations (that is what would have been deployed) and each server's
+/// full capacity.
+BacktestReport backtest(std::span<const trace::DemandTrace> demands,
+                        const qos::Requirement& requirement,
+                        const qos::CosCommitment& cos2,
+                        std::span<const sim::ServerSpec> pool,
+                        const BacktestConfig& config);
+
+}  // namespace ropus

@@ -1,0 +1,85 @@
+#include "core/capacity_planner.h"
+
+#include <cmath>
+
+#include "placement/problem.h"
+#include "qos/allocation.h"
+#include "trace/forecast.h"
+
+namespace ropus {
+
+void GrowthScenario::validate() const {
+  ROPUS_REQUIRE(weekly_growth > -1.0, "growth below -100%/week is nonsense");
+  ROPUS_REQUIRE(horizon_weeks >= 1, "horizon must be >= 1 week");
+  ROPUS_REQUIRE(step_weeks >= 1, "step must be >= 1 week");
+}
+
+CapacityPlanner::CapacityPlanner(std::span<const trace::DemandTrace> demands,
+                                 qos::Requirement requirement,
+                                 qos::PoolCommitments commitments,
+                                 std::vector<sim::ServerSpec> pool)
+    : demands_(demands),
+      requirement_(requirement),
+      commitments_(commitments),
+      pool_(std::move(pool)) {
+  ROPUS_REQUIRE(!demands_.empty(), "planner needs at least one workload");
+  ROPUS_REQUIRE(!pool_.empty(), "planner needs a server pool");
+  requirement_.validate();
+  commitments_.validate();
+  for (const sim::ServerSpec& s : pool_) s.validate();
+  for (const trace::DemandTrace& d : demands_) {
+    ROPUS_REQUIRE(d.calendar() == demands_.front().calendar(),
+                  "all demand traces must share one calendar");
+  }
+}
+
+CapacityPlanningReport CapacityPlanner::project(
+    const GrowthScenario& scenario,
+    const placement::ConsolidationConfig& config) const {
+  scenario.validate();
+
+  // Per-application weekly growth ratios.
+  std::vector<double> ratios(demands_.size());
+  for (std::size_t a = 0; a < demands_.size(); ++a) {
+    ratios[a] = scenario.use_fitted_trend
+                    ? trace::weekly_trend_ratio(demands_[a])
+                    : 1.0 + scenario.weekly_growth;
+  }
+
+  CapacityPlanningReport report;
+  for (std::size_t week = 0; week <= scenario.horizon_weeks;
+       week += scenario.step_weeks) {
+    std::vector<qos::AllocationTrace> allocations;
+    allocations.reserve(demands_.size());
+    double scale_sum = 0.0;
+    for (std::size_t a = 0; a < demands_.size(); ++a) {
+      const double scale =
+          std::pow(ratios[a], static_cast<double>(week));
+      scale_sum += scale;
+      const trace::DemandTrace scaled = demands_[a].scaled(scale);
+      allocations.emplace_back(
+          scaled, qos::translate(scaled, requirement_, commitments_.cos2));
+    }
+    const placement::PlacementProblem problem(allocations, pool_,
+                                              commitments_.cos2);
+    const placement::ConsolidationReport cr =
+        placement::consolidate(problem, config);
+
+    CapacityForecastPoint point;
+    point.week = week;
+    point.mean_demand_scale =
+        scale_sum / static_cast<double>(demands_.size());
+    point.feasible = cr.feasible;
+    point.servers_used = cr.servers_used;
+    point.total_required_capacity = cr.total_required_capacity;
+    report.points.push_back(point);
+
+    if (!cr.feasible) {
+      report.exhaustion_week = week;
+      break;  // every later step needs at least as much capacity
+    }
+  }
+  return report;
+}
+
+}  // namespace ropus

@@ -1,0 +1,76 @@
+// Long-term capacity planning (the leftmost box of Figure 1): "decide when
+// additional capacity is needed for a pool so that a procurement process
+// can be initiated". The planner scales the fleet's demand forward under a
+// growth assumption — either an explicit rate or the trend fitted from the
+// traces themselves — re-runs the consolidation exercise at each step, and
+// reports the first horizon step the current pool can no longer carry.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "placement/consolidator.h"
+#include "qos/requirements.h"
+#include "sim/server.h"
+#include "trace/demand_trace.h"
+
+namespace ropus {
+
+struct GrowthScenario {
+  /// Multiplicative demand growth per week (0.01 = 1%/week). Ignored when
+  /// `use_fitted_trend` is set.
+  double weekly_growth = 0.01;
+  /// Fit each application's growth from its own trace (trace::weekly_trend_
+  /// ratio) instead of a uniform rate.
+  bool use_fitted_trend = false;
+  /// How far to look ahead and how often to re-place.
+  std::size_t horizon_weeks = 26;
+  std::size_t step_weeks = 4;
+
+  void validate() const;
+};
+
+struct CapacityForecastPoint {
+  std::size_t week = 0;          // weeks from now
+  double mean_demand_scale = 1.0;  // average multiplier applied to demand
+  bool feasible = false;
+  std::size_t servers_used = 0;
+  double total_required_capacity = 0.0;
+};
+
+struct CapacityPlanningReport {
+  std::vector<CapacityForecastPoint> points;
+  /// First week at which consolidation became infeasible on the current
+  /// pool; nullopt when the pool lasts through the horizon.
+  std::optional<std::size_t> exhaustion_week;
+
+  /// Convenience: servers needed at the end of the horizon (last feasible
+  /// point), useful for sizing the procurement.
+  std::size_t servers_at_horizon() const {
+    return points.empty() ? 0 : points.back().servers_used;
+  }
+};
+
+class CapacityPlanner {
+ public:
+  /// All traces must share a calendar; spec validation as elsewhere.
+  CapacityPlanner(std::span<const trace::DemandTrace> demands,
+                  qos::Requirement requirement,
+                  qos::PoolCommitments commitments,
+                  std::vector<sim::ServerSpec> pool);
+
+  /// Projects demand per `scenario` and re-consolidates at each step.
+  /// Stops early at the first infeasible step (that is the answer the
+  /// operator needs; later points would all be infeasible too).
+  CapacityPlanningReport project(
+      const GrowthScenario& scenario,
+      const placement::ConsolidationConfig& config) const;
+
+ private:
+  std::span<const trace::DemandTrace> demands_;
+  qos::Requirement requirement_;
+  qos::PoolCommitments commitments_;
+  std::vector<sim::ServerSpec> pool_;
+};
+
+}  // namespace ropus

@@ -1,0 +1,117 @@
+#include "core/pool.h"
+
+#include "common/table.h"
+
+namespace ropus {
+
+Pool::Pool(qos::PoolCommitments commitments,
+           std::vector<sim::ServerSpec> servers)
+    : commitments_(commitments), servers_(std::move(servers)) {
+  commitments_.validate();
+  ROPUS_REQUIRE(!servers_.empty(), "pool needs at least one server");
+  for (const sim::ServerSpec& s : servers_) s.validate();
+}
+
+void Pool::add_application(trace::DemandTrace demand,
+                           qos::ApplicationQos qos) {
+  qos.validate();
+  if (!demands_.empty()) {
+    ROPUS_REQUIRE(demand.calendar() == demands_.front().calendar(),
+                  "all applications must share one measurement calendar");
+  }
+  demands_.push_back(std::move(demand));
+  qos_.push_back(std::move(qos));
+}
+
+bool CapacityPlan::healthy() const {
+  if (!consolidation.feasible) return false;
+  return !failover.has_value() || !failover->spare_needed;
+}
+
+void CapacityPlan::render(std::ostream& os) const {
+  os << "R-Opus capacity plan\n";
+  os << "  applications:            " << applications.size() << "\n";
+  os << "  servers used (normal):   " << servers_used << "\n";
+  os << "  sum of peak allocations: " << TextTable::num(total_peak_allocation)
+     << " CPUs\n";
+  os << "  sum required capacity:   "
+     << TextTable::num(total_required_capacity) << " CPUs\n";
+  if (total_peak_allocation > 0.0) {
+    os << "  sharing savings:         "
+       << TextTable::num(100.0 * (1.0 - total_required_capacity /
+                                            total_peak_allocation),
+                         1)
+       << "% vs sum of peaks\n";
+  }
+  if (failover.has_value()) {
+    os << "  single-failure coverage: "
+       << (failover->spare_needed ? "SPARE SERVER NEEDED" : "covered")
+       << "\n";
+    for (const failover::FailureOutcome& o : failover->outcomes) {
+      os << "    server " << o.failed_server << " down -> "
+         << (o.supported ? "supported" : "NOT supported") << " on "
+         << o.surviving_servers.size() << " survivors\n";
+    }
+  }
+  TextTable table({"application", "server", "p", "D_new_max", "peak alloc",
+                   "CoS1 peak", "degraded %"});
+  for (const ApplicationPlan& app : applications) {
+    table.add_row({app.name, std::to_string(app.assigned_server),
+                   TextTable::num(app.translation.breakpoint_p, 3),
+                   TextTable::num(app.translation.d_new_max),
+                   TextTable::num(app.peak_allocation),
+                   TextTable::num(app.peak_cos1_allocation),
+                   TextTable::num(100.0 * app.degraded_fraction, 2)});
+  }
+  table.render(os);
+}
+
+CapacityPlan Pool::plan(const PlanOptions& options) const {
+  ROPUS_REQUIRE(!demands_.empty(), "no applications registered");
+
+  CapacityPlan plan;
+
+  // Translate every application under its normal-mode requirement.
+  std::vector<qos::AllocationTrace> allocations;
+  allocations.reserve(demands_.size());
+  for (std::size_t a = 0; a < demands_.size(); ++a) {
+    const qos::Translation tr =
+        qos::translate(demands_[a], qos_[a].normal, commitments_.cos2);
+    allocations.emplace_back(demands_[a], tr);
+
+    ApplicationPlan ap;
+    ap.name = demands_[a].name();
+    ap.translation = tr;
+    ap.peak_allocation = allocations.back().peak_allocation();
+    ap.peak_cos1_allocation = allocations.back().peak_cos1();
+    ap.degraded_fraction = qos::degraded_fraction(demands_[a], tr);
+    plan.applications.push_back(std::move(ap));
+  }
+
+  if (options.plan_failures) {
+    // The failure planner runs normal-mode consolidation itself; reuse its
+    // result rather than consolidating twice.
+    failover::FailurePlanner planner(demands_, qos_, commitments_, servers_);
+    failover::PlannerConfig cfg = options.failover;
+    cfg.normal = options.consolidation;
+    failover::FailoverReport report = planner.plan(cfg);
+    plan.consolidation = report.normal;
+    plan.failover = std::move(report);
+  } else {
+    const placement::PlacementProblem problem(allocations, servers_,
+                                              commitments_.cos2);
+    plan.consolidation =
+        placement::consolidate(problem, options.consolidation);
+  }
+  plan.servers_used = plan.consolidation.servers_used;
+  plan.total_required_capacity = plan.consolidation.total_required_capacity;
+  plan.total_peak_allocation = plan.consolidation.total_peak_allocation;
+  if (plan.consolidation.feasible) {
+    for (std::size_t a = 0; a < plan.applications.size(); ++a) {
+      plan.applications[a].assigned_server = plan.consolidation.assignment[a];
+    }
+  }
+  return plan;
+}
+
+}  // namespace ropus

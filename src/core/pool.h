@@ -1,0 +1,83 @@
+// ropus::Pool — the R-Opus capacity self-management facade (Figure 2).
+//
+// A pool operator constructs the Pool with resource access commitments and a
+// server inventory; application owners register workloads with their
+// independently-specified QoS requirements; plan() runs the whole pipeline:
+// QoS translation, workload placement, and the single-failure sweep.
+//
+//   ropus::Pool pool(commitments, sim::homogeneous_pool(26, 16));
+//   pool.add_application(demand_trace, app_qos);
+//   const ropus::CapacityPlan plan = pool.plan();
+//   plan.render(std::cout);
+#pragma once
+
+#include <optional>
+#include <ostream>
+
+#include "failover/planner.h"
+#include "placement/consolidator.h"
+#include "qos/allocation.h"
+#include "qos/requirements.h"
+#include "sim/server.h"
+#include "trace/demand_trace.h"
+
+namespace ropus {
+
+/// Per-application slice of a capacity plan.
+struct ApplicationPlan {
+  std::string name;
+  qos::Translation translation;    // normal-mode translation
+  double peak_allocation = 0.0;    // D_new_max / U_low
+  double peak_cos1_allocation = 0.0;
+  double degraded_fraction = 0.0;  // share of observations degraded
+  std::size_t assigned_server = 0; // index into the pool
+};
+
+/// The complete output of one planning run.
+struct CapacityPlan {
+  std::vector<ApplicationPlan> applications;
+  placement::ConsolidationReport consolidation;
+  std::optional<failover::FailoverReport> failover;
+  double total_peak_allocation = 0.0;   // C_peak
+  double total_required_capacity = 0.0; // C_requ
+  std::size_t servers_used = 0;
+
+  /// True when normal mode is feasible and (if failure planning ran) no
+  /// single failure requires a spare server.
+  bool healthy() const;
+
+  /// Human-readable summary.
+  void render(std::ostream& os) const;
+};
+
+struct PlanOptions {
+  placement::ConsolidationConfig consolidation;
+  bool plan_failures = true;
+  failover::PlannerConfig failover;
+};
+
+class Pool {
+ public:
+  /// Throws InvalidArgument on invalid commitments or an empty pool.
+  Pool(qos::PoolCommitments commitments, std::vector<sim::ServerSpec> servers);
+
+  /// Registers one application. The demand trace's calendar must match
+  /// previously registered applications'.
+  void add_application(trace::DemandTrace demand, qos::ApplicationQos qos);
+
+  std::size_t application_count() const { return demands_.size(); }
+  const qos::PoolCommitments& commitments() const { return commitments_; }
+  const std::vector<sim::ServerSpec>& servers() const { return servers_; }
+
+  /// Runs translation, consolidation, and (optionally) the failure sweep.
+  /// Requires at least one registered application.
+  CapacityPlan plan(const PlanOptions& options = {}) const;
+
+ private:
+  qos::PoolCommitments commitments_;
+  std::vector<sim::ServerSpec> servers_;
+  std::vector<trace::DemandTrace> demands_;
+  std::vector<qos::ApplicationQos> qos_;
+};
+
+}  // namespace ropus

@@ -1,0 +1,133 @@
+#include "core/repair_loop.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "placement/problem.h"
+#include "qos/allocation.h"
+#include "sim/simulator.h"
+
+namespace ropus {
+
+namespace {
+
+/// Translations + placement from the trailing window ending before
+/// `operate_week`.
+struct Deployment {
+  std::vector<qos::Translation> translations;
+  placement::Assignment assignment;
+  bool feasible = false;
+  std::size_t servers_used = 0;
+};
+
+Deployment plan_from_window(std::span<const trace::DemandTrace> demands,
+                            const qos::Requirement& req,
+                            const qos::CosCommitment& cos2,
+                            std::span<const sim::ServerSpec> pool,
+                            std::size_t window_first,
+                            std::size_t window_weeks,
+                            const placement::ConsolidationConfig& config) {
+  Deployment d;
+  std::vector<qos::AllocationTrace> allocs;
+  allocs.reserve(demands.size());
+  for (const trace::DemandTrace& t : demands) {
+    const trace::DemandTrace window =
+        trace::weeks_slice(t, window_first, window_weeks);
+    d.translations.push_back(qos::translate(window, req, cos2));
+    allocs.emplace_back(window, d.translations.back());
+  }
+  const placement::PlacementProblem problem(
+      allocs, std::vector<sim::ServerSpec>(pool.begin(), pool.end()), cos2);
+  const placement::ConsolidationReport report =
+      placement::consolidate(problem, config);
+  d.feasible = report.feasible;
+  d.assignment = report.assignment;
+  d.servers_used = report.servers_used;
+  return d;
+}
+
+}  // namespace
+
+RepairLoopReport run_repair_loop(std::span<const trace::DemandTrace> demands,
+                                 const qos::Requirement& requirement,
+                                 const qos::CosCommitment& cos2,
+                                 std::span<const sim::ServerSpec> pool,
+                                 const RepairLoopConfig& config) {
+  ROPUS_REQUIRE(!demands.empty(), "repair loop needs workloads");
+  ROPUS_REQUIRE(!pool.empty(), "repair loop needs a pool");
+  ROPUS_REQUIRE(config.window_weeks >= 1, "window must be >= 1 week");
+  const trace::Calendar& cal = demands.front().calendar();
+  ROPUS_REQUIRE(cal.weeks() > config.window_weeks,
+                "need at least one operating week after the window");
+  requirement.validate();
+  cos2.validate();
+
+  RepairLoopReport report;
+
+  Deployment current =
+      plan_from_window(demands, requirement, cos2, pool, 0,
+                       config.window_weeks, config.consolidation);
+  report.initial_placement_feasible = current.feasible;
+  if (!current.feasible) return report;
+
+  bool replanned_for_next = false;
+  std::size_t migrations_for_next = 0;
+  for (std::size_t week = config.window_weeks; week < cal.weeks(); ++week) {
+    RepairStep step;
+    step.week = week;
+    step.replanned = replanned_for_next;
+    step.migrations = migrations_for_next;
+    step.servers_used = current.servers_used;
+    replanned_for_next = false;
+    migrations_for_next = 0;
+
+    // Replay the operating week under the deployed configuration.
+    std::vector<qos::AllocationTrace> week_allocs;
+    week_allocs.reserve(demands.size());
+    for (std::size_t a = 0; a < demands.size(); ++a) {
+      week_allocs.emplace_back(trace::weeks_slice(demands[a], week, 1),
+                               current.translations[a]);
+    }
+    const trace::Calendar week_cal = week_allocs.front().calendar();
+    const auto by_server =
+        placement::workloads_by_server(current.assignment, pool.size());
+    for (std::size_t s = 0; s < pool.size(); ++s) {
+      if (by_server[s].empty()) continue;
+      std::vector<const qos::AllocationTrace*> hosted;
+      for (std::size_t w : by_server[s]) hosted.push_back(&week_allocs[w]);
+      const sim::Aggregate agg = sim::aggregate_workloads(hosted, week_cal);
+      const sim::Evaluation ev =
+          sim::evaluate(agg, pool[s].capacity(), cos2);
+      step.worst_observed_theta =
+          std::min(step.worst_observed_theta, ev.theta);
+      if (!ev.satisfies(cos2)) step.violating_servers += 1;
+    }
+    if (step.violating_servers > 0) report.weeks_with_violations += 1;
+
+    // Re-plan from the trailing window when this week violated (and there
+    // is a following week to deploy into).
+    if (step.violating_servers > 0 && week + 1 < cal.weeks()) {
+      const std::size_t first = week + 1 - config.window_weeks;
+      placement::ConsolidationConfig search = config.consolidation;
+      search.genetic.migration_penalty = config.migration_penalty;
+      search.genetic.migration_reference = current.assignment;
+      Deployment next = plan_from_window(demands, requirement, cos2, pool,
+                                         first, config.window_weeks, search);
+      if (next.feasible) {
+        std::size_t moves = 0;
+        for (std::size_t a = 0; a < demands.size(); ++a) {
+          if (next.assignment[a] != current.assignment[a]) ++moves;
+        }
+        current = std::move(next);
+        replanned_for_next = true;
+        migrations_for_next = moves;
+        report.total_migrations += moves;
+        report.replans += 1;
+      }
+    }
+    report.steps.push_back(step);
+  }
+  return report;
+}
+
+}  // namespace ropus

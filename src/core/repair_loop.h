@@ -1,0 +1,56 @@
+// The medium-term control loop of Figure 1, operationalized: "Assignments
+// may be adjusted periodically as service levels are evaluated or as
+// circumstances change."
+//
+// Week by week, the loop replays the deployed placement against what
+// actually happened. When a server misses its resource access commitment,
+// the loop re-plans from a trailing history window — with a churn penalty,
+// because every move needs a live migration — and deploys the new
+// configuration for the following week.
+#pragma once
+
+#include <vector>
+
+#include "placement/consolidator.h"
+#include "qos/requirements.h"
+#include "sim/server.h"
+#include "trace/demand_trace.h"
+
+namespace ropus {
+
+struct RepairLoopConfig {
+  /// Trailing weeks of history used for each (re-)placement.
+  std::size_t window_weeks = 2;
+  /// Churn penalty handed to the genetic search on re-placements.
+  double migration_penalty = 0.05;
+  placement::ConsolidationConfig consolidation;
+};
+
+/// One operating week of the loop.
+struct RepairStep {
+  std::size_t week = 0;           // index of the week replayed
+  bool replanned = false;         // a new placement was deployed entering it
+  std::size_t migrations = 0;     // workloads moved by that re-placement
+  std::size_t servers_used = 0;
+  double worst_observed_theta = 1.0;
+  std::size_t violating_servers = 0;
+};
+
+struct RepairLoopReport {
+  std::vector<RepairStep> steps;
+  std::size_t total_migrations = 0;
+  std::size_t weeks_with_violations = 0;
+  std::size_t replans = 0;
+  bool initial_placement_feasible = false;
+};
+
+/// Runs the loop over `demands` (>= window_weeks + 1 weeks): place on the
+/// first `window_weeks`, then operate every following week, re-planning
+/// after any week whose replay violated the CoS2 commitment on some server.
+RepairLoopReport run_repair_loop(std::span<const trace::DemandTrace> demands,
+                                 const qos::Requirement& requirement,
+                                 const qos::CosCommitment& cos2,
+                                 std::span<const sim::ServerSpec> pool,
+                                 const RepairLoopConfig& config);
+
+}  // namespace ropus

@@ -1,0 +1,68 @@
+#include "failover/economics.h"
+
+#include "common/error.h"
+
+namespace ropus::failover {
+
+void EconomicsInput::validate() const {
+  ROPUS_REQUIRE(server_mtbf_hours > 0.0, "MTBF must be > 0");
+  ROPUS_REQUIRE(server_mttr_hours > 0.0, "MTTR must be > 0");
+  ROPUS_REQUIRE(server_mttr_hours < server_mtbf_hours,
+                "MTTR must be well below MTBF for the one-at-a-time model");
+  ROPUS_REQUIRE(spare_cost_per_year >= 0.0, "spare cost must be >= 0");
+  ROPUS_REQUIRE(violation_penalty_per_hour >= 0.0,
+                "violation penalty must be >= 0");
+  ROPUS_REQUIRE(degraded_penalty_per_app_hour >= 0.0,
+                "degraded penalty must be >= 0");
+}
+
+SpareVerdict evaluate_spare(const FailoverReport& report,
+                            const EconomicsInput& input) {
+  input.validate();
+  SpareVerdict verdict;
+  const std::size_t active = report.active_servers.size();
+  if (active == 0) return verdict;
+
+  constexpr double kHoursPerYear = 8760.0;
+  verdict.failures_per_year =
+      static_cast<double>(active) * kHoursPerYear / input.server_mtbf_hours;
+
+  // Each active server is equally likely to fail; the sweep tells us which
+  // failures the survivors absorb and how many applications degrade.
+  std::size_t unsupported = 0;
+  double affected_apps_supported = 0.0;
+  for (const FailureOutcome& o : report.outcomes) {
+    if (!o.supported) {
+      ++unsupported;
+    } else {
+      affected_apps_supported += static_cast<double>(o.affected_apps.size());
+    }
+  }
+  const double n = static_cast<double>(report.outcomes.size());
+  verdict.unsupported_share =
+      n > 0.0 ? static_cast<double>(unsupported) / n : 0.0;
+
+  // Without a spare: unsupported failures violate QoS for their whole
+  // repair window; supported ones run the affected applications degraded.
+  verdict.expected_violation_hours = verdict.failures_per_year *
+                                     verdict.unsupported_share *
+                                     input.server_mttr_hours;
+  const double mean_affected_supported =
+      n > 0.0 ? affected_apps_supported / n : 0.0;
+  verdict.expected_degraded_app_hours = verdict.failures_per_year *
+                                        (1.0 - verdict.unsupported_share) *
+                                        mean_affected_supported *
+                                        input.server_mttr_hours;
+  verdict.annual_penalty_without_spare =
+      verdict.expected_violation_hours * input.violation_penalty_per_hour +
+      verdict.expected_degraded_app_hours *
+          input.degraded_penalty_per_app_hour;
+
+  // With a spare every single failure is absorbed at normal QoS.
+  verdict.annual_cost_with_spare = input.spare_cost_per_year;
+  verdict.spare_recommended =
+      verdict.annual_penalty_without_spare > verdict.annual_cost_with_spare;
+  return verdict;
+}
+
+}  // namespace ropus::failover

@@ -1,0 +1,44 @@
+// Spare-server economics (Section VI-C): "More detailed information about
+// which applications can be supported ... can be combined with expectations
+// regarding time to repair for servers, the frequency of failures, and
+// penalties to decide on whether it is cost effective to have a spare
+// server or not." This module is that calculation.
+#pragma once
+
+#include "failover/planner.h"
+
+namespace ropus::failover {
+
+/// Reliability and cost assumptions supplied by the operator.
+struct EconomicsInput {
+  double server_mtbf_hours = 8760.0;   // mean time between failures, per server
+  double server_mttr_hours = 24.0;     // mean time to repair
+  double spare_cost_per_year = 20000.0;  // amortized cost of one idle spare
+  /// Penalty accrued per hour in which some application runs outside its
+  /// failure-mode QoS (i.e. during an unsupported failure).
+  double violation_penalty_per_hour = 500.0;
+  /// Penalty per application-hour of degraded (but supported) operation
+  /// while a repair is pending; usually much smaller.
+  double degraded_penalty_per_app_hour = 5.0;
+
+  void validate() const;
+};
+
+struct SpareVerdict {
+  double failures_per_year = 0.0;        // across the active servers
+  double unsupported_share = 0.0;        // failures the survivors can't absorb
+  double expected_violation_hours = 0.0; // per year, without a spare
+  double expected_degraded_app_hours = 0.0;  // per year, supported failures
+  double annual_penalty_without_spare = 0.0;
+  double annual_cost_with_spare = 0.0;   // spare cost (failures then absorbed)
+  bool spare_recommended = false;
+};
+
+/// Combines a single-failure sweep with the operator's reliability and
+/// cost assumptions. Failures are assumed independent with exponential
+/// inter-arrival (rate = active_servers / MTBF), one at a time (MTTR <<
+/// MTBF), and a spare absorbs any single failure.
+SpareVerdict evaluate_spare(const FailoverReport& report,
+                            const EconomicsInput& input);
+
+}  // namespace ropus::failover

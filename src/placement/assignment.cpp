@@ -1,0 +1,46 @@
+#include "placement/assignment.h"
+
+#include "common/error.h"
+
+namespace ropus::placement {
+
+void validate_assignment(const Assignment& a, std::size_t workload_count,
+                         std::size_t server_count) {
+  ROPUS_REQUIRE(a.size() == workload_count,
+                "assignment must cover every workload");
+  for (std::size_t s : a) {
+    ROPUS_REQUIRE(s < server_count, "assignment references unknown server");
+  }
+}
+
+std::vector<std::vector<std::size_t>> workloads_by_server(
+    const Assignment& a, std::size_t server_count) {
+  std::vector<std::vector<std::size_t>> by_server(server_count);
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    ROPUS_REQUIRE(a[w] < server_count, "assignment references unknown server");
+    by_server[a[w]].push_back(w);
+  }
+  return by_server;
+}
+
+std::size_t servers_used(const Assignment& a, std::size_t server_count) {
+  std::vector<bool> used(server_count, false);
+  for (std::size_t s : a) {
+    ROPUS_REQUIRE(s < server_count, "assignment references unknown server");
+    used[s] = true;
+  }
+  std::size_t count = 0;
+  for (bool u : used) count += u ? 1 : 0;
+  return count;
+}
+
+Assignment one_per_server(std::size_t workload_count,
+                          std::size_t server_count) {
+  ROPUS_REQUIRE(server_count >= workload_count,
+                "need at least one server per workload");
+  Assignment a(workload_count);
+  for (std::size_t w = 0; w < workload_count; ++w) a[w] = w;
+  return a;
+}
+
+}  // namespace ropus::placement

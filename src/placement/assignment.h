@@ -1,0 +1,29 @@
+// Workload-to-server assignments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ropus::placement {
+
+/// assignment[w] is the index of the server hosting workload w.
+using Assignment = std::vector<std::size_t>;
+
+/// Throws InvalidArgument unless every workload maps to a server index
+/// below `server_count` and the assignment covers `workload_count` entries.
+void validate_assignment(const Assignment& a, std::size_t workload_count,
+                         std::size_t server_count);
+
+/// Inverts an assignment: per-server lists of workload indices (size
+/// `server_count`).
+std::vector<std::vector<std::size_t>> workloads_by_server(
+    const Assignment& a, std::size_t server_count);
+
+/// Number of servers hosting at least one workload.
+std::size_t servers_used(const Assignment& a, std::size_t server_count);
+
+/// One workload per server (requires server_count >= workload_count).
+Assignment one_per_server(std::size_t workload_count,
+                          std::size_t server_count);
+
+}  // namespace ropus::placement

@@ -1,0 +1,187 @@
+#include "placement/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "trace/correlation.h"
+
+namespace ropus::placement {
+
+namespace {
+
+/// Greedy core: place workloads in `order`, choosing a server for each via
+/// `pick`, which receives the candidate servers that fit and returns the
+/// chosen index into that list (or nullopt to fail).
+template <typename Picker>
+std::optional<Assignment> greedy_place(const PlacementProblem& problem,
+                                       std::span<const std::size_t> order,
+                                       Picker pick) {
+  const std::size_t servers = problem.server_count();
+  std::vector<std::vector<std::size_t>> hosted(servers);
+  Assignment result(problem.workload_count());
+
+  for (std::size_t w : order) {
+    struct Candidate {
+      std::size_t server;
+      double required;
+      double capacity;
+    };
+    std::vector<Candidate> fits;
+    for (std::size_t s = 0; s < servers; ++s) {
+      std::vector<std::size_t> trial = hosted[s];
+      trial.push_back(w);
+      const sim::RequiredCapacity rc =
+          problem.server_required_capacity(trial, problem.servers()[s]);
+      if (rc.fits) {
+        fits.push_back({s, rc.capacity, problem.servers()[s].capacity()});
+      }
+    }
+    if (fits.empty()) return std::nullopt;
+    const std::size_t choice = pick(fits, hosted);
+    hosted[fits[choice].server].push_back(w);
+    result[w] = fits[choice].server;
+  }
+  return result;
+}
+
+std::vector<std::size_t> identity_order(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return order;
+}
+
+std::vector<std::size_t> decreasing_peak_order(
+    const PlacementProblem& problem) {
+  std::vector<std::size_t> order = identity_order(problem.workload_count());
+  std::stable_sort(order.begin(), order.end(),
+                   [&problem](std::size_t a, std::size_t b) {
+                     return problem.workloads()[a].peak_allocation() >
+                            problem.workloads()[b].peak_allocation();
+                   });
+  return order;
+}
+
+}  // namespace
+
+std::optional<Assignment> first_fit(const PlacementProblem& problem) {
+  const auto order = identity_order(problem.workload_count());
+  return greedy_place(problem, order,
+                      [](const auto& fits, const auto&) -> std::size_t {
+                        std::size_t best = 0;
+                        for (std::size_t i = 1; i < fits.size(); ++i) {
+                          if (fits[i].server < fits[best].server) best = i;
+                        }
+                        return best;
+                      });
+}
+
+std::optional<Assignment> first_fit_decreasing(
+    const PlacementProblem& problem) {
+  const auto order = decreasing_peak_order(problem);
+  return greedy_place(problem, order,
+                      [](const auto& fits, const auto&) -> std::size_t {
+                        std::size_t best = 0;
+                        for (std::size_t i = 1; i < fits.size(); ++i) {
+                          if (fits[i].server < fits[best].server) best = i;
+                        }
+                        return best;
+                      });
+}
+
+std::optional<Assignment> best_fit_decreasing(
+    const PlacementProblem& problem) {
+  const auto order = decreasing_peak_order(problem);
+  return greedy_place(
+      problem, order,
+      [](const auto& fits, const auto& hosted) -> std::size_t {
+        // Prefer already-used servers with the least remaining headroom;
+        // fall back to the first empty server.
+        std::size_t best = fits.size();
+        double best_headroom = 0.0;
+        for (std::size_t i = 0; i < fits.size(); ++i) {
+          if (hosted[fits[i].server].empty()) continue;
+          const double headroom = fits[i].capacity - fits[i].required;
+          if (best == fits.size() || headroom < best_headroom) {
+            best = i;
+            best_headroom = headroom;
+          }
+        }
+        return best == fits.size() ? 0 : best;
+      });
+}
+
+std::optional<Assignment> correlation_aware_greedy(
+    const PlacementProblem& problem) {
+  const std::size_t n = problem.workload_count();
+  // Total allocation series per workload, then the pairwise correlations.
+  std::vector<trace::DemandTrace> totals;
+  totals.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    const qos::AllocationTrace& a = problem.workloads()[w];
+    std::vector<double> v(a.size());
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = a.total(i);
+    totals.emplace_back(a.name(), a.calendar(), std::move(v));
+  }
+  const auto corr = trace::correlation_matrix(totals);
+
+  const auto order = decreasing_peak_order(problem);
+  std::vector<std::vector<std::size_t>> hosted(problem.server_count());
+  Assignment result(n);
+  for (std::size_t w : order) {
+    // Among servers that fit, prefer the used one with the lowest mean
+    // correlation to its residents; empty servers are the fallback.
+    std::size_t best = problem.server_count();
+    double best_corr = 0.0;
+    std::size_t first_empty = problem.server_count();
+    for (std::size_t s = 0; s < problem.server_count(); ++s) {
+      std::vector<std::size_t> trial = hosted[s];
+      trial.push_back(w);
+      if (!problem.server_required_capacity(trial, problem.servers()[s])
+               .fits) {
+        continue;
+      }
+      if (hosted[s].empty()) {
+        if (first_empty == problem.server_count()) first_empty = s;
+        continue;
+      }
+      double mean_corr = 0.0;
+      for (std::size_t other : hosted[s]) {
+        mean_corr += corr[w][other];
+      }
+      mean_corr /= static_cast<double>(hosted[s].size());
+      if (best == problem.server_count() || mean_corr < best_corr) {
+        best = s;
+        best_corr = mean_corr;
+      }
+    }
+    if (best == problem.server_count()) best = first_empty;
+    if (best == problem.server_count()) return std::nullopt;
+    hosted[best].push_back(w);
+    result[w] = best;
+  }
+  return result;
+}
+
+std::optional<Assignment> random_search(const PlacementProblem& problem,
+                                        std::size_t restarts,
+                                        std::uint64_t seed) {
+  ROPUS_REQUIRE(restarts >= 1, "need at least one restart");
+  Rng rng(seed);
+  std::optional<Assignment> best;
+  double best_score = 0.0;
+  for (std::size_t r = 0; r < restarts; ++r) {
+    Assignment a(problem.workload_count());
+    for (std::size_t& gene : a) {
+      gene = rng.uniform_index(problem.server_count());
+    }
+    const PlacementEvaluation ev = problem.evaluate(a);
+    if (ev.feasible && (!best || ev.score > best_score)) {
+      best = a;
+      best_score = ev.score;
+    }
+  }
+  return best;
+}
+
+}  // namespace ropus::placement

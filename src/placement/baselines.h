@@ -1,0 +1,48 @@
+// Baseline placement heuristics.
+//
+// The paper (Section VIII) notes that competing trace-based consolidation
+// tools rely on greedy algorithms and that R-Opus's genetic search "compared
+// favorably to the greedy algorithms we implemented ourselves". These are
+// those comparators; bench/ablation_placers reproduces the comparison.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "placement/problem.h"
+
+namespace ropus::placement {
+
+/// First-fit: workloads in index order, each placed on the first server
+/// whose commitments still hold with it added. Returns nullopt when some
+/// workload fits nowhere.
+std::optional<Assignment> first_fit(const PlacementProblem& problem);
+
+/// First-fit-decreasing: first-fit after sorting workloads by peak
+/// allocation, largest first — the classic bin-packing heuristic.
+std::optional<Assignment> first_fit_decreasing(const PlacementProblem& problem);
+
+/// Best-fit-decreasing: each workload goes to the used server where it
+/// leaves the least spare required capacity (tightest fit); opens a new
+/// server only when none fits.
+std::optional<Assignment> best_fit_decreasing(const PlacementProblem& problem);
+
+/// Random placement restarted `restarts` times; returns the feasible
+/// assignment with the best objective score, or nullopt if every restart
+/// produced an infeasible assignment. A sanity-check lower bound.
+std::optional<Assignment> random_search(const PlacementProblem& problem,
+                                        std::size_t restarts,
+                                        std::uint64_t seed);
+
+/// Correlation-aware greedy — the related-work suggestion the paper leaves
+/// open ("heuristic search approaches that also take into account
+/// correlations in resource demands among workloads may also be worth
+/// exploring"). Like best-fit-decreasing, but among the used servers that
+/// fit it picks the one whose hosted workloads correlate *least* with the
+/// candidate (anti-correlated workloads multiplex bursts best); opens a
+/// new server only when nothing fits. Correlations are computed on the
+/// workloads' total allocation series.
+std::optional<Assignment> correlation_aware_greedy(
+    const PlacementProblem& problem);
+
+}  // namespace ropus::placement

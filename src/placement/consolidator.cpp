@@ -1,0 +1,61 @@
+#include "placement/consolidator.h"
+
+#include "common/logging.h"
+
+namespace ropus::placement {
+
+namespace {
+ConsolidationReport report_from(const PlacementModel& model,
+                                const GeneticResult& gr) {
+  ConsolidationReport report;
+  report.feasible = gr.found_feasible;
+  report.assignment = gr.best;
+  report.evaluation = gr.evaluation;
+  report.servers_used = gr.evaluation.servers_used;
+  report.total_required_capacity = gr.evaluation.total_required_capacity;
+  report.total_peak_allocation = model.total_peak_allocation();
+  report.generations = gr.generations;
+  return report;
+}
+}  // namespace
+
+ConsolidationReport consolidate(const PlacementModel& model,
+                                const Assignment& initial,
+                                const ConsolidationConfig& config) {
+  std::vector<Assignment> seeds{initial};
+  if (config.seed_with_ffd) {
+    if (auto greedy = model.greedy_seed()) {
+      seeds.push_back(std::move(*greedy));
+    }
+  }
+  const GeneticResult gr = genetic_search(model, seeds, config.genetic);
+  return report_from(model, gr);
+}
+
+ConsolidationReport consolidate(const PlacementModel& model,
+                                const ConsolidationConfig& config) {
+  Assignment initial;
+  if (config.seed_with_ffd) {
+    if (auto greedy = model.greedy_seed()) {
+      initial = std::move(*greedy);
+      ROPUS_LOG(kInfo) << "consolidation seeded from greedy packing ("
+                       << servers_used(initial, model.server_count())
+                       << " servers)";
+    }
+  }
+  if (initial.empty()) {
+    if (model.server_count() >= model.workload_count()) {
+      initial = one_per_server(model.workload_count(), model.server_count());
+    } else {
+      // Fall back to an arbitrary spread; the search will repair or report
+      // infeasibility.
+      initial.resize(model.workload_count());
+      for (std::size_t w = 0; w < initial.size(); ++w) {
+        initial[w] = w % model.server_count();
+      }
+    }
+  }
+  return consolidate(model, initial, config);
+}
+
+}  // namespace ropus::placement

@@ -1,0 +1,43 @@
+// The consolidation exercise (Section VI-B): search for an assignment that
+// satisfies the resource access commitments on as few servers as possible.
+// Works over any PlacementModel (CPU-only or multi-attribute).
+#pragma once
+
+#include "placement/genetic.h"
+#include "placement/model.h"
+
+namespace ropus::placement {
+
+struct ConsolidationConfig {
+  GeneticConfig genetic;
+  /// Seed the genetic population from the model's greedy packing when it
+  /// succeeds (a good starting configuration shortens the search);
+  /// otherwise start from one-workload-per-server.
+  bool seed_with_ffd = true;
+};
+
+struct ConsolidationReport {
+  bool feasible = false;
+  Assignment assignment;
+  PlacementEvaluation evaluation;
+  std::size_t servers_used = 0;
+  double total_required_capacity = 0.0;  // Table I's per-case C_requ
+  double total_peak_allocation = 0.0;    // Table I's per-case C_peak
+  std::size_t generations = 0;
+};
+
+/// Runs the consolidation exercise on `model`. The pool must be large
+/// enough for a feasible placement to exist (e.g. one server per workload);
+/// `report.feasible` is false otherwise.
+ConsolidationReport consolidate(const PlacementModel& model,
+                                const ConsolidationConfig& config);
+
+/// Convenience overload starting from an explicit initial configuration
+/// (used by the failure planner, which re-consolidates survivors). When
+/// `config.seed_with_ffd` holds and the model's greedy packing succeeds,
+/// that packing joins the initial population as a second seed.
+ConsolidationReport consolidate(const PlacementModel& model,
+                                const Assignment& initial,
+                                const ConsolidationConfig& config);
+
+}  // namespace ropus::placement

@@ -1,0 +1,108 @@
+#include "placement/exact.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace ropus::placement {
+
+namespace {
+
+struct SearchState {
+  const PlacementProblem& problem;
+  std::vector<std::size_t> order;  // workloads, decreasing peak allocation
+  std::vector<std::vector<std::size_t>> hosted;  // per server
+  Assignment current;
+  std::size_t used = 0;
+
+  ExactResult best;
+  std::size_t node_limit;
+  bool aborted = false;
+
+  bool homogeneous = true;
+
+  explicit SearchState(const PlacementProblem& p, std::size_t limit)
+      : problem(p),
+        hosted(p.server_count()),
+        current(p.workload_count(), 0),
+        node_limit(limit) {
+    order.resize(p.workload_count());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&p](std::size_t a, std::size_t b) {
+                       return p.workloads()[a].peak_allocation() >
+                              p.workloads()[b].peak_allocation();
+                     });
+    for (const sim::ServerSpec& s : p.servers()) {
+      if (s.cpus != p.servers().front().cpus) homogeneous = false;
+    }
+  }
+
+  void dfs(std::size_t depth) {
+    if (aborted) return;
+    if (node_limit != 0 && best.nodes_explored >= node_limit) {
+      aborted = true;
+      return;
+    }
+    best.nodes_explored += 1;
+
+    // Bound: even if every remaining workload fits into used servers, we
+    // cannot beat an incumbent that already uses fewer or equal servers.
+    if (best.assignment.has_value() && used >= best.servers_used) return;
+
+    if (depth == order.size()) {
+      best.assignment = current;
+      best.servers_used = used;
+      return;
+    }
+
+    const std::size_t w = order[depth];
+    bool opened_empty = false;
+    for (std::size_t s = 0; s < problem.server_count(); ++s) {
+      const bool empty = hosted[s].empty();
+      if (empty) {
+        // Symmetry breaking: identical empty servers are interchangeable,
+        // so only try the first one (exact for homogeneous pools; for
+        // heterogeneous pools, try the first empty server of each size).
+        if (opened_empty && homogeneous) continue;
+        if (!homogeneous) {
+          bool seen_same_size = false;
+          for (std::size_t t = 0; t < s; ++t) {
+            if (hosted[t].empty() &&
+                problem.servers()[t].cpus == problem.servers()[s].cpus) {
+              seen_same_size = true;
+              break;
+            }
+          }
+          if (seen_same_size) continue;
+        }
+      }
+      hosted[s].push_back(w);
+      const bool fits =
+          problem.server_required_capacity(hosted[s], problem.servers()[s])
+              .fits;
+      if (fits) {
+        current[w] = s;
+        used += empty ? 1 : 0;
+        dfs(depth + 1);
+        used -= empty ? 1 : 0;
+      }
+      hosted[s].pop_back();
+      if (empty) opened_empty = true;
+      if (aborted) return;
+    }
+  }
+};
+
+}  // namespace
+
+ExactResult exact_min_servers(const PlacementProblem& problem,
+                              std::size_t node_limit) {
+  SearchState state(problem, node_limit);
+  state.dfs(0);
+  state.best.exhausted = !state.aborted;
+  return state.best;
+}
+
+}  // namespace ropus::placement

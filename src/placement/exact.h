@@ -1,0 +1,39 @@
+// Exact minimum-server placement by branch and bound.
+//
+// The paper's earlier work used "an Integer Linear Programming based
+// bin-packing method ... NP-complete ... impractical as a method for larger
+// consolidation exercises" (Section VIII) — which is why R-Opus uses a
+// genetic search. This solver makes that trade-off measurable: it finds the
+// provably minimal number of servers on small instances (validating the
+// heuristics) and its node counter shows the combinatorial blow-up that
+// rules it out at fleet scale.
+//
+// Objective: minimize the number of servers used subject to every server
+// satisfying the resource access commitments (the dominant +1-per-free-
+// server term of the Section VI-B score). Packing quality among equal
+// server counts is not optimized — that is the heuristics' job.
+#pragma once
+
+#include <optional>
+
+#include "placement/problem.h"
+
+namespace ropus::placement {
+
+struct ExactResult {
+  std::optional<Assignment> assignment;  // nullopt: infeasible or node cap
+  std::size_t servers_used = 0;
+  std::size_t nodes_explored = 0;
+  bool exhausted = false;  // search completed (result is provably optimal)
+};
+
+/// Branch and bound over workload-to-server assignments, workloads in
+/// decreasing peak-allocation order, with first-empty-server symmetry
+/// breaking. Homogeneous pools prune best; heterogeneous pools are
+/// supported but break less symmetry. `node_limit` caps the search
+/// (0 = unlimited); when hit, `exhausted` is false and the best incumbent
+/// (if any) is returned without an optimality guarantee.
+ExactResult exact_min_servers(const PlacementProblem& problem,
+                              std::size_t node_limit = 0);
+
+}  // namespace ropus::placement

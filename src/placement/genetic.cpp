@@ -1,0 +1,253 @@
+#include "placement/genetic.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace ropus::placement {
+
+void GeneticConfig::validate() const {
+  ROPUS_REQUIRE(population >= 2, "population must be >= 2");
+  ROPUS_REQUIRE(max_generations >= 1, "need at least one generation");
+  ROPUS_REQUIRE(stagnation_limit >= 1, "stagnation limit must be >= 1");
+  ROPUS_REQUIRE(tournament >= 1 && tournament <= population,
+                "tournament size must be in [1, population]");
+  ROPUS_REQUIRE(elite < population, "elite must leave room for offspring");
+  ROPUS_REQUIRE(crossover_rate >= 0.0 && crossover_rate <= 1.0,
+                "crossover_rate must be in [0, 1]");
+  ROPUS_REQUIRE(gene_mutation_rate >= 0.0 && gene_mutation_rate <= 1.0,
+                "gene_mutation_rate must be in [0, 1]");
+  ROPUS_REQUIRE(vacate_rate >= 0.0 && vacate_rate <= 1.0,
+                "vacate_rate must be in [0, 1]");
+}
+
+namespace {
+
+struct Individual {
+  Assignment genes;
+  PlacementEvaluation eval;
+  double fitness = 0.0;  // eval.score minus any migration penalty
+};
+
+/// Fitness = objective score minus the churn penalty against the reference
+/// configuration (when configured).
+double fitness_of(const Assignment& genes, const PlacementEvaluation& eval,
+                  const GeneticConfig& config) {
+  double fitness = eval.score;
+  if (config.migration_penalty > 0.0 &&
+      config.migration_reference.has_value()) {
+    std::size_t moves = 0;
+    const Assignment& ref = *config.migration_reference;
+    for (std::size_t w = 0; w < genes.size(); ++w) {
+      if (genes[w] != ref[w]) ++moves;
+    }
+    fitness -= config.migration_penalty * static_cast<double>(moves);
+  }
+  return fitness;
+}
+
+/// Migrates every workload off one server, choosing the victim with
+/// probability proportional to 1 - f(U) (low-scoring servers are evicted
+/// first, per the paper), and respreads its workloads over other used
+/// servers; tends to reduce the used-server count by one.
+void vacate_mutation(const PlacementModel& problem, Assignment& genes,
+                     const PlacementEvaluation& eval, Rng& rng) {
+  std::vector<std::size_t> used;
+  std::vector<double> weights;
+  for (std::size_t s = 0; s < eval.servers.size(); ++s) {
+    if (!eval.servers[s].used) continue;
+    used.push_back(s);
+    // Overbooked servers get the maximum eviction weight.
+    const double f = eval.servers[s].fits ? eval.servers[s].score : 0.0;
+    weights.push_back(1.0 - std::clamp(f, 0.0, 1.0) + 1e-3);
+  }
+  if (used.size() < 2) return;  // nowhere to migrate to
+
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double pick = rng.uniform(0.0, total);
+  std::size_t victim = used.back();
+  for (std::size_t k = 0; k < used.size(); ++k) {
+    pick -= weights[k];
+    if (pick <= 0.0) {
+      victim = used[k];
+      break;
+    }
+  }
+
+  std::vector<std::size_t> targets;
+  for (std::size_t s : used) {
+    if (s != victim) targets.push_back(s);
+  }
+  for (std::size_t w = 0; w < genes.size(); ++w) {
+    if (genes[w] == victim) {
+      genes[w] = targets[rng.uniform_index(targets.size())];
+    }
+  }
+  (void)problem;
+}
+
+/// Repairs infeasibility: moves one random workload off each overbooked
+/// server onto a uniformly random other server. Applied instead of the
+/// vacate step when the child is infeasible, so the search can climb back
+/// from a bad configuration instead of only packing tighter.
+void relief_mutation(const PlacementModel& problem, Assignment& genes,
+                     const PlacementEvaluation& eval, Rng& rng) {
+  if (problem.server_count() < 2) return;
+  for (std::size_t s = 0; s < eval.servers.size(); ++s) {
+    const ServerEvaluation& se = eval.servers[s];
+    if (!se.used || se.fits || se.workloads.empty()) continue;
+    const std::size_t victim =
+        se.workloads[rng.uniform_index(se.workloads.size())];
+    std::size_t target = rng.uniform_index(problem.server_count() - 1);
+    if (target >= s) ++target;  // any server but the overbooked one
+    genes[victim] = target;
+  }
+}
+
+void gene_mutation(const PlacementModel& problem, Assignment& genes,
+                   double rate, Rng& rng) {
+  for (std::size_t w = 0; w < genes.size(); ++w) {
+    if (rng.bernoulli(rate)) {
+      genes[w] = rng.uniform_index(problem.server_count());
+    }
+  }
+}
+
+Assignment crossover(const Assignment& a, const Assignment& b, Rng& rng) {
+  Assignment child(a.size());
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    child[w] = rng.bernoulli(0.5) ? a[w] : b[w];
+  }
+  return child;
+}
+
+const Individual& tournament_select(const std::vector<Individual>& pop,
+                                    std::size_t rounds, Rng& rng) {
+  const Individual* best = &pop[rng.uniform_index(pop.size())];
+  for (std::size_t i = 1; i < rounds; ++i) {
+    const Individual& challenger = pop[rng.uniform_index(pop.size())];
+    if (challenger.fitness > best->fitness) best = &challenger;
+  }
+  return *best;
+}
+
+}  // namespace
+
+GeneticResult genetic_search(const PlacementModel& problem,
+                             const Assignment& initial,
+                             const GeneticConfig& config) {
+  const std::vector<Assignment> seeds{initial};
+  return genetic_search(problem, seeds, config);
+}
+
+GeneticResult genetic_search(const PlacementModel& problem,
+                             std::span<const Assignment> seeds,
+                             const GeneticConfig& config) {
+  config.validate();
+  ROPUS_REQUIRE(!seeds.empty(), "genetic search needs at least one seed");
+  for (const Assignment& seed : seeds) {
+    validate_assignment(seed, problem.workload_count(),
+                        problem.server_count());
+  }
+  if (config.migration_reference.has_value()) {
+    validate_assignment(*config.migration_reference,
+                        problem.workload_count(), problem.server_count());
+  }
+  Rng rng(config.seed);
+
+  auto make_individual = [&problem, &config](Assignment genes) {
+    Individual ind;
+    ind.genes = std::move(genes);
+    ind.eval = problem.evaluate(ind.genes);
+    ind.fitness = fitness_of(ind.genes, ind.eval, config);
+    return ind;
+  };
+
+  std::vector<Individual> population;
+  population.reserve(config.population);
+  for (const Assignment& seed : seeds) {
+    if (population.size() == config.population) break;
+    population.push_back(make_individual(seed));
+  }
+  while (population.size() < config.population) {
+    Assignment genes = seeds[population.size() % seeds.size()];
+    gene_mutation(problem, genes, 0.2, rng);
+    population.push_back(make_individual(std::move(genes)));
+  }
+
+  GeneticResult result;
+  result.best = population.front().genes;
+  result.evaluation = population.front().eval;
+  result.found_feasible = result.evaluation.feasible;
+  double best_fitness = population.front().fitness;
+
+  auto consider = [&result, &best_fitness](const Individual& ind) {
+    if (ind.eval.feasible &&
+        (!result.found_feasible || ind.fitness > best_fitness)) {
+      result.best = ind.genes;
+      result.evaluation = ind.eval;
+      best_fitness = ind.fitness;
+      result.found_feasible = true;
+    } else if (!result.found_feasible && ind.fitness > best_fitness) {
+      result.best = ind.genes;
+      result.evaluation = ind.eval;
+      best_fitness = ind.fitness;
+    }
+  };
+  for (const Individual& ind : population) consider(ind);
+
+  double best_seen = best_fitness;
+  std::size_t stagnant = 0;
+
+  for (std::size_t gen = 0; gen < config.max_generations; ++gen) {
+    result.generations = gen + 1;
+
+    // Elitism: carry the strongest individuals over unchanged.
+    std::sort(population.begin(), population.end(),
+              [](const Individual& x, const Individual& y) {
+                return x.fitness > y.fitness;
+              });
+    std::vector<Individual> next;
+    next.reserve(config.population);
+    for (std::size_t e = 0; e < config.elite; ++e) next.push_back(population[e]);
+
+    while (next.size() < config.population) {
+      Assignment genes;
+      if (rng.bernoulli(config.crossover_rate)) {
+        const Individual& pa = tournament_select(population, config.tournament, rng);
+        const Individual& pb = tournament_select(population, config.tournament, rng);
+        genes = crossover(pa.genes, pb.genes, rng);
+      } else {
+        genes = tournament_select(population, config.tournament, rng).genes;
+      }
+      // Shape-aware mutation needs the child's evaluation; server-subset
+      // memoization keeps the extra evaluation cheap.
+      const PlacementEvaluation pre = problem.evaluate(genes);
+      if (!pre.feasible) {
+        relief_mutation(problem, genes, pre, rng);
+      } else if (rng.bernoulli(config.vacate_rate)) {
+        vacate_mutation(problem, genes, pre, rng);
+      }
+      gene_mutation(problem, genes, config.gene_mutation_rate, rng);
+      Individual child = make_individual(std::move(genes));
+      consider(child);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+
+    if (best_fitness > best_seen + 1e-12) {
+      best_seen = best_fitness;
+      stagnant = 0;
+    } else if (++stagnant >= config.stagnation_limit) {
+      ROPUS_LOG(kInfo) << "genetic search stagnated after " << gen + 1
+                       << " generations (score " << best_seen << ")";
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ropus::placement

@@ -1,0 +1,62 @@
+// PlacementModel: the contract every placement problem exposes to the
+// search algorithms. The CPU-only PlacementProblem (the paper's case study)
+// and the multi-attribute MultiPlacementProblem (the Section IX extension to
+// memory and I/O attributes) both implement it, so the genetic search and
+// the consolidation driver work over either unchanged.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "placement/assignment.h"
+
+namespace ropus::placement {
+
+/// Evaluation of one server under an assignment.
+struct ServerEvaluation {
+  std::vector<std::size_t> workloads;  // indices of hosted workloads
+  bool used = false;
+  bool fits = false;           // commitments satisfiable within capacity
+  double required_capacity = 0.0;  // CPU attribute (the scored one)
+  double utilization = 0.0;    // scoring utilization in [0, 1] when fits
+  double score = 0.0;          // contribution to the objective
+};
+
+/// Evaluation of a whole assignment.
+struct PlacementEvaluation {
+  double score = 0.0;
+  bool feasible = false;       // every used server fits
+  std::size_t servers_used = 0;
+  double total_required_capacity = 0.0;  // sum over used, fitting servers
+  std::vector<ServerEvaluation> servers;
+};
+
+class PlacementModel {
+ public:
+  virtual ~PlacementModel() = default;
+
+  virtual std::size_t workload_count() const = 0;
+  virtual std::size_t server_count() const = 0;
+
+  /// Scores an assignment with the Section VI-B objective. Must validate
+  /// the assignment and be deterministic (searches call it heavily).
+  virtual PlacementEvaluation evaluate(const Assignment& a) const = 0;
+
+  /// Sum of per-workload peak allocation requests on the scored attribute
+  /// (C_peak in Table I).
+  virtual double total_peak_allocation() const = 0;
+
+  /// An optional greedy packing used to seed stochastic searches; models
+  /// without a cheap greedy return nullopt.
+  virtual std::optional<Assignment> greedy_seed() const {
+    return std::nullopt;
+  }
+
+ protected:
+  PlacementModel() = default;
+  PlacementModel(const PlacementModel&) = default;
+  PlacementModel& operator=(const PlacementModel&) = default;
+};
+
+}  // namespace ropus::placement

@@ -1,0 +1,67 @@
+// Multi-attribute placement (the Section IX extension): like
+// PlacementProblem, but a server only fits if *every* capacity attribute —
+// CPU under the two-CoS commitment, memory/disk/network as guaranteed
+// demand — stays within its capacity. The Section VI-B score keeps CPU as
+// the scored attribute, with U = max over attributes of R_a / L_a so a
+// memory-bound server is not rewarded for idle CPUs.
+#pragma once
+
+#include <unordered_map>
+
+#include "placement/model.h"
+#include "qos/workload_allocations.h"
+#include "sim/multi.h"
+
+namespace ropus::placement {
+
+class MultiPlacementProblem final : public PlacementModel {
+ public:
+  MultiPlacementProblem(std::span<const qos::WorkloadAllocations> workloads,
+                        std::vector<sim::MultiServerSpec> servers,
+                        qos::CosCommitment cos2,
+                        double capacity_tolerance = 0.05);
+
+  std::size_t workload_count() const override { return workloads_.size(); }
+  std::size_t server_count() const override { return servers_.size(); }
+  const std::vector<sim::MultiServerSpec>& servers() const {
+    return servers_;
+  }
+  std::span<const qos::WorkloadAllocations> workloads() const {
+    return workloads_;
+  }
+
+  PlacementEvaluation evaluate(const Assignment& a) const override;
+
+  /// Sum of per-workload peak CPU allocation requests.
+  double total_peak_allocation() const override;
+
+  /// First-fit-decreasing by peak CPU allocation, feasibility-checked
+  /// across all attributes.
+  std::optional<Assignment> greedy_seed() const override;
+
+  /// Memoized per-server analysis (sorted or unsorted ids accepted).
+  sim::MultiRequiredCapacity server_required_capacity(
+      std::vector<std::size_t> workload_ids,
+      const sim::MultiServerSpec& server) const;
+
+ private:
+  std::span<const qos::WorkloadAllocations> workloads_;
+  std::vector<sim::MultiServerSpec> servers_;
+  qos::CosCommitment cos2_;
+  double tolerance_;
+  trace::Calendar calendar_;
+
+  struct CacheKey {
+    std::vector<std::size_t> workload_ids;  // sorted
+    std::array<double, trace::kAttributeCount> capacities{};
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const;
+  };
+  mutable std::unordered_map<CacheKey, sim::MultiRequiredCapacity,
+                             CacheKeyHash>
+      cache_;
+};
+
+}  // namespace ropus::placement

@@ -1,0 +1,116 @@
+#include "placement/problem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "placement/baselines.h"
+
+namespace ropus::placement {
+
+PlacementProblem::PlacementProblem(
+    std::span<const qos::AllocationTrace> workloads,
+    std::vector<sim::ServerSpec> servers, qos::CosCommitment cos2,
+    double capacity_tolerance)
+    : workloads_(workloads),
+      servers_(std::move(servers)),
+      cos2_(cos2),
+      tolerance_(capacity_tolerance),
+      calendar_(workloads.empty() ? trace::Calendar(1, 5)
+                                  : workloads.front().calendar()) {
+  ROPUS_REQUIRE(!workloads_.empty(), "placement needs at least one workload");
+  ROPUS_REQUIRE(!servers_.empty(), "placement needs at least one server");
+  ROPUS_REQUIRE(tolerance_ > 0.0, "capacity tolerance must be > 0");
+  cos2_.validate();
+  for (const sim::ServerSpec& s : servers_) s.validate();
+  for (const qos::AllocationTrace& w : workloads_) {
+    ROPUS_REQUIRE(w.calendar() == calendar_,
+                  "all workloads must share one calendar");
+  }
+}
+
+std::optional<Assignment> PlacementProblem::greedy_seed() const {
+  return first_fit_decreasing(*this);
+}
+
+double PlacementProblem::total_peak_allocation() const {
+  double total = 0.0;
+  for (const qos::AllocationTrace& w : workloads_) {
+    total += w.peak_allocation();
+  }
+  return total;
+}
+
+std::size_t PlacementProblem::CacheKeyHash::operator()(
+    const CacheKey& k) const {
+  std::size_t h = 0x9e3779b97f4a7c15ULL ^ k.cpus;
+  for (std::size_t id : k.workload_ids) {
+    h ^= id + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+sim::RequiredCapacity PlacementProblem::server_required_capacity(
+    std::vector<std::size_t> workload_ids, const sim::ServerSpec& server)
+    const {
+  std::sort(workload_ids.begin(), workload_ids.end());
+  CacheKey key{std::move(workload_ids), server.cpus};
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    return it->second;
+  }
+  std::vector<const qos::AllocationTrace*> hosted;
+  hosted.reserve(key.workload_ids.size());
+  for (std::size_t id : key.workload_ids) {
+    ROPUS_REQUIRE(id < workloads_.size(), "unknown workload id");
+    hosted.push_back(&workloads_[id]);
+  }
+  const sim::Aggregate agg = sim::aggregate_workloads(hosted, calendar_);
+  sim::RequiredCapacity rc =
+      sim::required_capacity(agg, server.capacity(), cos2_, tolerance_);
+  cache_.emplace(std::move(key), rc);
+  return rc;
+}
+
+double PlacementProblem::utilization_score(double utilization,
+                                           std::size_t cpus) {
+  ROPUS_REQUIRE(utilization >= 0.0 && utilization <= 1.0,
+                "utilization must be in [0, 1]");
+  return std::pow(utilization, 2.0 * static_cast<double>(cpus));
+}
+
+PlacementEvaluation PlacementProblem::evaluate(const Assignment& a) const {
+  validate_assignment(a, workloads_.size(), servers_.size());
+  PlacementEvaluation ev;
+  ev.servers.resize(servers_.size());
+  ev.feasible = true;
+
+  const auto by_server = workloads_by_server(a, servers_.size());
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    ServerEvaluation& se = ev.servers[s];
+    se.workloads = by_server[s];
+    if (se.workloads.empty()) {
+      se.score = 1.0;  // idle server: reward for freeing it entirely
+      ev.score += se.score;
+      continue;
+    }
+    se.used = true;
+    ev.servers_used += 1;
+    const sim::RequiredCapacity rc =
+        server_required_capacity(se.workloads, servers_[s]);
+    se.fits = rc.fits;
+    if (!rc.fits) {
+      ev.feasible = false;
+      se.score = -static_cast<double>(se.workloads.size());
+      ev.score += se.score;
+      continue;
+    }
+    se.required_capacity = rc.capacity;
+    se.utilization = std::min(1.0, rc.capacity / servers_[s].capacity());
+    se.score = utilization_score(se.utilization, servers_[s].cpus);
+    ev.score += se.score;
+    ev.total_required_capacity += rc.capacity;
+  }
+  return ev;
+}
+
+}  // namespace ropus::placement

@@ -1,0 +1,82 @@
+// PlacementProblem: shared evaluation context for all placement algorithms.
+//
+// Wraps the workload set, the server pool, and the CoS2 commitment; exposes
+// the Section VI-B objective:
+//   +1                for an unused server,
+//   f(U) = U^(2 Z)    for a used server whose required capacity R fits
+//                     (U = R / L, Z = CPUs on the server),
+//   -N                for an overbooked server hosting N workloads.
+// Per-server required capacities are memoized on the (workload set, server
+// size) key, which makes genetic search affordable: most subsets repeat
+// across generations.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "placement/assignment.h"
+#include "placement/model.h"
+#include "qos/allocation.h"
+#include "sim/server.h"
+#include "sim/simulator.h"
+
+namespace ropus::placement {
+
+class PlacementProblem final : public PlacementModel {
+ public:
+  /// `workloads` and `servers` must outlive the problem. All workload
+  /// calendars must match. Throws InvalidArgument on an empty pool or
+  /// mismatched calendars.
+  PlacementProblem(std::span<const qos::AllocationTrace> workloads,
+                   std::vector<sim::ServerSpec> servers,
+                   qos::CosCommitment cos2, double capacity_tolerance = 0.05);
+
+  std::size_t workload_count() const override { return workloads_.size(); }
+  std::size_t server_count() const override { return servers_.size(); }
+  const std::vector<sim::ServerSpec>& servers() const { return servers_; }
+  const qos::CosCommitment& cos2() const { return cos2_; }
+  std::span<const qos::AllocationTrace> workloads() const {
+    return workloads_;
+  }
+
+  /// Sum of per-application peak allocation requests — Table I's C_peak.
+  double total_peak_allocation() const override;
+
+  /// Full evaluation of an assignment (validates it first).
+  PlacementEvaluation evaluate(const Assignment& a) const override;
+
+  /// First-fit-decreasing (see baselines.h) as the greedy seed.
+  std::optional<Assignment> greedy_seed() const override;
+
+  /// Required capacity of one candidate server hosting `workload_ids`
+  /// (memoized). Sorted or unsorted input accepted.
+  sim::RequiredCapacity server_required_capacity(
+      std::vector<std::size_t> workload_ids, const sim::ServerSpec& server)
+      const;
+
+  /// f(U) = U^(2 Z) — exposed for tests and the mutation heuristic.
+  static double utilization_score(double utilization, std::size_t cpus);
+
+  std::size_t cache_entries() const { return cache_.size(); }
+
+ private:
+  std::span<const qos::AllocationTrace> workloads_;
+  std::vector<sim::ServerSpec> servers_;
+  qos::CosCommitment cos2_;
+  double tolerance_;
+  trace::Calendar calendar_;
+
+  struct CacheKey {
+    std::vector<std::size_t> workload_ids;  // sorted
+    std::size_t cpus;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const;
+  };
+  // Mutable: the cache is a performance detail invisible to callers.
+  mutable std::unordered_map<CacheKey, sim::RequiredCapacity, CacheKeyHash>
+      cache_;
+};
+
+}  // namespace ropus::placement

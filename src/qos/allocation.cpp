@@ -1,0 +1,38 @@
+#include "qos/allocation.h"
+
+#include <algorithm>
+
+namespace ropus::qos {
+
+AllocationTrace::AllocationTrace(const trace::DemandTrace& demand,
+                                 const Translation& tr)
+    : name_(demand.name()),
+      calendar_(demand.calendar()),
+      translation_(tr),
+      cos1_(demand.size()),
+      cos2_(demand.size()) {
+  const double u_low = tr.requirement.u_low;
+  const double cos1_cap = tr.cos1_demand_cap();
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    const double capped = std::min(demand[i], tr.d_new_max);
+    const double d1 = std::min(capped, cos1_cap);
+    const double d2 = capped - d1;
+    cos1_[i] = d1 / u_low;
+    cos2_[i] = d2 / u_low;
+    peak_total_ = std::max(peak_total_, cos1_[i] + cos2_[i]);
+    peak_cos1_ = std::max(peak_cos1_, cos1_[i]);
+  }
+}
+
+std::vector<AllocationTrace> build_allocations(
+    std::span<const trace::DemandTrace> demands, const Requirement& req,
+    const CosCommitment& cos2) {
+  std::vector<AllocationTrace> out;
+  out.reserve(demands.size());
+  for (const trace::DemandTrace& d : demands) {
+    out.emplace_back(d, translate(d, req, cos2));
+  }
+  return out;
+}
+
+}  // namespace ropus::qos

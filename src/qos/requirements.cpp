@@ -1,0 +1,32 @@
+#include "qos/requirements.h"
+
+#include "common/error.h"
+
+namespace ropus::qos {
+
+void Requirement::validate() const {
+  ROPUS_REQUIRE(u_low > 0.0, "U_low must be > 0");
+  ROPUS_REQUIRE(u_low < u_high, "U_low must be < U_high");
+  ROPUS_REQUIRE(u_high <= u_degr, "U_high must be <= U_degr");
+  ROPUS_REQUIRE(u_degr < 1.0,
+                "U_degr must be < 1 so demands complete within their "
+                "measurement interval (Section III)");
+  ROPUS_REQUIRE(m_percent > 0.0 && m_percent <= 100.0,
+                "M must be in (0, 100]");
+  if (t_degr_minutes.has_value()) {
+    ROPUS_REQUIRE(*t_degr_minutes > 0.0, "T_degr must be positive when set");
+  }
+}
+
+void ApplicationQos::validate() const {
+  ROPUS_REQUIRE(!app_name.empty(), "application needs a name");
+  normal.validate();
+  failure.validate();
+}
+
+void CosCommitment::validate() const {
+  ROPUS_REQUIRE(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
+  ROPUS_REQUIRE(deadline_minutes >= 0.0, "deadline must be >= 0");
+}
+
+}  // namespace ropus::qos

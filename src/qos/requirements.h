@@ -1,0 +1,80 @@
+// Application QoS requirements (Section III) and resource pool class-of-
+// service commitments (Section IV).
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace ropus::qos {
+
+/// One mode's application QoS requirement.
+///
+/// Utilization of allocation U_alloc = demand / allocation-received must
+/// satisfy, over the whole trace:
+///  * acceptable: U_low <= U_alloc <= U_high for at least `m_percent` of
+///    observations (values below U_low also give ideal performance, at the
+///    cost of over-allocation — the burst factor 1/U_low targets U_low);
+///  * degraded:   U_high < U_alloc <= U_degr for the remaining observations;
+///  * time limit: U_alloc may exceed U_high for at most `t_degr_minutes`
+///    contiguous minutes (no limit when unset).
+struct Requirement {
+  double u_low = 0.5;
+  double u_high = 0.66;
+  double u_degr = 0.9;
+  double m_percent = 100.0;  // M: share of observations that must be acceptable
+  std::optional<double> t_degr_minutes;  // T_degr; nullopt = unconstrained
+
+  /// Footnote 2 of Section III: an additional cap on the number of degraded
+  /// *epochs* (maximal contiguous stretches with U_alloc > U_high) that may
+  /// begin within any one calendar day. nullopt = unconstrained.
+  std::optional<std::size_t> max_degraded_epochs_per_day;
+
+  /// M_degr = 100 - M, the share of observations allowed to degrade.
+  double m_degr_percent() const { return 100.0 - m_percent; }
+
+  /// Throws InvalidArgument unless 0 < U_low < U_high <= U_degr < 1,
+  /// 0 < M <= 100, and T_degr (when set) is positive.
+  void validate() const;
+
+  /// The paper's formula 5: MaxCapReduction <= 1 - U_high / U_degr, the
+  /// upper bound on capacity savings from permitting degradation.
+  double max_cap_reduction_bound() const { return 1.0 - u_high / u_degr; }
+
+  friend bool operator==(const Requirement&, const Requirement&) = default;
+};
+
+/// Per-application specification: requirements for normal operation and for
+/// operation while a failed node awaits repair (Section III). Failure-mode
+/// requirements are typically weaker, letting survivors absorb the load.
+struct ApplicationQos {
+  std::string app_name;
+  Requirement normal;
+  Requirement failure;
+
+  void validate() const;
+};
+
+/// A resource access commitment for one class of service (Section IV):
+/// `theta` is the probability a unit of capacity is available on request,
+/// measured as the minimum over weeks and time-of-day slots of
+/// satisfied/requested aggregate allocation; demands deferred at request time
+/// must still be served within `deadline_minutes`.
+struct CosCommitment {
+  double theta = 1.0;
+  double deadline_minutes = 60.0;
+
+  /// Throws InvalidArgument unless 0 < theta <= 1 and deadline >= 0.
+  void validate() const;
+
+  friend bool operator==(const CosCommitment&, const CosCommitment&) = default;
+};
+
+/// The pool's two classes of service. CoS1 is guaranteed by construction
+/// (sum of CoS1 peaks must fit each server), so only CoS2 carries a theta.
+struct PoolCommitments {
+  CosCommitment cos2{0.95, 60.0};
+
+  void validate() const { cos2.validate(); }
+};
+
+}  // namespace ropus::qos

@@ -1,0 +1,31 @@
+#include "qos/workload_allocations.h"
+
+#include "common/error.h"
+
+namespace ropus::qos {
+
+WorkloadAllocations::WorkloadAllocations(AllocationTrace cpu)
+    : cpu_(std::move(cpu)) {}
+
+void WorkloadAllocations::set_attribute(trace::Attribute attribute,
+                                        trace::DemandTrace demand) {
+  ROPUS_REQUIRE(attribute != trace::Attribute::kCpu,
+                "CPU goes through QoS translation, not set_attribute");
+  ROPUS_REQUIRE(demand.calendar() == cpu_.calendar(),
+                "attribute trace must share the CPU calendar");
+  attributes_[trace::attribute_index(attribute)] = std::move(demand);
+}
+
+const trace::DemandTrace* WorkloadAllocations::attribute(
+    trace::Attribute attribute) const {
+  const auto& slot = attributes_[trace::attribute_index(attribute)];
+  return slot.has_value() ? &*slot : nullptr;
+}
+
+double WorkloadAllocations::attribute_peak(trace::Attribute attribute) const {
+  const trace::DemandTrace* t = this->attribute(attribute);
+  if (t == nullptr) return 0.0;
+  return t->peak();
+}
+
+}  // namespace ropus::qos

@@ -1,0 +1,209 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/error.h"
+
+namespace ropus::sim {
+
+namespace {
+// Tolerance for "CoS1 exceeds capacity" so that a required capacity found by
+// binary search is not rejected for a few ULPs on re-evaluation.
+constexpr double kCapacityEps = 1e-9;
+}  // namespace
+
+Aggregate aggregate_workloads(
+    std::span<const qos::AllocationTrace* const> workloads,
+    const trace::Calendar& calendar) {
+  Aggregate agg;
+  agg.calendar = calendar;
+  agg.cos1.assign(calendar.size(), 0.0);
+  agg.cos2.assign(calendar.size(), 0.0);
+  for (const qos::AllocationTrace* w : workloads) {
+    ROPUS_REQUIRE(w != nullptr, "null workload");
+    ROPUS_REQUIRE(w->calendar() == calendar,
+                  "workloads must share the server calendar");
+    const std::span<const double> c1 = w->cos1();
+    const std::span<const double> c2 = w->cos2();
+    for (std::size_t i = 0; i < agg.cos1.size(); ++i) {
+      agg.cos1[i] += c1[i];
+      agg.cos2[i] += c2[i];
+    }
+    agg.sum_peak_cos1 += w->peak_cos1();
+    agg.workloads += 1;
+  }
+  for (std::size_t i = 0; i < agg.cos1.size(); ++i) {
+    agg.peak_cos1 = std::max(agg.peak_cos1, agg.cos1[i]);
+    agg.peak_total = std::max(agg.peak_total, agg.cos1[i] + agg.cos2[i]);
+  }
+  return agg;
+}
+
+Evaluation evaluate(const Aggregate& agg, double capacity,
+                    const qos::CosCommitment& cos2) {
+  ROPUS_REQUIRE(capacity >= 0.0, "capacity must be >= 0");
+  cos2.validate();
+  Evaluation ev;
+  if (agg.empty()) return ev;
+
+  const trace::Calendar& cal = agg.calendar;
+  const std::size_t deadline_slots = cal.observations_in(cos2.deadline_minutes);
+
+  // Per (week, slot-of-day) group sums for the theta statistic.
+  const std::size_t groups = cal.weeks() * cal.slots_per_day();
+  std::vector<double> requested(groups, 0.0);
+  std::vector<double> satisfied(groups, 0.0);
+
+  // FIFO backlog of deferred CoS2 allocation: (created-at slot, remaining).
+  struct Entry {
+    std::size_t created;
+    double remaining;
+  };
+  std::deque<Entry> backlog;
+  double backlog_total = 0.0;
+
+  for (std::size_t i = 0; i < cal.size(); ++i) {
+    const double s1 = agg.cos1[i];
+    const double s2 = agg.cos2[i];
+    if (s1 > capacity + kCapacityEps) {
+      ev.cos1_satisfied = false;
+      // CoS1 is the guaranteed class; once violated the placement is
+      // invalid regardless of the statistics, so stop early.
+      ev.theta = 0.0;
+      ev.deadline_met = false;
+      return ev;
+    }
+    const double available = std::max(0.0, capacity - s1);
+    const double sat2 = std::min(s2, available);
+    const double deficit = s2 - sat2;
+
+    const std::size_t group = cal.week_of(i) * cal.slots_per_day() +
+                              cal.slot_of(i);
+    requested[group] += s2;
+    satisfied[group] += sat2;
+
+    // Spare capacity (after serving this slot's requests) drains the oldest
+    // deferred demand first.
+    double spare = available - sat2;
+    while (spare > 0.0 && !backlog.empty()) {
+      Entry& front = backlog.front();
+      const double served = std::min(spare, front.remaining);
+      front.remaining -= served;
+      backlog_total -= served;
+      spare -= served;
+      if (front.remaining <= kCapacityEps) {
+        backlog_total = std::max(0.0, backlog_total);
+        backlog.pop_front();
+      }
+    }
+    if (deficit > kCapacityEps) {
+      backlog.push_back(Entry{i, deficit});
+      backlog_total += deficit;
+    }
+    ev.max_backlog = std::max(ev.max_backlog, backlog_total);
+
+    // A deferred entry must be fully served within `deadline_slots` of its
+    // creation; the FIFO front is the oldest, so it alone needs checking.
+    if (!backlog.empty() &&
+        backlog.front().created + deadline_slots <= i &&
+        backlog.front().remaining > kCapacityEps) {
+      ev.deadline_met = false;
+    }
+  }
+  // Anything still queued past its deadline at the end of the trace counts.
+  for (const Entry& e : backlog) {
+    if (e.created + deadline_slots < cal.size() &&
+        e.remaining > kCapacityEps) {
+      ev.deadline_met = false;
+    }
+  }
+
+  double theta = 1.0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    if (requested[g] <= 0.0) continue;
+    theta = std::min(theta, satisfied[g] / requested[g]);
+  }
+  ev.theta = theta;
+  return ev;
+}
+
+ThetaBreakdown theta_breakdown(const Aggregate& agg, double capacity) {
+  ROPUS_REQUIRE(capacity >= 0.0, "capacity must be >= 0");
+  ThetaBreakdown breakdown;
+  if (agg.empty()) return breakdown;
+  const trace::Calendar& cal = agg.calendar;
+  const std::size_t groups = cal.weeks() * cal.slots_per_day();
+  std::vector<double> requested(groups, 0.0);
+  std::vector<double> satisfied(groups, 0.0);
+  for (std::size_t i = 0; i < cal.size(); ++i) {
+    const double s1 = agg.cos1[i];
+    ROPUS_REQUIRE(s1 <= capacity + kCapacityEps,
+                  "CoS1 exceeds capacity; breakdown is undefined");
+    const double s2 = agg.cos2[i];
+    const std::size_t group =
+        cal.week_of(i) * cal.slots_per_day() + cal.slot_of(i);
+    requested[group] += s2;
+    satisfied[group] += std::min(s2, std::max(0.0, capacity - s1));
+  }
+  breakdown.group_ratios.assign(groups, 1.0);
+  for (std::size_t g = 0; g < groups; ++g) {
+    if (requested[g] <= 0.0) continue;
+    breakdown.group_ratios[g] = satisfied[g] / requested[g];
+    if (breakdown.group_ratios[g] < breakdown.theta) {
+      breakdown.theta = breakdown.group_ratios[g];
+      breakdown.worst_week = g / cal.slots_per_day();
+      breakdown.worst_slot = g % cal.slots_per_day();
+    }
+  }
+  return breakdown;
+}
+
+RequiredCapacity required_capacity(const Aggregate& agg, double limit,
+                                   const qos::CosCommitment& cos2,
+                                   double tolerance) {
+  ROPUS_REQUIRE(limit >= 0.0, "capacity limit must be >= 0");
+  ROPUS_REQUIRE(tolerance > 0.0, "tolerance must be > 0");
+  RequiredCapacity result;
+  if (agg.empty()) {
+    result.fits = true;
+    result.capacity = 0.0;
+    return result;
+  }
+
+  // Section VI-A's precheck: the sum of per-workload CoS1 peaks may not
+  // exceed the server's capacity, or the workloads do not fit.
+  if (agg.sum_peak_cos1 > limit + kCapacityEps) return result;
+
+  // The guaranteed class needs at least the aggregate CoS1 peak.
+  double lo = agg.peak_cos1;
+  double hi = limit;
+  Evaluation at_hi = evaluate(agg, hi, cos2);
+  if (!at_hi.satisfies(cos2)) return result;  // not satisfiable within limit
+
+  Evaluation at_lo = evaluate(agg, lo, cos2);
+  if (at_lo.satisfies(cos2)) {
+    result.fits = true;
+    result.capacity = lo;
+    result.at_capacity = at_lo;
+    return result;
+  }
+
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    const Evaluation at_mid = evaluate(agg, mid, cos2);
+    if (at_mid.satisfies(cos2)) {
+      hi = mid;
+      at_hi = at_mid;
+    } else {
+      lo = mid;
+    }
+  }
+  result.fits = true;
+  result.capacity = hi;
+  result.at_capacity = at_hi;
+  return result;
+}
+
+}  // namespace ropus::sim

@@ -1,0 +1,92 @@
+// The workload placement simulator of Section VI-A.
+//
+// It replays per-CoS allocation traces for a set of workloads sharing one
+// server: capacity goes to CoS1 first, the remainder to CoS2. It measures
+//   theta = min over weeks w and time-of-day slots t of
+//           (sum over days x of satisfied CoS2) / (sum over days x of
+//            requested CoS2),
+// tracks a FIFO backlog of deferred CoS2 allocation that must drain within
+// the commitment's deadline, and binary-searches the smallest capacity (the
+// *required capacity*) for which both parts of the commitment hold.
+#pragma once
+
+#include <vector>
+
+#include "qos/allocation.h"
+#include "qos/requirements.h"
+#include "trace/calendar.h"
+
+namespace ropus::sim {
+
+/// Aggregated per-slot allocation requests of a workload set (one server).
+/// Building this once lets the capacity search re-evaluate cheaply.
+struct Aggregate {
+  trace::Calendar calendar{1, 5};
+  std::vector<double> cos1;        // per-slot sum of CoS1 requests
+  std::vector<double> cos2;        // per-slot sum of CoS2 requests
+  double sum_peak_cos1 = 0.0;      // sum of per-workload CoS1 peaks
+  double peak_cos1 = 0.0;          // peak of the aggregated CoS1 series
+  double peak_total = 0.0;         // peak of the aggregated CoS1+CoS2 series
+  std::size_t workloads = 0;
+
+  bool empty() const { return workloads == 0; }
+};
+
+/// Aggregates a set of allocation traces; they must share one calendar.
+/// An empty set yields an Aggregate with `workloads == 0` on `calendar`.
+Aggregate aggregate_workloads(
+    std::span<const qos::AllocationTrace* const> workloads,
+    const trace::Calendar& calendar);
+
+/// Outcome of replaying an Aggregate against a fixed capacity.
+struct Evaluation {
+  bool cos1_satisfied = true;   // aggregate CoS1 never exceeded capacity
+  double theta = 1.0;           // measured resource access probability
+  bool deadline_met = true;     // all deferred CoS2 drained within deadline
+  double max_backlog = 0.0;     // worst outstanding deferred CoS2 (CPUs)
+
+  bool satisfies(const qos::CosCommitment& cos2) const {
+    return cos1_satisfied && deadline_met && theta >= cos2.theta;
+  }
+};
+
+/// Replays the aggregate at `capacity` under `cos2` (the deadline is taken
+/// from the commitment; theta in the commitment is *not* used here — compare
+/// via Evaluation::satisfies).
+Evaluation evaluate(const Aggregate& agg, double capacity,
+                    const qos::CosCommitment& cos2);
+
+/// Per-(week, slot) diagnostics: where and when a server's commitment is
+/// tightest. The theta statistic is a min over these groups, so an operator
+/// chasing a violation needs exactly this breakdown.
+struct ThetaBreakdown {
+  double theta = 1.0;          // the min (same value evaluate() reports)
+  std::size_t worst_week = 0;  // argmin group
+  std::size_t worst_slot = 0;  // slot-of-day of the argmin group
+  /// satisfied/requested per (week, slot) group, indexed
+  /// [week * slots_per_day + slot]; 1.0 for groups with no CoS2 request.
+  std::vector<double> group_ratios;
+};
+
+/// Computes the theta statistic with its full per-group breakdown. Requires
+/// the aggregate's CoS1 series to fit under `capacity` (use evaluate()
+/// first when unsure).
+ThetaBreakdown theta_breakdown(const Aggregate& agg, double capacity);
+
+/// Result of the required-capacity search for one server.
+struct RequiredCapacity {
+  bool fits = false;        // commitments satisfiable within `limit`
+  double capacity = 0.0;    // smallest satisfying capacity when fits
+  Evaluation at_capacity;   // evaluation at the reported capacity
+};
+
+/// Section VI-A's search: first the peak-demand precheck (sum of per-
+/// workload CoS1 peaks must not exceed `limit`), then binary search for the
+/// smallest capacity in [aggregate CoS1 peak, limit] meeting the commitment,
+/// to within `tolerance` CPUs. An empty aggregate trivially fits with
+/// required capacity 0.
+RequiredCapacity required_capacity(const Aggregate& agg, double limit,
+                                   const qos::CosCommitment& cos2,
+                                   double tolerance = 0.05);
+
+}  // namespace ropus::sim

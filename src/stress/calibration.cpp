@@ -1,0 +1,82 @@
+#include "stress/calibration.h"
+
+#include "common/error.h"
+
+namespace ropus::stress {
+
+void ResponsivenessTargets::validate() const {
+  ROPUS_REQUIRE(good_seconds > 0.0, "good target must be > 0");
+  ROPUS_REQUIRE(adequate_seconds >= good_seconds,
+                "adequate responsiveness may not be stricter than good");
+}
+
+void CalibrationConfig::validate() const {
+  ROPUS_REQUIRE(requests >= 1000, "calibration needs >= 1000 requests");
+  ROPUS_REQUIRE(min_burst_factor > 1.0,
+                "burst factor must exceed 1 (utilization < 1)");
+  ROPUS_REQUIRE(max_burst_factor > min_burst_factor,
+                "max_burst_factor must exceed min_burst_factor");
+  ROPUS_REQUIRE(tolerance > 0.0, "tolerance must be > 0");
+}
+
+namespace {
+/// Mean response time with allocation = bf x mean demand.
+double probe(const Workload& w, double bf, const CalibrationConfig& cfg) {
+  const double capacity = bf * w.mean_cpu_demand();
+  return simulate_fcfs(w, capacity, cfg.requests, cfg.seed).mean_response;
+}
+
+/// Smallest burst factor whose mean response meets `target` ("good but not
+/// better than necessary"): binary search on the monotone response curve.
+double search(const Workload& w, double target, const CalibrationConfig& cfg) {
+  double lo = cfg.min_burst_factor;
+  double hi = cfg.max_burst_factor;
+  ROPUS_REQUIRE(probe(w, hi, cfg) <= target,
+                "responsiveness target unreachable at max burst factor");
+  if (probe(w, lo, cfg) <= target) return lo;
+  while (hi - lo > cfg.tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (probe(w, mid, cfg) <= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+}  // namespace
+
+BurstFactorRange calibrate(const Workload& workload,
+                           const ResponsivenessTargets& targets,
+                           const CalibrationConfig& config) {
+  workload.validate();
+  targets.validate();
+  config.validate();
+
+  BurstFactorRange range;
+  range.burst_factor_good = search(workload, targets.good_seconds, config);
+  range.burst_factor_adequate =
+      search(workload, targets.adequate_seconds, config);
+  range.u_low = 1.0 / range.burst_factor_good;
+  range.u_high = 1.0 / range.burst_factor_adequate;
+  ROPUS_ASSERT(range.u_low <= range.u_high,
+               "good responsiveness must need at least as much headroom");
+  return range;
+}
+
+qos::Requirement to_requirement(const BurstFactorRange& range, double u_degr,
+                                double m_percent,
+                                std::optional<double> t_degr_minutes) {
+  qos::Requirement req;
+  req.u_low = range.u_low;
+  // Guard against a degenerate calibration where both searches hit the same
+  // burst factor: widen minimally so the Requirement stays valid.
+  req.u_high = std::max(range.u_high, range.u_low * 1.01);
+  req.u_degr = u_degr;
+  req.m_percent = m_percent;
+  req.t_degr_minutes = t_degr_minutes;
+  req.validate();
+  return req;
+}
+
+}  // namespace ropus::stress

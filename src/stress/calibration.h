@@ -1,0 +1,55 @@
+// Burst-factor calibration (Section III).
+//
+// "First, we search for the value of the burst factor that gives the
+//  responsiveness required by application users (good but not better than
+//  necessary). Next, we search for the value of the burst factor that offers
+//  adequate responsiveness." The reciprocals of those burst factors are the
+// application's U_low and U_high utilization-of-allocation targets.
+#pragma once
+
+#include "qos/requirements.h"
+#include "stress/queue_sim.h"
+
+namespace ropus::stress {
+
+/// Response-time targets from the application owner.
+struct ResponsivenessTargets {
+  double good_seconds = 0.1;      // ideal responsiveness
+  double adequate_seconds = 0.25; // worst responsiveness users accept
+
+  void validate() const;
+};
+
+struct CalibrationConfig {
+  std::size_t requests = 200000;  // simulated requests per probe
+  std::uint64_t seed = 42;
+  double min_burst_factor = 1.02; // utilization just under 1
+  double max_burst_factor = 20.0;
+  double tolerance = 1e-3;        // binary-search width on the burst factor
+
+  void validate() const;
+};
+
+/// Result of the calibration exercise.
+struct BurstFactorRange {
+  double burst_factor_good = 0.0;      // tightest bf meeting the good target
+  double burst_factor_adequate = 0.0;  // tightest bf meeting the adequate one
+  double u_low = 0.0;                  // 1 / burst_factor_good
+  double u_high = 0.0;                 // 1 / burst_factor_adequate
+};
+
+/// Finds the smallest burst factors meeting each responsiveness target by
+/// binary search (mean response time decreases monotonically in the burst
+/// factor). Throws InvalidArgument when even max_burst_factor cannot meet a
+/// target (the target is below the zero-load service time).
+BurstFactorRange calibrate(const Workload& workload,
+                           const ResponsivenessTargets& targets,
+                           const CalibrationConfig& config = {});
+
+/// Convenience: turns a calibrated range into a QoS Requirement by attaching
+/// the degradation terms (U_degr, M, T_degr).
+qos::Requirement to_requirement(const BurstFactorRange& range, double u_degr,
+                                double m_percent,
+                                std::optional<double> t_degr_minutes);
+
+}  // namespace ropus::stress

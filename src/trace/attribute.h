@@ -1,0 +1,44 @@
+// Capacity attributes (Section IV: "each observation has an allocation
+// value for each of the capacity attributes considered in the analysis").
+// The case study manages CPU; memory and input-output are the Section IX
+// extension this library also implements.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace ropus::trace {
+
+enum class Attribute : std::size_t {
+  kCpu = 0,      // CPUs (the scored, workload-managed attribute)
+  kMemoryGb,     // resident memory, GiB
+  kDiskMbps,     // disk bandwidth, MB/s
+  kNetworkMbps,  // network bandwidth, MB/s
+};
+
+inline constexpr std::size_t kAttributeCount = 4;
+
+inline constexpr std::array<Attribute, kAttributeCount> kAllAttributes{
+    Attribute::kCpu, Attribute::kMemoryGb, Attribute::kDiskMbps,
+    Attribute::kNetworkMbps};
+
+constexpr std::string_view attribute_name(Attribute a) {
+  switch (a) {
+    case Attribute::kCpu:
+      return "cpu";
+    case Attribute::kMemoryGb:
+      return "memory-gb";
+    case Attribute::kDiskMbps:
+      return "disk-mbps";
+    case Attribute::kNetworkMbps:
+      return "network-mbps";
+  }
+  return "?";
+}
+
+constexpr std::size_t attribute_index(Attribute a) {
+  return static_cast<std::size_t>(a);
+}
+
+}  // namespace ropus::trace

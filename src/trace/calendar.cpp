@@ -1,0 +1,32 @@
+#include "trace/calendar.h"
+
+#include <cmath>
+
+namespace ropus::trace {
+
+Calendar::Calendar(std::size_t weeks, std::size_t minutes_per_sample)
+    : weeks_(weeks),
+      minutes_per_sample_(minutes_per_sample),
+      slots_per_day_(0) {
+  ROPUS_REQUIRE(weeks >= 1, "calendar needs at least one week");
+  ROPUS_REQUIRE(minutes_per_sample >= 1, "sample interval must be >= 1 min");
+  ROPUS_REQUIRE(kMinutesPerDay % minutes_per_sample == 0,
+                "sample interval must divide a day evenly");
+  slots_per_day_ = kMinutesPerDay / minutes_per_sample;
+}
+
+std::size_t Calendar::index(std::size_t week, std::size_t day,
+                            std::size_t slot) const {
+  ROPUS_REQUIRE(week < weeks_, "week out of range");
+  ROPUS_REQUIRE(day < kDaysPerWeek, "day out of range");
+  ROPUS_REQUIRE(slot < slots_per_day_, "slot out of range");
+  return (week * kDaysPerWeek + day) * slots_per_day_ + slot;
+}
+
+std::size_t Calendar::observations_in(double minutes) const {
+  ROPUS_REQUIRE(minutes >= 0.0, "minutes must be non-negative");
+  return static_cast<std::size_t>(
+      std::floor(minutes / static_cast<double>(minutes_per_sample_)));
+}
+
+}  // namespace ropus::trace

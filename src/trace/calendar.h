@@ -1,0 +1,58 @@
+// The measurement calendar of Section IV: traces hold W weeks of
+// observations, 7 days per week, T slots per day, sampled every m minutes.
+// The resource-access-probability statistic theta is computed per (week,
+// slot-of-day) group, so the calendar is load-bearing for the simulator, not
+// just bookkeeping.
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.h"
+
+namespace ropus::trace {
+
+/// Immutable description of a trace's sampling grid.
+class Calendar {
+ public:
+  static constexpr std::size_t kDaysPerWeek = 7;
+  static constexpr std::size_t kMinutesPerDay = 24 * 60;
+
+  /// `weeks` >= 1; `minutes_per_sample` must divide a day evenly.
+  Calendar(std::size_t weeks, std::size_t minutes_per_sample);
+
+  /// The paper's default grid: 5-minute samples (T = 288 slots/day).
+  static Calendar standard(std::size_t weeks) { return Calendar(weeks, 5); }
+
+  std::size_t weeks() const { return weeks_; }
+  std::size_t minutes_per_sample() const { return minutes_per_sample_; }
+
+  /// T — observations per day.
+  std::size_t slots_per_day() const { return slots_per_day_; }
+  std::size_t slots_per_week() const { return kDaysPerWeek * slots_per_day_; }
+
+  /// Total number of observations in a conforming trace.
+  std::size_t size() const { return weeks_ * slots_per_week(); }
+
+  /// Linear index of (week w, day x, slot t); all 0-based, bounds-checked.
+  std::size_t index(std::size_t week, std::size_t day, std::size_t slot) const;
+
+  /// Inverse mapping helpers for a linear observation index.
+  std::size_t week_of(std::size_t i) const { return i / slots_per_week(); }
+  std::size_t day_of(std::size_t i) const {
+    return (i % slots_per_week()) / slots_per_day_;
+  }
+  std::size_t slot_of(std::size_t i) const { return i % slots_per_day_; }
+
+  /// Number of observations covering `minutes` (rounded down); e.g. the R in
+  /// "R observations in T_degr minutes" from Section V.
+  std::size_t observations_in(double minutes) const;
+
+  friend bool operator==(const Calendar&, const Calendar&) = default;
+
+ private:
+  std::size_t weeks_;
+  std::size_t minutes_per_sample_;
+  std::size_t slots_per_day_;
+};
+
+}  // namespace ropus::trace

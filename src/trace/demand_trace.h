@@ -1,0 +1,86 @@
+// DemandTrace: one application workload's time-varying CPU demand on the
+// shared pool, one observation per calendar slot, in units of CPUs
+// (fractional values allowed — "the measured utilization over the previous
+// 5 minutes is 66% of 3 CPUs, then the demand is 2 CPU", Section II).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/calendar.h"
+
+namespace ropus::trace {
+
+class DemandTrace {
+ public:
+  /// Takes ownership of `values`; size must equal `calendar.size()` and all
+  /// entries must be finite and non-negative.
+  DemandTrace(std::string name, Calendar calendar, std::vector<double> values);
+
+  /// A zero-demand trace on the given calendar (useful as an accumulator).
+  static DemandTrace zeros(std::string name, Calendar calendar);
+
+  const std::string& name() const { return name_; }
+  const Calendar& calendar() const { return calendar_; }
+  std::size_t size() const { return values_.size(); }
+  double operator[](std::size_t i) const { return values_[i]; }
+  std::span<const double> values() const { return values_; }
+
+  double at(std::size_t week, std::size_t day, std::size_t slot) const {
+    return values_[calendar_.index(week, day, slot)];
+  }
+
+  /// Peak demand D_max over the whole trace.
+  double peak() const;
+
+  /// Element-wise sum with another trace on the same calendar.
+  DemandTrace& operator+=(const DemandTrace& other);
+
+  /// Returns a copy scaled by `factor` (>= 0).
+  DemandTrace scaled(double factor) const;
+
+  /// Returns a copy with every observation clamped to at most `cap` (>= 0).
+  DemandTrace capped(double cap) const;
+
+  /// Renames in place (handy when deriving traces).
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  std::string name_;
+  Calendar calendar_;
+  std::vector<double> values_;
+};
+
+/// Element-wise aggregate of several traces sharing a calendar. Requires a
+/// non-empty list.
+DemandTrace aggregate(std::span<const DemandTrace> traces, std::string name);
+
+/// First `weeks` weeks of a trace as a new trace (1 <= weeks <= total).
+DemandTrace head_weeks(const DemandTrace& t, std::size_t weeks);
+
+/// Last `weeks` weeks of a trace as a new trace (1 <= weeks <= total).
+/// head_weeks(t, k) ++ tail_weeks(t, W-k) partitions t — the split the
+/// backtest uses to train on history and validate on the held-out week.
+DemandTrace tail_weeks(const DemandTrace& t, std::size_t weeks);
+
+/// Weeks [first, first + count) of a trace as a new trace; the rolling
+/// window the medium-term repair loop re-plans from.
+DemandTrace weeks_slice(const DemandTrace& t, std::size_t first,
+                        std::size_t count);
+
+/// How resample() folds finer observations into a coarser slot.
+enum class ResamplePolicy {
+  kMean,  // utilization semantics: the coarser slot's mean demand
+  kMax,   // conservative: the worst burst inside the coarser slot
+};
+
+/// Re-grids a trace onto `minutes_per_sample` (a multiple of the source
+/// interval that divides a day). Monitoring systems often record at 1-min
+/// granularity; the paper's method runs on 5-min slots. kMean reproduces
+/// what a 5-min utilization counter would have read; kMax keeps
+/// sub-slot bursts visible at the price of inflating demand.
+DemandTrace resample(const DemandTrace& t, std::size_t minutes_per_sample,
+                     ResamplePolicy policy = ResamplePolicy::kMean);
+
+}  // namespace ropus::trace

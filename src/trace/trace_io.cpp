@@ -1,0 +1,99 @@
+#include "trace/trace_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/csv.h"
+
+namespace ropus::trace {
+
+void write_traces_csv(const std::filesystem::path& path,
+                      std::span<const DemandTrace> traces) {
+  ROPUS_REQUIRE(!traces.empty(), "nothing to write");
+  const Calendar& cal = traces.front().calendar();
+  for (const DemandTrace& t : traces) {
+    ROPUS_REQUIRE(t.calendar() == cal, "traces must share a calendar");
+  }
+  csv::Document doc;
+  doc.header = {"week", "day", "slot"};
+  for (const DemandTrace& t : traces) doc.header.push_back(t.name());
+  doc.rows.reserve(cal.size());
+  for (std::size_t i = 0; i < cal.size(); ++i) {
+    csv::Row row;
+    row.reserve(3 + traces.size());
+    row.push_back(std::to_string(cal.week_of(i)));
+    row.push_back(std::to_string(cal.day_of(i)));
+    row.push_back(std::to_string(cal.slot_of(i)));
+    for (const DemandTrace& t : traces) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", t[i]);
+      row.emplace_back(buf);
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  csv::write_file(path, doc);
+}
+
+std::vector<DemandTrace> read_traces_csv(const std::filesystem::path& path) {
+  const csv::Document doc = csv::read_file(path, /*has_header=*/true);
+  if (doc.header.size() < 4) {
+    throw IoError("trace CSV needs week,day,slot plus at least one workload: " +
+                  path.string());
+  }
+  if (doc.rows.empty()) throw IoError("trace CSV has no data: " + path.string());
+
+  // Infer T from the maximum slot index, then W from the row count.
+  std::size_t max_slot = 0;
+  for (std::size_t r = 0; r < doc.rows.size(); ++r) {
+    if (doc.rows[r].size() != doc.header.size()) {
+      throw IoError("row " + std::to_string(r) + " has wrong arity: " +
+                    path.string());
+    }
+    max_slot = std::max(
+        max_slot, static_cast<std::size_t>(csv::to_double(doc.rows[r][2], r, 2)));
+  }
+  const std::size_t slots_per_day = max_slot + 1;
+  if (Calendar::kMinutesPerDay % slots_per_day != 0) {
+    throw IoError("slot count does not divide a day: " + path.string());
+  }
+  const std::size_t minutes = Calendar::kMinutesPerDay / slots_per_day;
+  const std::size_t slots_per_week = Calendar::kDaysPerWeek * slots_per_day;
+  if (doc.rows.size() % slots_per_week != 0) {
+    throw IoError("row count is not a whole number of weeks: " + path.string());
+  }
+  const Calendar cal(doc.rows.size() / slots_per_week, minutes);
+
+  const std::size_t n_apps = doc.header.size() - 3;
+  std::vector<std::vector<double>> columns(n_apps,
+                                           std::vector<double>(cal.size()));
+  for (std::size_t r = 0; r < doc.rows.size(); ++r) {
+    const csv::Row& row = doc.rows[r];
+    const auto week = static_cast<std::size_t>(csv::to_double(row[0], r, 0));
+    const auto day = static_cast<std::size_t>(csv::to_double(row[1], r, 1));
+    const auto slot = static_cast<std::size_t>(csv::to_double(row[2], r, 2));
+    std::size_t idx = 0;
+    try {
+      idx = cal.index(week, day, slot);
+    } catch (const InvalidArgument&) {
+      throw IoError("row " + std::to_string(r) + " has out-of-range calendar "
+                    "coordinates: " + path.string());
+    }
+    if (idx != r) {
+      throw IoError("rows out of calendar order at row " + std::to_string(r) +
+                    ": " + path.string());
+    }
+    for (std::size_t a = 0; a < n_apps; ++a) {
+      columns[a][idx] = csv::to_double(row[3 + a], r, 3 + a);
+    }
+  }
+
+  std::vector<DemandTrace> traces;
+  traces.reserve(n_apps);
+  for (std::size_t a = 0; a < n_apps; ++a) {
+    traces.emplace_back(doc.header[3 + a], cal, std::move(columns[a]));
+  }
+  return traces;
+}
+
+}  // namespace ropus::trace

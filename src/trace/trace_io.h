@@ -1,0 +1,25 @@
+// CSV serialization for demand traces.
+//
+// On-disk layout ("wide" format, one column per workload):
+//   week,day,slot,<app-1>,<app-2>,...
+//   0,0,0,1.25,0.40,...
+// Rows must appear in calendar order and cover the whole grid.
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "trace/demand_trace.h"
+
+namespace ropus::trace {
+
+/// Writes a set of traces (all on the same calendar) to a CSV file.
+void write_traces_csv(const std::filesystem::path& path,
+                      std::span<const DemandTrace> traces);
+
+/// Reads traces back. The calendar is inferred: the number of distinct slot
+/// values gives T, the number of rows gives W. Throws IoError on malformed
+/// input (missing rows, out-of-order rows, non-numeric demand).
+std::vector<DemandTrace> read_traces_csv(const std::filesystem::path& path);
+
+}  // namespace ropus::trace

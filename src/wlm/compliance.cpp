@@ -1,0 +1,73 @@
+#include "wlm/compliance.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace ropus::wlm {
+
+bool ComplianceReport::satisfies(const qos::Requirement& req,
+                                 double slack_percent) const {
+  if (violating > 0) return false;
+  if (degraded_fraction() * 100.0 >
+      req.m_degr_percent() + slack_percent) {
+    return false;
+  }
+  if (req.t_degr_minutes.has_value() &&
+      longest_degraded_minutes > *req.t_degr_minutes) {
+    return false;
+  }
+  return true;
+}
+
+ComplianceReport check_compliance_range(std::span<const double> demand,
+                                        std::span<const double> granted,
+                                        const qos::Requirement& req,
+                                        double minutes_per_sample) {
+  req.validate();
+  ROPUS_REQUIRE(granted.size() == demand.size(),
+                "grants and demand must align");
+  ROPUS_REQUIRE(minutes_per_sample > 0.0, "sample interval must be > 0");
+  ComplianceReport report;
+  report.intervals = demand.size();
+
+  std::size_t run = 0;
+  std::size_t longest = 0;
+  // A hair of slack absorbs grant-scaling rounding at exactly U_high/U_degr.
+  constexpr double kRelEps = 1e-9;
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    const double d = demand[i];
+    if (d <= 0.0) {
+      report.idle += 1;
+      run = 0;
+      continue;
+    }
+    const double g = granted[i];
+    const double u =
+        g > 0.0 ? d / g : std::numeric_limits<double>::infinity();
+    if (u <= req.u_high * (1.0 + kRelEps)) {
+      report.acceptable += 1;
+      run = 0;
+    } else if (u <= req.u_degr * (1.0 + kRelEps)) {
+      report.degraded += 1;
+      longest = std::max(longest, ++run);
+    } else {
+      report.violating += 1;
+      longest = std::max(longest, ++run);
+    }
+  }
+  report.longest_degraded_minutes =
+      static_cast<double>(longest) * minutes_per_sample;
+  return report;
+}
+
+ComplianceReport check_compliance(const trace::DemandTrace& demand,
+                                  const ContainerOutcome& outcome,
+                                  const qos::Requirement& req) {
+  return check_compliance_range(
+      demand.values(), outcome.granted, req,
+      static_cast<double>(demand.calendar().minutes_per_sample()));
+}
+
+}  // namespace ropus::wlm

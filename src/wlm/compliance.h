@@ -1,0 +1,46 @@
+// Compliance checking: did a container's realized utilization of allocation
+// honour its QoS requirement? Closes the loop between QoS translation
+// (planning) and the workload-manager execution simulation.
+#pragma once
+
+#include "qos/requirements.h"
+#include "trace/demand_trace.h"
+#include "wlm/server_sim.h"
+
+namespace ropus::wlm {
+
+/// Classification of a run against a Requirement.
+struct ComplianceReport {
+  std::size_t intervals = 0;
+  std::size_t idle = 0;          // zero-demand intervals (always compliant)
+  std::size_t acceptable = 0;    // U_alloc <= U_high
+  std::size_t degraded = 0;      // U_high < U_alloc <= U_degr
+  std::size_t violating = 0;     // U_alloc > U_degr, or demand with no grant
+  double longest_degraded_minutes = 0.0;  // longest contiguous U_alloc>U_high
+
+  /// Fraction of non-idle intervals that were degraded or worse.
+  double degraded_fraction() const {
+    const std::size_t active = intervals - idle;
+    return active > 0 ? static_cast<double>(degraded + violating) /
+                            static_cast<double>(active)
+                      : 0.0;
+  }
+
+  /// True when the run satisfies `req` with `slack_percent` extra headroom
+  /// on the M_degr budget (controller reaction lag costs a little).
+  bool satisfies(const qos::Requirement& req, double slack_percent) const;
+};
+
+/// Compares a container's realized grants against its demand under `req`.
+ComplianceReport check_compliance(const trace::DemandTrace& demand,
+                                  const ContainerOutcome& outcome,
+                                  const qos::Requirement& req);
+
+/// Span variant for windows that are not whole traces (the failure drill
+/// judges the pre- and post-failure stretches separately).
+ComplianceReport check_compliance_range(std::span<const double> demand,
+                                        std::span<const double> granted,
+                                        const qos::Requirement& req,
+                                        double minutes_per_sample);
+
+}  // namespace ropus::wlm

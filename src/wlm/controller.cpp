@@ -1,0 +1,54 @@
+#include "wlm/controller.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ropus::wlm {
+
+Controller::Controller(const qos::Translation& tr, Policy policy,
+                       std::size_t history_window)
+    : translation_(tr), policy_(policy), history_window_(history_window) {
+  tr.requirement.validate();
+  ROPUS_REQUIRE(history_window_ >= 1, "history window must be >= 1");
+}
+
+AllocationRequest Controller::request_for(double demand) const {
+  ROPUS_REQUIRE(demand >= 0.0, "demand must be >= 0");
+  const double capped = std::min(demand, translation_.d_new_max);
+  const double d1 = std::min(capped, translation_.cos1_demand_cap());
+  const double d2 = capped - d1;
+  const double u_low = translation_.requirement.u_low;
+  return AllocationRequest{d1 / u_low, d2 / u_low};
+}
+
+AllocationRequest Controller::step(double measured_demand) {
+  ROPUS_REQUIRE(measured_demand >= 0.0, "demand must be >= 0");
+  if (policy_ == Policy::kClairvoyant) {
+    return request_for(measured_demand);
+  }
+
+  // Reactive policies: request from history; the first interval has no
+  // history and conservatively requests the maximum.
+  AllocationRequest request;
+  if (history_.empty()) {
+    request = request_for(translation_.d_new_max);
+  } else if (policy_ == Policy::kReactive) {
+    request = request_for(history_.back());
+  } else {  // kWindowedMax
+    request = request_for(*std::max_element(history_.begin(), history_.end()));
+  }
+
+  const std::size_t window =
+      policy_ == Policy::kReactive ? 1 : history_window_;
+  history_.push_back(measured_demand);
+  if (history_.size() > window) {
+    history_.erase(history_.begin(),
+                   history_.end() - static_cast<std::ptrdiff_t>(window));
+  }
+  return request;
+}
+
+void Controller::reset() { history_.clear(); }
+
+}  // namespace ropus::wlm

@@ -1,0 +1,64 @@
+// The per-container workload manager of Section II: every measurement
+// interval it sets the container's allocation to burst factor x recent
+// demand, bounded by the maximum allocation that QoS translation computed,
+// and splits the request across the two allocation priorities at the
+// breakpoint.
+#pragma once
+
+#include "qos/translation.h"
+
+namespace ropus::wlm {
+
+/// How the controller observes demand.
+enum class Policy {
+  /// Allocation for interval t uses the demand measured in interval t-1 —
+  /// the real control loop, including its reaction lag.
+  kReactive,
+  /// Allocation for interval t uses interval t's own demand — the idealized
+  /// loop that QoS translation plans for. Useful to separate translation
+  /// error from control lag.
+  kClairvoyant,
+  /// Allocation for interval t uses the *maximum* demand over the last
+  /// `history_window` measurements — a conservative variant that trades
+  /// allocation slack for fewer lag-induced degradations on bursty
+  /// workloads (allocations shrink slowly, grow fast).
+  kWindowedMax,
+};
+
+/// An allocation request split across the two classes of service.
+struct AllocationRequest {
+  double cos1 = 0.0;
+  double cos2 = 0.0;
+  double total() const { return cos1 + cos2; }
+};
+
+class Controller {
+ public:
+  /// Builds a controller enforcing translation `tr` (burst factor 1/U_low,
+  /// maximum allocation D_new_max/U_low, CoS1 share p). `history_window`
+  /// only matters under kWindowedMax (>= 1; 1 behaves like kReactive).
+  Controller(const qos::Translation& tr, Policy policy,
+             std::size_t history_window = 3);
+
+  /// Feeds one measured demand observation (CPUs) and returns the request
+  /// for the *next* interval under kReactive, or for this interval under
+  /// kClairvoyant.
+  AllocationRequest step(double measured_demand);
+
+  /// Resets the demand history (e.g. after migrating the container).
+  void reset();
+
+  Policy policy() const { return policy_; }
+  double burst_factor() const { return 1.0 / translation_.requirement.u_low; }
+  const qos::Translation& translation() const { return translation_; }
+
+ private:
+  AllocationRequest request_for(double demand) const;
+
+  qos::Translation translation_;
+  Policy policy_;
+  std::size_t history_window_;
+  std::vector<double> history_;  // ring of recent measurements (newest last)
+};
+
+}  // namespace ropus::wlm

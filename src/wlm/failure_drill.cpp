@@ -1,0 +1,129 @@
+#include "wlm/failure_drill.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ropus::wlm {
+
+DrillResult run_failure_drill(
+    std::span<const trace::DemandTrace> demands,
+    std::span<const qos::Translation> normal,
+    std::span<const qos::Translation> failure,
+    const placement::Assignment& normal_assignment,
+    const placement::Assignment& failure_assignment,
+    std::span<const sim::ServerSpec> pool, std::size_t failed_server,
+    const DrillConfig& config) {
+  const std::size_t n = demands.size();
+  ROPUS_REQUIRE(n >= 1, "drill needs workloads");
+  ROPUS_REQUIRE(normal.size() == n && failure.size() == n,
+                "one translation pair per workload");
+  placement::validate_assignment(normal_assignment, n, pool.size());
+  placement::validate_assignment(failure_assignment, n, pool.size());
+  ROPUS_REQUIRE(failed_server < pool.size(), "failed server out of range");
+  const trace::Calendar& cal = demands.front().calendar();
+  for (const trace::DemandTrace& d : demands) {
+    ROPUS_REQUIRE(d.calendar() == cal, "traces must share a calendar");
+  }
+  ROPUS_REQUIRE(config.failure_slot < cal.size(),
+                "failure slot beyond the trace");
+  for (std::size_t a = 0; a < n; ++a) {
+    ROPUS_REQUIRE(failure_assignment[a] != failed_server,
+                  "failure assignment still uses the failed server");
+  }
+
+  // One controller per app per mode; the failure-mode controller starts
+  // cold (the container was just placed or re-placed).
+  std::vector<Controller> normal_ctl;
+  std::vector<Controller> failure_ctl;
+  normal_ctl.reserve(n);
+  failure_ctl.reserve(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    normal_ctl.emplace_back(normal[a], config.policy);
+    failure_ctl.emplace_back(failure[a], config.policy);
+  }
+
+  DrillResult result;
+  result.failed_server = failed_server;
+  result.apps.resize(n);
+  std::vector<std::vector<double>> granted(n,
+                                           std::vector<double>(cal.size()));
+  for (std::size_t a = 0; a < n; ++a) {
+    result.apps[a].name = demands[a].name();
+    result.apps[a].affected = normal_assignment[a] == failed_server;
+    if (result.apps[a].affected) result.affected_apps += 1;
+  }
+
+  const std::size_t outage_end =
+      std::min(cal.size(), config.failure_slot + config.migration_outage_slots);
+
+  std::vector<AllocationRequest> requests(n);
+  std::vector<double> server_cos1(pool.size());
+  std::vector<double> server_cos2(pool.size());
+  for (std::size_t i = 0; i < cal.size(); ++i) {
+    const bool post = i >= config.failure_slot;
+    const placement::Assignment& where =
+        post ? failure_assignment : normal_assignment;
+
+    std::fill(server_cos1.begin(), server_cos1.end(), 0.0);
+    std::fill(server_cos2.begin(), server_cos2.end(), 0.0);
+    for (std::size_t a = 0; a < n; ++a) {
+      const bool in_outage =
+          result.apps[a].affected && post && i < outage_end;
+      if (in_outage) {
+        requests[a] = AllocationRequest{};
+        continue;
+      }
+      requests[a] = post ? failure_ctl[a].step(demands[a][i])
+                         : normal_ctl[a].step(demands[a][i]);
+      server_cos1[where[a]] += requests[a].cos1;
+      server_cos2[where[a]] += requests[a].cos2;
+    }
+
+    for (std::size_t s = 0; s < pool.size(); ++s) {
+      if (post && s == failed_server) continue;
+      const double capacity = pool[s].capacity();
+      const double cos1_scale =
+          server_cos1[s] > capacity ? capacity / server_cos1[s] : 1.0;
+      const double available =
+          capacity - std::min(server_cos1[s], capacity);
+      const double cos2_scale =
+          server_cos2[s] > 0.0 ? std::min(1.0, available / server_cos2[s])
+                               : 1.0;
+      for (std::size_t a = 0; a < n; ++a) {
+        if (where[a] != s) continue;
+        const bool in_outage =
+            result.apps[a].affected && post && i < outage_end;
+        if (in_outage) continue;
+        granted[a][i] = requests[a].cos1 * cos1_scale +
+                        requests[a].cos2 * cos2_scale;
+      }
+    }
+
+    for (std::size_t a = 0; a < n; ++a) {
+      const double d = demands[a][i];
+      if (d > granted[a][i]) {
+        const double lost = d - granted[a][i];
+        result.apps[a].unserved_demand += lost;
+        const bool in_outage =
+            result.apps[a].affected && post && i < outage_end;
+        if (in_outage) result.outage_unserved += lost;
+      }
+    }
+  }
+
+  const auto minutes = static_cast<double>(cal.minutes_per_sample());
+  for (std::size_t a = 0; a < n; ++a) {
+    const std::span<const double> d = demands[a].values();
+    const std::span<const double> g = granted[a];
+    result.apps[a].before = check_compliance_range(
+        d.subspan(0, config.failure_slot),
+        g.subspan(0, config.failure_slot), normal[a].requirement, minutes);
+    result.apps[a].after = check_compliance_range(
+        d.subspan(config.failure_slot), g.subspan(config.failure_slot),
+        failure[a].requirement, minutes);
+  }
+  return result;
+}
+
+}  // namespace ropus::wlm

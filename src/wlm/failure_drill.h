@@ -1,0 +1,67 @@
+// Failure drill: replay a server failure through the execution simulation.
+//
+// The failover planner (Section VI-C) answers the *static* question — do
+// the survivors have enough capacity? This drill answers the performability
+// question in the paper's title: what do applications actually experience
+// through the transition? The fleet runs its normal placement until the
+// failure instant, the failed server's containers suffer a migration outage,
+// and then everyone runs the failure-mode configuration on the survivors.
+#pragma once
+
+#include <vector>
+
+#include "placement/assignment.h"
+#include "qos/allocation.h"
+#include "sim/server.h"
+#include "trace/demand_trace.h"
+#include "wlm/compliance.h"
+#include "wlm/controller.h"
+
+namespace ropus::wlm {
+
+struct DrillConfig {
+  /// Observation index at which the server dies.
+  std::size_t failure_slot = 0;
+  /// Intervals an affected container is down while it migrates (its demand
+  /// during the outage counts as unserved).
+  std::size_t migration_outage_slots = 1;
+  /// Controller policy used throughout.
+  Policy policy = Policy::kClairvoyant;
+};
+
+struct DrillAppOutcome {
+  std::string name;
+  bool affected = false;        // lived on the failed server
+  ComplianceReport before;      // compliance up to the failure slot
+  ComplianceReport after;       // compliance from the failure slot on
+  double unserved_demand = 0.0; // CPU-intervals lost (outage + contention)
+};
+
+struct DrillResult {
+  std::size_t failed_server = 0;
+  std::vector<DrillAppOutcome> apps;
+  /// Aggregate demand lost during the migration outage (CPU-intervals).
+  double outage_unserved = 0.0;
+  std::size_t affected_apps = 0;
+};
+
+/// Replays the drill.
+///  * `demands`: one trace per application (shared calendar);
+///  * `normal` / `failure`: per-app translations for the two modes
+///    (parallel to `demands`);
+///  * `normal_assignment`: app -> pool server before the failure;
+///  * `failure_assignment`: app -> pool server after (must avoid
+///    `failed_server`);
+///  * `pool`: server specs; `failed_server` indexes into it.
+/// Compliance is judged against each mode's requirement on its own side of
+/// the failure instant.
+DrillResult run_failure_drill(
+    std::span<const trace::DemandTrace> demands,
+    std::span<const qos::Translation> normal,
+    std::span<const qos::Translation> failure,
+    const placement::Assignment& normal_assignment,
+    const placement::Assignment& failure_assignment,
+    std::span<const sim::ServerSpec> pool, std::size_t failed_server,
+    const DrillConfig& config);
+
+}  // namespace ropus::wlm

@@ -1,0 +1,77 @@
+#include "wlm/server_sim.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ropus::wlm {
+
+ServerRunResult run_shared_server(std::span<const trace::DemandTrace> demands,
+                                  std::span<Controller> controllers,
+                                  double capacity_cpus) {
+  ROPUS_REQUIRE(!demands.empty(), "server run needs at least one container");
+  ROPUS_REQUIRE(demands.size() == controllers.size(),
+                "one controller per demand trace");
+  ROPUS_REQUIRE(capacity_cpus > 0.0, "capacity must be > 0");
+  const trace::Calendar& cal = demands.front().calendar();
+  for (const trace::DemandTrace& d : demands) {
+    ROPUS_REQUIRE(d.calendar() == cal, "containers must share a calendar");
+  }
+
+  const std::size_t n = demands.size();
+  ServerRunResult result;
+  result.containers.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    result.containers[c].name = demands[c].name();
+    result.containers[c].utilization.resize(cal.size());
+    result.containers[c].granted.resize(cal.size());
+  }
+
+  std::vector<AllocationRequest> requests(n);
+  for (std::size_t i = 0; i < cal.size(); ++i) {
+    double sum_cos1 = 0.0;
+    double sum_cos2 = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      requests[c] = controllers[c].step(demands[c][i]);
+      sum_cos1 += requests[c].cos1;
+      sum_cos2 += requests[c].cos2;
+    }
+
+    // Priority 1 first. If the placement layer did its job this never
+    // exceeds capacity; if it does, scale proportionally and record it.
+    double cos1_scale = 1.0;
+    if (sum_cos1 > capacity_cpus) {
+      result.cos1_violations += 1;
+      cos1_scale = capacity_cpus / sum_cos1;
+    }
+    const double granted_cos1 = std::min(sum_cos1, capacity_cpus);
+    const double available = capacity_cpus - granted_cos1;
+    const double cos2_scale =
+        sum_cos2 > 0.0 ? std::min(1.0, available / sum_cos2) : 1.0;
+    if (sum_cos2 > 0.0) {
+      result.worst_cos2_grant_fraction =
+          std::min(result.worst_cos2_grant_fraction, cos2_scale);
+    }
+
+    for (std::size_t c = 0; c < n; ++c) {
+      const double granted =
+          requests[c].cos1 * cos1_scale + requests[c].cos2 * cos2_scale;
+      ContainerOutcome& out = result.containers[c];
+      out.granted[i] = granted;
+      const double demand = demands[c][i];
+      out.utilization[i] = demand > 0.0
+                               ? (granted > 0.0 ? demand / granted : 0.0)
+                               : 0.0;
+      if (demand > 0.0 && granted <= 0.0) {
+        // No allocation at all: the whole interval's demand spilled.
+        out.utilization[i] = 0.0;
+        out.unserved_demand += demand;
+      } else if (demand > granted) {
+        out.unserved_demand += demand - granted;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ropus::wlm

@@ -1,0 +1,45 @@
+// Shared-server execution simulation: several workload-managed containers on
+// one server, the scheduler granting CoS1 requests first and sharing what
+// remains across CoS2 requests proportionally (the two allocation priorities
+// of Section II). This is the validation layer: it checks that translated
+// allocations really deliver the promised utilization-of-allocation bands
+// when the containers contend.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/demand_trace.h"
+#include "wlm/controller.h"
+
+namespace ropus::wlm {
+
+/// Per-container outcome of a shared-server run.
+struct ContainerOutcome {
+  std::string name;
+  /// Utilization of granted allocation per interval (0 when demand was 0).
+  std::vector<double> utilization;
+  /// Granted total allocation per interval.
+  std::vector<double> granted;
+  /// Demand that exceeded the granted allocation, summed (CPU-intervals) —
+  /// work that spilled past its measurement interval.
+  double unserved_demand = 0.0;
+};
+
+struct ServerRunResult {
+  std::vector<ContainerOutcome> containers;
+  /// Interval count where aggregate CoS1 requests exceeded capacity — the
+  /// guarantee the placement layer must never let happen.
+  std::size_t cos1_violations = 0;
+  /// Minimum per-interval fraction of aggregate CoS2 requests granted.
+  double worst_cos2_grant_fraction = 1.0;
+};
+
+/// Runs the containers' demand traces through their controllers on a server
+/// of `capacity_cpus`. All traces must share a calendar and pair with one
+/// controller each (same order).
+ServerRunResult run_shared_server(
+    std::span<const trace::DemandTrace> demands,
+    std::span<Controller> controllers, double capacity_cpus);
+
+}  // namespace ropus::wlm

@@ -1,0 +1,129 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ropus::workload {
+
+namespace {
+
+/// FNV-1a over the profile name; combined with the fleet seed to give each
+/// application an independent, name-stable random stream.
+std::uint64_t name_hash(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Diurnal envelope multiplier at hour-of-day h: a night floor plus a
+/// gaussian business-hours bump (wrapped so a peak near midnight behaves).
+double diurnal(const Profile& p, double hour) {
+  double delta = std::fabs(hour - p.peak_hour);
+  delta = std::min(delta, 24.0 - delta);  // circular distance on the clock
+  const double bump =
+      std::exp(-0.5 * (delta / p.peak_width_hours) * (delta / p.peak_width_hours));
+  return p.night_factor + (1.0 - p.night_factor) * bump *
+                              (1.0 + p.diurnal_amplitude);
+}
+
+}  // namespace
+
+trace::DemandTrace generate(const Profile& profile,
+                            const trace::Calendar& calendar,
+                            std::uint64_t seed) {
+  profile.validate();
+  Rng rng(seed ^ name_hash(profile.name));
+
+  const std::size_t n = calendar.size();
+  const double minutes = static_cast<double>(calendar.minutes_per_sample());
+  std::vector<double> values(n);
+
+  // AR(1) noise: x_i = phi x_{i-1} + eps, eps ~ N(0, sigma_eps) with
+  // sigma_eps chosen so the stationary stddev equals noise_cv.
+  const double phi = profile.noise_phi;
+  const double sigma_eps =
+      profile.noise_cv * std::sqrt(std::max(0.0, 1.0 - phi * phi));
+  double noise = rng.normal(0.0, profile.noise_cv);
+
+  // Spike state: remaining observations and magnitude (in CPUs).
+  std::size_t spike_left = 0;
+  double spike_magnitude = 0.0;
+  const double spike_start_prob =
+      profile.spikes_per_day / static_cast<double>(calendar.slots_per_day());
+  const double spike_mean_obs =
+      std::max(1.0, profile.spike_mean_minutes / minutes);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t day = calendar.day_of(i);
+    const std::size_t slot = calendar.slot_of(i);
+    const double hour = static_cast<double>(slot) * minutes / 60.0;
+    const bool weekend = day >= 5;  // days 5 and 6 of each week
+
+    double demand = profile.base_cpus * diurnal(profile, hour);
+    if (weekend) demand *= profile.weekend_factor;
+
+    noise = phi * noise + rng.normal(0.0, sigma_eps);
+    demand *= std::max(0.0, 1.0 + noise);
+
+    if (spike_left == 0 && rng.bernoulli(spike_start_prob)) {
+      spike_left = rng.geometric(1.0 / spike_mean_obs);
+      spike_magnitude = profile.base_cpus * profile.spike_scale *
+                        rng.pareto(1.0, profile.spike_pareto_alpha);
+    }
+    if (spike_left > 0) {
+      demand += spike_magnitude;
+      --spike_left;
+    }
+
+    values[i] = std::clamp(demand, 0.0, profile.max_cpus);
+  }
+
+  return trace::DemandTrace(profile.name, calendar, std::move(values));
+}
+
+AttributeTraces generate_attributes(const Profile& profile,
+                                    const trace::DemandTrace& cpu,
+                                    std::uint64_t seed) {
+  profile.validate();
+  Rng rng(seed ^ name_hash(profile.name) ^ 0xa77217bu);
+  const std::size_t n = cpu.size();
+  std::vector<double> memory(n), disk(n), network(n);
+  double resident = profile.memory_base_gb;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double load_memory =
+        profile.memory_base_gb + profile.memory_per_cpu_gb * cpu[i];
+    resident = std::max(resident * profile.memory_decay, load_memory);
+    memory[i] = resident;
+    const double disk_noise =
+        std::max(0.0, 1.0 + rng.normal(0.0, profile.io_noise_cv));
+    const double net_noise =
+        std::max(0.0, 1.0 + rng.normal(0.0, profile.io_noise_cv));
+    disk[i] = profile.disk_mbps_per_cpu * cpu[i] * disk_noise;
+    network[i] = profile.network_mbps_per_cpu * cpu[i] * net_noise;
+  }
+  return AttributeTraces{
+      trace::DemandTrace(profile.name + "/memory", cpu.calendar(),
+                         std::move(memory)),
+      trace::DemandTrace(profile.name + "/disk", cpu.calendar(),
+                         std::move(disk)),
+      trace::DemandTrace(profile.name + "/network", cpu.calendar(),
+                         std::move(network))};
+}
+
+std::vector<trace::DemandTrace> generate_all(std::span<const Profile> profiles,
+                                             const trace::Calendar& calendar,
+                                             std::uint64_t seed) {
+  std::vector<trace::DemandTrace> traces;
+  traces.reserve(profiles.size());
+  for (const Profile& p : profiles) {
+    traces.push_back(generate(p, calendar, seed));
+  }
+  return traces;
+}
+
+}  // namespace ropus::workload

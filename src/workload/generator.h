@@ -1,0 +1,38 @@
+// Trace synthesis from workload profiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/demand_trace.h"
+#include "workload/profile.h"
+
+namespace ropus::workload {
+
+/// Generates one demand trace for `profile` on `calendar`. Deterministic in
+/// (profile, calendar, seed).
+trace::DemandTrace generate(const Profile& profile,
+                            const trace::Calendar& calendar,
+                            std::uint64_t seed);
+
+/// Generates one trace per profile. Each workload's stream is derived from
+/// `seed` and a hash of the profile name, so adding, removing, or reordering
+/// profiles does not perturb the other applications' traces.
+std::vector<trace::DemandTrace> generate_all(std::span<const Profile> profiles,
+                                             const trace::Calendar& calendar,
+                                             std::uint64_t seed);
+
+/// Non-CPU attribute traces derived from a workload's CPU demand: memory
+/// ratchets with load and drains with `memory_decay`; disk and network
+/// bandwidth track CPU with multiplicative noise. Deterministic in
+/// (profile, cpu, seed).
+struct AttributeTraces {
+  trace::DemandTrace memory;
+  trace::DemandTrace disk;
+  trace::DemandTrace network;
+};
+AttributeTraces generate_attributes(const Profile& profile,
+                                    const trace::DemandTrace& cpu,
+                                    std::uint64_t seed);
+
+}  // namespace ropus::workload

@@ -1,0 +1,36 @@
+#include "workload/profile.h"
+
+#include "common/error.h"
+
+namespace ropus::workload {
+
+void Profile::validate() const {
+  ROPUS_REQUIRE(!name.empty(), "profile needs a name");
+  ROPUS_REQUIRE(base_cpus > 0.0, "base_cpus must be > 0");
+  ROPUS_REQUIRE(diurnal_amplitude >= 0.0, "diurnal_amplitude must be >= 0");
+  ROPUS_REQUIRE(peak_hour >= 0.0 && peak_hour < 24.0,
+                "peak_hour must be in [0, 24)");
+  ROPUS_REQUIRE(peak_width_hours > 0.0, "peak_width_hours must be > 0");
+  ROPUS_REQUIRE(night_factor >= 0.0 && night_factor <= 1.0,
+                "night_factor must be in [0, 1]");
+  ROPUS_REQUIRE(weekend_factor >= 0.0 && weekend_factor <= 1.0,
+                "weekend_factor must be in [0, 1]");
+  ROPUS_REQUIRE(noise_cv >= 0.0, "noise_cv must be >= 0");
+  ROPUS_REQUIRE(noise_phi >= 0.0 && noise_phi < 1.0,
+                "noise_phi must be in [0, 1)");
+  ROPUS_REQUIRE(spikes_per_day >= 0.0, "spikes_per_day must be >= 0");
+  ROPUS_REQUIRE(spike_mean_minutes > 0.0, "spike_mean_minutes must be > 0");
+  ROPUS_REQUIRE(spike_pareto_alpha > 0.0, "spike_pareto_alpha must be > 0");
+  ROPUS_REQUIRE(spike_scale >= 0.0, "spike_scale must be >= 0");
+  ROPUS_REQUIRE(max_cpus > 0.0, "max_cpus must be > 0");
+  ROPUS_REQUIRE(memory_base_gb >= 0.0, "memory_base_gb must be >= 0");
+  ROPUS_REQUIRE(memory_per_cpu_gb >= 0.0, "memory_per_cpu_gb must be >= 0");
+  ROPUS_REQUIRE(memory_decay >= 0.0 && memory_decay <= 1.0,
+                "memory_decay must be in [0, 1]");
+  ROPUS_REQUIRE(disk_mbps_per_cpu >= 0.0, "disk_mbps_per_cpu must be >= 0");
+  ROPUS_REQUIRE(network_mbps_per_cpu >= 0.0,
+                "network_mbps_per_cpu must be >= 0");
+  ROPUS_REQUIRE(io_noise_cv >= 0.0, "io_noise_cv must be >= 0");
+}
+
+}  // namespace ropus::workload

@@ -1,0 +1,54 @@
+// Synthetic workload profiles.
+//
+// The paper's case study uses four weeks of 5-minute CPU demand traces from
+// 26 enterprise order-entry applications — proprietary data we substitute
+// with a parametric generator (see DESIGN.md §2). A profile captures the
+// structure the paper's algorithms are sensitive to: diurnal and weekly
+// cycles, autocorrelated noise, and heavy-tailed spike bursts whose top
+// percentiles dominate the peak (Figure 6).
+#pragma once
+
+#include <string>
+
+namespace ropus::workload {
+
+struct Profile {
+  std::string name;
+
+  // Envelope: mean weekday business-hours demand in CPUs, modulated by a
+  // diurnal bump and weekend/night multipliers.
+  double base_cpus = 1.0;
+  double diurnal_amplitude = 1.0;   // peak adds amplitude * base at peak hour
+  double peak_hour = 14.0;          // centre of the business-day bump [0, 24)
+  double peak_width_hours = 3.5;    // gaussian width of the bump
+  double night_factor = 0.25;       // demand floor off-hours as share of base
+  double weekend_factor = 0.35;     // weekend multiplier
+
+  // AR(1) multiplicative noise.
+  double noise_cv = 0.15;           // stationary coefficient of variation
+  double noise_phi = 0.6;           // persistence in [0, 1)
+
+  // Spike process: Poisson arrivals, geometric durations, Pareto magnitudes.
+  double spikes_per_day = 0.5;      // expected spike starts per day
+  double spike_mean_minutes = 15.0; // mean spike duration
+  double spike_pareto_alpha = 1.5;  // tail index (smaller = heavier tail)
+  double spike_scale = 1.0;         // spike magnitude scale, in units of base
+
+  // Hard clip representing the application's container size.
+  double max_cpus = 8.0;
+
+  // Non-CPU attribute model (the Section IX extension). Memory behaves like
+  // a resident set: it ratchets up with load and drains slowly; disk and
+  // network bandwidth track CPU demand with multiplicative noise.
+  double memory_base_gb = 2.0;     // resident-set floor
+  double memory_per_cpu_gb = 1.5;  // growth per CPU of demand
+  double memory_decay = 0.995;     // per-interval release factor in [0, 1]
+  double disk_mbps_per_cpu = 20.0;
+  double network_mbps_per_cpu = 40.0;
+  double io_noise_cv = 0.2;        // disk/network multiplicative noise
+
+  /// Throws InvalidArgument if any parameter is outside its documented range.
+  void validate() const;
+};
+
+}  // namespace ropus::workload

@@ -1,0 +1,255 @@
+// End-to-end tests of ropus_cli through its library seam.
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "trace/trace_io.h"
+
+namespace ropus::cli {
+namespace {
+
+std::vector<std::string> args(std::initializer_list<const char*> list) {
+  return {list.begin(), list.end()};
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ropus-cli-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    traces_ = (dir_ / "traces.csv").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  int run_cli(const std::vector<std::string>& a) {
+    out_.str("");
+    err_.str("");
+    return run(a, out_, err_);
+  }
+
+  void generate_traces() {
+    ASSERT_EQ(run_cli(args({"generate", "--weeks=1", "--apps=4",
+                            ("--out=" + traces_).c_str()})),
+              0)
+        << err_.str();
+  }
+
+  std::filesystem::path dir_;
+  std::string traces_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliTest, NoArgsPrintsUsageAndFails) {
+  EXPECT_EQ(run_cli({}), 1);
+  EXPECT_NE(err_.str().find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, HelpSucceeds) {
+  EXPECT_EQ(run_cli(args({"help"})), 0);
+  EXPECT_NE(out_.str().find("consolidate"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  EXPECT_EQ(run_cli(args({"frobnicate"})), 1);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateWritesReadableCsv) {
+  generate_traces();
+  EXPECT_TRUE(std::filesystem::exists(traces_));
+  EXPECT_NE(out_.str().find("wrote 4 traces"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateRequiresOut) {
+  EXPECT_EQ(run_cli(args({"generate", "--weeks=1"})), 1);
+  EXPECT_NE(err_.str().find("--out"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateRejectsUnknownFlag) {
+  EXPECT_EQ(run_cli(args({"generate", "--wekks=1", "--out=/tmp/x.csv"})), 1);
+  EXPECT_NE(err_.str().find("unknown flag: --wekks"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeShowsEveryApp) {
+  generate_traces();
+  EXPECT_EQ(run_cli(args({"analyze", ("--traces=" + traces_).c_str()})), 0)
+      << err_.str();
+  for (const char* app : {"app-01", "app-02", "app-03", "app-04"}) {
+    EXPECT_NE(out_.str().find(app), std::string::npos) << app;
+  }
+}
+
+TEST_F(CliTest, AnalyzeMissingFileIsRuntimeError) {
+  EXPECT_EQ(run_cli(args({"analyze", "--traces=/nonexistent.csv"})), 2);
+}
+
+TEST_F(CliTest, TranslateShowsBreakpointAndCpeak) {
+  generate_traces();
+  EXPECT_EQ(run_cli(args({"translate", ("--traces=" + traces_).c_str(),
+                          "--theta=0.6", "--tdegr=30"})),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("C_peak"), std::string::npos);
+  EXPECT_NE(out_.str().find("0.394"), std::string::npos);  // formula 1
+}
+
+TEST_F(CliTest, TranslateRejectsBadBand) {
+  generate_traces();
+  EXPECT_EQ(run_cli(args({"translate", ("--traces=" + traces_).c_str(),
+                          "--ulow=0.9", "--uhigh=0.6"})),
+            1);
+}
+
+TEST_F(CliTest, ConsolidatePlacesAllWorkloads) {
+  generate_traces();
+  EXPECT_EQ(run_cli(args({"consolidate", ("--traces=" + traces_).c_str(),
+                          "--servers=4", "--generations=30",
+                          "--population=16"})),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("C_requ"), std::string::npos);
+  for (const char* app : {"app-01", "app-04"}) {
+    EXPECT_NE(out_.str().find(app), std::string::npos) << app;
+  }
+}
+
+TEST_F(CliTest, FailoverReportsVerdict) {
+  generate_traces();
+  const int code =
+      run_cli(args({"failover", ("--traces=" + traces_).c_str(),
+                    "--servers=4", "--generations=30", "--population=16"}));
+  // Either verdict is acceptable; the report must state one.
+  EXPECT_TRUE(code == 0 || code == 2) << err_.str();
+  EXPECT_NE(out_.str().find("normal mode:"), std::string::npos);
+  EXPECT_TRUE(out_.str().find("spare server") != std::string::npos);
+}
+
+TEST_F(CliTest, FailoverConcurrentSweep) {
+  // Six flat 2-CPU workloads: 4 CPUs of allocation each under U_low = 0.5,
+  // so 8-way servers host two apiece and normal mode needs three servers —
+  // enough active servers for a k = 2 sweep.
+  std::vector<trace::DemandTrace> flat;
+  const trace::Calendar cal(1, 720);
+  for (int i = 0; i < 6; ++i) {
+    flat.emplace_back("flat-" + std::to_string(i), cal,
+                      std::vector<double>(cal.size(), 2.0));
+  }
+  const std::string path = (dir_ / "flat.csv").string();
+  trace::write_traces_csv(path, flat);
+
+  const int code = run_cli(
+      args({"failover", ("--traces=" + path).c_str(), "--servers=4",
+            "--cpus=8", "--m=100", "--generations=40", "--population=16",
+            "--concurrent=2", "--failure-ulow=0.8", "--failure-uhigh=0.9",
+            "--failure-udegr=0.95", "--failure-m=100"}));
+  EXPECT_TRUE(code == 0 || code == 2) << err_.str();
+  EXPECT_NE(out_.str().find("concurrent failures"), std::string::npos)
+      << out_.str() << err_.str();
+}
+
+
+TEST_F(CliTest, ForecastShowsTrendsAndWritesCsv) {
+  generate_traces();
+  const std::string out_path = (dir_ / "forecast.csv").string();
+  EXPECT_EQ(run_cli(args({"forecast", ("--traces=" + traces_).c_str(),
+                          "--horizon=2", ("--out=" + out_path).c_str()})),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("fitted trend"), std::string::npos);
+  // The written projection parses and has the requested horizon.
+  const auto projected = trace::read_traces_csv(out_path);
+  ASSERT_EQ(projected.size(), 4u);
+  EXPECT_EQ(projected[0].calendar().weeks(), 2u);
+}
+
+TEST_F(CliTest, PlanReportsHorizonOrExhaustion) {
+  generate_traces();
+  const int code = run_cli(
+      args({"plan", ("--traces=" + traces_).c_str(), "--servers=6",
+            "--growth=0.0", "--horizon=8", "--step=4",
+            "--generations=30", "--population=16"}));
+  EXPECT_EQ(code, 0) << err_.str();
+  EXPECT_NE(out_.str().find("capacity projection"), std::string::npos);
+  EXPECT_NE(out_.str().find("lasts the horizon"), std::string::npos);
+}
+
+TEST_F(CliTest, PlanAggressiveGrowthExhaustsAndReturnsTwo) {
+  generate_traces();
+  const int code = run_cli(
+      args({"plan", ("--traces=" + traces_).c_str(), "--servers=2",
+            "--growth=0.25", "--horizon=26", "--step=2",
+            "--generations=30", "--population=16"}));
+  EXPECT_EQ(code, 2) << out_.str() << err_.str();
+  EXPECT_NE(out_.str().find("exhausted"), std::string::npos);
+}
+
+TEST_F(CliTest, PlanJsonOutput) {
+  generate_traces();
+  const int code = run_cli(
+      args({"plan", ("--traces=" + traces_).c_str(), "--servers=6",
+            "--growth=0.0", "--horizon=4", "--step=4", "--json",
+            "--generations=20", "--population=16"}));
+  EXPECT_EQ(code, 0) << err_.str();
+  EXPECT_NE(out_.str().find("\"points\""), std::string::npos);
+  EXPECT_NE(out_.str().find("\"exhaustion_week\":null"), std::string::npos);
+}
+
+
+TEST_F(CliTest, WhatifComparesScenarios) {
+  generate_traces();
+  const int code = run_cli(
+      args({"whatif", ("--traces=" + traces_).c_str(), "--servers=6",
+            "--scale=app-02:2.0", "--remove=app-01", "--shift=app-03:60",
+            "--generations=25", "--population=16"}));
+  EXPECT_TRUE(code == 0 || code == 2) << err_.str();
+  EXPECT_NE(out_.str().find("baseline"), std::string::npos);
+  EXPECT_NE(out_.str().find("scenario"), std::string::npos);
+  EXPECT_NE(out_.str().find("4 -> 3 workloads"), std::string::npos);
+}
+
+TEST_F(CliTest, WhatifRejectsUnknownApp) {
+  generate_traces();
+  EXPECT_EQ(run_cli(args({"whatif", ("--traces=" + traces_).c_str(),
+                          "--scale=ghost:2.0"})),
+            1);
+  EXPECT_NE(err_.str().find("unknown application"), std::string::npos);
+}
+
+TEST_F(CliTest, WhatifRejectsMalformedPairs) {
+  generate_traces();
+  EXPECT_EQ(run_cli(args({"whatif", ("--traces=" + traces_).c_str(),
+                          "--scale=app-01"})),
+            1);
+}
+
+
+TEST_F(CliTest, BacktestReportsPerServerOutcome) {
+  // Two weeks so one can be held out.
+  ASSERT_EQ(run_cli(args({"generate", "--weeks=2", "--apps=4",
+                          ("--out=" + traces_).c_str()})),
+            0)
+      << err_.str();
+  const int code = run_cli(
+      args({"backtest", ("--traces=" + traces_).c_str(), "--servers=4",
+            "--theta=0.6", "--generations=30", "--population=16"}));
+  EXPECT_TRUE(code == 0 || code == 2) << err_.str();
+  EXPECT_NE(out_.str().find("worst observed theta"), std::string::npos);
+  EXPECT_NE(out_.str().find("trained on 1 week(s)"), std::string::npos);
+}
+
+TEST_F(CliTest, BacktestNeedsAHoldout) {
+  generate_traces();  // 1 week: no holdout possible
+  EXPECT_EQ(run_cli(args({"backtest", ("--traces=" + traces_).c_str(),
+                          "--servers=4"})),
+            1);
+}
+
+}  // namespace
+}  // namespace ropus::cli

@@ -1,0 +1,84 @@
+#include "cli/cli_util.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace ropus::cli {
+namespace {
+
+std::vector<std::string> args(std::initializer_list<const char*> list) {
+  return {list.begin(), list.end()};
+}
+
+TEST(RequirementFromFlags, DefaultsToPaperValues) {
+  const Flags flags(args({}));
+  const qos::Requirement req = requirement_from_flags(flags);
+  EXPECT_DOUBLE_EQ(req.u_low, 0.5);
+  EXPECT_DOUBLE_EQ(req.u_high, 0.66);
+  EXPECT_DOUBLE_EQ(req.u_degr, 0.9);
+  EXPECT_DOUBLE_EQ(req.m_percent, 97.0);
+  EXPECT_FALSE(req.t_degr_minutes.has_value());
+  EXPECT_FALSE(req.max_degraded_epochs_per_day.has_value());
+}
+
+TEST(RequirementFromFlags, ParsesEverything) {
+  const Flags flags(args({"--ulow=0.4", "--uhigh=0.7", "--udegr=0.85",
+                          "--m=95", "--tdegr=45", "--epochs=2"}));
+  const qos::Requirement req = requirement_from_flags(flags);
+  EXPECT_DOUBLE_EQ(req.u_low, 0.4);
+  EXPECT_DOUBLE_EQ(req.u_high, 0.7);
+  EXPECT_DOUBLE_EQ(req.u_degr, 0.85);
+  EXPECT_DOUBLE_EQ(req.m_percent, 95.0);
+  ASSERT_TRUE(req.t_degr_minutes.has_value());
+  EXPECT_DOUBLE_EQ(*req.t_degr_minutes, 45.0);
+  ASSERT_TRUE(req.max_degraded_epochs_per_day.has_value());
+  EXPECT_EQ(*req.max_degraded_epochs_per_day, 2u);
+}
+
+TEST(RequirementFromFlags, PrefixSelectsFailureFlags) {
+  const Flags flags(args({"--ulow=0.5", "--failure-ulow=0.7",
+                          "--failure-uhigh=0.85", "--failure-udegr=0.95"}));
+  const qos::Requirement normal = requirement_from_flags(flags);
+  const qos::Requirement failure = requirement_from_flags(flags, "failure-");
+  EXPECT_DOUBLE_EQ(normal.u_low, 0.5);
+  EXPECT_DOUBLE_EQ(failure.u_low, 0.7);
+  EXPECT_DOUBLE_EQ(failure.u_high, 0.85);
+}
+
+TEST(RequirementFromFlags, InvalidBandThrows) {
+  const Flags flags(args({"--ulow=0.8", "--uhigh=0.6"}));
+  EXPECT_THROW(requirement_from_flags(flags), InvalidArgument);
+}
+
+TEST(Cos2FromFlags, DefaultsAndParses) {
+  EXPECT_DOUBLE_EQ(cos2_from_flags(Flags(args({}))).theta, 0.95);
+  const qos::CosCommitment c =
+      cos2_from_flags(Flags(args({"--theta=0.6", "--deadline=30"})));
+  EXPECT_DOUBLE_EQ(c.theta, 0.6);
+  EXPECT_DOUBLE_EQ(c.deadline_minutes, 30.0);
+  EXPECT_THROW(cos2_from_flags(Flags(args({"--theta=1.5"}))),
+               InvalidArgument);
+}
+
+TEST(LoadTraces, RequiresFlag) {
+  EXPECT_THROW(load_traces(Flags(args({}))), InvalidArgument);
+  EXPECT_THROW(load_traces(Flags(args({"--traces=/no/such/file.csv"}))),
+               IoError);
+}
+
+TEST(CheckFlags, ReportsUnknown) {
+  const Flags flags(args({"--good=1", "--bad=2"}));
+  const std::vector<std::string> allowed{"good"};
+  std::ostringstream err;
+  EXPECT_FALSE(check_flags(flags, allowed, err));
+  EXPECT_NE(err.str().find("--bad"), std::string::npos);
+  std::ostringstream err2;
+  EXPECT_TRUE(check_flags(Flags(args({"--good=1"})), allowed, err2));
+  EXPECT_TRUE(err2.str().empty());
+}
+
+}  // namespace
+}  // namespace ropus::cli

@@ -1,0 +1,79 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ropus {
+namespace {
+
+std::vector<std::string> args(std::initializer_list<const char*> list) {
+  return {list.begin(), list.end()};
+}
+
+TEST(Flags, EqualsSyntax) {
+  const Flags f(args({"--weeks=4", "--out=x.csv"}));
+  EXPECT_EQ(f.get_size("weeks", 0), 4u);
+  EXPECT_EQ(f.get_string("out", ""), "x.csv");
+}
+
+TEST(Flags, SpaceSyntax) {
+  const Flags f(args({"--weeks", "4", "--out", "x.csv"}));
+  EXPECT_EQ(f.get_size("weeks", 0), 4u);
+  EXPECT_EQ(f.get_string("out", ""), "x.csv");
+}
+
+TEST(Flags, BareFlagIsBooleanTrue) {
+  const Flags f(args({"--verbose", "--weeks=2"}));
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_FALSE(f.get_bool("quiet", false));
+}
+
+TEST(Flags, PositionalCollected) {
+  const Flags f(args({"cmd-ish", "--x=1", "another"}));
+  EXPECT_EQ(f.positional(),
+            (std::vector<std::string>{"cmd-ish", "another"}));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const Flags f(args({}));
+  EXPECT_DOUBLE_EQ(f.get_double("theta", 0.95), 0.95);
+  EXPECT_EQ(f.get_size("servers", 13), 13u);
+  EXPECT_EQ(f.get_string("out", "fallback"), "fallback");
+  EXPECT_FALSE(f.has("theta"));
+}
+
+TEST(Flags, RepeatedFlagThrows) {
+  EXPECT_THROW(Flags(args({"--x=1", "--x=2"})), InvalidArgument);
+}
+
+TEST(Flags, MalformedNumbersThrow) {
+  const Flags f(args({"--theta=abc", "--servers=-3", "--flag=maybe"}));
+  EXPECT_THROW(f.get_double("theta", 0.0), InvalidArgument);
+  EXPECT_THROW(f.get_size("servers", 0), InvalidArgument);
+  EXPECT_THROW(f.get_bool("flag", false), InvalidArgument);
+}
+
+TEST(Flags, BooleanSpellings) {
+  const Flags f(args({"--a=true", "--b=0", "--c=yes", "--d=no"}));
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_FALSE(f.get_bool("b", true));
+  EXPECT_TRUE(f.get_bool("c", false));
+  EXPECT_FALSE(f.get_bool("d", true));
+}
+
+TEST(Flags, UnknownFlagDetection) {
+  const Flags f(args({"--known=1", "--typo=2"}));
+  const std::vector<std::string> allowed{"known"};
+  EXPECT_EQ(f.unknown_flags(allowed),
+            (std::vector<std::string>{"typo"}));
+}
+
+TEST(Flags, NegativeNumberAsValueNotFlag) {
+  // "-3" does not start with "--", so it binds as the value.
+  const Flags f(args({"--offset", "-3"}));
+  EXPECT_DOUBLE_EQ(f.get_double("offset", 0.0), -3.0);
+}
+
+}  // namespace
+}  // namespace ropus

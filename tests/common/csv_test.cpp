@@ -1,0 +1,97 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace ropus::csv {
+namespace {
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ropus-csv-test-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST(ParseLine, SimpleFields) {
+  const Row row = parse_line("a,b,c");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], "a");
+  EXPECT_EQ(row[2], "c");
+}
+
+TEST(ParseLine, EmptyFields) {
+  const Row row = parse_line("a,,c,");
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[1], "");
+  EXPECT_EQ(row[3], "");
+}
+
+TEST(ParseLine, QuotedFieldWithComma) {
+  const Row row = parse_line("a,\"b,c\",d");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[1], "b,c");
+}
+
+TEST(ParseLine, EscapedQuote) {
+  const Row row = parse_line("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0], "say \"hi\"");
+}
+
+TEST(ParseLine, ToleratesCarriageReturn) {
+  const Row row = parse_line("a,b\r");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[1], "b");
+}
+
+TEST(FormatLine, RoundTripsThroughParse) {
+  const Row original{"plain", "with,comma", "with\"quote", ""};
+  const Row reparsed = parse_line(format_line(original));
+  EXPECT_EQ(reparsed, original);
+}
+
+TEST_F(CsvFileTest, WriteReadRoundTrip) {
+  Document doc;
+  doc.header = {"x", "y"};
+  doc.rows = {{"1", "2.5"}, {"3", "4.5"}};
+  const auto path = dir_ / "roundtrip.csv";
+  write_file(path, doc);
+  const Document back = read_file(path, /*has_header=*/true);
+  EXPECT_EQ(back.header, doc.header);
+  EXPECT_EQ(back.rows, doc.rows);
+}
+
+TEST_F(CsvFileTest, ReadWithoutHeader) {
+  const auto path = dir_ / "nohdr.csv";
+  std::ofstream(path) << "1,2\n3,4\n";
+  const Document doc = read_file(path, /*has_header=*/false);
+  EXPECT_TRUE(doc.header.empty());
+  ASSERT_EQ(doc.rows.size(), 2u);
+}
+
+TEST_F(CsvFileTest, MissingFileThrows) {
+  EXPECT_THROW(read_file(dir_ / "absent.csv", true), IoError);
+}
+
+TEST(ToDouble, ParsesAndRejects) {
+  EXPECT_DOUBLE_EQ(to_double("2.5", 0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(to_double(" 2.5", 0, 0), 2.5);
+  EXPECT_THROW(to_double("abc", 1, 2), IoError);
+  EXPECT_THROW(to_double("2.5x", 1, 2), IoError);
+  EXPECT_THROW(to_double("", 1, 2), IoError);
+}
+
+}  // namespace
+}  // namespace ropus::csv

@@ -1,0 +1,108 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropus::json {
+namespace {
+
+TEST(Json, EmptyObjectAndArray) {
+  EXPECT_EQ(Writer().begin_object().end_object().str(), "{}");
+  EXPECT_EQ(Writer().begin_array().end_array().str(), "[]");
+}
+
+TEST(Json, ObjectMembersCommaSeparated) {
+  Writer w;
+  w.begin_object();
+  w.key("a").value(std::int64_t{1});
+  w.key("b").value("two");
+  w.key("c").value(true);
+  w.key("d").null();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"two","c":true,"d":null})");
+}
+
+TEST(Json, ArrayElements) {
+  Writer w;
+  w.begin_array();
+  w.value(std::int64_t{1}).value(std::int64_t{2}).value("x");
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([1,2,"x"])");
+}
+
+TEST(Json, Nesting) {
+  Writer w;
+  w.begin_object();
+  w.key("list").begin_array();
+  w.begin_object().key("k").value(std::int64_t{7}).end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"list":[{"k":7}]})");
+}
+
+TEST(Json, StringEscaping) {
+  Writer w;
+  w.begin_array();
+  w.value("quote\" slash\\ newline\n tab\t");
+  w.end_array();
+  EXPECT_EQ(w.str(), "[\"quote\\\" slash\\\\ newline\\n tab\\t\"]");
+}
+
+TEST(Json, ControlCharactersEscaped) {
+  Writer w;
+  w.begin_array().value(std::string_view("\x01", 1)).end_array();
+  EXPECT_EQ(w.str(), "[\"\\u0001\"]");
+}
+
+TEST(Json, DoublesRoundTrip) {
+  Writer w;
+  w.begin_array();
+  w.value(0.5).value(-3.25).value(1e20);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[0.5,-3.25,1e+20]");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  Writer w;
+  w.begin_array().value(std::nan("")).end_array();
+  EXPECT_EQ(w.str(), "[null]");
+}
+
+TEST(Json, MisuseThrows) {
+  {
+    Writer w;
+    w.begin_object();
+    EXPECT_THROW(w.value(std::int64_t{1}), InternalError);  // no key
+  }
+  {
+    Writer w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), InternalError);  // key in array
+  }
+  {
+    Writer w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), InternalError);  // mismatched close
+  }
+  {
+    Writer w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), InternalError);  // incomplete
+  }
+  {
+    Writer w;
+    w.begin_object();
+    w.key("a");
+    EXPECT_THROW(w.key("b"), InternalError);  // two keys in a row
+  }
+}
+
+TEST(Json, TopLevelScalarAllowed) {
+  EXPECT_EQ(Writer().value("lone").str(), R"("lone")");
+}
+
+}  // namespace
+}  // namespace ropus::json

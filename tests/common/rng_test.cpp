@@ -1,0 +1,121 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.h"
+
+namespace ropus {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+  EXPECT_THROW(rng.uniform(1.0, 0.0), InvalidArgument);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    counts[rng.uniform_index(10)] += 1;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 700);  // expected 1000 each; very loose bound
+    EXPECT_LT(c, 1300);
+  }
+  EXPECT_THROW(rng.uniform_index(0), InvalidArgument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  std::vector<double> sample;
+  sample.reserve(50000);
+  for (int i = 0; i < 50000; ++i) sample.push_back(rng.normal(2.0, 3.0));
+  const stats::Summary s = stats::summarize(sample);
+  EXPECT_NEAR(s.mean, 2.0, 0.05);
+  EXPECT_NEAR(s.stddev, 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  std::vector<double> sample;
+  for (int i = 0; i < 50000; ++i) sample.push_back(rng.exponential(2.0));
+  EXPECT_NEAR(stats::summarize(sample).mean, 0.5, 0.01);
+  EXPECT_THROW(rng.exponential(0.0), InvalidArgument);
+}
+
+TEST(Rng, ParetoBoundedBelowByScale) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+  EXPECT_THROW(rng.pareto(0.0, 1.0), InvalidArgument);
+}
+
+TEST(Rng, GeometricMeanRoughlyInversep) {
+  Rng rng(23);
+  double total = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    total += static_cast<double>(rng.geometric(0.25));
+  }
+  EXPECT_NEAR(total / n, 4.0, 0.1);
+  EXPECT_EQ(rng.geometric(1.0), 1u);
+  EXPECT_THROW(rng.geometric(0.0), InvalidArgument);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // The child stream should not replicate the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.uniform() == child.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace ropus

@@ -1,0 +1,119 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace ropus::stats {
+namespace {
+
+TEST(Summarize, EmptySampleIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, BasicMoments) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Quantile, EmptyThrows) {
+  EXPECT_THROW(quantile({}, 0.5), InvalidArgument);
+}
+
+TEST(Quantile, OutOfRangeThrows) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(quantile(v, -0.1), InvalidArgument);
+  EXPECT_THROW(quantile(v, 1.1), InvalidArgument);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 7.0);
+}
+
+TEST(Quantile, LinearInterpolation) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+}
+
+TEST(Percentile, MatchesQuantile) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 97.0), quantile(v, 0.97));
+  EXPECT_THROW(percentile(v, 101.0), InvalidArgument);
+}
+
+TEST(Quantiles, BatchMatchesSingle) {
+  const std::vector<double> v{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  const std::vector<double> qs{0.0, 0.25, 0.5, 0.75, 1.0};
+  const std::vector<double> batch = quantiles(v, qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], quantile(v, qs[i])) << "q=" << qs[i];
+  }
+}
+
+TEST(Runs, FindsMaximalRuns) {
+  const std::vector<bool> flags{false, true, true, false, true, true, true};
+  const auto runs = find_runs(flags);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].begin, 1u);
+  EXPECT_EQ(runs[0].length, 2u);
+  EXPECT_EQ(runs[1].begin, 4u);
+  EXPECT_EQ(runs[1].length, 3u);
+}
+
+TEST(Runs, AllTrueIsOneRun) {
+  const std::vector<bool> flags{true, true, true};
+  const auto runs = find_runs(flags);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].begin, 0u);
+  EXPECT_EQ(runs[0].length, 3u);
+}
+
+TEST(Runs, LongestRun) {
+  EXPECT_EQ(longest_run(std::vector<bool>{}), 0u);
+  EXPECT_EQ(longest_run(std::vector<bool>{false, false}), 0u);
+  EXPECT_EQ(longest_run(std::vector<bool>{true, false, true, true}), 2u);
+}
+
+TEST(Runs, FractionTrue) {
+  EXPECT_DOUBLE_EQ(fraction_true(std::vector<bool>{}), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_true(std::vector<bool>{true, false, true, false}),
+                   0.5);
+}
+
+TEST(Sum, KahanAccumulatesSmallTerms) {
+  // 1 + 1e-16 * n with naive summation loses the small terms entirely.
+  std::vector<double> v{1.0};
+  for (int i = 0; i < 10000; ++i) v.push_back(1e-16);
+  EXPECT_NEAR(sum(v), 1.0 + 1e-12, 1e-15);
+}
+
+TEST(MaxValue, ThrowsOnEmpty) {
+  EXPECT_THROW(max_value({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ropus::stats

@@ -1,0 +1,95 @@
+// Spare-server economics (Section VI-C's cost-effectiveness remark).
+#include "failover/economics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ropus::failover {
+namespace {
+
+FailoverReport report_with(std::size_t active, std::size_t unsupported,
+                           std::size_t affected_per_failure = 3) {
+  FailoverReport report;
+  for (std::size_t s = 0; s < active; ++s) {
+    report.active_servers.push_back(s);
+    FailureOutcome o;
+    o.failed_server = s;
+    o.supported = s >= unsupported;
+    o.affected_apps.resize(affected_per_failure);
+    report.outcomes.push_back(std::move(o));
+  }
+  report.spare_needed = unsupported > 0;
+  return report;
+}
+
+EconomicsInput standard() {
+  EconomicsInput in;
+  in.server_mtbf_hours = 8760.0;  // one failure per server-year
+  in.server_mttr_hours = 24.0;
+  in.spare_cost_per_year = 10000.0;
+  in.violation_penalty_per_hour = 1000.0;
+  in.degraded_penalty_per_app_hour = 1.0;
+  return in;
+}
+
+TEST(Economics, AllSupportedMeansNoSpare) {
+  // 8 servers, every failure absorbed: only small degraded penalties.
+  const SpareVerdict v = evaluate_spare(report_with(8, 0), standard());
+  EXPECT_DOUBLE_EQ(v.unsupported_share, 0.0);
+  EXPECT_DOUBLE_EQ(v.expected_violation_hours, 0.0);
+  EXPECT_NEAR(v.failures_per_year, 8.0, 1e-9);
+  // 8 failures x 3 affected apps x 24 h x $1 = $576 << $10000 spare.
+  EXPECT_NEAR(v.annual_penalty_without_spare, 576.0, 1e-6);
+  EXPECT_FALSE(v.spare_recommended);
+}
+
+TEST(Economics, FrequentUnsupportedFailuresJustifyTheSpare) {
+  // Every failure unsupported: 8 x 24 h x $1000 = $192000/yr >> $10000.
+  const SpareVerdict v = evaluate_spare(report_with(8, 8), standard());
+  EXPECT_DOUBLE_EQ(v.unsupported_share, 1.0);
+  EXPECT_NEAR(v.expected_violation_hours, 8.0 * 24.0, 1e-9);
+  EXPECT_NEAR(v.annual_penalty_without_spare, 192000.0, 1e-6);
+  EXPECT_TRUE(v.spare_recommended);
+}
+
+TEST(Economics, BreakEvenScalesWithMttr) {
+  // Halving the repair time halves the violation exposure.
+  FailoverReport report = report_with(8, 4);
+  EconomicsInput slow = standard();
+  EconomicsInput fast = standard();
+  fast.server_mttr_hours = 12.0;
+  const SpareVerdict v_slow = evaluate_spare(report, slow);
+  const SpareVerdict v_fast = evaluate_spare(report, fast);
+  EXPECT_NEAR(v_fast.expected_violation_hours,
+              v_slow.expected_violation_hours / 2.0, 1e-9);
+}
+
+TEST(Economics, CheapPenaltiesFlipTheVerdict) {
+  FailoverReport report = report_with(8, 2);
+  EconomicsInput in = standard();
+  in.violation_penalty_per_hour = 10.0;  // tolerant business
+  const SpareVerdict cheap = evaluate_spare(report, in);
+  EXPECT_FALSE(cheap.spare_recommended);
+  in.violation_penalty_per_hour = 5000.0;  // revenue-critical
+  const SpareVerdict dear = evaluate_spare(report, in);
+  EXPECT_TRUE(dear.spare_recommended);
+}
+
+TEST(Economics, EmptyReportIsNeutral) {
+  const SpareVerdict v = evaluate_spare(FailoverReport{}, standard());
+  EXPECT_DOUBLE_EQ(v.failures_per_year, 0.0);
+  EXPECT_FALSE(v.spare_recommended);
+}
+
+TEST(Economics, ValidatesAssumptions) {
+  EconomicsInput in = standard();
+  in.server_mtbf_hours = 0.0;
+  EXPECT_THROW(evaluate_spare(report_with(2, 0), in), InvalidArgument);
+  in = standard();
+  in.server_mttr_hours = in.server_mtbf_hours;
+  EXPECT_THROW(evaluate_spare(report_with(2, 0), in), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ropus::failover

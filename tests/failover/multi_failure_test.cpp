@@ -1,0 +1,136 @@
+// Concurrent multi-server failures — the extension the paper sketches in
+// Section III ("this scenario can be extended to multiple node failures").
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "failover/planner.h"
+
+namespace ropus::failover {
+namespace {
+
+using trace::Calendar;
+using trace::DemandTrace;
+
+Calendar tiny() { return Calendar(1, 720); }
+
+qos::Requirement band(double u_low, double u_high, double u_degr) {
+  qos::Requirement r;
+  r.u_low = u_low;
+  r.u_high = u_high;
+  r.u_degr = u_degr;
+  r.m_percent = 100.0;
+  return r;
+}
+
+struct Scenario {
+  std::vector<DemandTrace> demands;
+  std::vector<qos::ApplicationQos> qos;
+  qos::PoolCommitments commitments;
+};
+
+// Nine flat workloads of 2 CPUs. Normal (U_low = 0.5): 4 CPUs each = 36
+// total -> three 16-way servers. Failure (U_low = 0.8): 2.5 each = 22.5
+// total -> fits two survivors, but not one.
+Scenario make_scenario(const qos::Requirement& failure_req) {
+  Scenario s;
+  for (int i = 0; i < 9; ++i) {
+    s.demands.emplace_back("app-" + std::to_string(i), tiny(),
+                           std::vector<double>(tiny().size(), 2.0));
+    qos::ApplicationQos q;
+    q.app_name = s.demands.back().name();
+    q.normal = band(0.5, 0.66, 0.9);
+    q.failure = failure_req;
+    s.qos.push_back(std::move(q));
+  }
+  s.commitments.cos2 = qos::CosCommitment{1.0, 10080.0};
+  return s;
+}
+
+PlannerConfig fast_config() {
+  PlannerConfig cfg;
+  cfg.normal.genetic.population = 16;
+  cfg.normal.genetic.max_generations = 80;
+  cfg.normal.genetic.stagnation_limit = 15;
+  cfg.failure.genetic = cfg.normal.genetic;
+  return cfg;
+}
+
+TEST(MultiFailure, SingleFailureSupportedDoubleNot) {
+  Scenario s = make_scenario(band(0.8, 0.9, 0.95));
+  FailurePlanner planner(s.demands, s.qos, s.commitments,
+                         sim::homogeneous_pool(4, 16));
+  const MultiFailoverReport one = planner.plan_concurrent(fast_config(), 1);
+  ASSERT_TRUE(one.normal.feasible);
+  EXPECT_EQ(one.normal.servers_used, 3u);
+  EXPECT_EQ(one.outcomes.size(), 3u);  // C(3,1)
+  EXPECT_TRUE(one.all_supported());
+
+  const MultiFailoverReport two = planner.plan_concurrent(fast_config(), 2);
+  EXPECT_EQ(two.outcomes.size(), 3u);  // C(3,2)
+  // 22.5 CPUs of failure-mode demand cannot fit one 16-way survivor.
+  EXPECT_EQ(two.unsupported, two.outcomes.size());
+  EXPECT_FALSE(two.all_supported());
+}
+
+TEST(MultiFailure, OutcomesEnumerateDistinctSubsets) {
+  Scenario s = make_scenario(band(0.8, 0.9, 0.95));
+  FailurePlanner planner(s.demands, s.qos, s.commitments,
+                         sim::homogeneous_pool(4, 16));
+  const MultiFailoverReport two = planner.plan_concurrent(fast_config(), 2);
+  for (const auto& o : two.outcomes) {
+    EXPECT_EQ(o.failed_servers.size(), 2u);
+    EXPECT_LT(o.failed_servers[0], o.failed_servers[1]);
+  }
+  for (std::size_t i = 0; i < two.outcomes.size(); ++i) {
+    for (std::size_t j = i + 1; j < two.outcomes.size(); ++j) {
+      EXPECT_NE(two.outcomes[i].failed_servers,
+                two.outcomes[j].failed_servers);
+    }
+  }
+}
+
+TEST(MultiFailure, MaxSubsetsCapsTheSweep) {
+  Scenario s = make_scenario(band(0.8, 0.9, 0.95));
+  FailurePlanner planner(s.demands, s.qos, s.commitments,
+                         sim::homogeneous_pool(4, 16));
+  const MultiFailoverReport capped =
+      planner.plan_concurrent(fast_config(), 1, 2);
+  EXPECT_EQ(capped.outcomes.size(), 2u);
+}
+
+TEST(MultiFailure, AffectedAppsUnionOfFailedServers) {
+  Scenario s = make_scenario(band(0.8, 0.9, 0.95));
+  FailurePlanner planner(s.demands, s.qos, s.commitments,
+                         sim::homogeneous_pool(4, 16));
+  const MultiFailoverReport two = planner.plan_concurrent(fast_config(), 2);
+  for (const auto& o : two.outcomes) {
+    std::size_t expected = 0;
+    for (std::size_t srv : o.failed_servers) {
+      expected += two.normal.evaluation.servers[srv].workloads.size();
+    }
+    EXPECT_EQ(o.affected_apps.size(), expected);
+  }
+}
+
+TEST(MultiFailure, RejectsImpossibleK) {
+  Scenario s = make_scenario(band(0.8, 0.9, 0.95));
+  FailurePlanner planner(s.demands, s.qos, s.commitments,
+                         sim::homogeneous_pool(4, 16));
+  EXPECT_THROW(planner.plan_concurrent(fast_config(), 0), InvalidArgument);
+  EXPECT_THROW(planner.plan_concurrent(fast_config(), 5), InvalidArgument);
+}
+
+TEST(MultiFailure, SingleSweepAgreesWithPlan) {
+  Scenario s = make_scenario(band(0.8, 0.9, 0.95));
+  FailurePlanner planner(s.demands, s.qos, s.commitments,
+                         sim::homogeneous_pool(4, 16));
+  const FailoverReport single = planner.plan(fast_config());
+  const MultiFailoverReport multi = planner.plan_concurrent(fast_config(), 1);
+  ASSERT_EQ(single.outcomes.size(), multi.outcomes.size());
+  EXPECT_EQ(single.spare_needed, !multi.all_supported());
+}
+
+}  // namespace
+}  // namespace ropus::failover

@@ -1,0 +1,104 @@
+// Backtesting the trace-based premise: train on history, validate on the
+// held-out tail.
+#include "core/backtest.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "workload/fleet.h"
+
+namespace ropus {
+namespace {
+
+using trace::Calendar;
+using trace::DemandTrace;
+
+qos::Requirement paper_req() {
+  qos::Requirement r;
+  r.u_low = 0.5;
+  r.u_high = 0.66;
+  r.u_degr = 0.9;
+  r.m_percent = 97.0;
+  r.t_degr_minutes = 30.0;
+  return r;
+}
+
+BacktestConfig fast_config(std::size_t training_weeks) {
+  BacktestConfig cfg;
+  cfg.training_weeks = training_weeks;
+  cfg.consolidation.genetic.population = 16;
+  cfg.consolidation.genetic.max_generations = 40;
+  cfg.consolidation.genetic.stagnation_limit = 10;
+  return cfg;
+}
+
+TEST(HeadTailWeeks, PartitionTheTrace) {
+  const auto traces = workload::case_study_traces(Calendar(3, 5), 2006);
+  const DemandTrace& t = traces[0];
+  const DemandTrace head = trace::head_weeks(t, 2);
+  const DemandTrace tail = trace::tail_weeks(t, 1);
+  EXPECT_EQ(head.calendar().weeks(), 2u);
+  EXPECT_EQ(tail.calendar().weeks(), 1u);
+  EXPECT_DOUBLE_EQ(head[0], t[0]);
+  EXPECT_DOUBLE_EQ(tail[0], t[head.size()]);
+  EXPECT_DOUBLE_EQ(tail[tail.size() - 1], t[t.size() - 1]);
+  EXPECT_THROW(trace::head_weeks(t, 0), InvalidArgument);
+  EXPECT_THROW(trace::head_weeks(t, 4), InvalidArgument);
+}
+
+TEST(Backtest, StationaryFleetHoldsItsCommitments) {
+  // The synthetic fleet is statistically stationary week over week, which
+  // is exactly the regime where the paper's premise should hold.
+  const auto demands = workload::case_study_traces(Calendar(3, 5), 2006);
+  const auto pool = sim::homogeneous_pool(13, 16);
+  const BacktestReport report = backtest(
+      demands, paper_req(), qos::CosCommitment{0.9, 60.0}, pool,
+      fast_config(2));
+  ASSERT_TRUE(report.placement_feasible);
+  EXPECT_EQ(report.servers.size(),
+            static_cast<std::size_t>(report.servers_used));
+  // A bursty holdout week may dip below the commitment on some server, but
+  // the bulk must hold and theta must stay close to the promise.
+  EXPECT_LE(report.violations, report.servers.size() / 2);
+  EXPECT_GT(report.worst_observed_theta, 0.75);
+}
+
+TEST(Backtest, GrowthBreaksThePremise) {
+  // Demand that doubles in the holdout violates the trained commitments
+  // far more than the stationary fleet does.
+  auto demands = workload::case_study_traces(Calendar(3, 5), 2006);
+  std::vector<trace::DemandTrace> grown;
+  for (const auto& t : demands) {
+    std::vector<double> v(t.values().begin(), t.values().end());
+    const std::size_t holdout_start = 2 * t.calendar().slots_per_week();
+    for (std::size_t i = holdout_start; i < v.size(); ++i) v[i] *= 2.0;
+    grown.emplace_back(t.name(), t.calendar(), std::move(v));
+  }
+  const auto pool = sim::homogeneous_pool(13, 16);
+  const qos::CosCommitment cos2{0.9, 60.0};
+  const BacktestReport stationary =
+      backtest(demands, paper_req(), cos2, pool, fast_config(2));
+  const BacktestReport shifted =
+      backtest(grown, paper_req(), cos2, pool, fast_config(2));
+  ASSERT_TRUE(stationary.placement_feasible);
+  ASSERT_TRUE(shifted.placement_feasible);
+  EXPECT_LT(shifted.worst_observed_theta, stationary.worst_observed_theta);
+  EXPECT_GT(shifted.violations, stationary.violations);
+}
+
+TEST(Backtest, ValidatesInputs) {
+  const auto demands = workload::case_study_traces(Calendar(2, 5), 2006);
+  const auto pool = sim::homogeneous_pool(4, 16);
+  const qos::CosCommitment cos2{0.9, 60.0};
+  EXPECT_THROW(
+      backtest(demands, paper_req(), cos2, pool, fast_config(2)),
+      InvalidArgument);  // no holdout left
+  EXPECT_THROW(
+      backtest({}, paper_req(), cos2, pool, fast_config(1)),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ropus

@@ -1,0 +1,146 @@
+// Long-term capacity planning (Figure 1's leftmost activity).
+#include "core/capacity_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace ropus {
+namespace {
+
+using trace::Calendar;
+using trace::DemandTrace;
+
+Calendar tiny() { return Calendar(2, 720); }
+
+qos::Requirement flat_req() {
+  qos::Requirement r;
+  r.u_low = 0.5;
+  r.u_high = 0.66;
+  r.u_degr = 0.9;
+  r.m_percent = 100.0;
+  return r;
+}
+
+qos::PoolCommitments guaranteed() {
+  qos::PoolCommitments c;
+  c.cos2 = qos::CosCommitment{1.0, 10080.0};
+  return c;
+}
+
+placement::ConsolidationConfig fast_config() {
+  placement::ConsolidationConfig cfg;
+  cfg.genetic.population = 16;
+  cfg.genetic.max_generations = 40;
+  cfg.genetic.stagnation_limit = 10;
+  return cfg;
+}
+
+// Four flat workloads of 2 CPUs -> 16 CPUs of allocation on a 2x16=32 CPU
+// pool: utilization 50% today.
+std::vector<DemandTrace> flat_fleet(double growth_per_week = 0.0) {
+  std::vector<DemandTrace> fleet;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<double> v(tiny().size());
+    for (std::size_t j = 0; j < v.size(); ++j) {
+      const double week = static_cast<double>(tiny().week_of(j));
+      v[j] = 2.0 * (1.0 + growth_per_week * week);
+    }
+    fleet.emplace_back("app-" + std::to_string(i), tiny(), std::move(v));
+  }
+  return fleet;
+}
+
+TEST(CapacityPlanner, FlatDemandNeverExhausts) {
+  const auto fleet = flat_fleet();
+  const CapacityPlanner planner(fleet, flat_req(), guaranteed(),
+                                sim::homogeneous_pool(2, 16));
+  GrowthScenario scenario;
+  scenario.weekly_growth = 0.0;
+  scenario.horizon_weeks = 12;
+  scenario.step_weeks = 4;
+  const CapacityPlanningReport report =
+      planner.project(scenario, fast_config());
+  EXPECT_FALSE(report.exhaustion_week.has_value());
+  ASSERT_EQ(report.points.size(), 4u);  // weeks 0, 4, 8, 12
+  for (const auto& p : report.points) {
+    EXPECT_TRUE(p.feasible);
+    EXPECT_NEAR(p.mean_demand_scale, 1.0, 1e-12);
+  }
+}
+
+TEST(CapacityPlanner, GrowthExhaustsThePool) {
+  // 10%/week growth doubles demand in ~7.3 weeks; the pool has 2x headroom
+  // today, so exhaustion lands shortly after.
+  const auto fleet = flat_fleet();
+  const CapacityPlanner planner(fleet, flat_req(), guaranteed(),
+                                sim::homogeneous_pool(2, 16));
+  GrowthScenario scenario;
+  scenario.weekly_growth = 0.10;
+  scenario.horizon_weeks = 26;
+  scenario.step_weeks = 2;
+  const CapacityPlanningReport report =
+      planner.project(scenario, fast_config());
+  ASSERT_TRUE(report.exhaustion_week.has_value());
+  EXPECT_GE(*report.exhaustion_week, 6u);
+  EXPECT_LE(*report.exhaustion_week, 12u);
+  // Points stop at the exhaustion step.
+  EXPECT_FALSE(report.points.back().feasible);
+  EXPECT_EQ(report.points.back().week, *report.exhaustion_week);
+}
+
+TEST(CapacityPlanner, ServerCountGrowsBeforeExhaustion) {
+  const auto fleet = flat_fleet();
+  const CapacityPlanner planner(fleet, flat_req(), guaranteed(),
+                                sim::homogeneous_pool(4, 16));
+  GrowthScenario scenario;
+  scenario.weekly_growth = 0.10;
+  scenario.horizon_weeks = 12;
+  scenario.step_weeks = 4;
+  const CapacityPlanningReport report =
+      planner.project(scenario, fast_config());
+  ASSERT_GE(report.points.size(), 2u);
+  EXPECT_GE(report.points.back().servers_used,
+            report.points.front().servers_used);
+}
+
+TEST(CapacityPlanner, FittedTrendPicksUpTraceGrowth) {
+  // The traces themselves grow 20% week over week; the fitted scenario
+  // must exhaust sooner than a flat assumption.
+  const auto growing = flat_fleet(0.20);
+  const CapacityPlanner planner(growing, flat_req(), guaranteed(),
+                                sim::homogeneous_pool(2, 16));
+  GrowthScenario fitted;
+  fitted.use_fitted_trend = true;
+  fitted.horizon_weeks = 26;
+  fitted.step_weeks = 2;
+  const CapacityPlanningReport with_trend =
+      planner.project(fitted, fast_config());
+
+  GrowthScenario flat;
+  flat.weekly_growth = 0.0;
+  flat.horizon_weeks = 26;
+  flat.step_weeks = 2;
+  const CapacityPlanningReport without =
+      planner.project(flat, fast_config());
+
+  ASSERT_TRUE(with_trend.exhaustion_week.has_value());
+  EXPECT_FALSE(without.exhaustion_week.has_value());
+}
+
+TEST(CapacityPlanner, ValidatesInputs) {
+  const auto fleet = flat_fleet();
+  EXPECT_THROW(CapacityPlanner({}, flat_req(), guaranteed(),
+                               sim::homogeneous_pool(1, 16)),
+               InvalidArgument);
+  const CapacityPlanner planner(fleet, flat_req(), guaranteed(),
+                                sim::homogeneous_pool(1, 16));
+  GrowthScenario bad;
+  bad.step_weeks = 0;
+  EXPECT_THROW(planner.project(bad, fast_config()), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ropus

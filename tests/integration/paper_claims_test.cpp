@@ -1,0 +1,151 @@
+// The paper's headline quantitative claims, pinned as tests so regressions
+// in any layer surface as broken claims rather than silently wrong benches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "placement/consolidator.h"
+#include "placement/problem.h"
+#include "qos/allocation.h"
+#include "workload/fleet.h"
+
+namespace ropus {
+namespace {
+
+using trace::Calendar;
+
+qos::Requirement paper_req(double m, std::optional<double> t_degr) {
+  qos::Requirement r;
+  r.u_low = 0.5;
+  r.u_high = 0.66;
+  r.u_degr = 0.9;
+  r.m_percent = m;
+  r.t_degr_minutes = t_degr;
+  return r;
+}
+
+double fleet_c_peak(const std::vector<trace::DemandTrace>& demands,
+                    const qos::Requirement& req, double theta) {
+  double total = 0.0;
+  for (const auto& t : demands) {
+    total += qos::translate(t, req, qos::CosCommitment{theta, 60.0})
+                 .peak_allocation();
+  }
+  return total;
+}
+
+TEST(PaperClaims, Figure3MaxAllocationDropsTwentyPercent) {
+  // "for theta = 0.95 the maximum demand D_new_max is 20% lower than for
+  //  theta = 0.6" (Section V, Figure 3 discussion).
+  auto trend = [](double theta) {
+    const double p = qos::breakpoint(0.5, 0.66, theta);
+    return 0.5 / (0.66 * (p + theta * (1.0 - p)));
+  };
+  const double drop = 1.0 - trend(0.95) / trend(0.6);
+  EXPECT_NEAR(drop, 0.20, 0.01);
+}
+
+TEST(PaperClaims, Formula5BoundIs26Point7Percent) {
+  // "if U_high = 0.66 and U_degr = 0.9 then potential MaxCapReduction =
+  //  26.7%".
+  EXPECT_NEAR(paper_req(97.0, std::nullopt).max_cap_reduction_bound(),
+              0.267, 0.0005);
+}
+
+TEST(PaperClaims, MdegrCutsCpeakAboutaQuarter) {
+  // Table I: M_degr = 3% (no T_degr) cuts the sum of peak allocations by
+  // ~24% relative to M_degr = 0%, for both thetas.
+  const auto demands = workload::case_study_traces(Calendar(2, 5), 2006);
+  for (double theta : {0.6, 0.95}) {
+    const double base =
+        fleet_c_peak(demands, paper_req(100.0, std::nullopt), theta);
+    const double relaxed =
+        fleet_c_peak(demands, paper_req(97.0, std::nullopt), theta);
+    const double cut = 1.0 - relaxed / base;
+    EXPECT_GT(cut, 0.15) << "theta " << theta;
+    EXPECT_LT(cut, 0.27) << "theta " << theta;  // can't beat formula 5
+  }
+}
+
+TEST(PaperClaims, TdegrPenaltyLargerAtLowTheta) {
+  // "Overall MaxCapReduction is affected more by T_degr for theta = 0.6
+  //  than for the higher value of theta = 0.95" (Figure 7).
+  const auto demands = workload::case_study_traces(Calendar(2, 5), 2006);
+  auto penalty = [&demands](double theta) {
+    const double no_limit =
+        fleet_c_peak(demands, paper_req(97.0, std::nullopt), theta);
+    const double limited =
+        fleet_c_peak(demands, paper_req(97.0, 30.0), theta);
+    return limited / no_limit;  // > 1; bigger = worse penalty
+  };
+  EXPECT_GT(penalty(0.6), penalty(0.95));
+}
+
+TEST(PaperClaims, DegradedShareSmallerAtHighTheta) {
+  // Figure 8: with T_degr = 30 min the worst-app degraded share is well
+  // under the 3% budget, and smaller for theta = 0.95 than for 0.6.
+  const auto demands = workload::case_study_traces(Calendar(2, 5), 2006);
+  auto worst = [&demands](double theta) {
+    double w = 0.0;
+    for (const auto& t : demands) {
+      const auto tr =
+          qos::translate(t, paper_req(97.0, 30.0),
+                         qos::CosCommitment{theta, 60.0});
+      w = std::max(w, qos::degraded_fraction(t, tr));
+    }
+    return w;
+  };
+  const double hi = worst(0.95);
+  const double lo = worst(0.6);
+  EXPECT_LT(hi, lo);
+  EXPECT_LT(lo, 0.03);
+  EXPECT_LT(hi, 0.01);
+}
+
+TEST(PaperClaims, ConsolidationSavesALotVersusPeaks) {
+  // Table I: required capacity 37-45% below the sum of per-application
+  // peak allocations. (Fast search + short traces here, so accept >= 30%.)
+  const auto demands = workload::case_study_traces(Calendar(1, 5), 2006);
+  const qos::CosCommitment cos2{0.95, 60.0};
+  const auto allocations =
+      qos::build_allocations(demands, paper_req(97.0, 30.0), cos2);
+  const placement::PlacementProblem problem(
+      allocations, sim::homogeneous_pool(13, 16), cos2);
+  placement::ConsolidationConfig cfg;
+  cfg.genetic.population = 16;
+  cfg.genetic.max_generations = 60;
+  cfg.genetic.stagnation_limit = 12;
+  const auto report = placement::consolidate(problem, cfg);
+  ASSERT_TRUE(report.feasible);
+  const double savings =
+      1.0 - report.total_required_capacity / report.total_peak_allocation;
+  EXPECT_GT(savings, 0.30);
+  EXPECT_LT(savings, 0.60);
+}
+
+TEST(PaperClaims, MultipleClassesOfServiceBeatAllGuaranteed) {
+  // "Thus having multiple classes of service is advantageous": with
+  // everything on CoS1 the sum of peaks must fit under capacity, needing
+  // far more servers than the consolidated two-CoS placement.
+  const auto demands = workload::case_study_traces(Calendar(1, 5), 2006);
+  const qos::CosCommitment cos2{0.6, 60.0};
+  const auto allocations =
+      qos::build_allocations(demands, paper_req(100.0, std::nullopt), cos2);
+  double c_peak = 0.0;
+  for (const auto& a : allocations) c_peak += a.peak_allocation();
+  const double all_cos1_lower_bound = std::ceil(c_peak / 16.0);
+
+  const placement::PlacementProblem problem(
+      allocations, sim::homogeneous_pool(14, 16), cos2);
+  placement::ConsolidationConfig cfg;
+  cfg.genetic.population = 16;
+  cfg.genetic.max_generations = 60;
+  cfg.genetic.stagnation_limit = 12;
+  const auto report = placement::consolidate(problem, cfg);
+  ASSERT_TRUE(report.feasible);
+  EXPECT_LT(static_cast<double>(report.servers_used),
+            all_cos1_lower_bound);
+}
+
+}  // namespace
+}  // namespace ropus

@@ -1,0 +1,161 @@
+// The ropus::Pool facade.
+#include "core/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+#include "workload/fleet.h"
+
+namespace ropus {
+namespace {
+
+using trace::Calendar;
+
+qos::ApplicationQos standard_qos(const std::string& name) {
+  qos::ApplicationQos q;
+  q.app_name = name;
+  q.normal.u_low = 0.5;
+  q.normal.u_high = 0.66;
+  q.normal.u_degr = 0.9;
+  q.normal.m_percent = 100.0;
+  q.failure.u_low = 0.5;
+  q.failure.u_high = 0.66;
+  q.failure.u_degr = 0.9;
+  q.failure.m_percent = 97.0;
+  q.failure.t_degr_minutes = 30.0;
+  return q;
+}
+
+PlanOptions fast_options(bool failures) {
+  PlanOptions opts;
+  opts.consolidation.genetic.population = 16;
+  opts.consolidation.genetic.max_generations = 30;
+  opts.consolidation.genetic.stagnation_limit = 8;
+  opts.plan_failures = failures;
+  opts.failover.normal.genetic = opts.consolidation.genetic;
+  opts.failover.failure.genetic = opts.consolidation.genetic;
+  return opts;
+}
+
+Pool make_pool(std::size_t apps, std::size_t servers) {
+  qos::PoolCommitments commitments;
+  commitments.cos2 = qos::CosCommitment{0.9, 60.0};
+  Pool pool(commitments, sim::homogeneous_pool(servers, 16));
+  auto traces = workload::case_study_traces(Calendar(1, 5), 2006);
+  for (std::size_t i = 0; i < apps; ++i) {
+    pool.add_application(std::move(traces[i]),
+                         standard_qos(traces[i].name()));
+  }
+  return pool;
+}
+
+TEST(Pool, PlanProducesConsistentSummary) {
+  const Pool pool = make_pool(6, 6);
+  const CapacityPlan plan = pool.plan(fast_options(false));
+  ASSERT_TRUE(plan.consolidation.feasible);
+  EXPECT_EQ(plan.applications.size(), 6u);
+  EXPECT_EQ(plan.servers_used, plan.consolidation.servers_used);
+  EXPECT_GT(plan.total_peak_allocation, 0.0);
+  EXPECT_LE(plan.total_required_capacity, plan.total_peak_allocation);
+  for (const ApplicationPlan& app : plan.applications) {
+    EXPECT_LT(app.assigned_server, pool.servers().size());
+    EXPECT_GT(app.peak_allocation, 0.0);
+    EXPECT_GE(app.peak_allocation, app.peak_cos1_allocation);
+  }
+}
+
+TEST(Pool, PlanWithFailureSweepReportsOutcomes) {
+  const Pool pool = make_pool(6, 6);
+  const CapacityPlan plan = pool.plan(fast_options(true));
+  ASSERT_TRUE(plan.consolidation.feasible);
+  ASSERT_TRUE(plan.failover.has_value());
+  EXPECT_EQ(plan.failover->outcomes.size(),
+            plan.failover->active_servers.size());
+}
+
+TEST(Pool, RenderMentionsKeyFigures) {
+  const Pool pool = make_pool(4, 4);
+  const CapacityPlan plan = pool.plan(fast_options(false));
+  std::ostringstream os;
+  plan.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("R-Opus capacity plan"), std::string::npos);
+  EXPECT_NE(out.find("servers used"), std::string::npos);
+  EXPECT_NE(out.find("app-01"), std::string::npos);
+}
+
+TEST(Pool, HealthyReflectsFeasibilityAndSpares) {
+  const Pool pool = make_pool(4, 6);
+  const CapacityPlan plan = pool.plan(fast_options(true));
+  if (plan.consolidation.feasible && plan.failover.has_value()) {
+    EXPECT_EQ(plan.healthy(), !plan.failover->spare_needed);
+  }
+}
+
+TEST(Pool, ValidatesRegistration) {
+  qos::PoolCommitments commitments;
+  Pool pool(commitments, sim::homogeneous_pool(2, 16));
+  auto traces = workload::case_study_traces(Calendar(1, 5), 2006);
+  qos::ApplicationQos bad = standard_qos("x");
+  bad.normal.u_low = 0.9;  // invalid band
+  EXPECT_THROW(pool.add_application(traces[0], bad), InvalidArgument);
+
+  pool.add_application(traces[0], standard_qos(traces[0].name()));
+  // Mismatched calendar rejected.
+  auto other = workload::case_study_traces(Calendar(2, 5), 2006);
+  EXPECT_THROW(
+      pool.add_application(other[1], standard_qos(other[1].name())),
+      InvalidArgument);
+}
+
+TEST(Pool, HeterogeneousPerAppQosReflectedInTranslations) {
+  // The R-Opus selling point: every application brings its own QoS. A
+  // strict app must keep its raw peak; a relaxed one sheds up to the
+  // formula-5 bound.
+  qos::PoolCommitments commitments;
+  commitments.cos2 = qos::CosCommitment{0.9, 60.0};
+  Pool pool(commitments, sim::homogeneous_pool(4, 16));
+  auto traces = workload::case_study_traces(Calendar(1, 5), 2006);
+
+  qos::ApplicationQos strict = standard_qos("strict");
+  strict.normal.m_percent = 100.0;
+  qos::ApplicationQos relaxed = standard_qos("relaxed");
+  relaxed.normal.m_percent = 97.0;
+  relaxed.normal.t_degr_minutes = 30.0;
+
+  // Use the same bursty source app for both so the comparison is fair.
+  trace::DemandTrace a = traces[2];
+  trace::DemandTrace b = traces[2];
+  a.set_name("strict-app");
+  b.set_name("relaxed-app");
+  strict.app_name = a.name();
+  relaxed.app_name = b.name();
+  pool.add_application(std::move(a), strict);
+  pool.add_application(std::move(b), relaxed);
+
+  const CapacityPlan plan = pool.plan(fast_options(false));
+  ASSERT_TRUE(plan.consolidation.feasible);
+  ASSERT_EQ(plan.applications.size(), 2u);
+  const ApplicationPlan& s = plan.applications[0];
+  const ApplicationPlan& r = plan.applications[1];
+  EXPECT_DOUBLE_EQ(s.translation.d_new_max, s.translation.d_max);
+  EXPECT_LT(r.translation.d_new_max, r.translation.d_max);
+  EXPECT_LT(r.peak_allocation, s.peak_allocation);
+}
+
+TEST(Pool, PlanWithoutApplicationsThrows) {
+  qos::PoolCommitments commitments;
+  const Pool pool(commitments, sim::homogeneous_pool(2, 16));
+  EXPECT_THROW(pool.plan(fast_options(false)), InvalidArgument);
+}
+
+TEST(Pool, EmptyServerListThrows) {
+  qos::PoolCommitments commitments;
+  EXPECT_THROW(Pool(commitments, {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ropus

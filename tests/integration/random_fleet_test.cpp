@@ -1,0 +1,111 @@
+// Randomized end-to-end robustness sweep: arbitrary (seeded) fleets must
+// flow through translate -> place -> re-evaluate without violating any
+// invariant. This is the fuzz-style safety net under the case-study-shaped
+// tests elsewhere.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "placement/consolidator.h"
+#include "placement/problem.h"
+#include "qos/allocation.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace ropus {
+namespace {
+
+using trace::Calendar;
+
+workload::Profile random_profile(Rng& rng, std::size_t index) {
+  workload::Profile p;
+  p.name = "rand-" + std::to_string(index);
+  p.base_cpus = rng.uniform(0.3, 2.5);
+  p.diurnal_amplitude = rng.uniform(0.2, 2.0);
+  p.peak_hour = rng.uniform(0.0, 24.0);
+  p.peak_width_hours = rng.uniform(1.0, 6.0);
+  p.night_factor = rng.uniform(0.05, 0.6);
+  p.weekend_factor = rng.uniform(0.1, 1.0);
+  p.noise_cv = rng.uniform(0.0, 0.4);
+  p.noise_phi = rng.uniform(0.0, 0.9);
+  p.spikes_per_day = rng.uniform(0.0, 2.0);
+  p.spike_mean_minutes = rng.uniform(5.0, 60.0);
+  p.spike_pareto_alpha = rng.uniform(0.8, 3.0);
+  p.spike_scale = rng.uniform(0.0, 3.0);
+  p.max_cpus = p.base_cpus * rng.uniform(2.0, 5.0);
+  return p;
+}
+
+class RandomFleet : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomFleet, EndToEndInvariantsHold) {
+  Rng rng(GetParam());
+  const std::size_t apps = 4 + rng.uniform_index(8);  // 4..11 workloads
+  const Calendar cal(1, 15);
+
+  std::vector<trace::DemandTrace> demands;
+  for (std::size_t a = 0; a < apps; ++a) {
+    demands.push_back(
+        workload::generate(random_profile(rng, a), cal, GetParam()));
+  }
+
+  qos::Requirement req;
+  req.u_low = rng.uniform(0.3, 0.55);
+  req.u_high = req.u_low + rng.uniform(0.1, 0.3);
+  req.u_degr = std::min(0.97, req.u_high + rng.uniform(0.05, 0.25));
+  req.m_percent = rng.uniform(92.0, 100.0);
+  if (rng.bernoulli(0.5)) req.t_degr_minutes = rng.uniform(30.0, 180.0);
+  ASSERT_NO_THROW(req.validate());
+
+  const qos::CosCommitment cos2{rng.uniform(0.5, 1.0),
+                                rng.uniform(0.0, 240.0)};
+  const auto allocations = qos::build_allocations(demands, req, cos2);
+
+  // Translation invariants on arbitrary input.
+  for (std::size_t a = 0; a < apps; ++a) {
+    const qos::Translation& tr = allocations[a].translation();
+    EXPECT_LE(tr.d_new_max, tr.d_max * (1.0 + 1e-9)) << a;
+    EXPECT_LE(qos::degraded_fraction(demands[a], tr),
+              req.m_degr_percent() / 100.0 + 1e-9)
+        << a;
+    if (req.t_degr_minutes.has_value()) {
+      EXPECT_LE(qos::longest_degraded_minutes(demands[a], tr),
+                *req.t_degr_minutes + 1e-9)
+          << a;
+    }
+  }
+
+  // Placement on a pool big enough that feasibility is likely; when the
+  // search succeeds, every server must re-verify.
+  const auto pool = sim::homogeneous_pool(apps, 16);
+  const placement::PlacementProblem problem(allocations, pool, cos2);
+  placement::ConsolidationConfig cfg;
+  cfg.genetic.population = 12;
+  cfg.genetic.max_generations = 25;
+  cfg.genetic.stagnation_limit = 8;
+  cfg.genetic.seed = GetParam();
+  const placement::ConsolidationReport report =
+      placement::consolidate(problem, cfg);
+  if (!report.feasible) return;  // a too-big workload is a legal outcome
+
+  const auto by_server =
+      placement::workloads_by_server(report.assignment, pool.size());
+  for (std::size_t s = 0; s < pool.size(); ++s) {
+    if (by_server[s].empty()) continue;
+    std::vector<const qos::AllocationTrace*> hosted;
+    for (std::size_t w : by_server[s]) hosted.push_back(&allocations[w]);
+    const sim::Aggregate agg = sim::aggregate_workloads(hosted, cal);
+    EXPECT_TRUE(sim::evaluate(agg, pool[s].capacity(), cos2).satisfies(cos2))
+        << "seed " << GetParam() << " server " << s;
+  }
+  EXPECT_LE(report.total_required_capacity,
+            report.total_peak_allocation + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFleet,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u,
+                                           606u, 707u, 808u, 909u, 1010u));
+
+}  // namespace
+}  // namespace ropus

@@ -1,0 +1,124 @@
+// The medium-term repair loop.
+#include "core/repair_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "workload/fleet.h"
+
+namespace ropus {
+namespace {
+
+using trace::Calendar;
+using trace::DemandTrace;
+
+qos::Requirement paper_req() {
+  qos::Requirement r;
+  r.u_low = 0.5;
+  r.u_high = 0.66;
+  r.u_degr = 0.9;
+  r.m_percent = 97.0;
+  return r;
+}
+
+RepairLoopConfig fast_config() {
+  RepairLoopConfig cfg;
+  cfg.window_weeks = 1;
+  cfg.consolidation.genetic.population = 16;
+  cfg.consolidation.genetic.max_generations = 40;
+  cfg.consolidation.genetic.stagnation_limit = 10;
+  return cfg;
+}
+
+TEST(RepairLoop, StationaryFleetRarelyReplans) {
+  // A 2-week training window and a modest commitment: week-to-week noise
+  // should not keep tripping the loop.
+  const auto demands = workload::case_study_traces(Calendar(4, 5), 2006);
+  RepairLoopConfig cfg = fast_config();
+  cfg.window_weeks = 2;
+  const RepairLoopReport report =
+      run_repair_loop(demands, paper_req(), qos::CosCommitment{0.6, 60.0},
+                      sim::homogeneous_pool(13, 16), cfg);
+  ASSERT_TRUE(report.initial_placement_feasible);
+  ASSERT_EQ(report.steps.size(), 2u);  // weeks 2 and 3
+  EXPECT_LE(report.weeks_with_violations, 1u);
+  EXPECT_LE(report.replans, 1u);
+}
+
+TEST(RepairLoop, DemandShiftTriggersReplanAndRecovers) {
+  // Every application's demand jumps 2.2x from week 2 on: the deployed
+  // placement violates in week 2, the loop re-plans from the shifted
+  // window, and week 3 runs clean(er) on more servers.
+  auto base = workload::case_study_traces(Calendar(4, 5), 2006);
+  std::vector<DemandTrace> shifted;
+  for (const auto& t : base) {
+    std::vector<double> v(t.values().begin(), t.values().end());
+    const std::size_t start = 2 * t.calendar().slots_per_week();
+    for (std::size_t i = start; i < v.size(); ++i) v[i] *= 2.2;
+    shifted.emplace_back(t.name(), t.calendar(), std::move(v));
+  }
+  RepairLoopConfig cfg = fast_config();
+  cfg.window_weeks = 2;
+  const RepairLoopReport report =
+      run_repair_loop(shifted, paper_req(), qos::CosCommitment{0.8, 60.0},
+                      sim::homogeneous_pool(20, 16), cfg);
+  ASSERT_TRUE(report.initial_placement_feasible);
+  ASSERT_EQ(report.steps.size(), 2u);  // weeks 2 and 3
+
+  const RepairStep& shock = report.steps[0];
+  const RepairStep& after = report.steps[1];
+  EXPECT_GT(shock.violating_servers, 0u);
+  EXPECT_GE(report.replans, 1u);
+  EXPECT_TRUE(after.replanned);
+  EXPECT_GT(after.migrations, 0u);
+  // The re-planned week must look better than the shock week.
+  EXPECT_LE(after.violating_servers, shock.violating_servers);
+  EXPECT_GE(after.worst_observed_theta, shock.worst_observed_theta);
+  EXPECT_GE(after.servers_used, shock.servers_used);
+}
+
+TEST(RepairLoop, MigrationPenaltyLimitsChurn) {
+  // Same shifted fleet; a big penalty must not move more workloads than a
+  // small one.
+  auto base = workload::case_study_traces(Calendar(4, 5), 2006);
+  std::vector<DemandTrace> shifted;
+  for (const auto& t : base) {
+    std::vector<double> v(t.values().begin(), t.values().end());
+    const std::size_t start = 2 * t.calendar().slots_per_week();
+    for (std::size_t i = start; i < v.size(); ++i) v[i] *= 2.2;
+    shifted.emplace_back(t.name(), t.calendar(), std::move(v));
+  }
+  RepairLoopConfig cheap = fast_config();
+  cheap.window_weeks = 2;
+  cheap.migration_penalty = 0.001;
+  RepairLoopConfig costly = cheap;
+  costly.migration_penalty = 0.4;
+  const auto pool = sim::homogeneous_pool(20, 16);
+  const qos::CosCommitment cos2{0.8, 60.0};
+  const RepairLoopReport free_run =
+      run_repair_loop(shifted, paper_req(), cos2, pool, cheap);
+  const RepairLoopReport tight =
+      run_repair_loop(shifted, paper_req(), cos2, pool, costly);
+  ASSERT_TRUE(free_run.initial_placement_feasible);
+  ASSERT_TRUE(tight.initial_placement_feasible);
+  EXPECT_LE(tight.total_migrations, free_run.total_migrations);
+}
+
+TEST(RepairLoop, ValidatesInputs) {
+  const auto demands = workload::case_study_traces(Calendar(2, 5), 2006);
+  const auto pool = sim::homogeneous_pool(4, 16);
+  RepairLoopConfig cfg = fast_config();
+  cfg.window_weeks = 2;  // no operating week left
+  EXPECT_THROW(run_repair_loop(demands, paper_req(),
+                               qos::CosCommitment{0.8, 60.0}, pool, cfg),
+               InvalidArgument);
+  EXPECT_THROW(run_repair_loop({}, paper_req(),
+                               qos::CosCommitment{0.8, 60.0}, pool,
+                               fast_config()),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ropus

@@ -1,0 +1,20 @@
+// The umbrella header must compile standalone and expose the main types.
+#include "ropus.h"
+
+#include <gtest/gtest.h>
+
+namespace ropus {
+namespace {
+
+TEST(Umbrella, ExposesCoreTypes) {
+  const trace::Calendar cal = trace::Calendar::standard(1);
+  EXPECT_EQ(cal.slots_per_day(), 288u);
+  const qos::Requirement req;
+  EXPECT_NO_THROW(req.validate());
+  EXPECT_GT(qos::breakpoint(0.5, 0.66, 0.6), 0.0);
+  const sim::ServerSpec server{"s", 16};
+  EXPECT_DOUBLE_EQ(server.capacity(), 16.0);
+}
+
+}  // namespace
+}  // namespace ropus

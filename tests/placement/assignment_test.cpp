@@ -1,0 +1,37 @@
+#include "placement/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ropus::placement {
+namespace {
+
+TEST(Assignment, ValidationChecksCoverageAndRange) {
+  EXPECT_NO_THROW(validate_assignment({0, 1, 0}, 3, 2));
+  EXPECT_THROW(validate_assignment({0, 1}, 3, 2), InvalidArgument);
+  EXPECT_THROW(validate_assignment({0, 2, 0}, 3, 2), InvalidArgument);
+}
+
+TEST(Assignment, WorkloadsByServerInverts) {
+  const auto by_server = workloads_by_server({1, 0, 1, 1}, 3);
+  ASSERT_EQ(by_server.size(), 3u);
+  EXPECT_EQ(by_server[0], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(by_server[1], (std::vector<std::size_t>{0, 2, 3}));
+  EXPECT_TRUE(by_server[2].empty());
+}
+
+TEST(Assignment, ServersUsedCountsDistinct) {
+  EXPECT_EQ(servers_used({0, 0, 0}, 4), 1u);
+  EXPECT_EQ(servers_used({0, 1, 2}, 4), 3u);
+  EXPECT_EQ(servers_used({}, 4), 0u);
+}
+
+TEST(Assignment, OnePerServer) {
+  const Assignment a = one_per_server(3, 5);
+  EXPECT_EQ(a, (Assignment{0, 1, 2}));
+  EXPECT_THROW(one_per_server(5, 3), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ropus::placement

@@ -1,0 +1,125 @@
+#include "placement/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+
+namespace ropus::placement {
+namespace {
+
+using testing::flat_problem;
+
+TEST(FirstFit, PacksInIndexOrder) {
+  // Demands 2,2,2,2 (4 CPUs each): all four fit the first 16-way server.
+  auto f = flat_problem({2.0, 2.0, 2.0, 2.0}, 4);
+  const auto a = first_fit(*f.problem);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(servers_used(*a, 4), 1u);
+  EXPECT_TRUE(f.problem->evaluate(*a).feasible);
+}
+
+TEST(FirstFit, FailsWhenNothingFits) {
+  auto f = flat_problem({10.0}, 1);  // needs 20 CPUs on a 16-way box
+  EXPECT_FALSE(first_fit(*f.problem).has_value());
+}
+
+TEST(FirstFitDecreasing, HandlesLargeItemsFirst) {
+  // Items (CPUs): 12, 12, 4, 4; FFD pairs 12+4 twice -> 2 servers. Plain
+  // first-fit in index order (4, 4, 12, 12) packs 4+4 then 12, then 12 ->
+  // 3 servers.
+  auto f = flat_problem({2.0, 2.0, 6.0, 6.0}, 4);
+  const auto ff = first_fit(*f.problem);
+  const auto ffd = first_fit_decreasing(*f.problem);
+  ASSERT_TRUE(ff.has_value());
+  ASSERT_TRUE(ffd.has_value());
+  EXPECT_EQ(servers_used(*ffd, 4), 2u);
+  EXPECT_EQ(servers_used(*ff, 4), 3u);
+}
+
+TEST(BestFitDecreasing, FeasibleAndCompact) {
+  auto f = flat_problem({6.0, 2.0, 4.0, 4.0, 2.0, 6.0}, 6);
+  const auto a = best_fit_decreasing(*f.problem);
+  ASSERT_TRUE(a.has_value());
+  const PlacementEvaluation ev = f.problem->evaluate(*a);
+  EXPECT_TRUE(ev.feasible);
+  // Total demand = 24 CPUs x2 = 48 CPUs -> at least 3 servers; BFD should
+  // not need more than 4.
+  EXPECT_LE(ev.servers_used, 4u);
+}
+
+TEST(RandomSearch, FindsFeasibleOnEasyInstance) {
+  auto f = flat_problem({1.0, 1.0, 1.0}, 3);
+  const auto a = random_search(*f.problem, 50, 11);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(f.problem->evaluate(*a).feasible);
+}
+
+TEST(RandomSearch, ReturnsNulloptWhenImpossible) {
+  auto f = flat_problem({10.0, 10.0}, 2);
+  EXPECT_FALSE(random_search(*f.problem, 20, 11).has_value());
+}
+
+TEST(Baselines, AllRespectCommitmentsOnBurstyWorkloads) {
+  // Non-flat sanity check with theta < 1: every baseline's output must
+  // evaluate feasible.
+  auto f = flat_problem({3.0, 5.0, 2.0, 6.0, 4.0}, 5, 16, 0.9);
+  for (const auto& a : {first_fit(*f.problem), first_fit_decreasing(*f.problem),
+                        best_fit_decreasing(*f.problem)}) {
+    ASSERT_TRUE(a.has_value());
+    EXPECT_TRUE(f.problem->evaluate(*a).feasible);
+  }
+}
+
+
+TEST(CorrelationAware, FeasibleOnCaseStudySlice) {
+  // Mixed-profile fixture with theta < 1 so sharing matters.
+  auto f = flat_problem({3.0, 5.0, 2.0, 6.0, 4.0, 1.0}, 6, 16, 0.9);
+  const auto a = correlation_aware_greedy(*f.problem);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(f.problem->evaluate(*a).feasible);
+}
+
+TEST(CorrelationAware, PairsAntiCorrelatedWorkloads) {
+  // Two out-of-phase square waves (peaks never coincide, each needs 10
+  // CPUs of allocation at its peak) plus two in-phase ones. Server caps at
+  // 16 CPUs with theta = 1: an in-phase pair needs 20 (does not fit), an
+  // anti-phase pair needs only 12. The correlation-aware heuristic must
+  // find the anti-phase pairing.
+  testing::Fixture f;
+  f.cos2 = qos::CosCommitment{1.0, 10080.0};
+  const trace::Calendar cal = testing::tiny_calendar();
+  auto square = [&cal](const std::string& name, bool odd_phase) {
+    std::vector<double> v(cal.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = ((i % 2 == 0) != odd_phase) ? 5.0 : 1.0;
+    }
+    return trace::DemandTrace(name, cal, std::move(v));
+  };
+  f.demands.push_back(square("a", false));
+  f.demands.push_back(square("b", false));
+  f.demands.push_back(square("c", true));
+  f.demands.push_back(square("d", true));
+  for (const auto& d : f.demands) {
+    f.allocations.emplace_back(
+        d, qos::translate(d, testing::flat_requirement(), f.cos2));
+  }
+  f.problem = std::make_unique<PlacementProblem>(
+      f.allocations, sim::homogeneous_pool(4, 16), f.cos2);
+
+  const auto a = correlation_aware_greedy(*f.problem);
+  ASSERT_TRUE(a.has_value());
+  const PlacementEvaluation ev = f.problem->evaluate(*a);
+  EXPECT_TRUE(ev.feasible);
+  EXPECT_EQ(ev.servers_used, 2u);
+  // Each used server hosts one even-phase and one odd-phase workload.
+  for (const auto& se : ev.servers) {
+    if (!se.used) continue;
+    ASSERT_EQ(se.workloads.size(), 2u);
+    const bool first_even = se.workloads[0] < 2;
+    const bool second_even = se.workloads[1] < 2;
+    EXPECT_NE(first_even, second_even);
+  }
+}
+
+}  // namespace
+}  // namespace ropus::placement

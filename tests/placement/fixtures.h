@@ -1,0 +1,59 @@
+// Shared helpers for placement tests: flat demand traces make required
+// capacity exactly predictable (with theta = 1 a workload of demand d needs
+// 2d CPUs under U_low = 0.5), so placement reduces to crisp bin packing.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "placement/problem.h"
+#include "qos/allocation.h"
+#include "sim/server.h"
+#include "trace/demand_trace.h"
+
+namespace ropus::placement::testing {
+
+inline trace::Calendar tiny_calendar() { return trace::Calendar(1, 720); }
+
+inline qos::Requirement flat_requirement() {
+  qos::Requirement r;
+  r.u_low = 0.5;
+  r.u_high = 0.66;
+  r.u_degr = 0.9;
+  r.m_percent = 100.0;
+  return r;
+}
+
+/// Holds the storage a PlacementProblem needs (it keeps spans).
+struct Fixture {
+  std::vector<trace::DemandTrace> demands;
+  std::vector<qos::AllocationTrace> allocations;
+  qos::CosCommitment cos2{1.0, 10080.0};
+  std::unique_ptr<PlacementProblem> problem;
+};
+
+/// Builds a problem with one flat-demand workload per entry of
+/// `demand_cpus`, `server_count` servers of `cpus` CPUs each. With the
+/// default theta = 1 commitment, workload i consumes exactly
+/// 2 * demand_cpus[i] of required capacity wherever it is placed.
+inline Fixture flat_problem(const std::vector<double>& demand_cpus,
+                            std::size_t server_count, std::size_t cpus = 16,
+                            double theta = 1.0) {
+  Fixture f;
+  f.cos2 = qos::CosCommitment{theta, 10080.0};
+  const trace::Calendar cal = tiny_calendar();
+  for (std::size_t i = 0; i < demand_cpus.size(); ++i) {
+    f.demands.emplace_back("w" + std::to_string(i), cal,
+                           std::vector<double>(cal.size(), demand_cpus[i]));
+  }
+  for (const auto& d : f.demands) {
+    f.allocations.emplace_back(
+        d, qos::translate(d, flat_requirement(), f.cos2));
+  }
+  f.problem = std::make_unique<PlacementProblem>(
+      f.allocations, sim::homogeneous_pool(server_count, cpus), f.cos2);
+  return f;
+}
+
+}  // namespace ropus::placement::testing

@@ -1,0 +1,98 @@
+// Migration-aware consolidation: penalizing churn against the running
+// configuration (Section VII's "appropriate workload migration technology"
+// remark, turned into a search knob).
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "placement/genetic.h"
+
+namespace ropus::placement {
+namespace {
+
+using testing::flat_problem;
+
+std::size_t moves(const Assignment& a, const Assignment& b) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++count;
+  }
+  return count;
+}
+
+GeneticConfig config_with_penalty(double penalty,
+                                  const Assignment& reference) {
+  GeneticConfig cfg;
+  cfg.population = 16;
+  cfg.max_generations = 80;
+  cfg.stagnation_limit = 20;
+  cfg.migration_penalty = penalty;
+  cfg.migration_reference = reference;
+  return cfg;
+}
+
+TEST(Migration, HighPenaltyFreezesAFeasibleConfiguration) {
+  // Current config: two half-full servers (feasible, score ~0.5^32 x2 + 2).
+  // Free consolidation would merge them; a dominating penalty keeps them.
+  auto f = flat_problem({4.0, 4.0}, 4);
+  const Assignment current{0, 1};
+  ASSERT_TRUE(f.problem->evaluate(current).feasible);
+
+  const GeneticResult frozen = genetic_search(
+      *f.problem, current, config_with_penalty(100.0, current));
+  ASSERT_TRUE(frozen.found_feasible);
+  EXPECT_EQ(frozen.best, current);
+
+  GeneticConfig free_cfg = config_with_penalty(0.0, current);
+  const GeneticResult merged = genetic_search(*f.problem, current, free_cfg);
+  ASSERT_TRUE(merged.found_feasible);
+  EXPECT_EQ(merged.evaluation.servers_used, 1u);
+}
+
+TEST(Migration, SmallPenaltyStillAllowsWorthwhileMoves) {
+  // Emptying a server gains ~+1 score; a 0.05-per-move penalty (2 moves =
+  // 0.1) should not stop the merge.
+  auto f = flat_problem({4.0, 4.0}, 4);
+  const Assignment current{0, 1};
+  const GeneticResult r = genetic_search(
+      *f.problem, current, config_with_penalty(0.05, current));
+  ASSERT_TRUE(r.found_feasible);
+  EXPECT_EQ(r.evaluation.servers_used, 1u);
+}
+
+TEST(Migration, PenaltyReducesChurn) {
+  // Eight workloads spread across 8 servers; consolidate with and without
+  // a churn penalty. The penalized run must move no more workloads than
+  // the free run.
+  auto f = flat_problem(std::vector<double>(8, 2.0), 8);
+  const Assignment current = one_per_server(8, 8);
+
+  const GeneticResult free_run = genetic_search(
+      *f.problem, current, config_with_penalty(0.0, current));
+  const GeneticResult penalized = genetic_search(
+      *f.problem, current, config_with_penalty(0.2, current));
+  ASSERT_TRUE(free_run.found_feasible);
+  ASSERT_TRUE(penalized.found_feasible);
+  EXPECT_LE(moves(penalized.best, current), moves(free_run.best, current));
+}
+
+TEST(Migration, InfeasibleCurrentStillRepaired) {
+  // Even with a heavy penalty, feasibility beats staying put: the search
+  // must leave an overbooked configuration.
+  auto f = flat_problem({4.0, 4.0, 4.0, 4.0, 4.0}, 5);
+  const Assignment overloaded(5, 0);  // 40 CPUs on one 16-way box
+  ASSERT_FALSE(f.problem->evaluate(overloaded).feasible);
+  const GeneticResult r = genetic_search(
+      *f.problem, overloaded, config_with_penalty(50.0, overloaded));
+  ASSERT_TRUE(r.found_feasible);
+  EXPECT_TRUE(r.evaluation.feasible);
+}
+
+TEST(Migration, ReferenceValidated) {
+  auto f = flat_problem({1.0, 1.0}, 2);
+  GeneticConfig cfg = config_with_penalty(1.0, Assignment{0});  // wrong size
+  EXPECT_THROW(genetic_search(*f.problem, Assignment{0, 1}, cfg),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ropus::placement

@@ -1,0 +1,104 @@
+// Inverse translation: what QoS a capped allocation budget buys.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "qos/translation.h"
+
+namespace ropus::qos {
+namespace {
+
+using trace::Calendar;
+using trace::DemandTrace;
+
+Requirement band() {
+  Requirement r;
+  r.u_low = 0.5;
+  r.u_high = 0.66;
+  r.u_degr = 0.9;
+  r.m_percent = 97.0;
+  r.t_degr_minutes = 30.0;
+  return r;
+}
+
+DemandTrace spiky() {
+  const Calendar cal(1, 5);
+  std::vector<double> v(cal.size(), 1.0);
+  for (std::size_t i = 0; i < 40; ++i) v[50 + i * 37] = 4.0;  // ~2% spikes
+  return DemandTrace("t", cal, std::move(v));
+}
+
+TEST(AchievableQos, GenerousBudgetIsPerfect) {
+  // Budget covering the raw peak at the burst factor: nothing degrades.
+  const AchievableQos q =
+      achievable_qos(spiky(), band(), CosCommitment{0.6, 60.0}, 4.0 / 0.5);
+  EXPECT_DOUBLE_EQ(q.m_percent, 100.0);
+  EXPECT_DOUBLE_EQ(q.violating_fraction, 0.0);
+  EXPECT_TRUE(q.meets(band()));
+}
+
+TEST(AchievableQos, TightBudgetDegradesTheSpikes) {
+  // Budget sized for the 1.0 baseline: the ~2% spikes degrade or violate.
+  const DemandTrace t = spiky();
+  const AchievableQos q =
+      achievable_qos(t, band(), CosCommitment{0.6, 60.0}, 1.0 / 0.5);
+  EXPECT_LT(q.m_percent, 100.0);
+  EXPECT_GT(q.degraded_fraction + q.violating_fraction, 0.015);
+  // The spikes are 4x the cap: far beyond U_degr, so they violate.
+  EXPECT_GT(q.violating_fraction, 0.0);
+  EXPECT_FALSE(q.meets(band()));
+}
+
+TEST(AchievableQos, MonotoneInBudget) {
+  const DemandTrace t = spiky();
+  const CosCommitment cos2{0.6, 60.0};
+  double prev_m = -1.0;
+  for (double budget : {2.0, 4.0, 6.0, 8.0}) {
+    const AchievableQos q = achievable_qos(t, band(), cos2, budget);
+    EXPECT_GE(q.m_percent + 1e-9, prev_m) << budget;
+    prev_m = q.m_percent;
+  }
+}
+
+TEST(AchievableQos, MatchesForwardTranslationAtItsOwnBudget) {
+  // Feeding the budget the forward translation asked for reproduces its
+  // degraded fraction.
+  const DemandTrace t = spiky();
+  const CosCommitment cos2{0.6, 60.0};
+  const Translation tr = translate(t, band(), cos2);
+  const AchievableQos q =
+      achievable_qos(t, band(), cos2, tr.peak_allocation());
+  EXPECT_NEAR(q.d_new_max, tr.d_new_max, 1e-9);
+  EXPECT_NEAR(q.degraded_fraction + q.violating_fraction,
+              degraded_fraction(t, tr), 1e-9);
+}
+
+TEST(AchievableQos, HigherThetaBuysMoreQosPerCpu) {
+  // With p = 0 and theta near 1, a capped budget reaches further (the
+  // Figure 3 effect from the buyer's side).
+  const DemandTrace t = spiky();
+  const double budget = 1.4 / 0.5;
+  const AchievableQos lo =
+      achievable_qos(t, band(), CosCommitment{0.6, 60.0}, budget);
+  const AchievableQos hi =
+      achievable_qos(t, band(), CosCommitment{0.95, 60.0}, budget);
+  EXPECT_GE(hi.m_percent + 1e-9, lo.m_percent);
+}
+
+TEST(AchievableQos, ZeroTraceAlwaysPerfect) {
+  const AchievableQos q = achievable_qos(
+      DemandTrace::zeros("z", Calendar(1, 5)), band(),
+      CosCommitment{0.6, 60.0}, 1.0);
+  EXPECT_DOUBLE_EQ(q.m_percent, 100.0);
+  EXPECT_TRUE(q.meets(band()));
+}
+
+TEST(AchievableQos, RejectsNonPositiveBudget) {
+  EXPECT_THROW(achievable_qos(spiky(), band(), CosCommitment{0.6, 60.0},
+                              0.0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ropus::qos

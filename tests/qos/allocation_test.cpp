@@ -1,0 +1,99 @@
+#include "qos/allocation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/fleet.h"
+
+namespace ropus::qos {
+namespace {
+
+using trace::Calendar;
+using trace::DemandTrace;
+
+Requirement paper_req() {
+  Requirement r;
+  r.u_low = 0.5;
+  r.u_high = 0.66;
+  r.u_degr = 0.9;
+  r.m_percent = 97.0;
+  return r;
+}
+
+DemandTrace simple_trace() {
+  const Calendar cal(1, 5);
+  std::vector<double> v(cal.size(), 1.0);
+  v[100] = 4.0;
+  v[200] = 2.0;
+  return DemandTrace("t", cal, std::move(v));
+}
+
+TEST(AllocationTrace, BurstFactorScalesDemand) {
+  const DemandTrace t = simple_trace();
+  const Translation tr = translate(t, paper_req(), CosCommitment{0.6, 60.0});
+  const AllocationTrace alloc(t, tr);
+
+  // An uncapped observation's total allocation is demand / U_low.
+  EXPECT_NEAR(alloc.total(0), 1.0 / 0.5, 1e-9);
+  EXPECT_NEAR(alloc.total(200), std::min(2.0, tr.d_new_max) / 0.5, 1e-9);
+}
+
+TEST(AllocationTrace, SplitsAtBreakpoint) {
+  const DemandTrace t = simple_trace();
+  const Translation tr = translate(t, paper_req(), CosCommitment{0.6, 60.0});
+  ASSERT_GT(tr.breakpoint_p, 0.0);
+  const AllocationTrace alloc(t, tr);
+
+  const double cap = tr.cos1_demand_cap();
+  for (std::size_t i : {std::size_t{0}, std::size_t{100}, std::size_t{200}}) {
+    const double capped = std::min(t[i], tr.d_new_max);
+    const double d1 = std::min(capped, cap);
+    EXPECT_NEAR(alloc.cos1()[i], d1 / 0.5, 1e-9) << i;
+    EXPECT_NEAR(alloc.cos2()[i], (capped - d1) / 0.5, 1e-9) << i;
+  }
+}
+
+TEST(AllocationTrace, AllOnCos2WhenThetaHigh) {
+  const DemandTrace t = simple_trace();
+  const Translation tr = translate(t, paper_req(), CosCommitment{0.95, 60.0});
+  EXPECT_DOUBLE_EQ(tr.breakpoint_p, 0.0);
+  const AllocationTrace alloc(t, tr);
+  EXPECT_DOUBLE_EQ(alloc.peak_cos1(), 0.0);
+  EXPECT_GT(alloc.peak_allocation(), 0.0);
+}
+
+TEST(AllocationTrace, PeakAllocationMatchesTranslation) {
+  const DemandTrace t = simple_trace();
+  const Translation tr = translate(t, paper_req(), CosCommitment{0.6, 60.0});
+  const AllocationTrace alloc(t, tr);
+  EXPECT_NEAR(alloc.peak_allocation(), tr.peak_allocation(), 1e-9);
+  EXPECT_NEAR(alloc.peak_cos1(), tr.peak_cos1_allocation(), 1e-9);
+}
+
+TEST(AllocationTrace, NonNegativeAndConsistentEverywhere) {
+  const auto traces = workload::case_study_traces(Calendar(1, 5), 7);
+  const CosCommitment cos2{0.6, 60.0};
+  for (const auto& t : traces) {
+    const Translation tr = translate(t, paper_req(), cos2);
+    const AllocationTrace alloc(t, tr);
+    for (std::size_t i = 0; i < alloc.size(); ++i) {
+      EXPECT_GE(alloc.cos1()[i], 0.0);
+      EXPECT_GE(alloc.cos2()[i], 0.0);
+      EXPECT_LE(alloc.total(i), alloc.peak_allocation() + 1e-9);
+    }
+  }
+}
+
+TEST(BuildAllocations, OnePerDemand) {
+  const auto traces = workload::case_study_traces(Calendar(1, 5), 7);
+  const auto allocs =
+      build_allocations(traces, paper_req(), CosCommitment{0.6, 60.0});
+  ASSERT_EQ(allocs.size(), traces.size());
+  for (std::size_t i = 0; i < allocs.size(); ++i) {
+    EXPECT_EQ(allocs[i].name(), traces[i].name());
+  }
+}
+
+}  // namespace
+}  // namespace ropus::qos

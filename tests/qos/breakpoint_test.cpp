@@ -1,0 +1,86 @@
+// Properties of the portfolio breakpoint (formula 1, Section V).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.h"
+#include "qos/translation.h"
+
+namespace ropus::qos {
+namespace {
+
+TEST(Breakpoint, PaperExampleValues) {
+  // (U_low, U_high) = (0.5, 0.66): ratio = 0.7576.
+  // theta = 0.6 -> p = (0.7576 - 0.6) / 0.4 = 0.3939.
+  EXPECT_NEAR(breakpoint(0.5, 0.66, 0.6), 0.3939, 0.0005);
+  // theta = 0.95 >= ratio -> p = 0 (all demand on CoS2).
+  EXPECT_DOUBLE_EQ(breakpoint(0.5, 0.66, 0.95), 0.0);
+}
+
+TEST(Breakpoint, GuaranteedPoolPutsNothingOnCos1) {
+  // theta = 1: CoS2 is as good as guaranteed.
+  EXPECT_DOUBLE_EQ(breakpoint(0.5, 0.66, 1.0), 0.0);
+}
+
+TEST(Breakpoint, RejectsBadArguments) {
+  EXPECT_THROW(breakpoint(0.0, 0.66, 0.5), InvalidArgument);
+  EXPECT_THROW(breakpoint(0.7, 0.66, 0.5), InvalidArgument);
+  EXPECT_THROW(breakpoint(0.5, 0.66, 0.0), InvalidArgument);
+  EXPECT_THROW(breakpoint(0.5, 0.66, 1.5), InvalidArgument);
+}
+
+// Parameterized sweep: (u_low, u_high, theta).
+class BreakpointSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(BreakpointSweep, StaysInUnitInterval) {
+  const auto [u_low, u_high, theta] = GetParam();
+  const double p = breakpoint(u_low, u_high, theta);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST_P(BreakpointSweep, MixDeliversExactlyUhighWhenPositive) {
+  // When p > 0, the worst-case received fraction p + theta (1 - p) must be
+  // exactly U_low / U_high, so a capped observation sits at U_high.
+  const auto [u_low, u_high, theta] = GetParam();
+  const double p = breakpoint(u_low, u_high, theta);
+  const double mix = p + theta * (1.0 - p);
+  if (p > 0.0) {
+    EXPECT_NEAR(mix, u_low / u_high, 1e-12);
+  } else {
+    // p = 0: theta alone already delivers at least U_low / U_high.
+    EXPECT_GE(mix + 1e-12, u_low / u_high);
+  }
+}
+
+TEST_P(BreakpointSweep, MonotoneNonIncreasingInTheta) {
+  const auto [u_low, u_high, theta] = GetParam();
+  if (theta + 0.05 > 1.0) return;
+  EXPECT_GE(breakpoint(u_low, u_high, theta) + 1e-12,
+            breakpoint(u_low, u_high, theta + 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BreakpointSweep,
+    ::testing::Combine(::testing::Values(0.3, 0.5, 0.6),
+                       ::testing::Values(0.66, 0.75, 0.9),
+                       ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9, 0.95,
+                                         1.0)));
+
+TEST(Breakpoint, Figure3Trend) {
+  // Figure 3: with (0.5, 0.66), the breakpoint falls from ~0.52 at
+  // theta = 0.5 to 0 at theta >= 0.7576, monotonically.
+  const double at_half = breakpoint(0.5, 0.66, 0.5);
+  EXPECT_NEAR(at_half, (0.5 / 0.66 - 0.5) / 0.5, 1e-12);
+  double prev = at_half;
+  for (double theta = 0.55; theta <= 1.0; theta += 0.05) {
+    const double p = breakpoint(0.5, 0.66, theta);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+  EXPECT_DOUBLE_EQ(breakpoint(0.5, 0.66, 0.76), 0.0);
+}
+
+}  // namespace
+}  // namespace ropus::qos

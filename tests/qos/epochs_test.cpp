@@ -1,0 +1,120 @@
+// The degraded-epochs-per-day budget (footnote 2 of Section III).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qos/translation.h"
+#include "workload/fleet.h"
+
+namespace ropus::qos {
+namespace {
+
+using trace::Calendar;
+using trace::DemandTrace;
+
+Requirement epoch_req(std::optional<std::size_t> budget,
+                      std::optional<double> t_degr = std::nullopt) {
+  Requirement r;
+  r.u_low = 0.5;
+  r.u_high = 0.66;
+  r.u_degr = 0.9;
+  r.m_percent = 97.0;
+  r.t_degr_minutes = t_degr;
+  r.max_degraded_epochs_per_day = budget;
+  return r;
+}
+
+// 1.0 everywhere with `epochs` short spikes of `height` on day `day`.
+DemandTrace epochs_on_day(std::size_t epochs, double height, std::size_t day) {
+  const Calendar cal(1, 5);
+  std::vector<double> v(cal.size(), 1.0);
+  const std::size_t base = day * cal.slots_per_day();
+  for (std::size_t e = 0; e < epochs; ++e) {
+    v[base + 10 + e * 20] = height;  // isolated single-observation epochs
+  }
+  return DemandTrace("epochs", cal, std::move(v));
+}
+
+TEST(EpochBudget, UnconstrainedKeepsStep2Result) {
+  const auto t = epochs_on_day(5, 5.0, 2);
+  const auto a = translate(t, epoch_req(std::nullopt), CosCommitment{0.6, 60});
+  const auto b = translate(t, epoch_req(10), CosCommitment{0.6, 60});
+  EXPECT_DOUBLE_EQ(a.d_new_max, b.d_new_max);  // budget not binding
+}
+
+TEST(EpochBudget, EnforcedWhenViolated) {
+  const auto t = epochs_on_day(5, 5.0, 2);
+  const CosCommitment cos2{0.6, 60.0};
+  const auto unbounded = translate(t, epoch_req(std::nullopt), cos2);
+  ASSERT_GT(max_degraded_epochs_per_day(t, unbounded), 3u);
+
+  const auto bounded = translate(t, epoch_req(3), cos2);
+  EXPECT_LE(max_degraded_epochs_per_day(t, bounded), 3u);
+  EXPECT_GT(bounded.d_new_max, unbounded.d_new_max);
+}
+
+TEST(EpochBudget, ZeroBudgetEliminatesAllDegradation) {
+  const auto t = epochs_on_day(4, 3.0, 1);
+  const auto tr = translate(t, epoch_req(0), CosCommitment{0.6, 60.0});
+  EXPECT_EQ(max_degraded_epochs_per_day(t, tr), 0u);
+  EXPECT_DOUBLE_EQ(degraded_fraction(t, tr), 0.0);
+}
+
+TEST(EpochBudget, MonotoneInBudget) {
+  const auto t = epochs_on_day(6, 4.0, 3);
+  const CosCommitment cos2{0.6, 60.0};
+  double prev = translate(t, epoch_req(std::nullopt), cos2).d_new_max;
+  for (std::size_t budget : {5u, 3u, 1u, 0u}) {
+    const double d = translate(t, epoch_req(budget), cos2).d_new_max;
+    EXPECT_GE(d + 1e-9, prev) << "budget " << budget;
+    prev = d;
+  }
+}
+
+TEST(EpochBudget, EpochsVaryInHeightCheapestEliminatedFirst) {
+  // Step 2 caps D_new_max at 5 * U_high / U_degr = 3.667, so spikes of 4
+  // and 5 are two degraded epochs on one day. Budget 1 eliminates the
+  // cheaper epoch (max 4) by raising D_new_max to exactly 4; the 5-spike
+  // stays degraded, within budget.
+  const Calendar cal(1, 5);
+  std::vector<double> v(cal.size(), 1.0);
+  v[100] = 4.0;
+  v[200] = 5.0;
+  const DemandTrace t("two", cal, std::move(v));
+  const CosCommitment cos2{0.6, 60.0};
+  const auto unbounded = translate(t, epoch_req(std::nullopt), cos2);
+  ASSERT_EQ(max_degraded_epochs_per_day(t, unbounded), 2u);
+
+  const auto tr = translate(t, epoch_req(1), cos2);
+  EXPECT_EQ(max_degraded_epochs_per_day(t, tr), 1u);
+  // p > 0 at theta = 0.6, so the acceptable threshold equals D_new_max.
+  EXPECT_NEAR(tr.d_new_max, 4.0, 1e-6);
+}
+
+TEST(EpochBudget, HoldsFleetWide) {
+  const auto traces = workload::case_study_traces(Calendar(1, 5), 21);
+  for (double theta : {0.6, 0.95}) {
+    for (const auto& t : traces) {
+      const auto tr =
+          translate(t, epoch_req(2, 60.0), CosCommitment{theta, 60.0});
+      EXPECT_LE(max_degraded_epochs_per_day(t, tr), 2u)
+          << t.name() << " theta=" << theta;
+      // Step-3's guarantee survives step 4.
+      EXPECT_LE(longest_degraded_minutes(t, tr), 60.0 + 1e-9) << t.name();
+    }
+  }
+}
+
+TEST(EpochBudget, CountsEpochsNotObservations) {
+  // One long run is a single epoch regardless of its length.
+  const Calendar cal(1, 5);
+  std::vector<double> v(cal.size(), 1.0);
+  for (std::size_t i = 300; i < 340; ++i) v[i] = 4.0;
+  const DemandTrace t("long", cal, std::move(v));
+  const auto tr =
+      translate(t, epoch_req(std::nullopt), CosCommitment{0.6, 60.0});
+  EXPECT_EQ(max_degraded_epochs_per_day(t, tr), 1u);
+}
+
+}  // namespace
+}  // namespace ropus::qos

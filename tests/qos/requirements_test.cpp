@@ -1,0 +1,88 @@
+#include "qos/requirements.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ropus::qos {
+namespace {
+
+Requirement paper_requirement() {
+  // Section III's running example.
+  Requirement r;
+  r.u_low = 0.5;
+  r.u_high = 0.66;
+  r.u_degr = 0.9;
+  r.m_percent = 97.0;
+  r.t_degr_minutes = 30.0;
+  return r;
+}
+
+TEST(Requirement, PaperExampleValidates) {
+  EXPECT_NO_THROW(paper_requirement().validate());
+}
+
+TEST(Requirement, MDegrIsComplement) {
+  EXPECT_DOUBLE_EQ(paper_requirement().m_degr_percent(), 3.0);
+}
+
+TEST(Requirement, MaxCapReductionBoundMatchesPaper) {
+  // Section V: U_high = 0.66, U_degr = 0.9 -> bound = 26.7%.
+  EXPECT_NEAR(paper_requirement().max_cap_reduction_bound(), 0.267, 0.001);
+}
+
+TEST(Requirement, RejectsBadBands) {
+  Requirement r = paper_requirement();
+  r.u_low = 0.0;
+  EXPECT_THROW(r.validate(), InvalidArgument);
+
+  r = paper_requirement();
+  r.u_low = 0.7;  // > u_high
+  EXPECT_THROW(r.validate(), InvalidArgument);
+
+  r = paper_requirement();
+  r.u_degr = 0.6;  // < u_high
+  EXPECT_THROW(r.validate(), InvalidArgument);
+
+  r = paper_requirement();
+  r.u_degr = 1.0;  // must stay < 1 (Section III)
+  EXPECT_THROW(r.validate(), InvalidArgument);
+}
+
+TEST(Requirement, RejectsBadMAndTdegr) {
+  Requirement r = paper_requirement();
+  r.m_percent = 0.0;
+  EXPECT_THROW(r.validate(), InvalidArgument);
+  r.m_percent = 101.0;
+  EXPECT_THROW(r.validate(), InvalidArgument);
+
+  r = paper_requirement();
+  r.t_degr_minutes = 0.0;
+  EXPECT_THROW(r.validate(), InvalidArgument);
+}
+
+TEST(CosCommitment, Validation) {
+  CosCommitment c{0.95, 60.0};
+  EXPECT_NO_THROW(c.validate());
+  c.theta = 0.0;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+  c.theta = 1.5;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+  c = CosCommitment{0.9, -1.0};
+  EXPECT_THROW(c.validate(), InvalidArgument);
+}
+
+TEST(ApplicationQos, RequiresNameAndValidModes) {
+  ApplicationQos q;
+  q.app_name = "";
+  q.normal = paper_requirement();
+  q.failure = paper_requirement();
+  EXPECT_THROW(q.validate(), InvalidArgument);
+  q.app_name = "app";
+  EXPECT_NO_THROW(q.validate());
+  q.failure.u_low = 0.9;  // invalid band
+  EXPECT_THROW(q.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ropus::qos

@@ -1,0 +1,171 @@
+// Replay semantics of the Section VI-A simulator: CoS1-first scheduling,
+// the theta statistic over (week, slot-of-day) groups, and the deadline
+// backlog.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace ropus::sim {
+namespace {
+
+using trace::Calendar;
+
+// 1 week, 2 slots/day -> 14 observations; groups are (slot 0) and (slot 1).
+Calendar tiny() { return Calendar(1, 720); }
+
+Aggregate make_aggregate(std::vector<double> cos1, std::vector<double> cos2) {
+  Aggregate agg;
+  agg.calendar = tiny();
+  cos1.resize(agg.calendar.size(), 0.0);
+  cos2.resize(agg.calendar.size(), 0.0);
+  agg.cos1 = std::move(cos1);
+  agg.cos2 = std::move(cos2);
+  agg.workloads = 1;
+  for (std::size_t i = 0; i < agg.cos1.size(); ++i) {
+    agg.peak_cos1 = std::max(agg.peak_cos1, agg.cos1[i]);
+    agg.peak_total = std::max(agg.peak_total, agg.cos1[i] + agg.cos2[i]);
+  }
+  agg.sum_peak_cos1 = agg.peak_cos1;
+  return agg;
+}
+
+qos::CosCommitment commitment(double theta = 0.5,
+                              double deadline_min = 1440.0) {
+  return qos::CosCommitment{theta, deadline_min};
+}
+
+TEST(Evaluate, EmptyAggregateIsTriviallySatisfied) {
+  Aggregate agg;
+  agg.calendar = tiny();
+  const Evaluation ev = evaluate(agg, 1.0, commitment());
+  EXPECT_TRUE(ev.cos1_satisfied);
+  EXPECT_DOUBLE_EQ(ev.theta, 1.0);
+  EXPECT_TRUE(ev.deadline_met);
+}
+
+TEST(Evaluate, AmpleCapacityGivesThetaOne) {
+  const Aggregate agg = make_aggregate(std::vector<double>(14, 1.0),
+                                       std::vector<double>(14, 2.0));
+  const Evaluation ev = evaluate(agg, 10.0, commitment());
+  EXPECT_TRUE(ev.cos1_satisfied);
+  EXPECT_DOUBLE_EQ(ev.theta, 1.0);
+  EXPECT_TRUE(ev.deadline_met);
+  EXPECT_DOUBLE_EQ(ev.max_backlog, 0.0);
+}
+
+TEST(Evaluate, Cos1OverCapacityFailsHard) {
+  const Aggregate agg = make_aggregate(std::vector<double>(14, 3.0),
+                                       std::vector<double>(14, 0.0));
+  const Evaluation ev = evaluate(agg, 2.0, commitment());
+  EXPECT_FALSE(ev.cos1_satisfied);
+  EXPECT_FALSE(ev.satisfies(commitment()));
+}
+
+TEST(Evaluate, ThetaIsMinOverSlotGroups) {
+  // Slot 0: cos2 = 2 with 1 available -> ratio 0.5 every day.
+  // Slot 1: cos2 = 1 with 1 available -> ratio 1.0.
+  std::vector<double> cos1(14, 1.0);
+  std::vector<double> cos2(14);
+  for (std::size_t i = 0; i < 14; ++i) cos2[i] = (i % 2 == 0) ? 2.0 : 1.0;
+  const Aggregate agg = make_aggregate(cos1, cos2);
+  const Evaluation ev = evaluate(agg, 2.0, commitment());
+  EXPECT_NEAR(ev.theta, 0.5, 1e-12);
+}
+
+TEST(Evaluate, ThetaAveragesAcrossDaysWithinGroup) {
+  // Slot 0 demands alternate by day: 3 CPUs on even days, 1 on odd days,
+  // with 2 available. Satisfied: min(3,2)=2 or 1. Group ratio =
+  // (2+1+2+1+2+1+2) / (3+1+3+1+3+1+3) = 11/15.
+  std::vector<double> cos1(14, 0.0);
+  std::vector<double> cos2(14, 0.0);
+  for (std::size_t day = 0; day < 7; ++day) {
+    cos2[day * 2] = (day % 2 == 0) ? 3.0 : 1.0;
+  }
+  const Aggregate agg = make_aggregate(cos1, cos2);
+  const Evaluation ev = evaluate(agg, 2.0, commitment());
+  EXPECT_NEAR(ev.theta, 11.0 / 15.0, 1e-12);
+}
+
+TEST(Evaluate, DeficitServedWithinDeadline) {
+  // Slot 0 of day 0 overflows by 1 CPU; every later slot has 1 CPU spare.
+  // Deadline = 1 slot (720 minutes) -> met.
+  std::vector<double> cos1(14, 0.0);
+  std::vector<double> cos2(14, 1.0);
+  cos2[0] = 3.0;
+  const Aggregate agg = make_aggregate(cos1, cos2);
+  const Evaluation ev = evaluate(agg, 2.0, commitment(0.1, 720.0));
+  EXPECT_TRUE(ev.deadline_met);
+  EXPECT_NEAR(ev.max_backlog, 1.0, 1e-12);
+}
+
+TEST(Evaluate, DeficitPastDeadlineFails) {
+  // Persistent overflow: cos2 = 3 with capacity 2 everywhere. The backlog
+  // never drains.
+  const Aggregate agg = make_aggregate(std::vector<double>(14, 0.0),
+                                       std::vector<double>(14, 3.0));
+  const Evaluation ev = evaluate(agg, 2.0, commitment(0.1, 720.0));
+  EXPECT_FALSE(ev.deadline_met);
+}
+
+TEST(Evaluate, ZeroDeadlineAllowsNoDeferral) {
+  std::vector<double> cos2(14, 1.0);
+  cos2[4] = 5.0;
+  const Aggregate agg = make_aggregate(std::vector<double>(14, 0.0), cos2);
+  EXPECT_FALSE(evaluate(agg, 2.0, commitment(0.1, 0.0)).deadline_met);
+  // The 3-CPU deficit drains at 1 spare CPU per slot, so it needs three
+  // slots (2160 minutes) — a two-slot deadline still fails.
+  EXPECT_FALSE(evaluate(agg, 2.0, commitment(0.1, 1440.0)).deadline_met);
+  EXPECT_TRUE(evaluate(agg, 2.0, commitment(0.1, 2160.0)).deadline_met);
+}
+
+TEST(Evaluate, TrailingDeficitAtTraceEndStillChecked) {
+  // Overflow on the last observation: within deadline by construction
+  // (nothing after it can violate), so deadline_met stays true...
+  std::vector<double> cos2(14, 1.0);
+  cos2[13] = 5.0;
+  const Aggregate agg = make_aggregate(std::vector<double>(14, 0.0), cos2);
+  EXPECT_TRUE(evaluate(agg, 2.0, commitment(0.1, 1440.0)).deadline_met);
+  // ...but with deadline 0 it is an immediate violation.
+  EXPECT_FALSE(evaluate(agg, 2.0, commitment(0.1, 0.0)).deadline_met);
+}
+
+TEST(Evaluate, ThetaMonotoneInCapacity) {
+  std::vector<double> cos1(14), cos2(14);
+  for (std::size_t i = 0; i < 14; ++i) {
+    cos1[i] = 0.5 + 0.1 * static_cast<double>(i % 3);
+    cos2[i] = 1.0 + 0.4 * static_cast<double>(i % 5);
+  }
+  const Aggregate agg = make_aggregate(cos1, cos2);
+  double prev = 0.0;
+  for (double cap = 1.0; cap <= 4.0; cap += 0.25) {
+    const Evaluation ev = evaluate(agg, cap, commitment());
+    if (!ev.cos1_satisfied) continue;
+    EXPECT_GE(ev.theta + 1e-12, prev);
+    prev = ev.theta;
+  }
+}
+
+TEST(Evaluate, RejectsNegativeCapacity) {
+  const Aggregate agg = make_aggregate({}, {});
+  EXPECT_THROW(evaluate(agg, -1.0, commitment()), InvalidArgument);
+}
+
+TEST(AggregateWorkloads, RejectsMismatchedCalendars) {
+  // Built via the qos layer: one trace on each calendar.
+  const trace::DemandTrace a = trace::DemandTrace::zeros("a", tiny());
+  const trace::DemandTrace b =
+      trace::DemandTrace::zeros("b", Calendar(2, 720));
+  qos::Requirement req;
+  const qos::CosCommitment cos2{0.6, 60.0};
+  const qos::AllocationTrace at(a, qos::translate(a, req, cos2));
+  const qos::AllocationTrace bt(b, qos::translate(b, req, cos2));
+  const std::vector<const qos::AllocationTrace*> ws{&at, &bt};
+  EXPECT_THROW(aggregate_workloads(ws, tiny()), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ropus::sim

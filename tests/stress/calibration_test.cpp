@@ -1,0 +1,82 @@
+// The burst-factor stress-test exercise of Section III.
+#include "stress/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ropus::stress {
+namespace {
+
+Workload standard() { return Workload{20.0, 0.02}; }
+
+CalibrationConfig fast_config() {
+  CalibrationConfig cfg;
+  cfg.requests = 40000;
+  cfg.tolerance = 1e-2;
+  return cfg;
+}
+
+TEST(Calibrate, GoodNeedsMoreHeadroomThanAdequate) {
+  const ResponsivenessTargets targets{0.05, 0.2};
+  const BurstFactorRange range = calibrate(standard(), targets, fast_config());
+  EXPECT_GT(range.burst_factor_good, range.burst_factor_adequate);
+  EXPECT_LT(range.u_low, range.u_high);
+  EXPECT_GT(range.u_low, 0.0);
+  EXPECT_LE(range.u_high, 1.0);
+}
+
+TEST(Calibrate, ReciprocalRelation) {
+  const BurstFactorRange range =
+      calibrate(standard(), ResponsivenessTargets{0.05, 0.2}, fast_config());
+  EXPECT_DOUBLE_EQ(range.u_low, 1.0 / range.burst_factor_good);
+  EXPECT_DOUBLE_EQ(range.u_high, 1.0 / range.burst_factor_adequate);
+}
+
+TEST(Calibrate, TightTargetNeedsBiggerBurstFactor) {
+  const auto loose =
+      calibrate(standard(), ResponsivenessTargets{0.1, 0.3}, fast_config());
+  const auto tight =
+      calibrate(standard(), ResponsivenessTargets{0.04, 0.3}, fast_config());
+  EXPECT_GE(tight.burst_factor_good, loose.burst_factor_good);
+}
+
+TEST(Calibrate, UnreachableTargetThrows) {
+  // Zero-load response is ~0.02/capacity; a 1 microsecond target is
+  // unreachable with a burst factor of at most 20.
+  EXPECT_THROW(
+      calibrate(standard(), ResponsivenessTargets{1e-6, 1e-6}, fast_config()),
+      InvalidArgument);
+}
+
+TEST(Calibrate, TargetsValidation) {
+  EXPECT_THROW((ResponsivenessTargets{0.0, 0.1}.validate()), InvalidArgument);
+  EXPECT_THROW((ResponsivenessTargets{0.2, 0.1}.validate()), InvalidArgument);
+  CalibrationConfig cfg = fast_config();
+  cfg.min_burst_factor = 1.0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(ToRequirement, BuildsValidRequirement) {
+  BurstFactorRange range;
+  range.u_low = 0.5;
+  range.u_high = 0.66;
+  const qos::Requirement req = to_requirement(range, 0.9, 97.0, 30.0);
+  EXPECT_NO_THROW(req.validate());
+  EXPECT_DOUBLE_EQ(req.u_low, 0.5);
+  EXPECT_DOUBLE_EQ(req.u_high, 0.66);
+  ASSERT_TRUE(req.t_degr_minutes.has_value());
+  EXPECT_DOUBLE_EQ(*req.t_degr_minutes, 30.0);
+}
+
+TEST(ToRequirement, WidensDegenerateBand) {
+  BurstFactorRange range;
+  range.u_low = 0.6;
+  range.u_high = 0.6;  // both searches hit the same burst factor
+  const qos::Requirement req = to_requirement(range, 0.9, 97.0, std::nullopt);
+  EXPECT_NO_THROW(req.validate());
+  EXPECT_GT(req.u_high, req.u_low);
+}
+
+}  // namespace
+}  // namespace ropus::stress

@@ -1,0 +1,75 @@
+#include "trace/calendar.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ropus::trace {
+namespace {
+
+TEST(Calendar, StandardGridMatchesPaper) {
+  // Section IV: 5-minute measurement intervals give T = 288 slots per day.
+  const Calendar cal = Calendar::standard(4);
+  EXPECT_EQ(cal.weeks(), 4u);
+  EXPECT_EQ(cal.minutes_per_sample(), 5u);
+  EXPECT_EQ(cal.slots_per_day(), 288u);
+  EXPECT_EQ(cal.slots_per_week(), 7u * 288u);
+  EXPECT_EQ(cal.size(), 4u * 7u * 288u);
+}
+
+TEST(Calendar, RejectsInvalidParameters) {
+  EXPECT_THROW(Calendar(0, 5), InvalidArgument);
+  EXPECT_THROW(Calendar(1, 0), InvalidArgument);
+  EXPECT_THROW(Calendar(1, 7), InvalidArgument);  // 7 does not divide 1440
+}
+
+TEST(Calendar, IndexRoundTrip) {
+  const Calendar cal(2, 30);  // 48 slots/day
+  for (std::size_t w = 0; w < cal.weeks(); ++w) {
+    for (std::size_t d = 0; d < Calendar::kDaysPerWeek; ++d) {
+      for (std::size_t t = 0; t < cal.slots_per_day(); t += 7) {
+        const std::size_t i = cal.index(w, d, t);
+        EXPECT_EQ(cal.week_of(i), w);
+        EXPECT_EQ(cal.day_of(i), d);
+        EXPECT_EQ(cal.slot_of(i), t);
+      }
+    }
+  }
+}
+
+TEST(Calendar, IndexIsDenseAndOrdered) {
+  const Calendar cal(1, 60);
+  std::size_t expect = 0;
+  for (std::size_t d = 0; d < Calendar::kDaysPerWeek; ++d) {
+    for (std::size_t t = 0; t < cal.slots_per_day(); ++t) {
+      EXPECT_EQ(cal.index(0, d, t), expect++);
+    }
+  }
+  EXPECT_EQ(expect, cal.size());
+}
+
+TEST(Calendar, IndexBoundsChecked) {
+  const Calendar cal(1, 60);
+  EXPECT_THROW(cal.index(1, 0, 0), InvalidArgument);
+  EXPECT_THROW(cal.index(0, 7, 0), InvalidArgument);
+  EXPECT_THROW(cal.index(0, 0, 24), InvalidArgument);
+}
+
+TEST(Calendar, ObservationsInMinutes) {
+  const Calendar cal(1, 5);
+  // Section V: R observations in T_degr minutes.
+  EXPECT_EQ(cal.observations_in(30.0), 6u);
+  EXPECT_EQ(cal.observations_in(60.0), 12u);
+  EXPECT_EQ(cal.observations_in(4.0), 0u);
+  EXPECT_EQ(cal.observations_in(0.0), 0u);
+  EXPECT_THROW(cal.observations_in(-1.0), InvalidArgument);
+}
+
+TEST(Calendar, Equality) {
+  EXPECT_EQ(Calendar(1, 5), Calendar(1, 5));
+  EXPECT_NE(Calendar(1, 5), Calendar(2, 5));
+  EXPECT_NE(Calendar(1, 5), Calendar(1, 10));
+}
+
+}  // namespace
+}  // namespace ropus::trace

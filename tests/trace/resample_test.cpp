@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "trace/demand_trace.h"
+
+namespace ropus::trace {
+namespace {
+
+// 1 week at 60-min samples = 168 observations.
+DemandTrace hourly_ramp() {
+  const Calendar cal(1, 60);
+  std::vector<double> v(cal.size());
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  return DemandTrace("ramp", cal, std::move(v));
+}
+
+TEST(Resample, MeanFoldsGroups) {
+  const DemandTrace t = hourly_ramp();
+  const DemandTrace coarse = resample(t, 120);  // pairs
+  EXPECT_EQ(coarse.calendar().minutes_per_sample(), 120u);
+  EXPECT_EQ(coarse.size(), t.size() / 2);
+  EXPECT_DOUBLE_EQ(coarse[0], 0.5);   // mean(0, 1)
+  EXPECT_DOUBLE_EQ(coarse[10], 20.5); // mean(20, 21)
+}
+
+TEST(Resample, MaxKeepsTheBurst) {
+  const Calendar cal(1, 60);
+  std::vector<double> v(cal.size(), 1.0);
+  v[5] = 9.0;  // a one-hour burst
+  const DemandTrace t("burst", cal, std::move(v));
+  const DemandTrace mean = resample(t, 240, ResamplePolicy::kMean);
+  const DemandTrace max = resample(t, 240, ResamplePolicy::kMax);
+  // The burst lives in coarse slot 1 (hours 4-7).
+  EXPECT_DOUBLE_EQ(mean[1], (1.0 + 9.0 + 1.0 + 1.0) / 4.0);
+  EXPECT_DOUBLE_EQ(max[1], 9.0);
+}
+
+TEST(Resample, IdentityWhenIntervalUnchanged) {
+  const DemandTrace t = hourly_ramp();
+  const DemandTrace same = resample(t, 60);
+  for (std::size_t i = 0; i < t.size(); i += 11) {
+    EXPECT_DOUBLE_EQ(same[i], t[i]);
+  }
+}
+
+TEST(Resample, PreservesWeeks) {
+  const Calendar cal(3, 30);
+  const DemandTrace t =
+      DemandTrace("t", cal, std::vector<double>(cal.size(), 2.5));
+  const DemandTrace coarse = resample(t, 360);
+  EXPECT_EQ(coarse.calendar().weeks(), 3u);
+  EXPECT_DOUBLE_EQ(coarse[coarse.size() - 1], 2.5);
+}
+
+TEST(Resample, RejectsBadTargets) {
+  const DemandTrace t = hourly_ramp();
+  EXPECT_THROW(resample(t, 30), InvalidArgument);   // finer
+  EXPECT_THROW(resample(t, 90), InvalidArgument);   // not a multiple
+  EXPECT_THROW(resample(t, 7 * 60), InvalidArgument);  // 420 !| 1440
+}
+
+TEST(Resample, MaxDominatesMeanEverywhere) {
+  const Calendar cal(1, 5);
+  std::vector<double> v(cal.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<double>((i * 7919) % 13);
+  }
+  const DemandTrace t("mix", cal, std::move(v));
+  const DemandTrace mean = resample(t, 30, ResamplePolicy::kMean);
+  const DemandTrace max = resample(t, 30, ResamplePolicy::kMax);
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    EXPECT_GE(max[i], mean[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ropus::trace

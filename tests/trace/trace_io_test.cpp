@@ -1,0 +1,93 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace ropus::trace {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ropus-traceio-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(TraceIoTest, RoundTripPreservesValuesAndNames) {
+  const Calendar cal(2, 360);  // 4 slots/day
+  std::vector<DemandTrace> traces;
+  std::vector<double> a(cal.size()), b(cal.size());
+  for (std::size_t i = 0; i < cal.size(); ++i) {
+    a[i] = static_cast<double>(i) * 0.25;
+    b[i] = 1.0 + static_cast<double>(i % 3);
+  }
+  traces.emplace_back("alpha", cal, a);
+  traces.emplace_back("beta", cal, b);
+
+  const auto path = dir_ / "traces.csv";
+  write_traces_csv(path, traces);
+  const std::vector<DemandTrace> back = read_traces_csv(path);
+
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name(), "alpha");
+  EXPECT_EQ(back[1].name(), "beta");
+  EXPECT_EQ(back[0].calendar(), cal);
+  for (std::size_t i = 0; i < cal.size(); ++i) {
+    EXPECT_NEAR(back[0][i], a[i], 1e-9) << "i=" << i;
+    EXPECT_NEAR(back[1][i], b[i], 1e-9) << "i=" << i;
+  }
+}
+
+TEST_F(TraceIoTest, RejectsMalformedHeader) {
+  const auto path = dir_ / "bad.csv";
+  std::ofstream(path) << "week,day,slot\n0,0,0\n";
+  EXPECT_THROW(read_traces_csv(path), IoError);
+}
+
+TEST_F(TraceIoTest, RejectsOutOfOrderRows) {
+  const auto path = dir_ / "ooo.csv";
+  std::ofstream(path) << "week,day,slot,app\n"
+                         "0,0,1,1.0\n0,0,0,1.0\n";
+  EXPECT_THROW(read_traces_csv(path), IoError);
+}
+
+TEST_F(TraceIoTest, RejectsPartialWeek) {
+  const auto path = dir_ / "partial.csv";
+  std::ofstream out(path);
+  out << "week,day,slot,app\n";
+  // Only 3 of the 7 days for a 1-slot-per-day calendar.
+  for (int d = 0; d < 3; ++d) out << "0," << d << ",0,1.0\n";
+  out.close();
+  EXPECT_THROW(read_traces_csv(path), IoError);
+}
+
+TEST_F(TraceIoTest, RejectsNonNumericDemand) {
+  const auto path = dir_ / "nan.csv";
+  std::ofstream out(path);
+  out << "week,day,slot,app\n";
+  for (int d = 0; d < 7; ++d) {
+    out << "0," << d << ",0," << (d == 3 ? "oops" : "1.0") << "\n";
+  }
+  out.close();
+  EXPECT_THROW(read_traces_csv(path), IoError);
+}
+
+TEST_F(TraceIoTest, WriteRequiresSharedCalendar) {
+  std::vector<DemandTrace> traces;
+  traces.push_back(DemandTrace::zeros("a", Calendar(1, 720)));
+  traces.push_back(DemandTrace::zeros("b", Calendar(2, 720)));
+  EXPECT_THROW(write_traces_csv(dir_ / "x.csv", traces), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ropus::trace

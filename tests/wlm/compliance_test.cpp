@@ -1,0 +1,101 @@
+#include "wlm/compliance.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ropus::wlm {
+namespace {
+
+using trace::Calendar;
+using trace::DemandTrace;
+
+Calendar tiny() { return Calendar(1, 720); }  // 14 observations
+
+qos::Requirement req(std::optional<double> t_degr = std::nullopt) {
+  qos::Requirement r;
+  r.u_low = 0.5;
+  r.u_high = 0.66;
+  r.u_degr = 0.9;
+  r.m_percent = 97.0;
+  r.t_degr_minutes = t_degr;
+  return r;
+}
+
+ContainerOutcome outcome_with_grants(std::vector<double> grants) {
+  ContainerOutcome o;
+  o.granted = std::move(grants);
+  o.utilization.resize(o.granted.size());
+  return o;
+}
+
+TEST(Compliance, ClassifiesBands) {
+  // demand 1.0 with grants chosen to land in each band.
+  std::vector<double> demand(tiny().size(), 1.0);
+  demand[0] = 0.0;  // idle
+  std::vector<double> grants(tiny().size(), 2.0);  // u = 0.5 acceptable
+  grants[1] = 1.25;  // u = 0.8: degraded
+  grants[2] = 1.0;   // u = 1.0: violating (> u_degr)
+  grants[3] = 0.0;   // no grant with demand: violating
+  const DemandTrace t("t", tiny(), demand);
+  const ComplianceReport r =
+      check_compliance(t, outcome_with_grants(grants), req());
+  EXPECT_EQ(r.intervals, tiny().size());
+  EXPECT_EQ(r.idle, 1u);
+  EXPECT_EQ(r.degraded, 1u);
+  EXPECT_EQ(r.violating, 2u);
+  EXPECT_EQ(r.acceptable, tiny().size() - 4);
+}
+
+TEST(Compliance, DegradedFractionExcludesIdle) {
+  std::vector<double> demand(tiny().size(), 0.0);
+  demand[0] = 1.0;
+  std::vector<double> grants(tiny().size(), 1.25);  // u = 0.8 on the one
+  const DemandTrace t("t", tiny(), demand);
+  const ComplianceReport r =
+      check_compliance(t, outcome_with_grants(grants), req());
+  EXPECT_DOUBLE_EQ(r.degraded_fraction(), 1.0);
+}
+
+TEST(Compliance, LongestRunInMinutes) {
+  std::vector<double> demand(tiny().size(), 1.0);
+  std::vector<double> grants(tiny().size(), 2.0);
+  grants[4] = grants[5] = grants[6] = 1.25;  // 3 consecutive degraded
+  const DemandTrace t("t", tiny(), demand);
+  const ComplianceReport r =
+      check_compliance(t, outcome_with_grants(grants), req());
+  EXPECT_DOUBLE_EQ(r.longest_degraded_minutes, 3.0 * 720.0);
+}
+
+TEST(Compliance, SatisfiesChecksAllTerms) {
+  ComplianceReport r;
+  r.intervals = 100;
+  r.acceptable = 98;
+  r.degraded = 2;
+  EXPECT_TRUE(r.satisfies(req(), 0.0));  // 2% <= 3% budget
+
+  r.degraded = 5;
+  r.acceptable = 95;
+  EXPECT_FALSE(r.satisfies(req(), 0.0));  // 5% > 3%
+  EXPECT_TRUE(r.satisfies(req(), 2.5));   // slack covers it
+
+  r.degraded = 2;
+  r.acceptable = 98;
+  r.violating = 1;
+  EXPECT_FALSE(r.satisfies(req(), 10.0));  // any violation fails
+
+  r.violating = 0;
+  r.longest_degraded_minutes = 1440.0;
+  EXPECT_FALSE(r.satisfies(req(720.0), 10.0));  // run too long
+  EXPECT_TRUE(r.satisfies(req(2000.0), 10.0));
+}
+
+TEST(Compliance, MismatchedLengthsThrow) {
+  const DemandTrace t("t", tiny(),
+                      std::vector<double>(tiny().size(), 1.0));
+  ContainerOutcome o = outcome_with_grants({1.0, 2.0});
+  EXPECT_THROW(check_compliance(t, o, req()), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ropus::wlm

@@ -1,0 +1,132 @@
+#include "wlm/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/demand_trace.h"
+
+namespace ropus::wlm {
+namespace {
+
+using trace::Calendar;
+using trace::DemandTrace;
+
+qos::Translation make_translation(double theta) {
+  qos::Requirement req;
+  req.u_low = 0.5;
+  req.u_high = 0.66;
+  req.u_degr = 0.9;
+  req.m_percent = 100.0;
+  const Calendar cal(1, 720);
+  std::vector<double> v(cal.size(), 1.0);
+  v[3] = 4.0;  // peak
+  return qos::translate(DemandTrace("t", cal, v), req,
+                        qos::CosCommitment{theta, 720.0});
+}
+
+TEST(Controller, ClairvoyantTracksCurrentDemand) {
+  Controller c(make_translation(0.6), Policy::kClairvoyant);
+  const AllocationRequest r = c.step(1.0);
+  // Burst factor 2: total allocation = 2.0.
+  EXPECT_NEAR(r.total(), 2.0, 1e-9);
+}
+
+TEST(Controller, ReactiveLagsByOneInterval) {
+  Controller c(make_translation(0.6), Policy::kReactive);
+  // First interval: no history -> conservative maximum request.
+  const AllocationRequest first = c.step(1.0);
+  EXPECT_NEAR(first.total(), 4.0 / 0.5, 1e-9);  // D_new_max / U_low
+  // Second interval: based on the 1.0 measured previously.
+  const AllocationRequest second = c.step(3.0);
+  EXPECT_NEAR(second.total(), 2.0, 1e-9);
+  // Third: based on 3.0.
+  const AllocationRequest third = c.step(0.5);
+  EXPECT_NEAR(third.total(), 6.0, 1e-9);
+}
+
+TEST(Controller, RequestsCapAtMaxAllocation) {
+  Controller c(make_translation(0.6), Policy::kClairvoyant);
+  const AllocationRequest r = c.step(100.0);
+  EXPECT_NEAR(r.total(), 4.0 / 0.5, 1e-9);
+}
+
+TEST(Controller, SplitsAtBreakpoint) {
+  const qos::Translation tr = make_translation(0.6);
+  ASSERT_GT(tr.breakpoint_p, 0.0);
+  Controller c(tr, Policy::kClairvoyant);
+  const AllocationRequest r = c.step(4.0);
+  EXPECT_NEAR(r.cos1, tr.cos1_demand_cap() / 0.5, 1e-9);
+  EXPECT_NEAR(r.cos1 + r.cos2, 4.0 / 0.5, 1e-9);
+}
+
+TEST(Controller, HighThetaAllCos2) {
+  Controller c(make_translation(0.95), Policy::kClairvoyant);
+  const AllocationRequest r = c.step(2.0);
+  EXPECT_DOUBLE_EQ(r.cos1, 0.0);
+  EXPECT_GT(r.cos2, 0.0);
+}
+
+TEST(Controller, ResetForgetsHistory) {
+  Controller c(make_translation(0.6), Policy::kReactive);
+  (void)c.step(1.0);
+  c.reset();
+  const AllocationRequest r = c.step(2.0);
+  EXPECT_NEAR(r.total(), 4.0 / 0.5, 1e-9);  // conservative again
+}
+
+TEST(Controller, RejectsNegativeDemand) {
+  Controller c(make_translation(0.6), Policy::kClairvoyant);
+  EXPECT_THROW(c.step(-1.0), InvalidArgument);
+}
+
+TEST(Controller, WindowedMaxTracksRecentPeak) {
+  Controller c(make_translation(0.6), Policy::kWindowedMax, 3);
+  (void)c.step(3.0);  // first interval: conservative max
+  (void)c.step(1.0);
+  (void)c.step(0.5);
+  // History = {3, 1, 0.5}: request based on max = 3.
+  const AllocationRequest r = c.step(0.2);
+  EXPECT_NEAR(r.total(), 6.0, 1e-9);
+  // History = {1, 0.5, 0.2}: the 3.0 has aged out.
+  const AllocationRequest r2 = c.step(0.2);
+  EXPECT_NEAR(r2.total(), 2.0, 1e-9);
+}
+
+TEST(Controller, WindowOfOneEqualsReactive) {
+  Controller windowed(make_translation(0.6), Policy::kWindowedMax, 1);
+  Controller reactive(make_translation(0.6), Policy::kReactive);
+  for (double d : {1.0, 3.0, 0.5, 2.0, 0.0, 4.0}) {
+    const AllocationRequest a = windowed.step(d);
+    const AllocationRequest b = reactive.step(d);
+    ASSERT_DOUBLE_EQ(a.total(), b.total()) << d;
+    ASSERT_DOUBLE_EQ(a.cos1, b.cos1) << d;
+  }
+}
+
+TEST(Controller, WindowedNeverRequestsLessThanReactiveWouldAtPeak) {
+  // After a burst, the windowed controller keeps the allocation up for
+  // `window` intervals while plain reactive drops immediately.
+  Controller windowed(make_translation(0.6), Policy::kWindowedMax, 3);
+  Controller reactive(make_translation(0.6), Policy::kReactive);
+  (void)windowed.step(4.0);
+  (void)reactive.step(4.0);
+  (void)windowed.step(0.1);
+  (void)reactive.step(0.1);
+  const AllocationRequest w = windowed.step(0.1);
+  const AllocationRequest r = reactive.step(0.1);
+  EXPECT_GT(w.total(), r.total());
+}
+
+TEST(Controller, RejectsZeroWindow) {
+  EXPECT_THROW(Controller(make_translation(0.6), Policy::kWindowedMax, 0),
+               InvalidArgument);
+}
+
+TEST(Controller, BurstFactorIsReciprocalOfUlow) {
+  Controller c(make_translation(0.6), Policy::kClairvoyant);
+  EXPECT_DOUBLE_EQ(c.burst_factor(), 2.0);
+}
+
+}  // namespace
+}  // namespace ropus::wlm

@@ -1,0 +1,103 @@
+#include "wlm/server_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace ropus::wlm {
+namespace {
+
+using trace::Calendar;
+using trace::DemandTrace;
+
+Calendar tiny() { return Calendar(1, 720); }
+
+qos::Translation flat_translation(const DemandTrace& t, double theta) {
+  qos::Requirement req;
+  req.u_low = 0.5;
+  req.u_high = 0.66;
+  req.u_degr = 0.9;
+  req.m_percent = 100.0;
+  return qos::translate(t, req, qos::CosCommitment{theta, 720.0});
+}
+
+TEST(ServerSim, AmpleCapacityDeliversUlow) {
+  const DemandTrace t("a", tiny(), std::vector<double>(tiny().size(), 2.0));
+  std::vector<Controller> cs{
+      Controller(flat_translation(t, 0.6), Policy::kClairvoyant)};
+  const std::vector<DemandTrace> demands{t};
+  const ServerRunResult r = run_shared_server(demands, cs, 16.0);
+  ASSERT_EQ(r.containers.size(), 1u);
+  EXPECT_EQ(r.cos1_violations, 0u);
+  for (double u : r.containers[0].utilization) {
+    EXPECT_NEAR(u, 0.5, 1e-9);  // allocation = demand / U_low fully granted
+  }
+  EXPECT_DOUBLE_EQ(r.containers[0].unserved_demand, 0.0);
+}
+
+TEST(ServerSim, ContentionSqueezesCos2First) {
+  // Two flat containers, each requesting 4 CPUs (demand 2, bf 2) with
+  // theta = 0.95 (all CoS2). Capacity 6 < 8: each granted 3, utilization
+  // 2/3 each interval.
+  const DemandTrace a("a", tiny(), std::vector<double>(tiny().size(), 2.0));
+  const DemandTrace b("b", tiny(), std::vector<double>(tiny().size(), 2.0));
+  std::vector<Controller> cs{
+      Controller(flat_translation(a, 0.95), Policy::kClairvoyant),
+      Controller(flat_translation(b, 0.95), Policy::kClairvoyant)};
+  const std::vector<DemandTrace> demands{a, b};
+  const ServerRunResult r = run_shared_server(demands, cs, 6.0);
+  EXPECT_EQ(r.cos1_violations, 0u);
+  EXPECT_NEAR(r.worst_cos2_grant_fraction, 0.75, 1e-9);
+  for (const auto& c : r.containers) {
+    for (double u : c.utilization) EXPECT_NEAR(u, 2.0 / 3.0, 1e-9);
+  }
+}
+
+TEST(ServerSim, Cos1ProtectedUnderContention) {
+  // theta = 0.6 -> p > 0: CoS1 portions are granted in full even when CoS2
+  // is squeezed to nothing.
+  const DemandTrace a("a", tiny(), std::vector<double>(tiny().size(), 2.0));
+  const DemandTrace b("b", tiny(), std::vector<double>(tiny().size(), 2.0));
+  const qos::Translation tr = flat_translation(a, 0.6);
+  std::vector<Controller> cs{Controller(tr, Policy::kClairvoyant),
+                             Controller(flat_translation(b, 0.6),
+                                        Policy::kClairvoyant)};
+  const std::vector<DemandTrace> demands{a, b};
+  // Capacity exactly the two CoS1 shares: nothing left for CoS2.
+  const double cos1_each = tr.cos1_demand_cap() / 0.5;
+  const ServerRunResult r = run_shared_server(demands, cs, 2.0 * cos1_each);
+  EXPECT_EQ(r.cos1_violations, 0u);
+  EXPECT_NEAR(r.worst_cos2_grant_fraction, 0.0, 1e-9);
+  for (const auto& c : r.containers) {
+    for (double g : c.granted) EXPECT_NEAR(g, cos1_each, 1e-9);
+  }
+}
+
+TEST(ServerSim, Cos1OverloadRecordedAndScaled) {
+  // Capacity below the aggregate CoS1 requests: violation counted, grants
+  // scaled proportionally.
+  const DemandTrace a("a", tiny(), std::vector<double>(tiny().size(), 4.0));
+  const qos::Translation tr = flat_translation(a, 0.6);
+  ASSERT_GT(tr.peak_cos1_allocation(), 1.0);
+  std::vector<Controller> cs{Controller(tr, Policy::kClairvoyant)};
+  const std::vector<DemandTrace> demands{a};
+  const ServerRunResult r =
+      run_shared_server(demands, cs, tr.peak_cos1_allocation() / 2.0);
+  EXPECT_EQ(r.cos1_violations, tiny().size());
+}
+
+TEST(ServerSim, ValidatesInputs) {
+  const DemandTrace a("a", tiny(), std::vector<double>(tiny().size(), 1.0));
+  std::vector<Controller> cs{
+      Controller(flat_translation(a, 0.6), Policy::kClairvoyant)};
+  const std::vector<DemandTrace> demands{a};
+  EXPECT_THROW(run_shared_server(demands, cs, 0.0), InvalidArgument);
+  EXPECT_THROW(run_shared_server({}, cs, 4.0), InvalidArgument);
+  std::vector<Controller> two{cs[0], cs[0]};
+  EXPECT_THROW(run_shared_server(demands, two, 4.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ropus::wlm

@@ -1,0 +1,84 @@
+// Attribute-trace generation (memory / disk / network).
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.h"
+#include "workload/generator.h"
+
+namespace ropus::workload {
+namespace {
+
+using trace::Calendar;
+
+Profile basic_profile() {
+  Profile p;
+  p.name = "attr-app";
+  p.base_cpus = 2.0;
+  p.max_cpus = 10.0;
+  return p;
+}
+
+TEST(Attributes, Deterministic) {
+  const Calendar cal(1, 5);
+  const auto cpu = generate(basic_profile(), cal, 3);
+  const auto a = generate_attributes(basic_profile(), cpu, 3);
+  const auto b = generate_attributes(basic_profile(), cpu, 3);
+  for (std::size_t i = 0; i < cpu.size(); i += 17) {
+    ASSERT_DOUBLE_EQ(a.memory[i], b.memory[i]);
+    ASSERT_DOUBLE_EQ(a.disk[i], b.disk[i]);
+    ASSERT_DOUBLE_EQ(a.network[i], b.network[i]);
+  }
+}
+
+TEST(Attributes, MemoryNeverBelowFloorAndRatchets) {
+  Profile p = basic_profile();
+  p.memory_base_gb = 4.0;
+  p.memory_per_cpu_gb = 2.0;
+  p.memory_decay = 0.99;
+  const Calendar cal(1, 5);
+  const auto cpu = generate(p, cal, 5);
+  const auto attrs = generate_attributes(p, cpu, 5);
+  for (std::size_t i = 0; i < cpu.size(); ++i) {
+    EXPECT_GE(attrs.memory[i], p.memory_base_gb - 1e-9);
+    EXPECT_GE(attrs.memory[i],
+              p.memory_base_gb + p.memory_per_cpu_gb * cpu[i] - 1e-9);
+    if (i > 0) {
+      // Resident set drains at most (1 - decay) per interval.
+      EXPECT_GE(attrs.memory[i], attrs.memory[i - 1] * p.memory_decay - 1e-9);
+    }
+  }
+}
+
+TEST(Attributes, MemorySmootherThanCpu) {
+  const Calendar cal(1, 5);
+  const Profile p = basic_profile();
+  const auto cpu = generate(p, cal, 7);
+  const auto attrs = generate_attributes(p, cpu, 7);
+  EXPECT_LT(trace::coefficient_of_variation(attrs.memory),
+            trace::coefficient_of_variation(cpu));
+}
+
+TEST(Attributes, IoTracksCpuScale) {
+  Profile p = basic_profile();
+  p.io_noise_cv = 0.0;
+  p.disk_mbps_per_cpu = 10.0;
+  p.network_mbps_per_cpu = 25.0;
+  const Calendar cal(1, 5);
+  const auto cpu = generate(p, cal, 9);
+  const auto attrs = generate_attributes(p, cpu, 9);
+  for (std::size_t i = 0; i < cpu.size(); i += 13) {
+    EXPECT_NEAR(attrs.disk[i], 10.0 * cpu[i], 1e-9);
+    EXPECT_NEAR(attrs.network[i], 25.0 * cpu[i], 1e-9);
+  }
+}
+
+TEST(Attributes, NamesDeriveFromProfile) {
+  const Calendar cal(1, 5);
+  const auto cpu = generate(basic_profile(), cal, 1);
+  const auto attrs = generate_attributes(basic_profile(), cpu, 1);
+  EXPECT_EQ(attrs.memory.name(), "attr-app/memory");
+  EXPECT_EQ(attrs.disk.name(), "attr-app/disk");
+  EXPECT_EQ(attrs.network.name(), "attr-app/network");
+}
+
+}  // namespace
+}  // namespace ropus::workload

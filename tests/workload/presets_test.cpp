@@ -1,0 +1,56 @@
+#include "workload/presets.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/correlation.h"
+#include "trace/trace_stats.h"
+#include "workload/generator.h"
+
+namespace ropus::workload {
+namespace {
+
+using trace::Calendar;
+
+TEST(Presets, AllValidate) {
+  EXPECT_NO_THROW(presets::interactive_web("web", 2.0).validate());
+  EXPECT_NO_THROW(presets::batch_nightly("batch", 4.0).validate());
+  EXPECT_NO_THROW(presets::reporting("rep", 1.0).validate());
+  EXPECT_NO_THROW(presets::steady_backend("kv", 2.0).validate());
+}
+
+TEST(Presets, BatchPeaksAtNightWebByDay) {
+  const Calendar cal(2, 5);
+  const auto web = generate(presets::interactive_web("web", 2.0), cal, 5);
+  const auto batch = generate(presets::batch_nightly("batch", 4.0), cal, 5);
+  const auto web_profile = trace::diurnal_profile(web);
+  const auto batch_profile = trace::diurnal_profile(batch);
+  // Web: 2pm >> 2am. Batch: 2am >> 2pm.
+  const std::size_t day_slot = 14 * 12;
+  const std::size_t night_slot = 2 * 12;
+  EXPECT_GT(web_profile[day_slot], 2.0 * web_profile[night_slot]);
+  EXPECT_GT(batch_profile[night_slot], 2.0 * batch_profile[day_slot]);
+}
+
+TEST(Presets, WebAndBatchAntiCorrelate) {
+  const Calendar cal(2, 5);
+  const auto web = generate(presets::interactive_web("web", 2.0), cal, 7);
+  const auto batch = generate(presets::batch_nightly("batch", 4.0), cal, 7);
+  EXPECT_LT(trace::correlation(web, batch), -0.1);
+  EXPECT_LT(trace::peak_coincidence(web, batch, 0.95), 0.2);
+}
+
+TEST(Presets, SteadyBackendIsFlat) {
+  const Calendar cal(1, 5);
+  const auto kv = generate(presets::steady_backend("kv", 2.0), cal, 9);
+  EXPECT_LT(trace::coefficient_of_variation(kv), 0.25);
+  EXPECT_LT(trace::peak_to_percentile_ratio(kv, 97.0), 1.6);
+}
+
+TEST(Presets, ReportingIsBursty) {
+  const Calendar cal(4, 5);
+  const auto rep = generate(presets::reporting("rep", 1.0), cal, 11);
+  EXPECT_GT(trace::peak_to_percentile_ratio(rep, 97.0), 2.0);
+}
+
+}  // namespace
+}  // namespace ropus::workload

@@ -1,0 +1,70 @@
+#include "cli/cli.h"
+
+#include "cli/commands.h"
+#include "common/error.h"
+#include "common/flags.h"
+
+namespace ropus::cli {
+
+namespace {
+void usage(std::ostream& os) {
+  os << "usage: ropus_cli <command> [flags]\n"
+        "\n"
+        "commands:\n"
+        "  generate     synthesize demand traces           "
+        "(--out= --weeks=4 --apps=26 --seed=2006)\n"
+        "  analyze      per-application demand statistics  "
+        "(--traces=)\n"
+        "  translate    QoS translation per application    "
+        "(--traces= --theta= --ulow= --uhigh= --udegr= --m= [--tdegr=] "
+        "[--epochs=])\n"
+        "  consolidate  place workloads onto a pool        "
+        "(--traces= --servers=13 --cpus=16 + translate flags)\n"
+        "  failover     single-failure sweep               "
+        "(consolidate flags + --failure-ulow= etc.)\n"
+        "  forecast     project demand forward              "
+        "(--traces= --horizon=1 [--out=])\n"
+        "  plan         long-term capacity projection       "
+        "(--traces= --growth=0.01 --horizon=26 [--json])\n"
+        "  whatif       scenario comparison                 "
+        "(--traces= [--scale=app:1.5,..] [--remove=app,..] "
+        "[--shift=app:minutes,..])\n"
+        "  backtest     out-of-sample commitment check      "
+        "(--traces= [--train-weeks=W-1])\n"
+        "\n"
+        "common QoS flags default to the paper's case study: U_low=0.5,\n"
+        "U_high=0.66, U_degr=0.9, M=97, theta=0.95, deadline=60.\n";
+}
+}  // namespace
+
+int run(std::span<const std::string> args, std::ostream& out,
+        std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    usage(args.empty() ? err : out);
+    return args.empty() ? 1 : 0;
+  }
+  const std::string& command = args[0];
+  try {
+    const Flags flags(args.subspan(1));
+    if (command == "generate") return cmd_generate(flags, out, err);
+    if (command == "analyze") return cmd_analyze(flags, out, err);
+    if (command == "translate") return cmd_translate(flags, out, err);
+    if (command == "consolidate") return cmd_consolidate(flags, out, err);
+    if (command == "failover") return cmd_failover(flags, out, err);
+    if (command == "forecast") return cmd_forecast(flags, out, err);
+    if (command == "plan") return cmd_plan(flags, out, err);
+    if (command == "whatif") return cmd_whatif(flags, out, err);
+    if (command == "backtest") return cmd_backtest(flags, out, err);
+    err << "unknown command: " << command << "\n\n";
+    usage(err);
+    return 1;
+  } catch (const InvalidArgument& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace ropus::cli

@@ -1,0 +1,24 @@
+// ropus_cli: command-line capacity management on CSV demand traces.
+//
+//   ropus_cli generate     synthesize a fleet of demand traces to CSV
+//   ropus_cli analyze      per-application demand statistics (Fig. 6 style)
+//   ropus_cli translate    QoS translation table for every application
+//   ropus_cli consolidate  workload placement onto a server pool
+//   ropus_cli failover     single-failure sweep and spare-server report
+//
+// `run` is the whole tool behind a testable seam: it never touches global
+// streams and reports errors on `err` with a non-zero exit code.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+
+namespace ropus::cli {
+
+/// Executes the tool with `args` (no program name). Returns the process
+/// exit code: 0 on success, 1 on usage errors, 2 on runtime failures.
+int run(std::span<const std::string> args, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace ropus::cli

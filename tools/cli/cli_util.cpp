@@ -1,0 +1,50 @@
+#include "cli/cli_util.h"
+
+#include "common/error.h"
+#include "trace/trace_io.h"
+
+namespace ropus::cli {
+
+std::vector<trace::DemandTrace> load_traces(const Flags& flags) {
+  const auto path = flags.get("traces");
+  if (!path.has_value()) {
+    throw InvalidArgument("--traces=<file.csv> is required");
+  }
+  return trace::read_traces_csv(*path);
+}
+
+qos::Requirement requirement_from_flags(const Flags& flags,
+                                        const std::string& prefix) {
+  qos::Requirement req;
+  req.u_low = flags.get_double(prefix + "ulow", 0.5);
+  req.u_high = flags.get_double(prefix + "uhigh", 0.66);
+  req.u_degr = flags.get_double(prefix + "udegr", 0.9);
+  req.m_percent = flags.get_double(prefix + "m", 97.0);
+  if (flags.has(prefix + "tdegr")) {
+    req.t_degr_minutes = flags.get_double(prefix + "tdegr", 30.0);
+  }
+  if (flags.has(prefix + "epochs")) {
+    req.max_degraded_epochs_per_day = flags.get_size(prefix + "epochs", 0);
+  }
+  req.validate();
+  return req;
+}
+
+qos::CosCommitment cos2_from_flags(const Flags& flags) {
+  qos::CosCommitment cos2;
+  cos2.theta = flags.get_double("theta", 0.95);
+  cos2.deadline_minutes = flags.get_double("deadline", 60.0);
+  cos2.validate();
+  return cos2;
+}
+
+bool check_flags(const Flags& flags, std::span<const std::string> allowed,
+                 std::ostream& err) {
+  const auto unknown = flags.unknown_flags(allowed);
+  for (const std::string& name : unknown) {
+    err << "unknown flag: --" << name << "\n";
+  }
+  return unknown.empty();
+}
+
+}  // namespace ropus::cli

@@ -1,0 +1,30 @@
+// Shared helpers for ropus_cli commands.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "common/flags.h"
+#include "qos/requirements.h"
+#include "trace/demand_trace.h"
+
+namespace ropus::cli {
+
+/// Loads the traces named by --traces=<path>. Throws Error (IoError or
+/// InvalidArgument) with a user-facing message.
+std::vector<trace::DemandTrace> load_traces(const Flags& flags);
+
+/// Builds a QoS requirement from --ulow/--uhigh/--udegr/--m/--tdegr
+/// (defaults: the paper's 0.5/0.66/0.9/97/none).
+qos::Requirement requirement_from_flags(const Flags& flags,
+                                        const std::string& prefix = "");
+
+/// Builds the CoS2 commitment from --theta/--deadline (defaults 0.95/60).
+qos::CosCommitment cos2_from_flags(const Flags& flags);
+
+/// Writes "unknown flag" diagnostics for anything outside `allowed`;
+/// returns false when such flags exist.
+bool check_flags(const Flags& flags,
+                 std::span<const std::string> allowed, std::ostream& err);
+
+}  // namespace ropus::cli

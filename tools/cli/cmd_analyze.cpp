@@ -1,0 +1,38 @@
+#include <string>
+#include <vector>
+
+#include "cli/cli_util.h"
+#include "cli/commands.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "trace/trace_stats.h"
+
+namespace ropus::cli {
+
+int cmd_analyze(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::vector<std::string> allowed{"traces"};
+  if (!check_flags(flags, allowed, err)) return 1;
+  const auto traces = load_traces(flags);
+
+  out << "demand statistics for " << traces.size() << " application(s), "
+      << traces[0].calendar().weeks() << " week(s) at "
+      << traces[0].calendar().minutes_per_sample() << "-minute samples\n\n";
+
+  TextTable table({"app", "mean CPU", "peak CPU", "97th pct", "99th pct",
+                   "peak/97th", "CoV"});
+  const std::vector<double> pcts{97.0, 99.0};
+  for (const auto& t : traces) {
+    const stats::Summary s = stats::summarize(t.values());
+    const auto q = stats::quantiles(
+        t.values(), std::vector<double>{0.97, 0.99});
+    table.add_row({t.name(), TextTable::num(s.mean, 2),
+                   TextTable::num(s.max, 2), TextTable::num(q[0], 2),
+                   TextTable::num(q[1], 2),
+                   TextTable::num(trace::peak_to_percentile_ratio(t, 97.0), 2),
+                   TextTable::num(trace::coefficient_of_variation(t), 2)});
+  }
+  table.render(out);
+  return 0;
+}
+
+}  // namespace ropus::cli

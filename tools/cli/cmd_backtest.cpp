@@ -1,0 +1,63 @@
+#include <string>
+#include <vector>
+
+#include "cli/cli_util.h"
+#include "cli/commands.h"
+#include "common/table.h"
+#include "core/backtest.h"
+
+namespace ropus::cli {
+
+int cmd_backtest(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::vector<std::string> allowed{
+      "traces", "theta",      "deadline",    "ulow",       "uhigh",
+      "udegr",  "m",          "tdegr",       "epochs",     "servers",
+      "cpus",   "train-weeks", "population", "generations", "stagnation",
+      "search-seed"};
+  if (!check_flags(flags, allowed, err)) return 1;
+  const auto traces = load_traces(flags);
+  const qos::Requirement req = requirement_from_flags(flags);
+  const qos::CosCommitment cos2 = cos2_from_flags(flags);
+  const auto pool = sim::homogeneous_pool(flags.get_size("servers", 13),
+                                          flags.get_size("cpus", 16));
+
+  BacktestConfig cfg;
+  const std::size_t total_weeks = traces[0].calendar().weeks();
+  cfg.training_weeks = flags.get_size(
+      "train-weeks", total_weeks > 1 ? total_weeks - 1 : 1);
+  cfg.consolidation.genetic.population = flags.get_size("population", 24);
+  cfg.consolidation.genetic.max_generations =
+      flags.get_size("generations", 120);
+  cfg.consolidation.genetic.stagnation_limit =
+      flags.get_size("stagnation", 20);
+  cfg.consolidation.genetic.seed =
+      static_cast<std::uint64_t>(flags.get_size("search-seed", 1));
+
+  const BacktestReport report = backtest(traces, req, cos2, pool, cfg);
+  if (!report.placement_feasible) {
+    err << "training placement infeasible\n";
+    return 2;
+  }
+
+  out << "trained on " << cfg.training_weeks << " week(s), validated on "
+      << total_weeks - cfg.training_weeks << " held-out week(s); "
+      << report.servers_used << " servers, theta committed = " << cos2.theta
+      << "\n\n";
+  TextTable table({"server", "observed theta", "CoS1 ok", "deadline ok",
+                   "commitment"});
+  for (const BacktestServerOutcome& s : report.servers) {
+    table.add_row({std::to_string(s.server),
+                   TextTable::num(s.observed_theta, 3),
+                   s.cos1_satisfied ? "yes" : "NO",
+                   s.deadline_met ? "yes" : "NO",
+                   s.commitment_held ? "held" : "VIOLATED"});
+  }
+  table.render(out);
+  out << "\nworst observed theta: "
+      << TextTable::num(report.worst_observed_theta, 3) << "; "
+      << report.violations << " of " << report.servers.size()
+      << " servers violated\n";
+  return report.held() ? 0 : 2;
+}
+
+}  // namespace ropus::cli

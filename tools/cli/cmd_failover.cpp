@@ -1,0 +1,90 @@
+#include <string>
+#include <vector>
+
+#include "cli/cli_util.h"
+#include "cli/commands.h"
+#include "failover/planner.h"
+
+namespace ropus::cli {
+
+int cmd_failover(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::vector<std::string> allowed{
+      "traces",        "theta",          "deadline",      "ulow",
+      "uhigh",         "udegr",          "m",             "tdegr",
+      "epochs",        "failure-ulow",   "failure-uhigh", "failure-udegr",
+      "failure-m",     "failure-tdegr",  "failure-epochs", "servers",
+      "cpus",          "population",     "generations",   "stagnation",
+      "search-seed",   "concurrent"};
+  if (!check_flags(flags, allowed, err)) return 1;
+  const auto traces = load_traces(flags);
+  const qos::Requirement normal = requirement_from_flags(flags);
+  // Failure mode defaults to a hotter band when no flags given.
+  qos::Requirement failure;
+  if (flags.has("failure-ulow") || flags.has("failure-uhigh") ||
+      flags.has("failure-udegr") || flags.has("failure-m") ||
+      flags.has("failure-tdegr") || flags.has("failure-epochs")) {
+    failure = requirement_from_flags(flags, "failure-");
+  } else {
+    failure = normal;
+    failure.m_percent = std::min(failure.m_percent, 97.0);
+    failure.t_degr_minutes = 30.0;
+  }
+  const qos::CosCommitment cos2 = cos2_from_flags(flags);
+  const std::size_t servers = flags.get_size("servers", 13);
+  const std::size_t cpus = flags.get_size("cpus", 16);
+  const std::size_t concurrent = flags.get_size("concurrent", 1);
+
+  std::vector<qos::ApplicationQos> app_qos;
+  for (const auto& t : traces) {
+    qos::ApplicationQos q;
+    q.app_name = t.name();
+    q.normal = normal;
+    q.failure = failure;
+    app_qos.push_back(std::move(q));
+  }
+  qos::PoolCommitments commitments;
+  commitments.cos2 = cos2;
+
+  failover::PlannerConfig cfg;
+  cfg.normal.genetic.population = flags.get_size("population", 32);
+  cfg.normal.genetic.max_generations = flags.get_size("generations", 250);
+  cfg.normal.genetic.stagnation_limit = flags.get_size("stagnation", 30);
+  cfg.normal.genetic.seed =
+      static_cast<std::uint64_t>(flags.get_size("search-seed", 1));
+  cfg.failure = cfg.normal;
+
+  const failover::FailurePlanner planner(
+      traces, app_qos, commitments, sim::homogeneous_pool(servers, cpus));
+
+  if (concurrent <= 1) {
+    const failover::FailoverReport report = planner.plan(cfg);
+    if (!report.normal.feasible) {
+      err << "normal-mode placement infeasible\n";
+      return 2;
+    }
+    out << "normal mode: " << report.normal.servers_used << " servers\n";
+    for (const auto& o : report.outcomes) {
+      out << "failure of server " << o.failed_server << " ("
+          << o.affected_apps.size() << " apps) -> "
+          << (o.supported ? "supported" : "NOT supported") << " on "
+          << o.surviving_servers.size() << " survivors\n";
+    }
+    out << (report.spare_needed ? "spare server NEEDED\n"
+                                : "no spare server needed\n");
+    return report.spare_needed ? 2 : 0;
+  }
+
+  const failover::MultiFailoverReport report =
+      planner.plan_concurrent(cfg, concurrent);
+  if (!report.normal.feasible) {
+    err << "normal-mode placement infeasible\n";
+    return 2;
+  }
+  out << "normal mode: " << report.normal.servers_used << " servers\n";
+  out << "analysed " << report.outcomes.size() << " subsets of "
+      << concurrent << " concurrent failures: " << report.unsupported
+      << " unsupported\n";
+  return report.all_supported() ? 0 : 2;
+}
+
+}  // namespace ropus::cli

@@ -1,0 +1,49 @@
+#include <string>
+#include <vector>
+
+#include "cli/cli_util.h"
+#include "cli/commands.h"
+#include "common/table.h"
+#include "trace/forecast.h"
+#include "trace/trace_io.h"
+
+namespace ropus::cli {
+
+int cmd_forecast(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::vector<std::string> allowed{"traces", "out", "horizon",
+                                         "trend-cap"};
+  if (!check_flags(flags, allowed, err)) return 1;
+  const auto traces = load_traces(flags);
+
+  trace::ForecastOptions opts;
+  opts.horizon_weeks = flags.get_size("horizon", 1);
+  opts.max_weekly_trend = flags.get_double("trend-cap", 0.25);
+
+  out << "seasonal-naive forecast, " << opts.horizon_weeks
+      << " week(s) ahead (trend capped at +/-"
+      << TextTable::num(100.0 * opts.max_weekly_trend, 0) << "%/week)\n\n";
+
+  TextTable table({"app", "fitted trend %/week", "history peak",
+                   "projected peak"});
+  std::vector<trace::DemandTrace> projections;
+  projections.reserve(traces.size());
+  for (const auto& t : traces) {
+    trace::DemandTrace projection = trace::forecast(t, opts);
+    projection.set_name(t.name());  // keep CSV columns aligned with input
+    table.add_row(
+        {t.name(),
+         TextTable::num(100.0 * (trace::weekly_trend_ratio(t) - 1.0), 2),
+         TextTable::num(t.peak(), 2),
+         TextTable::num(projection.peak(), 2)});
+    projections.push_back(std::move(projection));
+  }
+  table.render(out);
+
+  if (const auto path = flags.get("out")) {
+    trace::write_traces_csv(*path, projections);
+    out << "\nwrote projected traces to " << *path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace ropus::cli

@@ -1,0 +1,39 @@
+#include <string>
+#include <vector>
+
+#include "cli/cli_util.h"
+#include "cli/commands.h"
+#include "trace/trace_io.h"
+#include "workload/fleet.h"
+#include "workload/generator.h"
+
+namespace ropus::cli {
+
+int cmd_generate(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::vector<std::string> allowed{"out", "weeks", "apps", "seed",
+                                         "interval"};
+  if (!check_flags(flags, allowed, err)) return 1;
+  const auto path = flags.get("out");
+  if (!path.has_value()) {
+    err << "--out=<file.csv> is required\n";
+    return 1;
+  }
+  const std::size_t weeks = flags.get_size("weeks", 4);
+  const std::size_t apps = flags.get_size("apps", 26);
+  const std::size_t interval = flags.get_size("interval", 5);
+  const auto seed = static_cast<std::uint64_t>(flags.get_size("seed", 2006));
+  ROPUS_REQUIRE(apps >= 1 && apps <= workload::kCaseStudyApps,
+                "--apps must be between 1 and 26 (the case-study fleet)");
+
+  const trace::Calendar calendar(weeks, interval);
+  auto profiles = workload::case_study_profiles();
+  profiles.resize(apps);
+  const auto traces = workload::generate_all(profiles, calendar, seed);
+  trace::write_traces_csv(*path, traces);
+  out << "wrote " << traces.size() << " traces (" << calendar.size()
+      << " observations each, " << weeks << " week(s) at " << interval
+      << "-minute samples) to " << *path << "\n";
+  return 0;
+}
+
+}  // namespace ropus::cli

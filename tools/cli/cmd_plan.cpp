@@ -1,0 +1,75 @@
+#include <string>
+#include <vector>
+
+#include "cli/cli_util.h"
+#include "cli/commands.h"
+#include "common/table.h"
+#include "core/capacity_planner.h"
+#include "core/plan_export.h"
+
+namespace ropus::cli {
+
+int cmd_plan(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::vector<std::string> allowed{
+      "traces", "theta",  "deadline", "ulow",       "uhigh",      "udegr",
+      "m",      "tdegr",  "epochs",   "servers",    "cpus",       "growth",
+      "fitted", "horizon", "step",    "population", "generations",
+      "stagnation", "search-seed", "json"};
+  if (!check_flags(flags, allowed, err)) return 1;
+  const auto traces = load_traces(flags);
+  const qos::Requirement req = requirement_from_flags(flags);
+  qos::PoolCommitments commitments;
+  commitments.cos2 = cos2_from_flags(flags);
+
+  const CapacityPlanner planner(
+      traces, req, commitments,
+      sim::homogeneous_pool(flags.get_size("servers", 13),
+                            flags.get_size("cpus", 16)));
+
+  GrowthScenario scenario;
+  scenario.weekly_growth = flags.get_double("growth", 0.01);
+  scenario.use_fitted_trend = flags.get_bool("fitted", false);
+  scenario.horizon_weeks = flags.get_size("horizon", 26);
+  scenario.step_weeks = flags.get_size("step", 4);
+
+  placement::ConsolidationConfig search;
+  search.genetic.population = flags.get_size("population", 24);
+  search.genetic.max_generations = flags.get_size("generations", 120);
+  search.genetic.stagnation_limit = flags.get_size("stagnation", 20);
+  search.genetic.seed =
+      static_cast<std::uint64_t>(flags.get_size("search-seed", 1));
+
+  const CapacityPlanningReport report = planner.project(scenario, search);
+
+  if (flags.get_bool("json", false)) {
+    out << to_json(report) << "\n";
+    return report.exhaustion_week.has_value() ? 2 : 0;
+  }
+
+  out << "capacity projection: "
+      << (scenario.use_fitted_trend
+              ? std::string("fitted per-application trends")
+              : TextTable::num(100.0 * scenario.weekly_growth, 1) +
+                    "%/week growth")
+      << ", horizon " << scenario.horizon_weeks << " weeks\n\n";
+  TextTable table({"week", "demand scale", "servers", "C_requ CPU",
+                   "feasible"});
+  for (const auto& p : report.points) {
+    table.add_row({std::to_string(p.week),
+                   TextTable::num(p.mean_demand_scale, 2),
+                   std::to_string(p.servers_used),
+                   TextTable::num(p.total_required_capacity, 0),
+                   p.feasible ? "yes" : "NO"});
+  }
+  table.render(out);
+  if (report.exhaustion_week.has_value()) {
+    out << "\npool exhausted at week " << *report.exhaustion_week
+        << " — provision before then\n";
+    return 2;
+  }
+  out << "\npool lasts the horizon (" << report.servers_at_horizon()
+      << " servers in use at week " << scenario.horizon_weeks << ")\n";
+  return 0;
+}
+
+}  // namespace ropus::cli

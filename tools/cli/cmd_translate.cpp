@@ -1,0 +1,44 @@
+#include <string>
+#include <vector>
+
+#include "cli/cli_util.h"
+#include "cli/commands.h"
+#include "common/table.h"
+#include "qos/translation.h"
+
+namespace ropus::cli {
+
+int cmd_translate(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::vector<std::string> allowed{
+      "traces", "theta", "deadline", "ulow", "uhigh",
+      "udegr",  "m",     "tdegr",    "epochs"};
+  if (!check_flags(flags, allowed, err)) return 1;
+  const auto traces = load_traces(flags);
+  const qos::Requirement req = requirement_from_flags(flags);
+  const qos::CosCommitment cos2 = cos2_from_flags(flags);
+
+  out << "QoS translation: U_low=" << req.u_low << " U_high=" << req.u_high
+      << " U_degr=" << req.u_degr << " M=" << req.m_percent
+      << "% theta=" << cos2.theta << "\n\n";
+
+  TextTable table({"app", "p", "D_max", "D_new_max", "peak alloc",
+                   "CoS1 peak", "reduction %", "degraded %"});
+  double total_peak = 0.0;
+  for (const auto& t : traces) {
+    const qos::Translation tr = qos::translate(t, req, cos2);
+    total_peak += tr.peak_allocation();
+    table.add_row({t.name(), TextTable::num(tr.breakpoint_p, 3),
+                   TextTable::num(tr.d_max, 2),
+                   TextTable::num(tr.d_new_max, 2),
+                   TextTable::num(tr.peak_allocation(), 2),
+                   TextTable::num(tr.peak_cos1_allocation(), 2),
+                   TextTable::num(100.0 * tr.max_cap_reduction(), 1),
+                   TextTable::num(100.0 * qos::degraded_fraction(t, tr), 2)});
+  }
+  table.render(out);
+  out << "\nsum of peak allocations (C_peak): "
+      << TextTable::num(total_peak, 1) << " CPUs\n";
+  return 0;
+}
+
+}  // namespace ropus::cli

@@ -1,0 +1,137 @@
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli_util.h"
+#include "cli/commands.h"
+#include "common/table.h"
+#include "placement/consolidator.h"
+#include "placement/problem.h"
+#include "qos/allocation.h"
+#include "workload/whatif.h"
+
+namespace ropus::cli {
+
+namespace {
+
+/// Parses "name:value,name:value" lists.
+std::vector<std::pair<std::string, double>> parse_pairs(
+    const std::string& raw, const std::string& flag) {
+  std::vector<std::pair<std::string, double>> pairs;
+  std::istringstream stream(raw);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const auto colon = item.find(':');
+    ROPUS_REQUIRE(colon != std::string::npos && colon > 0,
+                  "--" + flag + " expects name:value entries, got '" + item +
+                      "'");
+    pairs.emplace_back(item.substr(0, colon),
+                       std::stod(item.substr(colon + 1)));
+  }
+  return pairs;
+}
+
+std::size_t index_of(const std::vector<trace::DemandTrace>& traces,
+                     const std::string& name) {
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (traces[i].name() == name) return i;
+  }
+  throw InvalidArgument("unknown application: " + name);
+}
+
+placement::ConsolidationReport consolidate_fleet(
+    const std::vector<trace::DemandTrace>& traces,
+    const qos::Requirement& req, const qos::CosCommitment& cos2,
+    const Flags& flags) {
+  const auto allocations = qos::build_allocations(traces, req, cos2);
+  const placement::PlacementProblem problem(
+      allocations,
+      sim::homogeneous_pool(flags.get_size("servers", 13),
+                            flags.get_size("cpus", 16)),
+      cos2);
+  placement::ConsolidationConfig cfg;
+  cfg.genetic.population = flags.get_size("population", 24);
+  cfg.genetic.max_generations = flags.get_size("generations", 120);
+  cfg.genetic.stagnation_limit = flags.get_size("stagnation", 20);
+  cfg.genetic.seed =
+      static_cast<std::uint64_t>(flags.get_size("search-seed", 1));
+  return placement::consolidate(problem, cfg);
+}
+
+}  // namespace
+
+int cmd_whatif(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::vector<std::string> allowed{
+      "traces", "theta",       "deadline",   "ulow",       "uhigh",
+      "udegr",  "m",           "tdegr",      "epochs",     "servers",
+      "cpus",   "population",  "generations", "stagnation", "search-seed",
+      "scale",  "remove",      "shift"};
+  if (!check_flags(flags, allowed, err)) return 1;
+  const auto baseline_traces = load_traces(flags);
+  const qos::Requirement req = requirement_from_flags(flags);
+  const qos::CosCommitment cos2 = cos2_from_flags(flags);
+
+  // Build the scenario fleet.
+  std::vector<trace::DemandTrace> scenario_traces = baseline_traces;
+  if (const auto raw = flags.get("shift")) {
+    for (const auto& [name, minutes] : parse_pairs(*raw, "shift")) {
+      const std::size_t i = index_of(scenario_traces, name);
+      trace::DemandTrace shifted =
+          workload::time_shift(scenario_traces[i], minutes);
+      shifted.set_name(name);
+      scenario_traces[i] = std::move(shifted);
+    }
+  }
+  workload::Scenario scenario;
+  if (const auto raw = flags.get("scale")) {
+    scenario.scale.assign(scenario_traces.size(), 1.0);
+    for (const auto& [name, factor] : parse_pairs(*raw, "scale")) {
+      scenario.scale[index_of(scenario_traces, name)] = factor;
+    }
+  }
+  if (const auto raw = flags.get("remove")) {
+    std::istringstream stream(*raw);
+    std::string name;
+    while (std::getline(stream, name, ',')) {
+      scenario.removals.push_back(index_of(scenario_traces, name));
+    }
+  }
+  const auto changed = workload::apply_scenario(scenario_traces, scenario);
+
+  const placement::ConsolidationReport before =
+      consolidate_fleet(baseline_traces, req, cos2, flags);
+  const placement::ConsolidationReport after =
+      consolidate_fleet(changed, req, cos2, flags);
+
+  out << "what-if: " << baseline_traces.size() << " -> " << changed.size()
+      << " workloads\n\n";
+  TextTable table({"", "workloads", "servers", "C_requ CPU", "C_peak CPU"});
+  auto row = [&table](const char* label,
+                      const placement::ConsolidationReport& r,
+                      std::size_t n) {
+    table.add_row({label, std::to_string(n),
+                   r.feasible ? std::to_string(r.servers_used)
+                              : "infeasible",
+                   TextTable::num(r.total_required_capacity, 0),
+                   TextTable::num(r.total_peak_allocation, 0)});
+  };
+  row("baseline", before, baseline_traces.size());
+  row("scenario", after, changed.size());
+  table.render(out);
+
+  if (!after.feasible) {
+    out << "\nscenario does NOT fit the pool\n";
+    return 2;
+  }
+  const long delta = static_cast<long>(after.servers_used) -
+                     static_cast<long>(before.servers_used);
+  out << "\nscenario " << (delta > 0 ? "needs " : delta < 0 ? "frees " : "keeps ")
+      << (delta == 0 ? std::string("the same server count")
+                     : std::to_string(delta > 0 ? delta : -delta) +
+                           std::string(" server(s)"))
+      << "\n";
+  return 0;
+}
+
+}  // namespace ropus::cli

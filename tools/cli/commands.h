@@ -1,0 +1,20 @@
+// Per-subcommand entry points (each validates its own flags).
+#pragma once
+
+#include <ostream>
+
+#include "common/flags.h"
+
+namespace ropus::cli {
+
+int cmd_generate(const Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_analyze(const Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_translate(const Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_consolidate(const Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_failover(const Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_forecast(const Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_plan(const Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_whatif(const Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_backtest(const Flags& flags, std::ostream& out, std::ostream& err);
+
+}  // namespace ropus::cli
