@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_attributes.dir/ablation_attributes.cpp.o"
+  "CMakeFiles/ablation_attributes.dir/ablation_attributes.cpp.o.d"
+  "ablation_attributes"
+  "ablation_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

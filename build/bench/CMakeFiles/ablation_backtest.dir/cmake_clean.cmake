@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_backtest.dir/ablation_backtest.cpp.o"
+  "CMakeFiles/ablation_backtest.dir/ablation_backtest.cpp.o.d"
+  "ablation_backtest"
+  "ablation_backtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_drill.dir/ablation_drill.cpp.o"
+  "CMakeFiles/ablation_drill.dir/ablation_drill.cpp.o.d"
+  "ablation_drill"
+  "ablation_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_exact.dir/ablation_exact.cpp.o"
+  "CMakeFiles/ablation_exact.dir/ablation_exact.cpp.o.d"
+  "ablation_exact"
+  "ablation_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_heterogeneous.cpp" "bench/CMakeFiles/ablation_heterogeneous.dir/ablation_heterogeneous.cpp.o" "gcc" "bench/CMakeFiles/ablation_heterogeneous.dir/ablation_heterogeneous.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ropus_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ropus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/wlm/CMakeFiles/ropus_wlm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ropus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/failover/CMakeFiles/ropus_failover.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/ropus_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ropus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/ropus_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ropus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ropus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

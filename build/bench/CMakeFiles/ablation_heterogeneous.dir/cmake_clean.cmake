@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_heterogeneous.dir/ablation_heterogeneous.cpp.o"
+  "CMakeFiles/ablation_heterogeneous.dir/ablation_heterogeneous.cpp.o.d"
+  "ablation_heterogeneous"
+  "ablation_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

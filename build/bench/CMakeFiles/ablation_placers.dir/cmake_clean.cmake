@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_placers.dir/ablation_placers.cpp.o"
+  "CMakeFiles/ablation_placers.dir/ablation_placers.cpp.o.d"
+  "ablation_placers"
+  "ablation_placers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_placers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_qos_tiers.dir/ablation_qos_tiers.cpp.o"
+  "CMakeFiles/ablation_qos_tiers.dir/ablation_qos_tiers.cpp.o.d"
+  "ablation_qos_tiers"
+  "ablation_qos_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qos_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wlm_lag.dir/ablation_wlm_lag.cpp.o"
+  "CMakeFiles/ablation_wlm_lag.dir/ablation_wlm_lag.cpp.o.d"
+  "ablation_wlm_lag"
+  "ablation_wlm_lag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wlm_lag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

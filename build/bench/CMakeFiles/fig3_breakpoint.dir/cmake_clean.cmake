@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_breakpoint.dir/fig3_breakpoint.cpp.o"
+  "CMakeFiles/fig3_breakpoint.dir/fig3_breakpoint.cpp.o.d"
+  "fig3_breakpoint"
+  "fig3_breakpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_breakpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

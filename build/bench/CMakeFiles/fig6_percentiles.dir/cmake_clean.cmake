@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_percentiles.dir/fig6_percentiles.cpp.o"
+  "CMakeFiles/fig6_percentiles.dir/fig6_percentiles.cpp.o.d"
+  "fig6_percentiles"
+  "fig6_percentiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_percentiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_maxcap.dir/fig7_maxcap.cpp.o"
+  "CMakeFiles/fig7_maxcap.dir/fig7_maxcap.cpp.o.d"
+  "fig7_maxcap"
+  "fig7_maxcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_maxcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_degraded.dir/fig8_degraded.cpp.o"
+  "CMakeFiles/fig8_degraded.dir/fig8_degraded.cpp.o.d"
+  "fig8_degraded"
+  "fig8_degraded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_degraded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropus_bench_support.dir/support.cpp.o"
+  "CMakeFiles/ropus_bench_support.dir/support.cpp.o.d"
+  "libropus_bench_support.a"
+  "libropus_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropus_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_consolidation.dir/table1_consolidation.cpp.o"
+  "CMakeFiles/table1_consolidation.dir/table1_consolidation.cpp.o.d"
+  "table1_consolidation"
+  "table1_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_planning.dir/failover_planning.cpp.o"
+  "CMakeFiles/failover_planning.dir/failover_planning.cpp.o.d"
+  "failover_planning"
+  "failover_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_fleet.dir/mixed_fleet.cpp.o"
+  "CMakeFiles/mixed_fleet.dir/mixed_fleet.cpp.o.d"
+  "mixed_fleet"
+  "mixed_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_entry_consolidation.dir/order_entry_consolidation.cpp.o"
+  "CMakeFiles/order_entry_consolidation.dir/order_entry_consolidation.cpp.o.d"
+  "order_entry_consolidation"
+  "order_entry_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_entry_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_calibration.dir/qos_calibration.cpp.o"
+  "CMakeFiles/qos_calibration.dir/qos_calibration.cpp.o.d"
+  "qos_calibration"
+  "qos_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

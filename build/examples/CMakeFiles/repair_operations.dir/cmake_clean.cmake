@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_operations.dir/repair_operations.cpp.o"
+  "CMakeFiles/repair_operations.dir/repair_operations.cpp.o.d"
+  "repair_operations"
+  "repair_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

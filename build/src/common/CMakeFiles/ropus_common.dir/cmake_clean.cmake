@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropus_common.dir/csv.cpp.o"
+  "CMakeFiles/ropus_common.dir/csv.cpp.o.d"
+  "CMakeFiles/ropus_common.dir/flags.cpp.o"
+  "CMakeFiles/ropus_common.dir/flags.cpp.o.d"
+  "CMakeFiles/ropus_common.dir/json.cpp.o"
+  "CMakeFiles/ropus_common.dir/json.cpp.o.d"
+  "CMakeFiles/ropus_common.dir/logging.cpp.o"
+  "CMakeFiles/ropus_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ropus_common.dir/stats.cpp.o"
+  "CMakeFiles/ropus_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ropus_common.dir/table.cpp.o"
+  "CMakeFiles/ropus_common.dir/table.cpp.o.d"
+  "libropus_common.a"
+  "libropus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropus_core.dir/backtest.cpp.o"
+  "CMakeFiles/ropus_core.dir/backtest.cpp.o.d"
+  "CMakeFiles/ropus_core.dir/capacity_planner.cpp.o"
+  "CMakeFiles/ropus_core.dir/capacity_planner.cpp.o.d"
+  "CMakeFiles/ropus_core.dir/plan_export.cpp.o"
+  "CMakeFiles/ropus_core.dir/plan_export.cpp.o.d"
+  "CMakeFiles/ropus_core.dir/pool.cpp.o"
+  "CMakeFiles/ropus_core.dir/pool.cpp.o.d"
+  "CMakeFiles/ropus_core.dir/repair_loop.cpp.o"
+  "CMakeFiles/ropus_core.dir/repair_loop.cpp.o.d"
+  "libropus_core.a"
+  "libropus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropus_failover.dir/economics.cpp.o"
+  "CMakeFiles/ropus_failover.dir/economics.cpp.o.d"
+  "CMakeFiles/ropus_failover.dir/planner.cpp.o"
+  "CMakeFiles/ropus_failover.dir/planner.cpp.o.d"
+  "libropus_failover.a"
+  "libropus_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropus_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

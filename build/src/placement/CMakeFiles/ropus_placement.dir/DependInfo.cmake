@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/assignment.cpp" "src/placement/CMakeFiles/ropus_placement.dir/assignment.cpp.o" "gcc" "src/placement/CMakeFiles/ropus_placement.dir/assignment.cpp.o.d"
+  "/root/repo/src/placement/baselines.cpp" "src/placement/CMakeFiles/ropus_placement.dir/baselines.cpp.o" "gcc" "src/placement/CMakeFiles/ropus_placement.dir/baselines.cpp.o.d"
+  "/root/repo/src/placement/consolidator.cpp" "src/placement/CMakeFiles/ropus_placement.dir/consolidator.cpp.o" "gcc" "src/placement/CMakeFiles/ropus_placement.dir/consolidator.cpp.o.d"
+  "/root/repo/src/placement/exact.cpp" "src/placement/CMakeFiles/ropus_placement.dir/exact.cpp.o" "gcc" "src/placement/CMakeFiles/ropus_placement.dir/exact.cpp.o.d"
+  "/root/repo/src/placement/genetic.cpp" "src/placement/CMakeFiles/ropus_placement.dir/genetic.cpp.o" "gcc" "src/placement/CMakeFiles/ropus_placement.dir/genetic.cpp.o.d"
+  "/root/repo/src/placement/multi_problem.cpp" "src/placement/CMakeFiles/ropus_placement.dir/multi_problem.cpp.o" "gcc" "src/placement/CMakeFiles/ropus_placement.dir/multi_problem.cpp.o.d"
+  "/root/repo/src/placement/problem.cpp" "src/placement/CMakeFiles/ropus_placement.dir/problem.cpp.o" "gcc" "src/placement/CMakeFiles/ropus_placement.dir/problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ropus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ropus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/ropus_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ropus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropus_placement.dir/assignment.cpp.o"
+  "CMakeFiles/ropus_placement.dir/assignment.cpp.o.d"
+  "CMakeFiles/ropus_placement.dir/baselines.cpp.o"
+  "CMakeFiles/ropus_placement.dir/baselines.cpp.o.d"
+  "CMakeFiles/ropus_placement.dir/consolidator.cpp.o"
+  "CMakeFiles/ropus_placement.dir/consolidator.cpp.o.d"
+  "CMakeFiles/ropus_placement.dir/exact.cpp.o"
+  "CMakeFiles/ropus_placement.dir/exact.cpp.o.d"
+  "CMakeFiles/ropus_placement.dir/genetic.cpp.o"
+  "CMakeFiles/ropus_placement.dir/genetic.cpp.o.d"
+  "CMakeFiles/ropus_placement.dir/multi_problem.cpp.o"
+  "CMakeFiles/ropus_placement.dir/multi_problem.cpp.o.d"
+  "CMakeFiles/ropus_placement.dir/problem.cpp.o"
+  "CMakeFiles/ropus_placement.dir/problem.cpp.o.d"
+  "libropus_placement.a"
+  "libropus_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropus_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

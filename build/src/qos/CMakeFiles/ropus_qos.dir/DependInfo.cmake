@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qos/allocation.cpp" "src/qos/CMakeFiles/ropus_qos.dir/allocation.cpp.o" "gcc" "src/qos/CMakeFiles/ropus_qos.dir/allocation.cpp.o.d"
+  "/root/repo/src/qos/requirements.cpp" "src/qos/CMakeFiles/ropus_qos.dir/requirements.cpp.o" "gcc" "src/qos/CMakeFiles/ropus_qos.dir/requirements.cpp.o.d"
+  "/root/repo/src/qos/translation.cpp" "src/qos/CMakeFiles/ropus_qos.dir/translation.cpp.o" "gcc" "src/qos/CMakeFiles/ropus_qos.dir/translation.cpp.o.d"
+  "/root/repo/src/qos/workload_allocations.cpp" "src/qos/CMakeFiles/ropus_qos.dir/workload_allocations.cpp.o" "gcc" "src/qos/CMakeFiles/ropus_qos.dir/workload_allocations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ropus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ropus_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

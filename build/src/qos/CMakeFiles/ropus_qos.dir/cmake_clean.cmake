@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropus_qos.dir/allocation.cpp.o"
+  "CMakeFiles/ropus_qos.dir/allocation.cpp.o.d"
+  "CMakeFiles/ropus_qos.dir/requirements.cpp.o"
+  "CMakeFiles/ropus_qos.dir/requirements.cpp.o.d"
+  "CMakeFiles/ropus_qos.dir/translation.cpp.o"
+  "CMakeFiles/ropus_qos.dir/translation.cpp.o.d"
+  "CMakeFiles/ropus_qos.dir/workload_allocations.cpp.o"
+  "CMakeFiles/ropus_qos.dir/workload_allocations.cpp.o.d"
+  "libropus_qos.a"
+  "libropus_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropus_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropus_sim.dir/multi.cpp.o"
+  "CMakeFiles/ropus_sim.dir/multi.cpp.o.d"
+  "CMakeFiles/ropus_sim.dir/server.cpp.o"
+  "CMakeFiles/ropus_sim.dir/server.cpp.o.d"
+  "CMakeFiles/ropus_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ropus_sim.dir/simulator.cpp.o.d"
+  "libropus_sim.a"
+  "libropus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

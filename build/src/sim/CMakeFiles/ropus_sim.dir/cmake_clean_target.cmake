@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libropus_sim.a"
+)

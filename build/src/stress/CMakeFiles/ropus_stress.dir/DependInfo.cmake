@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stress/calibration.cpp" "src/stress/CMakeFiles/ropus_stress.dir/calibration.cpp.o" "gcc" "src/stress/CMakeFiles/ropus_stress.dir/calibration.cpp.o.d"
+  "/root/repo/src/stress/queue_sim.cpp" "src/stress/CMakeFiles/ropus_stress.dir/queue_sim.cpp.o" "gcc" "src/stress/CMakeFiles/ropus_stress.dir/queue_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ropus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/ropus_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ropus_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

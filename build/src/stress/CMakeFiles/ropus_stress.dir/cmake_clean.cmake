@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropus_stress.dir/calibration.cpp.o"
+  "CMakeFiles/ropus_stress.dir/calibration.cpp.o.d"
+  "CMakeFiles/ropus_stress.dir/queue_sim.cpp.o"
+  "CMakeFiles/ropus_stress.dir/queue_sim.cpp.o.d"
+  "libropus_stress.a"
+  "libropus_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropus_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/calendar.cpp" "src/trace/CMakeFiles/ropus_trace.dir/calendar.cpp.o" "gcc" "src/trace/CMakeFiles/ropus_trace.dir/calendar.cpp.o.d"
+  "/root/repo/src/trace/correlation.cpp" "src/trace/CMakeFiles/ropus_trace.dir/correlation.cpp.o" "gcc" "src/trace/CMakeFiles/ropus_trace.dir/correlation.cpp.o.d"
+  "/root/repo/src/trace/demand_trace.cpp" "src/trace/CMakeFiles/ropus_trace.dir/demand_trace.cpp.o" "gcc" "src/trace/CMakeFiles/ropus_trace.dir/demand_trace.cpp.o.d"
+  "/root/repo/src/trace/forecast.cpp" "src/trace/CMakeFiles/ropus_trace.dir/forecast.cpp.o" "gcc" "src/trace/CMakeFiles/ropus_trace.dir/forecast.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/ropus_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/ropus_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/trace/CMakeFiles/ropus_trace.dir/trace_stats.cpp.o" "gcc" "src/trace/CMakeFiles/ropus_trace.dir/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ropus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropus_trace.dir/calendar.cpp.o"
+  "CMakeFiles/ropus_trace.dir/calendar.cpp.o.d"
+  "CMakeFiles/ropus_trace.dir/correlation.cpp.o"
+  "CMakeFiles/ropus_trace.dir/correlation.cpp.o.d"
+  "CMakeFiles/ropus_trace.dir/demand_trace.cpp.o"
+  "CMakeFiles/ropus_trace.dir/demand_trace.cpp.o.d"
+  "CMakeFiles/ropus_trace.dir/forecast.cpp.o"
+  "CMakeFiles/ropus_trace.dir/forecast.cpp.o.d"
+  "CMakeFiles/ropus_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/ropus_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/ropus_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/ropus_trace.dir/trace_stats.cpp.o.d"
+  "libropus_trace.a"
+  "libropus_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropus_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

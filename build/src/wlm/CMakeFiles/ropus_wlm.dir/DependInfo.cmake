@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wlm/compliance.cpp" "src/wlm/CMakeFiles/ropus_wlm.dir/compliance.cpp.o" "gcc" "src/wlm/CMakeFiles/ropus_wlm.dir/compliance.cpp.o.d"
+  "/root/repo/src/wlm/controller.cpp" "src/wlm/CMakeFiles/ropus_wlm.dir/controller.cpp.o" "gcc" "src/wlm/CMakeFiles/ropus_wlm.dir/controller.cpp.o.d"
+  "/root/repo/src/wlm/failure_drill.cpp" "src/wlm/CMakeFiles/ropus_wlm.dir/failure_drill.cpp.o" "gcc" "src/wlm/CMakeFiles/ropus_wlm.dir/failure_drill.cpp.o.d"
+  "/root/repo/src/wlm/server_sim.cpp" "src/wlm/CMakeFiles/ropus_wlm.dir/server_sim.cpp.o" "gcc" "src/wlm/CMakeFiles/ropus_wlm.dir/server_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ropus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ropus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/ropus_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ropus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/ropus_placement.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

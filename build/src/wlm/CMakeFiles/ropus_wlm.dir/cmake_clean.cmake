@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropus_wlm.dir/compliance.cpp.o"
+  "CMakeFiles/ropus_wlm.dir/compliance.cpp.o.d"
+  "CMakeFiles/ropus_wlm.dir/controller.cpp.o"
+  "CMakeFiles/ropus_wlm.dir/controller.cpp.o.d"
+  "CMakeFiles/ropus_wlm.dir/failure_drill.cpp.o"
+  "CMakeFiles/ropus_wlm.dir/failure_drill.cpp.o.d"
+  "CMakeFiles/ropus_wlm.dir/server_sim.cpp.o"
+  "CMakeFiles/ropus_wlm.dir/server_sim.cpp.o.d"
+  "libropus_wlm.a"
+  "libropus_wlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropus_wlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

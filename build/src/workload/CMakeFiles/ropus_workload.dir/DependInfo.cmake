@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/fleet.cpp" "src/workload/CMakeFiles/ropus_workload.dir/fleet.cpp.o" "gcc" "src/workload/CMakeFiles/ropus_workload.dir/fleet.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/ropus_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/ropus_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/presets.cpp" "src/workload/CMakeFiles/ropus_workload.dir/presets.cpp.o" "gcc" "src/workload/CMakeFiles/ropus_workload.dir/presets.cpp.o.d"
+  "/root/repo/src/workload/profile.cpp" "src/workload/CMakeFiles/ropus_workload.dir/profile.cpp.o" "gcc" "src/workload/CMakeFiles/ropus_workload.dir/profile.cpp.o.d"
+  "/root/repo/src/workload/whatif.cpp" "src/workload/CMakeFiles/ropus_workload.dir/whatif.cpp.o" "gcc" "src/workload/CMakeFiles/ropus_workload.dir/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ropus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ropus_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropus_workload.dir/fleet.cpp.o"
+  "CMakeFiles/ropus_workload.dir/fleet.cpp.o.d"
+  "CMakeFiles/ropus_workload.dir/generator.cpp.o"
+  "CMakeFiles/ropus_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/ropus_workload.dir/presets.cpp.o"
+  "CMakeFiles/ropus_workload.dir/presets.cpp.o.d"
+  "CMakeFiles/ropus_workload.dir/profile.cpp.o"
+  "CMakeFiles/ropus_workload.dir/profile.cpp.o.d"
+  "CMakeFiles/ropus_workload.dir/whatif.cpp.o"
+  "CMakeFiles/ropus_workload.dir/whatif.cpp.o.d"
+  "libropus_workload.a"
+  "libropus_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropus_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

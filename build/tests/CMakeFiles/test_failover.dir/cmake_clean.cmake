@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failover.dir/failover/economics_test.cpp.o"
+  "CMakeFiles/test_failover.dir/failover/economics_test.cpp.o.d"
+  "CMakeFiles/test_failover.dir/failover/multi_failure_test.cpp.o"
+  "CMakeFiles/test_failover.dir/failover/multi_failure_test.cpp.o.d"
+  "CMakeFiles/test_failover.dir/failover/planner_test.cpp.o"
+  "CMakeFiles/test_failover.dir/failover/planner_test.cpp.o.d"
+  "test_failover"
+  "test_failover.pdb"
+  "test_failover[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

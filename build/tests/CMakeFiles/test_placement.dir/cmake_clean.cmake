@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_placement.dir/placement/assignment_test.cpp.o"
+  "CMakeFiles/test_placement.dir/placement/assignment_test.cpp.o.d"
+  "CMakeFiles/test_placement.dir/placement/baselines_test.cpp.o"
+  "CMakeFiles/test_placement.dir/placement/baselines_test.cpp.o.d"
+  "CMakeFiles/test_placement.dir/placement/exact_test.cpp.o"
+  "CMakeFiles/test_placement.dir/placement/exact_test.cpp.o.d"
+  "CMakeFiles/test_placement.dir/placement/genetic_test.cpp.o"
+  "CMakeFiles/test_placement.dir/placement/genetic_test.cpp.o.d"
+  "CMakeFiles/test_placement.dir/placement/heterogeneous_test.cpp.o"
+  "CMakeFiles/test_placement.dir/placement/heterogeneous_test.cpp.o.d"
+  "CMakeFiles/test_placement.dir/placement/migration_test.cpp.o"
+  "CMakeFiles/test_placement.dir/placement/migration_test.cpp.o.d"
+  "CMakeFiles/test_placement.dir/placement/multi_problem_test.cpp.o"
+  "CMakeFiles/test_placement.dir/placement/multi_problem_test.cpp.o.d"
+  "CMakeFiles/test_placement.dir/placement/optimality_test.cpp.o"
+  "CMakeFiles/test_placement.dir/placement/optimality_test.cpp.o.d"
+  "CMakeFiles/test_placement.dir/placement/problem_test.cpp.o"
+  "CMakeFiles/test_placement.dir/placement/problem_test.cpp.o.d"
+  "test_placement"
+  "test_placement.pdb"
+  "test_placement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

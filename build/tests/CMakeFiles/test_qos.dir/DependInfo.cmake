@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/qos/achievable_test.cpp" "tests/CMakeFiles/test_qos.dir/qos/achievable_test.cpp.o" "gcc" "tests/CMakeFiles/test_qos.dir/qos/achievable_test.cpp.o.d"
+  "/root/repo/tests/qos/allocation_test.cpp" "tests/CMakeFiles/test_qos.dir/qos/allocation_test.cpp.o" "gcc" "tests/CMakeFiles/test_qos.dir/qos/allocation_test.cpp.o.d"
+  "/root/repo/tests/qos/breakpoint_test.cpp" "tests/CMakeFiles/test_qos.dir/qos/breakpoint_test.cpp.o" "gcc" "tests/CMakeFiles/test_qos.dir/qos/breakpoint_test.cpp.o.d"
+  "/root/repo/tests/qos/epochs_test.cpp" "tests/CMakeFiles/test_qos.dir/qos/epochs_test.cpp.o" "gcc" "tests/CMakeFiles/test_qos.dir/qos/epochs_test.cpp.o.d"
+  "/root/repo/tests/qos/requirements_test.cpp" "tests/CMakeFiles/test_qos.dir/qos/requirements_test.cpp.o" "gcc" "tests/CMakeFiles/test_qos.dir/qos/requirements_test.cpp.o.d"
+  "/root/repo/tests/qos/translation_property_test.cpp" "tests/CMakeFiles/test_qos.dir/qos/translation_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_qos.dir/qos/translation_property_test.cpp.o.d"
+  "/root/repo/tests/qos/translation_test.cpp" "tests/CMakeFiles/test_qos.dir/qos/translation_test.cpp.o" "gcc" "tests/CMakeFiles/test_qos.dir/qos/translation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ropus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ropus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ropus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stress/CMakeFiles/ropus_stress.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/ropus_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ropus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/ropus_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/failover/CMakeFiles/ropus_failover.dir/DependInfo.cmake"
+  "/root/repo/build/src/wlm/CMakeFiles/ropus_wlm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ropus_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qos.dir/qos/achievable_test.cpp.o"
+  "CMakeFiles/test_qos.dir/qos/achievable_test.cpp.o.d"
+  "CMakeFiles/test_qos.dir/qos/allocation_test.cpp.o"
+  "CMakeFiles/test_qos.dir/qos/allocation_test.cpp.o.d"
+  "CMakeFiles/test_qos.dir/qos/breakpoint_test.cpp.o"
+  "CMakeFiles/test_qos.dir/qos/breakpoint_test.cpp.o.d"
+  "CMakeFiles/test_qos.dir/qos/epochs_test.cpp.o"
+  "CMakeFiles/test_qos.dir/qos/epochs_test.cpp.o.d"
+  "CMakeFiles/test_qos.dir/qos/requirements_test.cpp.o"
+  "CMakeFiles/test_qos.dir/qos/requirements_test.cpp.o.d"
+  "CMakeFiles/test_qos.dir/qos/translation_property_test.cpp.o"
+  "CMakeFiles/test_qos.dir/qos/translation_property_test.cpp.o.d"
+  "CMakeFiles/test_qos.dir/qos/translation_test.cpp.o"
+  "CMakeFiles/test_qos.dir/qos/translation_test.cpp.o.d"
+  "test_qos"
+  "test_qos.pdb"
+  "test_qos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wlm.dir/wlm/compliance_test.cpp.o"
+  "CMakeFiles/test_wlm.dir/wlm/compliance_test.cpp.o.d"
+  "CMakeFiles/test_wlm.dir/wlm/controller_test.cpp.o"
+  "CMakeFiles/test_wlm.dir/wlm/controller_test.cpp.o.d"
+  "CMakeFiles/test_wlm.dir/wlm/failure_drill_test.cpp.o"
+  "CMakeFiles/test_wlm.dir/wlm/failure_drill_test.cpp.o.d"
+  "CMakeFiles/test_wlm.dir/wlm/server_sim_test.cpp.o"
+  "CMakeFiles/test_wlm.dir/wlm/server_sim_test.cpp.o.d"
+  "test_wlm"
+  "test_wlm.pdb"
+  "test_wlm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/attributes_test.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/attributes_test.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/fleet_test.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/fleet_test.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/generator_test.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/generator_test.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/presets_test.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/presets_test.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/whatif_test.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/whatif_test.cpp.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

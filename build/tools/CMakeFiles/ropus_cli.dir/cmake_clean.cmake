@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropus_cli.dir/cli/main.cpp.o"
+  "CMakeFiles/ropus_cli.dir/cli/main.cpp.o.d"
+  "ropus_cli"
+  "ropus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

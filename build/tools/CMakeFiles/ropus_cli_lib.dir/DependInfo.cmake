@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/cli/cli.cpp" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cli.cpp.o" "gcc" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cli.cpp.o.d"
+  "/root/repo/tools/cli/cli_util.cpp" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cli_util.cpp.o" "gcc" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cli_util.cpp.o.d"
+  "/root/repo/tools/cli/cmd_analyze.cpp" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cmd_analyze.cpp.o" "gcc" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cmd_analyze.cpp.o.d"
+  "/root/repo/tools/cli/cmd_backtest.cpp" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cmd_backtest.cpp.o" "gcc" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cmd_backtest.cpp.o.d"
+  "/root/repo/tools/cli/cmd_consolidate.cpp" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cmd_consolidate.cpp.o" "gcc" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cmd_consolidate.cpp.o.d"
+  "/root/repo/tools/cli/cmd_failover.cpp" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cmd_failover.cpp.o" "gcc" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cmd_failover.cpp.o.d"
+  "/root/repo/tools/cli/cmd_forecast.cpp" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cmd_forecast.cpp.o" "gcc" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cmd_forecast.cpp.o.d"
+  "/root/repo/tools/cli/cmd_generate.cpp" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cmd_generate.cpp.o" "gcc" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cmd_generate.cpp.o.d"
+  "/root/repo/tools/cli/cmd_plan.cpp" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cmd_plan.cpp.o" "gcc" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cmd_plan.cpp.o.d"
+  "/root/repo/tools/cli/cmd_translate.cpp" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cmd_translate.cpp.o" "gcc" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cmd_translate.cpp.o.d"
+  "/root/repo/tools/cli/cmd_whatif.cpp" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cmd_whatif.cpp.o" "gcc" "tools/CMakeFiles/ropus_cli_lib.dir/cli/cmd_whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ropus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ropus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ropus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/ropus_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ropus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/ropus_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/failover/CMakeFiles/ropus_failover.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ropus_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropus_cli_lib.dir/cli/cli.cpp.o"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cli.cpp.o.d"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cli_util.cpp.o"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cli_util.cpp.o.d"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cmd_analyze.cpp.o"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cmd_analyze.cpp.o.d"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cmd_backtest.cpp.o"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cmd_backtest.cpp.o.d"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cmd_consolidate.cpp.o"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cmd_consolidate.cpp.o.d"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cmd_failover.cpp.o"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cmd_failover.cpp.o.d"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cmd_forecast.cpp.o"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cmd_forecast.cpp.o.d"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cmd_generate.cpp.o"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cmd_generate.cpp.o.d"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cmd_plan.cpp.o"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cmd_plan.cpp.o.d"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cmd_translate.cpp.o"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cmd_translate.cpp.o.d"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cmd_whatif.cpp.o"
+  "CMakeFiles/ropus_cli_lib.dir/cli/cmd_whatif.cpp.o.d"
+  "libropus_cli_lib.a"
+  "libropus_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropus_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
