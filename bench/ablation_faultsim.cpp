@@ -1,0 +1,87 @@
+// Ablation: Monte-Carlo fault injection vs the analytic spare verdict.
+//
+// The economics module prices a spare from a single-failure sweep and a
+// closed-form failure/repair model (Section VI-C). The campaign engine
+// samples whole failure timelines — overlapping failures, repairs, demand
+// surges — and replays them through the execution simulation. This bench
+// runs the campaign on the case-study fleet across a reliability sweep and
+// shows where the analytic expectation tracks the simulated exposure and
+// where timeline effects (overlaps, horizon truncation, migration outages)
+// pull them apart.
+#include <iostream>
+
+#include "common/table.h"
+#include "faultsim/campaign.h"
+#include "support.h"
+
+int main() {
+  using namespace ropus;
+
+  const std::size_t weeks = bench::weeks_from_env();
+  const auto demands = bench::case_study(weeks);
+  const qos::Requirement normal_req =
+      bench::paper_requirement(100.0, std::nullopt);  // Table I case 4
+  const qos::Requirement failure_req =
+      bench::paper_requirement(97.0, 30.0);           // Table I case 5
+  qos::PoolCommitments commitments;
+  commitments.cos2 = qos::CosCommitment{0.95, 60.0};
+  const auto pool = sim::homogeneous_pool(13, 16);
+
+  std::vector<qos::ApplicationQos> app_qos;
+  for (const auto& d : demands) {
+    qos::ApplicationQos q;
+    q.app_name = d.name();
+    q.normal = normal_req;
+    q.failure = failure_req;
+    app_qos.push_back(std::move(q));
+  }
+
+  const placement::Assignment assignment =
+      faultsim::Campaign::plan_normal_assignment(demands, app_qos,
+                                                 commitments, pool);
+  const faultsim::Campaign campaign(demands, app_qos, commitments, pool,
+                                    assignment);
+
+  struct Scenario {
+    const char* label;
+    double mtbf_hours;
+    double mttr_hours;
+    double surge_rate;
+  };
+  const Scenario scenarios[] = {
+      {"annual failures, day repair", 8760.0, 24.0, 0.0},
+      {"quarterly failures, day repair", 2190.0, 24.0, 0.0},
+      {"monthly failures, fast repair", 730.0, 4.0, 0.0},
+      {"monthly failures + weekly surges", 730.0, 4.0, 1.0},
+  };
+
+  TextTable table({"scenario", "trials w/ unsupported", "sim viol h (mean)",
+                   "analytic viol h", "sim degr app-h", "analytic degr app-h",
+                   "verdict"});
+  for (const Scenario& s : scenarios) {
+    faultsim::CampaignConfig cfg;
+    cfg.trials = 100;
+    cfg.seed = bench::kSeed;
+    cfg.reliability.mtbf_hours = s.mtbf_hours;
+    cfg.reliability.mttr_hours = s.mttr_hours;
+    cfg.surge.arrivals_per_week = s.surge_rate;
+    const faultsim::CampaignResult r = campaign.run(cfg);
+    table.add_row(
+        {s.label,
+         std::to_string(r.trials_with_unsupported) + "/" +
+             std::to_string(cfg.trials),
+         TextTable::num(r.unsupported_hours.mean, 3),
+         TextTable::num(r.analytic_violation_hours, 3),
+         TextTable::num(r.degraded_app_hours.mean, 2),
+         TextTable::num(r.analytic_degraded_app_hours, 2),
+         r.verdict.spare_recommended ? "spare" : "no spare"});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nreading: when MTTR << MTBF the simulated exposure tracks "
+               "the closed-form expectation; surges and overlapping "
+               "failures move the simulation away from the one-at-a-time "
+               "analytic model, which is exactly the gap the campaign "
+               "engine exists to measure\n";
+  return 0;
+}

@@ -65,4 +65,21 @@ SpareVerdict evaluate_spare(const FailoverReport& report,
   return verdict;
 }
 
+namespace {
+constexpr double kHoursPerYearScale = 8760.0;
+}
+
+double violation_hours_over(const SpareVerdict& verdict,
+                            double horizon_hours) {
+  ROPUS_REQUIRE(horizon_hours >= 0.0, "horizon must be >= 0");
+  return verdict.expected_violation_hours * horizon_hours / kHoursPerYearScale;
+}
+
+double degraded_app_hours_over(const SpareVerdict& verdict,
+                               double horizon_hours) {
+  ROPUS_REQUIRE(horizon_hours >= 0.0, "horizon must be >= 0");
+  return verdict.expected_degraded_app_hours * horizon_hours /
+         kHoursPerYearScale;
+}
+
 }  // namespace ropus::failover

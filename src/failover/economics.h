@@ -41,4 +41,14 @@ struct SpareVerdict {
 SpareVerdict evaluate_spare(const FailoverReport& report,
                             const EconomicsInput& input);
 
+/// Pro-rates the verdict's annual violation expectation onto an arbitrary
+/// horizon (hours). The Monte-Carlo fault-injection campaign replays a
+/// trace of `horizon_hours` and cross-checks its simulated unsupported
+/// hours against this prediction.
+double violation_hours_over(const SpareVerdict& verdict, double horizon_hours);
+
+/// Same pro-rating for the degraded application-hours expectation.
+double degraded_app_hours_over(const SpareVerdict& verdict,
+                               double horizon_hours);
+
 }  // namespace ropus::failover

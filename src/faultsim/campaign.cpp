@@ -1,0 +1,279 @@
+#include "faultsim/campaign.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "placement/baselines.h"
+#include "placement/problem.h"
+#include "qos/allocation.h"
+
+namespace ropus::faultsim {
+
+void CampaignConfig::validate() const {
+  ROPUS_REQUIRE(trials >= 1, "campaign needs at least one trial");
+  reliability.validate();
+  surge.validate();
+  replay.validate();
+}
+
+Distribution distribution_of(std::vector<double> values) {
+  Distribution d;
+  if (values.empty()) return d;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  d.mean = sum / static_cast<double>(values.size());
+  std::sort(values.begin(), values.end());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1) + 0.5);
+    return values[idx];
+  };
+  d.p50 = at(0.50);
+  d.p95 = at(0.95);
+  d.max = values.back();
+  return d;
+}
+
+Campaign::Campaign(std::span<const trace::DemandTrace> demands,
+                   std::span<const qos::ApplicationQos> qos,
+                   qos::PoolCommitments commitments,
+                   std::vector<sim::ServerSpec> pool,
+                   placement::Assignment normal_assignment)
+    : demands_(demands),
+      qos_(qos),
+      commitments_(commitments),
+      pool_(std::move(pool)),
+      assignment_(std::move(normal_assignment)) {
+  ROPUS_REQUIRE(!demands_.empty(), "campaign needs workloads");
+  ROPUS_REQUIRE(qos_.size() == demands_.size(),
+                "one ApplicationQos per demand trace");
+  ROPUS_REQUIRE(!pool_.empty(), "campaign needs a server pool");
+  const trace::Calendar& cal = demands_.front().calendar();
+  for (const trace::DemandTrace& d : demands_) {
+    ROPUS_REQUIRE(d.calendar() == cal, "traces must share a calendar");
+  }
+  for (const sim::ServerSpec& s : pool_) s.validate();
+  placement::validate_assignment(assignment_, demands_.size(), pool_.size());
+  commitments_.validate();
+
+  normal_.reserve(demands_.size());
+  failure_.reserve(demands_.size());
+  for (std::size_t a = 0; a < demands_.size(); ++a) {
+    qos_[a].validate();
+    normal_.push_back(
+        qos::translate(demands_[a], qos_[a].normal, commitments_.cos2));
+    failure_.push_back(
+        qos::translate(demands_[a], qos_[a].failure, commitments_.cos2));
+  }
+}
+
+placement::Assignment Campaign::plan_normal_assignment(
+    std::span<const trace::DemandTrace> demands,
+    std::span<const qos::ApplicationQos> qos,
+    const qos::PoolCommitments& commitments,
+    const std::vector<sim::ServerSpec>& pool) {
+  ROPUS_REQUIRE(!demands.empty(), "campaign needs workloads");
+  ROPUS_REQUIRE(qos.size() == demands.size(),
+                "one ApplicationQos per demand trace");
+  std::vector<qos::AllocationTrace> workloads;
+  workloads.reserve(demands.size());
+  for (std::size_t a = 0; a < demands.size(); ++a) {
+    workloads.emplace_back(
+        demands[a],
+        qos::translate(demands[a], qos[a].normal, commitments.cos2));
+  }
+  const placement::PlacementProblem problem(workloads, pool,
+                                            commitments.cos2);
+  const std::optional<placement::Assignment> assignment =
+      placement::first_fit_decreasing(problem);
+  ROPUS_REQUIRE(assignment.has_value(),
+                "pool cannot host the fleet under normal-mode QoS");
+  return *assignment;
+}
+
+TrialOutcome Campaign::run_trial(std::uint64_t trial_seed,
+                                 const CampaignConfig& config) const {
+  Rng rng(trial_seed);
+  const Timeline timeline =
+      sample_timeline(rng, demands_.front().calendar(), pool_.size(),
+                      config.reliability, config.surge);
+  return replay_trial(demands_, normal_, failure_, pool_, assignment_,
+                      timeline, config.replay);
+}
+
+failover::FailoverReport Campaign::analytic_report(
+    const ReplayConfig& replay) const {
+  const std::size_t n = demands_.size();
+  failover::FailoverReport report;
+  const std::vector<std::vector<std::size_t>> by_server =
+      placement::workloads_by_server(assignment_, pool_.size());
+  for (std::size_t s = 0; s < pool_.size(); ++s) {
+    if (!by_server[s].empty()) report.active_servers.push_back(s);
+  }
+  // Sweep single failures through the same placement oracle the replay
+  // uses, so "supported" means exactly what a trial would experience.
+  std::vector<double> peaks(n);
+  for (const std::size_t s : report.active_servers) {
+    failover::FailureOutcome outcome;
+    outcome.failed_server = s;
+    outcome.affected_apps = by_server[s];
+    std::vector<bool> down(pool_.size(), false);
+    down[s] = true;
+    for (std::size_t a = 0; a < n; ++a) {
+      const bool degraded_app =
+          replay.degrade_all_apps || assignment_[a] == s;
+      peaks[a] = degraded_app ? failure_[a].peak_allocation()
+                              : normal_[a].peak_allocation();
+    }
+    const PlacementDecision decision =
+        place_apps(peaks, assignment_, assignment_, pool_, down);
+    outcome.supported = decision.unhosted == 0;
+    for (std::size_t t = 0; t < pool_.size(); ++t) {
+      if (t != s) outcome.surviving_servers.push_back(t);
+    }
+    if (!outcome.supported) report.spare_needed = true;
+    report.outcomes.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+CampaignResult Campaign::run(const CampaignConfig& config) const {
+  config.validate();
+  CampaignResult result;
+  result.config = config;
+  result.config.economics.server_mtbf_hours = config.reliability.mtbf_hours;
+  result.config.economics.server_mttr_hours = config.reliability.mttr_hours;
+  result.apps = demands_.size();
+  result.servers = pool_.size();
+  const trace::Calendar& cal = demands_.front().calendar();
+  result.horizon_hours = static_cast<double>(cal.size()) *
+                         static_cast<double>(cal.minutes_per_sample()) / 60.0;
+
+  std::vector<double> unsupported;
+  std::vector<double> degraded;
+  std::vector<double> violating;
+  std::vector<double> unserved;
+  std::vector<double> longest;
+  unsupported.reserve(config.trials);
+  degraded.reserve(config.trials);
+  violating.reserve(config.trials);
+  unserved.reserve(config.trials);
+  longest.reserve(config.trials);
+
+  SplitMix64 seeder(config.seed);
+  for (std::size_t t = 0; t < config.trials; ++t) {
+    const TrialOutcome outcome = run_trial(seeder.next(), config);
+    result.total_failures += outcome.failures;
+    result.total_repairs += outcome.repairs;
+    result.total_surges += outcome.surges;
+    result.total_migrations += outcome.migrations;
+    result.total_spare_activations += outcome.spare_activations;
+    if (outcome.unsupported_hours > 0.0) result.trials_with_unsupported += 1;
+    if (outcome.t_degr_breaches > 0) result.trials_breaching_t_degr += 1;
+    unsupported.push_back(outcome.unsupported_hours);
+    degraded.push_back(outcome.degraded_app_hours);
+    violating.push_back(outcome.violating_app_hours);
+    unserved.push_back(outcome.unserved_demand);
+    longest.push_back(outcome.max_contiguous_degraded_minutes);
+  }
+  result.unsupported_hours = distribution_of(std::move(unsupported));
+  result.degraded_app_hours = distribution_of(std::move(degraded));
+  result.violating_app_hours = distribution_of(std::move(violating));
+  result.unserved_demand = distribution_of(std::move(unserved));
+  result.longest_degraded_minutes = distribution_of(std::move(longest));
+
+  if (config.reliability.mttr_hours < config.reliability.mtbf_hours) {
+    result.verdict = failover::evaluate_spare(
+        analytic_report(config.replay), result.config.economics);
+    result.analytic_violation_hours =
+        failover::violation_hours_over(result.verdict, result.horizon_hours);
+    result.analytic_degraded_app_hours = failover::degraded_app_hours_over(
+        result.verdict, result.horizon_hours);
+    result.analytic_valid = true;
+  }
+  return result;
+}
+
+namespace {
+
+template <typename... Args>
+std::string fmt(const char* format, Args... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, format, args...);
+  return std::string(buf);
+}
+
+unsigned long long ull(std::size_t v) {
+  return static_cast<unsigned long long>(v);
+}
+
+std::string row(const char* label, const Distribution& d) {
+  return fmt("  %-22s : %.3f / %.3f / %.3f / %.3f\n", label, d.mean, d.p50,
+             d.p95, d.max);
+}
+
+}  // namespace
+
+std::string format_report(const CampaignResult& result) {
+  const CampaignConfig& cfg = result.config;
+  std::string out;
+  out += "fault-injection campaign\n";
+  out += fmt("  trials      : %llu\n", ull(cfg.trials));
+  out += fmt("  seed        : %llu\n",
+             static_cast<unsigned long long>(cfg.seed));
+  out += fmt("  fleet       : %llu apps on %llu servers (+%llu spares)\n",
+             ull(result.apps), ull(result.servers),
+             ull(cfg.replay.spare_servers));
+  out += fmt("  horizon     : %.2f h\n", result.horizon_hours);
+  out += fmt("  reliability : MTBF %.1f h, MTTR %.1f h\n",
+             cfg.reliability.mtbf_hours, cfg.reliability.mttr_hours);
+  if (cfg.surge.arrivals_per_week > 0.0) {
+    out += fmt("  surges      : %.2f /week, x%.2f for %.1f h\n",
+               cfg.surge.arrivals_per_week, cfg.surge.magnitude,
+               cfg.surge.duration_hours);
+  } else {
+    out += "  surges      : disabled\n";
+  }
+
+  out += "\nevent totals across trials\n";
+  out += fmt("  failures          : %llu\n", ull(result.total_failures));
+  out += fmt("  repairs           : %llu\n", ull(result.total_repairs));
+  out += fmt("  surges            : %llu\n", ull(result.total_surges));
+  out += fmt("  migrations        : %llu\n", ull(result.total_migrations));
+  out += fmt("  spare activations : %llu\n",
+             ull(result.total_spare_activations));
+
+  out += "\nper-trial distributions (mean / p50 / p95 / max)\n";
+  out += row("unsupported hours", result.unsupported_hours);
+  out += row("degraded app-hours", result.degraded_app_hours);
+  out += row("violating app-hours", result.violating_app_hours);
+  out += row("unserved demand", result.unserved_demand);
+  out += row("longest degraded (min)", result.longest_degraded_minutes);
+  out += fmt("\n  trials with unsupported intervals : %llu / %llu\n",
+             ull(result.trials_with_unsupported), ull(cfg.trials));
+  out += fmt("  trials breaching T_degr           : %llu / %llu\n",
+             ull(result.trials_breaching_t_degr), ull(cfg.trials));
+
+  out += "\nanalytic cross-check (failover/economics)\n";
+  if (!result.analytic_valid) {
+    out += "  skipped: MTTR >= MTBF (one-at-a-time model inapplicable)\n";
+    return out;
+  }
+  out += fmt("  unsupported share of single failures : %.3f\n",
+             result.verdict.unsupported_share);
+  out += fmt("  violation hours    : analytic %.3f vs simulated mean %.3f\n",
+             result.analytic_violation_hours, result.unsupported_hours.mean);
+  out += fmt("  degraded app-hours : analytic %.3f vs simulated mean %.3f\n",
+             result.analytic_degraded_app_hours,
+             result.degraded_app_hours.mean);
+  out += fmt("  spare verdict      : %s (penalty $%.0f/yr vs spare $%.0f/yr)\n",
+             result.verdict.spare_recommended ? "recommended"
+                                              : "not recommended",
+             result.verdict.annual_penalty_without_spare,
+             result.verdict.annual_cost_with_spare);
+  return out;
+}
+
+}  // namespace ropus::faultsim

@@ -1,0 +1,127 @@
+// Monte-Carlo fault-injection campaigns.
+//
+// A campaign fixes a fleet (demand traces, per-app two-mode QoS, a pool and
+// a normal placement), then runs many independent trials: each trial samples
+// a failure timeline from the reliability model and replays it through the
+// execution simulation (replay.h). The campaign aggregates the per-trial
+// performability records into distributions and cross-checks the
+// failover/economics analytic spare verdict against the simulated exposure.
+//
+// Determinism contract: a campaign is a pure function of its inputs and the
+// seed. Trial k draws its own seed from a SplitMix64 stream of the campaign
+// seed, every iteration order is fixed, and format_report renders through
+// snprintf with explicit precision — so the same seed and configuration
+// yield a byte-identical report on any platform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "failover/economics.h"
+#include "faultsim/replay.h"
+#include "faultsim/timeline.h"
+#include "qos/requirements.h"
+
+namespace ropus::faultsim {
+
+struct CampaignConfig {
+  std::size_t trials = 200;
+  std::uint64_t seed = 2006;
+  ReliabilityModel reliability;
+  SurgeModel surge;
+  ReplayConfig replay;
+  /// Penalty/cost assumptions for the analytic cross-check. The MTBF/MTTR
+  /// fields are overwritten from `reliability` so the two models can never
+  /// disagree.
+  failover::EconomicsInput economics;
+
+  /// Throws InvalidArgument on nonsensical settings.
+  void validate() const;
+};
+
+/// Summary statistics of one per-trial metric.
+struct Distribution {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Nearest-rank percentiles over `values` (consumed; empty -> all zeros).
+Distribution distribution_of(std::vector<double> values);
+
+struct CampaignResult {
+  CampaignConfig config;
+  std::size_t apps = 0;
+  std::size_t servers = 0;
+  double horizon_hours = 0.0;
+
+  // Event totals across all trials.
+  std::size_t total_failures = 0;
+  std::size_t total_repairs = 0;
+  std::size_t total_surges = 0;
+  std::size_t total_migrations = 0;
+  std::size_t total_spare_activations = 0;
+
+  // Per-trial performability distributions.
+  Distribution unsupported_hours;
+  Distribution degraded_app_hours;
+  Distribution violating_app_hours;
+  Distribution unserved_demand;
+  Distribution longest_degraded_minutes;
+  std::size_t trials_with_unsupported = 0;
+  std::size_t trials_breaching_t_degr = 0;
+
+  /// Analytic cross-check: the economics verdict for this fleet (using the
+  /// same placement oracle as the replay) with its annual expectations
+  /// pro-rated onto the trace horizon. Invalid when MTTR >= MTBF, where the
+  /// one-at-a-time analytic model does not apply.
+  bool analytic_valid = false;
+  failover::SpareVerdict verdict;
+  double analytic_violation_hours = 0.0;
+  double analytic_degraded_app_hours = 0.0;
+};
+
+class Campaign {
+ public:
+  /// `demands` and `qos` are parallel and must outlive the campaign; all
+  /// traces share a calendar. `normal_assignment` maps apps onto `pool`.
+  Campaign(std::span<const trace::DemandTrace> demands,
+           std::span<const qos::ApplicationQos> qos,
+           qos::PoolCommitments commitments,
+           std::vector<sim::ServerSpec> pool,
+           placement::Assignment normal_assignment);
+
+  /// Convenience: first-fit-decreasing normal placement from the normal-mode
+  /// translations. Throws InvalidArgument when the pool cannot host the
+  /// fleet under normal-mode QoS.
+  static placement::Assignment plan_normal_assignment(
+      std::span<const trace::DemandTrace> demands,
+      std::span<const qos::ApplicationQos> qos,
+      const qos::PoolCommitments& commitments,
+      const std::vector<sim::ServerSpec>& pool);
+
+  /// One trial, fully determined by `trial_seed` and `config`.
+  TrialOutcome run_trial(std::uint64_t trial_seed,
+                         const CampaignConfig& config) const;
+
+  /// The whole campaign: `config.trials` trials seeded from `config.seed`.
+  CampaignResult run(const CampaignConfig& config) const;
+
+ private:
+  failover::FailoverReport analytic_report(const ReplayConfig& replay) const;
+
+  std::span<const trace::DemandTrace> demands_;
+  std::span<const qos::ApplicationQos> qos_;
+  qos::PoolCommitments commitments_;
+  std::vector<sim::ServerSpec> pool_;
+  placement::Assignment assignment_;
+  std::vector<qos::Translation> normal_;
+  std::vector<qos::Translation> failure_;
+};
+
+/// Renders the result as a fixed-precision text report (byte-identical for
+/// identical results — the determinism tests compare these strings).
+std::string format_report(const CampaignResult& result);
+
+}  // namespace ropus::faultsim

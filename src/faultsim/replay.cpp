@@ -1,0 +1,308 @@
+#include "faultsim/replay.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/error.h"
+
+namespace ropus::faultsim {
+
+void ReplayConfig::validate() const {
+  if (spare_servers > 0) {
+    ROPUS_REQUIRE(spare_cpus >= 1, "spares need at least one CPU");
+  }
+}
+
+PlacementDecision place_apps(const std::vector<double>& peaks,
+                             const placement::Assignment& preferred,
+                             const placement::Assignment& current,
+                             std::span<const sim::ServerSpec> pool,
+                             const std::vector<bool>& down) {
+  const std::size_t n = peaks.size();
+  ROPUS_REQUIRE(preferred.size() == n && current.size() == n,
+                "placement inputs must cover every app");
+  ROPUS_REQUIRE(down.size() == pool.size(),
+                "down flags must cover the pool");
+
+  PlacementDecision decision;
+  decision.hosts.assign(n, wlm::kUnhosted);
+  std::vector<double> used(pool.size(), 0.0);
+  std::vector<std::size_t> displaced;
+  for (std::size_t a = 0; a < n; ++a) {
+    ROPUS_REQUIRE(peaks[a] >= 0.0, "peak allocations must be >= 0");
+    const std::size_t pref = preferred[a];
+    ROPUS_REQUIRE(pref < pool.size(), "preferred host out of range");
+    if (!down[pref]) {
+      decision.hosts[a] = pref;
+      used[pref] += peaks[a];
+      continue;
+    }
+    const std::size_t cur = current[a];
+    if (cur != wlm::kUnhosted) {
+      ROPUS_REQUIRE(cur < pool.size(), "current host out of range");
+      if (!down[cur]) {
+        decision.hosts[a] = cur;
+        used[cur] += peaks[a];
+        continue;
+      }
+    }
+    displaced.push_back(a);
+  }
+
+  std::sort(displaced.begin(), displaced.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (peaks[a] != peaks[b]) return peaks[a] > peaks[b];
+              return a < b;
+            });
+  for (const std::size_t a : displaced) {
+    std::size_t best = wlm::kUnhosted;
+    double best_left = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < pool.size(); ++s) {
+      if (down[s]) continue;
+      const double left = pool[s].capacity() - used[s] - peaks[a];
+      if (left < -1e-9) continue;
+      if (left < best_left) {
+        best = s;
+        best_left = left;
+      }
+    }
+    if (best == wlm::kUnhosted) {
+      decision.unhosted += 1;
+    } else {
+      decision.hosts[a] = best;
+      used[best] += peaks[a];
+    }
+  }
+  return decision;
+}
+
+TrialOutcome replay_trial(std::span<const trace::DemandTrace> demands,
+                          std::span<const qos::Translation> normal,
+                          std::span<const qos::Translation> failure,
+                          std::span<const sim::ServerSpec> pool,
+                          const placement::Assignment& normal_assignment,
+                          const Timeline& timeline,
+                          const ReplayConfig& config) {
+  const std::size_t n = demands.size();
+  ROPUS_REQUIRE(n >= 1, "replay needs workloads");
+  ROPUS_REQUIRE(normal.size() == n && failure.size() == n,
+                "one translation pair per workload");
+  ROPUS_REQUIRE(!pool.empty(), "replay needs a server pool");
+  placement::validate_assignment(normal_assignment, n, pool.size());
+  config.validate();
+  const trace::Calendar& cal = demands.front().calendar();
+
+  // Base pool plus cold spares (inactive until explicitly brought up).
+  std::vector<sim::ServerSpec> fleet(pool.begin(), pool.end());
+  for (std::size_t k = 0; k < config.spare_servers; ++k) {
+    fleet.push_back(
+        sim::ServerSpec{"spare-" + std::to_string(k), config.spare_cpus});
+  }
+
+  // Surge-scaled demand: the traces the controllers and compliance see.
+  const std::vector<double> factors = timeline.demand_multipliers(cal.size());
+  const bool surged =
+      std::any_of(factors.begin(), factors.end(),
+                  [](double f) { return f != 1.0; });
+  std::vector<trace::DemandTrace> scaled;
+  if (surged) {
+    scaled.reserve(n);
+    for (const trace::DemandTrace& d : demands) {
+      std::vector<double> values(d.values().begin(), d.values().end());
+      for (std::size_t i = 0; i < values.size(); ++i) values[i] *= factors[i];
+      scaled.emplace_back(d.name(), cal, std::move(values));
+    }
+  }
+  const std::span<const trace::DemandTrace> active =
+      surged ? std::span<const trace::DemandTrace>(scaled) : demands;
+
+  std::vector<double> normal_peaks(n);
+  std::vector<double> failure_peaks(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    normal_peaks[a] = normal[a].peak_allocation();
+    failure_peaks[a] = failure[a].peak_allocation();
+  }
+
+  // Walk the failure/repair events and rebuild the placement at every
+  // boundary. Spare activations create extra boundaries on the fly, so the
+  // frontier is an ordered set rather than a plain event scan.
+  std::map<std::size_t, std::vector<Event>> events_at;
+  std::set<std::size_t> boundaries{0};
+  for (const Event& e : timeline.events) {
+    if (e.kind != EventKind::kFailure && e.kind != EventKind::kRepair) {
+      continue;
+    }
+    ROPUS_REQUIRE(e.server < pool.size(), "event names an unknown server");
+    if (e.slot >= cal.size()) continue;
+    events_at[e.slot].push_back(e);
+    boundaries.insert(e.slot);
+  }
+  std::map<std::size_t, std::size_t> activations;  // slot -> spares to wake
+
+  std::vector<bool> down(fleet.size(), false);
+  for (std::size_t k = 0; k < config.spare_servers; ++k) {
+    down[pool.size() + k] = true;  // cold spare
+  }
+  placement::Assignment current = normal_assignment;
+  std::size_t spares_awake = 0;
+  std::size_t spares_scheduled = 0;
+
+  TrialOutcome outcome;
+  outcome.failures = timeline.failures;
+  outcome.repairs = timeline.repairs;
+  outcome.surges = timeline.surges;
+  outcome.apps.resize(n);
+  std::vector<std::size_t> app_migrations(n, 0);
+
+  std::vector<wlm::SchedulePhase> phases;
+  std::vector<wlm::OutageWindow> outages;
+  std::vector<double> peaks(n);
+  while (!boundaries.empty()) {
+    const std::size_t b = *boundaries.begin();
+    boundaries.erase(boundaries.begin());
+    if (b >= cal.size()) continue;
+
+    const auto ev = events_at.find(b);
+    if (ev != events_at.end()) {
+      for (const Event& e : ev->second) {
+        down[e.server] = e.kind == EventKind::kFailure;
+      }
+    }
+    const auto act = activations.find(b);
+    if (act != activations.end()) {
+      const std::size_t wake = std::min(
+          act->second, config.spare_servers - spares_awake);
+      for (std::size_t k = 0; k < wake; ++k) {
+        down[pool.size() + spares_awake] = false;
+        spares_awake += 1;
+      }
+      outcome.spare_activations += wake;
+    }
+
+    const bool fleet_degraded =
+        std::any_of(down.begin(), down.begin() + pool.size(),
+                    [](bool d) { return d; });
+    // Active-mode peak per app: under the fleet-wide degrade policy every
+    // app plans with its failure-mode footprint while any server is down;
+    // otherwise only apps that cannot sit on their normal host shrink.
+    for (std::size_t a = 0; a < n; ++a) {
+      const bool degraded_app =
+          config.degrade_all_apps ? fleet_degraded
+                                  : down[normal_assignment[a]];
+      peaks[a] = degraded_app ? failure_peaks[a] : normal_peaks[a];
+    }
+    const PlacementDecision decision =
+        place_apps(peaks, normal_assignment, current, fleet, down);
+
+    if (decision.unhosted > 0 && spares_scheduled < config.spare_servers) {
+      const std::size_t at = b + config.spare_activation_slots;
+      if (at < cal.size()) {
+        activations[at] += 1;
+        boundaries.insert(at);
+        spares_scheduled += 1;
+      }
+    }
+
+    for (std::size_t a = 0; a < n; ++a) {
+      if (decision.hosts[a] == current[a] ||
+          decision.hosts[a] == wlm::kUnhosted) {
+        continue;
+      }
+      outages.push_back(wlm::OutageWindow{
+          a, b, std::min(cal.size(), b + config.migration_outage_slots)});
+      outcome.migrations += 1;
+      app_migrations[a] += 1;
+    }
+
+    wlm::SchedulePhase phase;
+    phase.start_slot = b;
+    phase.hosts = decision.hosts;
+    phase.failure_mode.assign(n, false);
+    for (std::size_t a = 0; a < n; ++a) {
+      phase.failure_mode[a] =
+          config.degrade_all_apps
+              ? fleet_degraded
+              : decision.hosts[a] != normal_assignment[a];
+    }
+    phase.down = std::vector<bool>(down.begin(), down.end());
+    current = decision.hosts;
+    phases.push_back(std::move(phase));
+  }
+
+  const wlm::ScheduleResult replay = wlm::run_event_schedule(
+      active, normal, failure, fleet, phases, outages, config.policy);
+
+  // Per-slot accounting and per-mode compliance masks.
+  const double slot_hours =
+      static_cast<double>(cal.minutes_per_sample()) / 60.0;
+  std::vector<std::vector<bool>> normal_mask(
+      n, std::vector<bool>(cal.size(), false));
+  std::vector<std::vector<bool>> failure_mask(
+      n, std::vector<bool>(cal.size(), false));
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    const wlm::SchedulePhase& phase = phases[p];
+    const std::size_t end =
+        p + 1 < phases.size() ? phases[p + 1].start_slot : cal.size();
+    const double span_hours =
+        static_cast<double>(end - phase.start_slot) * slot_hours;
+    bool any_unhosted = false;
+    std::size_t displaced = 0;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (phase.hosts[a] == wlm::kUnhosted) {
+        any_unhosted = true;
+      } else if (phase.hosts[a] != normal_assignment[a]) {
+        displaced += 1;
+      }
+      auto& mask = phase.failure_mode[a] ? failure_mask[a] : normal_mask[a];
+      for (std::size_t i = phase.start_slot; i < end; ++i) mask[i] = true;
+    }
+    if (any_unhosted) outcome.unsupported_hours += span_hours;
+    outcome.degraded_app_hours +=
+        static_cast<double>(displaced) * span_hours;
+    const bool fleet_degraded =
+        std::any_of(phase.down.begin(), phase.down.begin() + pool.size(),
+                    [](bool d) { return d; });
+    if (fleet_degraded) outcome.failure_mode_hours += span_hours;
+  }
+
+  const auto minutes = static_cast<double>(cal.minutes_per_sample());
+  for (std::size_t a = 0; a < n; ++a) {
+    TrialAppOutcome& app = outcome.apps[a];
+    app.name = demands[a].name();
+    app.unserved_demand = replay.apps[a].unserved_demand;
+    app.outage_unserved = replay.apps[a].outage_unserved;
+    app.unhosted_slots = replay.apps[a].unhosted_slots;
+    app.migrations = app_migrations[a];
+    app.normal_mode = wlm::check_compliance_masked(
+        active[a].values(), replay.apps[a].granted, normal_mask[a],
+        normal[a].requirement, minutes);
+    app.failure_mode = wlm::check_compliance_masked(
+        active[a].values(), replay.apps[a].granted, failure_mask[a],
+        failure[a].requirement, minutes);
+    app.longest_degraded_minutes =
+        std::max(app.normal_mode.longest_degraded_minutes,
+                 app.failure_mode.longest_degraded_minutes);
+    const auto breached = [](const wlm::ComplianceReport& report,
+                             const qos::Requirement& req) {
+      return req.t_degr_minutes.has_value() &&
+             report.longest_degraded_minutes > *req.t_degr_minutes + 1e-9;
+    };
+    app.t_degr_breached = breached(app.normal_mode, normal[a].requirement) ||
+                          breached(app.failure_mode, failure[a].requirement);
+    if (app.t_degr_breached) outcome.t_degr_breaches += 1;
+    outcome.violating_app_hours +=
+        static_cast<double>(app.normal_mode.violating +
+                            app.failure_mode.violating) *
+        slot_hours;
+    outcome.max_contiguous_degraded_minutes =
+        std::max(outcome.max_contiguous_degraded_minutes,
+                 app.longest_degraded_minutes);
+  }
+  outcome.unserved_demand = replay.unserved_demand;
+  outcome.outage_unserved = replay.outage_unserved;
+  return outcome;
+}
+
+}  // namespace ropus::faultsim

@@ -1,0 +1,111 @@
+// Single-trial replay: one sampled failure timeline pushed through the
+// two-CoS execution simulation.
+//
+// The replay walks the timeline's failure/repair events, re-places
+// applications greedily at every fleet change, and hands the resulting
+// event schedule to wlm::run_event_schedule. Re-placement that fails is
+// *recorded* — the application runs unhosted until capacity returns — never
+// an abort, so a campaign degrades gracefully through arbitrarily hostile
+// timelines. Optional cold spares join the pool a configurable delay after
+// the first boundary that leaves an application unhosted.
+#pragma once
+
+#include "faultsim/timeline.h"
+#include "placement/assignment.h"
+#include "qos/translation.h"
+#include "sim/server.h"
+#include "wlm/compliance.h"
+#include "wlm/failure_drill.h"
+
+namespace ropus::faultsim {
+
+struct ReplayConfig {
+  /// Slots a migrating container serves nothing after each re-placement.
+  std::size_t migration_outage_slots = 1;
+  wlm::Policy policy = wlm::Policy::kClairvoyant;
+  /// While any pool server is down the whole fleet runs failure-mode QoS
+  /// (the case-study repair policy); false degrades only displaced apps.
+  bool degrade_all_apps = true;
+  /// Cold spares appended to the pool. A spare activates
+  /// `spare_activation_slots` after the first boundary at which some app
+  /// could not be placed, then stays active for the rest of the trial.
+  std::size_t spare_servers = 0;
+  std::size_t spare_cpus = 16;
+  std::size_t spare_activation_slots = 1;
+
+  /// Throws InvalidArgument on nonsensical settings.
+  void validate() const;
+};
+
+/// The campaign's placement oracle, shared by trial replay and the analytic
+/// cross-check so that "supported" means the same thing in both: every app
+/// stays on (or returns to) its preferred host when that host is live;
+/// displaced apps are best-fit-decreasing by peak allocation against the
+/// live servers' remaining headroom. Feasibility is judged on peak
+/// allocations — conservative relative to the full required-capacity
+/// search, and O(apps x servers) per event, which Monte-Carlo needs.
+struct PlacementDecision {
+  placement::Assignment hosts;  // pool indices, or wlm::kUnhosted
+  std::size_t unhosted = 0;
+};
+
+/// `peaks[a]` is app a's peak allocation under its active-mode translation;
+/// `preferred` / `current` give each app's normal and incumbent host
+/// (wlm::kUnhosted allowed in `current`); `down[s]` marks dead servers.
+PlacementDecision place_apps(const std::vector<double>& peaks,
+                             const placement::Assignment& preferred,
+                             const placement::Assignment& current,
+                             std::span<const sim::ServerSpec> pool,
+                             const std::vector<bool>& down);
+
+struct TrialAppOutcome {
+  std::string name;
+  /// Compliance over the slots the app ran each mode's requirement.
+  wlm::ComplianceReport normal_mode;
+  wlm::ComplianceReport failure_mode;
+  double unserved_demand = 0.0;
+  double outage_unserved = 0.0;
+  std::size_t unhosted_slots = 0;
+  std::size_t migrations = 0;
+  /// Longest contiguous degraded-or-worse run across both modes (minutes).
+  double longest_degraded_minutes = 0.0;
+  /// The active requirement's T_degr was exceeded at some point.
+  bool t_degr_breached = false;
+};
+
+struct TrialOutcome {
+  std::vector<TrialAppOutcome> apps;
+  std::size_t failures = 0;
+  std::size_t repairs = 0;
+  std::size_t surges = 0;
+  std::size_t migrations = 0;
+  std::size_t spare_activations = 0;
+  /// Hours during which at least one app had no feasible host — the
+  /// simulated counterpart of economics' "unsupported failure" exposure.
+  double unsupported_hours = 0.0;
+  /// App-hours spent hosted away from the normal placement while a repair
+  /// was pending — the counterpart of economics' degraded app-hours.
+  double degraded_app_hours = 0.0;
+  /// Hours with at least one pool server down.
+  double failure_mode_hours = 0.0;
+  /// App-hours judged violating by the compliance reports.
+  double violating_app_hours = 0.0;
+  double unserved_demand = 0.0;
+  double outage_unserved = 0.0;
+  /// Max over apps of longest_degraded_minutes.
+  double max_contiguous_degraded_minutes = 0.0;
+  std::size_t t_degr_breaches = 0;  // apps whose T_degr was exceeded
+};
+
+/// Replays `timeline` over the fleet. `pool` is the base pool (spares from
+/// `config` are appended internally); `normal_assignment` maps apps onto
+/// the base pool. Translations are parallel to `demands`.
+TrialOutcome replay_trial(std::span<const trace::DemandTrace> demands,
+                          std::span<const qos::Translation> normal,
+                          std::span<const qos::Translation> failure,
+                          std::span<const sim::ServerSpec> pool,
+                          const placement::Assignment& normal_assignment,
+                          const Timeline& timeline,
+                          const ReplayConfig& config);
+
+}  // namespace ropus::faultsim

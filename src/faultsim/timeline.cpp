@@ -1,0 +1,117 @@
+#include "faultsim/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ropus::faultsim {
+
+void ReliabilityModel::validate() const {
+  ROPUS_REQUIRE(mtbf_hours > 0.0, "MTBF must be > 0");
+  ROPUS_REQUIRE(mttr_hours > 0.0, "MTTR must be > 0");
+}
+
+void SurgeModel::validate() const {
+  ROPUS_REQUIRE(arrivals_per_week >= 0.0, "surge rate must be >= 0");
+  ROPUS_REQUIRE(magnitude > 0.0, "surge magnitude must be > 0");
+  ROPUS_REQUIRE(duration_hours > 0.0, "surge duration must be > 0");
+}
+
+std::vector<double> Timeline::demand_multipliers(std::size_t slots) const {
+  std::vector<double> factors(slots, 1.0);
+  // Surges share one duration, so the i-th start pairs with the i-th end in
+  // chronological order even when surges overlap.
+  std::vector<std::size_t> starts;
+  std::vector<std::size_t> ends;
+  double magnitude = 1.0;
+  for (const Event& e : events) {
+    if (e.kind == EventKind::kSurgeStart) {
+      starts.push_back(e.slot);
+      magnitude = e.magnitude;
+    } else if (e.kind == EventKind::kSurgeEnd) {
+      ends.push_back(e.slot);
+    }
+  }
+  for (std::size_t k = 0; k < starts.size(); ++k) {
+    const std::size_t end = k < ends.size() ? ends[k] : slots;
+    for (std::size_t i = starts[k]; i < std::min(end, slots); ++i) {
+      factors[i] *= magnitude;
+    }
+  }
+  return factors;
+}
+
+namespace {
+
+/// Nearest-slot rounding keeps the discretized down time unbiased: flooring
+/// the failure and ceiling the repair would add ~1 slot per incident, which
+/// the economics cross-check would see as a systematic overshoot.
+std::size_t nearest_slot(double hours, double hours_per_slot) {
+  return static_cast<std::size_t>(std::llround(hours / hours_per_slot));
+}
+
+}  // namespace
+
+Timeline sample_timeline(Rng& rng, const trace::Calendar& cal,
+                         std::size_t servers, const ReliabilityModel& rel,
+                         const SurgeModel& surge) {
+  rel.validate();
+  surge.validate();
+  ROPUS_REQUIRE(servers >= 1, "timeline needs at least one server");
+
+  const double hours_per_slot =
+      static_cast<double>(cal.minutes_per_sample()) / 60.0;
+  const double horizon_hours =
+      static_cast<double>(cal.size()) * hours_per_slot;
+
+  Timeline timeline;
+  for (std::size_t s = 0; s < servers; ++s) {
+    double t = rng.exponential(1.0 / rel.mtbf_hours);
+    while (t < horizon_hours) {
+      const double down = rng.exponential(1.0 / rel.mttr_hours);
+      const std::size_t fail_slot = nearest_slot(t, hours_per_slot);
+      const std::size_t repair_slot = nearest_slot(t + down, hours_per_slot);
+      if (fail_slot < cal.size() && repair_slot > fail_slot) {
+        timeline.events.push_back(
+            Event{fail_slot, EventKind::kFailure, s, 1.0});
+        timeline.failures += 1;
+        if (repair_slot < cal.size()) {
+          timeline.events.push_back(
+              Event{repair_slot, EventKind::kRepair, s, 1.0});
+          timeline.repairs += 1;
+        }
+      }
+      t += down + rng.exponential(1.0 / rel.mtbf_hours);
+    }
+  }
+
+  if (surge.arrivals_per_week > 0.0) {
+    const double rate_per_hour = surge.arrivals_per_week / (7.0 * 24.0);
+    double t = rng.exponential(rate_per_hour);
+    while (t < horizon_hours) {
+      const std::size_t start = nearest_slot(t, hours_per_slot);
+      const std::size_t end =
+          nearest_slot(t + surge.duration_hours, hours_per_slot);
+      if (start < cal.size() && end > start) {
+        timeline.events.push_back(
+            Event{start, EventKind::kSurgeStart, 0, surge.magnitude});
+        timeline.events.push_back(
+            Event{std::min(end, cal.size()), EventKind::kSurgeEnd, 0,
+                  surge.magnitude});
+        timeline.surges += 1;
+      }
+      t += rng.exponential(rate_per_hour);
+    }
+  }
+
+  std::stable_sort(timeline.events.begin(), timeline.events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.slot != b.slot) return a.slot < b.slot;
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     return a.server < b.server;
+                   });
+  return timeline;
+}
+
+}  // namespace ropus::faultsim

@@ -1,0 +1,75 @@
+// Stochastic failure timelines for the Monte-Carlo campaign engine.
+//
+// Where the failover planner asks "can the survivors carry one hand-picked
+// failure?", the campaign engine samples whole *timelines* — every server
+// failing and being repaired on its own exponential clock, failures free to
+// overlap, with optional fleet-wide demand surges — and replays each one
+// through the execution simulation. Everything here is a deterministic
+// function of the Rng handed in, so a campaign seed reproduces every
+// timeline bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/calendar.h"
+
+namespace ropus::faultsim {
+
+/// Reliability assumptions for the fleet: independent servers with
+/// exponential time-to-failure (mean `mtbf_hours`) and time-to-repair
+/// (mean `mttr_hours`).
+struct ReliabilityModel {
+  double mtbf_hours = 8760.0;
+  double mttr_hours = 24.0;
+
+  /// Throws InvalidArgument unless both means are positive.
+  void validate() const;
+};
+
+/// Optional demand-surge process: Poisson arrivals (`arrivals_per_week`),
+/// each scaling every application's demand by `magnitude` for
+/// `duration_hours`. Overlapping surges multiply.
+struct SurgeModel {
+  double arrivals_per_week = 0.0;  // 0 disables the process
+  double magnitude = 1.5;
+  double duration_hours = 4.0;
+
+  /// Throws InvalidArgument unless rate >= 0, magnitude > 0, duration > 0.
+  void validate() const;
+};
+
+enum class EventKind { kFailure, kRepair, kSurgeStart, kSurgeEnd };
+
+struct Event {
+  std::size_t slot = 0;
+  EventKind kind = EventKind::kFailure;
+  std::size_t server = 0;   // kFailure / kRepair only
+  double magnitude = 1.0;   // kSurgeStart / kSurgeEnd only
+};
+
+/// One sampled trial: events sorted by (slot, kind, server). A failure
+/// whose repair falls past the horizon simply has no matching repair event
+/// (the server stays down to the end).
+struct Timeline {
+  std::vector<Event> events;
+  std::size_t failures = 0;
+  std::size_t repairs = 0;
+  std::size_t surges = 0;
+
+  /// Per-slot demand multiplier from the surge events (all 1.0 without
+  /// surges). `slots` is the calendar size.
+  std::vector<double> demand_multipliers(std::size_t slots) const;
+};
+
+/// Samples one timeline over the calendar's span for `servers` servers.
+/// Failure/repair instants are rounded to the nearest slot boundary (an
+/// unbiased discretization); a down interval shorter than half a slot is
+/// dropped. Consumes `rng` in a fixed order: servers first (by index),
+/// then the surge process.
+Timeline sample_timeline(Rng& rng, const trace::Calendar& cal,
+                         std::size_t servers, const ReliabilityModel& rel,
+                         const SurgeModel& surge);
+
+}  // namespace ropus::faultsim

@@ -1,6 +1,7 @@
 #include "trace/trace_io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -43,15 +44,27 @@ std::vector<DemandTrace> read_traces_csv(const std::filesystem::path& path) {
   }
   if (doc.rows.empty()) throw IoError("trace CSV has no data: " + path.string());
 
+  // csv::to_double rejects non-numeric text but reports only row/column;
+  // prefix the file so a malformed field in a batch job is traceable.
+  const auto field = [&](const csv::Row& row, std::size_t r, std::size_t c) {
+    try {
+      return csv::to_double(row[c], r, c);
+    } catch (const IoError& e) {
+      throw IoError(path.string() + ": " + e.what());
+    }
+  };
+
   // Infer T from the maximum slot index, then W from the row count.
   std::size_t max_slot = 0;
   for (std::size_t r = 0; r < doc.rows.size(); ++r) {
     if (doc.rows[r].size() != doc.header.size()) {
-      throw IoError("row " + std::to_string(r) + " has wrong arity: " +
-                    path.string());
+      throw IoError(path.string() + ": row " + std::to_string(r) + " has " +
+                    std::to_string(doc.rows[r].size()) + " fields, expected " +
+                    std::to_string(doc.header.size()) +
+                    " (truncated or ragged row)");
     }
-    max_slot = std::max(
-        max_slot, static_cast<std::size_t>(csv::to_double(doc.rows[r][2], r, 2)));
+    max_slot =
+        std::max(max_slot, static_cast<std::size_t>(field(doc.rows[r], r, 2)));
   }
   const std::size_t slots_per_day = max_slot + 1;
   if (Calendar::kMinutesPerDay % slots_per_day != 0) {
@@ -69,9 +82,9 @@ std::vector<DemandTrace> read_traces_csv(const std::filesystem::path& path) {
                                            std::vector<double>(cal.size()));
   for (std::size_t r = 0; r < doc.rows.size(); ++r) {
     const csv::Row& row = doc.rows[r];
-    const auto week = static_cast<std::size_t>(csv::to_double(row[0], r, 0));
-    const auto day = static_cast<std::size_t>(csv::to_double(row[1], r, 1));
-    const auto slot = static_cast<std::size_t>(csv::to_double(row[2], r, 2));
+    const auto week = static_cast<std::size_t>(field(row, r, 0));
+    const auto day = static_cast<std::size_t>(field(row, r, 1));
+    const auto slot = static_cast<std::size_t>(field(row, r, 2));
     std::size_t idx = 0;
     try {
       idx = cal.index(week, day, slot);
@@ -84,7 +97,17 @@ std::vector<DemandTrace> read_traces_csv(const std::filesystem::path& path) {
                     ": " + path.string());
     }
     for (std::size_t a = 0; a < n_apps; ++a) {
-      columns[a][idx] = csv::to_double(row[3 + a], r, 3 + a);
+      // from_chars happily parses "nan"/"inf" and negative values; none of
+      // them is a demand, so reject here rather than let DemandTrace's
+      // constructor fault without file context.
+      const double v = field(row, r, 3 + a);
+      if (!std::isfinite(v) || v < 0.0) {
+        throw IoError(path.string() + ": row " + std::to_string(r) +
+                      ", workload '" + doc.header[3 + a] +
+                      "': demand must be finite and non-negative, got '" +
+                      row[3 + a] + "'");
+      }
+      columns[a][idx] = v;
     }
   }
 

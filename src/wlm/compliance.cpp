@@ -21,22 +21,29 @@ bool ComplianceReport::satisfies(const qos::Requirement& req,
   return true;
 }
 
-ComplianceReport check_compliance_range(std::span<const double> demand,
-                                        std::span<const double> granted,
-                                        const qos::Requirement& req,
-                                        double minutes_per_sample) {
+namespace {
+
+ComplianceReport check_range_impl(std::span<const double> demand,
+                                  std::span<const double> granted,
+                                  const std::vector<bool>* mask,
+                                  const qos::Requirement& req,
+                                  double minutes_per_sample) {
   req.validate();
   ROPUS_REQUIRE(granted.size() == demand.size(),
                 "grants and demand must align");
   ROPUS_REQUIRE(minutes_per_sample > 0.0, "sample interval must be > 0");
   ComplianceReport report;
-  report.intervals = demand.size();
 
   std::size_t run = 0;
   std::size_t longest = 0;
   // A hair of slack absorbs grant-scaling rounding at exactly U_high/U_degr.
   constexpr double kRelEps = 1e-9;
   for (std::size_t i = 0; i < demand.size(); ++i) {
+    if (mask != nullptr && !(*mask)[i]) {
+      run = 0;
+      continue;
+    }
+    report.intervals += 1;
     const double d = demand[i];
     if (d <= 0.0) {
       report.idle += 1;
@@ -60,6 +67,24 @@ ComplianceReport check_compliance_range(std::span<const double> demand,
   report.longest_degraded_minutes =
       static_cast<double>(longest) * minutes_per_sample;
   return report;
+}
+
+}  // namespace
+
+ComplianceReport check_compliance_range(std::span<const double> demand,
+                                        std::span<const double> granted,
+                                        const qos::Requirement& req,
+                                        double minutes_per_sample) {
+  return check_range_impl(demand, granted, nullptr, req, minutes_per_sample);
+}
+
+ComplianceReport check_compliance_masked(std::span<const double> demand,
+                                         std::span<const double> granted,
+                                         const std::vector<bool>& mask,
+                                         const qos::Requirement& req,
+                                         double minutes_per_sample) {
+  ROPUS_REQUIRE(mask.size() == demand.size(), "mask and demand must align");
+  return check_range_impl(demand, granted, &mask, req, minutes_per_sample);
 }
 
 ComplianceReport check_compliance(const trace::DemandTrace& demand,

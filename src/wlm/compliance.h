@@ -3,6 +3,8 @@
 // (planning) and the workload-manager execution simulation.
 #pragma once
 
+#include <vector>
+
 #include "qos/requirements.h"
 #include "trace/demand_trace.h"
 #include "wlm/server_sim.h"
@@ -42,5 +44,16 @@ ComplianceReport check_compliance_range(std::span<const double> demand,
                                         std::span<const double> granted,
                                         const qos::Requirement& req,
                                         double minutes_per_sample);
+
+/// Masked variant: judges only slots where `mask[i]` is true. Used by the
+/// fault-injection campaigns, where an application alternates between its
+/// normal and failure-mode requirements as servers fail and are repaired —
+/// each mode's slots form a non-contiguous subset. A masked-out slot ends
+/// any degraded run (the other mode's report picks it up from scratch).
+ComplianceReport check_compliance_masked(std::span<const double> demand,
+                                         std::span<const double> granted,
+                                         const std::vector<bool>& mask,
+                                         const qos::Requirement& req,
+                                         double minutes_per_sample);
 
 }  // namespace ropus::wlm

@@ -6,6 +6,144 @@
 
 namespace ropus::wlm {
 
+namespace {
+
+void validate_phase(const SchedulePhase& phase, std::size_t apps,
+                    std::size_t servers, std::size_t slots) {
+  ROPUS_REQUIRE(phase.start_slot < slots, "phase starts beyond the trace");
+  ROPUS_REQUIRE(phase.hosts.size() == apps, "phase hosts must cover every app");
+  ROPUS_REQUIRE(phase.failure_mode.size() == apps,
+                "phase modes must cover every app");
+  ROPUS_REQUIRE(phase.down.size() == servers,
+                "phase down flags must cover the pool");
+  for (std::size_t a = 0; a < apps; ++a) {
+    const std::size_t host = phase.hosts[a];
+    if (host == kUnhosted) continue;
+    ROPUS_REQUIRE(host < servers, "phase host out of range");
+    ROPUS_REQUIRE(!phase.down[host], "phase hosts an app on a down server");
+  }
+}
+
+}  // namespace
+
+ScheduleResult run_event_schedule(std::span<const trace::DemandTrace> demands,
+                                  std::span<const qos::Translation> normal,
+                                  std::span<const qos::Translation> failure,
+                                  std::span<const sim::ServerSpec> pool,
+                                  std::span<const SchedulePhase> phases,
+                                  std::span<const OutageWindow> outages,
+                                  Policy policy) {
+  const std::size_t n = demands.size();
+  ROPUS_REQUIRE(n >= 1, "schedule needs workloads");
+  ROPUS_REQUIRE(normal.size() == n && failure.size() == n,
+                "one translation pair per workload");
+  ROPUS_REQUIRE(!pool.empty(), "schedule needs a server pool");
+  const trace::Calendar& cal = demands.front().calendar();
+  for (const trace::DemandTrace& d : demands) {
+    ROPUS_REQUIRE(d.calendar() == cal, "traces must share a calendar");
+  }
+  ROPUS_REQUIRE(!phases.empty(), "schedule needs at least one phase");
+  ROPUS_REQUIRE(phases.front().start_slot == 0,
+                "the first phase must start at slot 0");
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    validate_phase(phases[p], n, pool.size(), cal.size());
+    if (p > 0) {
+      ROPUS_REQUIRE(phases[p - 1].start_slot < phases[p].start_slot,
+                    "phases must start at strictly increasing slots");
+    }
+  }
+
+  // Per-app blackout lookup (few windows, whole-trace bitmaps are cheap).
+  std::vector<std::vector<char>> in_outage(n,
+                                           std::vector<char>(cal.size(), 0));
+  for (const OutageWindow& w : outages) {
+    ROPUS_REQUIRE(w.app < n, "outage window names an unknown app");
+    ROPUS_REQUIRE(w.begin <= w.end, "outage window inverted");
+    const std::size_t end = std::min(w.end, cal.size());
+    for (std::size_t i = w.begin; i < end; ++i) in_outage[w.app][i] = 1;
+  }
+
+  // One controller per app per mode; a controller resets whenever its app's
+  // host or mode changes at a phase boundary (the container was re-placed).
+  std::vector<Controller> normal_ctl;
+  std::vector<Controller> failure_ctl;
+  normal_ctl.reserve(n);
+  failure_ctl.reserve(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    normal_ctl.emplace_back(normal[a], policy);
+    failure_ctl.emplace_back(failure[a], policy);
+  }
+
+  ScheduleResult result;
+  result.apps.resize(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    result.apps[a].name = demands[a].name();
+    result.apps[a].granted.assign(cal.size(), 0.0);
+  }
+
+  std::vector<AllocationRequest> requests(n);
+  std::vector<double> server_cos1(pool.size());
+  std::vector<double> server_cos2(pool.size());
+  std::size_t phase_idx = 0;
+  for (std::size_t i = 0; i < cal.size(); ++i) {
+    while (phase_idx + 1 < phases.size() &&
+           phases[phase_idx + 1].start_slot == i) {
+      const SchedulePhase& prev = phases[phase_idx];
+      ++phase_idx;
+      const SchedulePhase& cur = phases[phase_idx];
+      for (std::size_t a = 0; a < n; ++a) {
+        if (cur.hosts[a] != prev.hosts[a] ||
+            cur.failure_mode[a] != prev.failure_mode[a]) {
+          (cur.failure_mode[a] ? failure_ctl[a] : normal_ctl[a]).reset();
+        }
+      }
+    }
+    const SchedulePhase& phase = phases[phase_idx];
+
+    std::fill(server_cos1.begin(), server_cos1.end(), 0.0);
+    std::fill(server_cos2.begin(), server_cos2.end(), 0.0);
+    for (std::size_t a = 0; a < n; ++a) {
+      const bool silent = in_outage[a][i] || phase.hosts[a] == kUnhosted;
+      if (silent) {
+        requests[a] = AllocationRequest{};
+        continue;
+      }
+      requests[a] = phase.failure_mode[a] ? failure_ctl[a].step(demands[a][i])
+                                          : normal_ctl[a].step(demands[a][i]);
+      server_cos1[phase.hosts[a]] += requests[a].cos1;
+      server_cos2[phase.hosts[a]] += requests[a].cos2;
+    }
+
+    for (std::size_t s = 0; s < pool.size(); ++s) {
+      if (phase.down[s]) continue;
+      const sim::GrantScales scales =
+          sim::grant_scales(pool[s].capacity(), server_cos1[s],
+                            server_cos2[s]);
+      for (std::size_t a = 0; a < n; ++a) {
+        if (phase.hosts[a] != s || in_outage[a][i]) continue;
+        result.apps[a].granted[i] = requests[a].cos1 * scales.cos1 +
+                                    requests[a].cos2 * scales.cos2;
+      }
+    }
+
+    for (std::size_t a = 0; a < n; ++a) {
+      if (phase.hosts[a] == kUnhosted) result.apps[a].unhosted_slots += 1;
+      const double d = demands[a][i];
+      if (d > result.apps[a].granted[i]) {
+        const double lost = d - result.apps[a].granted[i];
+        result.apps[a].unserved_demand += lost;
+        if (in_outage[a][i]) result.apps[a].outage_unserved += lost;
+      }
+    }
+  }
+
+  for (const ScheduleAppOutcome& app : result.apps) {
+    result.unserved_demand += app.unserved_demand;
+    result.outage_unserved += app.outage_unserved;
+  }
+  return result;
+}
+
 DrillResult run_failure_drill(
     std::span<const trace::DemandTrace> demands,
     std::span<const qos::Translation> normal,
@@ -22,9 +160,6 @@ DrillResult run_failure_drill(
   placement::validate_assignment(failure_assignment, n, pool.size());
   ROPUS_REQUIRE(failed_server < pool.size(), "failed server out of range");
   const trace::Calendar& cal = demands.front().calendar();
-  for (const trace::DemandTrace& d : demands) {
-    ROPUS_REQUIRE(d.calendar() == cal, "traces must share a calendar");
-  }
   ROPUS_REQUIRE(config.failure_slot < cal.size(),
                 "failure slot beyond the trace");
   for (std::size_t a = 0; a < n; ++a) {
@@ -32,94 +167,52 @@ DrillResult run_failure_drill(
                   "failure assignment still uses the failed server");
   }
 
-  // One controller per app per mode; the failure-mode controller starts
-  // cold (the container was just placed or re-placed).
-  std::vector<Controller> normal_ctl;
-  std::vector<Controller> failure_ctl;
-  normal_ctl.reserve(n);
-  failure_ctl.reserve(n);
-  for (std::size_t a = 0; a < n; ++a) {
-    normal_ctl.emplace_back(normal[a], config.policy);
-    failure_ctl.emplace_back(failure[a], config.policy);
-  }
+  SchedulePhase before;
+  before.start_slot = 0;
+  before.hosts = normal_assignment;
+  before.failure_mode.assign(n, false);
+  before.down.assign(pool.size(), false);
 
-  DrillResult result;
-  result.failed_server = failed_server;
-  result.apps.resize(n);
-  std::vector<std::vector<double>> granted(n,
-                                           std::vector<double>(cal.size()));
-  for (std::size_t a = 0; a < n; ++a) {
-    result.apps[a].name = demands[a].name();
-    result.apps[a].affected = normal_assignment[a] == failed_server;
-    if (result.apps[a].affected) result.affected_apps += 1;
-  }
+  SchedulePhase after;
+  after.start_slot = config.failure_slot;
+  after.hosts = failure_assignment;
+  after.failure_mode.assign(n, true);
+  after.down.assign(pool.size(), false);
+  after.down[failed_server] = true;
+
+  std::vector<SchedulePhase> phases;
+  if (config.failure_slot > 0) phases.push_back(std::move(before));
+  phases.push_back(std::move(after));
 
   const std::size_t outage_end =
       std::min(cal.size(), config.failure_slot + config.migration_outage_slots);
-
-  std::vector<AllocationRequest> requests(n);
-  std::vector<double> server_cos1(pool.size());
-  std::vector<double> server_cos2(pool.size());
-  for (std::size_t i = 0; i < cal.size(); ++i) {
-    const bool post = i >= config.failure_slot;
-    const placement::Assignment& where =
-        post ? failure_assignment : normal_assignment;
-
-    std::fill(server_cos1.begin(), server_cos1.end(), 0.0);
-    std::fill(server_cos2.begin(), server_cos2.end(), 0.0);
-    for (std::size_t a = 0; a < n; ++a) {
-      const bool in_outage =
-          result.apps[a].affected && post && i < outage_end;
-      if (in_outage) {
-        requests[a] = AllocationRequest{};
-        continue;
-      }
-      requests[a] = post ? failure_ctl[a].step(demands[a][i])
-                         : normal_ctl[a].step(demands[a][i]);
-      server_cos1[where[a]] += requests[a].cos1;
-      server_cos2[where[a]] += requests[a].cos2;
-    }
-
-    for (std::size_t s = 0; s < pool.size(); ++s) {
-      if (post && s == failed_server) continue;
-      const double capacity = pool[s].capacity();
-      const double cos1_scale =
-          server_cos1[s] > capacity ? capacity / server_cos1[s] : 1.0;
-      const double available =
-          capacity - std::min(server_cos1[s], capacity);
-      const double cos2_scale =
-          server_cos2[s] > 0.0 ? std::min(1.0, available / server_cos2[s])
-                               : 1.0;
-      for (std::size_t a = 0; a < n; ++a) {
-        if (where[a] != s) continue;
-        const bool in_outage =
-            result.apps[a].affected && post && i < outage_end;
-        if (in_outage) continue;
-        granted[a][i] = requests[a].cos1 * cos1_scale +
-                        requests[a].cos2 * cos2_scale;
-      }
-    }
-
-    for (std::size_t a = 0; a < n; ++a) {
-      const double d = demands[a][i];
-      if (d > granted[a][i]) {
-        const double lost = d - granted[a][i];
-        result.apps[a].unserved_demand += lost;
-        const bool in_outage =
-            result.apps[a].affected && post && i < outage_end;
-        if (in_outage) result.outage_unserved += lost;
-      }
+  std::vector<OutageWindow> outages;
+  for (std::size_t a = 0; a < n; ++a) {
+    if (normal_assignment[a] == failed_server) {
+      outages.push_back(OutageWindow{a, config.failure_slot, outage_end});
     }
   }
 
+  const ScheduleResult replay = run_event_schedule(
+      demands, normal, failure, pool, phases, outages, config.policy);
+
+  DrillResult result;
+  result.failed_server = failed_server;
+  result.outage_unserved = replay.outage_unserved;
+  result.apps.resize(n);
   const auto minutes = static_cast<double>(cal.minutes_per_sample());
   for (std::size_t a = 0; a < n; ++a) {
+    DrillAppOutcome& app = result.apps[a];
+    app.name = demands[a].name();
+    app.affected = normal_assignment[a] == failed_server;
+    if (app.affected) result.affected_apps += 1;
+    app.unserved_demand = replay.apps[a].unserved_demand;
     const std::span<const double> d = demands[a].values();
-    const std::span<const double> g = granted[a];
-    result.apps[a].before = check_compliance_range(
+    const std::span<const double> g = replay.apps[a].granted;
+    app.before = check_compliance_range(
         d.subspan(0, config.failure_slot),
         g.subspan(0, config.failure_slot), normal[a].requirement, minutes);
-    result.apps[a].after = check_compliance_range(
+    app.after = check_compliance_range(
         d.subspan(config.failure_slot), g.subspan(config.failure_slot),
         failure[a].requirement, minutes);
   }

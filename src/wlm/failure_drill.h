@@ -1,4 +1,4 @@
-// Failure drill: replay a server failure through the execution simulation.
+// Failure drill: replay server failures through the execution simulation.
 //
 // The failover planner (Section VI-C) answers the *static* question — do
 // the survivors have enough capacity? This drill answers the performability
@@ -6,6 +6,14 @@
 // through the transition? The fleet runs its normal placement until the
 // failure instant, the failed server's containers suffer a migration outage,
 // and then everyone runs the failure-mode configuration on the survivors.
+//
+// Two entry points:
+//  * run_event_schedule replays an arbitrary sequence of fleet
+//    configurations (failures, repairs, re-placements, unplaceable
+//    applications) — the engine behind the Monte-Carlo fault-injection
+//    campaigns in faultsim/;
+//  * run_failure_drill is the classic single-failure drill, now a thin
+//    wrapper that builds a two-phase schedule.
 #pragma once
 
 #include <vector>
@@ -18,6 +26,65 @@
 #include "wlm/controller.h"
 
 namespace ropus::wlm {
+
+/// Sentinel host index: the application has no live server during a phase
+/// (an infeasible re-placement); its demand goes entirely unserved.
+inline constexpr std::size_t kUnhosted = static_cast<std::size_t>(-1);
+
+/// One contiguous stretch of the calendar with a fixed fleet configuration.
+/// Phases are supplied in ascending `start_slot` order; the first phase
+/// must start at slot 0 and each phase runs until the next one begins.
+struct SchedulePhase {
+  std::size_t start_slot = 0;
+  /// app -> pool server index, or kUnhosted when nothing can host it.
+  placement::Assignment hosts;
+  /// Per app: run the failure-mode translation instead of the normal one.
+  std::vector<bool> failure_mode;
+  /// Per pool server: down during this phase (hosts must avoid them).
+  std::vector<bool> down;
+};
+
+/// A migration blackout: application `app` serves nothing in [begin, end)
+/// while its container restarts on the destination server.
+struct OutageWindow {
+  std::size_t app = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+struct ScheduleAppOutcome {
+  std::string name;
+  std::vector<double> granted;   // per-slot granted allocation (CPUs)
+  double unserved_demand = 0.0;  // CPU-intervals lost for any reason
+  double outage_unserved = 0.0;  // lost inside migration blackouts
+  std::size_t unhosted_slots = 0;
+};
+
+struct ScheduleResult {
+  std::vector<ScheduleAppOutcome> apps;
+  double unserved_demand = 0.0;
+  double outage_unserved = 0.0;
+};
+
+/// Replays an event schedule through the two-CoS execution simulation.
+///  * `demands`: one trace per application (shared calendar);
+///  * `normal` / `failure`: per-app translations for the two modes
+///    (parallel to `demands`);
+///  * `pool`: server specs; phase hosts index into it;
+///  * `phases`: the fleet configuration over time (validated);
+///  * `outages`: migration blackouts (demand inside counts as unserved).
+/// Controllers carry per-mode history; a controller is reset whenever its
+/// application's host or mode changes at a phase boundary (the container
+/// was just re-placed, so its history is gone). Compliance is not judged
+/// here — callers window the granted series however their analysis needs
+/// (see check_compliance_masked).
+ScheduleResult run_event_schedule(std::span<const trace::DemandTrace> demands,
+                                  std::span<const qos::Translation> normal,
+                                  std::span<const qos::Translation> failure,
+                                  std::span<const sim::ServerSpec> pool,
+                                  std::span<const SchedulePhase> phases,
+                                  std::span<const OutageWindow> outages,
+                                  Policy policy);
 
 struct DrillConfig {
   /// Observation index at which the server dies.

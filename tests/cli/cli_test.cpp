@@ -155,6 +155,49 @@ TEST_F(CliTest, FailoverConcurrentSweep) {
 }
 
 
+TEST_F(CliTest, FaultsimReportsDistributionsAndVerdict) {
+  generate_traces();
+  const int code = run_cli(
+      args({"faultsim", ("--traces=" + traces_).c_str(), "--servers=4",
+            "--trials=15", "--seed=7", "--mtbf=200", "--mttr=10"}));
+  EXPECT_TRUE(code == 0 || code == 2) << err_.str();
+  EXPECT_NE(out_.str().find("fault-injection campaign"), std::string::npos);
+  EXPECT_NE(out_.str().find("per-trial distributions"), std::string::npos);
+  EXPECT_NE(out_.str().find("analytic cross-check"), std::string::npos);
+}
+
+TEST_F(CliTest, FaultsimIsDeterministicAcrossRuns) {
+  generate_traces();
+  const std::vector<std::string> cmd =
+      args({"faultsim", ("--traces=" + traces_).c_str(), "--servers=4",
+            "--trials=10", "--seed=2006", "--mtbf=150", "--mttr=8",
+            "--surge-rate=1.0"});
+  const int first_code = run_cli(cmd);
+  const std::string first = out_.str();
+  const int second_code = run_cli(cmd);
+  EXPECT_EQ(first_code, second_code);
+  EXPECT_EQ(first, out_.str());
+}
+
+TEST_F(CliTest, FaultsimMissingTracesIsIoError) {
+  EXPECT_EQ(run_cli(args({"faultsim", "--traces=/nonexistent.csv"})), 2);
+}
+
+TEST_F(CliTest, FaultsimRejectsUnknownFlag) {
+  generate_traces();
+  EXPECT_EQ(run_cli(args({"faultsim", ("--traces=" + traces_).c_str(),
+                          "--mtfb=100"})),
+            1);
+  EXPECT_NE(err_.str().find("unknown flag: --mtfb"), std::string::npos);
+}
+
+TEST_F(CliTest, FaultsimRejectsBadReliability) {
+  generate_traces();
+  EXPECT_EQ(run_cli(args({"faultsim", ("--traces=" + traces_).c_str(),
+                          "--servers=4", "--mtbf=0"})),
+            1);
+}
+
 TEST_F(CliTest, ForecastShowsTrendsAndWritesCsv) {
   generate_traces();
   const std::string out_path = (dir_ / "forecast.csv").string();

@@ -1,0 +1,196 @@
+// Campaign aggregation: byte-identical determinism and the Monte-Carlo
+// validation of the analytic spare economics.
+#include "faultsim/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace ropus::faultsim {
+namespace {
+
+using trace::Calendar;
+using trace::DemandTrace;
+
+qos::Requirement band(double u_low, double u_high, double u_degr) {
+  qos::Requirement r;
+  r.u_low = u_low;
+  r.u_high = u_high;
+  r.u_degr = u_degr;
+  r.m_percent = 100.0;
+  return r;
+}
+
+struct Fleet {
+  std::vector<DemandTrace> demands;
+  std::vector<qos::ApplicationQos> qos;
+  qos::PoolCommitments commitments;
+  std::vector<sim::ServerSpec> pool;
+};
+
+// Four flat 2-CPU apps (4 CPUs of allocation at U_low = 0.5) on a pool
+// sized by the caller. Failure-mode band defaults to the normal band, which
+// makes a fully packed pool unable to absorb any failure.
+Fleet make_fleet(const Calendar& cal, std::size_t servers, std::size_t cpus,
+                 bool relaxed_failure_band = false) {
+  Fleet fleet;
+  fleet.commitments.cos2 = qos::CosCommitment{1.0, 10080.0};
+  for (int i = 0; i < 4; ++i) {
+    fleet.demands.emplace_back("app-" + std::to_string(i), cal,
+                               std::vector<double>(cal.size(), 2.0));
+    qos::ApplicationQos q;
+    q.app_name = fleet.demands.back().name();
+    q.normal = band(0.5, 0.66, 0.9);
+    q.failure = relaxed_failure_band ? band(0.8, 0.9, 0.95) : q.normal;
+    fleet.qos.push_back(std::move(q));
+  }
+  fleet.pool = sim::homogeneous_pool(servers, cpus);
+  return fleet;
+}
+
+TEST(Campaign, PlansANormalAssignmentOrThrows) {
+  const Calendar cal(1, 720);
+  const Fleet fleet = make_fleet(cal, 2, 16);
+  const placement::Assignment a = Campaign::plan_normal_assignment(
+      fleet.demands, fleet.qos, fleet.commitments, fleet.pool);
+  ASSERT_EQ(a.size(), 4u);
+  for (const std::size_t host : a) EXPECT_LT(host, 2u);
+
+  const Fleet cramped = make_fleet(cal, 1, 8);  // 16 CPUs wanted on 8
+  EXPECT_THROW(Campaign::plan_normal_assignment(cramped.demands, cramped.qos,
+                                                cramped.commitments,
+                                                cramped.pool),
+               InvalidArgument);
+}
+
+TEST(Campaign, SameSeedYieldsByteIdenticalReports) {
+  const Calendar cal(1, 60);  // 168 hourly slots
+  const Fleet fleet = make_fleet(cal, 2, 16, /*relaxed_failure_band=*/true);
+  const placement::Assignment a = Campaign::plan_normal_assignment(
+      fleet.demands, fleet.qos, fleet.commitments, fleet.pool);
+  const Campaign campaign(fleet.demands, fleet.qos, fleet.commitments,
+                          fleet.pool, a);
+  CampaignConfig cfg;
+  cfg.trials = 40;
+  cfg.seed = 2006;
+  cfg.reliability.mtbf_hours = 120.0;
+  cfg.reliability.mttr_hours = 6.0;
+  cfg.surge.arrivals_per_week = 1.0;  // exercise the surge path too
+
+  const std::string first = format_report(campaign.run(cfg));
+  const std::string second = format_report(campaign.run(cfg));
+  EXPECT_EQ(first, second);
+
+  cfg.seed = 2007;
+  const std::string other = format_report(campaign.run(cfg));
+  EXPECT_NE(first, other);
+}
+
+TEST(Campaign, TrialsAreIndependentlySeeded) {
+  const Calendar cal(1, 60);
+  const Fleet fleet = make_fleet(cal, 2, 16, /*relaxed_failure_band=*/true);
+  const placement::Assignment a = Campaign::plan_normal_assignment(
+      fleet.demands, fleet.qos, fleet.commitments, fleet.pool);
+  const Campaign campaign(fleet.demands, fleet.qos, fleet.commitments,
+                          fleet.pool, a);
+  CampaignConfig cfg;
+  cfg.reliability.mtbf_hours = 60.0;
+  cfg.reliability.mttr_hours = 6.0;
+  // Two different trial seeds from the same campaign rarely coincide.
+  const TrialOutcome t1 = campaign.run_trial(1, cfg);
+  const TrialOutcome t2 = campaign.run_trial(2, cfg);
+  const TrialOutcome t1_again = campaign.run_trial(1, cfg);
+  EXPECT_EQ(t1.failures, t1_again.failures);
+  EXPECT_DOUBLE_EQ(t1.unserved_demand, t1_again.unserved_demand);
+  EXPECT_TRUE(t1.failures != t2.failures ||
+              t1.unserved_demand != t2.unserved_demand);
+}
+
+// The acceptance check: on a single-failure-dominated scenario (MTTR <<
+// MTBF) the simulated unsupported hours must agree with the analytic
+// failover/economics expectation within 10%.
+TEST(Campaign, SimulationAgreesWithAnalyticEconomics) {
+  const Calendar cal(1, 15);  // 672 quarter-hour slots, 168 h horizon
+  // Fully packed 2x8 pool with no failure-mode relief: every single
+  // failure is unsupported, so the analytic violation hours over the
+  // horizon are failures_per_year * MTTR * horizon / year
+  //   = (2 * 8760 / 500) * 5 * 168 / 8760 = 3.36 h.
+  const Fleet fleet = make_fleet(cal, 2, 8);
+  const placement::Assignment a = Campaign::plan_normal_assignment(
+      fleet.demands, fleet.qos, fleet.commitments, fleet.pool);
+  const Campaign campaign(fleet.demands, fleet.qos, fleet.commitments,
+                          fleet.pool, a);
+  CampaignConfig cfg;
+  cfg.trials = 1500;
+  cfg.seed = 2006;
+  cfg.reliability.mtbf_hours = 500.0;
+  cfg.reliability.mttr_hours = 5.0;
+
+  const CampaignResult result = campaign.run(cfg);
+  ASSERT_TRUE(result.analytic_valid);
+  EXPECT_DOUBLE_EQ(result.verdict.unsupported_share, 1.0);
+  EXPECT_NEAR(result.analytic_violation_hours, 3.36, 1e-9);
+  EXPECT_GT(result.unsupported_hours.mean, 0.0);
+  const double ratio =
+      result.unsupported_hours.mean / result.analytic_violation_hours;
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.1);
+  // Every unsupported trial is also a violation exposure; with no feasible
+  // re-placement there are no supported-degraded hours to speak of.
+  EXPECT_NEAR(result.analytic_degraded_app_hours, 0.0, 1e-9);
+}
+
+// With a relaxed failure band and a roomy pool, failures are absorbed:
+// the analytic model predicts zero violation hours and the simulation sees
+// degraded (not unsupported) operation.
+TEST(Campaign, SupportedFailuresDegradeInsteadOfViolating) {
+  const Calendar cal(1, 15);
+  const Fleet fleet = make_fleet(cal, 2, 16, /*relaxed_failure_band=*/true);
+  const placement::Assignment a = Campaign::plan_normal_assignment(
+      fleet.demands, fleet.qos, fleet.commitments, fleet.pool);
+  const Campaign campaign(fleet.demands, fleet.qos, fleet.commitments,
+                          fleet.pool, a);
+  CampaignConfig cfg;
+  cfg.trials = 400;
+  cfg.seed = 2006;
+  cfg.reliability.mtbf_hours = 500.0;
+  cfg.reliability.mttr_hours = 5.0;
+
+  const CampaignResult result = campaign.run(cfg);
+  ASSERT_TRUE(result.analytic_valid);
+  EXPECT_DOUBLE_EQ(result.verdict.unsupported_share, 0.0);
+  // Single failures are all absorbed; only the rare overlap of both
+  // servers down (beyond the analytic one-at-a-time model) can leave apps
+  // unhosted, and it is second-order at MTTR/MTBF = 1%.
+  EXPECT_LT(result.unsupported_hours.mean,
+            0.05 * result.degraded_app_hours.mean);
+  EXPECT_GT(result.degraded_app_hours.mean, 0.0);
+  // The degraded exposure should also track its analytic expectation
+  // (looser margin: migrations/discretization touch it more).
+  const double ratio =
+      result.degraded_app_hours.mean / result.analytic_degraded_app_hours;
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.2);
+}
+
+TEST(Distribution, NearestRankPercentiles) {
+  const Distribution d = distribution_of({4.0, 1.0, 3.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(d.mean, 3.0);
+  EXPECT_DOUBLE_EQ(d.p50, 3.0);
+  EXPECT_DOUBLE_EQ(d.p95, 5.0);
+  EXPECT_DOUBLE_EQ(d.max, 5.0);
+  const Distribution empty = distribution_of({});
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max, 0.0);
+}
+
+TEST(CampaignConfig, Validates) {
+  CampaignConfig cfg;
+  cfg.trials = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ropus::faultsim

@@ -1,0 +1,213 @@
+// Trial replay: placement oracle, graceful degradation, spare activation.
+#include "faultsim/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "qos/translation.h"
+
+namespace ropus::faultsim {
+namespace {
+
+using trace::Calendar;
+using trace::DemandTrace;
+
+Calendar tiny() { return Calendar(1, 720); }  // 14 twelve-hour slots
+
+qos::Requirement band(double u_low, double u_high, double u_degr) {
+  qos::Requirement r;
+  r.u_low = u_low;
+  r.u_high = u_high;
+  r.u_degr = u_degr;
+  r.m_percent = 100.0;
+  return r;
+}
+
+struct Rig {
+  std::vector<DemandTrace> demands;
+  std::vector<qos::Translation> normal;
+  std::vector<qos::Translation> failure;
+  std::vector<sim::ServerSpec> pool;
+  placement::Assignment assignment;
+};
+
+// Four flat 2-CPU apps, two per 16-way server: 4 CPUs of normal allocation
+// each, 2.5 CPUs under the hotter failure band.
+Rig make_rig(std::size_t cpus = 16) {
+  Rig rig;
+  const qos::CosCommitment cos2{1.0, 10080.0};
+  for (int i = 0; i < 4; ++i) {
+    rig.demands.emplace_back("app-" + std::to_string(i), tiny(),
+                             std::vector<double>(tiny().size(), 2.0));
+    rig.normal.push_back(
+        qos::translate(rig.demands.back(), band(0.5, 0.66, 0.9), cos2));
+    rig.failure.push_back(
+        qos::translate(rig.demands.back(), band(0.8, 0.9, 0.95), cos2));
+  }
+  rig.pool = sim::homogeneous_pool(2, cpus);
+  rig.assignment = {0, 0, 1, 1};
+  return rig;
+}
+
+Timeline failure_and_repair(std::size_t server, std::size_t fail_slot,
+                            std::size_t repair_slot) {
+  Timeline t;
+  t.events.push_back(Event{fail_slot, EventKind::kFailure, server, 1.0});
+  t.failures = 1;
+  if (repair_slot != static_cast<std::size_t>(-1)) {
+    t.events.push_back(Event{repair_slot, EventKind::kRepair, server, 1.0});
+    t.repairs = 1;
+  }
+  return t;
+}
+
+TEST(PlaceApps, KeepsAppsOnLivePreferredHosts) {
+  const Rig rig = make_rig();
+  const std::vector<double> peaks(4, 4.0);
+  const PlacementDecision d = place_apps(peaks, rig.assignment,
+                                         rig.assignment, rig.pool,
+                                         std::vector<bool>(2, false));
+  EXPECT_EQ(d.unhosted, 0u);
+  EXPECT_EQ(d.hosts, rig.assignment);
+}
+
+TEST(PlaceApps, DisplacesOntoSurvivorsAndReportsOverflow) {
+  const Rig rig = make_rig();
+  std::vector<bool> down{true, false};
+  // Failure-mode peaks (2.5 each) fit: 2 kept + 2 displaced on server 1.
+  const PlacementDecision fits = place_apps(
+      std::vector<double>(4, 2.5), rig.assignment, rig.assignment, rig.pool,
+      down);
+  EXPECT_EQ(fits.unhosted, 0u);
+  EXPECT_EQ(fits.hosts, (placement::Assignment{1, 1, 1, 1}));
+  // Normal peaks (4.0 each) do not: 8 used + 8 wanted > 16... exactly 16
+  // fits, so shrink the survivor instead.
+  std::vector<sim::ServerSpec> small{sim::ServerSpec{"a", 16},
+                                     sim::ServerSpec{"b", 8}};
+  const PlacementDecision overflow = place_apps(
+      std::vector<double>(4, 4.0), rig.assignment, rig.assignment, small,
+      down);
+  EXPECT_EQ(overflow.unhosted, 2u);
+  EXPECT_EQ(overflow.hosts[0], wlm::kUnhosted);
+  EXPECT_EQ(overflow.hosts[1], wlm::kUnhosted);
+  EXPECT_EQ(overflow.hosts[2], 1u);
+}
+
+TEST(ReplayTrial, QuietTimelineMatchesNormalOperation) {
+  const Rig rig = make_rig();
+  const TrialOutcome o = replay_trial(rig.demands, rig.normal, rig.failure,
+                                      rig.pool, rig.assignment, Timeline{},
+                                      ReplayConfig{});
+  EXPECT_EQ(o.migrations, 0u);
+  EXPECT_DOUBLE_EQ(o.unsupported_hours, 0.0);
+  EXPECT_DOUBLE_EQ(o.degraded_app_hours, 0.0);
+  EXPECT_DOUBLE_EQ(o.failure_mode_hours, 0.0);
+  EXPECT_DOUBLE_EQ(o.unserved_demand, 0.0);
+  for (const TrialAppOutcome& app : o.apps) {
+    EXPECT_EQ(app.failure_mode.intervals, 0u) << app.name;
+    EXPECT_EQ(app.normal_mode.intervals, tiny().size()) << app.name;
+    EXPECT_EQ(app.normal_mode.violating, 0u) << app.name;
+  }
+}
+
+TEST(ReplayTrial, FailureThenRepairMovesAppsOutAndBack) {
+  const Rig rig = make_rig();
+  const Timeline t = failure_and_repair(0, 4, 8);
+  ReplayConfig cfg;
+  cfg.migration_outage_slots = 1;
+  const TrialOutcome o = replay_trial(rig.demands, rig.normal, rig.failure,
+                                      rig.pool, rig.assignment, t, cfg);
+  // Apps 0 and 1 migrate to server 1 at the failure and back at the repair.
+  EXPECT_EQ(o.migrations, 4u);
+  EXPECT_EQ(o.apps[0].migrations, 2u);
+  EXPECT_EQ(o.apps[2].migrations, 0u);
+  EXPECT_DOUBLE_EQ(o.unsupported_hours, 0.0);
+  // 2 displaced apps x 4 slots x 12 h.
+  EXPECT_NEAR(o.degraded_app_hours, 2.0 * 4.0 * 12.0, 1e-9);
+  EXPECT_NEAR(o.failure_mode_hours, 4.0 * 12.0, 1e-9);
+  // Outage demand: 2 apps x 2 CPUs at the failure move, same at the return.
+  EXPECT_NEAR(o.outage_unserved, 8.0, 1e-9);
+}
+
+TEST(ReplayTrial, InfeasibleReplacementDegradesGracefully) {
+  Rig rig = make_rig(8);      // 2x8 CPUs: each server exactly full
+  rig.failure = rig.normal;   // no failure-mode relief
+  const Timeline t = failure_and_repair(0, 4, 8);
+  const TrialOutcome o = replay_trial(rig.demands, rig.normal, rig.failure,
+                                      rig.pool, rig.assignment, t,
+                                      ReplayConfig{});
+  // Nothing fits on the survivor: both displaced apps run unhosted until
+  // the repair, then return home.
+  EXPECT_NEAR(o.unsupported_hours, 4.0 * 12.0, 1e-9);
+  EXPECT_EQ(o.apps[0].unhosted_slots, 4u);
+  EXPECT_EQ(o.apps[1].unhosted_slots, 4u);
+  // Unhosted demand is lost: 2 apps x 2 CPUs x 4 slots, plus the return
+  // migration outage (2 apps x 2 CPUs x 1 slot).
+  EXPECT_NEAR(o.unserved_demand, 16.0 + 4.0, 1e-9);
+  // The trial still ends with everyone back home and compliant.
+  EXPECT_EQ(o.apps[2].unhosted_slots, 0u);
+}
+
+TEST(ReplayTrial, SpareAbsorbsAnOtherwiseUnsupportedFailure) {
+  Rig rig = make_rig(8);
+  rig.failure = rig.normal;
+  const Timeline t = failure_and_repair(0, 4, 10);
+  ReplayConfig with_spare;
+  with_spare.spare_servers = 1;
+  with_spare.spare_cpus = 8;
+  with_spare.spare_activation_slots = 1;
+  const TrialOutcome o = replay_trial(rig.demands, rig.normal, rig.failure,
+                                      rig.pool, rig.assignment, t,
+                                      with_spare);
+  EXPECT_EQ(o.spare_activations, 1u);
+  // Unhosted only while the spare spins up (1 slot of 12 h).
+  EXPECT_NEAR(o.unsupported_hours, 12.0, 1e-9);
+  EXPECT_EQ(o.apps[0].unhosted_slots, 1u);
+  // Once active the spare hosts both displaced apps (degraded, not lost).
+  EXPECT_GT(o.degraded_app_hours, 0.0);
+
+  const TrialOutcome without = replay_trial(rig.demands, rig.normal,
+                                            rig.failure, rig.pool,
+                                            rig.assignment, t,
+                                            ReplayConfig{});
+  EXPECT_LT(o.unsupported_hours, without.unsupported_hours);
+}
+
+TEST(ReplayTrial, SurgeScalesDemand) {
+  const Rig rig = make_rig();
+  Timeline t;
+  t.events.push_back(Event{2, EventKind::kSurgeStart, 0, 3.0});
+  t.events.push_back(Event{6, EventKind::kSurgeEnd, 0, 3.0});
+  t.surges = 1;
+  const TrialOutcome o = replay_trial(rig.demands, rig.normal, rig.failure,
+                                      rig.pool, rig.assignment, t,
+                                      ReplayConfig{});
+  // Demand triples inside the surge while allocations stay planned for the
+  // original trace, so the surge window degrades or violates.
+  EXPECT_EQ(o.surges, 1u);
+  bool someone_suffered = false;
+  for (const TrialAppOutcome& app : o.apps) {
+    if (app.normal_mode.degraded + app.normal_mode.violating > 0) {
+      someone_suffered = true;
+    }
+  }
+  EXPECT_TRUE(someone_suffered);
+}
+
+TEST(ReplayTrial, ValidatesInputs) {
+  const Rig rig = make_rig();
+  EXPECT_THROW(replay_trial(rig.demands, rig.normal, rig.failure, rig.pool,
+                            placement::Assignment{0, 0, 1},  // too short
+                            Timeline{}, ReplayConfig{}),
+               InvalidArgument);
+  Timeline bad;
+  bad.events.push_back(Event{0, EventKind::kFailure, 9, 1.0});  // no server 9
+  EXPECT_THROW(replay_trial(rig.demands, rig.normal, rig.failure, rig.pool,
+                            rig.assignment, bad, ReplayConfig{}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ropus::faultsim

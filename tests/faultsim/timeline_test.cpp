@@ -1,0 +1,118 @@
+// Stochastic timeline sampling: determinism, event ordering, surge shape.
+#include "faultsim/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ropus::faultsim {
+namespace {
+
+using trace::Calendar;
+
+TEST(Timeline, SameSeedSameTimeline) {
+  const Calendar cal(2, 60);
+  ReliabilityModel rel;
+  rel.mtbf_hours = 100.0;
+  rel.mttr_hours = 8.0;
+  SurgeModel surge;
+  surge.arrivals_per_week = 2.0;
+
+  Rng a(42);
+  Rng b(42);
+  const Timeline ta = sample_timeline(a, cal, 5, rel, surge);
+  const Timeline tb = sample_timeline(b, cal, 5, rel, surge);
+  ASSERT_EQ(ta.events.size(), tb.events.size());
+  for (std::size_t i = 0; i < ta.events.size(); ++i) {
+    EXPECT_EQ(ta.events[i].slot, tb.events[i].slot);
+    EXPECT_EQ(ta.events[i].kind, tb.events[i].kind);
+    EXPECT_EQ(ta.events[i].server, tb.events[i].server);
+    EXPECT_DOUBLE_EQ(ta.events[i].magnitude, tb.events[i].magnitude);
+  }
+  EXPECT_EQ(ta.failures, tb.failures);
+  EXPECT_EQ(ta.surges, tb.surges);
+}
+
+TEST(Timeline, EventsSortedAndRepairsFollowFailures) {
+  const Calendar cal(4, 60);
+  ReliabilityModel rel;
+  rel.mtbf_hours = 50.0;  // hot: plenty of events
+  rel.mttr_hours = 4.0;
+  Rng rng(7);
+  const Timeline t = sample_timeline(rng, cal, 4, rel, SurgeModel{});
+  EXPECT_GT(t.failures, 0u);
+  for (std::size_t i = 1; i < t.events.size(); ++i) {
+    EXPECT_LE(t.events[i - 1].slot, t.events[i].slot);
+  }
+  // Per server, events must alternate failure / repair starting with a
+  // failure (a final repair may be missing when it falls past the horizon).
+  for (std::size_t s = 0; s < 4; ++s) {
+    bool down = false;
+    for (const Event& e : t.events) {
+      if (e.server != s ||
+          (e.kind != EventKind::kFailure && e.kind != EventKind::kRepair)) {
+        continue;
+      }
+      if (e.kind == EventKind::kFailure) {
+        EXPECT_FALSE(down) << "double failure on server " << s;
+        down = true;
+      } else {
+        EXPECT_TRUE(down) << "repair without failure on server " << s;
+        down = false;
+      }
+    }
+  }
+}
+
+TEST(Timeline, SurgeMultipliersCoverTheSurgeWindowOnly) {
+  const Calendar cal(1, 60);  // 168 hourly slots
+  SurgeModel surge;
+  surge.arrivals_per_week = 1.0;
+  surge.magnitude = 2.0;
+  surge.duration_hours = 6.0;
+  ReliabilityModel rel;
+  rel.mtbf_hours = 1e9;  // effectively no failures
+  Rng rng(11);
+  const Timeline t = sample_timeline(rng, cal, 2, rel, surge);
+  const std::vector<double> factors = t.demand_multipliers(cal.size());
+  ASSERT_EQ(factors.size(), cal.size());
+  std::size_t surged = 0;
+  for (const double f : factors) {
+    EXPECT_GE(f, 1.0);
+    if (f > 1.0) ++surged;
+  }
+  if (t.surges > 0) {
+    EXPECT_GT(surged, 0u);
+    EXPECT_LT(surged, cal.size());  // a surge is not the whole trace
+  } else {
+    EXPECT_EQ(surged, 0u);
+  }
+}
+
+TEST(Timeline, NoSurgeProcessMeansUnitMultipliers) {
+  const Calendar cal(1, 720);
+  ReliabilityModel rel;
+  Rng rng(3);
+  const Timeline t = sample_timeline(rng, cal, 3, rel, SurgeModel{});
+  for (const double f : t.demand_multipliers(cal.size())) {
+    EXPECT_DOUBLE_EQ(f, 1.0);
+  }
+}
+
+TEST(Timeline, ValidatesModels) {
+  const Calendar cal(1, 720);
+  Rng rng(1);
+  ReliabilityModel bad_rel;
+  bad_rel.mtbf_hours = 0.0;
+  EXPECT_THROW(sample_timeline(rng, cal, 2, bad_rel, SurgeModel{}),
+               InvalidArgument);
+  SurgeModel bad_surge;
+  bad_surge.magnitude = -1.0;
+  EXPECT_THROW(sample_timeline(rng, cal, 2, ReliabilityModel{}, bad_surge),
+               InvalidArgument);
+  EXPECT_THROW(sample_timeline(rng, cal, 0, ReliabilityModel{}, SurgeModel{}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ropus::faultsim

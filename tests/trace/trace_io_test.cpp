@@ -82,6 +82,86 @@ TEST_F(TraceIoTest, RejectsNonNumericDemand) {
   EXPECT_THROW(read_traces_csv(path), IoError);
 }
 
+TEST_F(TraceIoTest, RejectsNaNDemand) {
+  // std::from_chars happily parses "nan"; the reader must not.
+  const auto path = dir_ / "nanval.csv";
+  std::ofstream out(path);
+  out << "week,day,slot,app\n";
+  for (int d = 0; d < 7; ++d) {
+    out << "0," << d << ",0," << (d == 2 ? "nan" : "1.0") << "\n";
+  }
+  out.close();
+  EXPECT_THROW(read_traces_csv(path), IoError);
+}
+
+TEST_F(TraceIoTest, RejectsInfiniteDemand) {
+  const auto path = dir_ / "infval.csv";
+  std::ofstream out(path);
+  out << "week,day,slot,app\n";
+  for (int d = 0; d < 7; ++d) {
+    out << "0," << d << ",0," << (d == 5 ? "inf" : "1.0") << "\n";
+  }
+  out.close();
+  EXPECT_THROW(read_traces_csv(path), IoError);
+}
+
+TEST_F(TraceIoTest, RejectsNegativeDemand) {
+  const auto path = dir_ / "negval.csv";
+  std::ofstream out(path);
+  out << "week,day,slot,app\n";
+  for (int d = 0; d < 7; ++d) {
+    out << "0," << d << ",0," << (d == 4 ? "-0.5" : "1.0") << "\n";
+  }
+  out.close();
+  try {
+    read_traces_csv(path);
+    FAIL() << "negative demand accepted";
+  } catch (const IoError& e) {
+    // The diagnostic must carry file and row context.
+    EXPECT_NE(std::string(e.what()).find(path.string()), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("row 4"), std::string::npos);
+  }
+}
+
+TEST_F(TraceIoTest, RejectsTruncatedRow) {
+  const auto path = dir_ / "ragged.csv";
+  std::ofstream out(path);
+  out << "week,day,slot,app\n";
+  for (int d = 0; d < 7; ++d) {
+    if (d == 3) {
+      out << "0,3,0\n";  // demand column missing
+    } else {
+      out << "0," << d << ",0,1.0\n";
+    }
+  }
+  out.close();
+  try {
+    read_traces_csv(path);
+    FAIL() << "truncated row accepted";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find(path.string()), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("truncated or ragged"),
+              std::string::npos);
+  }
+}
+
+TEST_F(TraceIoTest, NonNumericDiagnosticNamesTheFile) {
+  const auto path = dir_ / "ctx.csv";
+  std::ofstream out(path);
+  out << "week,day,slot,app\n";
+  for (int d = 0; d < 7; ++d) {
+    out << "0," << d << ",0," << (d == 3 ? "oops" : "1.0") << "\n";
+  }
+  out.close();
+  try {
+    read_traces_csv(path);
+    FAIL() << "non-numeric field accepted";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find(path.string()), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("oops"), std::string::npos);
+  }
+}
+
 TEST_F(TraceIoTest, WriteRequiresSharedCalendar) {
   std::vector<DemandTrace> traces;
   traces.push_back(DemandTrace::zeros("a", Calendar(1, 720)));

@@ -126,6 +126,75 @@ TEST(FailureDrill, OverloadedSurvivorSqueezesEveryone) {
   }
 }
 
+TEST(FailureDrill, FailureAtSlotZero) {
+  Rig rig = make_rig();
+  DrillConfig cfg;
+  cfg.failure_slot = 0;
+  cfg.migration_outage_slots = 1;
+  const DrillResult r = run_failure_drill(
+      rig.demands, rig.normal, rig.failure, rig.normal_assignment,
+      rig.failure_assignment, rig.pool, 0, cfg);
+  // No pre-failure stretch exists; the whole trace runs failure mode.
+  EXPECT_NEAR(r.outage_unserved, 4.0, 1e-9);  // 2 apps x 2 CPUs x 1 slot
+  for (const DrillAppOutcome& app : r.apps) {
+    EXPECT_EQ(app.before.intervals, 0u) << app.name;
+    EXPECT_EQ(app.after.intervals, tiny().size()) << app.name;
+  }
+}
+
+TEST(FailureDrill, FailureAtLastSlot) {
+  Rig rig = make_rig();
+  DrillConfig cfg;
+  cfg.failure_slot = tiny().size() - 1;
+  cfg.migration_outage_slots = 1;
+  const DrillResult r = run_failure_drill(
+      rig.demands, rig.normal, rig.failure, rig.normal_assignment,
+      rig.failure_assignment, rig.pool, 0, cfg);
+  EXPECT_NEAR(r.outage_unserved, 4.0, 1e-9);  // the one remaining slot
+  for (const DrillAppOutcome& app : r.apps) {
+    EXPECT_EQ(app.before.intervals, tiny().size() - 1) << app.name;
+    EXPECT_EQ(app.before.violating, 0u) << app.name;
+    EXPECT_EQ(app.after.intervals, 1u) << app.name;
+  }
+}
+
+TEST(FailureDrill, OutageLongerThanRemainingTraceIsClamped) {
+  Rig rig = make_rig();
+  DrillConfig cfg;
+  cfg.failure_slot = 12;               // two slots remain
+  cfg.migration_outage_slots = 100;    // far beyond the trace end
+  const DrillResult r = run_failure_drill(
+      rig.demands, rig.normal, rig.failure, rig.normal_assignment,
+      rig.failure_assignment, rig.pool, 0, cfg);
+  // 2 affected apps x 2 CPUs x the 2 slots that actually exist.
+  EXPECT_NEAR(r.outage_unserved, 8.0, 1e-9);
+}
+
+TEST(EventSchedule, UnhostedAppRecordedNotFatal) {
+  Rig rig = make_rig();
+  SchedulePhase normal_phase;
+  normal_phase.start_slot = 0;
+  normal_phase.hosts = rig.normal_assignment;
+  normal_phase.failure_mode.assign(4, false);
+  normal_phase.down.assign(2, false);
+
+  SchedulePhase degraded;  // server 0 dies, app 0 finds no home
+  degraded.start_slot = 7;
+  degraded.hosts = {kUnhosted, 1, 1, 1};
+  degraded.failure_mode.assign(4, true);
+  degraded.down = {true, false};
+
+  const std::vector<SchedulePhase> phases{normal_phase, degraded};
+  const ScheduleResult r =
+      run_event_schedule(rig.demands, rig.normal, rig.failure, rig.pool,
+                         phases, {}, Policy::kClairvoyant);
+  EXPECT_EQ(r.apps[0].unhosted_slots, tiny().size() - 7);
+  // The unhosted app loses its whole demand over those slots.
+  EXPECT_NEAR(r.apps[0].unserved_demand,
+              2.0 * static_cast<double>(tiny().size() - 7), 1e-9);
+  EXPECT_EQ(r.apps[1].unhosted_slots, 0u);
+}
+
 TEST(FailureDrill, ValidatesInputs) {
   Rig rig = make_rig();
   DrillConfig cfg;

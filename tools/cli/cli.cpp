@@ -22,6 +22,9 @@ void usage(std::ostream& os) {
         "(--traces= --servers=13 --cpus=16 + translate flags)\n"
         "  failover     single-failure sweep               "
         "(consolidate flags + --failure-ulow= etc.)\n"
+        "  faultsim     Monte-Carlo fault injection        "
+        "(--traces= --servers= --trials=200 --seed=2006 --mtbf= --mttr= "
+        "[--spares=] [--surge-rate=] + failover flags)\n"
         "  forecast     project demand forward              "
         "(--traces= --horizon=1 [--out=])\n"
         "  plan         long-term capacity projection       "
@@ -51,6 +54,7 @@ int run(std::span<const std::string> args, std::ostream& out,
     if (command == "translate") return cmd_translate(flags, out, err);
     if (command == "consolidate") return cmd_consolidate(flags, out, err);
     if (command == "failover") return cmd_failover(flags, out, err);
+    if (command == "faultsim") return cmd_faultsim(flags, out, err);
     if (command == "forecast") return cmd_forecast(flags, out, err);
     if (command == "plan") return cmd_plan(flags, out, err);
     if (command == "whatif") return cmd_whatif(flags, out, err);
@@ -61,9 +65,12 @@ int run(std::span<const std::string> args, std::ostream& out,
   } catch (const InvalidArgument& e) {
     err << "error: " << e.what() << "\n";
     return 1;
-  } catch (const Error& e) {
+  } catch (const IoError& e) {
     err << "error: " << e.what() << "\n";
     return 2;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 3;
   }
 }
 

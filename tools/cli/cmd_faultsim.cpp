@@ -1,0 +1,74 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cli/cli_util.h"
+#include "cli/commands.h"
+#include "faultsim/campaign.h"
+
+namespace ropus::cli {
+
+int cmd_faultsim(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::vector<std::string> allowed{
+      "traces",        "theta",         "deadline",       "ulow",
+      "uhigh",         "udegr",         "m",              "tdegr",
+      "epochs",        "failure-ulow",  "failure-uhigh",  "failure-udegr",
+      "failure-m",     "failure-tdegr", "failure-epochs", "servers",
+      "cpus",          "trials",        "seed",           "mtbf",
+      "mttr",          "surge-rate",    "surge-magnitude", "surge-hours",
+      "outage-slots",  "spares",        "spare-cpus",     "spare-delay",
+      "degrade-all"};
+  if (!check_flags(flags, allowed, err)) return 1;
+  const auto traces = load_traces(flags);
+  const qos::Requirement normal = requirement_from_flags(flags);
+  qos::Requirement failure;
+  if (flags.has("failure-ulow") || flags.has("failure-uhigh") ||
+      flags.has("failure-udegr") || flags.has("failure-m") ||
+      flags.has("failure-tdegr") || flags.has("failure-epochs")) {
+    failure = requirement_from_flags(flags, "failure-");
+  } else {
+    failure = normal;
+    failure.m_percent = std::min(failure.m_percent, 97.0);
+    failure.t_degr_minutes = 30.0;
+  }
+  const std::size_t servers = flags.get_size("servers", 13);
+  const std::size_t cpus = flags.get_size("cpus", 16);
+
+  std::vector<qos::ApplicationQos> app_qos;
+  for (const auto& t : traces) {
+    qos::ApplicationQos q;
+    q.app_name = t.name();
+    q.normal = normal;
+    q.failure = failure;
+    app_qos.push_back(std::move(q));
+  }
+  qos::PoolCommitments commitments;
+  commitments.cos2 = cos2_from_flags(flags);
+
+  faultsim::CampaignConfig cfg;
+  cfg.trials = flags.get_size("trials", 200);
+  cfg.seed = static_cast<std::uint64_t>(flags.get_size("seed", 2006));
+  cfg.reliability.mtbf_hours = flags.get_double("mtbf", 8760.0);
+  cfg.reliability.mttr_hours = flags.get_double("mttr", 24.0);
+  cfg.surge.arrivals_per_week = flags.get_double("surge-rate", 0.0);
+  cfg.surge.magnitude = flags.get_double("surge-magnitude", 1.5);
+  cfg.surge.duration_hours = flags.get_double("surge-hours", 4.0);
+  cfg.replay.migration_outage_slots = flags.get_size("outage-slots", 1);
+  cfg.replay.degrade_all_apps = flags.get_bool("degrade-all", true);
+  cfg.replay.spare_servers = flags.get_size("spares", 0);
+  cfg.replay.spare_cpus = flags.get_size("spare-cpus", cpus);
+  cfg.replay.spare_activation_slots = flags.get_size("spare-delay", 1);
+
+  const std::vector<sim::ServerSpec> pool =
+      sim::homogeneous_pool(servers, cpus);
+  const placement::Assignment assignment =
+      faultsim::Campaign::plan_normal_assignment(traces, app_qos, commitments,
+                                                 pool);
+  const faultsim::Campaign campaign(traces, app_qos, commitments, pool,
+                                    assignment);
+  const faultsim::CampaignResult result = campaign.run(cfg);
+  out << faultsim::format_report(result);
+  return result.trials_with_unsupported > 0 ? 2 : 0;
+}
+
+}  // namespace ropus::cli

@@ -1,10 +1,30 @@
+#include <exception>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "cli/cli.h"
+#include "common/error.h"
 
+// cli::run already maps Error subtypes raised while a command executes; this
+// backstop covers everything outside that window (argument vector
+// construction, stream failures, exceptions escaping a command's own
+// handlers) so the binary never dies with an unexplained terminate().
 int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
-  return ropus::cli::run(args, std::cout, std::cerr);
+  try {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return ropus::cli::run(args, std::cout, std::cerr);
+  } catch (const ropus::InvalidArgument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const ropus::IoError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const ropus::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 3;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 4;
+  }
 }
