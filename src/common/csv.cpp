@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/error.h"
+#include "common/file_io.h"
 
 namespace ropus::csv {
 
@@ -79,11 +80,16 @@ Document read_file(const std::filesystem::path& path, bool has_header) {
 }
 
 void write_file(const std::filesystem::path& path, const Document& doc) {
-  std::ofstream out(path);
-  if (!out) throw IoError("cannot open for writing: " + path.string());
-  if (!doc.header.empty()) out << format_line(doc.header) << '\n';
-  for (const Row& row : doc.rows) out << format_line(row) << '\n';
-  if (!out) throw IoError("write failed: " + path.string());
+  std::string content;
+  if (!doc.header.empty()) {
+    content += format_line(doc.header);
+    content += '\n';
+  }
+  for (const Row& row : doc.rows) {
+    content += format_line(row);
+    content += '\n';
+  }
+  io::write_file_atomic(path, content);
 }
 
 double to_double(const std::string& field, std::size_t row, std::size_t col) {

@@ -1,0 +1,46 @@
+#include "common/file_io.h"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <string>
+#include <system_error>
+
+#include "common/error.h"
+
+namespace ropus::io {
+
+void write_file_atomic(const std::filesystem::path& path,
+                       std::string_view content) {
+  std::filesystem::path dir = path.parent_path();
+  if (dir.empty()) dir = ".";
+  // Pid-qualified name keeps concurrent writers from clobbering each
+  // other's staging file (the final rename still races, but each rename is
+  // atomic, so the destination is always one writer's complete output).
+  const std::filesystem::path tmp =
+      dir / (path.filename().string() + ".tmp." +
+             std::to_string(static_cast<unsigned long>(::getpid())));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("cannot open for writing: " + tmp.string());
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw IoError("write failed: " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code rm;
+    std::filesystem::remove(tmp, rm);
+    throw IoError("cannot rename " + tmp.string() + " to " + path.string() +
+                  ": " + ec.message());
+  }
+}
+
+}  // namespace ropus::io

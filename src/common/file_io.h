@@ -1,0 +1,22 @@
+// Crash-safe file output.
+//
+// Reports that take minutes of Monte-Carlo to produce must never be left
+// half-written by a crash or a full disk: write_file_atomic stages the
+// content in a temporary file next to the destination, flushes it, and
+// renames it into place. rename(2) within one directory is atomic on POSIX,
+// so readers observe either the old file or the complete new one — never a
+// truncated mix.
+#pragma once
+
+#include <filesystem>
+#include <string_view>
+
+namespace ropus::io {
+
+/// Writes `content` to `path` atomically (temp file in the same directory +
+/// flush + rename). Throws IoError on any failure; the temporary file is
+/// removed before the throw, so a failed write leaves no debris.
+void write_file_atomic(const std::filesystem::path& path,
+                       std::string_view content);
+
+}  // namespace ropus::io

@@ -149,6 +149,10 @@ class Rng {
   /// Derive an independent child stream; child k of a given parent is stable.
   Rng split() { return Rng(engine_.next()); }
 
+  /// Raw 64-bit draw suitable as a child-stream seed (what split() uses);
+  /// for callers that must store the seed rather than the stream.
+  std::uint64_t derive_seed() { return engine_.next(); }
+
  private:
   Xoshiro256 engine_;
   bool has_cached_ = false;

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/error.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "placement/baselines.h"
 #include "placement/problem.h"
@@ -156,11 +157,19 @@ CampaignResult Campaign::run(const CampaignConfig& config) const {
   std::vector<double> violating;
   std::vector<double> unserved;
   std::vector<double> longest;
+  std::vector<double> fallback;
+  std::vector<double> tele_degraded;
+  std::vector<double> tele_violating;
+  std::vector<double> blackout;
   unsupported.reserve(config.trials);
   degraded.reserve(config.trials);
   violating.reserve(config.trials);
   unserved.reserve(config.trials);
   longest.reserve(config.trials);
+  fallback.reserve(config.trials);
+  tele_degraded.reserve(config.trials);
+  tele_violating.reserve(config.trials);
+  blackout.reserve(config.trials);
 
   SplitMix64 seeder(config.seed);
   for (std::size_t t = 0; t < config.trials; ++t) {
@@ -177,12 +186,23 @@ CampaignResult Campaign::run(const CampaignConfig& config) const {
     violating.push_back(outcome.violating_app_hours);
     unserved.push_back(outcome.unserved_demand);
     longest.push_back(outcome.max_contiguous_degraded_minutes);
+    fallback.push_back(outcome.fallback_app_hours);
+    tele_degraded.push_back(outcome.telemetry_degraded_app_hours);
+    tele_violating.push_back(outcome.telemetry_violating_app_hours);
+    blackout.push_back(outcome.longest_blackout_minutes);
+    result.telemetry.merge(outcome.telemetry);
   }
   result.unsupported_hours = distribution_of(std::move(unsupported));
   result.degraded_app_hours = distribution_of(std::move(degraded));
   result.violating_app_hours = distribution_of(std::move(violating));
   result.unserved_demand = distribution_of(std::move(unserved));
   result.longest_degraded_minutes = distribution_of(std::move(longest));
+  result.fallback_app_hours = distribution_of(std::move(fallback));
+  result.telemetry_degraded_app_hours =
+      distribution_of(std::move(tele_degraded));
+  result.telemetry_violating_app_hours =
+      distribution_of(std::move(tele_violating));
+  result.longest_blackout_minutes = distribution_of(std::move(blackout));
 
   if (config.reliability.mttr_hours < config.reliability.mtbf_hours) {
     result.verdict = failover::evaluate_spare(
@@ -256,6 +276,40 @@ std::string format_report(const CampaignResult& result) {
   out += fmt("  trials breaching T_degr           : %llu / %llu\n",
              ull(result.trials_breaching_t_degr), ull(cfg.trials));
 
+  // Only when telemetry faults are configured, so perfect-telemetry reports
+  // are byte-identical to those from before this section existed.
+  if (cfg.replay.telemetry.enabled()) {
+    const wlm::TelemetryFaultModel& tm = cfg.replay.telemetry;
+    const char* fallback_name = "hold-last";
+    switch (cfg.replay.degraded.fallback) {
+      case wlm::FallbackPolicy::kHoldLast: fallback_name = "hold-last"; break;
+      case wlm::FallbackPolicy::kDecayToMax: fallback_name = "decay-to-max";
+        break;
+      case wlm::FallbackPolicy::kEntitlementFloor:
+        fallback_name = "entitlement-floor";
+        break;
+    }
+    out += "\ntelemetry faults\n";
+    out += fmt(
+        "  model       : drop %.3f, stale %.3f (max %llu), corrupt %.3f, "
+        "noise %.3f, blackout %.3f\n",
+        tm.drop_rate, tm.stale_rate, ull(tm.max_staleness), tm.corrupt_rate,
+        tm.noise_stddev, tm.blackout_rate);
+    out += fmt("  fallback    : %s (stale tolerance %llu)\n", fallback_name,
+               ull(cfg.replay.degraded.stale_tolerance));
+    const wlm::HealthReport& h = result.telemetry;
+    out += fmt(
+        "  observations: %llu ok, %llu stale, %llu missing, %llu corrupt\n",
+        ull(h.ok), ull(h.stale), ull(h.missing), ull(h.corrupt));
+    out += fmt("  fallback activations : %llu\n",
+               ull(h.fallback_activations));
+    out += "\n  per-trial telemetry distributions (mean / p50 / p95 / max)\n";
+    out += row("fallback app-hours", result.fallback_app_hours);
+    out += row("telemetry degraded", result.telemetry_degraded_app_hours);
+    out += row("telemetry violating", result.telemetry_violating_app_hours);
+    out += row("longest blackout (min)", result.longest_blackout_minutes);
+  }
+
   out += "\nanalytic cross-check (failover/economics)\n";
   if (!result.analytic_valid) {
     out += "  skipped: MTTR >= MTBF (one-at-a-time model inapplicable)\n";
@@ -274,6 +328,99 @@ std::string format_report(const CampaignResult& result) {
              result.verdict.annual_penalty_without_spare,
              result.verdict.annual_cost_with_spare);
   return out;
+}
+
+namespace {
+
+void json_distribution(json::Writer& w, const char* name,
+                       const Distribution& d) {
+  w.key(name).begin_object();
+  w.key("mean").value(d.mean);
+  w.key("p50").value(d.p50);
+  w.key("p95").value(d.p95);
+  w.key("max").value(d.max);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string format_report_json(const CampaignResult& result) {
+  const CampaignConfig& cfg = result.config;
+  json::Writer w;
+  w.begin_object();
+  w.key("trials").value(cfg.trials);
+  w.key("seed").value(static_cast<std::int64_t>(cfg.seed));
+  w.key("apps").value(result.apps);
+  w.key("servers").value(result.servers);
+  w.key("spares").value(cfg.replay.spare_servers);
+  w.key("horizon_hours").value(result.horizon_hours);
+  w.key("mtbf_hours").value(cfg.reliability.mtbf_hours);
+  w.key("mttr_hours").value(cfg.reliability.mttr_hours);
+
+  w.key("events").begin_object();
+  w.key("failures").value(result.total_failures);
+  w.key("repairs").value(result.total_repairs);
+  w.key("surges").value(result.total_surges);
+  w.key("migrations").value(result.total_migrations);
+  w.key("spare_activations").value(result.total_spare_activations);
+  w.end_object();
+
+  w.key("distributions").begin_object();
+  json_distribution(w, "unsupported_hours", result.unsupported_hours);
+  json_distribution(w, "degraded_app_hours", result.degraded_app_hours);
+  json_distribution(w, "violating_app_hours", result.violating_app_hours);
+  json_distribution(w, "unserved_demand", result.unserved_demand);
+  json_distribution(w, "longest_degraded_minutes",
+                    result.longest_degraded_minutes);
+  w.end_object();
+  w.key("trials_with_unsupported").value(result.trials_with_unsupported);
+  w.key("trials_breaching_t_degr").value(result.trials_breaching_t_degr);
+
+  w.key("telemetry").begin_object();
+  w.key("enabled").value(cfg.replay.telemetry.enabled());
+  if (cfg.replay.telemetry.enabled()) {
+    const wlm::TelemetryFaultModel& tm = cfg.replay.telemetry;
+    w.key("drop_rate").value(tm.drop_rate);
+    w.key("stale_rate").value(tm.stale_rate);
+    w.key("max_staleness").value(tm.max_staleness);
+    w.key("corrupt_rate").value(tm.corrupt_rate);
+    w.key("noise_stddev").value(tm.noise_stddev);
+    w.key("blackout_rate").value(tm.blackout_rate);
+    const wlm::HealthReport& h = result.telemetry;
+    w.key("observations").begin_object();
+    w.key("ok").value(h.ok);
+    w.key("stale").value(h.stale);
+    w.key("missing").value(h.missing);
+    w.key("corrupt").value(h.corrupt);
+    w.end_object();
+    w.key("fallback_activations").value(h.fallback_activations);
+    w.key("distributions").begin_object();
+    json_distribution(w, "fallback_app_hours", result.fallback_app_hours);
+    json_distribution(w, "telemetry_degraded_app_hours",
+                      result.telemetry_degraded_app_hours);
+    json_distribution(w, "telemetry_violating_app_hours",
+                      result.telemetry_violating_app_hours);
+    json_distribution(w, "longest_blackout_minutes",
+                      result.longest_blackout_minutes);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("analytic").begin_object();
+  w.key("valid").value(result.analytic_valid);
+  if (result.analytic_valid) {
+    w.key("unsupported_share").value(result.verdict.unsupported_share);
+    w.key("violation_hours").value(result.analytic_violation_hours);
+    w.key("degraded_app_hours").value(result.analytic_degraded_app_hours);
+    w.key("spare_recommended").value(result.verdict.spare_recommended);
+    w.key("annual_penalty_without_spare")
+        .value(result.verdict.annual_penalty_without_spare);
+    w.key("annual_cost_with_spare")
+        .value(result.verdict.annual_cost_with_spare);
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace ropus::faultsim

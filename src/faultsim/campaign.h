@@ -72,6 +72,16 @@ struct CampaignResult {
   std::size_t trials_with_unsupported = 0;
   std::size_t trials_breaching_t_degr = 0;
 
+  // Telemetry-fault exposure (meaningful only when config.replay.telemetry
+  // has a non-zero rate; all zero otherwise).
+  Distribution fallback_app_hours;
+  Distribution telemetry_degraded_app_hours;
+  Distribution telemetry_violating_app_hours;
+  Distribution longest_blackout_minutes;
+  /// Observation-class totals summed over every controller in every trial
+  /// (longest_blackout is the max run of consecutive fallback intervals).
+  wlm::HealthReport telemetry;
+
   /// Analytic cross-check: the economics verdict for this fleet (using the
   /// same placement oracle as the replay) with its annual expectations
   /// pro-rated onto the trace horizon. Invalid when MTTR >= MTBF, where the
@@ -121,7 +131,13 @@ class Campaign {
 };
 
 /// Renders the result as a fixed-precision text report (byte-identical for
-/// identical results — the determinism tests compare these strings).
+/// identical results — the determinism tests compare these strings). The
+/// telemetry section appears only when the config enables telemetry faults,
+/// so perfect-telemetry reports are unchanged from earlier versions.
 std::string format_report(const CampaignResult& result);
+
+/// Same content as a compact JSON document (also byte-identical for
+/// identical results).
+std::string format_report_json(const CampaignResult& result);
 
 }  // namespace ropus::faultsim

@@ -13,6 +13,8 @@ void ReplayConfig::validate() const {
   if (spare_servers > 0) {
     ROPUS_REQUIRE(spare_cpus >= 1, "spares need at least one CPU");
   }
+  telemetry.validate();
+  degraded.validate();
 }
 
 PlacementDecision place_apps(const std::vector<double>& peaks,
@@ -231,8 +233,29 @@ TrialOutcome replay_trial(std::span<const trace::DemandTrace> demands,
     phases.push_back(std::move(phase));
   }
 
-  const wlm::ScheduleResult replay = wlm::run_event_schedule(
-      active, normal, failure, fleet, phases, outages, config.policy);
+  // Telemetry fault streams: one channel per app, seeded from the timeline's
+  // telemetry seed so a trial is a joint node+telemetry scenario from one
+  // campaign seed. Streams are sampled over the surge-scaled demand — faults
+  // corrupt what the controller *would have measured*.
+  std::vector<std::vector<wlm::Observation>> observations;
+  if (config.telemetry.enabled()) {
+    SplitMix64 streams(timeline.telemetry_seed);
+    observations.resize(n);
+    for (std::size_t a = 0; a < n; ++a) {
+      wlm::TelemetryChannel channel(config.telemetry, streams.next());
+      observations[a].reserve(cal.size());
+      for (const double d : active[a].values()) {
+        observations[a].push_back(channel.observe(d));
+      }
+    }
+  }
+  wlm::ScheduleTelemetry schedule_telemetry;
+  schedule_telemetry.observations = observations;
+  schedule_telemetry.degraded = config.degraded;
+
+  const wlm::ScheduleResult replay =
+      wlm::run_event_schedule(active, normal, failure, fleet, phases, outages,
+                              config.policy, schedule_telemetry);
 
   // Per-slot accounting and per-mode compliance masks.
   const double slot_hours =
@@ -275,12 +298,13 @@ TrialOutcome replay_trial(std::span<const trace::DemandTrace> demands,
     app.outage_unserved = replay.apps[a].outage_unserved;
     app.unhosted_slots = replay.apps[a].unhosted_slots;
     app.migrations = app_migrations[a];
-    app.normal_mode = wlm::check_compliance_masked(
+    app.normal_mode = wlm::check_compliance_attributed(
         active[a].values(), replay.apps[a].granted, normal_mask[a],
-        normal[a].requirement, minutes);
-    app.failure_mode = wlm::check_compliance_masked(
+        replay.apps[a].fallback_slots, normal[a].requirement, minutes);
+    app.failure_mode = wlm::check_compliance_attributed(
         active[a].values(), replay.apps[a].granted, failure_mask[a],
-        failure[a].requirement, minutes);
+        replay.apps[a].fallback_slots, failure[a].requirement, minutes);
+    app.telemetry = replay.apps[a].telemetry;
     app.longest_degraded_minutes =
         std::max(app.normal_mode.longest_degraded_minutes,
                  app.failure_mode.longest_degraded_minutes);
@@ -299,6 +323,20 @@ TrialOutcome replay_trial(std::span<const trace::DemandTrace> demands,
     outcome.max_contiguous_degraded_minutes =
         std::max(outcome.max_contiguous_degraded_minutes,
                  app.longest_degraded_minutes);
+    outcome.fallback_app_hours +=
+        static_cast<double>(app.telemetry.fallback_intervals) * slot_hours;
+    outcome.telemetry_degraded_app_hours +=
+        static_cast<double>(app.normal_mode.degraded_telemetry +
+                            app.failure_mode.degraded_telemetry) *
+        slot_hours;
+    outcome.telemetry_violating_app_hours +=
+        static_cast<double>(app.normal_mode.violating_telemetry +
+                            app.failure_mode.violating_telemetry) *
+        slot_hours;
+    outcome.longest_blackout_minutes =
+        std::max(outcome.longest_blackout_minutes,
+                 static_cast<double>(app.telemetry.longest_blackout) * minutes);
+    outcome.telemetry.merge(app.telemetry);
   }
   outcome.unserved_demand = replay.unserved_demand;
   outcome.outage_unserved = replay.outage_unserved;

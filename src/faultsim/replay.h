@@ -32,6 +32,12 @@ struct ReplayConfig {
   std::size_t spare_servers = 0;
   std::size_t spare_cpus = 16;
   std::size_t spare_activation_slots = 1;
+  /// Measurement-pipeline faults injected between each app's demand and its
+  /// controller (seeded per trial from Timeline::telemetry_seed); all rates
+  /// zero = perfect telemetry, the pre-existing behavior bit for bit.
+  wlm::TelemetryFaultModel telemetry;
+  /// Degraded-mode policy the controllers run when telemetry is unusable.
+  wlm::DegradedModeConfig degraded;
 
   /// Throws InvalidArgument on nonsensical settings.
   void validate() const;
@@ -71,6 +77,9 @@ struct TrialAppOutcome {
   double longest_degraded_minutes = 0.0;
   /// The active requirement's T_degr was exceeded at some point.
   bool t_degr_breached = false;
+  /// Observation classes and fallback activity (all zero when the trial ran
+  /// with perfect telemetry).
+  wlm::HealthReport telemetry;
 };
 
 struct TrialOutcome {
@@ -95,6 +104,18 @@ struct TrialOutcome {
   /// Max over apps of longest_degraded_minutes.
   double max_contiguous_degraded_minutes = 0.0;
   std::size_t t_degr_breaches = 0;  // apps whose T_degr was exceeded
+  /// Telemetry-fault exposure (all zero with perfect telemetry).
+  /// App-hours controllers spent running a fallback policy instead of a
+  /// measurement.
+  double fallback_app_hours = 0.0;
+  /// Slice of the degraded / violating app-hours that landed on fallback
+  /// slots — QoS loss attributable to telemetry rather than capacity.
+  double telemetry_degraded_app_hours = 0.0;
+  double telemetry_violating_app_hours = 0.0;
+  /// Longest single-controller blackout across apps (minutes).
+  double longest_blackout_minutes = 0.0;
+  /// Fleet-wide observation-class totals summed over apps.
+  wlm::HealthReport telemetry;
 };
 
 /// Replays `timeline` over the fleet. `pool` is the base pool (spares from

@@ -105,6 +105,10 @@ Timeline sample_timeline(Rng& rng, const trace::Calendar& cal,
     }
   }
 
+  // Drawn last so the node/surge event stream is unchanged whether or not a
+  // replay consumes the telemetry seed.
+  timeline.telemetry_seed = rng.derive_seed();
+
   std::stable_sort(timeline.events.begin(), timeline.events.end(),
                    [](const Event& a, const Event& b) {
                      if (a.slot != b.slot) return a.slot < b.slot;

@@ -57,6 +57,10 @@ struct Timeline {
   std::size_t failures = 0;
   std::size_t repairs = 0;
   std::size_t surges = 0;
+  /// Seed for the trial's telemetry fault streams (wlm::TelemetryChannel),
+  /// drawn from the same rng as the node events so a trial samples a joint
+  /// node+telemetry fault scenario from one seed.
+  std::uint64_t telemetry_seed = 0;
 
   /// Per-slot demand multiplier from the surge events (all 1.0 without
   /// surges). `slots` is the calendar size.
@@ -67,7 +71,7 @@ struct Timeline {
 /// Failure/repair instants are rounded to the nearest slot boundary (an
 /// unbiased discretization); a down interval shorter than half a slot is
 /// dropped. Consumes `rng` in a fixed order: servers first (by index),
-/// then the surge process.
+/// then the surge process, then one draw for the telemetry seed.
 Timeline sample_timeline(Rng& rng, const trace::Calendar& cal,
                          std::size_t servers, const ReliabilityModel& rel,
                          const SurgeModel& surge);

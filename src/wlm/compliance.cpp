@@ -26,6 +26,7 @@ namespace {
 ComplianceReport check_range_impl(std::span<const double> demand,
                                   std::span<const double> granted,
                                   const std::vector<bool>* mask,
+                                  const std::vector<bool>* fallback,
                                   const qos::Requirement& req,
                                   double minutes_per_sample) {
   req.validate();
@@ -53,14 +54,17 @@ ComplianceReport check_range_impl(std::span<const double> demand,
     const double g = granted[i];
     const double u =
         g > 0.0 ? d / g : std::numeric_limits<double>::infinity();
+    const bool on_fallback = fallback != nullptr && (*fallback)[i];
     if (u <= req.u_high * (1.0 + kRelEps)) {
       report.acceptable += 1;
       run = 0;
     } else if (u <= req.u_degr * (1.0 + kRelEps)) {
       report.degraded += 1;
+      if (on_fallback) report.degraded_telemetry += 1;
       longest = std::max(longest, ++run);
     } else {
       report.violating += 1;
+      if (on_fallback) report.violating_telemetry += 1;
       longest = std::max(longest, ++run);
     }
   }
@@ -75,7 +79,8 @@ ComplianceReport check_compliance_range(std::span<const double> demand,
                                         std::span<const double> granted,
                                         const qos::Requirement& req,
                                         double minutes_per_sample) {
-  return check_range_impl(demand, granted, nullptr, req, minutes_per_sample);
+  return check_range_impl(demand, granted, nullptr, nullptr, req,
+                          minutes_per_sample);
 }
 
 ComplianceReport check_compliance_masked(std::span<const double> demand,
@@ -84,7 +89,25 @@ ComplianceReport check_compliance_masked(std::span<const double> demand,
                                          const qos::Requirement& req,
                                          double minutes_per_sample) {
   ROPUS_REQUIRE(mask.size() == demand.size(), "mask and demand must align");
-  return check_range_impl(demand, granted, &mask, req, minutes_per_sample);
+  return check_range_impl(demand, granted, &mask, nullptr, req,
+                          minutes_per_sample);
+}
+
+ComplianceReport check_compliance_attributed(std::span<const double> demand,
+                                             std::span<const double> granted,
+                                             const std::vector<bool>& mask,
+                                             const std::vector<bool>& fallback,
+                                             const qos::Requirement& req,
+                                             double minutes_per_sample) {
+  ROPUS_REQUIRE(mask.size() == demand.size(), "mask and demand must align");
+  if (fallback.empty()) {
+    return check_range_impl(demand, granted, &mask, nullptr, req,
+                            minutes_per_sample);
+  }
+  ROPUS_REQUIRE(fallback.size() == demand.size(),
+                "fallback flags and demand must align");
+  return check_range_impl(demand, granted, &mask, &fallback, req,
+                          minutes_per_sample);
 }
 
 ComplianceReport check_compliance(const trace::DemandTrace& demand,

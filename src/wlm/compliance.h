@@ -19,6 +19,12 @@ struct ComplianceReport {
   std::size_t degraded = 0;      // U_high < U_alloc <= U_degr
   std::size_t violating = 0;     // U_alloc > U_degr, or demand with no grant
   double longest_degraded_minutes = 0.0;  // longest contiguous U_alloc>U_high
+  /// Of `degraded` / `violating`, the intervals during which the workload
+  /// manager was running on its telemetry fallback rather than a
+  /// measurement — degradations attributable to the measurement pipeline
+  /// instead of raw capacity (only populated by the attributed variant).
+  std::size_t degraded_telemetry = 0;
+  std::size_t violating_telemetry = 0;
 
   /// Fraction of non-idle intervals that were degraded or worse.
   double degraded_fraction() const {
@@ -55,5 +61,19 @@ ComplianceReport check_compliance_masked(std::span<const double> demand,
                                          const std::vector<bool>& mask,
                                          const qos::Requirement& req,
                                          double minutes_per_sample);
+
+/// Attributed variant: like the masked check, but additionally splits the
+/// degraded/violating intervals by cause. `fallback[i]` marks slots where
+/// the controller served its telemetry fallback (Controller::in_fallback);
+/// degradations on those slots are charged to the measurement pipeline via
+/// ComplianceReport::degraded_telemetry / violating_telemetry. An empty
+/// `fallback` vector means perfect telemetry (identical to the masked
+/// check).
+ComplianceReport check_compliance_attributed(std::span<const double> demand,
+                                             std::span<const double> granted,
+                                             const std::vector<bool>& mask,
+                                             const std::vector<bool>& fallback,
+                                             const qos::Requirement& req,
+                                             double minutes_per_sample);
 
 }  // namespace ropus::wlm

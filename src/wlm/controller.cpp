@@ -1,15 +1,28 @@
 #include "wlm/controller.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.h"
 
 namespace ropus::wlm {
 
+void DegradedModeConfig::validate() const {
+  ROPUS_REQUIRE(decay_intervals >= 1, "decay intervals must be >= 1");
+  ROPUS_REQUIRE(spike_threshold_factor >= 0.0,
+                "spike threshold factor must be >= 0");
+}
+
 Controller::Controller(const qos::Translation& tr, Policy policy,
-                       std::size_t history_window)
-    : translation_(tr), policy_(policy), history_window_(history_window) {
+                       std::size_t history_window,
+                       const DegradedModeConfig& degraded)
+    : translation_(tr),
+      policy_(policy),
+      history_window_(history_window),
+      degraded_(degraded),
+      last_basis_(tr.d_new_max) {
   tr.requirement.validate();
+  degraded_.validate();
   ROPUS_REQUIRE(history_window_ >= 1, "history window must be >= 1");
 }
 
@@ -22,26 +35,46 @@ AllocationRequest Controller::request_for(double demand) const {
   return AllocationRequest{d1 / u_low, d2 / u_low};
 }
 
-AllocationRequest Controller::step(double measured_demand) {
-  ROPUS_REQUIRE(measured_demand >= 0.0, "demand must be >= 0");
+ObservationClass Controller::classify(const Observation& obs) const {
+  if (obs.kind == ObservationClass::kMissing) return ObservationClass::kMissing;
+  if (obs.kind == ObservationClass::kStale) return ObservationClass::kStale;
+  // kOk and kCorrupt observations are judged by the value itself: a
+  // corrupted reading that still looks plausible is indistinguishable from
+  // a real one, and a nominally-ok reading carrying garbage must not reach
+  // the allocation path.
+  if (!std::isfinite(obs.value) || obs.value < 0.0) {
+    return ObservationClass::kCorrupt;
+  }
+  if (degraded_.spike_threshold_factor > 0.0 &&
+      obs.value > degraded_.spike_threshold_factor * translation_.d_new_max) {
+    return ObservationClass::kCorrupt;
+  }
+  return ObservationClass::kOk;
+}
+
+AllocationRequest Controller::step_measurement(double demand) {
   if (policy_ == Policy::kClairvoyant) {
-    return request_for(measured_demand);
+    last_basis_ = demand;
+    return request_for(demand);
   }
 
   // Reactive policies: request from history; the first interval has no
   // history and conservatively requests the maximum.
   AllocationRequest request;
   if (history_.empty()) {
+    last_basis_ = translation_.d_new_max;
     request = request_for(translation_.d_new_max);
   } else if (policy_ == Policy::kReactive) {
-    request = request_for(history_.back());
+    last_basis_ = history_.back();
+    request = request_for(last_basis_);
   } else {  // kWindowedMax
-    request = request_for(*std::max_element(history_.begin(), history_.end()));
+    last_basis_ = *std::max_element(history_.begin(), history_.end());
+    request = request_for(last_basis_);
   }
 
   const std::size_t window =
       policy_ == Policy::kReactive ? 1 : history_window_;
-  history_.push_back(measured_demand);
+  history_.push_back(demand);
   if (history_.size() > window) {
     history_.erase(history_.begin(),
                    history_.end() - static_cast<std::ptrdiff_t>(window));
@@ -49,6 +82,66 @@ AllocationRequest Controller::step(double measured_demand) {
   return request;
 }
 
-void Controller::reset() { history_.clear(); }
+AllocationRequest Controller::fallback_request() const {
+  switch (degraded_.fallback) {
+    case FallbackPolicy::kHoldLast:
+      return request_for(last_basis_);
+    case FallbackPolicy::kDecayToMax: {
+      const double start = std::min(last_basis_, translation_.d_new_max);
+      const double ramp =
+          std::min(1.0, static_cast<double>(consecutive_degraded_) /
+                            static_cast<double>(degraded_.decay_intervals));
+      return request_for(start + (translation_.d_new_max - start) * ramp);
+    }
+    case FallbackPolicy::kEntitlementFloor:
+      return request_for(translation_.cos1_demand_cap());
+  }
+  return request_for(translation_.d_new_max);  // unreachable
+}
+
+AllocationRequest Controller::observe(const Observation& obs) {
+  const ObservationClass cls = classify(obs);
+  health_.intervals += 1;
+  bool usable = false;
+  switch (cls) {
+    case ObservationClass::kOk:
+      health_.ok += 1;
+      usable = true;
+      break;
+    case ObservationClass::kStale:
+      health_.stale += 1;
+      usable = obs.staleness <= degraded_.stale_tolerance &&
+               std::isfinite(obs.value) && obs.value >= 0.0;
+      break;
+    case ObservationClass::kMissing:
+      health_.missing += 1;
+      break;
+    case ObservationClass::kCorrupt:
+      health_.corrupt += 1;
+      break;
+  }
+
+  if (usable) {
+    consecutive_degraded_ = 0;
+    return step_measurement(obs.value);
+  }
+
+  if (consecutive_degraded_ == 0) health_.fallback_activations += 1;
+  consecutive_degraded_ += 1;
+  health_.fallback_intervals += 1;
+  health_.longest_blackout =
+      std::max(health_.longest_blackout, consecutive_degraded_);
+  return fallback_request();
+}
+
+AllocationRequest Controller::step(double measured_demand) {
+  return observe(Observation::ok(measured_demand));
+}
+
+void Controller::reset() {
+  history_.clear();
+  last_basis_ = translation_.d_new_max;
+  consecutive_degraded_ = 0;
+}
 
 }  // namespace ropus::wlm

@@ -3,9 +3,16 @@
 // demand, bounded by the maximum allocation that QoS translation computed,
 // and splits the request across the two allocation priorities at the
 // breakpoint.
+//
+// The controller no longer trusts every observation. Each reading is
+// classified (ok / stale / missing / corrupt; see telemetry.h) and unusable
+// intervals are served by an explicit degraded-mode fallback policy instead
+// of silently mis-allocating. A HealthReport records what the measurement
+// pipeline did over the run.
 #pragma once
 
 #include "qos/translation.h"
+#include "wlm/telemetry.h"
 
 namespace ropus::wlm {
 
@@ -25,6 +32,39 @@ enum class Policy {
   kWindowedMax,
 };
 
+/// What the controller requests while its measurements are unusable.
+enum class FallbackPolicy {
+  /// Re-issue the last measurement-driven request (conservative maximum
+  /// before any measurement arrived).
+  kHoldLast,
+  /// Ramp linearly from the last measurement-driven request toward the
+  /// translation's maximum allocation over `decay_intervals` missing
+  /// intervals — the longer the blackout, the less the last reading is
+  /// trusted.
+  kDecayToMax,
+  /// Request only the guaranteed CoS1 entitlement (the breakpoint share of
+  /// the maximum allocation) — cheap, but exposed if demand is high.
+  kEntitlementFloor,
+};
+
+/// Degraded-mode configuration: classification tolerances and the fallback.
+struct DegradedModeConfig {
+  FallbackPolicy fallback = FallbackPolicy::kHoldLast;
+  /// A stale reading at most this many intervals old is still used as a
+  /// measurement (it is counted in HealthReport::stale either way).
+  std::size_t stale_tolerance = 1;
+  /// kDecayToMax reaches the maximum allocation after this many consecutive
+  /// unusable intervals (>= 1).
+  std::size_t decay_intervals = 6;
+  /// Readings above `spike_threshold_factor * D_new_max` are classified
+  /// corrupt (a plausibility filter against garbage spikes that would pin a
+  /// windowed controller at maximum). 0 disables the filter.
+  double spike_threshold_factor = 0.0;
+
+  /// Throws InvalidArgument on nonsensical settings.
+  void validate() const;
+};
+
 /// An allocation request split across the two classes of service.
 struct AllocationRequest {
   double cos1 = 0.0;
@@ -37,28 +77,58 @@ class Controller {
   /// Builds a controller enforcing translation `tr` (burst factor 1/U_low,
   /// maximum allocation D_new_max/U_low, CoS1 share p). `history_window`
   /// only matters under kWindowedMax (>= 1; 1 behaves like kReactive).
+  /// `degraded` configures classification and the telemetry fallback.
   Controller(const qos::Translation& tr, Policy policy,
-             std::size_t history_window = 3);
+             std::size_t history_window = 3,
+             const DegradedModeConfig& degraded = {});
 
   /// Feeds one measured demand observation (CPUs) and returns the request
   /// for the *next* interval under kReactive, or for this interval under
-  /// kClairvoyant.
+  /// kClairvoyant. A non-finite or negative value is routed through the
+  /// corrupt-observation path (degraded-mode fallback), never into an
+  /// allocation request.
   AllocationRequest step(double measured_demand);
 
-  /// Resets the demand history (e.g. after migrating the container).
+  /// Full observation interface: classifies `obs` (value sanity plus the
+  /// pipeline's own kind/staleness tags) and either steps on the
+  /// measurement or serves the interval from the fallback policy. With an
+  /// ok observation this is bit-identical to step(obs.value).
+  AllocationRequest observe(const Observation& obs);
+
+  /// Classification `observe` would apply, without stepping.
+  ObservationClass classify(const Observation& obs) const;
+
+  /// Resets the demand history and fallback state (e.g. after migrating
+  /// the container). The health report persists — it describes the
+  /// controller's whole lifetime.
   void reset();
 
   Policy policy() const { return policy_; }
   double burst_factor() const { return 1.0 / translation_.requirement.u_low; }
   const qos::Translation& translation() const { return translation_; }
+  const DegradedModeConfig& degraded_config() const { return degraded_; }
+
+  /// True when the previous interval was served by the fallback policy.
+  bool in_fallback() const { return consecutive_degraded_ > 0; }
+  /// Consecutive unusable intervals ending at the previous observation.
+  std::size_t consecutive_degraded() const { return consecutive_degraded_; }
+  const HealthReport& health() const { return health_; }
 
  private:
   AllocationRequest request_for(double demand) const;
+  AllocationRequest step_measurement(double demand);
+  AllocationRequest fallback_request() const;
 
   qos::Translation translation_;
   Policy policy_;
   std::size_t history_window_;
+  DegradedModeConfig degraded_;
   std::vector<double> history_;  // ring of recent measurements (newest last)
+  /// Demand the last measurement-driven request was computed from, or the
+  /// conservative maximum before any measurement arrived.
+  double last_basis_;
+  std::size_t consecutive_degraded_ = 0;
+  HealthReport health_;
 };
 
 }  // namespace ropus::wlm

@@ -33,6 +33,18 @@ ScheduleResult run_event_schedule(std::span<const trace::DemandTrace> demands,
                                   std::span<const SchedulePhase> phases,
                                   std::span<const OutageWindow> outages,
                                   Policy policy) {
+  return run_event_schedule(demands, normal, failure, pool, phases, outages,
+                            policy, ScheduleTelemetry{});
+}
+
+ScheduleResult run_event_schedule(std::span<const trace::DemandTrace> demands,
+                                  std::span<const qos::Translation> normal,
+                                  std::span<const qos::Translation> failure,
+                                  std::span<const sim::ServerSpec> pool,
+                                  std::span<const SchedulePhase> phases,
+                                  std::span<const OutageWindow> outages,
+                                  Policy policy,
+                                  const ScheduleTelemetry& telemetry) {
   const std::size_t n = demands.size();
   ROPUS_REQUIRE(n >= 1, "schedule needs workloads");
   ROPUS_REQUIRE(normal.size() == n && failure.size() == n,
@@ -63,6 +75,16 @@ ScheduleResult run_event_schedule(std::span<const trace::DemandTrace> demands,
     for (std::size_t i = w.begin; i < end; ++i) in_outage[w.app][i] = 1;
   }
 
+  const bool faulted = !telemetry.observations.empty();
+  if (faulted) {
+    ROPUS_REQUIRE(telemetry.observations.size() == n,
+                  "one observation stream per workload");
+    for (const std::vector<Observation>& stream : telemetry.observations) {
+      ROPUS_REQUIRE(stream.size() == cal.size(),
+                    "observation streams must cover the calendar");
+    }
+  }
+
   // One controller per app per mode; a controller resets whenever its app's
   // host or mode changes at a phase boundary (the container was re-placed).
   std::vector<Controller> normal_ctl;
@@ -70,8 +92,8 @@ ScheduleResult run_event_schedule(std::span<const trace::DemandTrace> demands,
   normal_ctl.reserve(n);
   failure_ctl.reserve(n);
   for (std::size_t a = 0; a < n; ++a) {
-    normal_ctl.emplace_back(normal[a], policy);
-    failure_ctl.emplace_back(failure[a], policy);
+    normal_ctl.emplace_back(normal[a], policy, 3, telemetry.degraded);
+    failure_ctl.emplace_back(failure[a], policy, 3, telemetry.degraded);
   }
 
   ScheduleResult result;
@@ -79,6 +101,7 @@ ScheduleResult run_event_schedule(std::span<const trace::DemandTrace> demands,
   for (std::size_t a = 0; a < n; ++a) {
     result.apps[a].name = demands[a].name();
     result.apps[a].granted.assign(cal.size(), 0.0);
+    if (faulted) result.apps[a].fallback_slots.assign(cal.size(), false);
   }
 
   std::vector<AllocationRequest> requests(n);
@@ -108,8 +131,14 @@ ScheduleResult run_event_schedule(std::span<const trace::DemandTrace> demands,
         requests[a] = AllocationRequest{};
         continue;
       }
-      requests[a] = phase.failure_mode[a] ? failure_ctl[a].step(demands[a][i])
-                                          : normal_ctl[a].step(demands[a][i]);
+      Controller& ctl =
+          phase.failure_mode[a] ? failure_ctl[a] : normal_ctl[a];
+      if (faulted) {
+        requests[a] = ctl.observe(telemetry.observations[a][i]);
+        result.apps[a].fallback_slots[i] = ctl.in_fallback();
+      } else {
+        requests[a] = ctl.step(demands[a][i]);
+      }
       server_cos1[phase.hosts[a]] += requests[a].cos1;
       server_cos2[phase.hosts[a]] += requests[a].cos2;
     }
@@ -137,9 +166,13 @@ ScheduleResult run_event_schedule(std::span<const trace::DemandTrace> demands,
     }
   }
 
-  for (const ScheduleAppOutcome& app : result.apps) {
-    result.unserved_demand += app.unserved_demand;
-    result.outage_unserved += app.outage_unserved;
+  for (std::size_t a = 0; a < n; ++a) {
+    if (faulted) {
+      result.apps[a].telemetry = normal_ctl[a].health();
+      result.apps[a].telemetry.merge(failure_ctl[a].health());
+    }
+    result.unserved_demand += result.apps[a].unserved_demand;
+    result.outage_unserved += result.apps[a].outage_unserved;
   }
   return result;
 }

@@ -58,12 +58,26 @@ struct ScheduleAppOutcome {
   double unserved_demand = 0.0;  // CPU-intervals lost for any reason
   double outage_unserved = 0.0;  // lost inside migration blackouts
   std::size_t unhosted_slots = 0;
+  /// Aggregated over the app's two per-mode controllers; all-zero when the
+  /// run had perfect telemetry.
+  HealthReport telemetry;
+  /// Per-slot: the active controller served this slot from its fallback
+  /// policy. Empty when the run had perfect telemetry.
+  std::vector<bool> fallback_slots;
 };
 
 struct ScheduleResult {
   std::vector<ScheduleAppOutcome> apps;
   double unserved_demand = 0.0;
   double outage_unserved = 0.0;
+};
+
+/// Telemetry faults for a scheduled run: one observation per app per slot
+/// (pre-sampled by a TelemetryChannel), plus the degraded-mode policy the
+/// controllers apply. An empty observation span means perfect telemetry.
+struct ScheduleTelemetry {
+  std::span<const std::vector<Observation>> observations;
+  DegradedModeConfig degraded;
 };
 
 /// Replays an event schedule through the two-CoS execution simulation.
@@ -85,6 +99,19 @@ ScheduleResult run_event_schedule(std::span<const trace::DemandTrace> demands,
                                   std::span<const SchedulePhase> phases,
                                   std::span<const OutageWindow> outages,
                                   Policy policy);
+
+/// Telemetry-aware variant: controllers observe `telemetry.observations`
+/// instead of the true demand (grants and compliance still run against the
+/// true traces). With an empty observation span this is exactly the
+/// perfect-telemetry overload.
+ScheduleResult run_event_schedule(std::span<const trace::DemandTrace> demands,
+                                  std::span<const qos::Translation> normal,
+                                  std::span<const qos::Translation> failure,
+                                  std::span<const sim::ServerSpec> pool,
+                                  std::span<const SchedulePhase> phases,
+                                  std::span<const OutageWindow> outages,
+                                  Policy policy,
+                                  const ScheduleTelemetry& telemetry);
 
 struct DrillConfig {
   /// Observation index at which the server dies.

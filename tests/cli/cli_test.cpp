@@ -6,6 +6,8 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "trace/trace_io.h"
@@ -196,6 +198,102 @@ TEST_F(CliTest, FaultsimRejectsBadReliability) {
   EXPECT_EQ(run_cli(args({"faultsim", ("--traces=" + traces_).c_str(),
                           "--servers=4", "--mtbf=0"})),
             1);
+}
+
+TEST_F(CliTest, FaultsimTelemetryFaultsAreDeterministicAndReported) {
+  generate_traces();
+  const std::vector<std::string> cmd =
+      args({"faultsim", ("--traces=" + traces_).c_str(), "--servers=4",
+            "--trials=10", "--seed=2006", "--mtbf=150", "--mttr=8",
+            "--telemetry-drop=0.2", "--telemetry-blackout=0.01",
+            "--fallback=decay"});
+  const int first_code = run_cli(cmd);
+  const std::string first = out_.str();
+  EXPECT_NE(first.find("telemetry faults"), std::string::npos);
+  EXPECT_NE(first.find("decay-to-max"), std::string::npos);
+  EXPECT_NE(first.find("fallback app-hours"), std::string::npos);
+  const int second_code = run_cli(cmd);
+  EXPECT_EQ(first_code, second_code);
+  EXPECT_EQ(first, out_.str());
+}
+
+TEST_F(CliTest, FaultsimZeroTelemetryRatesOmitTelemetrySection) {
+  generate_traces();
+  const int code = run_cli(
+      args({"faultsim", ("--traces=" + traces_).c_str(), "--servers=4",
+            "--trials=5", "--mtbf=200", "--mttr=10", "--telemetry-drop=0"}));
+  EXPECT_TRUE(code == 0 || code == 2) << err_.str();
+  EXPECT_EQ(out_.str().find("telemetry faults"), std::string::npos);
+}
+
+TEST_F(CliTest, FaultsimRejectsBadTelemetryRate) {
+  generate_traces();
+  EXPECT_EQ(run_cli(args({"faultsim", ("--traces=" + traces_).c_str(),
+                          "--servers=4", "--telemetry-drop=1.5"})),
+            1);
+  EXPECT_EQ(run_cli(args({"faultsim", ("--traces=" + traces_).c_str(),
+                          "--servers=4", "--fallback=nonsense"})),
+            1);
+}
+
+TEST_F(CliTest, FaultsimWritesReportFiles) {
+  generate_traces();
+  const std::string report = (dir_ / "campaign.txt").string();
+  const std::string json = (dir_ / "campaign.json").string();
+  const int code = run_cli(
+      args({"faultsim", ("--traces=" + traces_).c_str(), "--servers=4",
+            "--trials=5", "--mtbf=200", "--mttr=10",
+            ("--out=" + report).c_str(), ("--json-out=" + json).c_str()}));
+  EXPECT_TRUE(code == 0 || code == 2) << err_.str();
+  ASSERT_TRUE(std::filesystem::exists(report));
+  ASSERT_TRUE(std::filesystem::exists(json));
+  std::ifstream in(json);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"trials\":5"), std::string::npos);
+}
+
+TEST_F(CliTest, WlmReportsHealthAndCompliance) {
+  generate_traces();
+  const int code =
+      run_cli(args({"wlm", ("--traces=" + traces_).c_str()}));
+  EXPECT_TRUE(code == 0 || code == 2) << err_.str();
+  EXPECT_NE(out_.str().find("wlm controller simulation"), std::string::npos);
+  EXPECT_NE(out_.str().find("telemetry: perfect"), std::string::npos);
+  EXPECT_NE(out_.str().find("fleet telemetry health"), std::string::npos);
+}
+
+TEST_F(CliTest, WlmWithTelemetryFaultsIsDeterministic) {
+  generate_traces();
+  const std::vector<std::string> cmd =
+      args({"wlm", ("--traces=" + traces_).c_str(), "--telemetry-drop=0.2",
+            "--telemetry-corrupt=0.05", "--fallback=floor", "--seed=11"});
+  const int first_code = run_cli(cmd);
+  const std::string first = out_.str();
+  EXPECT_NE(first.find("drop 0.200"), std::string::npos);
+  const int second_code = run_cli(cmd);
+  EXPECT_EQ(first_code, second_code);
+  EXPECT_EQ(first, out_.str());
+}
+
+TEST_F(CliTest, WlmRejectsBadPolicy) {
+  generate_traces();
+  EXPECT_EQ(run_cli(args({"wlm", ("--traces=" + traces_).c_str(),
+                          "--policy=psychic"})),
+            1);
+}
+
+TEST_F(CliTest, WlmWritesReportFile) {
+  generate_traces();
+  const std::string report = (dir_ / "wlm.txt").string();
+  const int code = run_cli(args({"wlm", ("--traces=" + traces_).c_str(),
+                                 ("--out=" + report).c_str()}));
+  EXPECT_TRUE(code == 0 || code == 2) << err_.str();
+  ASSERT_TRUE(std::filesystem::exists(report));
+  std::ifstream in(report);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, out_.str());
 }
 
 TEST_F(CliTest, ForecastShowsTrendsAndWritesCsv) {

@@ -1,0 +1,82 @@
+#include "common/file_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace ropus::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ropus_file_io_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  fs::path dir_;
+};
+
+TEST_F(FileIoTest, WritesContentAndLeavesNoTempFile) {
+  const fs::path target = dir_ / "report.txt";
+  write_file_atomic(target, "hello\nworld\n");
+  EXPECT_EQ(slurp(target), "hello\nworld\n");
+  std::size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    (void)e;
+    entries += 1;
+  }
+  EXPECT_EQ(entries, 1u);  // no .tmp debris
+}
+
+TEST_F(FileIoTest, ReplacesExistingFileCompletely) {
+  const fs::path target = dir_ / "report.txt";
+  write_file_atomic(target, "a long first version of the file\n");
+  write_file_atomic(target, "v2\n");
+  EXPECT_EQ(slurp(target), "v2\n");
+}
+
+TEST_F(FileIoTest, WritesEmptyContent) {
+  const fs::path target = dir_ / "empty.txt";
+  write_file_atomic(target, "");
+  EXPECT_TRUE(fs::exists(target));
+  EXPECT_EQ(slurp(target), "");
+}
+
+TEST_F(FileIoTest, RelativePathWithoutDirectoryWorks) {
+  const fs::path previous = fs::current_path();
+  fs::current_path(dir_);
+  write_file_atomic("bare.txt", "x");
+  fs::current_path(previous);
+  EXPECT_EQ(slurp(dir_ / "bare.txt"), "x");
+}
+
+TEST_F(FileIoTest, MissingDirectoryThrowsIoErrorWithoutDebris) {
+  const fs::path target = dir_ / "no-such-subdir" / "report.txt";
+  EXPECT_THROW(write_file_atomic(target, "x"), IoError);
+  EXPECT_FALSE(fs::exists(target));
+}
+
+}  // namespace
+}  // namespace ropus::io

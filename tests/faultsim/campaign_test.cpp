@@ -88,6 +88,80 @@ TEST(Campaign, SameSeedYieldsByteIdenticalReports) {
   EXPECT_NE(first, other);
 }
 
+TEST(Campaign, ZeroTelemetryRatesMatchPerfectTelemetryByteForByte) {
+  // The regression bar for the telemetry layer: with every fault rate at
+  // zero the whole pipeline — controllers, compliance, report — must be
+  // bit-identical to a campaign that never heard of telemetry.
+  const Calendar cal(1, 60);
+  const Fleet fleet = make_fleet(cal, 2, 16, /*relaxed_failure_band=*/true);
+  const placement::Assignment a = Campaign::plan_normal_assignment(
+      fleet.demands, fleet.qos, fleet.commitments, fleet.pool);
+  const Campaign campaign(fleet.demands, fleet.qos, fleet.commitments,
+                          fleet.pool, a);
+  CampaignConfig cfg;
+  cfg.trials = 20;
+  cfg.reliability.mtbf_hours = 120.0;
+  cfg.reliability.mttr_hours = 6.0;
+  cfg.surge.arrivals_per_week = 1.0;
+  const std::string baseline = format_report(campaign.run(cfg));
+
+  cfg.replay.telemetry = wlm::TelemetryFaultModel{};  // all rates zero
+  cfg.replay.degraded.fallback = wlm::FallbackPolicy::kDecayToMax;
+  EXPECT_EQ(format_report(campaign.run(cfg)), baseline);
+}
+
+TEST(Campaign, TelemetryFaultsAreDeterministicPerSeed) {
+  const Calendar cal(1, 60);
+  const Fleet fleet = make_fleet(cal, 2, 16, /*relaxed_failure_band=*/true);
+  const placement::Assignment a = Campaign::plan_normal_assignment(
+      fleet.demands, fleet.qos, fleet.commitments, fleet.pool);
+  const Campaign campaign(fleet.demands, fleet.qos, fleet.commitments,
+                          fleet.pool, a);
+  CampaignConfig cfg;
+  cfg.trials = 20;
+  cfg.reliability.mtbf_hours = 120.0;
+  cfg.reliability.mttr_hours = 6.0;
+  cfg.replay.telemetry.drop_rate = 0.2;
+  cfg.replay.telemetry.blackout_rate = 0.01;
+
+  const CampaignResult result = campaign.run(cfg);
+  EXPECT_GT(result.telemetry.missing, 0u);
+  EXPECT_GT(result.telemetry.fallback_intervals, 0u);
+  EXPECT_GT(result.fallback_app_hours.mean, 0.0);
+
+  const std::string first = format_report(result);
+  const std::string second = format_report(campaign.run(cfg));
+  EXPECT_EQ(first, second);
+  const std::string json = format_report_json(result);
+  EXPECT_EQ(json, format_report_json(campaign.run(cfg)));
+  EXPECT_NE(json.find("\"telemetry\":{\"enabled\":true"), std::string::npos);
+
+  cfg.seed = 77;
+  EXPECT_NE(format_report(campaign.run(cfg)), first);
+}
+
+TEST(Campaign, TelemetryFaultsLeaveNodeEventStreamUnchanged) {
+  // The telemetry seed is drawn after the node/surge processes, so enabling
+  // measurement faults must not move a single failure or surge event.
+  const Calendar cal(1, 60);
+  const Fleet fleet = make_fleet(cal, 2, 16, /*relaxed_failure_band=*/true);
+  const placement::Assignment a = Campaign::plan_normal_assignment(
+      fleet.demands, fleet.qos, fleet.commitments, fleet.pool);
+  const Campaign campaign(fleet.demands, fleet.qos, fleet.commitments,
+                          fleet.pool, a);
+  CampaignConfig cfg;
+  cfg.trials = 20;
+  cfg.reliability.mtbf_hours = 120.0;
+  cfg.reliability.mttr_hours = 6.0;
+  cfg.surge.arrivals_per_week = 1.0;
+  const CampaignResult clean = campaign.run(cfg);
+  cfg.replay.telemetry.drop_rate = 0.3;
+  const CampaignResult faulted = campaign.run(cfg);
+  EXPECT_EQ(clean.total_failures, faulted.total_failures);
+  EXPECT_EQ(clean.total_repairs, faulted.total_repairs);
+  EXPECT_EQ(clean.total_surges, faulted.total_surges);
+}
+
 TEST(Campaign, TrialsAreIndependentlySeeded) {
   const Calendar cal(1, 60);
   const Fleet fleet = make_fleet(cal, 2, 16, /*relaxed_failure_band=*/true);

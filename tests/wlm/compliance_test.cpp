@@ -97,5 +97,51 @@ TEST(Compliance, MismatchedLengthsThrow) {
   EXPECT_THROW(check_compliance(t, o, req()), InvalidArgument);
 }
 
+TEST(Compliance, AttributedSplitsDegradationByFallbackCause) {
+  const std::vector<double> demand(tiny().size(), 1.0);
+  std::vector<double> grants(tiny().size(), 2.0);  // acceptable baseline
+  grants[1] = 1.25;  // degraded, on fallback -> telemetry-attributed
+  grants[2] = 1.0;   // violating, on fallback -> telemetry-attributed
+  grants[3] = 1.25;  // degraded, measurement-driven -> capacity-attributed
+  const std::vector<bool> mask(tiny().size(), true);
+  std::vector<bool> fallback(tiny().size(), false);
+  fallback[1] = true;
+  fallback[2] = true;
+  const ComplianceReport r = check_compliance_attributed(
+      demand, grants, mask, fallback, req(), 720.0);
+  EXPECT_EQ(r.degraded, 2u);
+  EXPECT_EQ(r.violating, 1u);
+  EXPECT_EQ(r.degraded_telemetry, 1u);
+  EXPECT_EQ(r.violating_telemetry, 1u);
+}
+
+TEST(Compliance, AttributedWithEmptyFallbackEqualsMasked) {
+  const std::vector<double> demand(tiny().size(), 1.0);
+  std::vector<double> grants(tiny().size(), 2.0);
+  grants[1] = 1.25;
+  grants[2] = 1.0;
+  std::vector<bool> mask(tiny().size(), true);
+  mask[4] = false;
+  const ComplianceReport masked =
+      check_compliance_masked(demand, grants, mask, req(), 720.0);
+  const ComplianceReport attributed = check_compliance_attributed(
+      demand, grants, mask, {}, req(), 720.0);
+  EXPECT_EQ(attributed.intervals, masked.intervals);
+  EXPECT_EQ(attributed.degraded, masked.degraded);
+  EXPECT_EQ(attributed.violating, masked.violating);
+  EXPECT_EQ(attributed.degraded_telemetry, 0u);
+  EXPECT_EQ(attributed.violating_telemetry, 0u);
+}
+
+TEST(Compliance, AttributedRejectsMisalignedFallback) {
+  const std::vector<double> demand(tiny().size(), 1.0);
+  const std::vector<double> grants(tiny().size(), 2.0);
+  const std::vector<bool> mask(tiny().size(), true);
+  const std::vector<bool> fallback(3, true);
+  EXPECT_THROW(check_compliance_attributed(demand, grants, mask, fallback,
+                                           req(), 720.0),
+               InvalidArgument);
+}
+
 }  // namespace
 }  // namespace ropus::wlm

@@ -75,9 +75,17 @@ TEST(Controller, ResetForgetsHistory) {
   EXPECT_NEAR(r.total(), 4.0 / 0.5, 1e-9);  // conservative again
 }
 
-TEST(Controller, RejectsNegativeDemand) {
+TEST(Controller, NegativeDemandRoutesThroughCorruptPathNotThrow) {
+  // Regression for the input guard: garbage demand used to throw out of the
+  // control loop; it now counts as a corrupt observation and the interval is
+  // served by the degraded-mode fallback.
   Controller c(make_translation(0.6), Policy::kClairvoyant);
-  EXPECT_THROW(c.step(-1.0), InvalidArgument);
+  const AllocationRequest good = c.step(1.0);
+  AllocationRequest r;
+  ASSERT_NO_THROW(r = c.step(-1.0));
+  EXPECT_DOUBLE_EQ(r.total(), good.total());  // kHoldLast default
+  EXPECT_EQ(c.health().corrupt, 1u);
+  EXPECT_TRUE(c.in_fallback());
 }
 
 TEST(Controller, WindowedMaxTracksRecentPeak) {
@@ -116,6 +124,38 @@ TEST(Controller, WindowedNeverRequestsLessThanReactiveWouldAtPeak) {
   const AllocationRequest w = windowed.step(0.1);
   const AllocationRequest r = reactive.step(0.1);
   EXPECT_GT(w.total(), r.total());
+}
+
+TEST(Controller, WindowedMaxWindowOfOneNeverSeesOlderPeaks) {
+  // history_window == 1 must age a peak out after exactly one interval.
+  Controller c(make_translation(0.6), Policy::kWindowedMax, 1);
+  (void)c.step(4.0);  // first interval: conservative max
+  const AllocationRequest r = c.step(0.5);  // history = {4}
+  EXPECT_NEAR(r.total(), 8.0, 1e-9);
+  const AllocationRequest r2 = c.step(0.5);  // history = {0.5}: peak aged out
+  EXPECT_NEAR(r2.total(), 1.0, 1e-9);
+}
+
+TEST(Controller, WindowedMaxResetMidTraceDropsTheWindow) {
+  Controller c(make_translation(0.6), Policy::kWindowedMax, 3);
+  (void)c.step(4.0);
+  (void)c.step(3.0);
+  (void)c.step(2.0);
+  c.reset();
+  // First post-reset request is the conservative maximum, not max(history).
+  const AllocationRequest r = c.step(1.0);
+  EXPECT_NEAR(r.total(), 4.0 / 0.5, 1e-9);
+}
+
+TEST(Controller, WindowedMaxRefillsWindowAfterReset) {
+  Controller c(make_translation(0.6), Policy::kWindowedMax, 3);
+  (void)c.step(4.0);
+  c.reset();
+  (void)c.step(1.0);  // conservative; history = {1}
+  (void)c.step(0.5);  // based on max{1} = 1; history = {1, 0.5}
+  const AllocationRequest r = c.step(0.25);
+  // max{1, 0.5} = 1 -> total 2.0; the pre-reset 4.0 must not leak back in.
+  EXPECT_NEAR(r.total(), 2.0, 1e-9);
 }
 
 TEST(Controller, RejectsZeroWindow) {

@@ -24,7 +24,11 @@ void usage(std::ostream& os) {
         "(consolidate flags + --failure-ulow= etc.)\n"
         "  faultsim     Monte-Carlo fault injection        "
         "(--traces= --servers= --trials=200 --seed=2006 --mtbf= --mttr= "
-        "[--spares=] [--surge-rate=] + failover flags)\n"
+        "[--spares=] [--surge-rate=] [--telemetry-drop= ...] [--out=] "
+        "[--json-out=] + failover flags)\n"
+        "  wlm          per-app controller simulation       "
+        "(--traces= [--policy=reactive] [--telemetry-drop= --telemetry-stale= "
+        "--telemetry-corrupt= ...] [--fallback=hold|decay|floor] [--out=])\n"
         "  forecast     project demand forward              "
         "(--traces= --horizon=1 [--out=])\n"
         "  plan         long-term capacity projection       "
@@ -55,6 +59,7 @@ int run(std::span<const std::string> args, std::ostream& out,
     if (command == "consolidate") return cmd_consolidate(flags, out, err);
     if (command == "failover") return cmd_failover(flags, out, err);
     if (command == "faultsim") return cmd_faultsim(flags, out, err);
+    if (command == "wlm") return cmd_wlm(flags, out, err);
     if (command == "forecast") return cmd_forecast(flags, out, err);
     if (command == "plan") return cmd_plan(flags, out, err);
     if (command == "whatif") return cmd_whatif(flags, out, err);

@@ -47,4 +47,46 @@ bool check_flags(const Flags& flags, std::span<const std::string> allowed,
   return unknown.empty();
 }
 
+wlm::TelemetryFaultModel telemetry_from_flags(const Flags& flags) {
+  wlm::TelemetryFaultModel model;
+  model.drop_rate = flags.get_double("telemetry-drop", 0.0);
+  model.stale_rate = flags.get_double("telemetry-stale", 0.0);
+  model.max_staleness = flags.get_size("telemetry-max-stale", 3);
+  model.corrupt_rate = flags.get_double("telemetry-corrupt", 0.0);
+  model.noise_stddev = flags.get_double("telemetry-noise", 0.0);
+  model.blackout_rate = flags.get_double("telemetry-blackout", 0.0);
+  model.blackout_mean_intervals =
+      flags.get_double("telemetry-blackout-mean", 6.0);
+  model.validate();
+  return model;
+}
+
+wlm::DegradedModeConfig degraded_from_flags(const Flags& flags) {
+  wlm::DegradedModeConfig degraded;
+  const std::string fallback = flags.get_string("fallback", "hold");
+  if (fallback == "hold") {
+    degraded.fallback = wlm::FallbackPolicy::kHoldLast;
+  } else if (fallback == "decay") {
+    degraded.fallback = wlm::FallbackPolicy::kDecayToMax;
+  } else if (fallback == "floor") {
+    degraded.fallback = wlm::FallbackPolicy::kEntitlementFloor;
+  } else {
+    throw InvalidArgument("--fallback must be hold, decay or floor (got '" +
+                          fallback + "')");
+  }
+  degraded.stale_tolerance = flags.get_size("stale-tolerance", 1);
+  degraded.decay_intervals = flags.get_size("decay-intervals", 6);
+  degraded.validate();
+  return degraded;
+}
+
+void append_telemetry_flag_names(std::vector<std::string>& allowed) {
+  const char* names[] = {
+      "telemetry-drop",     "telemetry-stale", "telemetry-max-stale",
+      "telemetry-corrupt",  "telemetry-noise", "telemetry-blackout",
+      "telemetry-blackout-mean", "fallback",   "stale-tolerance",
+      "decay-intervals"};
+  allowed.insert(allowed.end(), std::begin(names), std::end(names));
+}
+
 }  // namespace ropus::cli

@@ -7,6 +7,7 @@
 #include "common/flags.h"
 #include "qos/requirements.h"
 #include "trace/demand_trace.h"
+#include "wlm/controller.h"
 
 namespace ropus::cli {
 
@@ -26,5 +27,16 @@ qos::CosCommitment cos2_from_flags(const Flags& flags);
 /// returns false when such flags exist.
 bool check_flags(const Flags& flags,
                  std::span<const std::string> allowed, std::ostream& err);
+
+/// Builds the telemetry fault model from the --telemetry-* flags (every
+/// rate defaults to 0 = perfect telemetry). Validates before returning.
+wlm::TelemetryFaultModel telemetry_from_flags(const Flags& flags);
+
+/// Builds the degraded-mode policy from --fallback=hold|decay|floor,
+/// --stale-tolerance and --decay-intervals. Validates before returning.
+wlm::DegradedModeConfig degraded_from_flags(const Flags& flags);
+
+/// Appends the --telemetry-* / fallback flag names to an allowed list.
+void append_telemetry_flag_names(std::vector<std::string>& allowed);
 
 }  // namespace ropus::cli

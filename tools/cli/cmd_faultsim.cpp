@@ -4,12 +4,13 @@
 
 #include "cli/cli_util.h"
 #include "cli/commands.h"
+#include "common/file_io.h"
 #include "faultsim/campaign.h"
 
 namespace ropus::cli {
 
 int cmd_faultsim(const Flags& flags, std::ostream& out, std::ostream& err) {
-  const std::vector<std::string> allowed{
+  std::vector<std::string> allowed{
       "traces",        "theta",         "deadline",       "ulow",
       "uhigh",         "udegr",         "m",              "tdegr",
       "epochs",        "failure-ulow",  "failure-uhigh",  "failure-udegr",
@@ -17,7 +18,8 @@ int cmd_faultsim(const Flags& flags, std::ostream& out, std::ostream& err) {
       "cpus",          "trials",        "seed",           "mtbf",
       "mttr",          "surge-rate",    "surge-magnitude", "surge-hours",
       "outage-slots",  "spares",        "spare-cpus",     "spare-delay",
-      "degrade-all"};
+      "degrade-all",   "out",           "json-out"};
+  append_telemetry_flag_names(allowed);
   if (!check_flags(flags, allowed, err)) return 1;
   const auto traces = load_traces(flags);
   const qos::Requirement normal = requirement_from_flags(flags);
@@ -58,6 +60,8 @@ int cmd_faultsim(const Flags& flags, std::ostream& out, std::ostream& err) {
   cfg.replay.spare_servers = flags.get_size("spares", 0);
   cfg.replay.spare_cpus = flags.get_size("spare-cpus", cpus);
   cfg.replay.spare_activation_slots = flags.get_size("spare-delay", 1);
+  cfg.replay.telemetry = telemetry_from_flags(flags);
+  cfg.replay.degraded = degraded_from_flags(flags);
 
   const std::vector<sim::ServerSpec> pool =
       sim::homogeneous_pool(servers, cpus);
@@ -67,7 +71,14 @@ int cmd_faultsim(const Flags& flags, std::ostream& out, std::ostream& err) {
   const faultsim::Campaign campaign(traces, app_qos, commitments, pool,
                                     assignment);
   const faultsim::CampaignResult result = campaign.run(cfg);
-  out << faultsim::format_report(result);
+  const std::string report = faultsim::format_report(result);
+  out << report;
+  if (const auto path = flags.get("out"); path.has_value()) {
+    io::write_file_atomic(*path, report);
+  }
+  if (const auto path = flags.get("json-out"); path.has_value()) {
+    io::write_file_atomic(*path, faultsim::format_report_json(result) + "\n");
+  }
   return result.trials_with_unsupported > 0 ? 2 : 0;
 }
 

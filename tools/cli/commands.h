@@ -13,6 +13,7 @@ int cmd_translate(const Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_consolidate(const Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_failover(const Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_faultsim(const Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_wlm(const Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_forecast(const Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_plan(const Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_whatif(const Flags& flags, std::ostream& out, std::ostream& err);
