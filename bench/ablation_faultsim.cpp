@@ -17,6 +17,7 @@
 int main() {
   using namespace ropus;
 
+  bench::BenchReporter reporter("ablation_faultsim");
   const std::size_t weeks = bench::weeks_from_env();
   const auto demands = bench::case_study(weeks);
   const qos::Requirement normal_req =
@@ -36,9 +37,11 @@ int main() {
     app_qos.push_back(std::move(q));
   }
 
-  const placement::Assignment assignment =
-      faultsim::Campaign::plan_normal_assignment(demands, app_qos,
-                                                 commitments, pool);
+  const placement::Assignment assignment = bench::timed_phase(
+      reporter, "plan_normal_assignment", [&] {
+        return faultsim::Campaign::plan_normal_assignment(demands, app_qos,
+                                                          commitments, pool);
+      });
   const faultsim::Campaign campaign(demands, app_qos, commitments, pool,
                                     assignment);
 
@@ -58,6 +61,7 @@ int main() {
   TextTable table({"scenario", "trials w/ unsupported", "sim viol h (mean)",
                    "analytic viol h", "sim degr app-h", "analytic degr app-h",
                    "verdict"});
+  std::size_t scenario_idx = 0;
   for (const Scenario& s : scenarios) {
     faultsim::CampaignConfig cfg;
     cfg.trials = 100;
@@ -65,7 +69,15 @@ int main() {
     cfg.reliability.mtbf_hours = s.mtbf_hours;
     cfg.reliability.mttr_hours = s.mttr_hours;
     cfg.surge.arrivals_per_week = s.surge_rate;
-    const faultsim::CampaignResult r = campaign.run(cfg);
+    const std::string tag = "campaign/" + std::to_string(scenario_idx++);
+    const faultsim::CampaignResult r =
+        bench::timed_phase(reporter, tag, [&] { return campaign.run(cfg); });
+    reporter.set_metric(tag + ".trials_with_unsupported",
+                        static_cast<double>(r.trials_with_unsupported));
+    reporter.set_metric(tag + ".sim_violation_hours_mean",
+                        r.unsupported_hours.mean);
+    reporter.set_metric(tag + ".analytic_violation_hours",
+                        r.analytic_violation_hours);
     table.add_row(
         {s.label,
          std::to_string(r.trials_with_unsupported) + "/" +
@@ -83,5 +95,6 @@ int main() {
                "failures move the simulation away from the one-at-a-time "
                "analytic model, which is exactly the gap the campaign "
                "engine exists to measure\n";
+  std::cout << "wrote " << reporter.write().string() << "\n";
   return 0;
 }

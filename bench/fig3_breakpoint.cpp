@@ -17,6 +17,7 @@
 int main() {
   using namespace ropus;
 
+  bench::BenchReporter reporter("fig3_breakpoint");
   const double u_low = 0.5;
   const double u_high = 0.66;
 
@@ -32,12 +33,14 @@ int main() {
                "theta = 0.5\n\n";
 
   TextTable table({"theta", "breakpoint p", "max allocation trend"});
-  for (int i = 0; i <= 10; ++i) {
-    const double theta = 0.5 + 0.05 * i;
-    table.add_row({TextTable::num(theta, 2),
-                   TextTable::num(qos::breakpoint(u_low, u_high, theta), 4),
-                   TextTable::num(max_alloc_trend(theta) / norm, 4)});
-  }
+  bench::timed_phase(reporter, "theta_sweep", [&] {
+    for (int i = 0; i <= 10; ++i) {
+      const double theta = 0.5 + 0.05 * i;
+      table.add_row({TextTable::num(theta, 2),
+                     TextTable::num(qos::breakpoint(u_low, u_high, theta), 4),
+                     TextTable::num(max_alloc_trend(theta) / norm, 4)});
+    }
+  });
   table.render(std::cout);
 
   const double drop = 1.0 - max_alloc_trend(0.95) / max_alloc_trend(0.6);
@@ -46,5 +49,7 @@ int main() {
             << "% lower than at theta=0.6 (paper reports ~20%)\n";
   std::cout << "paper check: p reaches 0 at theta >= U_low/U_high = "
             << TextTable::num(u_low / u_high, 4) << "\n";
+  reporter.set_metric("max_alloc_drop_pct", 100.0 * drop);
+  std::cout << "wrote " << reporter.write().string() << "\n";
   return 0;
 }

@@ -1,10 +1,24 @@
-// Micro benchmarks (google-benchmark): throughput of the hot paths — QoS
-// translation, the trace-replay evaluation, the required-capacity search,
-// and a genetic-search generation — at case-study scale.
-#include <benchmark/benchmark.h>
-
+// Micro benchmarks: throughput of the hot paths — QoS translation, the
+// trace-replay evaluation, the required-capacity search, and a genetic-
+// search generation — at case-study scale.
+//
+// Methodology (the former single-timed-pass version produced noisy,
+// unrepeatable numbers): each benchmark warms up until the code paths and
+// caches are hot, then runs R independent repetitions of a batch sized to
+// take a measurable interval, and reports the per-iteration MIN (best-case
+// steady state, least scheduler noise) and MEDIAN (typical) times. Results
+// are printed as a table and written to BENCH_micro_perf.json.
+//
+// Knobs: ROPUS_MICRO_REPS (repetitions, default 7), ROPUS_BENCH_FAST=1
+// (smaller batches for CI smoke runs), ROPUS_BENCH_OUT_DIR (where the JSON
+// lands).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "placement/genetic.h"
 #include "placement/problem.h"
 #include "qos/allocation.h"
@@ -14,6 +28,76 @@
 namespace {
 
 using namespace ropus;
+
+/// Defeats dead-code elimination without a memory fence on the value.
+template <typename T>
+inline void do_not_optimize(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+std::size_t reps_from_env() {
+  if (const char* env = std::getenv("ROPUS_MICRO_REPS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value >= 3 && value <= 1000) return static_cast<std::size_t>(value);
+  }
+  return 7;
+}
+
+bool fast_mode() {
+  const char* fast = std::getenv("ROPUS_BENCH_FAST");
+  return fast != nullptr && fast[0] == '1';
+}
+
+struct BenchRun {
+  std::string name;
+  double min_seconds = 0.0;     // per iteration, best repetition
+  double median_seconds = 0.0;  // per iteration, median repetition
+  std::uint64_t iterations = 0; // total timed iterations
+  std::uint64_t items = 0;      // work items per iteration (0 = none)
+};
+
+/// Runs `fn` until it has consumed ~`budget` seconds of warmup, then times
+/// `reps` repetitions of a batch sized so one repetition takes at least
+/// `batch_seconds`.
+template <typename Fn>
+BenchRun run_bench(const std::string& name, std::uint64_t items_per_iter,
+                   Fn&& fn) {
+  const std::size_t reps = reps_from_env();
+  const double warmup_budget = fast_mode() ? 0.01 : 0.05;
+  const double batch_seconds = fast_mode() ? 0.02 : 0.1;
+
+  // Warmup, and a first estimate of the per-iteration cost.
+  std::size_t warm_iters = 0;
+  const double warm_start = obs::monotonic_seconds();
+  double elapsed = 0.0;
+  do {
+    fn();
+    warm_iters += 1;
+    elapsed = obs::monotonic_seconds() - warm_start;
+  } while (elapsed < warmup_budget);
+  const double est = elapsed / static_cast<double>(warm_iters);
+
+  const auto batch = static_cast<std::size_t>(
+      std::max(1.0, batch_seconds / std::max(est, 1e-9)));
+
+  std::vector<double> per_iter;
+  per_iter.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    const double start = obs::monotonic_seconds();
+    for (std::size_t i = 0; i < batch; ++i) fn();
+    per_iter.push_back((obs::monotonic_seconds() - start) /
+                       static_cast<double>(batch));
+  }
+  std::sort(per_iter.begin(), per_iter.end());
+
+  BenchRun run;
+  run.name = name;
+  run.min_seconds = per_iter.front();
+  run.median_seconds = per_iter[per_iter.size() / 2];
+  run.iterations = static_cast<std::uint64_t>(batch) * reps;
+  run.items = items_per_iter;
+  return run;
+}
 
 const std::vector<trace::DemandTrace>& demands() {
   static const auto traces = bench::case_study(1);
@@ -31,71 +115,85 @@ const std::vector<qos::AllocationTrace>& allocations() {
   return allocs;
 }
 
-void BM_Translate(benchmark::State& state) {
-  const auto& t = demands()[static_cast<std::size_t>(state.range(0))];
-  const qos::Requirement req = bench::paper_requirement(97.0, 30.0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(qos::translate(t, req, cos2()));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(t.size()));
-}
-BENCHMARK(BM_Translate)->Arg(0)->Arg(13)->Arg(25);
+void report(const BenchRun& run, bench::BenchReporter& reporter) {
+  const double ops = run.median_seconds > 0.0
+                         ? static_cast<double>(std::max<std::uint64_t>(
+                               run.items, 1)) / run.median_seconds
+                         : 0.0;
+  std::printf("%-28s %12.3f us/iter (min) %12.3f us/iter (median)",
+              run.name.c_str(), run.min_seconds * 1e6,
+              run.median_seconds * 1e6);
+  if (run.items > 0) std::printf(" %14.0f items/s", ops);
+  std::printf("\n");
 
-void BM_AggregateWorkloads(benchmark::State& state) {
-  std::vector<const qos::AllocationTrace*> ptrs;
-  for (std::size_t i = 0; i < static_cast<std::size_t>(state.range(0)); ++i) {
-    ptrs.push_back(&allocations()[i]);
-  }
-  const auto cal = demands()[0].calendar();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::aggregate_workloads(ptrs, cal));
-  }
+  bench::BenchPhase phase;
+  phase.name = run.name;
+  phase.seconds = run.median_seconds;
+  phase.ops_per_sec = ops;
+  phase.iterations = run.iterations;
+  reporter.add_phase(std::move(phase));
+  reporter.set_metric(run.name + ".min_us", run.min_seconds * 1e6);
+  reporter.set_metric(run.name + ".median_us", run.median_seconds * 1e6);
 }
-BENCHMARK(BM_AggregateWorkloads)->Arg(4)->Arg(13)->Arg(26);
-
-void BM_Evaluate(benchmark::State& state) {
-  std::vector<const qos::AllocationTrace*> ptrs;
-  for (std::size_t i = 0; i < 8; ++i) ptrs.push_back(&allocations()[i]);
-  const sim::Aggregate agg =
-      sim::aggregate_workloads(ptrs, demands()[0].calendar());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::evaluate(agg, 16.0, cos2()));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(agg.cos1.size()));
-}
-BENCHMARK(BM_Evaluate);
-
-void BM_RequiredCapacity(benchmark::State& state) {
-  std::vector<const qos::AllocationTrace*> ptrs;
-  for (std::size_t i = 0; i < 8; ++i) ptrs.push_back(&allocations()[i]);
-  const sim::Aggregate agg =
-      sim::aggregate_workloads(ptrs, demands()[0].calendar());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::required_capacity(agg, 16.0, cos2()));
-  }
-}
-BENCHMARK(BM_RequiredCapacity);
-
-void BM_GeneticGeneration(benchmark::State& state) {
-  const auto pool = sim::homogeneous_pool(13, 16);
-  const placement::PlacementProblem problem(allocations(), pool, cos2());
-  placement::GeneticConfig cfg;
-  cfg.population = 16;
-  cfg.max_generations = 1;  // cost of a single generation
-  cfg.stagnation_limit = 1;
-  const placement::Assignment initial(
-      problem.workload_count(), 0);
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    cfg.seed = seed++;
-    benchmark::DoNotOptimize(
-        placement::genetic_search(problem, initial, cfg));
-  }
-}
-BENCHMARK(BM_GeneticGeneration);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  bench::BenchReporter reporter("micro_perf");
+  std::printf("micro_perf: reps=%zu fast=%d weeks=1\n", reps_from_env(),
+              fast_mode() ? 1 : 0);
+
+  const qos::Requirement req = bench::paper_requirement(97.0, 30.0);
+  for (const std::size_t app : {std::size_t{0}, std::size_t{13},
+                                std::size_t{25}}) {
+    const trace::DemandTrace& t = demands()[app];
+    report(run_bench("translate/" + std::to_string(app), t.size(),
+                     [&] { do_not_optimize(qos::translate(t, req, cos2())); }),
+           reporter);
+  }
+
+  for (const std::size_t n : {std::size_t{4}, std::size_t{13},
+                              std::size_t{26}}) {
+    std::vector<const qos::AllocationTrace*> ptrs;
+    for (std::size_t i = 0; i < n; ++i) ptrs.push_back(&allocations()[i]);
+    const auto cal = demands()[0].calendar();
+    report(run_bench("aggregate/" + std::to_string(n), cal.size(), [&] {
+             do_not_optimize(sim::aggregate_workloads(ptrs, cal));
+           }),
+           reporter);
+  }
+
+  {
+    std::vector<const qos::AllocationTrace*> ptrs;
+    for (std::size_t i = 0; i < 8; ++i) ptrs.push_back(&allocations()[i]);
+    const sim::Aggregate agg =
+        sim::aggregate_workloads(ptrs, demands()[0].calendar());
+    report(run_bench("evaluate", agg.cos1.size(),
+                     [&] { do_not_optimize(sim::evaluate(agg, 16.0, cos2())); }),
+           reporter);
+    report(run_bench("required_capacity", agg.cos1.size(), [&] {
+             do_not_optimize(sim::required_capacity(agg, 16.0, cos2()));
+           }),
+           reporter);
+  }
+
+  {
+    const auto pool = sim::homogeneous_pool(13, 16);
+    const placement::PlacementProblem problem(allocations(), pool, cos2());
+    placement::GeneticConfig cfg;
+    cfg.population = 16;
+    cfg.max_generations = 1;  // cost of a single generation
+    cfg.stagnation_limit = 1;
+    const placement::Assignment initial(problem.workload_count(), 0);
+    std::uint64_t seed = 1;
+    report(run_bench("genetic_generation", 0, [&] {
+             cfg.seed = seed++;
+             do_not_optimize(placement::genetic_search(problem, initial, cfg));
+           }),
+           reporter);
+  }
+
+  const std::filesystem::path out = reporter.write();
+  std::printf("wrote %s\n", out.string().c_str());
+  return 0;
+}

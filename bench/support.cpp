@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 
+#include "common/file_io.h"
+#include "common/json.h"
+#include "obs/manifest.h"
 #include "qos/translation.h"
 #include "workload/fleet.h"
 #include "workload/generator.h"
@@ -45,6 +48,62 @@ placement::ConsolidationConfig bench_consolidation(std::uint64_t seed) {
     cfg.genetic.stagnation_limit = 30;
   }
   return cfg;
+}
+
+BenchReporter::BenchReporter(std::string name)
+    : name_(std::move(name)), start_seconds_(obs::monotonic_seconds()) {}
+
+void BenchReporter::add_phase(BenchPhase phase) {
+  phases_.push_back(std::move(phase));
+}
+
+void BenchReporter::add_phase(std::string name, double seconds) {
+  BenchPhase phase;
+  phase.name = std::move(name);
+  phase.seconds = seconds;
+  phases_.push_back(std::move(phase));
+}
+
+void BenchReporter::set_metric(const std::string& name, double value) {
+  metrics_[name] = value;
+}
+
+std::string BenchReporter::to_json() const {
+  const char* fast = std::getenv("ROPUS_BENCH_FAST");
+  json::Writer w;
+  w.begin_object();
+  w.key("bench").value(name_);
+  w.key("git_describe").value(obs::build_git_describe());
+  w.key("weeks").value(weeks_from_env());
+  w.key("fast").value(fast != nullptr && fast[0] == '1');
+  w.key("wall_seconds").value(obs::monotonic_seconds() - start_seconds_);
+  w.key("peak_rss_kb").value(static_cast<std::int64_t>(obs::peak_rss_kb()));
+  w.key("phases").begin_array();
+  for (const BenchPhase& p : phases_) {
+    w.begin_object();
+    w.key("name").value(p.name);
+    w.key("seconds").value(p.seconds);
+    if (p.ops_per_sec.has_value()) w.key("ops_per_sec").value(*p.ops_per_sec);
+    if (p.iterations != 0) w.key("iterations").value(p.iterations);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("metrics").begin_object();
+  for (const auto& [name, value] : metrics_) w.key(name).value(value);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::filesystem::path BenchReporter::write() const {
+  std::filesystem::path dir = ".";
+  if (const char* env = std::getenv("ROPUS_BENCH_OUT_DIR")) {
+    if (env[0] != '\0') dir = env;
+  }
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path path = dir / ("BENCH_" + name_ + ".json");
+  io::write_file_atomic(path, to_json());
+  return path;
 }
 
 std::vector<qos::WorkloadAllocations> case_study_multi(

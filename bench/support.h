@@ -4,9 +4,16 @@
 // (4 weeks).
 #pragma once
 
+#include <cstdint>
+#include <filesystem>
+#include <map>
 #include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "placement/consolidator.h"
 #include "qos/requirements.h"
 #include "qos/workload_allocations.h"
@@ -36,5 +43,60 @@ placement::ConsolidationConfig bench_consolidation(std::uint64_t seed = 1);
 std::vector<qos::WorkloadAllocations> case_study_multi(
     std::size_t weeks, const qos::Requirement& req,
     const qos::CosCommitment& cos2);
+
+/// One timed phase of a bench run. `seconds` is the phase wall time;
+/// `ops_per_sec` and `iterations` are optional throughput detail for
+/// steady-state phases (0 / unset for one-shot phases).
+struct BenchPhase {
+  std::string name;
+  double seconds = 0.0;
+  std::optional<double> ops_per_sec;
+  std::uint64_t iterations = 0;
+};
+
+/// Collects phases and scalar results for one bench binary and writes them
+/// as machine-readable BENCH_<name>.json (schema: docs/observability.md)
+/// next to the working directory, or into $ROPUS_BENCH_OUT_DIR when set.
+/// The document also records the build identity (git describe), the weeks /
+/// fast-mode knobs, total wall time, and peak RSS, so a CI artifact alone
+/// identifies what ran and what it cost.
+class BenchReporter {
+ public:
+  /// `name` is the bench binary's short name ("micro_perf", ...).
+  explicit BenchReporter(std::string name);
+
+  void add_phase(BenchPhase phase);
+  /// Convenience for one-shot phases timed by the caller.
+  void add_phase(std::string name, double seconds);
+
+  /// Extra scalar results ("servers_used", "p95_violation_hours", ...).
+  void set_metric(const std::string& name, double value);
+
+  std::string to_json() const;
+
+  /// Writes BENCH_<name>.json atomically; returns the path written.
+  std::filesystem::path write() const;
+
+ private:
+  std::string name_;
+  double start_seconds_ = 0.0;
+  std::vector<BenchPhase> phases_;
+  std::map<std::string, double> metrics_;
+};
+
+/// Times `fn()` and records it as a phase on `reporter`, passing the
+/// callable's result (if any) through.
+template <typename Fn>
+auto timed_phase(BenchReporter& reporter, std::string name, Fn&& fn) {
+  const double start = obs::monotonic_seconds();
+  if constexpr (std::is_void_v<decltype(fn())>) {
+    fn();
+    reporter.add_phase(std::move(name), obs::monotonic_seconds() - start);
+  } else {
+    auto result = fn();
+    reporter.add_phase(std::move(name), obs::monotonic_seconds() - start);
+    return result;
+  }
+}
 
 }  // namespace ropus::bench

@@ -39,6 +39,7 @@ const char* t_label(const std::optional<double>& t) {
 int main() {
   using namespace ropus;
 
+  bench::BenchReporter reporter("table1_consolidation");
   const std::size_t weeks = bench::weeks_from_env();
   const auto demands = bench::case_study(weeks);
   const auto pool = sim::homogeneous_pool(13, 16);
@@ -61,9 +62,18 @@ int main() {
     const qos::CosCommitment cos2{c.theta, deadline_min};
     const auto allocations = qos::build_allocations(demands, req, cos2);
     const placement::PlacementProblem problem(allocations, pool, cos2);
-    const placement::ConsolidationReport report = placement::consolidate(
-        problem, bench::bench_consolidation(static_cast<std::uint64_t>(c.id)));
+    const std::string tag = "case/" + std::to_string(c.id);
+    const placement::ConsolidationReport report =
+        bench::timed_phase(reporter, tag, [&] {
+          return placement::consolidate(
+              problem,
+              bench::bench_consolidation(static_cast<std::uint64_t>(c.id)));
+        });
     reports.push_back(report);
+    reporter.set_metric(tag + ".servers_used",
+                        static_cast<double>(report.servers_used));
+    reporter.set_metric(tag + ".required_capacity",
+                        report.total_required_capacity);
 
     const double savings =
         report.total_peak_allocation > 0.0
@@ -115,7 +125,8 @@ int main() {
   cfg.normal = bench::bench_consolidation(4);
   cfg.failure = bench::bench_consolidation(5);
   const failover::FailurePlanner planner(demands, app_qos, commitments, pool);
-  const failover::FailoverReport fr = planner.plan(cfg);
+  const failover::FailoverReport fr = bench::timed_phase(
+      reporter, "failover_plan", [&] { return planner.plan(cfg); });
 
   std::cout << "  normal mode servers: " << fr.normal.servers_used << "\n";
   for (const auto& o : fr.outcomes) {
@@ -129,5 +140,6 @@ int main() {
                                 : "no spare server needed (paper: failure "
                                   "QoS lets 7 survivors carry the fleet)")
             << "\n";
+  std::cout << "wrote " << reporter.write().string() << "\n";
   return 0;
 }

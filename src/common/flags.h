@@ -34,6 +34,10 @@ class Flags {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Every parsed --name=value pair, name-sorted (std::map order). Used by
+  /// run manifests to record the exact invocation.
+  const std::map<std::string, std::string>& all() const { return values_; }
+
   /// Names of parsed flags that are not in `allowed`; callers reject typos.
   std::vector<std::string> unknown_flags(
       std::span<const std::string> allowed) const;

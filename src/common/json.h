@@ -1,11 +1,18 @@
-// Minimal streaming JSON writer (no external dependencies). Produces
-// compact, valid JSON; commas and nesting are managed by a state stack and
-// misuse (value without a key inside an object, unbalanced close) throws
-// InternalError at the call site rather than emitting garbage.
+// Minimal JSON support (no external dependencies).
+//
+//  * Writer: streaming writer producing compact, valid JSON; commas and
+//    nesting are managed by a state stack and misuse (value without a key
+//    inside an object, unbalanced close) throws InternalError at the call
+//    site rather than emitting garbage.
+//  * parse/Value: a small recursive-descent parser for reading documents
+//    back — round-tripping metric snapshots, run manifests and BENCH_*.json
+//    in tests and tooling. Malformed input throws IoError with an offset.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace ropus::json {
@@ -44,5 +51,51 @@ class Writer {
   bool pending_key_ = false;
   bool done_ = false;
 };
+
+/// A parsed JSON value. Objects keep member order; duplicate keys keep the
+/// last occurrence on lookup (like most parsers).
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw IoError when the value has another type.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& as_array() const;
+  const std::vector<std::pair<std::string, Value>>& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+  /// Object member that must exist; throws IoError when absent.
+  const Value& at(std::string_view key) const;
+
+  static Value null();
+  static Value boolean(bool b);
+  static Value number(double n);
+  static Value string(std::string s);
+  static Value array(std::vector<Value> items);
+  static Value object(std::vector<std::pair<std::string, Value>> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing content
+/// is an error). Throws IoError with a byte offset on malformed input.
+Value parse(std::string_view text);
 
 }  // namespace ropus::json

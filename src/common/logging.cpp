@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace ropus::log {
@@ -30,6 +31,23 @@ const char* level_name(Level level) {
 void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
 
 Level level() { return g_level.load(std::memory_order_relaxed); }
+
+std::optional<Level> parse_level(std::string_view name) {
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  if (name == "off") return Level::kOff;
+  return std::nullopt;
+}
+
+void init_level_from_env() {
+  const char* env = std::getenv("ROPUS_LOG");
+  if (env == nullptr) return;
+  if (const auto parsed = parse_level(env); parsed.has_value()) {
+    set_level(*parsed);
+  }
+}
 
 void write(Level lvl, const std::string& message) {
   if (lvl < level()) return;

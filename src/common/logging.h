@@ -2,8 +2,12 @@
 // zero cost when the level is filtered out before formatting.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace ropus::log {
 
@@ -13,6 +17,44 @@ enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// tests and benches unless explicitly enabled).
 void set_level(Level level);
 Level level();
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-sensitive);
+/// nullopt for anything else.
+std::optional<Level> parse_level(std::string_view name);
+
+/// Applies the ROPUS_LOG environment variable when set and valid (silently
+/// keeps the current level otherwise — a bad env var must not abort a
+/// batch job). The --log-level CLI flag takes precedence by calling
+/// set_level afterwards.
+void init_level_from_env();
+
+/// Rate limiter for warnings inside hot loops: allow() passes the first
+/// `burst` occurrences, then one in every `period`. Thread-safe; intended
+/// as a function-local static next to the ROPUS_LOG call it guards, so a
+/// 10^6-trial campaign logs a handful of lines instead of flooding stderr.
+class Every {
+ public:
+  constexpr Every(std::uint64_t burst, std::uint64_t period)
+      : burst_(burst), period_(period == 0 ? 1 : period) {}
+
+  bool allow() {
+    const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+    return n < burst_ || (n - burst_) % period_ == 0;
+  }
+
+  /// Occurrences allow() has declined so far.
+  std::uint64_t suppressed() const {
+    const std::uint64_t n = count_.load(std::memory_order_relaxed);
+    if (n <= burst_) return 0;
+    const std::uint64_t tail = n - burst_;
+    return tail - (tail + period_ - 1) / period_;
+  }
+
+ private:
+  std::uint64_t burst_;
+  std::uint64_t period_;
+  std::atomic<std::uint64_t> count_{0};
+};
 
 /// Emit a single log record. Prefer the ROPUS_LOG macro below.
 void write(Level level, const std::string& message);

@@ -6,6 +6,8 @@
 #include "common/error.h"
 #include "common/json.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "placement/baselines.h"
 #include "placement/problem.h"
 #include "qos/allocation.h"
@@ -141,6 +143,26 @@ failover::FailoverReport Campaign::analytic_report(
 }
 
 CampaignResult Campaign::run(const CampaignConfig& config) const {
+  // Campaign-level observability (docs/observability.md): per-trial wall
+  // time and event volume feed --metrics-out; the counters attribute QoS
+  // loss to telemetry faults versus capacity.
+  static obs::Counter& campaigns = obs::counter("faultsim.campaigns");
+  static obs::Counter& trials_total = obs::counter("faultsim.trials");
+  static obs::Counter& tele_stale = obs::counter("faultsim.telemetry.stale");
+  static obs::Counter& tele_missing =
+      obs::counter("faultsim.telemetry.missing");
+  static obs::Counter& tele_corrupt =
+      obs::counter("faultsim.telemetry.corrupt");
+  static obs::Counter& fallback_activations =
+      obs::counter("faultsim.fallback_activations");
+  static obs::Histogram& trial_seconds =
+      obs::histogram("faultsim.trial_seconds");
+  static obs::Histogram& trial_events =
+      obs::histogram("faultsim.trial.events",
+                     obs::Histogram::Options{0.5, 1e7, 256});
+  campaigns.add(1);
+  obs::ScopedSpan campaign_span("faultsim.campaign");
+
   config.validate();
   CampaignResult result;
   result.config = config;
@@ -173,7 +195,17 @@ CampaignResult Campaign::run(const CampaignConfig& config) const {
 
   SplitMix64 seeder(config.seed);
   for (std::size_t t = 0; t < config.trials; ++t) {
+    const double trial_start = obs::monotonic_seconds();
     const TrialOutcome outcome = run_trial(seeder.next(), config);
+    trial_seconds.record(obs::monotonic_seconds() - trial_start);
+    trials_total.add(1);
+    trial_events.record(static_cast<double>(
+        outcome.failures + outcome.repairs + outcome.surges +
+        outcome.migrations));
+    tele_stale.add(outcome.telemetry.stale);
+    tele_missing.add(outcome.telemetry.missing);
+    tele_corrupt.add(outcome.telemetry.corrupt);
+    fallback_activations.add(outcome.telemetry.fallback_activations);
     result.total_failures += outcome.failures;
     result.total_repairs += outcome.repairs;
     result.total_surges += outcome.surges;

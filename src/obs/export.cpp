@@ -1,0 +1,138 @@
+#include "obs/export.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/file_io.h"
+#include "common/json.h"
+
+namespace ropus::obs {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, ptr);
+}
+
+void histogram_fields(json::Writer& w, const HistogramSnapshot& h) {
+  w.key("count").value(h.count);
+  w.key("sum").value(h.sum);
+  w.key("mean").value(h.mean());
+  w.key("min").value(h.min);
+  w.key("max").value(h.max);
+  w.key("p50").value(h.p50);
+  w.key("p95").value(h.p95);
+  w.key("p99").value(h.p99);
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "ropus_";
+  for (const char c : name) {
+    const bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+    out.push_back(word ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snapshot) {
+  json::Writer w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : snapshot.counters) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : snapshot.histograms) {
+    w.key(name).begin_object();
+    histogram_fields(w, h);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string to_csv(const Snapshot& snapshot) {
+  std::string out = "metric,kind,stat,value\n";
+  const auto row = [&out](const std::string& name, const char* kind,
+                          const char* stat, const std::string& value) {
+    out += name;
+    out += ',';
+    out += kind;
+    out += ',';
+    out += stat;
+    out += ',';
+    out += value;
+    out += '\n';
+  };
+  for (const auto& [name, value] : snapshot.counters) {
+    row(name, "counter", "value", std::to_string(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    row(name, "gauge", "value", format_double(value));
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    row(name, "histogram", "count", std::to_string(h.count));
+    row(name, "histogram", "sum", format_double(h.sum));
+    row(name, "histogram", "mean", format_double(h.mean()));
+    row(name, "histogram", "min", format_double(h.min));
+    row(name, "histogram", "max", format_double(h.max));
+    row(name, "histogram", "p50", format_double(h.p50));
+    row(name, "histogram", "p95", format_double(h.p95));
+    row(name, "histogram", "p99", format_double(h.p99));
+  }
+  return out;
+}
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + format_double(value) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " summary\n";
+    out += prom + "{quantile=\"0.5\"} " + format_double(h.p50) + "\n";
+    out += prom + "{quantile=\"0.95\"} " + format_double(h.p95) + "\n";
+    out += prom + "{quantile=\"0.99\"} " + format_double(h.p99) + "\n";
+    out += prom + "_sum " + format_double(h.sum) + "\n";
+    out += prom + "_count " + std::to_string(h.count) + "\n";
+    out += prom + "_max " + format_double(h.max) + "\n";
+  }
+  return out;
+}
+
+void write_snapshot(const std::filesystem::path& path,
+                    const Snapshot& snapshot) {
+  const std::string ext = path.extension().string();
+  std::string content;
+  if (ext == ".json") {
+    content = to_json(snapshot) + "\n";
+  } else if (ext == ".csv") {
+    content = to_csv(snapshot);
+  } else {
+    content = to_prometheus(snapshot);
+  }
+  io::write_file_atomic(path, content);
+}
+
+}  // namespace ropus::obs

@@ -1,0 +1,32 @@
+// Exporters for metric snapshots: JSON (machine-readable, parses back via
+// common/json), CSV (one row per metric/statistic), and the Prometheus text
+// exposition format (for scrape-style collection). All three render the
+// same Snapshot, so every number is available in every format.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ropus::obs {
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+/// mean, min, max, p50, p95, p99}}}. Deterministic: entries are
+/// name-sorted.
+std::string to_json(const Snapshot& snapshot);
+
+/// Rows of `metric,kind,stat,value` with a header.
+std::string to_csv(const Snapshot& snapshot);
+
+/// Prometheus text format. Metric names are sanitized ('.' and '-' become
+/// '_') and prefixed "ropus_"; histograms export _count/_sum plus
+/// quantile-labelled gauges.
+std::string to_prometheus(const Snapshot& snapshot);
+
+/// Writes a snapshot atomically, choosing the format from the extension:
+/// .json, .csv, or anything else (.prom, .txt) as Prometheus text.
+void write_snapshot(const std::filesystem::path& path,
+                    const Snapshot& snapshot);
+
+}  // namespace ropus::obs

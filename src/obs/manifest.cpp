@@ -1,0 +1,96 @@
+#include "obs/manifest.h"
+
+#include "common/file_io.h"
+#include "common/json.h"
+#include "obs/export.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace ropus::obs {
+
+std::string build_git_describe() {
+#ifdef ROPUS_GIT_DESCRIBE
+  return ROPUS_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::int64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(usage.ru_maxrss / 1024);  // bytes there
+#else
+  return static_cast<std::int64_t>(usage.ru_maxrss);  // already kB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::string to_json(const RunManifest& manifest, const Snapshot* metrics) {
+  json::Writer w;
+  w.begin_object();
+  w.key("tool").value(manifest.tool);
+  w.key("command").value(manifest.command);
+  w.key("flags").begin_object();
+  for (const auto& [name, value] : manifest.flags) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.key("positional").begin_array();
+  for (const std::string& p : manifest.positional) w.value(p);
+  w.end_array();
+  if (manifest.seed.has_value()) {
+    w.key("seed").value(static_cast<std::int64_t>(*manifest.seed));
+  } else {
+    w.key("seed").null();
+  }
+  w.key("git_describe").value(manifest.git_describe);
+  w.key("wall_seconds").value(manifest.wall_seconds);
+  w.key("peak_rss_kb").value(manifest.peak_rss_kb);
+  w.key("exit_code").value(std::int64_t{manifest.exit_code});
+  if (metrics != nullptr) {
+    // Re-render the snapshot inline rather than splicing strings, so the
+    // document stays balanced by construction.
+    w.key("metrics").begin_object();
+    w.key("counters").begin_object();
+    for (const auto& [name, value] : metrics->counters) {
+      w.key(name).value(value);
+    }
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& [name, value] : metrics->gauges) {
+      w.key(name).value(value);
+    }
+    w.end_object();
+    w.key("histograms").begin_object();
+    for (const auto& [name, h] : metrics->histograms) {
+      w.key(name).begin_object();
+      w.key("count").value(h.count);
+      w.key("sum").value(h.sum);
+      w.key("mean").value(h.mean());
+      w.key("min").value(h.min);
+      w.key("max").value(h.max);
+      w.key("p50").value(h.p50);
+      w.key("p95").value(h.p95);
+      w.key("p99").value(h.p99);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+void write_manifest(const std::filesystem::path& path,
+                    const RunManifest& manifest, const Snapshot* metrics) {
+  io::write_file_atomic(path, to_json(manifest, metrics) + "\n");
+}
+
+}  // namespace ropus::obs

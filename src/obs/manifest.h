@@ -1,0 +1,50 @@
+// Run manifests: one JSON document per tool invocation capturing everything
+// needed to reproduce the run — command, flags, positional arguments, seed,
+// build identity — plus what it cost (wall time, peak RSS) and the final
+// metric snapshot. ropus_cli writes one when --run-manifest=<path> is given;
+// benches embed the same build/cost fields in their BENCH_*.json.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ropus::obs {
+
+struct RunManifest {
+  /// Producing binary ("ropus_cli", "ablation_faultsim", ...).
+  std::string tool;
+  /// Subcommand, empty when the tool has none.
+  std::string command;
+  /// Parsed --name=value flags, name-sorted for determinism.
+  std::vector<std::pair<std::string, std::string>> flags;
+  std::vector<std::string> positional;
+  /// The RNG seed in effect, when the run had one.
+  std::optional<std::uint64_t> seed;
+  std::string git_describe;
+  double wall_seconds = 0.0;
+  std::int64_t peak_rss_kb = 0;
+  int exit_code = 0;
+};
+
+/// Build identity baked in at configure time (`git describe --always
+/// --dirty`), or "unknown" when the source tree had no git metadata.
+std::string build_git_describe();
+
+/// Peak resident set size of this process in kB (0 where unsupported).
+std::int64_t peak_rss_kb();
+
+/// Manifest JSON; when `metrics` is non-null the snapshot is embedded under
+/// a "metrics" key so the manifest alone documents what the run measured.
+std::string to_json(const RunManifest& manifest, const Snapshot* metrics);
+
+/// Writes the manifest atomically.
+void write_manifest(const std::filesystem::path& path,
+                    const RunManifest& manifest, const Snapshot* metrics);
+
+}  // namespace ropus::obs

@@ -1,0 +1,93 @@
+// Scoped span tracing with parent-child nesting.
+//
+// A span is a named wall-clock interval. ScopedSpan opens one on
+// construction and closes it on destruction; spans opened while another is
+// active on the same thread become its children, so the collected records
+// reconstruct the call tree (faultsim.campaign -> faultsim.trial ->
+// wlm.run_event_schedule -> ...).
+//
+// Collection is off by default: an inactive ScopedSpan costs one relaxed
+// atomic load and no clock reads, so instrumentation can stay compiled into
+// release binaries. When enabled (e.g. by ropus_cli --trace-out), finished
+// spans are appended to a bounded global buffer; overflow increments a
+// dropped counter instead of growing without limit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ropus::obs {
+
+/// A closed span. `parent` is the id of the enclosing span on the same
+/// thread, or -1 for a root. Times come from the monotonic clock.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t id = 0;
+  std::int64_t parent = -1;
+  std::uint32_t depth = 0;
+  std::uint64_t thread = 0;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  bool enabled() const;
+  void set_enabled(bool enabled);
+
+  /// Maximum records retained; further spans are counted as dropped.
+  void set_capacity(std::size_t capacity);
+
+  std::vector<SpanRecord> records() const;
+  std::uint64_t dropped() const;
+
+  /// Discards all collected records and the dropped count.
+  void clear();
+
+  // Implementation interface for ScopedSpan.
+  void append(SpanRecord record);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> records_;
+  std::size_t capacity_ = 1 << 18;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  friend class ScopedSpan;
+};
+
+/// RAII span handle. The name must outlive the span (string literals do).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan();
+
+ private:
+  std::string_view name_;
+  std::uint64_t id_ = 0;
+  std::int64_t saved_parent_ = -1;
+  std::uint32_t depth_ = 0;
+  double start_ = 0.0;
+  bool active_ = false;
+};
+
+/// Serializes span records as a Chrome trace-event JSON document (load it
+/// in chrome://tracing or Perfetto). Records are emitted in start order.
+std::string trace_to_json(std::span<const SpanRecord> records);
+
+/// Writes the global tracer's records to `path` atomically.
+void write_trace_json(const std::filesystem::path& path);
+
+}  // namespace ropus::obs

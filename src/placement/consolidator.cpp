@@ -1,6 +1,8 @@
 #include "placement/consolidator.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace ropus::placement {
 
@@ -22,6 +24,13 @@ ConsolidationReport report_from(const PlacementModel& model,
 ConsolidationReport consolidate(const PlacementModel& model,
                                 const Assignment& initial,
                                 const ConsolidationConfig& config) {
+  static obs::Counter& calls = obs::counter("placement.consolidate.calls");
+  static obs::Histogram& seconds =
+      obs::histogram("placement.consolidate.seconds");
+  calls.add(1);
+  obs::ScopedSpan span("placement.consolidate");
+  obs::ScopedTimer timer(seconds);
+
   std::vector<Assignment> seeds{initial};
   if (config.seed_with_ffd) {
     if (auto greedy = model.greedy_seed()) {

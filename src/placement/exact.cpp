@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace ropus::placement {
 
@@ -99,9 +101,18 @@ struct SearchState {
 
 ExactResult exact_min_servers(const PlacementProblem& problem,
                               std::size_t node_limit) {
+  static obs::Counter& searches = obs::counter("placement.exact.searches");
+  static obs::Counter& nodes = obs::counter("placement.exact.nodes");
+  static obs::Histogram& search_seconds =
+      obs::histogram("placement.exact.search_seconds");
+  searches.add(1);
+  obs::ScopedSpan span("placement.exact_min_servers");
+  obs::ScopedTimer timer(search_seconds);
+
   SearchState state(problem, node_limit);
   state.dfs(0);
   state.best.exhausted = !state.aborted;
+  nodes.add(state.best.nodes_explored);
   return state.best;
 }
 

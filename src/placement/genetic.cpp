@@ -5,6 +5,8 @@
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace ropus::placement {
 
@@ -146,6 +148,19 @@ GeneticResult genetic_search(const PlacementModel& problem,
 GeneticResult genetic_search(const PlacementModel& problem,
                              std::span<const Assignment> seeds,
                              const GeneticConfig& config) {
+  // Solver-effort metrics: how many generations and candidate evaluations
+  // a search costs, and how long it runs end to end.
+  static obs::Counter& searches = obs::counter("placement.genetic.searches");
+  static obs::Counter& generations_total =
+      obs::counter("placement.genetic.generations");
+  static obs::Counter& evaluations =
+      obs::counter("placement.genetic.evaluations");
+  static obs::Histogram& search_seconds =
+      obs::histogram("placement.genetic.search_seconds");
+  searches.add(1);
+  obs::ScopedSpan span("placement.genetic_search");
+  obs::ScopedTimer timer(search_seconds);
+
   config.validate();
   ROPUS_REQUIRE(!seeds.empty(), "genetic search needs at least one seed");
   for (const Assignment& seed : seeds) {
@@ -158,11 +173,13 @@ GeneticResult genetic_search(const PlacementModel& problem,
   }
   Rng rng(config.seed);
 
-  auto make_individual = [&problem, &config](Assignment genes) {
+  std::size_t evals = 0;  // batched into the evaluations counter on return
+  auto make_individual = [&problem, &config, &evals](Assignment genes) {
     Individual ind;
     ind.genes = std::move(genes);
     ind.eval = problem.evaluate(ind.genes);
     ind.fitness = fitness_of(ind.genes, ind.eval, config);
+    evals += 1;
     return ind;
   };
 
@@ -226,6 +243,7 @@ GeneticResult genetic_search(const PlacementModel& problem,
       // Shape-aware mutation needs the child's evaluation; server-subset
       // memoization keeps the extra evaluation cheap.
       const PlacementEvaluation pre = problem.evaluate(genes);
+      evals += 1;
       if (!pre.feasible) {
         relief_mutation(problem, genes, pre, rng);
       } else if (rng.bernoulli(config.vacate_rate)) {
@@ -247,6 +265,8 @@ GeneticResult genetic_search(const PlacementModel& problem,
       break;
     }
   }
+  generations_total.add(result.generations);
+  evaluations.add(evals);
   return result;
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
 
 namespace ropus::qos {
 
@@ -49,6 +50,11 @@ namespace {
 Translation translate_impl(const trace::DemandTrace& demand,
                            const Requirement& req, const CosCommitment& cos2,
                            bool apply_time_limit) {
+  static obs::Counter& calls = obs::counter("qos.translate.calls");
+  static obs::Histogram& seconds = obs::histogram("qos.translate.seconds");
+  calls.add(1);
+  obs::ScopedTimer timer(seconds);
+
   req.validate();
   cos2.validate();
 

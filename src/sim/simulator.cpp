@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace ropus::sim {
 
@@ -12,6 +13,18 @@ namespace {
 // Tolerance for "CoS1 exceeds capacity" so that a required capacity found by
 // binary search is not rejected for a few ULPs on re-evaluation.
 constexpr double kCapacityEps = 1e-9;
+
+// Instrumentation (docs/observability.md): the replay slot loop and the
+// capacity search dominate every solver and bench, so their volume is
+// tracked with per-call relaxed counters — cheap enough for the hot path.
+obs::Counter& evaluate_calls() {
+  static obs::Counter& c = obs::counter("sim.evaluate.calls");
+  return c;
+}
+obs::Counter& evaluate_slots() {
+  static obs::Counter& c = obs::counter("sim.evaluate.slots");
+  return c;
+}
 }  // namespace
 
 Aggregate aggregate_workloads(
@@ -47,6 +60,8 @@ Evaluation evaluate(const Aggregate& agg, double capacity,
   cos2.validate();
   Evaluation ev;
   if (agg.empty()) return ev;
+  evaluate_calls().add(1);
+  evaluate_slots().add(agg.calendar.size());
 
   const trace::Calendar& cal = agg.calendar;
   const std::size_t deadline_slots = cal.observations_in(cos2.deadline_minutes);
@@ -165,6 +180,11 @@ RequiredCapacity required_capacity(const Aggregate& agg, double limit,
                                    double tolerance) {
   ROPUS_REQUIRE(limit >= 0.0, "capacity limit must be >= 0");
   ROPUS_REQUIRE(tolerance > 0.0, "tolerance must be > 0");
+  static obs::Counter& searches = obs::counter("sim.required_capacity.searches");
+  static obs::Histogram& seconds =
+      obs::histogram("sim.required_capacity.seconds");
+  searches.add(1);
+  obs::ScopedTimer timer(seconds);
   RequiredCapacity result;
   if (agg.empty()) {
     result.fits = true;

@@ -6,11 +6,20 @@
 #include <string>
 
 #include "common/csv.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace ropus::trace {
 
 void write_traces_csv(const std::filesystem::path& path,
                       std::span<const DemandTrace> traces) {
+  static obs::Counter& files = obs::counter("trace.write.files");
+  static obs::Counter& rows = obs::counter("trace.write.rows");
+  static obs::Histogram& seconds = obs::histogram("trace.write.seconds");
+  files.add(1);
+  obs::ScopedSpan span("trace.write_traces_csv");
+  obs::ScopedTimer timer(seconds);
+
   ROPUS_REQUIRE(!traces.empty(), "nothing to write");
   const Calendar& cal = traces.front().calendar();
   for (const DemandTrace& t : traces) {
@@ -33,16 +42,25 @@ void write_traces_csv(const std::filesystem::path& path,
     }
     doc.rows.push_back(std::move(row));
   }
+  rows.add(doc.rows.size());
   csv::write_file(path, doc);
 }
 
 std::vector<DemandTrace> read_traces_csv(const std::filesystem::path& path) {
+  static obs::Counter& files = obs::counter("trace.read.files");
+  static obs::Counter& rows = obs::counter("trace.read.rows");
+  static obs::Histogram& seconds = obs::histogram("trace.read.seconds");
+  files.add(1);
+  obs::ScopedSpan span("trace.read_traces_csv");
+  obs::ScopedTimer timer(seconds);
+
   const csv::Document doc = csv::read_file(path, /*has_header=*/true);
   if (doc.header.size() < 4) {
     throw IoError("trace CSV needs week,day,slot plus at least one workload: " +
                   path.string());
   }
   if (doc.rows.empty()) throw IoError("trace CSV has no data: " + path.string());
+  rows.add(doc.rows.size());
 
   // csv::to_double rejects non-numeric text but reports only row/column;
   // prefix the file so a malformed field in a batch job is traceable.

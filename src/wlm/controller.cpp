@@ -4,8 +4,23 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace ropus::wlm {
+
+namespace {
+// Rate limiters for the degraded-telemetry warnings: a long fault campaign
+// hits these paths millions of times, so log the first few and then sample.
+log::Every& corrupt_warn_limiter() {
+  static log::Every limiter(5, 10000);
+  return limiter;
+}
+log::Every& fallback_warn_limiter() {
+  static log::Every limiter(5, 10000);
+  return limiter;
+}
+}  // namespace
 
 void DegradedModeConfig::validate() const {
   ROPUS_REQUIRE(decay_intervals >= 1, "decay intervals must be >= 1");
@@ -100,6 +115,11 @@ AllocationRequest Controller::fallback_request() const {
 }
 
 AllocationRequest Controller::observe(const Observation& obs) {
+  // Fully qualified: the `obs` parameter shadows the ropus::obs namespace.
+  static ropus::obs::Counter& corrupt_total =
+      ropus::obs::counter("wlm.controller.corrupt_observations");
+  static ropus::obs::Counter& fallback_total =
+      ropus::obs::counter("wlm.controller.fallback_activations");
   const ObservationClass cls = classify(obs);
   health_.intervals += 1;
   bool usable = false;
@@ -118,6 +138,13 @@ AllocationRequest Controller::observe(const Observation& obs) {
       break;
     case ObservationClass::kCorrupt:
       health_.corrupt += 1;
+      corrupt_total.add(1);
+      if (corrupt_warn_limiter().allow()) {
+        ROPUS_LOG(kWarn) << "controller rejected corrupt telemetry (value "
+                         << obs.value << ", suppressed "
+                         << corrupt_warn_limiter().suppressed()
+                         << " similar warnings)";
+      }
       break;
   }
 
@@ -126,7 +153,15 @@ AllocationRequest Controller::observe(const Observation& obs) {
     return step_measurement(obs.value);
   }
 
-  if (consecutive_degraded_ == 0) health_.fallback_activations += 1;
+  if (consecutive_degraded_ == 0) {
+    health_.fallback_activations += 1;
+    fallback_total.add(1);
+    if (fallback_warn_limiter().allow()) {
+      ROPUS_LOG(kWarn) << "controller entered telemetry fallback (suppressed "
+                       << fallback_warn_limiter().suppressed()
+                       << " similar warnings)";
+    }
+  }
   consecutive_degraded_ += 1;
   health_.fallback_intervals += 1;
   health_.longest_blackout =

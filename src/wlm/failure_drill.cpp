@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace ropus::wlm {
 
@@ -45,6 +47,15 @@ ScheduleResult run_event_schedule(std::span<const trace::DemandTrace> demands,
                                   std::span<const OutageWindow> outages,
                                   Policy policy,
                                   const ScheduleTelemetry& telemetry) {
+  static obs::Counter& runs = obs::counter("wlm.schedule.runs");
+  static obs::Counter& slots = obs::counter("wlm.schedule.slots");
+  static obs::Counter& phase_count = obs::counter("wlm.schedule.phases");
+  static obs::Histogram& run_seconds = obs::histogram("wlm.schedule.seconds");
+  runs.add(1);
+  phase_count.add(phases.size());
+  obs::ScopedSpan obs_span("wlm.run_event_schedule");
+  obs::ScopedTimer obs_timer(run_seconds);
+
   const std::size_t n = demands.size();
   ROPUS_REQUIRE(n >= 1, "schedule needs workloads");
   ROPUS_REQUIRE(normal.size() == n && failure.size() == n,
@@ -54,6 +65,7 @@ ScheduleResult run_event_schedule(std::span<const trace::DemandTrace> demands,
   for (const trace::DemandTrace& d : demands) {
     ROPUS_REQUIRE(d.calendar() == cal, "traces must share a calendar");
   }
+  slots.add(cal.size());
   ROPUS_REQUIRE(!phases.empty(), "schedule needs at least one phase");
   ROPUS_REQUIRE(phases.front().start_slot == 0,
                 "the first phase must start at slot 0");

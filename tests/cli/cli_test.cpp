@@ -10,6 +10,7 @@
 #include <iterator>
 #include <sstream>
 
+#include "common/json.h"
 #include "trace/trace_io.h"
 
 namespace ropus::cli {
@@ -390,6 +391,66 @@ TEST_F(CliTest, BacktestNeedsAHoldout) {
   EXPECT_EQ(run_cli(args({"backtest", ("--traces=" + traces_).c_str(),
                           "--servers=4"})),
             1);
+}
+
+
+TEST_F(CliTest, GlobalObservabilityFlagsWriteJsonOutputs) {
+  generate_traces();
+  const std::string metrics = (dir_ / "m.json").string();
+  const std::string manifest = (dir_ / "run.json").string();
+  const std::string trace = (dir_ / "t.json").string();
+  const int code = run_cli(
+      args({"faultsim", ("--traces=" + traces_).c_str(), "--trials=3",
+            "--seed=7", "--mtbf=500", "--mttr=4",
+            ("--metrics-out=" + metrics).c_str(),
+            ("--run-manifest=" + manifest).c_str(),
+            ("--trace-out=" + trace).c_str()}));
+  EXPECT_TRUE(code == 0 || code == 2) << err_.str();
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  };
+
+  const json::Value m = json::parse(slurp(metrics));
+  const json::Value& trial_seconds =
+      m.at("histograms").at("faultsim.trial_seconds");
+  EXPECT_GE(trial_seconds.at("count").as_number(), 3.0);
+  EXPECT_GT(trial_seconds.at("max").as_number(), 0.0);
+  EXPECT_GE(m.at("counters").at("faultsim.trials").as_number(), 3.0);
+
+  const json::Value r = json::parse(slurp(manifest));
+  EXPECT_EQ(r.at("command").as_string(), "faultsim");
+  EXPECT_DOUBLE_EQ(r.at("seed").as_number(), 7.0);
+  EXPECT_EQ(r.at("flags").at("trials").as_string(), "3");
+  EXPECT_GE(r.at("wall_seconds").as_number(), 0.0);
+  EXPECT_FALSE(r.at("git_describe").as_string().empty());
+  // The manifest embeds the same metric snapshot for one-file provenance.
+  EXPECT_GE(r.at("metrics")
+                .at("histograms")
+                .at("faultsim.trial_seconds")
+                .at("count")
+                .as_number(),
+            3.0);
+
+  const json::Value t = json::parse(slurp(trace));
+  EXPECT_FALSE(t.at("traceEvents").as_array().empty());
+}
+
+TEST_F(CliTest, LogLevelFlagAccepted) {
+  generate_traces();
+  EXPECT_EQ(run_cli(args({"analyze", ("--traces=" + traces_).c_str(),
+                          "--log-level=debug"})),
+            0)
+      << err_.str();
+}
+
+TEST_F(CliTest, LogLevelRejectsUnknownValue) {
+  generate_traces();
+  EXPECT_EQ(run_cli(args({"analyze", ("--traces=" + traces_).c_str(),
+                          "--log-level=chatty"})),
+            1);
+  EXPECT_NE(err_.str().find("log-level"), std::string::npos);
 }
 
 }  // namespace

@@ -104,5 +104,65 @@ TEST(Json, TopLevelScalarAllowed) {
   EXPECT_EQ(Writer().value("lone").str(), R"("lone")");
 }
 
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse("-3.25e2").as_number(), -325.0);
+  EXPECT_EQ(parse(R"("hi")").as_string(), "hi");
+}
+
+TEST(JsonParse, NestedDocument) {
+  const Value v = parse(R"({"a": [1, 2.5, "x"], "b": {"c": true}})");
+  ASSERT_TRUE(v.is_object());
+  const auto& a = v.at("a").as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(a[1].as_number(), 2.5);
+  EXPECT_EQ(a[2].as_string(), "x");
+  EXPECT_TRUE(v.at("b").at("c").as_bool());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("q\" b\\ n\n t\t uA")").as_string(),
+            "q\" b\\ n\n t\t uA");
+  // Non-ASCII BMP escapes come back UTF-8 encoded.
+  EXPECT_EQ(parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParse, WriterOutputRoundTrips) {
+  Writer w;
+  w.begin_object();
+  w.key("n").value(0.5);
+  w.key("s").value("quote\" slash\\");
+  w.key("list").begin_array().value(std::int64_t{1}).null().end_array();
+  w.end_object();
+  const Value v = parse(w.str());
+  EXPECT_DOUBLE_EQ(v.at("n").as_number(), 0.5);
+  EXPECT_EQ(v.at("s").as_string(), "quote\" slash\\");
+  EXPECT_TRUE(v.at("list").as_array()[1].is_null());
+}
+
+TEST(JsonParse, MalformedThrowsIoError) {
+  EXPECT_THROW(parse(""), IoError);
+  EXPECT_THROW(parse("{"), IoError);
+  EXPECT_THROW(parse("[1,]"), IoError);
+  EXPECT_THROW(parse(R"({"a" 1})"), IoError);
+  EXPECT_THROW(parse("tru"), IoError);
+  EXPECT_THROW(parse("1 2"), IoError);  // trailing content
+  EXPECT_THROW(parse(R"("\ud800")"), IoError);  // lone surrogate
+}
+
+TEST(JsonParse, TypedAccessorMismatchThrows) {
+  EXPECT_THROW(parse("1").as_string(), IoError);
+  EXPECT_THROW(parse(R"("x")").as_number(), IoError);
+  EXPECT_THROW(parse("[]").at("k"), IoError);
+}
+
+TEST(JsonParse, DuplicateKeysKeepLast) {
+  EXPECT_DOUBLE_EQ(parse(R"({"k": 1, "k": 2})").at("k").as_number(), 2.0);
+}
+
 }  // namespace
 }  // namespace ropus::json

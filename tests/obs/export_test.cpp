@@ -1,0 +1,140 @@
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+
+namespace ropus::obs {
+namespace {
+
+/// A small hand-built snapshot so the exporters can be checked without
+/// depending on which instrumented code ran before this test.
+Snapshot sample_snapshot() {
+  Snapshot snap;
+  snap.counters.emplace_back("export.alpha", 3);
+  snap.counters.emplace_back("export.beta-dash", 12);
+  snap.gauges.emplace_back("export.gauge", 1.5);
+  HistogramSnapshot h;
+  h.count = 4;
+  h.sum = 1.0;
+  h.min = 0.1;
+  h.max = 0.4;
+  h.p50 = 0.2;
+  h.p95 = 0.35;
+  h.p99 = 0.4;
+  snap.histograms.emplace_back("export.hist", h);
+  return snap;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Export, JsonRoundTripsThroughParser) {
+  const std::string text = to_json(sample_snapshot());
+  const json::Value doc = json::parse(text);
+
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("export.alpha").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("export.beta-dash").as_number(),
+                   12.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("export.gauge").as_number(), 1.5);
+  const json::Value& h = doc.at("histograms").at("export.hist");
+  EXPECT_DOUBLE_EQ(h.at("count").as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(h.at("sum").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(h.at("mean").as_number(), 0.25);
+  EXPECT_DOUBLE_EQ(h.at("min").as_number(), 0.1);
+  EXPECT_DOUBLE_EQ(h.at("max").as_number(), 0.4);
+  EXPECT_DOUBLE_EQ(h.at("p50").as_number(), 0.2);
+  EXPECT_DOUBLE_EQ(h.at("p95").as_number(), 0.35);
+  EXPECT_DOUBLE_EQ(h.at("p99").as_number(), 0.4);
+}
+
+TEST(Export, CsvHasHeaderAndOneRowPerStat) {
+  const std::string text = to_csv(sample_snapshot());
+  EXPECT_EQ(text.substr(0, text.find('\n')), "metric,kind,stat,value");
+  EXPECT_NE(text.find("export.alpha,counter,value,3"), std::string::npos);
+  EXPECT_NE(text.find("export.gauge,gauge,value,1.5"), std::string::npos);
+  EXPECT_NE(text.find("export.hist,histogram,p95,"), std::string::npos);
+}
+
+TEST(Export, PrometheusSanitizesNamesAndEmitsSummaries) {
+  const std::string text = to_prometheus(sample_snapshot());
+  // '.' and '-' both become '_', and everything gets the ropus_ prefix.
+  EXPECT_NE(text.find("ropus_export_alpha 3"), std::string::npos);
+  EXPECT_NE(text.find("ropus_export_beta_dash 12"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ropus_export_alpha counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("ropus_export_hist_count 4"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.95\""), std::string::npos);
+}
+
+TEST(Export, WriteSnapshotPicksFormatFromExtension) {
+  const auto dir = std::filesystem::temp_directory_path() / "ropus_export_test";
+  std::filesystem::create_directories(dir);
+  const Snapshot snap = sample_snapshot();
+
+  write_snapshot(dir / "m.json", snap);
+  EXPECT_NO_THROW(json::parse(slurp(dir / "m.json")));
+
+  write_snapshot(dir / "m.csv", snap);
+  EXPECT_EQ(slurp(dir / "m.csv").rfind("metric,kind,stat,value", 0), 0u);
+
+  write_snapshot(dir / "m.prom", snap);
+  EXPECT_NE(slurp(dir / "m.prom").find("# TYPE"), std::string::npos);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Manifest, JsonEmbedsMetricsAndFlags) {
+  RunManifest manifest;
+  manifest.tool = "ropus_cli";
+  manifest.command = "faultsim";
+  manifest.flags.emplace_back("seed", "7");
+  manifest.flags.emplace_back("trials", "20");
+  manifest.positional.push_back("extra");
+  manifest.seed = 7;
+  manifest.git_describe = "test-describe";
+  manifest.wall_seconds = 1.25;
+  manifest.peak_rss_kb = 4096;
+  manifest.exit_code = 2;
+
+  const Snapshot snap = sample_snapshot();
+  const json::Value doc = json::parse(to_json(manifest, &snap));
+  EXPECT_EQ(doc.at("tool").as_string(), "ropus_cli");
+  EXPECT_EQ(doc.at("command").as_string(), "faultsim");
+  EXPECT_EQ(doc.at("flags").at("seed").as_string(), "7");
+  EXPECT_EQ(doc.at("positional").as_array()[0].as_string(), "extra");
+  EXPECT_DOUBLE_EQ(doc.at("seed").as_number(), 7.0);
+  EXPECT_EQ(doc.at("git_describe").as_string(), "test-describe");
+  EXPECT_DOUBLE_EQ(doc.at("wall_seconds").as_number(), 1.25);
+  EXPECT_DOUBLE_EQ(doc.at("peak_rss_kb").as_number(), 4096.0);
+  EXPECT_DOUBLE_EQ(doc.at("exit_code").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(
+      doc.at("metrics").at("counters").at("export.alpha").as_number(), 3.0);
+}
+
+TEST(Manifest, NullMetricsOmitsTheKey) {
+  RunManifest manifest;
+  manifest.tool = "bench";
+  const json::Value doc = json::parse(to_json(manifest, nullptr));
+  EXPECT_EQ(doc.find("metrics"), nullptr);
+  // A run without a seed must not claim one.
+  EXPECT_TRUE(doc.find("seed") == nullptr || doc.at("seed").is_null());
+}
+
+TEST(Manifest, BuildInfoIsAvailable) {
+  EXPECT_FALSE(build_git_describe().empty());
+  EXPECT_GE(peak_rss_kb(), 0);
+}
+
+}  // namespace
+}  // namespace ropus::obs

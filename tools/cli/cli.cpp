@@ -1,8 +1,15 @@
 #include "cli/cli.h"
 
+#include <optional>
+
 #include "cli/commands.h"
 #include "common/error.h"
 #include "common/flags.h"
+#include "common/logging.h"
+#include "obs/export.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace ropus::cli {
 
@@ -39,8 +46,81 @@ void usage(std::ostream& os) {
         "  backtest     out-of-sample commitment check      "
         "(--traces= [--train-weeks=W-1])\n"
         "\n"
+        "global flags (every command, see docs/observability.md):\n"
+        "  --metrics-out=<path>   write the final metric snapshot "
+        "(.json/.csv/.prom by extension)\n"
+        "  --trace-out=<path>     collect spans, write Chrome trace-event "
+        "JSON\n"
+        "  --run-manifest=<path>  write a reproducibility manifest (command, "
+        "flags, seed,\n"
+        "                         git describe, wall time, peak RSS, "
+        "metrics)\n"
+        "  --log-level=<level>    debug|info|warn|error|off (overrides "
+        "ROPUS_LOG)\n"
+        "\n"
         "common QoS flags default to the paper's case study: U_low=0.5,\n"
         "U_high=0.66, U_degr=0.9, M=97, theta=0.95, deadline=60.\n";
+}
+
+/// Runs the named command, or nullopt for an unknown command name.
+std::optional<int> dispatch(const std::string& command, const Flags& flags,
+                            std::ostream& out, std::ostream& err) {
+  if (command == "generate") return cmd_generate(flags, out, err);
+  if (command == "analyze") return cmd_analyze(flags, out, err);
+  if (command == "translate") return cmd_translate(flags, out, err);
+  if (command == "consolidate") return cmd_consolidate(flags, out, err);
+  if (command == "failover") return cmd_failover(flags, out, err);
+  if (command == "faultsim") return cmd_faultsim(flags, out, err);
+  if (command == "wlm") return cmd_wlm(flags, out, err);
+  if (command == "forecast") return cmd_forecast(flags, out, err);
+  if (command == "plan") return cmd_plan(flags, out, err);
+  if (command == "whatif") return cmd_whatif(flags, out, err);
+  if (command == "backtest") return cmd_backtest(flags, out, err);
+  return std::nullopt;
+}
+
+/// Applies --log-level (flag wins over the ROPUS_LOG environment variable).
+void apply_log_level(const Flags& flags) {
+  log::init_level_from_env();
+  if (const auto level = flags.get("log-level")) {
+    const auto parsed = log::parse_level(*level);
+    ROPUS_REQUIRE(parsed.has_value(),
+                  "--log-level must be debug, info, warn, error or off (got '" +
+                      *level + "')");
+    log::set_level(*parsed);
+  }
+}
+
+/// Emits the observability outputs after the command body finished. Runs
+/// for every normal return — including domain exits like faultsim's
+/// "unsupported trials" code 2 — so a failing run still documents itself.
+void write_run_outputs(const std::string& command, const Flags& flags,
+                       int exit_code, double wall_seconds) {
+  const auto metrics_out = flags.get("metrics-out");
+  const auto trace_out = flags.get("trace-out");
+  const auto manifest_out = flags.get("run-manifest");
+  if (!metrics_out && !trace_out && !manifest_out) return;
+
+  const obs::Snapshot snapshot = obs::Registry::global().snapshot();
+  if (metrics_out) obs::write_snapshot(*metrics_out, snapshot);
+  if (trace_out) obs::write_trace_json(*trace_out);
+  if (manifest_out) {
+    obs::RunManifest manifest;
+    manifest.tool = "ropus_cli";
+    manifest.command = command;
+    for (const auto& [name, value] : flags.all()) {
+      manifest.flags.emplace_back(name, value);
+    }
+    manifest.positional = flags.positional();
+    if (flags.has("seed")) {
+      manifest.seed = static_cast<std::uint64_t>(flags.get_size("seed", 0));
+    }
+    manifest.git_describe = obs::build_git_describe();
+    manifest.wall_seconds = wall_seconds;
+    manifest.peak_rss_kb = obs::peak_rss_kb();
+    manifest.exit_code = exit_code;
+    obs::write_manifest(*manifest_out, manifest, &snapshot);
+  }
 }
 }  // namespace
 
@@ -53,20 +133,18 @@ int run(std::span<const std::string> args, std::ostream& out,
   const std::string& command = args[0];
   try {
     const Flags flags(args.subspan(1));
-    if (command == "generate") return cmd_generate(flags, out, err);
-    if (command == "analyze") return cmd_analyze(flags, out, err);
-    if (command == "translate") return cmd_translate(flags, out, err);
-    if (command == "consolidate") return cmd_consolidate(flags, out, err);
-    if (command == "failover") return cmd_failover(flags, out, err);
-    if (command == "faultsim") return cmd_faultsim(flags, out, err);
-    if (command == "wlm") return cmd_wlm(flags, out, err);
-    if (command == "forecast") return cmd_forecast(flags, out, err);
-    if (command == "plan") return cmd_plan(flags, out, err);
-    if (command == "whatif") return cmd_whatif(flags, out, err);
-    if (command == "backtest") return cmd_backtest(flags, out, err);
-    err << "unknown command: " << command << "\n\n";
-    usage(err);
-    return 1;
+    apply_log_level(flags);
+    if (flags.has("trace-out")) obs::Tracer::global().set_enabled(true);
+
+    const double start = obs::monotonic_seconds();
+    const std::optional<int> rc = dispatch(command, flags, out, err);
+    if (!rc.has_value()) {
+      err << "unknown command: " << command << "\n\n";
+      usage(err);
+      return 1;
+    }
+    write_run_outputs(command, flags, *rc, obs::monotonic_seconds() - start);
+    return *rc;
   } catch (const InvalidArgument& e) {
     err << "error: " << e.what() << "\n";
     return 1;

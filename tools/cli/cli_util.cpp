@@ -40,7 +40,12 @@ qos::CosCommitment cos2_from_flags(const Flags& flags) {
 
 bool check_flags(const Flags& flags, std::span<const std::string> allowed,
                  std::ostream& err) {
-  const auto unknown = flags.unknown_flags(allowed);
+  // Observability flags are global: run() handles them for every command,
+  // so no per-command allowed list needs to repeat them.
+  std::vector<std::string> all(allowed.begin(), allowed.end());
+  all.insert(all.end(),
+             {"metrics-out", "trace-out", "run-manifest", "log-level"});
+  const auto unknown = flags.unknown_flags(all);
   for (const std::string& name : unknown) {
     err << "unknown flag: --" << name << "\n";
   }
