@@ -19,11 +19,14 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "placement/genetic.h"
 #include "placement/problem.h"
 #include "qos/allocation.h"
+#include "qos/translation.h"
 #include "sim/simulator.h"
 #include "support.h"
+#include "wlm/failure_drill.h"
 
 namespace {
 
@@ -136,6 +139,51 @@ void report(const BenchRun& run, bench::BenchReporter& reporter) {
   reporter.set_metric(run.name + ".median_us", run.median_seconds * 1e6);
 }
 
+/// Event-schedule replay, bare vs with the flight recorder at stride 1 —
+/// the overhead gate for the recorder's hot-path design (the recording is
+/// ring-bounded and never finish()ed, so no I/O is timed). Kept out of
+/// main() (and never inlined) so its code and locals cannot perturb the
+/// layout of the other phases' timing loops.
+[[gnu::noinline]] void bench_recorder_overhead(bench::BenchReporter& reporter) {
+  const std::size_t n = 8;
+  const std::span<const trace::DemandTrace> fleet(demands().data(), n);
+  const qos::Requirement req2 = bench::paper_requirement(97.0, 30.0);
+  std::vector<qos::Translation> normal;
+  for (std::size_t a = 0; a < n; ++a) {
+    normal.push_back(qos::translate(demands()[a], req2, cos2()));
+  }
+  const auto pool = sim::homogeneous_pool(4, 16);
+  wlm::SchedulePhase phase;
+  phase.start_slot = 0;
+  phase.failure_mode.assign(n, false);
+  phase.down.assign(pool.size(), false);
+  for (std::size_t a = 0; a < n; ++a) phase.hosts.push_back(a % pool.size());
+  const std::vector<wlm::SchedulePhase> phases{phase};
+  const auto run_schedule = [&] {
+    do_not_optimize(wlm::run_event_schedule(fleet, normal, normal, pool,
+                                            phases, {}, wlm::Policy::kReactive));
+  };
+  const BenchRun bare =
+      run_bench("wlm_schedule", fleet.front().size() * n, run_schedule);
+  report(bare, reporter);
+
+  obs::RecorderConfig rec_cfg;
+  rec_cfg.path = "bench-recorder-scratch.bin";  // never written (no finish)
+  rec_cfg.stride = 1;
+  rec_cfg.ring_records = 1u << 16;
+  obs::Recorder recorder(rec_cfg);
+  obs::Recorder::set_active(&recorder);
+  const BenchRun recorded = run_bench(
+      "wlm_schedule/recorded", fleet.front().size() * n, run_schedule);
+  obs::Recorder::set_active(nullptr);
+  report(recorded, reporter);
+  reporter.set_metric("recorder_overhead_pct",
+                      bare.min_seconds > 0.0
+                          ? (recorded.min_seconds / bare.min_seconds - 1.0) *
+                                100.0
+                          : 0.0);
+}
+
 }  // namespace
 
 int main() {
@@ -192,6 +240,8 @@ int main() {
            }),
            reporter);
   }
+
+  bench_recorder_overhead(reporter);
 
   const std::filesystem::path out = reporter.write();
   std::printf("wrote %s\n", out.string().c_str());

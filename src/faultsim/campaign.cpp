@@ -7,6 +7,7 @@
 #include "common/json.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/span.h"
 #include "placement/baselines.h"
 #include "placement/problem.h"
@@ -194,7 +195,11 @@ CampaignResult Campaign::run(const CampaignConfig& config) const {
   blackout.reserve(config.trials);
 
   SplitMix64 seeder(config.seed);
+  obs::Recorder* const rec = obs::Recorder::active();
   for (std::size_t t = 0; t < config.trials; ++t) {
+    // Trials run sequentially, so stamping the global recorder's section is
+    // race-free; every record of this trial's replay carries its index.
+    if (rec != nullptr) rec->set_section(static_cast<std::uint16_t>(t));
     const double trial_start = obs::monotonic_seconds();
     const TrialOutcome outcome = run_trial(seeder.next(), config);
     trial_seconds.record(obs::monotonic_seconds() - trial_start);

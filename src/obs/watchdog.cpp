@@ -1,0 +1,376 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace ropus::obs {
+
+namespace {
+
+// Identical to wlm::check_compliance's slack: a hair of tolerance absorbs
+// grant-scaling rounding at exactly U_high / U_degr. Changing one without
+// the other breaks the streaming-vs-batch bit-for-bit guarantee.
+constexpr double kRelEps = 1e-9;
+
+// A long campaign can breach thousands of times; log the first few per
+// kind, then sample (mirrors the controller-warning pattern). Declined
+// lines are counted in the registry, so nothing disappears silently.
+log::Every& alert_limiter(AlertKind kind) {
+  static log::Every band(5, 1000);
+  static log::Every tdegr(5, 1000);
+  static log::Every theta(5, 1000);
+  static log::Every cos1(5, 1000);
+  switch (kind) {
+    case AlertKind::kBandBudget: return band;
+    case AlertKind::kTDegr: return tdegr;
+    case AlertKind::kTheta: return theta;
+    case AlertKind::kCos1Overcommit: return cos1;
+  }
+  return band;
+}
+
+obs::Counter& alert_counter(AlertKind kind) {
+  static obs::Counter& band = obs::counter("watchdog.alerts.band_budget");
+  static obs::Counter& tdegr = obs::counter("watchdog.alerts.t_degr");
+  static obs::Counter& theta = obs::counter("watchdog.alerts.theta");
+  static obs::Counter& cos1 = obs::counter("watchdog.alerts.cos1_overcommit");
+  switch (kind) {
+    case AlertKind::kBandBudget: return band;
+    case AlertKind::kTDegr: return tdegr;
+    case AlertKind::kTheta: return theta;
+    case AlertKind::kCos1Overcommit: return cos1;
+  }
+  return band;
+}
+
+}  // namespace
+
+const char* alert_kind_name(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kBandBudget: return "band_budget";
+    case AlertKind::kTDegr: return "t_degr";
+    case AlertKind::kTheta: return "theta";
+    case AlertKind::kCos1Overcommit: return "cos1_overcommit";
+  }
+  return "unknown";
+}
+
+std::string describe(const Alert& alert) {
+  char buf[192];
+  const char* app = alert.app == kPoolApp ? "pool" : "app";
+  const char* severity =
+      alert.severity == AlertSeverity::kCritical ? "critical" : "warning";
+  switch (alert.kind) {
+    case AlertKind::kBandBudget:
+      std::snprintf(buf, sizeof(buf),
+                    "%s %u: degraded fraction %.2f%% exceeds the %.2f%% "
+                    "M_degr budget from slot %u [%s]",
+                    app, alert.app, alert.value, alert.threshold,
+                    alert.first_slot, severity);
+      break;
+    case AlertKind::kTDegr:
+      std::snprintf(buf, sizeof(buf),
+                    "%s %u: contiguous degraded run of %.0f min exceeds "
+                    "T_degr %.0f min from slot %u [%s]",
+                    app, alert.app, alert.value, alert.threshold,
+                    alert.first_slot, severity);
+      break;
+    case AlertKind::kTheta:
+      std::snprintf(buf, sizeof(buf),
+                    "pool: theta group ratio %.4f fell below target %.4f at "
+                    "slot %u (section %u) [%s]",
+                    alert.value, alert.threshold, alert.first_slot,
+                    alert.section, severity);
+      break;
+    case AlertKind::kCos1Overcommit:
+      std::snprintf(buf, sizeof(buf),
+                    "%s %u: CoS1 overcommitted (granted/requested %.4f) "
+                    "from slot %u [%s]",
+                    app, alert.app, alert.value, alert.first_slot, severity);
+      break;
+  }
+  return buf;
+}
+
+Watchdog::Watchdog(WatchdogConfig config) : config_(config) {
+  if (config_.band_warmup_slots == 0) {
+    config_.band_warmup_slots = config_.slots_per_day;
+  }
+  if (config_.stride == 0) config_.stride = 1;
+}
+
+std::ptrdiff_t Watchdog::emit(Alert alert) {
+  static obs::Counter& suppressed = obs::counter("watchdog.alerts_suppressed");
+  alert_counter(alert.kind).add(1);
+
+  Tracer& tracer = Tracer::global();
+  if (tracer.enabled()) {
+    SpanRecord span;
+    span.name = std::string("watchdog.alert.") + alert_kind_name(alert.kind);
+    span.start_seconds = monotonic_seconds();
+    tracer.append(std::move(span));
+  }
+
+  log::Every& limiter = alert_limiter(alert.kind);
+  if (limiter.allow()) {
+    ROPUS_LOG(kWarn) << "watchdog: " << describe(alert) << " (suppressed "
+                     << limiter.suppressed() << " similar alerts)";
+  } else {
+    suppressed.add(1);
+  }
+
+  if (alerts_.size() >= config_.max_alerts) {
+    alerts_dropped_ += 1;
+    return -1;
+  }
+  alerts_.push_back(alert);
+  return static_cast<std::ptrdiff_t>(alerts_.size() - 1);
+}
+
+void Watchdog::end_run(ModeState& mode) {
+  mode.run = 0;
+  mode.tdegr_active = false;
+  mode.open_tdegr = -1;
+}
+
+void Watchdog::classify(ModeState& mode, const SlotRecord& r,
+                        const SloBand& band) {
+  // Replicates wlm::check_range_impl exactly — see the kRelEps note above.
+  mode.counts.intervals += 1;
+  if (r.demand <= 0.0) {
+    mode.counts.idle += 1;
+    end_run(mode);
+    return;
+  }
+  const double u = r.granted > 0.0
+                       ? r.demand / r.granted
+                       : std::numeric_limits<double>::infinity();
+  const bool on_fallback = r.has(SlotRecord::kFallback);
+  if (u <= band.u_high * (1.0 + kRelEps)) {
+    mode.counts.acceptable += 1;
+    end_run(mode);
+    return;
+  }
+  if (u <= band.u_degr * (1.0 + kRelEps)) {
+    mode.counts.degraded += 1;
+    if (on_fallback) mode.counts.degraded_telemetry += 1;
+  } else {
+    mode.counts.violating += 1;
+    if (on_fallback) mode.counts.violating_telemetry += 1;
+  }
+  mode.run += 1;
+  mode.longest = std::max(mode.longest, mode.run);
+  mode.counts.longest_degraded_minutes =
+      static_cast<double>(mode.longest) * config_.minutes_per_sample;
+
+  if (band.t_degr_minutes <= 0.0) return;
+  const double run_minutes =
+      static_cast<double>(mode.run) * config_.minutes_per_sample;
+  if (run_minutes <= band.t_degr_minutes) return;  // exactly-at-bound is ok
+  if (!mode.tdegr_active) {
+    mode.tdegr_active = true;
+    Alert alert;
+    alert.kind = AlertKind::kTDegr;
+    alert.severity = AlertSeverity::kCritical;
+    alert.app = r.app;
+    alert.section = r.section;
+    alert.failure_mode = r.has(SlotRecord::kFailureMode);
+    alert.first_slot = r.slot - static_cast<std::uint32_t>(
+                                    (mode.run - 1) * config_.stride);
+    alert.duration_slots = static_cast<std::uint32_t>(mode.run);
+    alert.value = run_minutes;
+    alert.threshold = band.t_degr_minutes;
+    mode.open_tdegr = emit(alert);
+  } else if (mode.open_tdegr >= 0) {
+    Alert& open = alerts_[static_cast<std::size_t>(mode.open_tdegr)];
+    open.duration_slots = static_cast<std::uint32_t>(mode.run);
+    open.value = run_minutes;
+  }
+}
+
+void Watchdog::check_band_budget(ModeState& mode, const SlotRecord& r,
+                                 const SloBand& band) {
+  if (mode.band_alerted) return;
+  const std::size_t active = mode.counts.intervals - mode.counts.idle;
+  if (active < config_.band_warmup_slots) return;
+  const double fraction_pct = mode.counts.degraded_fraction() * 100.0;
+  if (fraction_pct <= band.m_degr_percent()) return;
+  mode.band_alerted = true;
+  Alert alert;
+  alert.kind = AlertKind::kBandBudget;
+  alert.severity = AlertSeverity::kWarning;
+  alert.app = r.app;
+  alert.section = r.section;
+  alert.failure_mode = r.has(SlotRecord::kFailureMode);
+  alert.first_slot = r.slot;
+  alert.value = fraction_pct;
+  alert.threshold = band.m_degr_percent();
+  emit(alert);
+}
+
+void Watchdog::check_overcommit(AppState& app, const SlotRecord& r) {
+  // CoS1 is the guaranteed class and is served first; a total grant below
+  // the CoS1 request means the guarantee itself was scaled back. Silent
+  // slots (unhosted, migration outage) are unserved demand, not overcommit.
+  const bool silent =
+      r.has(SlotRecord::kUnhosted) || r.has(SlotRecord::kOutage);
+  const bool breach =
+      !silent && r.cos1 > 0.0 && r.granted < r.cos1 * (1.0 - kRelEps);
+  if (!breach) {
+    app.overcommit_active = false;
+    app.open_overcommit = -1;
+    return;
+  }
+  const double ratio = r.granted / r.cos1;
+  const bool contiguous =
+      app.overcommit_active &&
+      r.slot == app.last_overcommit_slot + config_.stride;
+  app.last_overcommit_slot = r.slot;
+  if (!contiguous) {
+    app.overcommit_active = true;
+    Alert alert;
+    alert.kind = AlertKind::kCos1Overcommit;
+    alert.severity = AlertSeverity::kCritical;
+    alert.app = r.app;
+    alert.section = r.section;
+    alert.failure_mode = r.has(SlotRecord::kFailureMode);
+    alert.first_slot = r.slot;
+    alert.duration_slots = 1;
+    alert.value = ratio;
+    alert.threshold = 1.0;
+    app.open_overcommit = emit(alert);
+    return;
+  }
+  if (app.open_overcommit >= 0) {
+    Alert& open = alerts_[static_cast<std::size_t>(app.open_overcommit)];
+    open.duration_slots += 1;
+    open.value = std::min(open.value, ratio);
+  }
+}
+
+void Watchdog::update_theta(const SlotRecord& r) {
+  const bool pool = r.app == kPoolApp;
+  ThetaSection& section =
+      (pool ? theta_pool_ : theta_app_)[r.section];
+  const std::size_t slots_per_week = 7 * config_.slots_per_day;
+  const std::size_t group = (r.slot / slots_per_week) * config_.slots_per_day +
+                            (r.slot % config_.slots_per_day);
+  if (group >= section.requested.size()) {
+    section.requested.resize(group + 1, 0.0);
+    section.satisfied.resize(group + 1, 0.0);
+  }
+  const double before_req = section.requested[group];
+  const double before =
+      before_req > 0.0 ? section.satisfied[group] / before_req : 1.0;
+  section.requested[group] += r.cos2;
+  section.satisfied[group] += r.satisfied2;
+  const double after = section.requested[group] > 0.0
+                           ? section.satisfied[group] / section.requested[group]
+                           : 1.0;
+  // Only the exact pool sums alert; per-app estimates merely report.
+  if (pool && after < config_.theta && before >= config_.theta) {
+    Alert alert;
+    alert.kind = AlertKind::kTheta;
+    alert.severity = AlertSeverity::kWarning;
+    alert.app = kPoolApp;
+    alert.section = r.section;
+    alert.first_slot = r.slot;
+    alert.value = after;
+    alert.threshold = config_.theta;
+    emit(alert);
+  }
+}
+
+void Watchdog::observe(const SlotRecord& r) {
+  if (r.app == kPoolApp) {
+    // Band occupancy and overcommit are per-application contracts; the
+    // aggregate feeds the pool-level theta statistic only.
+    update_theta(r);
+    return;
+  }
+  AppState& app = apps_[r.app];
+  if (!app.seen || app.section != r.section) {
+    // A new trial (or evaluation pass) is a new world: no run crosses it.
+    end_run(app.mode[0]);
+    end_run(app.mode[1]);
+    app.overcommit_active = false;
+    app.open_overcommit = -1;
+    app.section = r.section;
+    app.seen = true;
+  }
+  const bool failure = r.has(SlotRecord::kFailureMode);
+  ModeState& current = app.mode[failure ? 1 : 0];
+  ModeState& other = app.mode[failure ? 0 : 1];
+  // For the other mode this slot is masked out, which ends any run — the
+  // same rule wlm::check_compliance_masked applies.
+  end_run(other);
+  const SloBand& band = failure ? config_.failure : config_.normal;
+  classify(current, r, band);
+  check_band_budget(current, r, band);
+  check_overcommit(app, r);
+  update_theta(r);
+}
+
+void Watchdog::finish() {
+  if (finished_) return;
+  finished_ = true;
+  // Open runs (a breach spanning end-of-trace) keep their alerts; the
+  // durations written during streaming are already final.
+  for (auto& [id, app] : apps_) {
+    end_run(app.mode[0]);
+    end_run(app.mode[1]);
+    app.overcommit_active = false;
+    app.open_overcommit = -1;
+  }
+}
+
+std::vector<std::uint16_t> Watchdog::apps() const {
+  std::vector<std::uint16_t> ids;
+  ids.reserve(apps_.size());
+  for (const auto& [id, state] : apps_) ids.push_back(id);
+  return ids;  // std::map: ascending; kPoolApp (0xFFFF) sorts last
+}
+
+const BandReport* Watchdog::report(std::uint16_t app,
+                                   bool failure_mode) const {
+  const auto it = apps_.find(app);
+  if (it == apps_.end()) return nullptr;
+  const ModeState& mode = it->second.mode[failure_mode ? 1 : 0];
+  if (mode.counts.intervals == 0) return nullptr;
+  return &mode.counts;
+}
+
+double Watchdog::theta() const {
+  double theta = 1.0;
+  for (const auto& [section, state] : theta_sections()) {
+    // Ascending-group min with the same arithmetic as sim::evaluate.
+    for (std::size_t g = 0; g < state.requested.size(); ++g) {
+      if (state.requested[g] <= 0.0) continue;
+      theta = std::min(theta, state.satisfied[g] / state.requested[g]);
+    }
+  }
+  return theta;
+}
+
+std::vector<Watchdog::ThetaPoint> Watchdog::theta_trajectory() const {
+  const auto& sections = theta_sections();
+  std::vector<ThetaPoint> points;
+  points.reserve(sections.size());
+  for (const auto& [section, state] : sections) {
+    ThetaPoint point;
+    point.section = section;
+    for (std::size_t g = 0; g < state.requested.size(); ++g) {
+      if (state.requested[g] <= 0.0) continue;
+      point.theta = std::min(point.theta, state.satisfied[g] / state.requested[g]);
+    }
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace ropus::obs

@@ -1,0 +1,205 @@
+// Online SLO watchdog: streaming estimators over a flight-recorder stream.
+//
+// The paper's QoS contracts are time-series statements — U_low <= U_alloc
+// <= U_high for M% of slots, contiguous degraded runs bounded by T_degr,
+// and a CoS2 access probability theta measured as a min over (week,
+// slot-of-day) groups. The watchdog maintains exactly those statistics
+// *while records stream past*, emitting typed alerts at the first breach
+// instead of waiting for a run-end report.
+//
+// Exactness: the band classification replicates wlm::check_compliance's
+// arithmetic (same 1e-9 relative slack, same idle/run-reset rules, same
+// branch order), and the theta estimator replicates sim::evaluate's group
+// sums in slot order — so on a stride-1 recording the final reports match
+// the batch results bit for bit (tests/obs/watchdog_test.cpp holds this).
+//
+// Layering: obs depends only on common, so the thresholds arrive as plain
+// numbers (SloBand) rather than qos::Requirement; `ropus_cli report`
+// bridges the two.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.h"
+
+namespace ropus::obs {
+
+/// The band thresholds of one qos::Requirement, as plain numbers.
+struct SloBand {
+  double u_high = 0.66;
+  double u_degr = 0.9;
+  double m_percent = 97.0;
+  /// Max contiguous degraded minutes; <= 0 means unconstrained.
+  double t_degr_minutes = 0.0;
+
+  /// The M_degr budget: percent of active slots allowed above U_high.
+  double m_degr_percent() const { return 100.0 - m_percent; }
+};
+
+struct WatchdogConfig {
+  SloBand normal;
+  /// Band judged for records flagged SlotRecord::kFailureMode.
+  SloBand failure;
+  /// Pool CoS2 access-probability target.
+  double theta = 0.95;
+  double minutes_per_sample = 5.0;
+  std::size_t slots_per_day = 288;
+  /// Recording stride (so degraded-run start slots come out right).
+  std::size_t stride = 1;
+  /// Active slots per (app, mode) before the M% band-occupancy estimator
+  /// may alert; 0 = one day. Too-early fractions are all noise.
+  std::size_t band_warmup_slots = 0;
+  /// Alerts retained; overflow is counted, not stored.
+  std::size_t max_alerts = 4096;
+};
+
+enum class AlertKind : std::uint8_t {
+  kBandBudget,      // degraded fraction exceeded the M_degr budget
+  kTDegr,           // contiguous degraded run exceeded T_degr
+  kTheta,           // a (week, slot) group's ratio fell below theta
+  kCos1Overcommit,  // guaranteed allocation not fully granted
+};
+
+enum class AlertSeverity : std::uint8_t { kWarning, kCritical };
+
+const char* alert_kind_name(AlertKind kind);
+
+struct Alert {
+  AlertKind kind = AlertKind::kBandBudget;
+  AlertSeverity severity = AlertSeverity::kWarning;
+  std::uint16_t app = 0;       // kPoolApp for pool-level (theta) alerts
+  std::uint16_t section = 0;
+  bool failure_mode = false;
+  std::uint32_t first_slot = 0;      // first breaching slot
+  std::uint32_t duration_slots = 0;  // breach length so far (recorded slots)
+  double value = 0.0;                // observed statistic at the breach
+  double threshold = 0.0;            // the bound it crossed
+};
+
+/// One-line human description (app referenced by id; `ropus_cli report`
+/// substitutes names from the recording).
+std::string describe(const Alert& alert);
+
+/// Per (app, mode) band attainment — field-for-field the counts of
+/// wlm::ComplianceReport, so batch and streaming results are comparable.
+struct BandReport {
+  std::size_t intervals = 0;
+  std::size_t idle = 0;
+  std::size_t acceptable = 0;
+  std::size_t degraded = 0;
+  std::size_t violating = 0;
+  std::size_t degraded_telemetry = 0;
+  std::size_t violating_telemetry = 0;
+  double longest_degraded_minutes = 0.0;
+
+  double degraded_fraction() const {
+    const std::size_t active = intervals - idle;
+    return active > 0 ? static_cast<double>(degraded + violating) /
+                            static_cast<double>(active)
+                      : 0.0;
+  }
+
+  /// Mirrors wlm::ComplianceReport::satisfies with zero slack.
+  bool ok(const SloBand& band) const {
+    if (violating > 0) return false;
+    if (degraded_fraction() * 100.0 > band.m_degr_percent()) return false;
+    if (band.t_degr_minutes > 0.0 &&
+        longest_degraded_minutes > band.t_degr_minutes) {
+      return false;
+    }
+    return true;
+  }
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogConfig config);
+
+  /// Consumes one record. Records must arrive in nondecreasing slot order
+  /// per application within a section (the natural recording order);
+  /// sections may follow each other in any order but must not interleave
+  /// per app. A section change resets every run (a new trial is a new
+  /// world). Pool-aggregate records (kPoolApp) feed only the theta
+  /// estimator — band occupancy and overcommit are per-application
+  /// statements and are not judged on the aggregate.
+  void observe(const SlotRecord& record);
+
+  /// Closes runs still open at end-of-stream (a breach spanning the end of
+  /// the trace keeps its alert; durations become final). Idempotent.
+  void finish();
+
+  /// Applications seen, ascending (kPoolApp last when present).
+  std::vector<std::uint16_t> apps() const;
+
+  /// Band attainment for (app, mode); nullptr when no such slots streamed.
+  const BandReport* report(std::uint16_t app, bool failure_mode) const;
+
+  /// Pool theta: min over sections of the per-section (week, slot) group
+  /// minimum. 1.0 when nothing requested CoS2. Pool-aggregate records (the
+  /// exact sums of sim::evaluate) are preferred; when a recording has none,
+  /// the per-app satisfied2 estimates stand in.
+  double theta() const;
+
+  /// True when theta comes from exact pool-aggregate sums rather than
+  /// per-app estimates.
+  bool theta_exact() const { return !theta_pool_.empty(); }
+
+  struct ThetaPoint {
+    std::uint16_t section = 0;
+    double theta = 1.0;
+  };
+  /// Per-section theta, ascending by section — the theta trajectory over a
+  /// faultsim campaign's trials (or an evaluation's passes).
+  std::vector<ThetaPoint> theta_trajectory() const;
+
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  /// Alerts beyond max_alerts (counted, not stored).
+  std::uint64_t alerts_dropped() const { return alerts_dropped_; }
+
+ private:
+  struct ModeState {
+    BandReport counts;
+    std::size_t run = 0;      // current degraded-or-worse run (slots)
+    std::size_t longest = 0;  // longest run (slots)
+    bool tdegr_active = false;       // current run already breached T_degr
+    std::ptrdiff_t open_tdegr = -1;  // alerts_ index, -1 when dropped/none
+    bool band_alerted = false;
+  };
+  struct AppState {
+    ModeState mode[2];  // [normal, failure]
+    bool seen = false;
+    std::uint16_t section = 0;
+    bool overcommit_active = false;
+    std::ptrdiff_t open_overcommit = -1;
+    std::uint32_t last_overcommit_slot = 0;
+  };
+  struct ThetaSection {
+    std::vector<double> requested;
+    std::vector<double> satisfied;
+  };
+
+  void end_run(ModeState& mode);
+  void classify(ModeState& mode, const SlotRecord& r, const SloBand& band);
+  void check_band_budget(ModeState& mode, const SlotRecord& r,
+                         const SloBand& band);
+  void check_overcommit(AppState& app, const SlotRecord& r);
+  void update_theta(const SlotRecord& r);
+  std::ptrdiff_t emit(Alert alert);
+
+  const std::map<std::uint16_t, ThetaSection>& theta_sections() const {
+    return theta_pool_.empty() ? theta_app_ : theta_pool_;
+  }
+
+  WatchdogConfig config_;
+  std::map<std::uint16_t, AppState> apps_;
+  std::map<std::uint16_t, ThetaSection> theta_pool_;  // exact (sim::evaluate)
+  std::map<std::uint16_t, ThetaSection> theta_app_;   // satisfied2 estimates
+  std::vector<Alert> alerts_;
+  std::uint64_t alerts_dropped_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ropus::obs

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace ropus::sim {
 
@@ -66,6 +67,16 @@ Evaluation evaluate(const Aggregate& agg, double capacity,
   const trace::Calendar& cal = agg.calendar;
   const std::size_t deadline_slots = cal.observations_in(cos2.deadline_minutes);
 
+  // Flight recording: each evaluate() call opens its own section, so the
+  // capacity search's repeated passes over the same slots stay separable in
+  // the recording. Pool-aggregate records carry the exact satisfied CoS2.
+  obs::Recorder* const rec = obs::Recorder::active();
+  if (rec != nullptr) {
+    rec->set_calendar(static_cast<double>(cal.minutes_per_sample()),
+                      cal.slots_per_day());
+    rec->begin_section();
+  }
+
   // Per (week, slot-of-day) group sums for the theta statistic.
   const std::size_t groups = cal.weeks() * cal.slots_per_day();
   std::vector<double> requested(groups, 0.0);
@@ -84,6 +95,19 @@ Evaluation evaluate(const Aggregate& agg, double capacity,
     const double s2 = agg.cos2[i];
     if (s1 > capacity + kCapacityEps) {
       ev.cos1_satisfied = false;
+      if (rec != nullptr && rec->should_record(i)) {
+        obs::SlotRecord record;
+        record.slot = static_cast<std::uint32_t>(i);
+        record.app = obs::kPoolApp;
+        record.section = rec->section();
+        record.telemetry = static_cast<std::uint8_t>(obs::TelemetryMark::kOk);
+        record.demand = s1 + s2;
+        record.cos1 = s1;
+        record.cos2 = s2;
+        record.granted = capacity;  // all of it went to (part of) CoS1
+        record.satisfied2 = 0.0;
+        rec->append(record);
+      }
       // CoS1 is the guaranteed class; once violated the placement is
       // invalid regardless of the statistics, so stop early.
       ev.theta = 0.0;
@@ -98,6 +122,20 @@ Evaluation evaluate(const Aggregate& agg, double capacity,
                               cal.slot_of(i);
     requested[group] += s2;
     satisfied[group] += sat2;
+
+    if (rec != nullptr && rec->should_record(i)) {
+      obs::SlotRecord record;
+      record.slot = static_cast<std::uint32_t>(i);
+      record.app = obs::kPoolApp;
+      record.section = rec->section();
+      record.telemetry = static_cast<std::uint8_t>(obs::TelemetryMark::kOk);
+      record.demand = s1 + s2;
+      record.cos1 = s1;
+      record.cos2 = s2;
+      record.granted = s1 + sat2;
+      record.satisfied2 = sat2;  // exact — the watchdog's theta sums match
+      rec->append(record);
+    }
 
     // Spare capacity (after serving this slot's requests) drains the oldest
     // deferred demand first.
@@ -185,6 +223,17 @@ RequiredCapacity required_capacity(const Aggregate& agg, double limit,
       obs::histogram("sim.required_capacity.seconds");
   searches.add(1);
   obs::ScopedTimer timer(seconds);
+  // The search probes capacities that are *expected* to fail (that is how a
+  // binary search works); recording those passes would flood a flight
+  // recording with pool sections whose theta says nothing about any accepted
+  // configuration. Suppress recording for the whole search — callers record
+  // a real configuration by calling evaluate() directly.
+  struct RecorderPause {
+    obs::Recorder* const rec = obs::Recorder::active();
+    RecorderPause() { obs::Recorder::set_active(nullptr); }
+    ~RecorderPause() { obs::Recorder::set_active(rec); }
+  } pause;
+
   RequiredCapacity result;
   if (agg.empty()) {
     result.fits = true;

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/span.h"
 
 namespace ropus::wlm {
@@ -116,6 +117,19 @@ ScheduleResult run_event_schedule(std::span<const trace::DemandTrace> demands,
     if (faulted) result.apps[a].fallback_slots.assign(cal.size(), false);
   }
 
+  // Flight-recorder hookup: resolve app ids once (app_id takes a mutex),
+  // then the per-slot cost is a stride check plus a thread-local append.
+  obs::Recorder* const rec = obs::Recorder::active();
+  std::vector<std::uint16_t> rec_app;
+  if (rec != nullptr) {
+    rec->set_calendar(static_cast<double>(cal.minutes_per_sample()),
+                      cal.slots_per_day());
+    rec_app.resize(n);
+    for (std::size_t a = 0; a < n; ++a) {
+      rec_app[a] = rec->app_id(demands[a].name());
+    }
+  }
+
   std::vector<AllocationRequest> requests(n);
   std::vector<double> server_cos1(pool.size());
   std::vector<double> server_cos2(pool.size());
@@ -174,6 +188,39 @@ ScheduleResult run_event_schedule(std::span<const trace::DemandTrace> demands,
         const double lost = d - result.apps[a].granted[i];
         result.apps[a].unserved_demand += lost;
         if (in_outage[a][i]) result.apps[a].outage_unserved += lost;
+      }
+    }
+
+    if (rec != nullptr && rec->should_record(i)) {
+      const std::uint16_t section = rec->section();
+      for (std::size_t a = 0; a < n; ++a) {
+        obs::SlotRecord record;
+        record.slot = static_cast<std::uint32_t>(i);
+        record.app = rec_app[a];
+        record.section = section;
+        record.demand = demands[a][i];
+        record.cos1 = requests[a].cos1;
+        record.cos2 = requests[a].cos2;
+        // `granted` is copied bit-for-bit from the schedule result, so
+        // compliance recomputed from a stride-1 recording matches the batch
+        // verdict exactly. satisfied2 is the CoS1-first estimate.
+        record.granted = result.apps[a].granted[i];
+        record.satisfied2 = std::min(
+            requests[a].cos2, std::max(0.0, record.granted - requests[a].cos1));
+        if (faulted) {
+          record.telemetry = static_cast<std::uint8_t>(
+              static_cast<int>(telemetry.observations[a][i].kind) + 1);
+          if (result.apps[a].fallback_slots[i]) {
+            record.flags |= obs::SlotRecord::kFallback;
+          }
+        } else {
+          record.telemetry =
+              static_cast<std::uint8_t>(obs::TelemetryMark::kOk);
+        }
+        if (phase.failure_mode[a]) record.flags |= obs::SlotRecord::kFailureMode;
+        if (phase.hosts[a] == kUnhosted) record.flags |= obs::SlotRecord::kUnhosted;
+        if (in_outage[a][i]) record.flags |= obs::SlotRecord::kOutage;
+        rec->append(record);
       }
     }
   }

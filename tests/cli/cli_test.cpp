@@ -3,14 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <sstream>
 
 #include "common/json.h"
+#include "obs/recorder.h"
 #include "trace/trace_io.h"
 
 namespace ropus::cli {
@@ -451,6 +454,147 @@ TEST_F(CliTest, LogLevelRejectsUnknownValue) {
                           "--log-level=chatty"})),
             1);
   EXPECT_NE(err_.str().find("log-level"), std::string::npos);
+}
+
+
+// --- flight recording (--record-out) and the report command ---
+
+TEST_F(CliTest, RecordOutFlushesOnDomainExitCodeTwo) {
+  // A demand step the reactive controller cannot anticipate: the step slot
+  // is violating, so wlm exits with the domain code 2 — and the recording
+  // must still be flushed, complete and parseable.
+  const trace::Calendar cal(1, 60);  // 168 hourly slots
+  std::vector<double> demand(cal.size(), 1.0);
+  for (std::size_t i = cal.size() / 2; i < demand.size(); ++i) demand[i] = 8.0;
+  std::vector<trace::DemandTrace> step;
+  step.emplace_back("step", cal, demand);
+  const std::string path = (dir_ / "step.csv").string();
+  trace::write_traces_csv(path, step);
+
+  const std::string rec = (dir_ / "wlm.bin").string();
+  EXPECT_EQ(run_cli(args({"wlm", ("--traces=" + path).c_str(),
+                          ("--record-out=" + rec).c_str()})),
+            2)
+      << out_.str() << err_.str();
+  const obs::Recording recording = obs::read_recording(rec);
+  EXPECT_EQ(recording.records.size(), cal.size());
+  ASSERT_EQ(recording.apps.size(), 1u);
+  EXPECT_EQ(recording.apps[0], "step");
+  EXPECT_DOUBLE_EQ(recording.minutes_per_sample, 60.0);
+}
+
+TEST_F(CliTest, RecordOutLeavesNoFileOnException) {
+  const std::string rec = (dir_ / "never.bin").string();
+  EXPECT_EQ(run_cli(args({"analyze", "--traces=/nonexistent.csv",
+                          ("--record-out=" + rec).c_str()})),
+            2);
+  EXPECT_FALSE(std::filesystem::exists(rec));
+}
+
+TEST_F(CliTest, RecordOutRejectsBadSpec) {
+  generate_traces();
+  EXPECT_EQ(run_cli(args({"analyze", ("--traces=" + traces_).c_str(),
+                          "--record-out=rec.bin:0"})),
+            1);
+}
+
+TEST_F(CliTest, FaultsimRecordingAndReportRoundTrip) {
+  generate_traces();
+  const std::string rec = (dir_ / "campaign.bin").string();
+  const int sim_code = run_cli(
+      args({"faultsim", ("--traces=" + traces_).c_str(), "--servers=4",
+            "--trials=3", "--seed=7", "--mtbf=200", "--mttr=10",
+            ("--record-out=" + rec).c_str()}));
+  EXPECT_TRUE(sim_code == 0 || sim_code == 2) << err_.str();
+
+  // Stride 1, default ring: every slot of every trial is retained.
+  const obs::Recording recording = obs::read_recording(rec);
+  EXPECT_EQ(recording.dropped, 0u);
+  EXPECT_EQ(recording.records.size(), 4u * 2016u * 3u);
+  EXPECT_EQ(recording.apps.size(), 4u);
+
+  // A hand-rolled BENCH file exercises the --bench summary table.
+  const std::string bench = (dir_ / "BENCH_unit.json").string();
+  std::ofstream(bench) << "{\"bench\":\"unit\",\"wall_seconds\":1.5,"
+                          "\"phases\":[],\"metrics\":{}}";
+
+  const std::string json_path = (dir_ / "report.json").string();
+  const int report_code = run_cli(
+      args({"report", ("--records=" + rec).c_str(),
+            ("--bench=" + bench).c_str(),
+            ("--json-out=" + json_path).c_str()}));
+  EXPECT_TRUE(report_code == 0 || report_code == 2) << err_.str();
+  EXPECT_NE(out_.str().find("SLO attainment report"), std::string::npos);
+  EXPECT_NE(out_.str().find("trajectory"), std::string::npos);
+  EXPECT_NE(out_.str().find("bench results"), std::string::npos);
+  EXPECT_NE(out_.str().find("verdict:"), std::string::npos);
+
+  std::ifstream in(json_path);
+  const json::Value doc = json::parse(std::string(
+      std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()));
+  EXPECT_EQ(doc.at("ok").as_bool(), report_code == 0);
+  const json::Value& recording_json = doc.at("recordings").as_array().at(0);
+  EXPECT_DOUBLE_EQ(recording_json.at("records").as_number(),
+                   4.0 * 2016.0 * 3.0);
+  // faultsim recordings carry per-app records only, so theta is an estimate.
+  EXPECT_FALSE(recording_json.at("theta_exact").as_bool());
+  // One theta point per trial, and at least a normal-mode attainment row
+  // per application.
+  EXPECT_EQ(recording_json.at("theta_trajectory").as_array().size(), 3u);
+  EXPECT_GE(recording_json.at("attainment").as_array().size(), 4u);
+}
+
+TEST_F(CliTest, RecordOutCsvWithStride) {
+  generate_traces();
+  const std::string rec = (dir_ / "flight.csv").string();
+  const int code = run_cli(args({"wlm", ("--traces=" + traces_).c_str(),
+                                 ("--record-out=" + rec + ":4").c_str()}));
+  EXPECT_TRUE(code == 0 || code == 2) << err_.str();
+  const obs::Recording recording = obs::read_recording(rec);
+  EXPECT_EQ(recording.format, obs::RecorderConfig::Format::kCsv);
+  EXPECT_EQ(recording.stride, 4u);
+  EXPECT_EQ(recording.records.size(), 4u * 504u);  // every 4th of 2016 slots
+
+  const int report_code = run_cli(args({"report", ("--records=" + rec).c_str()}));
+  EXPECT_TRUE(report_code == 0 || report_code == 2) << err_.str();
+  EXPECT_NE(out_.str().find("stride 4"), std::string::npos);
+  EXPECT_NE(out_.str().find("approximations"), std::string::npos);
+}
+
+TEST_F(CliTest, ReportFlagValidation) {
+  EXPECT_EQ(run_cli(args({"report"})), 1);
+  EXPECT_NE(err_.str().find("--records"), std::string::npos);
+  EXPECT_EQ(run_cli(args({"report", "--records=/nonexistent.bin"})), 2);
+  EXPECT_EQ(run_cli(args({"report", "--records=x.bin", "--recrods=y"})), 1);
+  EXPECT_NE(err_.str().find("unknown flag"), std::string::npos);
+}
+
+TEST_F(CliTest, KilledRunLeavesAbsentOrCompleteRecording) {
+  // Nothing is written before finish() and the write itself is atomic, so a
+  // SIGKILL mid-campaign must leave either no recording at all or a fully
+  // parseable one — never a truncated file.
+  generate_traces();
+  const std::string rec = (dir_ / "killed.bin").string();
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = run(
+        args({"faultsim", ("--traces=" + traces_).c_str(), "--servers=4",
+              "--trials=200", "--seed=7", "--mtbf=200", "--mttr=10",
+              ("--record-out=" + rec).c_str()}),
+        out, err);
+    ::_exit(code);
+  }
+  ::usleep(300 * 1000);  // long enough to be mid-campaign, not done
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  if (std::filesystem::exists(rec)) {
+    // The child happened to finish before the kill: the file must parse.
+    EXPECT_NO_THROW(obs::read_recording(rec));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,428 @@
+#include "obs/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "qos/requirements.h"
+#include "sim/simulator.h"
+#include "trace/calendar.h"
+#include "wlm/compliance.h"
+
+namespace ropus::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The band used throughout: the paper's default U_high/U_degr with a 3%
+/// M_degr budget and a 30-minute T_degr (6 slots at 5 min/sample).
+SloBand paper_band() { return SloBand{0.66, 0.9, 97.0, 30.0}; }
+
+qos::Requirement paper_requirement() {
+  qos::Requirement req;
+  req.u_low = 0.5;
+  req.u_high = 0.66;
+  req.u_degr = 0.9;
+  req.m_percent = 97.0;
+  req.t_degr_minutes = 30.0;
+  return req;
+}
+
+WatchdogConfig paper_config() {
+  WatchdogConfig config;
+  config.normal = paper_band();
+  config.failure = paper_band();
+  config.minutes_per_sample = 5.0;
+  config.slots_per_day = 288;
+  return config;
+}
+
+/// A record whose granted equals its CoS1 request, so only the band
+/// classification (demand vs granted) is exercised — never overcommit or
+/// theta.
+SlotRecord band_record(std::uint32_t slot, double demand, double granted,
+                       std::uint8_t flags = 0, std::uint16_t section = 0) {
+  SlotRecord r;
+  r.slot = slot;
+  r.app = 0;
+  r.section = section;
+  r.demand = demand;
+  r.cos1 = granted;
+  r.granted = granted;
+  r.flags = flags;
+  return r;
+}
+
+void expect_reports_equal(const BandReport& streaming,
+                          const wlm::ComplianceReport& batch) {
+  EXPECT_EQ(streaming.intervals, batch.intervals);
+  EXPECT_EQ(streaming.idle, batch.idle);
+  EXPECT_EQ(streaming.acceptable, batch.acceptable);
+  EXPECT_EQ(streaming.degraded, batch.degraded);
+  EXPECT_EQ(streaming.violating, batch.violating);
+  EXPECT_EQ(streaming.degraded_telemetry, batch.degraded_telemetry);
+  EXPECT_EQ(streaming.violating_telemetry, batch.violating_telemetry);
+  // Bit-for-bit, not nearly-equal: both sides multiply an integer count by
+  // the same minutes_per_sample.
+  EXPECT_EQ(streaming.longest_degraded_minutes,
+            batch.longest_degraded_minutes);
+  EXPECT_EQ(streaming.degraded_fraction(), batch.degraded_fraction());
+}
+
+/// A mixed series covering every classification: idle, acceptable, degraded,
+/// violating, and demand with a zero grant (infinite utilization).
+struct Series {
+  std::vector<double> demand;
+  std::vector<double> granted;
+};
+
+Series mixed_series(std::size_t n, std::uint64_t seed) {
+  Series s;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = rng.uniform(0.0, 1.0);
+    if (p < 0.10) {
+      s.demand.push_back(0.0);  // idle
+      s.granted.push_back(1.0);
+    } else if (p < 0.13) {
+      s.demand.push_back(0.5);  // demand with no grant: violating
+      s.granted.push_back(0.0);
+    } else {
+      s.demand.push_back(rng.uniform(0.2, 1.3));  // spans all three bands
+      s.granted.push_back(1.0);
+    }
+  }
+  return s;
+}
+
+TEST(Watchdog, StreamingMatchesBatchRangeCheck) {
+  const Series s = mixed_series(1500, 41);
+  Watchdog wd(paper_config());
+  for (std::size_t i = 0; i < s.demand.size(); ++i) {
+    wd.observe(
+        band_record(static_cast<std::uint32_t>(i), s.demand[i], s.granted[i]));
+  }
+  wd.finish();
+
+  const wlm::ComplianceReport batch = wlm::check_compliance_range(
+      s.demand, s.granted, paper_requirement(), 5.0);
+  const BandReport* streaming = wd.report(0, false);
+  ASSERT_NE(streaming, nullptr);
+  expect_reports_equal(*streaming, batch);
+  EXPECT_EQ(wd.report(0, true), nullptr);  // no failure-mode slots streamed
+  EXPECT_EQ(streaming->ok(paper_band()),
+            batch.satisfies(paper_requirement(), 0.0));
+}
+
+TEST(Watchdog, StreamingMatchesBatchMaskedByMode) {
+  // Mode alternates in stretches, the faultsim pattern: each mode's slots
+  // form a non-contiguous subset, and a masked-out slot must end the other
+  // mode's degraded run.
+  const Series s = mixed_series(1200, 42);
+  std::vector<bool> failure_mask(s.demand.size());
+  for (std::size_t i = 0; i < s.demand.size(); ++i) {
+    failure_mask[i] = (i % 40) < 13;
+  }
+  std::vector<bool> normal_mask(s.demand.size());
+  for (std::size_t i = 0; i < s.demand.size(); ++i) {
+    normal_mask[i] = !failure_mask[i];
+  }
+
+  Watchdog wd(paper_config());
+  for (std::size_t i = 0; i < s.demand.size(); ++i) {
+    wd.observe(band_record(
+        static_cast<std::uint32_t>(i), s.demand[i], s.granted[i],
+        failure_mask[i] ? SlotRecord::kFailureMode : std::uint8_t{0}));
+  }
+  wd.finish();
+
+  const qos::Requirement req = paper_requirement();
+  const BandReport* normal = wd.report(0, false);
+  const BandReport* failure = wd.report(0, true);
+  ASSERT_NE(normal, nullptr);
+  ASSERT_NE(failure, nullptr);
+  expect_reports_equal(*normal, wlm::check_compliance_masked(
+                                    s.demand, s.granted, normal_mask, req,
+                                    5.0));
+  expect_reports_equal(*failure, wlm::check_compliance_masked(
+                                     s.demand, s.granted, failure_mask, req,
+                                     5.0));
+}
+
+TEST(Watchdog, StreamingMatchesBatchTelemetryAttribution) {
+  const Series s = mixed_series(900, 43);
+  std::vector<bool> mask(s.demand.size(), true);
+  std::vector<bool> fallback(s.demand.size());
+  for (std::size_t i = 0; i < s.demand.size(); ++i) fallback[i] = i % 5 == 0;
+
+  Watchdog wd(paper_config());
+  for (std::size_t i = 0; i < s.demand.size(); ++i) {
+    wd.observe(band_record(
+        static_cast<std::uint32_t>(i), s.demand[i], s.granted[i],
+        fallback[i] ? SlotRecord::kFallback : std::uint8_t{0}));
+  }
+  wd.finish();
+
+  const wlm::ComplianceReport batch = wlm::check_compliance_attributed(
+      s.demand, s.granted, mask, fallback, paper_requirement(), 5.0);
+  EXPECT_GT(batch.degraded_telemetry + batch.violating_telemetry, 0u);
+  const BandReport* streaming = wd.report(0, false);
+  ASSERT_NE(streaming, nullptr);
+  expect_reports_equal(*streaming, batch);
+}
+
+TEST(Watchdog, ThetaMatchesSimEvaluateBitForBit) {
+  // Run the real simulator with the flight recorder active, read the
+  // recording back, and replay it through the watchdog: the streaming theta
+  // must equal sim::evaluate's return value exactly.
+  const trace::Calendar cal = trace::Calendar::standard(2);
+  sim::Aggregate agg;
+  agg.calendar = cal;
+  agg.workloads = 1;
+  Rng rng(44);
+  for (std::size_t i = 0; i < cal.size(); ++i) {
+    agg.cos1.push_back(rng.uniform(0.0, 4.0));
+    agg.cos2.push_back(rng.uniform(0.0, 8.0));
+  }
+
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("ropus_watchdog_theta_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+       ".bin");
+  RecorderConfig rec_config;
+  rec_config.path = path;
+  rec_config.ring_records = 0;
+  Recorder recorder(rec_config);
+  Recorder::set_active(&recorder);
+  const sim::Evaluation ev =
+      sim::evaluate(agg, 8.0, qos::CosCommitment{0.95, 60.0});
+  Recorder::set_active(nullptr);
+  recorder.finish();
+
+  const Recording recording = read_recording(path);
+  fs::remove(path);
+  ASSERT_EQ(recording.records.size(), cal.size());
+
+  WatchdogConfig config = paper_config();
+  config.theta = 0.95;
+  config.slots_per_day = cal.slots_per_day();
+  Watchdog wd(config);
+  for (const SlotRecord& r : recording.records) wd.observe(r);
+  wd.finish();
+
+  EXPECT_TRUE(wd.theta_exact());
+  EXPECT_LT(ev.theta, 1.0);  // capacity 8 against cos1+cos2 up to 12: misses
+  EXPECT_EQ(wd.theta(), ev.theta);  // bit for bit, not nearly-equal
+
+  const auto trajectory = wd.theta_trajectory();
+  ASSERT_EQ(trajectory.size(), 1u);
+  EXPECT_EQ(trajectory[0].theta, ev.theta);
+  // The min fell below the 0.95 target, so the crossing must have alerted.
+  ASSERT_FALSE(wd.alerts().empty());
+  EXPECT_EQ(wd.alerts()[0].kind, AlertKind::kTheta);
+}
+
+TEST(Watchdog, TDegrBreachAtTraceStart) {
+  WatchdogConfig config = paper_config();
+  Watchdog wd(config);
+  // Degraded from the very first slot: 8 slots of U = 0.8 is 40 minutes,
+  // breaching T_degr = 30 at the 7th slot.
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    wd.observe(band_record(i, 0.8, 1.0));
+  }
+  wd.finish();
+  ASSERT_EQ(wd.alerts().size(), 1u);
+  const Alert& alert = wd.alerts()[0];
+  EXPECT_EQ(alert.kind, AlertKind::kTDegr);
+  EXPECT_EQ(alert.severity, AlertSeverity::kCritical);
+  EXPECT_EQ(alert.first_slot, 0u);
+  EXPECT_EQ(alert.duration_slots, 8u);  // grew in place as the run extended
+  EXPECT_DOUBLE_EQ(alert.value, 40.0);
+  EXPECT_DOUBLE_EQ(alert.threshold, 30.0);
+}
+
+TEST(Watchdog, TDegrBreachSpanningEndOfTrace) {
+  Watchdog wd(paper_config());
+  for (std::uint32_t i = 0; i < 5; ++i) wd.observe(band_record(i, 0.5, 1.0));
+  for (std::uint32_t i = 5; i < 12; ++i) wd.observe(band_record(i, 0.8, 1.0));
+  wd.finish();  // the run is still open here; the alert must survive
+  ASSERT_EQ(wd.alerts().size(), 1u);
+  EXPECT_EQ(wd.alerts()[0].kind, AlertKind::kTDegr);
+  EXPECT_EQ(wd.alerts()[0].first_slot, 5u);
+  EXPECT_EQ(wd.alerts()[0].duration_slots, 7u);
+  EXPECT_DOUBLE_EQ(wd.alerts()[0].value, 35.0);
+}
+
+TEST(Watchdog, TDegrExactlyAtBoundDoesNotAlert) {
+  Watchdog wd(paper_config());
+  // Two 6-slot degraded runs (exactly 30 minutes each) separated by an
+  // acceptable slot: the bound is "more than T_degr", so neither alerts.
+  std::uint32_t slot = 0;
+  for (int run = 0; run < 2; ++run) {
+    for (int i = 0; i < 6; ++i) wd.observe(band_record(slot++, 0.8, 1.0));
+    wd.observe(band_record(slot++, 0.5, 1.0));
+  }
+  wd.finish();
+  EXPECT_TRUE(wd.alerts().empty());
+  const BandReport* report = wd.report(0, false);
+  ASSERT_NE(report, nullptr);
+  EXPECT_DOUBLE_EQ(report->longest_degraded_minutes, 30.0);
+}
+
+TEST(Watchdog, SectionChangeResetsDegradedRuns) {
+  Watchdog wd(paper_config());
+  // 4 + 4 degraded slots that would breach T_degr as one run, split across
+  // a section boundary (a new faultsim trial): no alert may fire.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    wd.observe(band_record(i, 0.8, 1.0, 0, /*section=*/0));
+  }
+  for (std::uint32_t i = 4; i < 8; ++i) {
+    wd.observe(band_record(i, 0.8, 1.0, 0, /*section=*/1));
+  }
+  wd.finish();
+  EXPECT_TRUE(wd.alerts().empty());
+  const BandReport* report = wd.report(0, false);
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->degraded, 8u);  // counts accumulate across sections
+  EXPECT_DOUBLE_EQ(report->longest_degraded_minutes, 20.0);
+}
+
+TEST(Watchdog, BandBudgetAlertsOnceAfterWarmup) {
+  WatchdogConfig config = paper_config();
+  config.band_warmup_slots = 10;
+  Watchdog wd(config);
+  for (std::uint32_t i = 0; i < 9; ++i) wd.observe(band_record(i, 0.5, 1.0));
+  // The 10th active slot is degraded: fraction 10% > the 3% M_degr budget.
+  for (std::uint32_t i = 9; i < 14; ++i) wd.observe(band_record(i, 0.8, 1.0));
+  wd.finish();
+  std::size_t band_alerts = 0;
+  for (const Alert& alert : wd.alerts()) {
+    if (alert.kind != AlertKind::kBandBudget) continue;
+    band_alerts += 1;
+    EXPECT_EQ(alert.severity, AlertSeverity::kWarning);
+    EXPECT_EQ(alert.first_slot, 9u);
+    EXPECT_DOUBLE_EQ(alert.value, 10.0);
+    EXPECT_DOUBLE_EQ(alert.threshold, 3.0);
+  }
+  EXPECT_EQ(band_alerts, 1u);  // latched: later worse fractions don't re-fire
+}
+
+TEST(Watchdog, Cos1OvercommitAlertsPerContiguousRun) {
+  Watchdog wd(paper_config());
+  const auto overcommit = [](std::uint32_t slot, double ratio,
+                             std::uint8_t flags = 0) {
+    SlotRecord r;
+    r.slot = slot;
+    r.app = 0;
+    r.demand = 0.5;
+    r.cos1 = 2.0;
+    r.granted = 2.0 * ratio;
+    r.flags = flags;
+    return r;
+  };
+  wd.observe(overcommit(0, 0.8));
+  wd.observe(overcommit(1, 0.75));
+  wd.observe(overcommit(2, 0.9));
+  wd.observe(band_record(3, 0.5, 2.0));  // fully granted: run ends
+  wd.observe(overcommit(4, 0.6));
+  // Unhosted and outage slots are unserved demand, not overcommit.
+  wd.observe(overcommit(5, 0.0, SlotRecord::kUnhosted));
+  wd.finish();
+
+  std::vector<const Alert*> alerts;
+  for (const Alert& alert : wd.alerts()) {
+    if (alert.kind == AlertKind::kCos1Overcommit) alerts.push_back(&alert);
+  }
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0]->first_slot, 0u);
+  EXPECT_EQ(alerts[0]->duration_slots, 3u);
+  EXPECT_DOUBLE_EQ(alerts[0]->value, 0.75);  // the worst ratio of the run
+  EXPECT_EQ(alerts[0]->severity, AlertSeverity::kCritical);
+  EXPECT_EQ(alerts[1]->first_slot, 4u);
+  EXPECT_EQ(alerts[1]->duration_slots, 1u);
+}
+
+TEST(Watchdog, PoolRecordsFeedOnlyTheta) {
+  Watchdog wd(paper_config());
+  SlotRecord pool;
+  pool.app = kPoolApp;
+  pool.demand = 10.0;  // would be wildly violating if judged as an app
+  pool.cos1 = 4.0;
+  pool.cos2 = 1.0;
+  pool.granted = 4.4;
+  pool.satisfied2 = 0.4;
+  wd.observe(pool);
+  wd.finish();
+
+  EXPECT_EQ(wd.report(kPoolApp, false), nullptr);  // no band report
+  EXPECT_TRUE(wd.theta_exact());
+  EXPECT_DOUBLE_EQ(wd.theta(), 0.4);
+  // The 1.0 -> 0.4 crossing below the 0.95 target alerts exactly once.
+  ASSERT_EQ(wd.alerts().size(), 1u);
+  EXPECT_EQ(wd.alerts()[0].kind, AlertKind::kTheta);
+  EXPECT_EQ(wd.alerts()[0].app, kPoolApp);
+}
+
+TEST(Watchdog, PoolThetaPreferredOverAppEstimates) {
+  Watchdog wd(paper_config());
+  SlotRecord app;
+  app.app = 0;
+  app.demand = 0.5;
+  app.cos1 = 1.0;
+  app.cos2 = 1.0;
+  app.granted = 2.0;
+  app.satisfied2 = 1.0;  // per-app estimate says theta 1.0
+  wd.observe(app);
+  EXPECT_FALSE(wd.theta_exact());
+  EXPECT_DOUBLE_EQ(wd.theta(), 1.0);
+
+  SlotRecord pool;
+  pool.app = kPoolApp;
+  pool.cos2 = 1.0;
+  pool.satisfied2 = 0.5;  // the exact pool sums say theta 0.5
+  wd.observe(pool);
+  wd.finish();
+  EXPECT_TRUE(wd.theta_exact());
+  EXPECT_DOUBLE_EQ(wd.theta(), 0.5);
+}
+
+TEST(Watchdog, AlertOverflowIsCountedAndRateLimitIsAccounted) {
+  Counter& kind_counter = counter("watchdog.alerts.cos1_overcommit");
+  Counter& suppressed = counter("watchdog.alerts_suppressed");
+  const std::uint64_t kind_before = kind_counter.value();
+  const std::uint64_t suppressed_before = suppressed.value();
+
+  WatchdogConfig config = paper_config();
+  config.max_alerts = 4;
+  Watchdog wd(config);
+  // 30 isolated overcommit breaches (a fully-granted slot between each, so
+  // no run merging): 30 alerts, of which only 4 are stored.
+  std::uint32_t slot = 0;
+  for (int i = 0; i < 30; ++i) {
+    SlotRecord r;
+    r.slot = slot++;
+    r.demand = 0.5;
+    r.cos1 = 2.0;
+    r.granted = 1.0;
+    wd.observe(r);
+    wd.observe(band_record(slot++, 0.5, 2.0));
+  }
+  wd.finish();
+
+  EXPECT_EQ(wd.alerts().size(), 4u);
+  EXPECT_EQ(wd.alerts_dropped(), 26u);
+  // Every emission reaches the registry even when the alert list is full...
+  EXPECT_EQ(kind_counter.value() - kind_before, 30u);
+  // ...and the log rate limiter (burst 5, then 1-in-1000 sampling) accounts
+  // for every line it declines. Other tests share the process-wide limiter,
+  // so only a lower bound is exact here.
+  EXPECT_GE(suppressed.value() - suppressed_before, 24u);
+}
+
+}  // namespace
+}  // namespace ropus::obs

@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <memory>
 #include <optional>
 
 #include "cli/commands.h"
@@ -9,6 +10,7 @@
 #include "obs/export.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/span.h"
 
 namespace ropus::cli {
@@ -45,6 +47,10 @@ void usage(std::ostream& os) {
         "[--shift=app:minutes,..])\n"
         "  backtest     out-of-sample commitment check      "
         "(--traces= [--train-weeks=W-1])\n"
+        "  report       SLO-attainment report from flight recordings\n"
+        "               (--records=rec[,rec..] [--bench=dir|file,..] "
+        "[--json-out=] + QoS flags,\n"
+        "               --failure-ulow= etc. for failure-mode bands)\n"
         "\n"
         "global flags (every command, see docs/observability.md):\n"
         "  --metrics-out=<path>   write the final metric snapshot "
@@ -57,6 +63,11 @@ void usage(std::ostream& os) {
         "metrics)\n"
         "  --log-level=<level>    debug|info|warn|error|off (overrides "
         "ROPUS_LOG)\n"
+        "  --record-out=<path[:stride[:ring]]>\n"
+        "                         per-slot flight recording (.csv = CSV, "
+        "else binary;\n"
+        "                         stride N = every Nth slot, ring = newest "
+        "records kept, 0 = all)\n"
         "\n"
         "common QoS flags default to the paper's case study: U_low=0.5,\n"
         "U_high=0.66, U_degr=0.9, M=97, theta=0.95, deadline=60.\n";
@@ -76,6 +87,7 @@ std::optional<int> dispatch(const std::string& command, const Flags& flags,
   if (command == "plan") return cmd_plan(flags, out, err);
   if (command == "whatif") return cmd_whatif(flags, out, err);
   if (command == "backtest") return cmd_backtest(flags, out, err);
+  if (command == "report") return cmd_report(flags, out, err);
   return std::nullopt;
 }
 
@@ -136,12 +148,28 @@ int run(std::span<const std::string> args, std::ostream& out,
     apply_log_level(flags);
     if (flags.has("trace-out")) obs::Tracer::global().set_enabled(true);
 
+    // --record-out installs the process-global flight recorder before the
+    // command body runs. The recorder writes nothing until finish(): on an
+    // exception the unique_ptr just destroys it (deactivating, no file), so
+    // a failed run never leaves a truncated recording — but every normal
+    // return, including domain exits like faultsim's code 2, flushes the
+    // (possibly partial) recording atomically.
+    std::unique_ptr<obs::Recorder> recorder;
+    if (const auto spec = flags.get("record-out")) {
+      recorder = std::make_unique<obs::Recorder>(obs::parse_record_spec(*spec));
+      obs::Recorder::set_active(recorder.get());
+    }
+
     const double start = obs::monotonic_seconds();
     const std::optional<int> rc = dispatch(command, flags, out, err);
     if (!rc.has_value()) {
       err << "unknown command: " << command << "\n\n";
       usage(err);
       return 1;
+    }
+    if (recorder != nullptr) {
+      obs::Recorder::set_active(nullptr);
+      recorder->finish();
     }
     write_run_outputs(command, flags, *rc, obs::monotonic_seconds() - start);
     return *rc;

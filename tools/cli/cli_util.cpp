@@ -43,8 +43,8 @@ bool check_flags(const Flags& flags, std::span<const std::string> allowed,
   // Observability flags are global: run() handles them for every command,
   // so no per-command allowed list needs to repeat them.
   std::vector<std::string> all(allowed.begin(), allowed.end());
-  all.insert(all.end(),
-             {"metrics-out", "trace-out", "run-manifest", "log-level"});
+  all.insert(all.end(), {"metrics-out", "trace-out", "run-manifest",
+                         "log-level", "record-out"});
   const auto unknown = flags.unknown_flags(all);
   for (const std::string& name : unknown) {
     err << "unknown flag: --" << name << "\n";

@@ -2,11 +2,14 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "cli/cli_util.h"
 #include "cli/commands.h"
 #include "common/file_io.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "obs/recorder.h"
 #include "qos/translation.h"
 #include "wlm/compliance.h"
 #include "wlm/telemetry.h"
@@ -47,6 +50,10 @@ int cmd_wlm(const Flags& flags, std::ostream& out, std::ostream& err) {
 
   const double minutes =
       static_cast<double>(traces.front().calendar().minutes_per_sample());
+  obs::Recorder* const rec = obs::Recorder::active();
+  if (rec != nullptr) {
+    rec->set_calendar(minutes, traces.front().calendar().slots_per_day());
+  }
   SplitMix64 streams(seed);
   TextTable table({"app", "ok", "stale", "miss", "corrupt", "fallback",
                    "degraded%", "violating", "verdict"});
@@ -62,12 +69,35 @@ int cmd_wlm(const Flags& flags, std::ostream& out, std::ostream& err) {
     std::vector<double> granted(t.size(), 0.0);
     std::vector<bool> fallback(t.size(), false);
     const std::vector<bool> mask(t.size(), true);
+    const std::uint16_t rec_app =
+        rec != nullptr ? rec->app_id(t.name()) : std::uint16_t{0};
     for (std::size_t i = 0; i < t.size(); ++i) {
-      const wlm::AllocationRequest r =
-          telemetry.enabled() ? ctl.observe(channel.observe(t[i]))
-                              : ctl.step(t[i]);
+      wlm::AllocationRequest r;
+      auto mark = static_cast<std::uint8_t>(obs::TelemetryMark::kOk);
+      if (telemetry.enabled()) {
+        const wlm::Observation o = channel.observe(t[i]);
+        mark = static_cast<std::uint8_t>(static_cast<int>(o.kind) + 1);
+        r = ctl.observe(o);
+      } else {
+        r = ctl.step(t[i]);
+      }
       granted[i] = r.total();
       fallback[i] = ctl.in_fallback();
+      if (rec != nullptr && rec->should_record(i)) {
+        obs::SlotRecord record;
+        record.slot = static_cast<std::uint32_t>(i);
+        record.app = rec_app;
+        record.section = rec->section();
+        record.telemetry = mark;
+        if (fallback[i]) record.flags |= obs::SlotRecord::kFallback;
+        record.demand = t[i];
+        record.cos1 = r.cos1;
+        record.cos2 = r.cos2;
+        record.granted = granted[i];
+        record.satisfied2 =
+            std::min(r.cos2, std::max(0.0, granted[i] - r.cos1));
+        rec->append(record);
+      }
     }
     const wlm::ComplianceReport report = wlm::check_compliance_attributed(
         t.values(), granted, mask, telemetry.enabled()

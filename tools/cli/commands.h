@@ -18,5 +18,6 @@ int cmd_forecast(const Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_plan(const Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_whatif(const Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_backtest(const Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_report(const Flags& flags, std::ostream& out, std::ostream& err);
 
 }  // namespace ropus::cli
