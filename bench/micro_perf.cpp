@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
+#include "faultsim/campaign.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "placement/genetic.h"
@@ -25,6 +27,7 @@
 #include "qos/allocation.h"
 #include "qos/translation.h"
 #include "sim/simulator.h"
+#include "slo/kernel.h"
 #include "support.h"
 #include "wlm/failure_drill.h"
 
@@ -139,6 +142,89 @@ void report(const BenchRun& run, bench::BenchReporter& reporter) {
   reporter.set_metric(run.name + ".median_us", run.median_seconds * 1e6);
 }
 
+/// The SLO kernel's two shapes over one series: the batch span function and
+/// the streaming accumulator it is built on. The two must stay within noise
+/// of each other — the batch path is a loop over observe(), so a gap here
+/// means the wrapper grew overhead.
+[[gnu::noinline]] void bench_slo_kernel(bench::BenchReporter& reporter) {
+  const trace::DemandTrace& t = demands()[0];
+  const slo::Band band{0.66, 0.9, 97.0, 30.0};
+  // Grants chosen so utilization sweeps 0.5..0.95 — every band class and
+  // the degraded-run bookkeeping stay on the hot path.
+  std::vector<double> granted(t.size());
+  for (std::size_t i = 0; i < granted.size(); ++i) {
+    const double u = 0.5 + 0.05 * static_cast<double>(i % 10);
+    granted[i] = t[i] / u;
+  }
+  const double mins = static_cast<double>(t.calendar().minutes_per_sample());
+
+  report(run_bench("slo_bands/batch", t.size(),
+                   [&] {
+                     do_not_optimize(slo::accumulate_bands(
+                         t.values(), granted, band, mins));
+                   }),
+         reporter);
+  report(run_bench("slo_bands/streaming", t.size(),
+                   [&] {
+                     slo::BandAccumulator acc(mins);
+                     for (std::size_t i = 0; i < granted.size(); ++i) {
+                       acc.observe(t[i], granted[i], band);
+                     }
+                     do_not_optimize(acc.counts());
+                   }),
+         reporter);
+}
+
+/// A small fault-injection campaign at one worker vs all of them — the
+/// speedup gate for the sharded trial loop. On a single-CPU runner the two
+/// match; `campaign_speedup_x` records whatever the host delivered.
+[[gnu::noinline]] void bench_campaign_threads(bench::BenchReporter& reporter) {
+  const std::size_t n = 8;
+  std::vector<trace::DemandTrace> fleet(demands().begin(),
+                                        demands().begin() + n);
+  std::vector<qos::ApplicationQos> app_qos;
+  for (const trace::DemandTrace& t : fleet) {
+    qos::ApplicationQos q;
+    q.app_name = t.name();
+    q.normal = bench::paper_requirement(97.0, 30.0);
+    q.failure = bench::paper_requirement(90.0, 60.0);
+    app_qos.push_back(std::move(q));
+  }
+  qos::PoolCommitments commitments;
+  commitments.cos2 = cos2();
+  const auto pool = sim::homogeneous_pool(4, 16);
+  const placement::Assignment assignment =
+      faultsim::Campaign::plan_normal_assignment(fleet, app_qos, commitments,
+                                                 pool);
+  const faultsim::Campaign campaign(fleet, app_qos, commitments, pool,
+                                    assignment);
+  faultsim::CampaignConfig cfg;
+  cfg.trials = 8;
+  cfg.seed = bench::kSeed;
+  cfg.reliability.mtbf_hours = 120.0;
+  cfg.reliability.mttr_hours = 6.0;
+  cfg.replay.spare_servers = 1;
+
+  parallel::set_thread_count(1);
+  const BenchRun serial = run_bench("campaign/threads=1", cfg.trials,
+                                    [&] { do_not_optimize(campaign.run(cfg)); });
+  report(serial, reporter);
+
+  parallel::set_thread_count(0);  // back to the hardware default
+  // Fixed label (not the thread count) so the JSON metric names are stable
+  // across hosts and bench_diff can compare them.
+  const BenchRun sharded =
+      run_bench("campaign/threads=max", cfg.trials,
+                [&] { do_not_optimize(campaign.run(cfg)); });
+  report(sharded, reporter);
+  reporter.set_metric("campaign_hardware_threads",
+                      static_cast<double>(parallel::hardware_threads()));
+  reporter.set_metric("campaign_speedup_x",
+                      sharded.min_seconds > 0.0
+                          ? serial.min_seconds / sharded.min_seconds
+                          : 0.0);
+}
+
 /// Event-schedule replay, bare vs with the flight recorder at stride 1 —
 /// the overhead gate for the recorder's hot-path design (the recording is
 /// ring-bounded and never finish()ed, so no I/O is timed). Kept out of
@@ -241,6 +327,8 @@ int main() {
            reporter);
   }
 
+  bench_slo_kernel(reporter);
+  bench_campaign_threads(reporter);
   bench_recorder_overhead(reporter);
 
   const std::filesystem::path out = reporter.write();

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/json.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
@@ -194,15 +195,33 @@ CampaignResult Campaign::run(const CampaignConfig& config) const {
   tele_violating.reserve(config.trials);
   blackout.reserve(config.trials);
 
+  // Trials run sharded: per-trial seeds are drawn sequentially in index
+  // order (the CRN discipline — trial t's seed is independent of the thread
+  // count), each trial writes into its own outcome slot, and the slots are
+  // merged sequentially below. Reports are therefore byte-identical at any
+  // --threads value. The flight recorder's section stamp is process-global
+  // and race-prone, so an active recording forces the serial path.
   SplitMix64 seeder(config.seed);
+  std::vector<std::uint64_t> seeds(config.trials);
+  for (std::uint64_t& s : seeds) s = seeder.next();
   obs::Recorder* const rec = obs::Recorder::active();
+  const std::size_t threads =
+      rec != nullptr ? 1 : parallel::thread_count();
+  std::vector<TrialOutcome> outcomes(config.trials);
+  std::vector<double> wall_seconds(config.trials, 0.0);
+  parallel::for_each_index(
+      config.trials, threads, [&](std::size_t t) {
+        // Serial path only (threads == 1): every record of this trial's
+        // replay carries its index.
+        if (rec != nullptr) rec->set_section(static_cast<std::uint16_t>(t));
+        const double trial_start = obs::monotonic_seconds();
+        outcomes[t] = run_trial(seeds[t], config);
+        wall_seconds[t] = obs::monotonic_seconds() - trial_start;
+      });
+
   for (std::size_t t = 0; t < config.trials; ++t) {
-    // Trials run sequentially, so stamping the global recorder's section is
-    // race-free; every record of this trial's replay carries its index.
-    if (rec != nullptr) rec->set_section(static_cast<std::uint16_t>(t));
-    const double trial_start = obs::monotonic_seconds();
-    const TrialOutcome outcome = run_trial(seeder.next(), config);
-    trial_seconds.record(obs::monotonic_seconds() - trial_start);
+    const TrialOutcome& outcome = outcomes[t];
+    trial_seconds.record(wall_seconds[t]);
     trials_total.add(1);
     trial_events.record(static_cast<double>(
         outcome.failures + outcome.repairs + outcome.surges +

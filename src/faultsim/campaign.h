@@ -11,7 +11,11 @@
 // seed. Trial k draws its own seed from a SplitMix64 stream of the campaign
 // seed, every iteration order is fixed, and format_report renders through
 // snprintf with explicit precision — so the same seed and configuration
-// yield a byte-identical report on any platform.
+// yield a byte-identical report on any platform. Trials execute on the
+// process thread pool (ropus_cli --threads): seeds are pre-drawn in index
+// order and outcomes merged in index order, so the report is additionally
+// byte-identical at any thread count (an active flight recorder forces the
+// serial path, since its section stamp is process-global).
 #pragma once
 
 #include <cstdint>

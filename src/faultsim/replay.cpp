@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/error.h"
+#include "slo/kernel.h"
 
 namespace ropus::faultsim {
 
@@ -64,7 +65,7 @@ PlacementDecision place_apps(const std::vector<double>& peaks,
     for (std::size_t s = 0; s < pool.size(); ++s) {
       if (down[s]) continue;
       const double left = pool[s].capacity() - used[s] - peaks[a];
-      if (left < -1e-9) continue;
+      if (left < -slo::kCapacityEps) continue;
       if (left < best_left) {
         best = s;
         best_left = left;
@@ -104,21 +105,31 @@ TrialOutcome replay_trial(std::span<const trace::DemandTrace> demands,
   }
 
   // Surge-scaled demand: the traces the controllers and compliance see.
+  // The scratch traces are thread-local so consecutive trials on one worker
+  // (campaigns shard trials across the thread pool) rewrite the same
+  // buffers via assign_scaled instead of re-allocating cal.size() doubles
+  // per app per trial.
   const std::vector<double> factors = timeline.demand_multipliers(cal.size());
   const bool surged =
       std::any_of(factors.begin(), factors.end(),
                   [](double f) { return f != 1.0; });
-  std::vector<trace::DemandTrace> scaled;
+  static thread_local std::vector<trace::DemandTrace> scaled;
   if (surged) {
-    scaled.reserve(n);
-    for (const trace::DemandTrace& d : demands) {
-      std::vector<double> values(d.values().begin(), d.values().end());
-      for (std::size_t i = 0; i < values.size(); ++i) values[i] *= factors[i];
-      scaled.emplace_back(d.name(), cal, std::move(values));
+    if (scaled.size() > n) {
+      scaled.erase(scaled.begin() + static_cast<std::ptrdiff_t>(n),
+                   scaled.end());
+    }
+    for (std::size_t a = 0; a < n; ++a) {
+      if (a < scaled.size()) {
+        scaled[a].assign_scaled(demands[a], factors);
+      } else {
+        scaled.push_back(trace::DemandTrace::zeros(demands[a].name(), cal));
+        scaled.back().assign_scaled(demands[a], factors);
+      }
     }
   }
   const std::span<const trace::DemandTrace> active =
-      surged ? std::span<const trace::DemandTrace>(scaled) : demands;
+      surged ? std::span<const trace::DemandTrace>(scaled).first(n) : demands;
 
   std::vector<double> normal_peaks(n);
   std::vector<double> failure_peaks(n);
@@ -310,8 +321,7 @@ TrialOutcome replay_trial(std::span<const trace::DemandTrace> demands,
                  app.failure_mode.longest_degraded_minutes);
     const auto breached = [](const wlm::ComplianceReport& report,
                              const qos::Requirement& req) {
-      return req.t_degr_minutes.has_value() &&
-             report.longest_degraded_minutes > *req.t_degr_minutes + 1e-9;
+      return slo::t_degr_breached(report, req.t_degr_minutes.value_or(0.0));
     };
     app.t_degr_breached = breached(app.normal_mode, normal[a].requirement) ||
                           breached(app.failure_mode, failure[a].requirement);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <limits>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -11,11 +10,6 @@
 namespace ropus::obs {
 
 namespace {
-
-// Identical to wlm::check_compliance's slack: a hair of tolerance absorbs
-// grant-scaling rounding at exactly U_high / U_degr. Changing one without
-// the other breaks the streaming-vs-batch bit-for-bit guarantee.
-constexpr double kRelEps = 1e-9;
 
 // A long campaign can breach thousands of times; log the first few per
 // kind, then sample (mirrors the controller-warning pattern). Declined
@@ -133,44 +127,27 @@ std::ptrdiff_t Watchdog::emit(Alert alert) {
 }
 
 void Watchdog::end_run(ModeState& mode) {
-  mode.run = 0;
+  mode.acc.end_run();
   mode.tdegr_active = false;
   mode.open_tdegr = -1;
 }
 
 void Watchdog::classify(ModeState& mode, const SlotRecord& r,
                         const SloBand& band) {
-  // Replicates wlm::check_range_impl exactly — see the kRelEps note above.
-  mode.counts.intervals += 1;
-  if (r.demand <= 0.0) {
-    mode.counts.idle += 1;
-    end_run(mode);
+  // The kernel classifies and counts; the watchdog only turns the run
+  // lengths it reports into T_degr alerts.
+  const slo::BandClass cls =
+      mode.acc.observe(r.demand, r.granted, band, r.has(SlotRecord::kFallback));
+  if (cls == slo::BandClass::kIdle || cls == slo::BandClass::kAcceptable) {
+    mode.tdegr_active = false;
+    mode.open_tdegr = -1;
     return;
   }
-  const double u = r.granted > 0.0
-                       ? r.demand / r.granted
-                       : std::numeric_limits<double>::infinity();
-  const bool on_fallback = r.has(SlotRecord::kFallback);
-  if (u <= band.u_high * (1.0 + kRelEps)) {
-    mode.counts.acceptable += 1;
-    end_run(mode);
-    return;
-  }
-  if (u <= band.u_degr * (1.0 + kRelEps)) {
-    mode.counts.degraded += 1;
-    if (on_fallback) mode.counts.degraded_telemetry += 1;
-  } else {
-    mode.counts.violating += 1;
-    if (on_fallback) mode.counts.violating_telemetry += 1;
-  }
-  mode.run += 1;
-  mode.longest = std::max(mode.longest, mode.run);
-  mode.counts.longest_degraded_minutes =
-      static_cast<double>(mode.longest) * config_.minutes_per_sample;
 
   if (band.t_degr_minutes <= 0.0) return;
+  const std::size_t run = mode.acc.current_run();
   const double run_minutes =
-      static_cast<double>(mode.run) * config_.minutes_per_sample;
+      static_cast<double>(run) * config_.minutes_per_sample;
   if (run_minutes <= band.t_degr_minutes) return;  // exactly-at-bound is ok
   if (!mode.tdegr_active) {
     mode.tdegr_active = true;
@@ -180,15 +157,15 @@ void Watchdog::classify(ModeState& mode, const SlotRecord& r,
     alert.app = r.app;
     alert.section = r.section;
     alert.failure_mode = r.has(SlotRecord::kFailureMode);
-    alert.first_slot = r.slot - static_cast<std::uint32_t>(
-                                    (mode.run - 1) * config_.stride);
-    alert.duration_slots = static_cast<std::uint32_t>(mode.run);
+    alert.first_slot =
+        r.slot - static_cast<std::uint32_t>((run - 1) * config_.stride);
+    alert.duration_slots = static_cast<std::uint32_t>(run);
     alert.value = run_minutes;
     alert.threshold = band.t_degr_minutes;
     mode.open_tdegr = emit(alert);
   } else if (mode.open_tdegr >= 0) {
     Alert& open = alerts_[static_cast<std::size_t>(mode.open_tdegr)];
-    open.duration_slots = static_cast<std::uint32_t>(mode.run);
+    open.duration_slots = static_cast<std::uint32_t>(run);
     open.value = run_minutes;
   }
 }
@@ -196,9 +173,10 @@ void Watchdog::classify(ModeState& mode, const SlotRecord& r,
 void Watchdog::check_band_budget(ModeState& mode, const SlotRecord& r,
                                  const SloBand& band) {
   if (mode.band_alerted) return;
-  const std::size_t active = mode.counts.intervals - mode.counts.idle;
+  const BandReport& counts = mode.acc.counts();
+  const std::size_t active = counts.intervals - counts.idle;
   if (active < config_.band_warmup_slots) return;
-  const double fraction_pct = mode.counts.degraded_fraction() * 100.0;
+  const double fraction_pct = counts.degraded_fraction() * 100.0;
   if (fraction_pct <= band.m_degr_percent()) return;
   mode.band_alerted = true;
   Alert alert;
@@ -219,8 +197,7 @@ void Watchdog::check_overcommit(AppState& app, const SlotRecord& r) {
   // slots (unhosted, migration outage) are unserved demand, not overcommit.
   const bool silent =
       r.has(SlotRecord::kUnhosted) || r.has(SlotRecord::kOutage);
-  const bool breach =
-      !silent && r.cos1 > 0.0 && r.granted < r.cos1 * (1.0 - kRelEps);
+  const bool breach = !silent && slo::cos1_overcommitted(r.cos1, r.granted);
   if (!breach) {
     app.overcommit_active = false;
     app.open_overcommit = -1;
@@ -255,23 +232,14 @@ void Watchdog::check_overcommit(AppState& app, const SlotRecord& r) {
 
 void Watchdog::update_theta(const SlotRecord& r) {
   const bool pool = r.app == kPoolApp;
-  ThetaSection& section =
-      (pool ? theta_pool_ : theta_app_)[r.section];
-  const std::size_t slots_per_week = 7 * config_.slots_per_day;
-  const std::size_t group = (r.slot / slots_per_week) * config_.slots_per_day +
-                            (r.slot % config_.slots_per_day);
-  if (group >= section.requested.size()) {
-    section.requested.resize(group + 1, 0.0);
-    section.satisfied.resize(group + 1, 0.0);
-  }
-  const double before_req = section.requested[group];
-  const double before =
-      before_req > 0.0 ? section.satisfied[group] / before_req : 1.0;
-  section.requested[group] += r.cos2;
-  section.satisfied[group] += r.satisfied2;
-  const double after = section.requested[group] > 0.0
-                           ? section.satisfied[group] / section.requested[group]
-                           : 1.0;
+  slo::ThetaAccumulator& section =
+      (pool ? theta_pool_ : theta_app_)
+          .try_emplace(r.section, config_.slots_per_day)
+          .first->second;
+  const std::size_t group = section.group_of(r.slot);
+  const double before = section.ratio(group);
+  section.add(r.slot, r.cos2, r.satisfied2);
+  const double after = section.ratio(group);
   // Only the exact pool sums alert; per-app estimates merely report.
   if (pool && after < config_.theta && before >= config_.theta) {
     Alert alert;
@@ -293,7 +261,8 @@ void Watchdog::observe(const SlotRecord& r) {
     update_theta(r);
     return;
   }
-  AppState& app = apps_[r.app];
+  AppState& app = apps_.try_emplace(r.app, config_.minutes_per_sample)
+                      .first->second;
   if (!app.seen || app.section != r.section) {
     // A new trial (or evaluation pass) is a new world: no run crosses it.
     end_run(app.mode[0]);
@@ -341,18 +310,15 @@ const BandReport* Watchdog::report(std::uint16_t app,
   const auto it = apps_.find(app);
   if (it == apps_.end()) return nullptr;
   const ModeState& mode = it->second.mode[failure_mode ? 1 : 0];
-  if (mode.counts.intervals == 0) return nullptr;
-  return &mode.counts;
+  if (mode.acc.counts().intervals == 0) return nullptr;
+  return &mode.acc.counts();
 }
 
 double Watchdog::theta() const {
   double theta = 1.0;
   for (const auto& [section, state] : theta_sections()) {
-    // Ascending-group min with the same arithmetic as sim::evaluate.
-    for (std::size_t g = 0; g < state.requested.size(); ++g) {
-      if (state.requested[g] <= 0.0) continue;
-      theta = std::min(theta, state.satisfied[g] / state.requested[g]);
-    }
+    // Min of per-section kernel minima == the global ascending-group min.
+    theta = std::min(theta, state.theta());
   }
   return theta;
 }
@@ -364,10 +330,7 @@ std::vector<Watchdog::ThetaPoint> Watchdog::theta_trajectory() const {
   for (const auto& [section, state] : sections) {
     ThetaPoint point;
     point.section = section;
-    for (std::size_t g = 0; g < state.requested.size(); ++g) {
-      if (state.requested[g] <= 0.0) continue;
-      point.theta = std::min(point.theta, state.satisfied[g] / state.requested[g]);
-    }
+    point.theta = state.theta();
     points.push_back(point);
   }
   return points;

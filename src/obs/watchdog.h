@@ -7,15 +7,17 @@
 // *while records stream past*, emitting typed alerts at the first breach
 // instead of waiting for a run-end report.
 //
-// Exactness: the band classification replicates wlm::check_compliance's
-// arithmetic (same 1e-9 relative slack, same idle/run-reset rules, same
-// branch order), and the theta estimator replicates sim::evaluate's group
-// sums in slot order — so on a stride-1 recording the final reports match
-// the batch results bit for bit (tests/obs/watchdog_test.cpp holds this).
+// Exactness: the band classification and theta group sums are the slo
+// kernel's accumulators (src/slo/kernel.h) — the same objects the batch
+// paths (wlm::check_compliance, sim::evaluate) run on — so on a stride-1
+// recording the final reports match the batch results bit for bit by
+// construction (tests/obs/watchdog_test.cpp and tests/golden/ hold this).
+// The watchdog itself owns only what is online-specific: alert emission,
+// run-open/rewrite bookkeeping, and section handling.
 //
-// Layering: obs depends only on common, so the thresholds arrive as plain
-// numbers (SloBand) rather than qos::Requirement; `ropus_cli report`
-// bridges the two.
+// Layering: obs depends only on common and slo, so the thresholds arrive as
+// plain numbers (slo::Band) rather than qos::Requirement; `ropus_cli
+// report` bridges the two.
 #pragma once
 
 #include <cstdint>
@@ -24,20 +26,12 @@
 #include <vector>
 
 #include "obs/recorder.h"
+#include "slo/kernel.h"
 
 namespace ropus::obs {
 
 /// The band thresholds of one qos::Requirement, as plain numbers.
-struct SloBand {
-  double u_high = 0.66;
-  double u_degr = 0.9;
-  double m_percent = 97.0;
-  /// Max contiguous degraded minutes; <= 0 means unconstrained.
-  double t_degr_minutes = 0.0;
-
-  /// The M_degr budget: percent of active slots allowed above U_high.
-  double m_degr_percent() const { return 100.0 - m_percent; }
-};
+using SloBand = slo::Band;
 
 struct WatchdogConfig {
   SloBand normal;
@@ -83,36 +77,10 @@ struct Alert {
 /// substitutes names from the recording).
 std::string describe(const Alert& alert);
 
-/// Per (app, mode) band attainment — field-for-field the counts of
-/// wlm::ComplianceReport, so batch and streaming results are comparable.
-struct BandReport {
-  std::size_t intervals = 0;
-  std::size_t idle = 0;
-  std::size_t acceptable = 0;
-  std::size_t degraded = 0;
-  std::size_t violating = 0;
-  std::size_t degraded_telemetry = 0;
-  std::size_t violating_telemetry = 0;
-  double longest_degraded_minutes = 0.0;
-
-  double degraded_fraction() const {
-    const std::size_t active = intervals - idle;
-    return active > 0 ? static_cast<double>(degraded + violating) /
-                            static_cast<double>(active)
-                      : 0.0;
-  }
-
-  /// Mirrors wlm::ComplianceReport::satisfies with zero slack.
-  bool ok(const SloBand& band) const {
-    if (violating > 0) return false;
-    if (degraded_fraction() * 100.0 > band.m_degr_percent()) return false;
-    if (band.t_degr_minutes > 0.0 &&
-        longest_degraded_minutes > band.t_degr_minutes) {
-      return false;
-    }
-    return true;
-  }
-};
+/// Per (app, mode) band attainment: the kernel's counts, field-for-field
+/// what wlm::ComplianceReport holds, so batch and streaming results are
+/// directly comparable. `satisfies(band)` is the zero-slack verdict.
+using BandReport = slo::BandCounts;
 
 class Watchdog {
  public:
@@ -161,12 +129,14 @@ class Watchdog {
 
  private:
   struct ModeState {
-    BandReport counts;
-    std::size_t run = 0;      // current degraded-or-worse run (slots)
-    std::size_t longest = 0;  // longest run (slots)
+    /// Counts and run lengths (the kernel owns the arithmetic).
+    slo::BandAccumulator acc;
     bool tdegr_active = false;       // current run already breached T_degr
     std::ptrdiff_t open_tdegr = -1;  // alerts_ index, -1 when dropped/none
     bool band_alerted = false;
+
+    explicit ModeState(double minutes_per_sample)
+        : acc(minutes_per_sample) {}
   };
   struct AppState {
     ModeState mode[2];  // [normal, failure]
@@ -175,10 +145,10 @@ class Watchdog {
     bool overcommit_active = false;
     std::ptrdiff_t open_overcommit = -1;
     std::uint32_t last_overcommit_slot = 0;
-  };
-  struct ThetaSection {
-    std::vector<double> requested;
-    std::vector<double> satisfied;
+
+    explicit AppState(double minutes_per_sample)
+        : mode{ModeState(minutes_per_sample),
+               ModeState(minutes_per_sample)} {}
   };
 
   void end_run(ModeState& mode);
@@ -189,14 +159,17 @@ class Watchdog {
   void update_theta(const SlotRecord& r);
   std::ptrdiff_t emit(Alert alert);
 
-  const std::map<std::uint16_t, ThetaSection>& theta_sections() const {
+  const std::map<std::uint16_t, slo::ThetaAccumulator>& theta_sections()
+      const {
     return theta_pool_.empty() ? theta_app_ : theta_pool_;
   }
 
   WatchdogConfig config_;
   std::map<std::uint16_t, AppState> apps_;
-  std::map<std::uint16_t, ThetaSection> theta_pool_;  // exact (sim::evaluate)
-  std::map<std::uint16_t, ThetaSection> theta_app_;   // satisfied2 estimates
+  // Per-section kernel accumulators: exact pool sums (sim::evaluate's
+  // records) and the per-app satisfied2 estimates.
+  std::map<std::uint16_t, slo::ThetaAccumulator> theta_pool_;
+  std::map<std::uint16_t, slo::ThetaAccumulator> theta_app_;
   std::vector<Alert> alerts_;
   std::uint64_t alerts_dropped_ = 0;
   bool finished_ = false;

@@ -1,11 +1,14 @@
 #include "placement/genetic.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/span.h"
 
 namespace ropus::placement {
@@ -173,27 +176,42 @@ GeneticResult genetic_search(const PlacementModel& problem,
   }
   Rng rng(config.seed);
 
+  // Evaluations shard across the process thread pool. Determinism: all
+  // master-rng draws (selection, crossover, per-child mutation seeds)
+  // happen sequentially before dispatch, each child mutates under its own
+  // seeded stream, and results land in index-addressed slots — so the
+  // search returns the same result at any --threads value. An active
+  // flight recorder forces the serial path (sim::required_capacity toggles
+  // the process-global recorder around its binary search).
+  const std::size_t threads = obs::Recorder::active() != nullptr
+                                  ? 1
+                                  : parallel::thread_count();
+
   std::size_t evals = 0;  // batched into the evaluations counter on return
-  auto make_individual = [&problem, &config, &evals](Assignment genes) {
+  auto finish = [&problem, &config](Assignment genes) {
     Individual ind;
     ind.genes = std::move(genes);
     ind.eval = problem.evaluate(ind.genes);
     ind.fitness = fitness_of(ind.genes, ind.eval, config);
-    evals += 1;
     return ind;
   };
 
-  std::vector<Individual> population;
-  population.reserve(config.population);
+  std::vector<Assignment> founders;
+  founders.reserve(config.population);
   for (const Assignment& seed : seeds) {
-    if (population.size() == config.population) break;
-    population.push_back(make_individual(seed));
+    if (founders.size() == config.population) break;
+    founders.push_back(seed);
   }
-  while (population.size() < config.population) {
-    Assignment genes = seeds[population.size() % seeds.size()];
+  while (founders.size() < config.population) {
+    Assignment genes = seeds[founders.size() % seeds.size()];
     gene_mutation(problem, genes, 0.2, rng);
-    population.push_back(make_individual(std::move(genes)));
+    founders.push_back(std::move(genes));
   }
+  std::vector<Individual> population(founders.size());
+  parallel::for_each_index(founders.size(), threads, [&](std::size_t i) {
+    population[i] = finish(std::move(founders[i]));
+  });
+  evals += population.size();
 
   GeneticResult result;
   result.best = population.front().genes;
@@ -231,26 +249,46 @@ GeneticResult genetic_search(const PlacementModel& problem,
     next.reserve(config.population);
     for (std::size_t e = 0; e < config.elite; ++e) next.push_back(population[e]);
 
-    while (next.size() < config.population) {
-      Assignment genes;
+    // Selection and crossover draw from the master rng sequentially (they
+    // depend only on the parent generation's fitness); each child then gets
+    // its own derived mutation stream so the shape-aware mutation chain —
+    // which needs the child's evaluation — can run sharded without making
+    // the draw sequence depend on evaluation order.
+    const std::size_t offspring = config.population - next.size();
+    std::vector<Assignment> child_genes(offspring);
+    std::vector<std::uint64_t> child_seeds(offspring);
+    for (std::size_t c = 0; c < offspring; ++c) {
       if (rng.bernoulli(config.crossover_rate)) {
-        const Individual& pa = tournament_select(population, config.tournament, rng);
-        const Individual& pb = tournament_select(population, config.tournament, rng);
-        genes = crossover(pa.genes, pb.genes, rng);
+        const Individual& pa =
+            tournament_select(population, config.tournament, rng);
+        const Individual& pb =
+            tournament_select(population, config.tournament, rng);
+        child_genes[c] = crossover(pa.genes, pb.genes, rng);
       } else {
-        genes = tournament_select(population, config.tournament, rng).genes;
+        child_genes[c] =
+            tournament_select(population, config.tournament, rng).genes;
       }
+      child_seeds[c] = rng.derive_seed();
+    }
+
+    std::vector<Individual> children(offspring);
+    parallel::for_each_index(offspring, threads, [&](std::size_t c) {
+      Assignment genes = std::move(child_genes[c]);
+      Rng child_rng(child_seeds[c]);
       // Shape-aware mutation needs the child's evaluation; server-subset
       // memoization keeps the extra evaluation cheap.
       const PlacementEvaluation pre = problem.evaluate(genes);
-      evals += 1;
       if (!pre.feasible) {
-        relief_mutation(problem, genes, pre, rng);
-      } else if (rng.bernoulli(config.vacate_rate)) {
-        vacate_mutation(problem, genes, pre, rng);
+        relief_mutation(problem, genes, pre, child_rng);
+      } else if (child_rng.bernoulli(config.vacate_rate)) {
+        vacate_mutation(problem, genes, pre, child_rng);
       }
-      gene_mutation(problem, genes, config.gene_mutation_rate, rng);
-      Individual child = make_individual(std::move(genes));
+      gene_mutation(problem, genes, config.gene_mutation_rate, child_rng);
+      children[c] = finish(std::move(genes));
+    });
+    evals += 2 * offspring;
+
+    for (Individual& child : children) {
       consider(child);
       next.push_back(std::move(child));
     }

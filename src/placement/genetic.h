@@ -11,6 +11,12 @@
 //    the rest from the other;
 //  * selection is by tournament; the best individuals survive unchanged
 //    (elitism) and the best *feasible* assignment ever seen is returned.
+//
+// Offspring evaluation shards across the process thread pool (ropus_cli
+// --threads). The search stays a pure function of (problem, seeds, config):
+// selection draws and per-child mutation seeds come off the master rng
+// sequentially before dispatch, so the result is identical at any thread
+// count.
 #pragma once
 
 #include <cstdint>

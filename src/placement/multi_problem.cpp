@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 #include <numeric>
 
 #include "common/error.h"
@@ -53,8 +54,11 @@ sim::MultiRequiredCapacity MultiPlacementProblem::server_required_capacity(
   for (trace::Attribute a : trace::kAllAttributes) {
     key.capacities[trace::attribute_index(a)] = server.capacity(a);
   }
-  if (const auto it = cache_.find(key); it != cache_.end()) {
-    return it->second;
+  {
+    const std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      return it->second;
+    }
   }
   std::vector<const qos::WorkloadAllocations*> hosted;
   hosted.reserve(key.workload_ids.size());
@@ -64,6 +68,9 @@ sim::MultiRequiredCapacity MultiPlacementProblem::server_required_capacity(
   }
   sim::MultiRequiredCapacity rc =
       sim::multi_required_capacity(hosted, server, cos2_, tolerance_);
+  // Duplicate concurrent computes resolve to the first insert; the values
+  // are identical either way.
+  const std::unique_lock<std::shared_mutex> lock(cache_mutex_);
   cache_.emplace(std::move(key), rc);
   return rc;
 }

@@ -6,6 +6,7 @@
 // memory-bound server is not rewarded for idle CPUs.
 #pragma once
 
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "placement/model.h"
@@ -59,6 +60,9 @@ class MultiPlacementProblem final : public PlacementModel {
   struct CacheKeyHash {
     std::size_t operator()(const CacheKey& k) const;
   };
+  // Shared-locked lookups, exclusive inserts: evaluate() stays safe when
+  // the genetic search shards a generation across threads.
+  mutable std::shared_mutex cache_mutex_;
   mutable std::unordered_map<CacheKey, sim::MultiRequiredCapacity,
                              CacheKeyHash>
       cache_;

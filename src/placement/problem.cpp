@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "common/error.h"
 #include "placement/baselines.h"
@@ -55,8 +56,11 @@ sim::RequiredCapacity PlacementProblem::server_required_capacity(
     const {
   std::sort(workload_ids.begin(), workload_ids.end());
   CacheKey key{std::move(workload_ids), server.cpus};
-  if (const auto it = cache_.find(key); it != cache_.end()) {
-    return it->second;
+  {
+    const std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      return it->second;
+    }
   }
   std::vector<const qos::AllocationTrace*> hosted;
   hosted.reserve(key.workload_ids.size());
@@ -67,6 +71,9 @@ sim::RequiredCapacity PlacementProblem::server_required_capacity(
   const sim::Aggregate agg = sim::aggregate_workloads(hosted, calendar_);
   sim::RequiredCapacity rc =
       sim::required_capacity(agg, server.capacity(), cos2_, tolerance_);
+  // Two threads may compute the same key concurrently; emplace keeps the
+  // first value and the results are identical anyway (the search is pure).
+  const std::unique_lock<std::shared_mutex> lock(cache_mutex_);
   cache_.emplace(std::move(key), rc);
   return rc;
 }

@@ -11,6 +11,7 @@
 // across generations.
 #pragma once
 
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -57,7 +58,10 @@ class PlacementProblem final : public PlacementModel {
   /// f(U) = U^(2 Z) — exposed for tests and the mutation heuristic.
   static double utilization_score(double utilization, std::size_t cpus);
 
-  std::size_t cache_entries() const { return cache_.size(); }
+  std::size_t cache_entries() const {
+    const std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    return cache_.size();
+  }
 
  private:
   std::span<const qos::AllocationTrace> workloads_;
@@ -74,7 +78,11 @@ class PlacementProblem final : public PlacementModel {
   struct CacheKeyHash {
     std::size_t operator()(const CacheKey& k) const;
   };
-  // Mutable: the cache is a performance detail invisible to callers.
+  // Mutable: the cache is a performance detail invisible to callers. The
+  // lock makes evaluate() safe from concurrent threads (the genetic search
+  // evaluates a generation's offspring in parallel); lookups share it,
+  // inserts take it exclusively.
+  mutable std::shared_mutex cache_mutex_;
   mutable std::unordered_map<CacheKey, sim::RequiredCapacity, CacheKeyHash>
       cache_;
 };

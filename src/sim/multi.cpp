@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "slo/kernel.h"
 
 namespace ropus::sim {
 
@@ -93,7 +94,7 @@ MultiRequiredCapacity multi_required_capacity(
     if (!any) continue;
     const double peak = *std::max_element(total.begin(), total.end());
     result.required[trace::attribute_index(a)] = peak;
-    if (peak > server.capacity(a) + 1e-9) {
+    if (peak > server.capacity(a) + slo::kCapacityEps) {
       fits = false;
       result.violated.push_back(a);
     }

@@ -2,18 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 
 #include "common/error.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "slo/kernel.h"
 
 namespace ropus::sim {
 
 namespace {
-// Tolerance for "CoS1 exceeds capacity" so that a required capacity found by
-// binary search is not rejected for a few ULPs on re-evaluation.
-constexpr double kCapacityEps = 1e-9;
+// Tolerance for "CoS1 exceeds capacity": the kernel's shared slack, so a
+// required capacity found by binary search is not rejected for a few ULPs
+// on re-evaluation.
+constexpr double kCapacityEps = slo::kCapacityEps;
 
 // Instrumentation (docs/observability.md): the replay slot loop and the
 // capacity search dominate every solver and bench, so their volume is
@@ -77,18 +78,10 @@ Evaluation evaluate(const Aggregate& agg, double capacity,
     rec->begin_section();
   }
 
-  // Per (week, slot-of-day) group sums for the theta statistic.
-  const std::size_t groups = cal.weeks() * cal.slots_per_day();
-  std::vector<double> requested(groups, 0.0);
-  std::vector<double> satisfied(groups, 0.0);
-
-  // FIFO backlog of deferred CoS2 allocation: (created-at slot, remaining).
-  struct Entry {
-    std::size_t created;
-    double remaining;
-  };
-  std::deque<Entry> backlog;
-  double backlog_total = 0.0;
+  // Per (week, slot-of-day) group sums and the deferral FIFO both live in
+  // the slo kernel (src/slo/kernel.h), shared with the online watchdog.
+  slo::ThetaAccumulator theta(cal.weeks(), cal.slots_per_day());
+  slo::DeferralQueue backlog(deadline_slots);
 
   for (std::size_t i = 0; i < cal.size(); ++i) {
     const double s1 = agg.cos1[i];
@@ -118,10 +111,7 @@ Evaluation evaluate(const Aggregate& agg, double capacity,
     const double sat2 = std::min(s2, available);
     const double deficit = s2 - sat2;
 
-    const std::size_t group = cal.week_of(i) * cal.slots_per_day() +
-                              cal.slot_of(i);
-    requested[group] += s2;
-    satisfied[group] += sat2;
+    theta.add(i, s2, sat2);
 
     if (rec != nullptr && rec->should_record(i)) {
       obs::SlotRecord record;
@@ -139,46 +129,15 @@ Evaluation evaluate(const Aggregate& agg, double capacity,
 
     // Spare capacity (after serving this slot's requests) drains the oldest
     // deferred demand first.
-    double spare = available - sat2;
-    while (spare > 0.0 && !backlog.empty()) {
-      Entry& front = backlog.front();
-      const double served = std::min(spare, front.remaining);
-      front.remaining -= served;
-      backlog_total -= served;
-      spare -= served;
-      if (front.remaining <= kCapacityEps) {
-        backlog_total = std::max(0.0, backlog_total);
-        backlog.pop_front();
-      }
-    }
-    if (deficit > kCapacityEps) {
-      backlog.push_back(Entry{i, deficit});
-      backlog_total += deficit;
-    }
-    ev.max_backlog = std::max(ev.max_backlog, backlog_total);
-
-    // A deferred entry must be fully served within `deadline_slots` of its
-    // creation; the FIFO front is the oldest, so it alone needs checking.
-    if (!backlog.empty() &&
-        backlog.front().created + deadline_slots <= i &&
-        backlog.front().remaining > kCapacityEps) {
-      ev.deadline_met = false;
-    }
+    backlog.drain(available - sat2);
+    backlog.defer(i, deficit);
+    ev.max_backlog = std::max(ev.max_backlog, backlog.total());
+    if (backlog.overdue(i)) ev.deadline_met = false;
   }
   // Anything still queued past its deadline at the end of the trace counts.
-  for (const Entry& e : backlog) {
-    if (e.created + deadline_slots < cal.size() &&
-        e.remaining > kCapacityEps) {
-      ev.deadline_met = false;
-    }
-  }
+  if (backlog.overdue_at_end(cal.size())) ev.deadline_met = false;
 
-  double theta = 1.0;
-  for (std::size_t g = 0; g < groups; ++g) {
-    if (requested[g] <= 0.0) continue;
-    theta = std::min(theta, satisfied[g] / requested[g]);
-  }
-  ev.theta = theta;
+  ev.theta = theta.theta();
   return ev;
 }
 
@@ -187,29 +146,19 @@ ThetaBreakdown theta_breakdown(const Aggregate& agg, double capacity) {
   ThetaBreakdown breakdown;
   if (agg.empty()) return breakdown;
   const trace::Calendar& cal = agg.calendar;
-  const std::size_t groups = cal.weeks() * cal.slots_per_day();
-  std::vector<double> requested(groups, 0.0);
-  std::vector<double> satisfied(groups, 0.0);
+  slo::ThetaAccumulator theta(cal.weeks(), cal.slots_per_day());
   for (std::size_t i = 0; i < cal.size(); ++i) {
     const double s1 = agg.cos1[i];
     ROPUS_REQUIRE(s1 <= capacity + kCapacityEps,
                   "CoS1 exceeds capacity; breakdown is undefined");
     const double s2 = agg.cos2[i];
-    const std::size_t group =
-        cal.week_of(i) * cal.slots_per_day() + cal.slot_of(i);
-    requested[group] += s2;
-    satisfied[group] += std::min(s2, std::max(0.0, capacity - s1));
+    theta.add(i, s2, std::min(s2, std::max(0.0, capacity - s1)));
   }
-  breakdown.group_ratios.assign(groups, 1.0);
-  for (std::size_t g = 0; g < groups; ++g) {
-    if (requested[g] <= 0.0) continue;
-    breakdown.group_ratios[g] = satisfied[g] / requested[g];
-    if (breakdown.group_ratios[g] < breakdown.theta) {
-      breakdown.theta = breakdown.group_ratios[g];
-      breakdown.worst_week = g / cal.slots_per_day();
-      breakdown.worst_slot = g % cal.slots_per_day();
-    }
-  }
+  breakdown.group_ratios = theta.ratios();
+  const slo::ThetaAccumulator::Worst worst = theta.worst();
+  breakdown.theta = worst.theta;
+  breakdown.worst_week = worst.group / cal.slots_per_day();
+  breakdown.worst_slot = worst.group % cal.slots_per_day();
   return breakdown;
 }
 

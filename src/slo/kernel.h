@@ -1,0 +1,249 @@
+// The SLO kernel: the single source of truth for the paper's contract
+// arithmetic. Every layer that judges a run against a QoS contract — the
+// batch compliance checks (wlm), the placement simulator's theta and
+// deferral accounting (sim), the online watchdog's streaming estimators
+// (obs), faultsim's per-trial scoring, and the placement objective (via the
+// simulator) — routes through the types in this header, so the band
+// classification, M%/T_degr budgets, per-(week, slot-of-day) theta, and
+// CoS1-overcommit rules exist in exactly one translation unit.
+//
+// Both shapes are exposed: batch functions over `std::span<const double>`
+// for offline whole-trace checks, and incremental accumulators for online
+// streams. The batch path is implemented ON TOP of the accumulators, so
+// offline and online results are bit-for-bit identical by construction
+// (tests/golden/ pins the pre-extraction values).
+//
+// Layering: slo depends only on common. Thresholds arrive as plain numbers
+// (`Band`), not qos::Requirement — the qos layer converts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace ropus::slo {
+
+/// Relative slack on the U_high / U_degr comparisons: a hair of tolerance
+/// absorbs grant-scaling rounding at exactly the thresholds. Shared by every
+/// consumer — changing it anywhere means changing it everywhere, which is
+/// the point.
+inline constexpr double kRelEps = 1e-9;
+
+/// Absolute slack on capacity comparisons (CoS1-fits checks and deferral
+/// residuals), so a capacity found by binary search is not rejected for a
+/// few ULPs on re-evaluation.
+inline constexpr double kCapacityEps = 1e-9;
+
+/// The band thresholds of one QoS requirement, as plain numbers.
+struct Band {
+  double u_high = 0.66;
+  double u_degr = 0.9;
+  double m_percent = 97.0;
+  /// Max contiguous degraded minutes; <= 0 means unconstrained.
+  double t_degr_minutes = 0.0;
+
+  /// The M_degr budget: percent of active slots allowed above U_high.
+  double m_degr_percent() const { return 100.0 - m_percent; }
+};
+
+/// How one observation classified against a Band.
+enum class BandClass : std::uint8_t {
+  kIdle,        // zero demand (always compliant)
+  kAcceptable,  // U_alloc <= U_high
+  kDegraded,    // U_high < U_alloc <= U_degr
+  kViolating,   // U_alloc > U_degr, or demand with no grant
+};
+
+/// Classification counts of a run against a Band — the shared shape of
+/// wlm::ComplianceReport and the watchdog's per-(app, mode) reports.
+struct BandCounts {
+  std::size_t intervals = 0;
+  std::size_t idle = 0;
+  std::size_t acceptable = 0;
+  std::size_t degraded = 0;
+  std::size_t violating = 0;
+  /// Of `degraded` / `violating`, the slots judged while the workload
+  /// manager served a telemetry fallback rather than a measurement.
+  std::size_t degraded_telemetry = 0;
+  std::size_t violating_telemetry = 0;
+  double longest_degraded_minutes = 0.0;
+
+  /// Fraction of non-idle intervals that were degraded or worse.
+  double degraded_fraction() const {
+    const std::size_t active = intervals - idle;
+    return active > 0 ? static_cast<double>(degraded + violating) /
+                            static_cast<double>(active)
+                      : 0.0;
+  }
+
+  /// True when the counts satisfy `band` with `slack_percent` extra headroom
+  /// on the M_degr budget (controller reaction lag costs a little).
+  bool satisfies(const Band& band, double slack_percent = 0.0) const;
+};
+
+/// Streaming band classifier: one observation at a time, with the idle /
+/// run-reset rules and the T_degr run bookkeeping. A masked-out slot (the
+/// other mode's turn, in faultsim's alternation) is reported via end_run(),
+/// which terminates the current degraded run without counting an interval.
+class BandAccumulator {
+ public:
+  explicit BandAccumulator(double minutes_per_sample = 5.0)
+      : minutes_per_sample_(minutes_per_sample) {}
+
+  /// Classifies and counts one observation. `on_fallback` attributes a
+  /// degraded/violating slot to the telemetry pipeline.
+  BandClass observe(double demand, double granted, const Band& band,
+                    bool on_fallback = false);
+
+  /// Ends the current degraded run (masked-out slot, section change, or
+  /// end of stream). Counts are unaffected.
+  void end_run() { run_ = 0; }
+
+  const BandCounts& counts() const { return counts_; }
+
+  /// Length in slots of the degraded-or-worse run ending at the last
+  /// observation (0 after an acceptable/idle slot or end_run()).
+  std::size_t current_run() const { return run_; }
+  std::size_t longest_run() const { return longest_; }
+  double minutes_per_sample() const { return minutes_per_sample_; }
+
+ private:
+  BandCounts counts_;
+  double minutes_per_sample_;
+  std::size_t run_ = 0;
+  std::size_t longest_ = 0;
+};
+
+/// Batch classification of a whole (or masked) series. `mask`, when
+/// non-null, selects the slots to judge — a masked-out slot ends any
+/// degraded run. `fallback`, when non-null, attributes degradations to
+/// telemetry. Sizes must match `demand`; `granted` must align with
+/// `demand`.
+BandCounts accumulate_bands(std::span<const double> demand,
+                            std::span<const double> granted, const Band& band,
+                            double minutes_per_sample,
+                            const std::vector<bool>* mask = nullptr,
+                            const std::vector<bool>* fallback = nullptr);
+
+/// Streaming theta statistic: per-(week, slot-of-day) sums of requested and
+/// satisfied CoS2, with theta = min over groups of satisfied/requested
+/// (groups with nothing requested count as 1.0). Group index is
+/// `week * slots_per_day + slot_of_day`; groups grow on demand, or are
+/// pre-sized by the (weeks, slots_per_day) constructor so the fixed-trace
+/// path never reallocates.
+class ThetaAccumulator {
+ public:
+  explicit ThetaAccumulator(std::size_t slots_per_day);
+  ThetaAccumulator(std::size_t weeks, std::size_t slots_per_day);
+
+  std::size_t slots_per_day() const { return slots_per_day_; }
+  std::size_t groups() const { return requested_.size(); }
+
+  /// The (week, slot-of-day) group of a linear slot index.
+  std::size_t group_of(std::size_t slot) const {
+    return (slot / (Calendar_kDaysPerWeek * slots_per_day_)) * slots_per_day_ +
+           slot % slots_per_day_;
+  }
+
+  /// Adds one observation's CoS2 request/satisfaction to its group.
+  void add(std::size_t slot, double requested, double satisfied);
+
+  /// satisfied/requested for a group; 1.0 when nothing was requested there
+  /// (or the group has not been touched).
+  double ratio(std::size_t group) const {
+    if (group >= requested_.size() || requested_[group] <= 0.0) return 1.0;
+    return satisfied_[group] / requested_[group];
+  }
+
+  /// The theta statistic: ascending-group min, 1.0 when nothing requested.
+  double theta() const;
+
+  struct Worst {
+    double theta = 1.0;
+    std::size_t group = 0;  // argmin (first strict minimum in group order)
+  };
+  /// theta together with its argmin group.
+  Worst worst() const;
+
+  /// All group ratios (1.0 for untouched groups) — the per-group breakdown.
+  std::vector<double> ratios() const;
+
+  double requested(std::size_t group) const {
+    return group < requested_.size() ? requested_[group] : 0.0;
+  }
+  double satisfied(std::size_t group) const {
+    return group < satisfied_.size() ? satisfied_[group] : 0.0;
+  }
+
+ private:
+  // Mirrors trace::Calendar::kDaysPerWeek without depending on trace.
+  static constexpr std::size_t Calendar_kDaysPerWeek = 7;
+
+  std::size_t slots_per_day_;
+  std::vector<double> requested_;
+  std::vector<double> satisfied_;
+};
+
+/// FIFO backlog of deferred CoS2 allocation with a drain deadline: a
+/// deferred entry must be fully served within `deadline_slots` of its
+/// creation. Spare capacity drains oldest-first; residuals below
+/// kCapacityEps count as served.
+class DeferralQueue {
+ public:
+  explicit DeferralQueue(std::size_t deadline_slots)
+      : deadline_slots_(deadline_slots) {}
+
+  /// Serves up to `spare` CPUs of the oldest deferred demand.
+  void drain(double spare);
+
+  /// Queues this slot's unsatisfied CoS2 (ignored below kCapacityEps).
+  void defer(std::size_t slot, double deficit);
+
+  /// True when the oldest entry has outlived its deadline at
+  /// `current_slot` and still has unserved demand — the FIFO front is the
+  /// oldest, so it alone needs checking.
+  bool overdue(std::size_t current_slot) const {
+    return !entries_.empty() &&
+           entries_.front().created + deadline_slots_ <= current_slot &&
+           entries_.front().remaining > kCapacityEps;
+  }
+
+  /// True when anything still queued at end-of-trace (`trace_size` slots)
+  /// is past its deadline.
+  bool overdue_at_end(std::size_t trace_size) const;
+
+  /// Outstanding deferred CoS2 (CPUs).
+  double total() const { return total_; }
+
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    std::size_t created;
+    double remaining;
+  };
+  std::deque<Entry> entries_;
+  double total_ = 0.0;
+  std::size_t deadline_slots_;
+};
+
+/// True when a grant scales back the guaranteed class itself: CoS1 is
+/// served first, so `granted < cos1` (beyond rounding slack) means the
+/// guarantee was overcommitted.
+inline bool cos1_overcommitted(double cos1, double granted) {
+  return cos1 > 0.0 && granted < cos1 * (1.0 - kRelEps);
+}
+
+/// True when a run's longest degraded stretch exceeds a T_degr budget;
+/// `t_degr_minutes <= 0` means unconstrained. A hair of absolute slack
+/// keeps a run of exactly T_degr / minutes_per_sample slots from counting
+/// as a breach — faultsim's per-trial breach counter uses this form (the
+/// zero-slack strict form lives in BandCounts::satisfies).
+inline bool t_degr_breached(const BandCounts& counts, double t_degr_minutes) {
+  return t_degr_minutes > 0.0 &&
+         counts.longest_degraded_minutes > t_degr_minutes + 1e-9;
+}
+
+}  // namespace ropus::slo

@@ -37,6 +37,34 @@ DemandTrace& DemandTrace::operator+=(const DemandTrace& other) {
   return *this;
 }
 
+void DemandTrace::assign_scaled(const DemandTrace& source,
+                                std::span<const double> factors) {
+  ROPUS_REQUIRE(factors.size() == source.size(),
+                "scale factors must align with the source trace");
+  for (double f : factors) {
+    ROPUS_REQUIRE(std::isfinite(f) && f >= 0.0,
+                  "scale factors must be finite and >= 0");
+  }
+  name_ = source.name_;
+  calendar_ = source.calendar_;
+  values_.resize(source.values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] = source.values_[i] * factors[i];
+  }
+}
+
+void DemandTrace::assign_aggregate(std::span<const DemandTrace> traces) {
+  ROPUS_REQUIRE(!traces.empty(), "aggregate of zero traces");
+  const DemandTrace& first = traces.front();
+  for (const DemandTrace& t : traces) {
+    ROPUS_REQUIRE(t.calendar() == first.calendar(),
+                  "cannot add traces on different calendars");
+  }
+  calendar_ = first.calendar_;
+  values_.assign(first.values_.begin(), first.values_.end());
+  for (const DemandTrace& t : traces.subspan(1)) *this += t;
+}
+
 DemandTrace DemandTrace::scaled(double factor) const {
   ROPUS_REQUIRE(factor >= 0.0, "scale factor must be >= 0");
   std::vector<double> out(values_.size());
@@ -125,7 +153,7 @@ DemandTrace aggregate(std::span<const DemandTrace> traces, std::string name) {
   ROPUS_REQUIRE(!traces.empty(), "aggregate of zero traces");
   DemandTrace total = DemandTrace::zeros(std::move(name),
                                          traces.front().calendar());
-  for (const DemandTrace& t : traces) total += t;
+  total.assign_aggregate(traces);
   return total;
 }
 

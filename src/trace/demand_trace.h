@@ -37,6 +37,18 @@ class DemandTrace {
   /// Element-wise sum with another trace on the same calendar.
   DemandTrace& operator+=(const DemandTrace& other);
 
+  /// Overwrites this trace with `source` scaled element-wise by `factors`
+  /// (finite, >= 0, aligned with the source). Reuses this trace's storage —
+  /// the allocation-free form faultsim's per-trial surge scaling needs; no
+  /// allocation at all once the buffer has the source's size.
+  void assign_scaled(const DemandTrace& source,
+                     std::span<const double> factors);
+
+  /// Overwrites this trace with the element-wise sum of `traces` (non-empty,
+  /// shared calendar), reusing this trace's storage and keeping its name —
+  /// the reuse-buffer counterpart of aggregate().
+  void assign_aggregate(std::span<const DemandTrace> traces);
+
   /// Returns a copy scaled by `factor` (>= 0).
   DemandTrace scaled(double factor) const;
 

@@ -1,24 +1,24 @@
+// Thin adapters over the slo kernel: all band arithmetic — the 1e-9
+// relative slack, idle/run-reset rules, telemetry attribution, and the
+// M%/T_degr budget checks — lives in src/slo/kernel.cpp.
 #include "wlm/compliance.h"
-
-#include <algorithm>
-#include <limits>
 
 #include "common/error.h"
 
 namespace ropus::wlm {
 
+slo::Band band_of(const qos::Requirement& req) {
+  slo::Band band;
+  band.u_high = req.u_high;
+  band.u_degr = req.u_degr;
+  band.m_percent = req.m_percent;
+  band.t_degr_minutes = req.t_degr_minutes.value_or(0.0);
+  return band;
+}
+
 bool ComplianceReport::satisfies(const qos::Requirement& req,
                                  double slack_percent) const {
-  if (violating > 0) return false;
-  if (degraded_fraction() * 100.0 >
-      req.m_degr_percent() + slack_percent) {
-    return false;
-  }
-  if (req.t_degr_minutes.has_value() &&
-      longest_degraded_minutes > *req.t_degr_minutes) {
-    return false;
-  }
-  return true;
+  return slo::BandCounts::satisfies(band_of(req), slack_percent);
 }
 
 namespace {
@@ -30,46 +30,9 @@ ComplianceReport check_range_impl(std::span<const double> demand,
                                   const qos::Requirement& req,
                                   double minutes_per_sample) {
   req.validate();
-  ROPUS_REQUIRE(granted.size() == demand.size(),
-                "grants and demand must align");
-  ROPUS_REQUIRE(minutes_per_sample > 0.0, "sample interval must be > 0");
   ComplianceReport report;
-
-  std::size_t run = 0;
-  std::size_t longest = 0;
-  // A hair of slack absorbs grant-scaling rounding at exactly U_high/U_degr.
-  constexpr double kRelEps = 1e-9;
-  for (std::size_t i = 0; i < demand.size(); ++i) {
-    if (mask != nullptr && !(*mask)[i]) {
-      run = 0;
-      continue;
-    }
-    report.intervals += 1;
-    const double d = demand[i];
-    if (d <= 0.0) {
-      report.idle += 1;
-      run = 0;
-      continue;
-    }
-    const double g = granted[i];
-    const double u =
-        g > 0.0 ? d / g : std::numeric_limits<double>::infinity();
-    const bool on_fallback = fallback != nullptr && (*fallback)[i];
-    if (u <= req.u_high * (1.0 + kRelEps)) {
-      report.acceptable += 1;
-      run = 0;
-    } else if (u <= req.u_degr * (1.0 + kRelEps)) {
-      report.degraded += 1;
-      if (on_fallback) report.degraded_telemetry += 1;
-      longest = std::max(longest, ++run);
-    } else {
-      report.violating += 1;
-      if (on_fallback) report.violating_telemetry += 1;
-      longest = std::max(longest, ++run);
-    }
-  }
-  report.longest_degraded_minutes =
-      static_cast<double>(longest) * minutes_per_sample;
+  static_cast<slo::BandCounts&>(report) = slo::accumulate_bands(
+      demand, granted, band_of(req), minutes_per_sample, mask, fallback);
   return report;
 }
 
@@ -88,7 +51,6 @@ ComplianceReport check_compliance_masked(std::span<const double> demand,
                                          const std::vector<bool>& mask,
                                          const qos::Requirement& req,
                                          double minutes_per_sample) {
-  ROPUS_REQUIRE(mask.size() == demand.size(), "mask and demand must align");
   return check_range_impl(demand, granted, &mask, nullptr, req,
                           minutes_per_sample);
 }
@@ -99,13 +61,10 @@ ComplianceReport check_compliance_attributed(std::span<const double> demand,
                                              const std::vector<bool>& fallback,
                                              const qos::Requirement& req,
                                              double minutes_per_sample) {
-  ROPUS_REQUIRE(mask.size() == demand.size(), "mask and demand must align");
   if (fallback.empty()) {
     return check_range_impl(demand, granted, &mask, nullptr, req,
                             minutes_per_sample);
   }
-  ROPUS_REQUIRE(fallback.size() == demand.size(),
-                "fallback flags and demand must align");
   return check_range_impl(demand, granted, &mask, &fallback, req,
                           minutes_per_sample);
 }

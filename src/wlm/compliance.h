@@ -6,38 +6,26 @@
 #include <vector>
 
 #include "qos/requirements.h"
+#include "slo/kernel.h"
 #include "trace/demand_trace.h"
 #include "wlm/server_sim.h"
 
 namespace ropus::wlm {
 
-/// Classification of a run against a Requirement.
-struct ComplianceReport {
-  std::size_t intervals = 0;
-  std::size_t idle = 0;          // zero-demand intervals (always compliant)
-  std::size_t acceptable = 0;    // U_alloc <= U_high
-  std::size_t degraded = 0;      // U_high < U_alloc <= U_degr
-  std::size_t violating = 0;     // U_alloc > U_degr, or demand with no grant
-  double longest_degraded_minutes = 0.0;  // longest contiguous U_alloc>U_high
-  /// Of `degraded` / `violating`, the intervals during which the workload
-  /// manager was running on its telemetry fallback rather than a
-  /// measurement — degradations attributable to the measurement pipeline
-  /// instead of raw capacity (only populated by the attributed variant).
-  std::size_t degraded_telemetry = 0;
-  std::size_t violating_telemetry = 0;
-
-  /// Fraction of non-idle intervals that were degraded or worse.
-  double degraded_fraction() const {
-    const std::size_t active = intervals - idle;
-    return active > 0 ? static_cast<double>(degraded + violating) /
-                            static_cast<double>(active)
-                      : 0.0;
-  }
+/// Classification of a run against a Requirement: the slo kernel's counts
+/// (src/slo/kernel.h — the single home of the band arithmetic) plus the
+/// Requirement-typed satisfies() bridge.
+struct ComplianceReport : slo::BandCounts {
+  using slo::BandCounts::satisfies;
 
   /// True when the run satisfies `req` with `slack_percent` extra headroom
   /// on the M_degr budget (controller reaction lag costs a little).
   bool satisfies(const qos::Requirement& req, double slack_percent) const;
 };
+
+/// The kernel Band for a Requirement (an unset T_degr maps to the kernel's
+/// "<= 0 means unconstrained" convention).
+slo::Band band_of(const qos::Requirement& req);
 
 /// Compares a container's realized grants against its demand under `req`.
 ComplianceReport check_compliance(const trace::DemandTrace& demand,

@@ -1,0 +1,136 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ropus::parallel {
+namespace {
+
+TEST(Parallel, HardwareThreadsIsPositive) {
+  EXPECT_GE(hardware_threads(), 1u);
+}
+
+TEST(Parallel, ThreadCountRoundTrips) {
+  const std::size_t before = thread_count();
+  set_thread_count(3);
+  EXPECT_EQ(thread_count(), 3u);
+  set_thread_count(0);
+  EXPECT_EQ(thread_count(), hardware_threads());
+  set_thread_count(before == hardware_threads() ? 0 : before);
+}
+
+TEST(Parallel, RejectsZeroThreads) {
+  EXPECT_THROW(for_each_index(4, 0, [](std::size_t) {}), InvalidArgument);
+}
+
+TEST(Parallel, EmptyRangeIsANoop) {
+  for_each_index(0, 8, [](std::size_t) { FAIL() << "fn ran on n == 0"; });
+}
+
+// Every index runs exactly once, at any thread count (including counts far
+// above n and the serial path).
+TEST(Parallel, EachIndexRunsExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 3u, 8u, 64u}) {
+    const std::size_t n = 257;
+    std::vector<std::atomic<std::uint32_t>> hits(n);
+    for (auto& h : hits) h.store(0);
+    for_each_index(n, threads, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1u) << "index " << i << " at " << threads
+                                    << " threads";
+    }
+  }
+}
+
+// The determinism recipe the faultsim campaign and the genetic search use:
+// seeds pre-drawn in index order, results written to index-addressed slots,
+// merged sequentially. The merged output must not depend on thread count.
+TEST(Parallel, IndexSlotResultsMatchSerial) {
+  const std::size_t n = 100;
+  std::vector<std::uint64_t> seeds(n);
+  SplitMix64 seeder(2006);
+  for (auto& s : seeds) s = seeder.next();
+
+  const auto run_at = [&](std::size_t threads) {
+    std::vector<double> out(n);
+    for_each_index(n, threads, [&](std::size_t i) {
+      Rng rng(seeds[i]);
+      double acc = 0.0;
+      for (int k = 0; k < 16; ++k) acc += rng.uniform();
+      out[i] = acc;
+    });
+    return out;
+  };
+
+  const std::vector<double> serial = run_at(1);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    const std::vector<double> parallel_out = run_at(threads);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(serial[i], parallel_out[i])
+          << "index " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  for (const std::size_t threads : {1u, 4u}) {
+    try {
+      for_each_index(64, threads, [](std::size_t i) {
+        if (i == 13) throw std::runtime_error("shard 13 failed");
+      });
+      FAIL() << "exception swallowed at " << threads << " threads";
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()), "shard 13 failed");
+    }
+  }
+}
+
+// A shard that itself calls for_each_index must not deadlock waiting on the
+// pool that is running it; the nested loop runs inline.
+TEST(Parallel, NestedCallsRunInline) {
+  std::atomic<std::uint64_t> total{0};
+  for_each_index(8, 4, [&](std::size_t) {
+    for_each_index(8, 4, [&](std::size_t j) {
+      total.fetch_add(j, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 8u * 28u);
+}
+
+// After an exception unwinds the serial path, the pool is usable again
+// (the nested-call flag must be restored).
+TEST(Parallel, SerialPathRestoresStateAfterThrow) {
+  EXPECT_THROW(
+      for_each_index(4, 1, [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<std::uint64_t> sum{0};
+  for_each_index(100, 4, [&](std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+// Back-to-back jobs reuse the pool without cross-talk.
+TEST(Parallel, PoolIsReusableAcrossJobs) {
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    for_each_index(50, 4, [&](std::size_t i) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(sum.load(), 1275u) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace ropus::parallel

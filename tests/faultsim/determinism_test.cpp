@@ -1,0 +1,113 @@
+// The --threads determinism contract: a campaign's reports are
+// byte-identical at any thread count (seeds pre-drawn in index order,
+// outcomes merged in index order). This is the test the TSan CI job runs to
+// race-check the sharded trial path.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "faultsim/campaign.h"
+
+namespace ropus::faultsim {
+namespace {
+
+using trace::Calendar;
+using trace::DemandTrace;
+
+/// Restores the process-wide thread budget on scope exit (the setting is
+/// global; a leaking override would bleed into other tests).
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { parallel::set_thread_count(0); }
+};
+
+qos::Requirement band(double u_low, double u_high, double u_degr) {
+  qos::Requirement r;
+  r.u_low = u_low;
+  r.u_high = u_high;
+  r.u_degr = u_degr;
+  r.m_percent = 100.0;
+  return r;
+}
+
+struct Fleet {
+  std::vector<DemandTrace> demands;
+  std::vector<qos::ApplicationQos> qos;
+  qos::PoolCommitments commitments;
+  std::vector<sim::ServerSpec> pool;
+};
+
+Fleet make_fleet(const Calendar& cal) {
+  Fleet fleet;
+  fleet.commitments.cos2 = qos::CosCommitment{1.0, 10080.0};
+  for (int i = 0; i < 4; ++i) {
+    fleet.demands.emplace_back("app-" + std::to_string(i), cal,
+                               std::vector<double>(cal.size(), 2.0));
+    qos::ApplicationQos q;
+    q.app_name = fleet.demands.back().name();
+    q.normal = band(0.5, 0.66, 0.9);
+    q.failure = band(0.8, 0.9, 0.95);
+    fleet.qos.push_back(std::move(q));
+  }
+  fleet.pool = sim::homogeneous_pool(2, 16);
+  return fleet;
+}
+
+CampaignConfig stressful_config() {
+  CampaignConfig cfg;
+  cfg.trials = 24;
+  cfg.seed = 2006;
+  cfg.reliability.mtbf_hours = 120.0;
+  cfg.reliability.mttr_hours = 6.0;
+  cfg.surge.arrivals_per_week = 1.0;  // exercise the surge-scaling scratch
+  cfg.replay.spare_servers = 1;
+  cfg.replay.telemetry.drop_rate = 0.02;  // and the telemetry streams
+  cfg.replay.telemetry.stale_rate = 0.02;
+  return cfg;
+}
+
+TEST(CampaignDeterminism, ReportsAreByteIdenticalAtAnyThreadCount) {
+  const Calendar cal(1, 60);  // 168 hourly slots
+  const Fleet fleet = make_fleet(cal);
+  const placement::Assignment a = Campaign::plan_normal_assignment(
+      fleet.demands, fleet.qos, fleet.commitments, fleet.pool);
+  const Campaign campaign(fleet.demands, fleet.qos, fleet.commitments,
+                          fleet.pool, a);
+  const CampaignConfig cfg = stressful_config();
+
+  const ThreadCountGuard guard;
+  parallel::set_thread_count(1);
+  const CampaignResult serial = campaign.run(cfg);
+  const std::string serial_text = format_report(serial);
+  const std::string serial_json = format_report_json(serial);
+  EXPECT_GT(serial.total_failures, 0u);  // the scenario must do something
+
+  for (const std::size_t threads : {2u, 8u}) {
+    parallel::set_thread_count(threads);
+    const CampaignResult sharded = campaign.run(cfg);
+    EXPECT_EQ(serial_text, format_report(sharded)) << threads << " threads";
+    EXPECT_EQ(serial_json, format_report_json(sharded))
+        << threads << " threads";
+  }
+}
+
+TEST(CampaignDeterminism, PerfectTelemetryPathIsAlsoThreadCountInvariant) {
+  const Calendar cal(1, 60);
+  const Fleet fleet = make_fleet(cal);
+  const placement::Assignment a = Campaign::plan_normal_assignment(
+      fleet.demands, fleet.qos, fleet.commitments, fleet.pool);
+  const Campaign campaign(fleet.demands, fleet.qos, fleet.commitments,
+                          fleet.pool, a);
+  CampaignConfig cfg = stressful_config();
+  cfg.replay.telemetry = wlm::TelemetryFaultModel{};  // perfect telemetry
+
+  const ThreadCountGuard guard;
+  parallel::set_thread_count(1);
+  const std::string serial = format_report(campaign.run(cfg));
+  parallel::set_thread_count(8);
+  EXPECT_EQ(serial, format_report(campaign.run(cfg)));
+}
+
+}  // namespace
+}  // namespace ropus::faultsim

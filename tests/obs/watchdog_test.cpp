@@ -114,7 +114,7 @@ TEST(Watchdog, StreamingMatchesBatchRangeCheck) {
   ASSERT_NE(streaming, nullptr);
   expect_reports_equal(*streaming, batch);
   EXPECT_EQ(wd.report(0, true), nullptr);  // no failure-mode slots streamed
-  EXPECT_EQ(streaming->ok(paper_band()),
+  EXPECT_EQ(streaming->satisfies(paper_band()),
             batch.satisfies(paper_requirement(), 0.0));
 }
 

@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "common/flags.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "obs/export.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
@@ -63,6 +64,11 @@ void usage(std::ostream& os) {
         "metrics)\n"
         "  --log-level=<level>    debug|info|warn|error|off (overrides "
         "ROPUS_LOG)\n"
+        "  --threads=<n>          worker threads for sharded loops "
+        "(faultsim trials,\n"
+        "                         genetic offspring; default: hardware; "
+        "output is\n"
+        "                         byte-identical at any value)\n"
         "  --record-out=<path[:stride[:ring]]>\n"
         "                         per-slot flight recording (.csv = CSV, "
         "else binary;\n"
@@ -89,6 +95,16 @@ std::optional<int> dispatch(const std::string& command, const Flags& flags,
   if (command == "backtest") return cmd_backtest(flags, out, err);
   if (command == "report") return cmd_report(flags, out, err);
   return std::nullopt;
+}
+
+/// Applies --threads: the process-wide budget for sharded loops (faultsim
+/// trials, genetic offspring). Sharded results are byte-identical at any
+/// value; 1 runs the plain serial loops.
+void apply_thread_count(const Flags& flags) {
+  if (!flags.has("threads")) return;
+  const std::size_t threads = flags.get_size("threads", 0);
+  ROPUS_REQUIRE(threads >= 1, "--threads must be >= 1");
+  parallel::set_thread_count(threads);
 }
 
 /// Applies --log-level (flag wins over the ROPUS_LOG environment variable).
@@ -146,6 +162,7 @@ int run(std::span<const std::string> args, std::ostream& out,
   try {
     const Flags flags(args.subspan(1));
     apply_log_level(flags);
+    apply_thread_count(flags);
     if (flags.has("trace-out")) obs::Tracer::global().set_enabled(true);
 
     // --record-out installs the process-global flight recorder before the

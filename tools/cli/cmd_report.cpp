@@ -241,7 +241,7 @@ int cmd_report(const Flags& flags, std::ostream& out, std::ostream& err) {
         if (counts == nullptr) continue;
         const obs::SloBand& band =
             failure_mode ? band_from(failure) : band_from(normal);
-        const bool ok = counts->ok(band);
+        const bool ok = counts->satisfies(band);
         if (!ok) report.ok = false;
         table.add_row({rec.app_name(app), failure_mode ? "failure" : "normal",
                        std::to_string(counts->intervals),
@@ -379,7 +379,7 @@ int cmd_report(const Flags& flags, std::ostream& out, std::ostream& err) {
               .value(counts->degraded_fraction() * 100.0);
           w.key("longest_degraded_minutes")
               .value(counts->longest_degraded_minutes);
-          w.key("ok").value(counts->ok(band));
+          w.key("ok").value(counts->satisfies(band));
           w.end_object();
         }
       }
