@@ -26,6 +26,7 @@
 #include "placement/problem.h"
 #include "qos/allocation.h"
 #include "qos/translation.h"
+#include "serve/arbiter.h"
 #include "sim/simulator.h"
 #include "slo/kernel.h"
 #include "support.h"
@@ -270,6 +271,71 @@ void report(const BenchRun& run, bench::BenchReporter& reporter) {
                           : 0.0);
 }
 
+/// The serve daemon's steady-state tick: parse one NDJSON line and judge
+/// the slot for 8 apps (grant rule, watchdog, verdict rendering), plus the
+/// cost of serializing a full checkpoint payload. The arbiter's per-group
+/// theta bookkeeping grows with elapsed weeks, so the loop re-seeds a fresh
+/// arbiter each simulated week to keep the phase stationary.
+[[gnu::noinline]] void bench_serve_tick(bench::BenchReporter& reporter) {
+  const std::size_t n = 8;
+  const trace::Calendar cal = demands()[0].calendar();
+  serve::ServeConfig config;
+  config.minutes_per_sample = static_cast<double>(cal.minutes_per_sample());
+  config.slots_per_day =
+      trace::Calendar::kMinutesPerDay / cal.minutes_per_sample();
+  config.servers = 4;
+  config.server_cpus = 64.0;  // roomy: every admission must be accepted
+
+  const auto seed_arbiter = [&] {
+    serve::Arbiter arbiter(config);
+    for (std::size_t a = 0; a < n; ++a) {
+      serve::Message msg;
+      msg.type = serve::MessageType::kAdmit;
+      msg.admit.app = demands()[a].name();
+      msg.admit.requirement = bench::paper_requirement(97.0, 30.0);
+      msg.admit.profile.assign(demands()[a].values().begin(),
+                               demands()[a].values().end());
+      arbiter.handle(msg);
+    }
+    return arbiter;
+  };
+  serve::Arbiter arbiter = seed_arbiter();
+  if (arbiter.app_count() != n) {
+    std::fprintf(stderr, "serve bench: admission rejected a seed app\n");
+    std::exit(1);
+  }
+  const std::size_t week_slots = 7 * config.slots_per_day;
+
+  std::string suffix = ",\"demand\":{";
+  for (std::size_t a = 0; a < n; ++a) {
+    if (a > 0) suffix += ',';
+    suffix += '"' + std::string(demands()[a].name()) + "\":" +
+              std::to_string(1.0 + 0.3 * static_cast<double>(a));
+  }
+  suffix += "}}";
+
+  report(run_bench("serve/tick", n,
+                   [&] {
+                     if (arbiter.next_slot() >= week_slots) {
+                       arbiter = seed_arbiter();
+                     }
+                     const std::string line =
+                         "{\"type\":\"tick\",\"slot\":" +
+                         std::to_string(arbiter.next_slot()) + suffix;
+                     do_not_optimize(
+                         arbiter.handle(serve::parse_message(line)));
+                   }),
+         reporter);
+
+  report(run_bench("serve/checkpoint_save", 0,
+                   [&] {
+                     json::Writer w;
+                     arbiter.save_state(w);
+                     do_not_optimize(w.str());
+                   }),
+         reporter);
+}
+
 }  // namespace
 
 int main() {
@@ -328,6 +394,7 @@ int main() {
   }
 
   bench_slo_kernel(reporter);
+  bench_serve_tick(reporter);
   bench_campaign_threads(reporter);
   bench_recorder_overhead(reporter);
 

@@ -1,0 +1,38 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for framing
+// checkpoint payloads and journal lines: cheap, table-free at compile
+// time, and enough to distinguish a torn or bit-rotted file from a valid
+// one. Not a cryptographic integrity check.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace ropus::crc {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kTable = make_table();
+}  // namespace detail
+
+/// CRC-32 of `data` (standard init/final XOR with 0xFFFFFFFF).
+constexpr std::uint32_t crc32(std::string_view data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = detail::kTable[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
+        (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ropus::crc

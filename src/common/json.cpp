@@ -277,9 +277,19 @@ class Parser {
     const char c = peek();
     switch (c) {
       case '{':
-        return object();
-      case '[':
-        return array();
+      case '[': {
+        // The parser recurses once per nesting level; without a cap an
+        // adversarial "[[[[..." overflows the stack long before any
+        // memory limit bites.
+        if (depth_ >= kMaxParseDepth) {
+          fail("nesting deeper than " + std::to_string(kMaxParseDepth) +
+               " levels");
+        }
+        ++depth_;
+        Value v = c == '{' ? object() : array();
+        --depth_;
+        return v;
+      }
       case '"':
         return Value::string(string());
       case 't':
@@ -432,6 +442,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

@@ -17,6 +17,11 @@
 
 namespace ropus::json {
 
+/// Maximum container nesting depth parse() accepts. The parser recurses
+/// per level, so this bounds stack use against adversarial "[[[[..."
+/// input; no document the repo writes comes anywhere near it.
+inline constexpr std::size_t kMaxParseDepth = 96;
+
 class Writer {
  public:
   Writer& begin_object();

@@ -1,0 +1,38 @@
+#include "common/signals.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace ropus::signals {
+namespace {
+
+std::atomic<int> g_signal{0};
+
+extern "C" void on_termination(int signo) {
+  // Only lock-free atomic stores are async-signal-safe; everything else
+  // (flushing, logging, checkpointing) happens at the next poll site.
+  g_signal.store(signo, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_termination_handlers() {
+  std::signal(SIGTERM, on_termination);
+  std::signal(SIGINT, on_termination);
+}
+
+bool termination_requested() {
+  return g_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int termination_signal() {
+  return g_signal.load(std::memory_order_relaxed);
+}
+
+void request_termination(int signo) {
+  g_signal.store(signo, std::memory_order_relaxed);
+}
+
+void reset_for_tests() { g_signal.store(0, std::memory_order_relaxed); }
+
+}  // namespace ropus::signals

@@ -1,0 +1,32 @@
+// Cooperative termination: a process-wide flag set by SIGTERM/SIGINT so
+// long-running commands (faultsim campaigns, report replay, the serve
+// daemon) can stop at the next safe point, flush their artifacts
+// (--record-out, --metrics-out, checkpoints) and exit cleanly instead of
+// losing them. The handler only stores into lock-free atomics —
+// async-signal-safe by construction — and leaves all real work to the
+// polling thread.
+#pragma once
+
+namespace ropus::signals {
+
+/// Installs SIGTERM/SIGINT handlers that set the termination flag.
+/// Idempotent; safe to call from every command entry point.
+void install_termination_handlers();
+
+/// True once SIGTERM or SIGINT has been delivered (or request_termination
+/// was called). Cheap enough to poll per trial / per slot.
+bool termination_requested();
+
+/// The signal number that triggered termination, or 0. Used to derive the
+/// conventional 128+signo exit code.
+int termination_signal();
+
+/// Sets the flag programmatically — the serve daemon's drain path and
+/// tests use this in place of a real signal.
+void request_termination(int signo);
+
+/// Clears the flag so one test's simulated signal does not leak into the
+/// next. Not for production paths.
+void reset_for_tests();
+
+}  // namespace ropus::signals

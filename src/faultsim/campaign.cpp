@@ -7,6 +7,7 @@
 #include "common/json.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/signals.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "obs/span.h"
@@ -209,17 +210,25 @@ CampaignResult Campaign::run(const CampaignConfig& config) const {
       rec != nullptr ? 1 : parallel::thread_count();
   std::vector<TrialOutcome> outcomes(config.trials);
   std::vector<double> wall_seconds(config.trials, 0.0);
+  // A termination signal skips the trials that have not started yet; only
+  // completed trials are merged, so an interrupted run still reports honest
+  // (if lower-resolution) distributions before the CLI flushes its outputs.
+  std::vector<char> completed(config.trials, 0);
   parallel::for_each_index(
       config.trials, threads, [&](std::size_t t) {
+        if (signals::termination_requested()) return;
         // Serial path only (threads == 1): every record of this trial's
         // replay carries its index.
         if (rec != nullptr) rec->set_section(static_cast<std::uint16_t>(t));
         const double trial_start = obs::monotonic_seconds();
         outcomes[t] = run_trial(seeds[t], config);
         wall_seconds[t] = obs::monotonic_seconds() - trial_start;
+        completed[t] = 1;
       });
 
   for (std::size_t t = 0; t < config.trials; ++t) {
+    if (completed[t] == 0) continue;
+    result.trials_completed += 1;
     const TrialOutcome& outcome = outcomes[t];
     trial_seconds.record(wall_seconds[t]);
     trials_total.add(1);
@@ -297,6 +306,12 @@ std::string format_report(const CampaignResult& result) {
   std::string out;
   out += "fault-injection campaign\n";
   out += fmt("  trials      : %llu\n", ull(cfg.trials));
+  // Only an interrupted run mentions completion, so reports from complete
+  // runs stay byte-identical to earlier versions.
+  if (result.trials_completed < cfg.trials) {
+    out += fmt("  completed   : %llu (interrupted by signal)\n",
+               ull(result.trials_completed));
+  }
   out += fmt("  seed        : %llu\n",
              static_cast<unsigned long long>(cfg.seed));
   out += fmt("  fleet       : %llu apps on %llu servers (+%llu spares)\n",
@@ -405,6 +420,9 @@ std::string format_report_json(const CampaignResult& result) {
   json::Writer w;
   w.begin_object();
   w.key("trials").value(cfg.trials);
+  if (result.trials_completed < cfg.trials) {
+    w.key("trials_completed").value(result.trials_completed);
+  }
   w.key("seed").value(static_cast<std::int64_t>(cfg.seed));
   w.key("apps").value(result.apps);
   w.key("servers").value(result.servers);

@@ -59,6 +59,10 @@ struct CampaignResult {
   std::size_t apps = 0;
   std::size_t servers = 0;
   double horizon_hours = 0.0;
+  /// Trials actually executed: equals config.trials unless a termination
+  /// signal interrupted the campaign, in which case only the completed
+  /// trials are merged below and the report notes the interruption.
+  std::size_t trials_completed = 0;
 
   // Event totals across all trials.
   std::size_t total_failures = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/error.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -296,6 +297,179 @@ void Watchdog::finish() {
     app.overcommit_active = false;
     app.open_overcommit = -1;
   }
+}
+
+namespace {
+
+void write_band_state(json::Writer& w, const slo::BandAccumulator& acc) {
+  const slo::BandAccumulator::State s = acc.state();
+  w.begin_object();
+  w.key("intervals").value(s.counts.intervals);
+  w.key("idle").value(s.counts.idle);
+  w.key("acceptable").value(s.counts.acceptable);
+  w.key("degraded").value(s.counts.degraded);
+  w.key("violating").value(s.counts.violating);
+  w.key("degraded_telemetry").value(s.counts.degraded_telemetry);
+  w.key("violating_telemetry").value(s.counts.violating_telemetry);
+  w.key("longest_degraded_minutes").value(s.counts.longest_degraded_minutes);
+  w.key("run").value(s.run);
+  w.key("longest").value(s.longest);
+  w.end_object();
+}
+
+std::size_t read_size(const json::Value& v, std::string_view key) {
+  return static_cast<std::size_t>(v.at(key).as_number());
+}
+
+void read_band_state(const json::Value& v, slo::BandAccumulator& acc) {
+  slo::BandAccumulator::State s;
+  s.counts.intervals = read_size(v, "intervals");
+  s.counts.idle = read_size(v, "idle");
+  s.counts.acceptable = read_size(v, "acceptable");
+  s.counts.degraded = read_size(v, "degraded");
+  s.counts.violating = read_size(v, "violating");
+  s.counts.degraded_telemetry = read_size(v, "degraded_telemetry");
+  s.counts.violating_telemetry = read_size(v, "violating_telemetry");
+  s.counts.longest_degraded_minutes =
+      v.at("longest_degraded_minutes").as_number();
+  s.run = read_size(v, "run");
+  s.longest = read_size(v, "longest");
+  acc.restore(s);
+}
+
+void write_theta_sections(
+    json::Writer& w,
+    const std::map<std::uint16_t, slo::ThetaAccumulator>& sections) {
+  w.begin_array();
+  for (const auto& [section, acc] : sections) {
+    w.begin_object();
+    w.key("section").value(static_cast<std::size_t>(section));
+    w.key("requested").begin_array();
+    for (const double r : acc.requested_raw()) w.value(r);
+    w.end_array();
+    w.key("satisfied").begin_array();
+    for (const double s : acc.satisfied_raw()) w.value(s);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void read_theta_sections(const json::Value& v, std::size_t slots_per_day,
+                         std::map<std::uint16_t, slo::ThetaAccumulator>& out) {
+  out.clear();
+  for (const json::Value& item : v.as_array()) {
+    const auto section = static_cast<std::uint16_t>(read_size(item, "section"));
+    std::vector<double> requested;
+    std::vector<double> satisfied;
+    for (const json::Value& r : item.at("requested").as_array()) {
+      requested.push_back(r.as_number());
+    }
+    for (const json::Value& s : item.at("satisfied").as_array()) {
+      satisfied.push_back(s.as_number());
+    }
+    slo::ThetaAccumulator acc(slots_per_day);
+    acc.restore(requested, satisfied);
+    out.emplace(section, std::move(acc));
+  }
+}
+
+}  // namespace
+
+void Watchdog::save_state(json::Writer& w) const {
+  w.begin_object();
+  w.key("finished").value(finished_);
+  w.key("alerts_dropped").value(static_cast<std::int64_t>(alerts_dropped_));
+  w.key("alerts").begin_array();
+  for (const Alert& a : alerts_) {
+    w.begin_object();
+    w.key("kind").value(static_cast<std::size_t>(a.kind));
+    w.key("severity").value(static_cast<std::size_t>(a.severity));
+    w.key("app").value(static_cast<std::size_t>(a.app));
+    w.key("section").value(static_cast<std::size_t>(a.section));
+    w.key("failure_mode").value(a.failure_mode);
+    w.key("first_slot").value(static_cast<std::size_t>(a.first_slot));
+    w.key("duration_slots").value(static_cast<std::size_t>(a.duration_slots));
+    w.key("value").value(a.value);
+    w.key("threshold").value(a.threshold);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("apps").begin_array();
+  for (const auto& [id, app] : apps_) {
+    w.begin_object();
+    w.key("id").value(static_cast<std::size_t>(id));
+    w.key("seen").value(app.seen);
+    w.key("section").value(static_cast<std::size_t>(app.section));
+    w.key("overcommit_active").value(app.overcommit_active);
+    w.key("open_overcommit")
+        .value(static_cast<std::int64_t>(app.open_overcommit));
+    w.key("last_overcommit_slot")
+        .value(static_cast<std::size_t>(app.last_overcommit_slot));
+    w.key("modes").begin_array();
+    for (const ModeState& mode : app.mode) {
+      w.begin_object();
+      w.key("acc");
+      write_band_state(w, mode.acc);
+      w.key("tdegr_active").value(mode.tdegr_active);
+      w.key("open_tdegr").value(static_cast<std::int64_t>(mode.open_tdegr));
+      w.key("band_alerted").value(mode.band_alerted);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("theta_pool");
+  write_theta_sections(w, theta_pool_);
+  w.key("theta_app");
+  write_theta_sections(w, theta_app_);
+  w.end_object();
+}
+
+void Watchdog::load_state(const json::Value& v) {
+  finished_ = v.at("finished").as_bool();
+  alerts_dropped_ = static_cast<std::uint64_t>(read_size(v, "alerts_dropped"));
+  alerts_.clear();
+  for (const json::Value& item : v.at("alerts").as_array()) {
+    Alert a;
+    a.kind = static_cast<AlertKind>(read_size(item, "kind"));
+    a.severity = static_cast<AlertSeverity>(read_size(item, "severity"));
+    a.app = static_cast<std::uint16_t>(read_size(item, "app"));
+    a.section = static_cast<std::uint16_t>(read_size(item, "section"));
+    a.failure_mode = item.at("failure_mode").as_bool();
+    a.first_slot = static_cast<std::uint32_t>(read_size(item, "first_slot"));
+    a.duration_slots =
+        static_cast<std::uint32_t>(read_size(item, "duration_slots"));
+    a.value = item.at("value").as_number();
+    a.threshold = item.at("threshold").as_number();
+    alerts_.push_back(a);
+  }
+  apps_.clear();
+  for (const json::Value& item : v.at("apps").as_array()) {
+    const auto id = static_cast<std::uint16_t>(read_size(item, "id"));
+    AppState& app =
+        apps_.try_emplace(id, config_.minutes_per_sample).first->second;
+    app.seen = item.at("seen").as_bool();
+    app.section = static_cast<std::uint16_t>(read_size(item, "section"));
+    app.overcommit_active = item.at("overcommit_active").as_bool();
+    app.open_overcommit =
+        static_cast<std::ptrdiff_t>(item.at("open_overcommit").as_number());
+    app.last_overcommit_slot =
+        static_cast<std::uint32_t>(read_size(item, "last_overcommit_slot"));
+    const auto& modes = item.at("modes").as_array();
+    if (modes.size() != 2) throw IoError("watchdog state: expected 2 modes");
+    for (std::size_t m = 0; m < 2; ++m) {
+      const json::Value& mv = modes[m];
+      read_band_state(mv.at("acc"), app.mode[m].acc);
+      app.mode[m].tdegr_active = mv.at("tdegr_active").as_bool();
+      app.mode[m].open_tdegr =
+          static_cast<std::ptrdiff_t>(mv.at("open_tdegr").as_number());
+      app.mode[m].band_alerted = mv.at("band_alerted").as_bool();
+    }
+  }
+  read_theta_sections(v.at("theta_pool"), config_.slots_per_day, theta_pool_);
+  read_theta_sections(v.at("theta_app"), config_.slots_per_day, theta_app_);
 }
 
 std::vector<std::uint16_t> Watchdog::apps() const {

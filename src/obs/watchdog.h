@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "obs/recorder.h"
 #include "slo/kernel.h"
 
@@ -126,6 +127,18 @@ class Watchdog {
   const std::vector<Alert>& alerts() const { return alerts_; }
   /// Alerts beyond max_alerts (counted, not stored).
   std::uint64_t alerts_dropped() const { return alerts_dropped_; }
+
+  /// Serializes the complete mutable state (per-app accumulators, theta
+  /// group sums, alerts, open-run bookkeeping) as one JSON object, for
+  /// the serve daemon's checkpoints. The config is not included — the
+  /// restoring side must construct the watchdog with the same config.
+  /// Doubles round-trip exactly (Writer uses to_chars; parse uses
+  /// from_chars), so a restored watchdog continues bit-identically.
+  void save_state(json::Writer& w) const;
+
+  /// Restores state saved by save_state() into a freshly-constructed
+  /// watchdog. Throws IoError on a malformed document.
+  void load_state(const json::Value& v);
 
  private:
   struct ModeState {

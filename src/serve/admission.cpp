@@ -1,0 +1,80 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "sim/simulator.h"
+
+namespace ropus::serve {
+
+void AdmissionPolicy::validate() const {
+  ROPUS_REQUIRE(revenue_per_cpu >= 0.0, "revenue rate must be >= 0");
+  ROPUS_REQUIRE(penalty_per_cpu >= 0.0, "penalty rate must be >= 0");
+  ROPUS_REQUIRE(headroom_margin > 0.0 && headroom_margin < 1.0,
+                "headroom margin must be in (0, 1)");
+  ROPUS_REQUIRE(renegotiate_m > 0.0 && renegotiate_m <= 100.0,
+                "renegotiated M must be in (0, 100]");
+  ROPUS_REQUIRE(renegotiate_tdegr >= 0.0, "renegotiated T_degr must be >= 0");
+}
+
+const char* admission_decision_name(AdmissionDecision d) {
+  switch (d) {
+    case AdmissionDecision::kAccepted: return "accepted";
+    case AdmissionDecision::kRenegotiated: return "renegotiated";
+    case AdmissionDecision::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+AdmissionOutcome place_candidate(const qos::AllocationTrace& candidate,
+                                 double revenue_weight,
+                                 std::span<const HostedWorkload> hosted,
+                                 std::span<const double> server_cpus,
+                                 const qos::CosCommitment& cos2,
+                                 const AdmissionPolicy& policy) {
+  policy.validate();
+  AdmissionOutcome best;
+  bool any_fit = false;
+  for (std::size_t s = 0; s < server_cpus.size(); ++s) {
+    std::vector<const qos::AllocationTrace*> workloads;
+    for (const HostedWorkload& w : hosted) {
+      if (w.host == s) workloads.push_back(w.alloc);
+    }
+    workloads.push_back(&candidate);
+    const sim::Aggregate agg =
+        sim::aggregate_workloads(workloads, candidate.calendar());
+    const sim::RequiredCapacity rc =
+        sim::required_capacity(agg, server_cpus[s], cos2);
+    if (!rc.fits) continue;
+    const double headroom =
+        server_cpus[s] > 0.0 ? (server_cpus[s] - rc.capacity) / server_cpus[s]
+                             : 0.0;
+    // Best-fit by headroom; strict > keeps ties on the lower server index.
+    if (!any_fit || headroom > best.headroom) {
+      any_fit = true;
+      best.host = s;
+      best.headroom = headroom;
+    }
+  }
+  if (!any_fit) {
+    best.decision = AdmissionDecision::kRejected;
+    best.reason = "no server can hold the workload under its commitment";
+    return best;
+  }
+  const double peak = candidate.peak_allocation();
+  const double revenue = policy.revenue_per_cpu * revenue_weight * peak;
+  const double risk = std::clamp(
+      (policy.headroom_margin - best.headroom) / policy.headroom_margin, 0.0,
+      1.0);
+  const double penalty = policy.penalty_per_cpu * peak * risk;
+  best.score = revenue - penalty;
+  if (best.score < 0.0) {
+    best.decision = AdmissionDecision::kRejected;
+    best.reason = "expected penalty exceeds revenue at the available headroom";
+    return best;
+  }
+  best.decision = AdmissionDecision::kAccepted;
+  return best;
+}
+
+}  // namespace ropus::serve

@@ -1,0 +1,68 @@
+// Revenue/penalty-aware admission control (after Mazzucco et al.'s
+// QoS-aware provisioning policies): an arriving application is translated
+// through the QoS kernel, placed incrementally around the existing fleet
+// (per-server required-capacity deltas — no full placement re-run), and
+// then accepted, renegotiated to a weaker band, or rejected by comparing
+// the expected revenue of hosting it against the penalty exposure of the
+// headroom it would leave.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "qos/allocation.h"
+#include "qos/requirements.h"
+
+namespace ropus::serve {
+
+struct AdmissionPolicy {
+  /// Revenue rate per peak allocation CPU of an admitted app (scaled by the
+  /// request's relative revenue weight).
+  double revenue_per_cpu = 1.0;
+  /// Penalty rate per peak allocation CPU when the placement is risky.
+  double penalty_per_cpu = 2.0;
+  /// Headroom (spare fraction of the host's capacity) below which the
+  /// penalty term ramps in: risk = clamp01((margin - headroom) / margin).
+  double headroom_margin = 0.1;
+  /// Band offered when the requested QoS does not fit anywhere: M% is
+  /// lowered to this value and T_degr relaxed to `renegotiate_tdegr`.
+  double renegotiate_m = 90.0;
+  double renegotiate_tdegr = 30.0;
+
+  /// Throws InvalidArgument on nonsensical settings.
+  void validate() const;
+};
+
+enum class AdmissionDecision { kAccepted, kRenegotiated, kRejected };
+
+const char* admission_decision_name(AdmissionDecision d);
+
+struct AdmissionOutcome {
+  AdmissionDecision decision = AdmissionDecision::kRejected;
+  std::size_t host = 0;      // valid unless rejected
+  double headroom = 0.0;     // spare fraction of the host after admission
+  double score = 0.0;        // revenue - penalty for the chosen host
+  std::string reason;        // set on rejection
+};
+
+/// One hosted (or candidate) workload as the delta-placement sees it.
+struct HostedWorkload {
+  const qos::AllocationTrace* alloc = nullptr;
+  std::size_t host = 0;
+};
+
+/// Scores `candidate` (weighting `revenue_weight`) against every server:
+/// for each server the existing workloads plus the candidate are
+/// re-evaluated with the simulator's required-capacity search; feasible
+/// servers are ranked best-fit by post-admission headroom and the winner's
+/// revenue/penalty score decides acceptance. Deterministic: ties break on
+/// the lower server index. `server_cpus` gives each server's capacity.
+AdmissionOutcome place_candidate(const qos::AllocationTrace& candidate,
+                                 double revenue_weight,
+                                 std::span<const HostedWorkload> hosted,
+                                 std::span<const double> server_cpus,
+                                 const qos::CosCommitment& cos2,
+                                 const AdmissionPolicy& policy);
+
+}  // namespace ropus::serve

@@ -1,0 +1,604 @@
+#include "serve/arbiter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.h"
+#include "obs/recorder.h"
+#include "qos/translation.h"
+#include "trace/calendar.h"
+
+namespace ropus::serve {
+
+namespace {
+
+const char* band_class_name(slo::BandClass cls) {
+  switch (cls) {
+    case slo::BandClass::kIdle: return "idle";
+    case slo::BandClass::kAcceptable: return "acceptable";
+    case slo::BandClass::kDegraded: return "degraded";
+    case slo::BandClass::kViolating: return "violating";
+  }
+  return "unknown";
+}
+
+const char* telemetry_name(wlm::ObservationClass cls) {
+  switch (cls) {
+    case wlm::ObservationClass::kOk: return "ok";
+    case wlm::ObservationClass::kStale: return "stale";
+    case wlm::ObservationClass::kMissing: return "missing";
+    case wlm::ObservationClass::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
+/// Largest admitted-app id; kPoolApp and the ids above it stay reserved.
+constexpr std::size_t kMaxApps = 1024;
+
+}  // namespace
+
+slo::Band band_of(const qos::Requirement& req) {
+  slo::Band band;
+  band.u_high = req.u_high;
+  band.u_degr = req.u_degr;
+  band.m_percent = req.m_percent;
+  band.t_degr_minutes = req.t_degr_minutes.value_or(0.0);
+  return band;
+}
+
+void ServeConfig::validate() const {
+  cos2.validate();
+  degraded.validate();
+  admission.validate();
+  ROPUS_REQUIRE(minutes_per_sample > 0.0, "sample interval must be > 0");
+  ROPUS_REQUIRE(slots_per_day > 0, "slots_per_day must be > 0");
+  ROPUS_REQUIRE(static_cast<double>(slots_per_day) * minutes_per_sample ==
+                    static_cast<double>(trace::Calendar::kMinutesPerDay),
+                "slots_per_day x minutes_per_sample must cover one day");
+  ROPUS_REQUIRE(servers > 0, "pool needs at least one server");
+  ROPUS_REQUIRE(server_cpus > 0.0, "server capacity must be > 0");
+  ROPUS_REQUIRE(history_window >= 1, "history window must be >= 1");
+  ROPUS_REQUIRE(max_slot_gap >= 1, "max slot gap must be >= 1");
+}
+
+Arbiter::App::App(std::string name_, std::uint16_t id_, qos::Requirement req,
+                  trace::DemandTrace profile_, const qos::CosCommitment& cos2,
+                  const ServeConfig& cfg)
+    : name(std::move(name_)),
+      id(id_),
+      requirement(req),
+      profile(std::move(profile_)),
+      translation(qos::translate(profile, req, cos2)),
+      alloc(profile, translation),
+      controller(translation, cfg.policy, cfg.history_window, cfg.degraded),
+      band(band_of(req)),
+      bands(cfg.minutes_per_sample) {}
+
+Arbiter::Arbiter(const ServeConfig& config)
+    : config_(config),
+      server_cpus_(config.servers, config.server_cpus),
+      watchdog_([&config] {
+        obs::WatchdogConfig wc;
+        wc.normal = config.normal;
+        wc.failure = config.failure;
+        wc.theta = config.cos2.theta;
+        wc.minutes_per_sample = config.minutes_per_sample;
+        wc.slots_per_day = config.slots_per_day;
+        return wc;
+      }()) {
+  config_.validate();
+  const std::size_t deadline_slots = static_cast<std::size_t>(
+      config_.cos2.deadline_minutes / config_.minutes_per_sample);
+  backlogs_.assign(config_.servers, slo::DeferralQueue(deadline_slots));
+}
+
+std::vector<std::string> Arbiter::handle(const Message& msg,
+                                         bool* state_changed) {
+  if (state_changed != nullptr) *state_changed = false;
+  switch (msg.type) {
+    case MessageType::kTick:
+      return tick(msg.tick, state_changed);
+    case MessageType::kAdmit:
+      return {admit(msg.admit, state_changed)};
+    case MessageType::kCheckpoint:
+    case MessageType::kShutdown:
+      // Handled by the daemon envelope; the arbiter has no state to change.
+      return {};
+  }
+  return {};
+}
+
+Arbiter::App Arbiter::build_app(const AdmitMessage& msg,
+                                const qos::Requirement& req) const {
+  const std::size_t week_slots =
+      trace::Calendar::kDaysPerWeek * config_.slots_per_day;
+  if (msg.profile.size() % week_slots != 0 || msg.profile.empty()) {
+    throw ProtocolViolation(
+        ProtocolError::kBadValue,
+        "profile must cover whole weeks (" + std::to_string(week_slots) +
+            " slots each); got " + std::to_string(msg.profile.size()));
+  }
+  const std::size_t weeks = msg.profile.size() / week_slots;
+  trace::Calendar calendar(weeks,
+                           static_cast<std::size_t>(config_.minutes_per_sample));
+  try {
+    trace::DemandTrace profile(msg.app, calendar, msg.profile);
+    App app(msg.app, static_cast<std::uint16_t>(apps_.size()), req,
+            std::move(profile), config_.cos2, config_);
+    app.revenue = msg.revenue;
+    return app;
+  } catch (const ProtocolViolation&) {
+    throw;
+  } catch (const Error& e) {
+    // Translation / trace validation failures are the client's input being
+    // out of domain, not a daemon fault.
+    throw ProtocolViolation(ProtocolError::kBadValue, e.what());
+  }
+}
+
+std::string Arbiter::admit(const AdmitMessage& msg, bool* state_changed) {
+  for (const App& app : apps_) {
+    if (app.name == msg.app) {
+      throw ProtocolViolation(ProtocolError::kDuplicateApp,
+                              "app '" + msg.app + "' is already admitted");
+    }
+  }
+  if (apps_.size() >= kMaxApps) {
+    throw ProtocolViolation(ProtocolError::kBadValue,
+                            "application limit reached");
+  }
+  if (!apps_.empty() &&
+      apps_.front().profile.size() != msg.profile.size()) {
+    throw ProtocolViolation(
+        ProtocolError::kBadValue,
+        "profile length must match the fleet (" +
+            std::to_string(apps_.front().profile.size()) + " slots)");
+  }
+
+  std::vector<HostedWorkload> hosted;
+  hosted.reserve(apps_.size());
+  for (const App& app : apps_) {
+    hosted.push_back(HostedWorkload{&app.alloc, app.host});
+  }
+
+  App candidate = build_app(msg, msg.requirement);
+  AdmissionOutcome outcome =
+      place_candidate(candidate.alloc, msg.revenue, hosted, server_cpus_,
+                      config_.cos2, config_.admission);
+  bool renegotiated = false;
+  if (outcome.decision == AdmissionDecision::kRejected &&
+      config_.admission.renegotiate_m < msg.requirement.m_percent) {
+    // Offer the weaker band before giving up (Mazzucco-style renegotiation:
+    // a degraded contract that fits beats a lost customer).
+    qos::Requirement weaker = msg.requirement;
+    weaker.m_percent = config_.admission.renegotiate_m;
+    if (config_.admission.renegotiate_tdegr > 0.0) {
+      weaker.t_degr_minutes = config_.admission.renegotiate_tdegr;
+    } else {
+      weaker.t_degr_minutes.reset();
+    }
+    App weaker_app = build_app(msg, weaker);
+    const AdmissionOutcome retry =
+        place_candidate(weaker_app.alloc, msg.revenue, hosted, server_cpus_,
+                        config_.cos2, config_.admission);
+    if (retry.decision == AdmissionDecision::kAccepted) {
+      candidate = std::move(weaker_app);
+      outcome = retry;
+      renegotiated = true;
+    }
+  }
+
+  json::Writer w;
+  w.begin_object();
+  w.key("type").value("admission");
+  w.key("app").value(msg.app);
+  if (outcome.decision == AdmissionDecision::kRejected) {
+    w.key("decision").value("rejected");
+    w.key("reason").value(outcome.reason);
+    w.end_object();
+    return w.str();
+  }
+  candidate.renegotiated = renegotiated;
+  candidate.host = outcome.host;
+  w.key("decision").value(renegotiated ? "renegotiated" : "accepted");
+  w.key("host").value(outcome.host);
+  w.key("headroom").value(outcome.headroom);
+  w.key("score").value(outcome.score);
+  w.key("m").value(candidate.requirement.m_percent);
+  if (candidate.requirement.t_degr_minutes.has_value()) {
+    w.key("tdegr").value(*candidate.requirement.t_degr_minutes);
+  }
+  w.end_object();
+  apps_.push_back(std::move(candidate));
+  if (state_changed != nullptr) *state_changed = true;
+  return w.str();
+}
+
+std::vector<std::string> Arbiter::tick(const TickMessage& msg,
+                                       bool* state_changed) {
+  if (any_tick_ && msg.slot == last_tick_slot_) {
+    // Crash-retry idempotence: a resend of the most recent tick re-emits
+    // its cached verdicts without re-judging the slot.
+    return last_tick_replies_;
+  }
+  if (msg.slot < next_slot_) {
+    throw ProtocolViolation(
+        ProtocolError::kStaleSlot,
+        "slot " + std::to_string(msg.slot) + " already judged (next is " +
+            std::to_string(next_slot_) + ")");
+  }
+  if (msg.slot - next_slot_ > config_.max_slot_gap) {
+    throw ProtocolViolation(
+        ProtocolError::kSlotGapTooLarge,
+        "gap of " + std::to_string(msg.slot - next_slot_) +
+            " slots exceeds max_slot_gap " +
+            std::to_string(config_.max_slot_gap));
+  }
+  std::vector<std::string> replies;
+  // Intermediate slots lost to the gap are judged as missing telemetry for
+  // every app — the watchdog must count those intervals, not skip them.
+  for (std::size_t s = next_slot_; s <= msg.slot; ++s) {
+    replies.push_back(advance_slot(msg, s != msg.slot));
+  }
+  any_tick_ = true;
+  last_tick_slot_ = msg.slot;
+  last_tick_replies_ = replies;
+  if (state_changed != nullptr) *state_changed = true;
+  return replies;
+}
+
+std::string Arbiter::advance_slot(const TickMessage& msg, bool filler) {
+  const std::size_t slot = next_slot_;
+  next_slot_ += 1;
+
+  std::map<std::string_view, const DemandReading*> readings;
+  std::size_t unknown_apps = 0;
+  if (!filler) {
+    for (const DemandReading& r : msg.demand) readings[r.app] = &r;
+    for (const auto& [name, reading] : readings) {
+      bool known = false;
+      for (const App& app : apps_) {
+        if (app.name == name) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) unknown_apps += 1;
+    }
+  }
+
+  struct SlotState {
+    wlm::ObservationClass cls = wlm::ObservationClass::kMissing;
+    double demand = 0.0;  // sanitized observation (0 when unusable)
+    wlm::AllocationRequest request;
+    bool fallback = false;
+    double granted = 0.0;
+    double satisfied2 = 0.0;
+  };
+  std::vector<SlotState> states(apps_.size());
+
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    App& app = apps_[i];
+    SlotState& st = states[i];
+    wlm::Observation obs = wlm::Observation::missing();
+    if (!filler) {
+      const auto it = readings.find(app.name);
+      if (it != readings.end() && !it->second->missing) {
+        obs = wlm::Observation::ok(it->second->value);
+      }
+    }
+    st.cls = app.controller.classify(obs);
+    st.demand = st.cls == wlm::ObservationClass::kOk ? obs.value : 0.0;
+    st.request = app.controller.observe(obs);
+    st.fallback = app.controller.in_fallback();
+  }
+
+  // The shared-server grant rule (wlm/server_sim.cpp): CoS1 first pro-rata,
+  // CoS2 splits whatever capacity remains.
+  double pool_cos2 = 0.0;
+  double pool_satisfied2 = 0.0;
+  double backlog_total = 0.0;
+  bool overdue = false;
+  for (std::size_t s = 0; s < server_cpus_.size(); ++s) {
+    const double capacity = server_cpus_[s];
+    double sum_cos1 = 0.0;
+    double sum_cos2 = 0.0;
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+      if (apps_[i].host != s) continue;
+      sum_cos1 += states[i].request.cos1;
+      sum_cos2 += states[i].request.cos2;
+    }
+    const double cos1_scale = sum_cos1 > capacity ? capacity / sum_cos1 : 1.0;
+    const double granted_cos1 = std::min(sum_cos1, capacity);
+    const double available = capacity - granted_cos1;
+    const double cos2_scale =
+        sum_cos2 > 0.0 ? std::min(1.0, available / sum_cos2) : 1.0;
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+      if (apps_[i].host != s) continue;
+      SlotState& st = states[i];
+      st.granted = st.request.cos1 * cos1_scale + st.request.cos2 * cos2_scale;
+      st.satisfied2 = st.request.cos2 * cos2_scale;
+    }
+    const double granted_cos2 = sum_cos2 * cos2_scale;
+    slo::DeferralQueue& backlog = backlogs_[s];
+    backlog.drain(capacity - granted_cos1 - granted_cos2);
+    backlog.defer(slot, sum_cos2 - granted_cos2);
+    backlog_total += backlog.total();
+    overdue = overdue || backlog.overdue(slot);
+    pool_cos2 += sum_cos2;
+    pool_satisfied2 += granted_cos2;
+  }
+
+  // Feed the watchdog (and the flight recorder, when one is installed)
+  // exactly what cmd_wlm's batch path would record for these inputs.
+  obs::Recorder* recorder = obs::Recorder::active();
+  const bool record = recorder != nullptr && recorder->should_record(slot);
+  if (record) {
+    recorder->set_calendar(config_.minutes_per_sample, config_.slots_per_day);
+  }
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    App& app = apps_[i];
+    const SlotState& st = states[i];
+    obs::SlotRecord rec;
+    rec.slot = static_cast<std::uint32_t>(slot);
+    rec.app = app.id;
+    rec.telemetry = static_cast<std::uint8_t>(static_cast<int>(st.cls) + 1);
+    if (st.fallback) rec.flags |= obs::SlotRecord::kFallback;
+    rec.demand = st.demand;
+    rec.cos1 = st.request.cos1;
+    rec.cos2 = st.request.cos2;
+    rec.granted = st.granted;
+    rec.satisfied2 = st.satisfied2;
+    watchdog_.observe(rec);
+    app.bands.observe(st.demand, st.granted, app.band, st.fallback);
+    if (record) {
+      rec.app = recorder->app_id(app.name);
+      recorder->append(rec);
+    }
+  }
+  obs::SlotRecord pool;
+  pool.slot = static_cast<std::uint32_t>(slot);
+  pool.app = obs::kPoolApp;
+  pool.cos2 = pool_cos2;
+  pool.satisfied2 = pool_satisfied2;
+  pool.granted = pool_satisfied2;
+  watchdog_.observe(pool);
+  if (record) recorder->append(pool);
+
+  json::Writer w;
+  w.begin_object();
+  w.key("type").value("verdict");
+  w.key("slot").value(slot);
+  if (filler) w.key("filler").value(true);
+  w.key("theta").value(watchdog_.theta());
+  w.key("apps").begin_array();
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    const App& app = apps_[i];
+    const SlotState& st = states[i];
+    w.begin_object();
+    w.key("app").value(app.name);
+    w.key("demand").value(st.demand);
+    w.key("granted").value(st.granted);
+    w.key("class").value(
+        band_class_name(slo::classify_band(st.demand, st.granted, app.band)));
+    w.key("telemetry").value(telemetry_name(st.cls));
+    if (st.fallback) w.key("fallback").value(true);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("backlog").value(backlog_total);
+  if (overdue) w.key("overdue").value(true);
+  if (unknown_apps > 0) w.key("unknown_apps").value(unknown_apps);
+  const std::vector<obs::Alert>& alerts = watchdog_.alerts();
+  if (alerts.size() > reported_alerts_) {
+    w.key("alerts").begin_array();
+    for (std::size_t a = reported_alerts_; a < alerts.size(); ++a) {
+      w.value(obs::describe(alerts[a]));
+    }
+    w.end_array();
+    reported_alerts_ = alerts.size();
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string Arbiter::summary() const {
+  json::Writer w;
+  w.begin_object();
+  w.key("type").value("summary");
+  w.key("slots").value(next_slot_);
+  w.key("theta").value(watchdog_.theta());
+  w.key("apps").begin_array();
+  for (const App& app : apps_) {
+    const slo::BandCounts& c = app.bands.counts();
+    w.begin_object();
+    w.key("app").value(app.name);
+    w.key("host").value(app.host);
+    if (app.renegotiated) w.key("renegotiated").value(true);
+    w.key("intervals").value(c.intervals);
+    w.key("idle").value(c.idle);
+    w.key("acceptable").value(c.acceptable);
+    w.key("degraded").value(c.degraded);
+    w.key("violating").value(c.violating);
+    w.key("longest_degraded_minutes").value(c.longest_degraded_minutes);
+    w.key("satisfies").value(c.satisfies(app.band));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("alerts").value(watchdog_.alerts().size());
+  w.key("alerts_dropped")
+      .value(static_cast<std::int64_t>(watchdog_.alerts_dropped()));
+  w.end_object();
+  return w.str();
+}
+
+void Arbiter::save_state(json::Writer& w) const {
+  w.begin_object();
+  w.key("next_slot").value(next_slot_);
+  w.key("any_tick").value(any_tick_);
+  w.key("last_tick_slot").value(last_tick_slot_);
+  w.key("reported_alerts").value(reported_alerts_);
+  w.key("last_tick_replies").begin_array();
+  for (const std::string& r : last_tick_replies_) w.value(r);
+  w.end_array();
+  w.key("apps").begin_array();
+  for (const App& app : apps_) {
+    w.begin_object();
+    w.key("name").value(app.name);
+    w.key("host").value(app.host);
+    w.key("revenue").value(app.revenue);
+    w.key("renegotiated").value(app.renegotiated);
+    w.key("ulow").value(app.requirement.u_low);
+    w.key("uhigh").value(app.requirement.u_high);
+    w.key("udegr").value(app.requirement.u_degr);
+    w.key("m").value(app.requirement.m_percent);
+    if (app.requirement.t_degr_minutes.has_value()) {
+      w.key("tdegr").value(*app.requirement.t_degr_minutes);
+    } else {
+      w.key("tdegr").null();
+    }
+    w.key("profile").begin_array();
+    for (const double d : app.profile.values()) w.value(d);
+    w.end_array();
+    const wlm::Controller::Snapshot snap = app.controller.snapshot();
+    w.key("controller").begin_object();
+    w.key("history").begin_array();
+    for (const double h : snap.history) w.value(h);
+    w.end_array();
+    w.key("last_basis").value(snap.last_basis);
+    w.key("consecutive_degraded").value(snap.consecutive_degraded);
+    w.key("health").begin_object();
+    w.key("intervals").value(snap.health.intervals);
+    w.key("ok").value(snap.health.ok);
+    w.key("stale").value(snap.health.stale);
+    w.key("missing").value(snap.health.missing);
+    w.key("corrupt").value(snap.health.corrupt);
+    w.key("fallback_intervals").value(snap.health.fallback_intervals);
+    w.key("fallback_activations").value(snap.health.fallback_activations);
+    w.key("longest_blackout").value(snap.health.longest_blackout);
+    w.end_object();
+    w.end_object();
+    const slo::BandAccumulator::State bands = app.bands.state();
+    w.key("bands").begin_object();
+    w.key("intervals").value(bands.counts.intervals);
+    w.key("idle").value(bands.counts.idle);
+    w.key("acceptable").value(bands.counts.acceptable);
+    w.key("degraded").value(bands.counts.degraded);
+    w.key("violating").value(bands.counts.violating);
+    w.key("degraded_telemetry").value(bands.counts.degraded_telemetry);
+    w.key("violating_telemetry").value(bands.counts.violating_telemetry);
+    w.key("longest_degraded_minutes")
+        .value(bands.counts.longest_degraded_minutes);
+    w.key("run").value(bands.run);
+    w.key("longest").value(bands.longest);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("backlogs").begin_array();
+  for (const slo::DeferralQueue& backlog : backlogs_) {
+    w.begin_object();
+    w.key("total").value(backlog.total());
+    w.key("entries").begin_array();
+    for (const slo::DeferralQueue::Entry& e : backlog.entries()) {
+      w.begin_object();
+      w.key("created").value(e.created);
+      w.key("remaining").value(e.remaining);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("watchdog");
+  watchdog_.save_state(w);
+  w.end_object();
+}
+
+void Arbiter::load_state(const json::Value& v) {
+  const auto read_size = [](const json::Value& obj, std::string_view key) {
+    return static_cast<std::size_t>(obj.at(key).as_number());
+  };
+  next_slot_ = read_size(v, "next_slot");
+  any_tick_ = v.at("any_tick").as_bool();
+  last_tick_slot_ = read_size(v, "last_tick_slot");
+  reported_alerts_ = read_size(v, "reported_alerts");
+  last_tick_replies_.clear();
+  for (const json::Value& r : v.at("last_tick_replies").as_array()) {
+    last_tick_replies_.push_back(r.as_string());
+  }
+
+  apps_.clear();
+  for (const json::Value& item : v.at("apps").as_array()) {
+    AdmitMessage msg;
+    msg.app = item.at("name").as_string();
+    msg.revenue = item.at("revenue").as_number();
+    msg.requirement.u_low = item.at("ulow").as_number();
+    msg.requirement.u_high = item.at("uhigh").as_number();
+    msg.requirement.u_degr = item.at("udegr").as_number();
+    msg.requirement.m_percent = item.at("m").as_number();
+    if (!item.at("tdegr").is_null()) {
+      msg.requirement.t_degr_minutes = item.at("tdegr").as_number();
+    }
+    for (const json::Value& d : item.at("profile").as_array()) {
+      msg.profile.push_back(d.as_number());
+    }
+    App app = build_app(msg, msg.requirement);
+    app.host = read_size(item, "host");
+    app.renegotiated = item.at("renegotiated").as_bool();
+
+    const json::Value& ctl = item.at("controller");
+    wlm::Controller::Snapshot snap;
+    for (const json::Value& h : ctl.at("history").as_array()) {
+      snap.history.push_back(h.as_number());
+    }
+    snap.last_basis = ctl.at("last_basis").as_number();
+    snap.consecutive_degraded = read_size(ctl, "consecutive_degraded");
+    const json::Value& health = ctl.at("health");
+    snap.health.intervals = read_size(health, "intervals");
+    snap.health.ok = read_size(health, "ok");
+    snap.health.stale = read_size(health, "stale");
+    snap.health.missing = read_size(health, "missing");
+    snap.health.corrupt = read_size(health, "corrupt");
+    snap.health.fallback_intervals = read_size(health, "fallback_intervals");
+    snap.health.fallback_activations =
+        read_size(health, "fallback_activations");
+    snap.health.longest_blackout = read_size(health, "longest_blackout");
+    app.controller.restore(snap);
+
+    const json::Value& bands = item.at("bands");
+    slo::BandAccumulator::State bs;
+    bs.counts.intervals = read_size(bands, "intervals");
+    bs.counts.idle = read_size(bands, "idle");
+    bs.counts.acceptable = read_size(bands, "acceptable");
+    bs.counts.degraded = read_size(bands, "degraded");
+    bs.counts.violating = read_size(bands, "violating");
+    bs.counts.degraded_telemetry = read_size(bands, "degraded_telemetry");
+    bs.counts.violating_telemetry = read_size(bands, "violating_telemetry");
+    bs.counts.longest_degraded_minutes =
+        bands.at("longest_degraded_minutes").as_number();
+    bs.run = read_size(bands, "run");
+    bs.longest = read_size(bands, "longest");
+    app.bands.restore(bs);
+
+    apps_.push_back(std::move(app));
+  }
+
+  const auto& backlogs = v.at("backlogs").as_array();
+  if (backlogs.size() != backlogs_.size()) {
+    throw IoError("checkpoint backlog count does not match the pool");
+  }
+  for (std::size_t s = 0; s < backlogs.size(); ++s) {
+    std::vector<slo::DeferralQueue::Entry> entries;
+    for (const json::Value& e : backlogs[s].at("entries").as_array()) {
+      entries.push_back(slo::DeferralQueue::Entry{
+          read_size(e, "created"), e.at("remaining").as_number()});
+    }
+    backlogs_[s].restore(entries, backlogs[s].at("total").as_number());
+  }
+
+  watchdog_.load_state(v.at("watchdog"));
+}
+
+}  // namespace ropus::serve

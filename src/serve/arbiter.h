@@ -1,0 +1,123 @@
+// The serve daemon's deterministic core: admitted applications, their
+// degraded-mode WLM controllers, the per-server grant rule and CoS2
+// deferral backlogs, the streaming SLO watchdog, and the admission policy
+// — everything whose outputs must be byte-identical across a crash and
+// restore.
+//
+// The arbiter never reads the wall clock, never consults a thread count,
+// and never randomizes: its replies are a pure function of the sequence of
+// accepted messages. That is the crash-safety contract — the daemon
+// journals every accepted message, so replaying the journal through a
+// fresh arbiter (or a checkpoint plus the journal tail) reproduces the
+// exact verdict stream. Overload shedding, timing, and I/O live one layer
+// up in daemon.h and may vary freely without touching verdict bytes.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/watchdog.h"
+#include "qos/allocation.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "slo/kernel.h"
+#include "trace/demand_trace.h"
+#include "wlm/controller.h"
+
+namespace ropus::serve {
+
+struct ServeConfig {
+  /// Pool-level band for the watchdog's alerts; per-app verdicts use the
+  /// band each app was admitted with.
+  slo::Band normal;
+  /// Failure-mode band (WatchdogConfig requires one; serve records never
+  /// set the failure flag today).
+  slo::Band failure;
+  qos::CosCommitment cos2{0.95, 60.0};
+  double minutes_per_sample = 5.0;
+  std::size_t slots_per_day = 288;
+  std::size_t servers = 13;
+  double server_cpus = 16.0;
+  wlm::Policy policy = wlm::Policy::kReactive;
+  std::size_t history_window = 3;
+  wlm::DegradedModeConfig degraded;
+  AdmissionPolicy admission;
+  /// Largest forward slot gap filled as missing telemetry; a larger jump is
+  /// rejected as kSlotGapTooLarge.
+  std::size_t max_slot_gap = 288;
+
+  /// Throws InvalidArgument on nonsensical settings.
+  void validate() const;
+};
+
+class Arbiter {
+ public:
+  explicit Arbiter(const ServeConfig& config);
+
+  /// Handles one parsed message; returns the reply lines (without
+  /// newlines) in emission order. Throws ProtocolViolation on inputs the
+  /// protocol rejects (stale slot, oversized gap); those change no state.
+  /// `state_changed` (when non-null) reports whether the message must be
+  /// journaled for replay.
+  std::vector<std::string> handle(const Message& msg,
+                                  bool* state_changed = nullptr);
+
+  /// The end-of-run summary line: per-app band counts (each against its
+  /// own admitted band), pool theta, alert totals.
+  std::string summary() const;
+
+  /// Serializes the complete state as one JSON object (checkpoint
+  /// payload). restore via load_state on an arbiter built with the same
+  /// config.
+  void save_state(json::Writer& w) const;
+  void load_state(const json::Value& v);
+
+  std::size_t next_slot() const { return next_slot_; }
+  std::size_t app_count() const { return apps_.size(); }
+  const ServeConfig& config() const { return config_; }
+  const obs::Watchdog& watchdog() const { return watchdog_; }
+
+ private:
+  struct App {
+    std::string name;
+    std::uint16_t id = 0;
+    qos::Requirement requirement;  // as admitted (possibly renegotiated)
+    bool renegotiated = false;
+    double revenue = 1.0;
+    std::size_t host = 0;
+    trace::DemandTrace profile;
+    qos::Translation translation;
+    qos::AllocationTrace alloc;
+    wlm::Controller controller;
+    slo::Band band;                // requirement as plain numbers
+    slo::BandAccumulator bands;    // per-app attainment for summary()
+
+    App(std::string name_, std::uint16_t id_, qos::Requirement req,
+        trace::DemandTrace profile_, const qos::CosCommitment& cos2,
+        const ServeConfig& cfg);
+  };
+
+  std::vector<std::string> tick(const TickMessage& msg, bool* state_changed);
+  std::string admit(const AdmitMessage& msg, bool* state_changed);
+  std::string advance_slot(const TickMessage& msg, bool filler);
+  App build_app(const AdmitMessage& msg, const qos::Requirement& req) const;
+
+  ServeConfig config_;
+  std::vector<App> apps_;  // admission order == id order
+  std::vector<double> server_cpus_;
+  std::vector<slo::DeferralQueue> backlogs_;  // per server
+  obs::Watchdog watchdog_;
+  std::size_t next_slot_ = 0;
+  std::size_t reported_alerts_ = 0;  // alerts already carried in verdicts
+  bool any_tick_ = false;
+  std::size_t last_tick_slot_ = 0;
+  std::vector<std::string> last_tick_replies_;  // duplicate re-emit cache
+};
+
+/// Converts an admitted requirement into the kernel's plain-number band.
+slo::Band band_of(const qos::Requirement& req);
+
+}  // namespace ropus::serve

@@ -1,0 +1,218 @@
+#include "serve/checkpoint.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "common/crc32.h"
+#include "common/error.h"
+#include "common/file_io.h"
+#include "common/json.h"
+
+namespace ropus::serve {
+namespace {
+
+constexpr std::string_view kCheckpointMagic = "ROPUS-CHECKPOINT v1";
+
+std::string hex8(std::uint32_t v) {
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08x", v);
+  return std::string(buf, 8);
+}
+
+/// Parses `text` as exactly eight lowercase hex digits.
+bool parse_hex8(std::string_view text, std::uint32_t& out) {
+  if (text.size() != 8) return false;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out, 16);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out, 10);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+std::string read_whole_file(const std::filesystem::path& path, bool& exists) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    exists = false;
+    return {};
+  }
+  exists = true;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+}  // namespace
+
+void write_checkpoint(const std::filesystem::path& path,
+                      const Arbiter& arbiter, std::uint64_t journal_entries) {
+  json::Writer w;
+  w.begin_object();
+  w.key("journal_entries");
+  w.value(static_cast<std::int64_t>(journal_entries));
+  w.key("arbiter");
+  arbiter.save_state(w);
+  w.end_object();
+  const std::string payload = w.str();
+  std::string content;
+  content.reserve(payload.size() + 64);
+  content += kCheckpointMagic;
+  content += " len=";
+  content += std::to_string(payload.size());
+  content += " crc=";
+  content += hex8(crc::crc32(payload));
+  content += '\n';
+  content += payload;
+  io::write_file_atomic(path, content);
+}
+
+CheckpointLoad load_checkpoint(const std::filesystem::path& path,
+                               Arbiter& arbiter) {
+  CheckpointLoad result;
+  bool exists = false;
+  const std::string content = read_whole_file(path, exists);
+  if (!exists) {
+    result.error = "no checkpoint file";
+    return result;
+  }
+  const std::size_t nl = content.find('\n');
+  if (nl == std::string::npos) {
+    result.error = "checkpoint header is truncated";
+    return result;
+  }
+  const std::string_view header(content.data(), nl);
+  if (header.substr(0, kCheckpointMagic.size()) != kCheckpointMagic) {
+    result.error = "checkpoint magic mismatch";
+    return result;
+  }
+  std::string_view rest = header.substr(kCheckpointMagic.size());
+  std::uint64_t len = 0;
+  std::uint32_t crc = 0;
+  {
+    if (rest.substr(0, 5) != " len=") {
+      result.error = "checkpoint header is malformed";
+      return result;
+    }
+    rest.remove_prefix(5);
+    const std::size_t sp = rest.find(' ');
+    if (sp == std::string_view::npos || !parse_u64(rest.substr(0, sp), len)) {
+      result.error = "checkpoint header is malformed";
+      return result;
+    }
+    rest.remove_prefix(sp);
+    if (rest.substr(0, 5) != " crc=" || !parse_hex8(rest.substr(5), crc)) {
+      result.error = "checkpoint header is malformed";
+      return result;
+    }
+  }
+  const std::string_view payload(content.data() + nl + 1,
+                                 content.size() - nl - 1);
+  if (payload.size() != len) {
+    result.error = "checkpoint payload is truncated";
+    return result;
+  }
+  if (crc::crc32(payload) != crc) {
+    result.error = "checkpoint payload fails its checksum";
+    return result;
+  }
+  try {
+    const json::Value v = json::parse(payload);
+    result.journal_entries =
+        static_cast<std::uint64_t>(v.at("journal_entries").as_number());
+    arbiter.load_state(v.at("arbiter"));
+  } catch (const Error& e) {
+    result.error = std::string("checkpoint payload is invalid: ") + e.what();
+    result.journal_entries = 0;
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+Journal::Recovered Journal::recover(const std::filesystem::path& path) {
+  Recovered r;
+  bool exists = false;
+  const std::string content = read_whole_file(path, exists);
+  if (!exists) return r;
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    // Frame: `<8hex crc> <len> <line>\n`. Anything that does not parse, or
+    // whose CRC fails, marks a torn tail: keep the prefix, drop the rest.
+    const std::size_t line_start = pos;
+    const std::size_t sp1 = content.find(' ', pos);
+    if (sp1 == std::string::npos) break;
+    std::uint32_t crc = 0;
+    if (!parse_hex8(std::string_view(content).substr(pos, sp1 - pos), crc)) {
+      break;
+    }
+    const std::size_t sp2 = content.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos) break;
+    std::uint64_t len = 0;
+    if (!parse_u64(std::string_view(content).substr(sp1 + 1, sp2 - sp1 - 1),
+                   len)) {
+      break;
+    }
+    const std::size_t body = sp2 + 1;
+    if (body + len + 1 > content.size()) break;  // torn mid-body
+    if (content[body + len] != '\n') break;
+    const std::string_view line(content.data() + body, len);
+    if (crc::crc32(line) != crc) break;
+    r.lines.emplace_back(line);
+    pos = body + len + 1;
+    r.valid_bytes = pos;
+    (void)line_start;
+  }
+  r.torn_tail = r.valid_bytes < content.size();
+  return r;
+}
+
+Journal::Journal(const std::filesystem::path& path, std::uint64_t valid_bytes,
+                 std::uint64_t entries)
+    : path_(path), entries_(entries) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path_, ec);
+  if (!ec && size > valid_bytes) {
+    std::filesystem::resize_file(path_, valid_bytes, ec);
+    if (ec) {
+      throw IoError("cannot truncate torn journal tail in " + path_.string() +
+                    ": " + ec.message());
+    }
+  }
+  file_ = std::fopen(path_.string().c_str(), "ab");
+  if (file_ == nullptr) {
+    throw IoError("cannot open journal " + path_.string() + ": " +
+                  std::strerror(errno));
+  }
+}
+
+Journal::~Journal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void Journal::append(std::string_view line) {
+  std::string framed;
+  framed.reserve(line.size() + 32);
+  framed += hex8(crc::crc32(line));
+  framed += ' ';
+  framed += std::to_string(line.size());
+  framed += ' ';
+  framed += line;
+  framed += '\n';
+  if (std::fwrite(framed.data(), 1, framed.size(), file_) != framed.size() ||
+      std::fflush(file_) != 0) {
+    throw IoError("cannot append to journal " + path_.string() + ": " +
+                  std::strerror(errno));
+  }
+  ++entries_;
+}
+
+}  // namespace ropus::serve

@@ -1,0 +1,87 @@
+// Crash-safe persistence for the serve daemon.
+//
+// Two files cooperate:
+//  * The **journal** is the source of truth: an append-only log of every
+//    accepted (state-changing) input line, each framed as
+//    `<crc32-8hex> <len> <line>\n` and flushed before the reply is
+//    emitted. Replaying the journal through a fresh Arbiter reproduces
+//    the exact state and verdict bytes, because the arbiter is a pure
+//    function of its accepted inputs. A torn tail (crash mid-append) is
+//    detected by the framing and truncated — a line is either completely
+//    journaled or not at all.
+//  * The **checkpoint** is a fast-path snapshot: the arbiter's serialized
+//    state plus the journal entry count it covers, framed with a CRC'd
+//    header and written via io::write_file_atomic (appears whole or not
+//    at all). Restore loads the checkpoint and replays only the journal
+//    tail; a missing, truncated, or corrupt checkpoint falls back to a
+//    full journal replay — same state either way, just slower.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/arbiter.h"
+
+namespace ropus::serve {
+
+/// Writes a checkpoint of `arbiter` covering the first `journal_entries`
+/// journal lines. Atomic: the previous checkpoint survives a crash
+/// mid-write. Throws IoError on filesystem failure.
+void write_checkpoint(const std::filesystem::path& path,
+                      const Arbiter& arbiter, std::uint64_t journal_entries);
+
+struct CheckpointLoad {
+  bool ok = false;                     // state was restored
+  std::uint64_t journal_entries = 0;   // journal lines the state covers
+  std::string error;                   // why ok == false (diagnostic)
+};
+
+/// Restores `arbiter` from the checkpoint at `path`. Never throws on a
+/// bad file — a missing/truncated/corrupt checkpoint reports ok == false
+/// (with the reason) and leaves `arbiter` untouched, so the caller falls
+/// back to journal replay.
+CheckpointLoad load_checkpoint(const std::filesystem::path& path,
+                               Arbiter& arbiter);
+
+/// Append-only journal of accepted input lines with per-line CRC framing.
+class Journal {
+ public:
+  struct Recovered {
+    std::vector<std::string> lines;   // the valid prefix, in order
+    std::uint64_t valid_bytes = 0;    // file length of that prefix
+    bool torn_tail = false;           // trailing garbage was discarded
+  };
+
+  /// Parses the journal at `path` (missing file -> empty). A malformed or
+  /// CRC-failing suffix is treated as a torn tail: everything before it is
+  /// returned, everything after discarded.
+  static Recovered recover(const std::filesystem::path& path);
+
+  /// Opens `path` for appending after truncating it to `valid_bytes`
+  /// (discarding any torn tail found by recover()). `entries` seeds the
+  /// entry counter. Throws IoError when the file cannot be opened.
+  Journal(const std::filesystem::path& path, std::uint64_t valid_bytes,
+          std::uint64_t entries);
+
+  /// Frames, appends and flushes one line. Throws IoError on write failure.
+  void append(std::string_view line);
+
+  std::uint64_t entries() const { return entries_; }
+
+ private:
+  std::filesystem::path path_;
+  std::uint64_t entries_ = 0;
+  // Kept open across appends; flushed per line (complete-or-discarded is
+  // guaranteed by the framing, not by fsync).
+  std::FILE* file_ = nullptr;
+
+ public:
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+};
+
+}  // namespace ropus::serve

@@ -1,0 +1,327 @@
+#include "serve/daemon.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+#include "common/signals.h"
+#include "serve/checkpoint.h"
+
+namespace ropus::serve {
+namespace {
+
+/// State shared with the reader thread. Owned by shared_ptr so the thread
+/// can be detached safely when it is blocked on a stream that will only
+/// unblock at process exit.
+struct Ingest {
+  std::mutex mu;
+  std::condition_variable cv_push;  // reader waits for queue space
+  std::condition_variable cv_pop;   // processor waits for lines
+  std::deque<std::string> queue;
+  std::size_t capacity = 0;
+  bool eof = false;
+  bool stop = false;
+  std::atomic<bool> done{false};  // reader thread has returned
+};
+
+void reader_main(const std::shared_ptr<Ingest>& ingest, std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    std::unique_lock lk(ingest->mu);
+    ingest->cv_push.wait(lk, [&ingest] {
+      return ingest->queue.size() < ingest->capacity || ingest->stop;
+    });
+    if (ingest->stop) break;
+    ingest->queue.push_back(std::move(line));
+    ingest->cv_pop.notify_one();
+  }
+  {
+    std::lock_guard lk(ingest->mu);
+    ingest->eof = true;
+    ingest->cv_pop.notify_all();
+  }
+  ingest->done.store(true);
+}
+
+/// Strips the "<code>: " prefix ProtocolViolation prepends to its detail.
+std::string_view violation_detail(const ProtocolViolation& e) {
+  std::string_view what = e.what();
+  const std::string_view prefix_end = ": ";
+  const std::string_view code = protocol_error_code(e.code());
+  if (what.size() > code.size() + prefix_end.size() &&
+      what.substr(0, code.size()) == code &&
+      what.substr(code.size(), prefix_end.size()) == prefix_end) {
+    what.remove_prefix(code.size() + prefix_end.size());
+  }
+  return what;
+}
+
+std::string ok_reply(std::string_view op, std::size_t slot,
+                     std::uint64_t journal_entries) {
+  json::Writer w;
+  w.begin_object();
+  w.key("type").value("ok");
+  w.key("op").value(op);
+  w.key("slot").value(slot);
+  w.key("journal_entries").value(static_cast<std::int64_t>(journal_entries));
+  w.end_object();
+  return w.str();
+}
+
+const char* recovery_mode_name(RecoveryMode mode) {
+  switch (mode) {
+    case RecoveryMode::kFresh: return "fresh";
+    case RecoveryMode::kJournalReplay: return "journal";
+    case RecoveryMode::kCheckpointAndTail: return "checkpoint+journal";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void DaemonOptions::validate() const {
+  ROPUS_REQUIRE(checkpoint_every_slots >= 1,
+                "checkpoint interval must be >= 1 slot");
+  ROPUS_REQUIRE(queue_capacity >= 1, "ingest queue needs capacity >= 1");
+  ROPUS_REQUIRE(max_line_bytes >= 2, "line bound must be >= 2 bytes");
+  ROPUS_REQUIRE(tick_deadline_ms >= 0.0, "tick deadline must be >= 0");
+}
+
+bool should_shed(std::size_t queue_depth, std::size_t queue_capacity,
+                 double last_tick_ms, double deadline_ms) {
+  if (queue_depth * 2 > queue_capacity) return true;
+  return deadline_ms > 0.0 && last_tick_ms > deadline_ms;
+}
+
+RecoveryReport recover_state(const ServeConfig& config,
+                             const DaemonOptions& options, Arbiter& arbiter) {
+  RecoveryReport report;
+  if (options.journal_path.empty()) return report;
+  const Journal::Recovered recovered = Journal::recover(options.journal_path);
+  report.journal_entries = recovered.lines.size();
+  report.torn_tail = recovered.torn_tail;
+
+  std::uint64_t replay_from = 0;
+  if (!options.checkpoint_path.empty()) {
+    Arbiter candidate(config);
+    const CheckpointLoad load =
+        load_checkpoint(options.checkpoint_path, candidate);
+    if (load.ok && load.journal_entries <= recovered.lines.size()) {
+      arbiter = std::move(candidate);
+      replay_from = load.journal_entries;
+      report.mode = RecoveryMode::kCheckpointAndTail;
+    } else if (load.ok) {
+      // A checkpoint claiming more entries than the journal holds means the
+      // journal (the source of truth) lost data; trust only the journal.
+      report.checkpoint_error = "checkpoint is ahead of the journal";
+    } else {
+      report.checkpoint_error = load.error;
+    }
+  }
+  if (report.mode != RecoveryMode::kCheckpointAndTail &&
+      !recovered.lines.empty()) {
+    report.mode = RecoveryMode::kJournalReplay;
+  }
+
+  for (std::uint64_t i = replay_from; i < recovered.lines.size(); ++i) {
+    try {
+      const Message msg = parse_message(recovered.lines[i]);
+      arbiter.handle(msg);
+    } catch (const Error& e) {
+      // Only accepted (state-changing) lines are journaled, so replay must
+      // not fault; a fault means the journal itself is damaged.
+      throw IoError("journal replay failed at entry " + std::to_string(i) +
+                    ": " + e.what());
+    }
+    report.replayed += 1;
+  }
+  return report;
+}
+
+int run_daemon(const ServeConfig& config, const DaemonOptions& options,
+               std::istream& in, std::ostream& out, std::ostream& err) {
+  config.validate();
+  options.validate();
+
+  Arbiter arbiter(config);
+  const RecoveryReport recovery = recover_state(config, options, arbiter);
+  std::unique_ptr<Journal> journal;
+  if (!options.journal_path.empty()) {
+    // Opening the journal truncates any torn tail found during recovery.
+    const Journal::Recovered recovered =
+        Journal::recover(options.journal_path);
+    journal = std::make_unique<Journal>(
+        options.journal_path, recovered.valid_bytes, recovered.lines.size());
+  }
+  if (recovery.torn_tail) {
+    err << "serve: journal had a torn tail; truncated to "
+        << recovery.journal_entries << " entries\n";
+  }
+  if (!recovery.checkpoint_error.empty() && recovery.journal_entries > 0) {
+    err << "serve: checkpoint unused (" << recovery.checkpoint_error
+        << "); replaying the journal\n";
+  }
+
+  {
+    json::Writer w;
+    w.begin_object();
+    w.key("type").value("ready");
+    w.key("recovery").value(recovery_mode_name(recovery.mode));
+    w.key("slots").value(arbiter.next_slot());
+    w.key("apps").value(arbiter.app_count());
+    w.key("replayed").value(static_cast<std::int64_t>(recovery.replayed));
+    if (recovery.torn_tail) w.key("torn_tail").value(true);
+    w.end_object();
+    out << w.str() << '\n' << std::flush;
+  }
+
+  auto ingest = std::make_shared<Ingest>();
+  ingest->capacity = options.queue_capacity;
+  std::thread reader(reader_main, ingest, std::ref(in));
+
+  const auto checkpoint_now = [&] {
+    if (options.checkpoint_path.empty()) return false;
+    write_checkpoint(options.checkpoint_path, arbiter,
+                     journal ? journal->entries() : 0);
+    return true;
+  };
+
+  std::size_t slots_at_checkpoint = arbiter.next_slot();
+  double last_tick_ms = 0.0;
+  int exit_code = 0;
+
+  for (;;) {
+    // A signal wants out now: drop queued lines (they were never journaled,
+    // so the client's resend after restart re-drives them).
+    if (signals::termination_requested()) {
+      exit_code = 130;
+      break;
+    }
+    std::string line;
+    {
+      std::unique_lock lk(ingest->mu);
+      ingest->cv_pop.wait_for(lk, std::chrono::milliseconds(50), [&ingest] {
+        return !ingest->queue.empty() || ingest->eof;
+      });
+      if (ingest->queue.empty()) {
+        if (ingest->eof) break;  // normal drain: input exhausted
+        continue;                // timeout: re-check the signal flag
+      }
+      line = std::move(ingest->queue.front());
+      ingest->queue.pop_front();
+      ingest->cv_push.notify_one();
+    }
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (line.size() > options.max_line_bytes) {
+      out << error_reply(ProtocolError::kLineTooLong,
+                         "line of " + std::to_string(line.size()) +
+                             " bytes exceeds the " +
+                             std::to_string(options.max_line_bytes) +
+                             " byte bound")
+          << '\n'
+          << std::flush;
+      continue;
+    }
+
+    bool shutdown = false;
+    try {
+      const Message msg = parse_message(line);
+      const auto started = std::chrono::steady_clock::now();
+      bool state_changed = false;
+      const std::vector<std::string> replies =
+          arbiter.handle(msg, &state_changed);
+      // Journal before emitting: a crash after the journal write but before
+      // the reply is re-driven by the client's resend, which the arbiter
+      // answers from its duplicate cache — never by double-applying.
+      if (state_changed && journal) journal->append(line);
+      for (const std::string& reply : replies) out << reply << '\n';
+
+      std::size_t queue_depth = 0;
+      {
+        std::lock_guard lk(ingest->mu);
+        queue_depth = ingest->queue.size();
+      }
+      const bool shed = should_shed(queue_depth, options.queue_capacity,
+                                    last_tick_ms, options.tick_deadline_ms);
+      switch (msg.type) {
+        case MessageType::kTick:
+          last_tick_ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - started)
+                  .count();
+          if (!shed && !options.checkpoint_path.empty() &&
+              arbiter.next_slot() - slots_at_checkpoint >=
+                  options.checkpoint_every_slots) {
+            checkpoint_now();
+            slots_at_checkpoint = arbiter.next_slot();
+          }
+          break;
+        case MessageType::kCheckpoint:
+          if (options.checkpoint_path.empty()) {
+            out << error_reply(ProtocolError::kBadValue,
+                               "daemon runs without a checkpoint path");
+          } else if (shed) {
+            out << error_reply(ProtocolError::kOverload,
+                               "checkpoint shed under load; retry when the "
+                               "queue drains");
+          } else {
+            checkpoint_now();
+            slots_at_checkpoint = arbiter.next_slot();
+            out << ok_reply("checkpoint", arbiter.next_slot(),
+                            journal ? journal->entries() : 0);
+          }
+          out << '\n';
+          break;
+        case MessageType::kShutdown:
+          shutdown = true;
+          break;
+        case MessageType::kAdmit:
+          break;
+      }
+      out << std::flush;
+    } catch (const ProtocolViolation& e) {
+      out << error_reply(e.code(), violation_detail(e)) << '\n' << std::flush;
+    }
+    if (shutdown) break;
+  }
+
+  // Drain: final checkpoint plus the summary, on every exit path. The
+  // journal is already flushed per accepted line.
+  if (checkpoint_now()) {
+    err << "serve: final checkpoint at slot " << arbiter.next_slot() << '\n';
+  }
+  out << arbiter.summary() << '\n' << std::flush;
+  err << "serve: " << (exit_code == 130 ? "terminated by signal" : "drained")
+      << " after " << arbiter.next_slot() << " slots, "
+      << arbiter.app_count() << " apps\n";
+
+  {
+    std::lock_guard lk(ingest->mu);
+    ingest->stop = true;
+    ingest->cv_push.notify_all();
+  }
+  // The reader exits promptly unless it is blocked inside getline on a
+  // still-open pipe; give it a moment, then abandon it (the process is
+  // about to exit anyway, and it only touches shared_ptr-owned state plus
+  // the caller-guaranteed stream).
+  for (int i = 0; i < 40 && !ingest->done.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (ingest->done.load()) {
+    reader.join();
+  } else {
+    reader.detach();
+  }
+  return exit_code;
+}
+
+}  // namespace ropus::serve

@@ -1,0 +1,79 @@
+// The serve daemon envelope around the deterministic Arbiter: ingest
+// thread with a bounded queue (backpressure, not data loss), crash-safe
+// journal + periodic checkpoints, overload shedding of optional work, and
+// graceful drain on EOF, shutdown request, or termination signal.
+//
+// Division of labour: everything that may observe time, thread scheduling
+// or I/O pressure lives here; the Arbiter it wraps is a pure function of
+// the accepted message sequence. Shedding therefore only ever skips
+// *optional* work (periodic checkpoints) — verdict bytes are identical
+// under any load.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <iosfwd>
+
+#include "serve/arbiter.h"
+
+namespace ropus::serve {
+
+struct DaemonOptions {
+  /// Checkpoint snapshot path; empty disables checkpoints (journal-only
+  /// recovery still works when a journal path is set).
+  std::filesystem::path checkpoint_path;
+  /// Append-only journal of accepted input lines; empty disables
+  /// persistence entirely (a crash then loses all state).
+  std::filesystem::path journal_path;
+  /// Slots between automatic checkpoints.
+  std::size_t checkpoint_every_slots = 64;
+  /// Ingest queue bound; a full queue blocks the reader thread, which
+  /// blocks the client's pipe — backpressure, never silent drops.
+  std::size_t queue_capacity = 1024;
+  /// Lines longer than this are answered with a line_too_long error and
+  /// never parsed or journaled.
+  std::size_t max_line_bytes = 1 << 20;
+  /// Soft per-tick processing deadline; when the previous tick ran over,
+  /// optional work (the periodic checkpoint) is shed until load recedes.
+  /// 0 disables the deadline.
+  double tick_deadline_ms = 0.0;
+
+  void validate() const;
+};
+
+/// True when optional work should be shed: the ingest queue is more than
+/// half full, or the previous tick blew its processing deadline. Pure so
+/// the policy is unit-testable without a daemon.
+bool should_shed(std::size_t queue_depth, std::size_t queue_capacity,
+                 double last_tick_ms, double deadline_ms);
+
+/// How run_daemon recovered its state on startup.
+enum class RecoveryMode { kFresh, kJournalReplay, kCheckpointAndTail };
+
+struct RecoveryReport {
+  RecoveryMode mode = RecoveryMode::kFresh;
+  std::uint64_t journal_entries = 0;   // total accepted lines on disk
+  std::uint64_t replayed = 0;          // lines replayed through the arbiter
+  bool torn_tail = false;              // journal had a truncated last record
+  std::string checkpoint_error;        // why the checkpoint was not used
+};
+
+/// Restores an arbiter from checkpoint + journal (fast path) or full
+/// journal replay (fallback). Exposed for tests and the chaos drill's
+/// offline verdict recomputation.
+RecoveryReport recover_state(const ServeConfig& config,
+                             const DaemonOptions& options, Arbiter& arbiter);
+
+/// Runs the daemon loop: reads NDJSON requests from `in`, writes replies
+/// to `out` and operational notes to `err`. Returns 0 on EOF or a
+/// shutdown request, 130 when a termination signal drained it. Throws
+/// IoError on unrecoverable persistence failures.
+///
+/// `in` must outlive the daemon's process when the run ends by signal or
+/// shutdown request while the reader thread is still blocked on it (the
+/// thread is detached in that case); stdin qualifies, and streams that
+/// reach EOF are always joined.
+int run_daemon(const ServeConfig& config, const DaemonOptions& options,
+               std::istream& in, std::ostream& out, std::ostream& err);
+
+}  // namespace ropus::serve

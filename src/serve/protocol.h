@@ -1,0 +1,100 @@
+// The serve daemon's wire protocol: newline-delimited JSON requests in,
+// newline-delimited JSON replies out.
+//
+// Requests:
+//   {"type":"tick","slot":N,"demand":{"<app>":<cpus>|null, ...}}
+//       One telemetry interval. `null` (or an absent app) is an explicitly
+//       missing measurement; a non-numeric or negative value is routed
+//       through the corrupt-telemetry path — neither ever reaches an
+//       allocation request. Slots must not go backwards; a duplicate of the
+//       most recent slot re-emits its verdict (crash-retry idempotence), a
+//       forward gap up to `max_slot_gap` is filled as missing telemetry.
+//   {"type":"admit","app":"name","profile":[...],"revenue":R,
+//    "ulow":..,"uhigh":..,"udegr":..,"m":..,"tdegr":..}
+//       Admission request for a new application. `profile` is the
+//       representative demand series the QoS translation runs on (whole
+//       weeks of slots); band flags default to the paper's case study.
+//   {"type":"checkpoint"}   force a checkpoint now
+//   {"type":"shutdown"}     graceful drain (summary, final checkpoint)
+//
+// Replies: {"type":"verdict",...}, {"type":"admission",...},
+// {"type":"ok",...}, {"type":"summary",...} and typed errors
+// {"type":"error","code":"<code>","detail":"..."}. Malformed input of any
+// shape yields an error reply, never a crash — the protocol tests and the
+// chaos drill hold this line.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "qos/requirements.h"
+
+namespace ropus::serve {
+
+enum class MessageType { kTick, kAdmit, kCheckpoint, kShutdown };
+
+/// Typed protocol fault taxonomy — the wire-level counterpart of
+/// wlm::ObservationClass. Every way an input line can be unusable maps to
+/// exactly one code, so clients (and the chaos drill) can assert on them.
+enum class ProtocolError {
+  kMalformed,       // not valid JSON (includes over-deep nesting)
+  kUnknownType,     // "type" missing or not a known request
+  kMissingField,    // a required field is absent
+  kBadValue,        // a field has the wrong type or an invalid value
+  kStaleSlot,       // tick slot older than the most recent one
+  kSlotGapTooLarge, // forward gap beyond max_slot_gap
+  kDuplicateApp,    // admit for an app name already admitted
+  kLineTooLong,     // ingest line over the size bound
+  kOverload,        // ingest queue full and the client did not back off
+};
+
+const char* protocol_error_code(ProtocolError e);
+
+/// Thrown by parse_message / Arbiter on invalid input. The daemon converts
+/// it into an error reply; it never escapes to the process.
+class ProtocolViolation : public Error {
+ public:
+  ProtocolViolation(ProtocolError code, const std::string& detail)
+      : Error(std::string(protocol_error_code(code)) + ": " + detail),
+        code_(code) {}
+  ProtocolError code() const { return code_; }
+
+ private:
+  ProtocolError code_;
+};
+
+struct DemandReading {
+  std::string app;
+  double value = 0.0;
+  bool missing = false;  // JSON null: an explicitly absent measurement
+};
+
+struct TickMessage {
+  std::size_t slot = 0;
+  std::vector<DemandReading> demand;  // member order as sent
+};
+
+struct AdmitMessage {
+  std::string app;
+  qos::Requirement requirement;
+  double revenue = 1.0;                // relative revenue weight
+  std::vector<double> profile;         // representative demand (CPUs)
+};
+
+struct Message {
+  MessageType type = MessageType::kTick;
+  TickMessage tick;    // valid when type == kTick
+  AdmitMessage admit;  // valid when type == kAdmit
+};
+
+/// Parses one request line. Throws ProtocolViolation — and nothing else —
+/// on any malformed input.
+Message parse_message(std::string_view line);
+
+/// Renders a typed error reply line (no trailing newline).
+std::string error_reply(ProtocolError code, std::string_view detail);
+
+}  // namespace ropus::serve

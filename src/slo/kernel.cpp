@@ -19,30 +19,36 @@ bool BandCounts::satisfies(const Band& band, double slack_percent) const {
   return true;
 }
 
+BandClass classify_band(double demand, double granted, const Band& band) {
+  if (demand <= 0.0) return BandClass::kIdle;
+  const double u = granted > 0.0 ? demand / granted
+                                 : std::numeric_limits<double>::infinity();
+  if (u <= band.u_high * (1.0 + kRelEps)) return BandClass::kAcceptable;
+  if (u <= band.u_degr * (1.0 + kRelEps)) return BandClass::kDegraded;
+  return BandClass::kViolating;
+}
+
 BandClass BandAccumulator::observe(double demand, double granted,
                                    const Band& band, bool on_fallback) {
   counts_.intervals += 1;
-  if (demand <= 0.0) {
-    counts_.idle += 1;
-    run_ = 0;
-    return BandClass::kIdle;
-  }
-  const double u = granted > 0.0 ? demand / granted
-                                 : std::numeric_limits<double>::infinity();
-  if (u <= band.u_high * (1.0 + kRelEps)) {
-    counts_.acceptable += 1;
-    run_ = 0;
-    return BandClass::kAcceptable;
-  }
-  BandClass cls;
-  if (u <= band.u_degr * (1.0 + kRelEps)) {
-    counts_.degraded += 1;
-    if (on_fallback) counts_.degraded_telemetry += 1;
-    cls = BandClass::kDegraded;
-  } else {
-    counts_.violating += 1;
-    if (on_fallback) counts_.violating_telemetry += 1;
-    cls = BandClass::kViolating;
+  const BandClass cls = classify_band(demand, granted, band);
+  switch (cls) {
+    case BandClass::kIdle:
+      counts_.idle += 1;
+      run_ = 0;
+      return cls;
+    case BandClass::kAcceptable:
+      counts_.acceptable += 1;
+      run_ = 0;
+      return cls;
+    case BandClass::kDegraded:
+      counts_.degraded += 1;
+      if (on_fallback) counts_.degraded_telemetry += 1;
+      break;
+    case BandClass::kViolating:
+      counts_.violating += 1;
+      if (on_fallback) counts_.violating_telemetry += 1;
+      break;
   }
   run_ += 1;
   longest_ = std::max(longest_, run_);
@@ -120,6 +126,14 @@ ThetaAccumulator::Worst ThetaAccumulator::worst() const {
   return worst;
 }
 
+void ThetaAccumulator::restore(std::span<const double> requested,
+                               std::span<const double> satisfied) {
+  ROPUS_REQUIRE(requested.size() == satisfied.size(),
+                "theta state spans must align");
+  requested_.assign(requested.begin(), requested.end());
+  satisfied_.assign(satisfied.begin(), satisfied.end());
+}
+
 std::vector<double> ThetaAccumulator::ratios() const {
   std::vector<double> out(requested_.size(), 1.0);
   for (std::size_t g = 0; g < requested_.size(); ++g) {
@@ -147,6 +161,16 @@ void DeferralQueue::defer(std::size_t slot, double deficit) {
   if (deficit > kCapacityEps) {
     entries_.push_back(Entry{slot, deficit});
     total_ += deficit;
+  }
+}
+
+void DeferralQueue::restore(std::span<const Entry> entries, double total) {
+  entries_.assign(entries.begin(), entries.end());
+  if (total >= 0.0) {
+    total_ = total;
+  } else {
+    total_ = 0.0;
+    for (const Entry& e : entries_) total_ += e.remaining;
   }
 }
 

@@ -83,6 +83,12 @@ struct BandCounts {
   bool satisfies(const Band& band, double slack_percent = 0.0) const;
 };
 
+/// Classification of a single observation against a Band — the stateless
+/// core of BandAccumulator::observe, exposed so one-shot consumers (the
+/// serve arbiter's per-tick verdicts) share the exact comparison arithmetic
+/// without carrying accumulator state.
+BandClass classify_band(double demand, double granted, const Band& band);
+
 /// Streaming band classifier: one observation at a time, with the idle /
 /// run-reset rules and the T_degr run bookkeeping. A masked-out slot (the
 /// other mode's turn, in faultsim's alternation) is reported via end_run(),
@@ -108,6 +114,21 @@ class BandAccumulator {
   std::size_t current_run() const { return run_; }
   std::size_t longest_run() const { return longest_; }
   double minutes_per_sample() const { return minutes_per_sample_; }
+
+  /// The complete mutable state, for checkpointing: restore() on a
+  /// fresh accumulator (same minutes_per_sample) resumes the stream with
+  /// subsequent observations classified identically.
+  struct State {
+    BandCounts counts;
+    std::size_t run = 0;
+    std::size_t longest = 0;
+  };
+  State state() const { return State{counts_, run_, longest_}; }
+  void restore(const State& s) {
+    counts_ = s.counts;
+    run_ = s.run;
+    longest_ = s.longest;
+  }
 
  private:
   BandCounts counts_;
@@ -177,6 +198,16 @@ class ThetaAccumulator {
     return group < satisfied_.size() ? satisfied_[group] : 0.0;
   }
 
+  /// Raw per-group sums, for checkpointing. Both spans have groups()
+  /// elements.
+  std::span<const double> requested_raw() const { return requested_; }
+  std::span<const double> satisfied_raw() const { return satisfied_; }
+
+  /// Restores the per-group sums saved by requested_raw()/satisfied_raw().
+  /// Throws InvalidArgument when the spans disagree in length.
+  void restore(std::span<const double> requested,
+               std::span<const double> satisfied);
+
  private:
   // Mirrors trace::Calendar::kDaysPerWeek without depending on trace.
   static constexpr std::size_t Calendar_kDaysPerWeek = 7;
@@ -192,6 +223,11 @@ class ThetaAccumulator {
 /// kCapacityEps count as served.
 class DeferralQueue {
  public:
+  struct Entry {
+    std::size_t created;
+    double remaining;
+  };
+
   explicit DeferralQueue(std::size_t deadline_slots)
       : deadline_slots_(deadline_slots) {}
 
@@ -219,11 +255,21 @@ class DeferralQueue {
 
   bool empty() const { return entries_.empty(); }
 
+  std::size_t deadline_slots() const { return deadline_slots_; }
+
+  /// The queued entries oldest-first, for checkpointing.
+  std::vector<Entry> entries() const {
+    return std::vector<Entry>(entries_.begin(), entries_.end());
+  }
+
+  /// Replaces the queue contents with entries saved by entries(), in
+  /// creation order. `total` restores the exact running total — drain()
+  /// leaves sub-epsilon residue in total() that the sum of remainders
+  /// lacks, and an exact restore must resume byte-identically. Pass a
+  /// negative total to recompute it as the plain sum.
+  void restore(std::span<const Entry> entries, double total = -1.0);
+
  private:
-  struct Entry {
-    std::size_t created;
-    double remaining;
-  };
   std::deque<Entry> entries_;
   double total_ = 0.0;
   std::size_t deadline_slots_;

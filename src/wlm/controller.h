@@ -114,6 +114,26 @@ class Controller {
   std::size_t consecutive_degraded() const { return consecutive_degraded_; }
   const HealthReport& health() const { return health_; }
 
+  /// The complete mutable state, for checkpointing. restore() on a fresh
+  /// controller built with the same (translation, policy, window,
+  /// degraded config) resumes the stream with identical subsequent
+  /// requests — history values and last_basis round-trip exactly.
+  struct Snapshot {
+    std::vector<double> history;
+    double last_basis = 0.0;
+    std::size_t consecutive_degraded = 0;
+    HealthReport health;
+  };
+  Snapshot snapshot() const {
+    return Snapshot{history_, last_basis_, consecutive_degraded_, health_};
+  }
+  void restore(const Snapshot& s) {
+    history_ = s.history;
+    last_basis_ = s.last_basis;
+    consecutive_degraded_ = s.consecutive_degraded;
+    health_ = s.health;
+  }
+
  private:
   AllocationRequest request_for(double demand) const;
   AllocationRequest step_measurement(double demand);

@@ -164,5 +164,67 @@ TEST(JsonParse, DuplicateKeysKeepLast) {
   EXPECT_DOUBLE_EQ(parse(R"({"k": 1, "k": 2})").at("k").as_number(), 2.0);
 }
 
+// Adversarial corpus: the serve daemon parses attacker-controllable stdin,
+// so parse() must reject hostile shapes with IoError, never crash or
+// exhaust the stack.
+
+TEST(JsonParseAdversarial, DeepNestingCapped) {
+  // One level under the cap parses; past the cap throws instead of
+  // recursing toward stack exhaustion.
+  std::string ok;
+  for (std::size_t i = 0; i < kMaxParseDepth; ++i) ok += '[';
+  std::string ok_closed = ok;
+  for (std::size_t i = 0; i < kMaxParseDepth; ++i) ok_closed += ']';
+  EXPECT_NO_THROW(parse(ok_closed));
+
+  std::string deep;
+  for (std::size_t i = 0; i < kMaxParseDepth + 1; ++i) deep += '[';
+  for (std::size_t i = 0; i < kMaxParseDepth + 1; ++i) deep += ']';
+  EXPECT_THROW(parse(deep), IoError);
+
+  // A 100k-bracket bomb must fail fast, not overflow.
+  EXPECT_THROW(parse(std::string(100000, '[')), IoError);
+
+  // Mixed object/array nesting counts against the same cap.
+  std::string mixed;
+  for (std::size_t i = 0; i < kMaxParseDepth + 1; ++i) mixed += "{\"k\":[";
+  EXPECT_THROW(parse(mixed), IoError);
+}
+
+TEST(JsonParseAdversarial, UnterminatedStrings) {
+  EXPECT_THROW(parse("\""), IoError);
+  EXPECT_THROW(parse("\"abc"), IoError);
+  EXPECT_THROW(parse("\"abc\\"), IoError);       // dangling escape
+  EXPECT_THROW(parse("\"abc\\u12"), IoError);    // truncated \u escape
+  EXPECT_THROW(parse(R"({"key)"), IoError);
+  EXPECT_THROW(parse(R"(["a", "b)"), IoError);
+}
+
+TEST(JsonParseAdversarial, HugeNumbersRejected) {
+  // Overflowing doubles must throw, not saturate silently into state.
+  EXPECT_THROW(parse("1e999999"), IoError);
+  EXPECT_THROW(parse("-1e999999"), IoError);
+  EXPECT_THROW(parse("1" + std::string(400, '0')), IoError);
+  // Near-max magnitudes still parse.
+  EXPECT_NO_THROW(parse("1.7e308"));
+  EXPECT_NO_THROW(parse("-1.7e308"));
+}
+
+TEST(JsonParseAdversarial, EmbeddedNulBytes) {
+  // NUL inside a string is an unescaped control character.
+  EXPECT_THROW(parse(std::string_view("\"a\0b\"", 5)), IoError);
+  // NUL as structure is not whitespace.
+  EXPECT_THROW(parse(std::string_view("\0", 1)), IoError);
+  EXPECT_THROW(parse(std::string_view("[1,\0]", 5)), IoError);
+  // The escaped form is legal and round-trips.
+  EXPECT_EQ(parse("\"\\u0000\"").as_string(), std::string(1, '\0'));
+}
+
+TEST(JsonParseAdversarial, GarbageBytes) {
+  EXPECT_THROW(parse("\x01\x02\x03"), IoError);
+  EXPECT_THROW(parse("{\"a\":\x7f}"), IoError);
+  EXPECT_THROW(parse(std::string(64, '\xff')), IoError);
+}
+
 }  // namespace
 }  // namespace ropus::json

@@ -1,0 +1,289 @@
+// The arbiter's determinism contract: replies are a pure function of the
+// accepted-message sequence, duplicates re-emit cached bytes, rejected
+// inputs change no state, and save/load reproduces the verdict stream
+// byte for byte.
+#include "serve/arbiter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace ropus::serve {
+namespace {
+
+constexpr std::size_t kWeekSlots = 7 * 24;  // 60-minute slots
+
+/// A small pool: hourly slots keep the per-app translation tiny, so every
+/// test runs in milliseconds.
+ServeConfig small_config() {
+  ServeConfig config;
+  config.minutes_per_sample = 60.0;
+  config.slots_per_day = 24;
+  config.servers = 2;
+  config.server_cpus = 8.0;
+  config.max_slot_gap = 24;
+  return config;
+}
+
+std::string admit_line(const std::string& app,
+                       const std::vector<double>& profile,
+                       const std::string& extra = "") {
+  std::string line = R"({"type":"admit","app":")" + app + R"(","profile":[)";
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    if (i > 0) line += ',';
+    line += std::to_string(profile[i]);
+  }
+  line += "]";
+  if (!extra.empty()) line += "," + extra;
+  line += "}";
+  return line;
+}
+
+std::string tick_line(std::size_t slot, const std::string& demand) {
+  return R"({"type":"tick","slot":)" + std::to_string(slot) +
+         R"(,"demand":)" + demand + "}";
+}
+
+std::vector<std::string> drive(Arbiter& arbiter, const std::string& line,
+                               bool* state_changed = nullptr) {
+  return arbiter.handle(parse_message(line), state_changed);
+}
+
+ProtocolError rejection_code(Arbiter& arbiter, const std::string& line) {
+  try {
+    (void)drive(arbiter, line);
+  } catch (const ProtocolViolation& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected ProtocolViolation for: " << line;
+  return ProtocolError::kMalformed;
+}
+
+TEST(ArbiterAdmit, AcceptsAndRefusesDuplicates) {
+  Arbiter arbiter(small_config());
+  bool changed = false;
+  const std::vector<std::string> replies =
+      drive(arbiter, admit_line("web", std::vector<double>(kWeekSlots, 1.0)),
+            &changed);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(changed);
+  const json::Value v = json::parse(replies[0]);
+  EXPECT_EQ(v.at("type").as_string(), "admission");
+  EXPECT_EQ(v.at("app").as_string(), "web");
+  EXPECT_EQ(v.at("decision").as_string(), "accepted");
+  EXPECT_LT(v.at("host").as_number(), 2.0);
+  EXPECT_EQ(arbiter.app_count(), 1u);
+
+  EXPECT_EQ(rejection_code(
+                arbiter,
+                admit_line("web", std::vector<double>(kWeekSlots, 1.0))),
+            ProtocolError::kDuplicateApp);
+  EXPECT_EQ(arbiter.app_count(), 1u);
+}
+
+TEST(ArbiterAdmit, ProfileMustCoverWholeWeeksAndMatchFleet) {
+  Arbiter arbiter(small_config());
+  EXPECT_EQ(rejection_code(arbiter,
+                           admit_line("a", std::vector<double>(10, 1.0))),
+            ProtocolError::kBadValue);
+  drive(arbiter, admit_line("a", std::vector<double>(kWeekSlots, 1.0)));
+  EXPECT_EQ(rejection_code(
+                arbiter,
+                admit_line("b", std::vector<double>(2 * kWeekSlots, 1.0))),
+            ProtocolError::kBadValue);
+  EXPECT_EQ(arbiter.app_count(), 1u);
+}
+
+TEST(ArbiterAdmit, OversizedWorkloadRejectedWithoutStateChange) {
+  ServeConfig config = small_config();
+  config.servers = 1;
+  config.server_cpus = 2.0;
+  Arbiter arbiter(config);
+  bool changed = true;
+  const std::vector<std::string> replies = drive(
+      arbiter, admit_line("huge", std::vector<double>(kWeekSlots, 50.0)),
+      &changed);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_FALSE(changed);
+  const json::Value v = json::parse(replies[0]);
+  EXPECT_EQ(v.at("decision").as_string(), "rejected");
+  EXPECT_FALSE(v.at("reason").as_string().empty());
+  EXPECT_EQ(arbiter.app_count(), 0u);
+}
+
+TEST(ArbiterAdmit, RenegotiatesToWeakerBandWhenStrictDoesNotFit) {
+  // A mostly-flat profile with a short peak: at M=100 the peak must be
+  // acceptable (alloc ~ peak/u_high); at the renegotiated M=90 those few
+  // slots may run degraded (alloc ~ peak/u_degr), which fits the server.
+  ServeConfig config = small_config();
+  config.servers = 1;
+  config.server_cpus = 64.0;  // probes must fit both bands comfortably
+  std::vector<double> profile(kWeekSlots, 1.0);
+  // Isolated one-slot peaks: each degraded epoch stays within the
+  // renegotiated T_degr of 120 minutes.
+  for (std::size_t i = 0; i < 4; ++i) profile[40 + 20 * i] = 8.0;
+
+  // Find a capacity between the strict and renegotiated requirements so the
+  // test tracks the translation rather than hard-coding its output.
+  double strict_need = 0.0;
+  double weak_need = 0.0;
+  {
+    Arbiter probe(config);
+    const json::Value strict = json::parse(
+        drive(probe, admit_line("probe-strict", profile, R"("m":100)"))[0]);
+    ASSERT_EQ(strict.at("decision").as_string(), "accepted");
+    strict_need =
+        config.server_cpus * (1.0 - strict.at("headroom").as_number());
+  }
+  {
+    Arbiter probe(config);
+    const json::Value weak = json::parse(drive(
+        probe,
+        admit_line("probe-weak", profile, R"("m":90,"tdegr":120)"))[0]);
+    ASSERT_EQ(weak.at("decision").as_string(), "accepted");
+    weak_need = config.server_cpus * (1.0 - weak.at("headroom").as_number());
+  }
+  ASSERT_LT(weak_need, strict_need)
+      << "weaker band should need less capacity";
+
+  config.server_cpus = (strict_need + weak_need) / 2.0;
+  config.admission.renegotiate_m = 90.0;
+  config.admission.renegotiate_tdegr = 120.0;
+  Arbiter arbiter(config);
+  bool changed = false;
+  const json::Value v = json::parse(
+      drive(arbiter, admit_line("web", profile, R"("m":100)"), &changed)[0]);
+  EXPECT_EQ(v.at("decision").as_string(), "renegotiated");
+  EXPECT_DOUBLE_EQ(v.at("m").as_number(), 90.0);
+  EXPECT_DOUBLE_EQ(v.at("tdegr").as_number(), 120.0);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(arbiter.app_count(), 1u);
+}
+
+TEST(ArbiterTick, VerdictReportsEveryAppAndUnknownNames) {
+  Arbiter arbiter(small_config());
+  drive(arbiter, admit_line("web", std::vector<double>(kWeekSlots, 1.0)));
+  drive(arbiter, admit_line("db", std::vector<double>(kWeekSlots, 2.0)));
+
+  bool changed = false;
+  const std::vector<std::string> replies = drive(
+      arbiter, tick_line(0, R"({"web":1.5,"db":null,"ghost":1.0})"), &changed);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(changed);
+  const json::Value v = json::parse(replies[0]);
+  EXPECT_EQ(v.at("type").as_string(), "verdict");
+  EXPECT_EQ(v.at("slot").as_number(), 0.0);
+  const auto& apps = v.at("apps").as_array();
+  ASSERT_EQ(apps.size(), 2u);
+  EXPECT_EQ(apps[0].at("app").as_string(), "web");
+  EXPECT_EQ(apps[0].at("telemetry").as_string(), "ok");
+  EXPECT_DOUBLE_EQ(apps[0].at("demand").as_number(), 1.5);
+  EXPECT_GT(apps[0].at("granted").as_number(), 0.0);
+  EXPECT_EQ(apps[1].at("telemetry").as_string(), "missing");
+  EXPECT_EQ(v.at("unknown_apps").as_number(), 1.0);
+  EXPECT_EQ(arbiter.next_slot(), 1u);
+}
+
+TEST(ArbiterTick, DuplicateOfLatestSlotReEmitsCachedBytes) {
+  Arbiter arbiter(small_config());
+  drive(arbiter, admit_line("web", std::vector<double>(kWeekSlots, 1.0)));
+  const std::vector<std::string> first =
+      drive(arbiter, tick_line(0, R"({"web":1.5})"));
+  bool changed = true;
+  // Even a resend with different demand re-emits the judged verdict — the
+  // slot was already decided; the client is retrying a lost reply.
+  const std::vector<std::string> second =
+      drive(arbiter, tick_line(0, R"({"web":9.9})"), &changed);
+  EXPECT_FALSE(changed);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(arbiter.next_slot(), 1u);
+}
+
+TEST(ArbiterTick, StaleSlotRejectedWithoutStateChange) {
+  Arbiter arbiter(small_config());
+  drive(arbiter, admit_line("web", std::vector<double>(kWeekSlots, 1.0)));
+  drive(arbiter, tick_line(0, R"({"web":1.0})"));
+  drive(arbiter, tick_line(1, R"({"web":1.0})"));
+  drive(arbiter, tick_line(2, R"({"web":1.0})"));
+  EXPECT_EQ(rejection_code(arbiter, tick_line(1, R"({"web":1.0})")),
+            ProtocolError::kStaleSlot);
+  EXPECT_EQ(arbiter.next_slot(), 3u);
+  // The stream continues unharmed after the rejected resend.
+  const json::Value v =
+      json::parse(drive(arbiter, tick_line(3, R"({"web":1.0})"))[0]);
+  EXPECT_EQ(v.at("slot").as_number(), 3.0);
+}
+
+TEST(ArbiterTick, ForwardGapFilledAsMissingTelemetry) {
+  Arbiter arbiter(small_config());
+  drive(arbiter, admit_line("web", std::vector<double>(kWeekSlots, 1.0)));
+  drive(arbiter, tick_line(0, R"({"web":1.0})"));
+  const std::vector<std::string> replies =
+      drive(arbiter, tick_line(3, R"({"web":1.0})"));
+  ASSERT_EQ(replies.size(), 3u);  // slots 1, 2 (fillers) and 3
+  for (std::size_t i = 0; i < 2; ++i) {
+    const json::Value filler = json::parse(replies[i]);
+    EXPECT_EQ(filler.at("slot").as_number(), static_cast<double>(i + 1));
+    EXPECT_TRUE(filler.at("filler").as_bool());
+    EXPECT_EQ(filler.at("apps").as_array()[0].at("telemetry").as_string(),
+              "missing");
+  }
+  const json::Value real = json::parse(replies[2]);
+  EXPECT_EQ(real.at("slot").as_number(), 3.0);
+  EXPECT_EQ(real.find("filler"), nullptr);
+  EXPECT_EQ(arbiter.next_slot(), 4u);
+
+  EXPECT_EQ(rejection_code(arbiter, tick_line(4 + 25, R"({"web":1.0})")),
+            ProtocolError::kSlotGapTooLarge);
+  EXPECT_EQ(arbiter.next_slot(), 4u);
+}
+
+TEST(ArbiterState, SaveLoadReproducesVerdictBytes) {
+  const ServeConfig config = small_config();
+  Arbiter original(config);
+  drive(original, admit_line("web", std::vector<double>(kWeekSlots, 1.0)));
+  drive(original, admit_line("db", std::vector<double>(kWeekSlots, 2.0),
+                             R"("m":95,"revenue":2)"));
+  // A varied prefix: present, missing, corrupt readings and a gap.
+  drive(original, tick_line(0, R"({"web":1.2,"db":2.5})"));
+  drive(original, tick_line(1, R"({"web":null,"db":"bogus"})"));
+  drive(original, tick_line(4, R"({"web":0.8,"db":1.9})"));
+
+  json::Writer w;
+  original.save_state(w);
+  const std::string blob = w.str();
+
+  Arbiter restored(config);
+  restored.load_state(json::parse(blob));
+  EXPECT_EQ(restored.next_slot(), original.next_slot());
+  EXPECT_EQ(restored.app_count(), original.app_count());
+
+  // The restored arbiter answers a duplicate of the last tick from its
+  // cache — byte-identical to the original's reply.
+  EXPECT_EQ(drive(restored, tick_line(4, R"({"web":0.8,"db":1.9})")),
+            drive(original, tick_line(4, R"({"web":0.8,"db":1.9})")));
+
+  // And the continued streams stay byte-identical: verdicts and summary.
+  for (std::size_t slot = 5; slot <= 9; ++slot) {
+    const std::string line =
+        tick_line(slot, slot % 2 == 0 ? R"({"web":3.0,"db":0.5})"
+                                      : R"({"web":0.4})");
+    EXPECT_EQ(drive(original, line), drive(restored, line)) << "slot " << slot;
+  }
+  EXPECT_EQ(original.summary(), restored.summary());
+
+  // Serializing the restored arbiter reproduces the same blob.
+  json::Writer w2;
+  restored.save_state(w2);
+  // (States were advanced identically above, so re-save both for a fair
+  // byte comparison.)
+  json::Writer w3;
+  original.save_state(w3);
+  EXPECT_EQ(w2.str(), w3.str());
+}
+
+}  // namespace
+}  // namespace ropus::serve

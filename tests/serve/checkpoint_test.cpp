@@ -1,0 +1,211 @@
+// Durability layer: the CRC-framed journal survives torn tails and
+// flipped bytes, checkpoints round-trip the arbiter exactly, and a corrupt
+// checkpoint is refused without touching the live state.
+#include "serve/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "serve/arbiter.h"
+
+namespace ropus::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kWeekSlots = 7 * 24;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ropus_checkpoint_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  fs::path dir_;
+};
+
+ServeConfig small_config() {
+  ServeConfig config;
+  config.minutes_per_sample = 60.0;
+  config.slots_per_day = 24;
+  config.servers = 2;
+  config.server_cpus = 8.0;
+  return config;
+}
+
+void append_raw(const fs::path& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::app);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+Arbiter seeded_arbiter(const ServeConfig& config) {
+  Arbiter arbiter(config);
+  arbiter.handle(parse_message(
+      R"({"type":"admit","app":"web","profile":[)" +
+      [] {
+        std::string p = "1.5";
+        for (std::size_t i = 1; i < kWeekSlots; ++i) p += ",1.5";
+        return p;
+      }() +
+      "]}"));
+  arbiter.handle(parse_message(R"({"type":"tick","slot":0,"demand":{"web":1.2}})"));
+  arbiter.handle(parse_message(R"({"type":"tick","slot":1,"demand":{"web":1.9}})"));
+  return arbiter;
+}
+
+TEST_F(CheckpointTest, JournalRecoverOnMissingFileIsEmpty) {
+  const Journal::Recovered r = Journal::recover((dir_ / "none.journal").string());
+  EXPECT_TRUE(r.lines.empty());
+  EXPECT_EQ(r.valid_bytes, 0u);
+  EXPECT_FALSE(r.torn_tail);
+}
+
+TEST_F(CheckpointTest, JournalAppendRecoverRoundTrip) {
+  const std::string path = (dir_ / "a.journal").string();
+  const std::vector<std::string> lines = {
+      R"({"type":"tick","slot":0,"demand":{}})",
+      R"({"type":"admit","app":"x"})",
+      "plain text with spaces",
+  };
+  {
+    Journal journal(path, 0, 0);
+    for (const std::string& line : lines) journal.append(line);
+    EXPECT_EQ(journal.entries(), lines.size());
+  }
+  const Journal::Recovered r = Journal::recover(path);
+  EXPECT_EQ(r.lines, lines);
+  EXPECT_FALSE(r.torn_tail);
+  EXPECT_EQ(r.valid_bytes, fs::file_size(path));
+}
+
+TEST_F(CheckpointTest, TornTailDetectedAndTruncatedOnReopen) {
+  const std::string path = (dir_ / "torn.journal").string();
+  {
+    Journal journal(path, 0, 0);
+    journal.append("first");
+    journal.append("second");
+  }
+  // A crash mid-append leaves a partial frame at the tail.
+  append_raw(path, "deadbeef 17 half-writ");
+  Journal::Recovered r = Journal::recover(path);
+  EXPECT_EQ(r.lines, (std::vector<std::string>{"first", "second"}));
+  EXPECT_TRUE(r.torn_tail);
+  EXPECT_LT(r.valid_bytes, fs::file_size(path));
+
+  // Reopening for append truncates the tail and continues cleanly.
+  {
+    Journal journal(path, r.valid_bytes, r.lines.size());
+    journal.append("third");
+    EXPECT_EQ(journal.entries(), 3u);
+  }
+  r = Journal::recover(path);
+  EXPECT_EQ(r.lines, (std::vector<std::string>{"first", "second", "third"}));
+  EXPECT_FALSE(r.torn_tail);
+}
+
+TEST_F(CheckpointTest, FlippedByteStopsRecoveryAtTheDamage) {
+  const std::string path = (dir_ / "flip.journal").string();
+  {
+    Journal journal(path, 0, 0);
+    journal.append("aaaa");
+    journal.append("bbbb");
+    journal.append("cccc");
+  }
+  // Flip one byte inside the second frame's body: its CRC no longer
+  // matches, so recovery keeps only the first entry.
+  std::string bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(f), {});
+  }
+  const std::size_t pos = bytes.find("bbbb");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos] = 'X';
+  fs::remove(path);
+  append_raw(path, bytes);
+
+  const Journal::Recovered r = Journal::recover(path);
+  EXPECT_EQ(r.lines, (std::vector<std::string>{"aaaa"}));
+  EXPECT_TRUE(r.torn_tail);
+}
+
+TEST_F(CheckpointTest, CheckpointRoundTripRestoresTheArbiter) {
+  const std::string path = (dir_ / "state.ckpt").string();
+  const ServeConfig config = small_config();
+  Arbiter original = seeded_arbiter(config);
+  write_checkpoint(path, original, 3);
+
+  Arbiter restored(config);
+  const CheckpointLoad load = load_checkpoint(path, restored);
+  ASSERT_TRUE(load.ok) << load.error;
+  EXPECT_EQ(load.journal_entries, 3u);
+  EXPECT_EQ(restored.next_slot(), original.next_slot());
+  EXPECT_EQ(restored.app_count(), original.app_count());
+  EXPECT_EQ(restored.summary(), original.summary());
+
+  // Continued streams agree byte for byte.
+  const Message next = parse_message(
+      R"({"type":"tick","slot":2,"demand":{"web":0.7}})");
+  EXPECT_EQ(original.handle(next), restored.handle(next));
+}
+
+TEST_F(CheckpointTest, CorruptCheckpointRefusedWithoutTouchingState) {
+  const std::string path = (dir_ / "bad.ckpt").string();
+  const ServeConfig config = small_config();
+  Arbiter original = seeded_arbiter(config);
+  write_checkpoint(path, original, 3);
+
+  // Truncated payload: CRC/length no longer match the header.
+  fs::resize_file(path, fs::file_size(path) / 2);
+  Arbiter victim(config);
+  CheckpointLoad load = load_checkpoint(path, victim);
+  EXPECT_FALSE(load.ok);
+  EXPECT_FALSE(load.error.empty());
+  EXPECT_EQ(victim.next_slot(), 0u);
+  EXPECT_EQ(victim.app_count(), 0u);
+
+  // Garbage header.
+  fs::remove(path);
+  append_raw(path, "ROPUS-CHECKPOINT v1 len=999 crc=deadbeef\n{\"garbage\":");
+  load = load_checkpoint(path, victim);
+  EXPECT_FALSE(load.ok);
+
+  // Missing file.
+  load = load_checkpoint((dir_ / "absent.ckpt").string(), victim);
+  EXPECT_FALSE(load.ok);
+  EXPECT_EQ(victim.next_slot(), 0u);
+}
+
+TEST_F(CheckpointTest, CheckpointOverwriteIsAtomicReplacement) {
+  const std::string path = (dir_ / "latest.ckpt").string();
+  const ServeConfig config = small_config();
+  Arbiter arbiter = seeded_arbiter(config);
+  write_checkpoint(path, arbiter, 3);
+  arbiter.handle(parse_message(
+      R"({"type":"tick","slot":2,"demand":{"web":2.2}})"));
+  write_checkpoint(path, arbiter, 4);
+
+  Arbiter restored(config);
+  const CheckpointLoad load = load_checkpoint(path, restored);
+  ASSERT_TRUE(load.ok) << load.error;
+  EXPECT_EQ(load.journal_entries, 4u);
+  EXPECT_EQ(restored.next_slot(), 3u);
+}
+
+}  // namespace
+}  // namespace ropus::serve

@@ -1,0 +1,293 @@
+// The daemon envelope around the arbiter: stream-in/stream-out behaviour,
+// protocol hardening (error replies, never exceptions), overload shedding,
+// persistence wiring and the signal drain path.
+#include "serve/daemon.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/signals.h"
+#include "serve/checkpoint.h"
+
+namespace ropus::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kWeekSlots = 7 * 24;
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    signals::reset_for_tests();
+    dir_ = fs::temp_directory_path() /
+           ("ropus_daemon_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    signals::reset_for_tests();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  fs::path dir_;
+};
+
+ServeConfig small_config() {
+  ServeConfig config;
+  config.minutes_per_sample = 60.0;
+  config.slots_per_day = 24;
+  config.servers = 2;
+  config.server_cpus = 8.0;
+  return config;
+}
+
+std::string admit_line(const std::string& app) {
+  std::string line = R"({"type":"admit","app":")" + app + R"(","profile":[1)";
+  for (std::size_t i = 1; i < kWeekSlots; ++i) line += ",1";
+  return line + "]}";
+}
+
+std::string tick_line(std::size_t slot, const std::string& demand) {
+  return R"({"type":"tick","slot":)" + std::to_string(slot) +
+         R"(,"demand":)" + demand + "}";
+}
+
+std::vector<std::string> reply_lines(const std::ostringstream& out) {
+  std::vector<std::string> lines;
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string type_of(const std::string& reply) {
+  return json::parse(reply).at("type").as_string();
+}
+
+TEST(ShouldShed, QueuePressureAndSlowTicks) {
+  EXPECT_FALSE(should_shed(0, 8, 0.0, 0.0));
+  EXPECT_FALSE(should_shed(4, 8, 0.0, 0.0));  // exactly half: not yet
+  EXPECT_TRUE(should_shed(5, 8, 0.0, 0.0));
+  EXPECT_TRUE(should_shed(8, 8, 0.0, 0.0));
+  // The deadline arm only engages when configured.
+  EXPECT_FALSE(should_shed(0, 8, 500.0, 0.0));
+  EXPECT_TRUE(should_shed(0, 8, 500.0, 100.0));
+  EXPECT_FALSE(should_shed(0, 8, 50.0, 100.0));
+}
+
+TEST(DaemonOptionsValidate, RejectsNonsense) {
+  DaemonOptions options;
+  EXPECT_NO_THROW(options.validate());
+  options.queue_capacity = 0;
+  EXPECT_THROW(options.validate(), Error);
+  options = DaemonOptions{};
+  options.checkpoint_every_slots = 0;
+  EXPECT_THROW(options.validate(), Error);
+  options = DaemonOptions{};
+  options.tick_deadline_ms = -1.0;
+  EXPECT_THROW(options.validate(), Error);
+}
+
+TEST_F(DaemonTest, DrainsStreamAndEmitsSummary) {
+  std::istringstream in(admit_line("web") + "\n" +
+                        tick_line(0, R"({"web":0.6})") + "\n" +
+                        tick_line(1, R"({"web":0.7})") + "\n");
+  std::ostringstream out;
+  std::ostringstream err;
+  const int rc = run_daemon(small_config(), DaemonOptions{}, in, out, err);
+  EXPECT_EQ(rc, 0);
+  const std::vector<std::string> lines = reply_lines(out);
+  ASSERT_EQ(lines.size(), 5u);  // ready, admission, 2 verdicts, summary
+  EXPECT_EQ(type_of(lines[0]), "ready");
+  EXPECT_EQ(json::parse(lines[0]).at("recovery").as_string(), "fresh");
+  EXPECT_EQ(type_of(lines[1]), "admission");
+  EXPECT_EQ(type_of(lines[2]), "verdict");
+  EXPECT_EQ(type_of(lines[3]), "verdict");
+  EXPECT_EQ(type_of(lines[4]), "summary");
+  EXPECT_EQ(json::parse(lines[4]).at("slots").as_number(), 2.0);
+}
+
+TEST_F(DaemonTest, HostileInputGetsTypedErrorsNeverACrash) {
+  std::istringstream in(std::string("this is not json\n") +
+                        "   \t\n" +  // blank: silently skipped
+                        R"({"type":"warp"})" + "\n" +
+                        tick_line(0, R"({"a":1})") + "\n" +
+                        tick_line(0, R"({"a":1})") + "\n" +  // duplicate
+                        R"({"type":"tick","slot":-3,"demand":{}})" + "\n" +
+                        R"({"type":"checkpoint"})" + "\n" +
+                        std::string(200, 'x') + "\n");
+  std::ostringstream out;
+  std::ostringstream err;
+  DaemonOptions options;
+  options.max_line_bytes = 128;
+  const int rc = run_daemon(small_config(), options, in, out, err);
+  EXPECT_EQ(rc, 0);
+  const std::vector<std::string> lines = reply_lines(out);
+  // ready, malformed, unknown_type, verdict, duplicate verdict, bad_value,
+  // bad_value (checkpoint without a path), line_too_long, summary
+  ASSERT_EQ(lines.size(), 9u);
+  EXPECT_EQ(json::parse(lines[1]).at("code").as_string(), "malformed");
+  EXPECT_EQ(json::parse(lines[2]).at("code").as_string(), "unknown_type");
+  EXPECT_EQ(type_of(lines[3]), "verdict");
+  EXPECT_EQ(lines[4], lines[3]);  // duplicate re-emits cached bytes
+  EXPECT_EQ(json::parse(lines[5]).at("code").as_string(), "bad_value");
+  EXPECT_EQ(json::parse(lines[6]).at("code").as_string(), "bad_value");
+  EXPECT_EQ(json::parse(lines[7]).at("code").as_string(), "line_too_long");
+  EXPECT_EQ(type_of(lines[8]), "summary");
+}
+
+TEST_F(DaemonTest, ShutdownMessageStopsBeforeRemainingInput) {
+  std::istringstream in(tick_line(0, "{}") + "\n" +
+                        R"({"type":"shutdown"})" + "\n" +
+                        tick_line(1, "{}") + "\n");
+  std::ostringstream out;
+  std::ostringstream err;
+  const int rc = run_daemon(small_config(), DaemonOptions{}, in, out, err);
+  EXPECT_EQ(rc, 0);
+  const std::vector<std::string> lines = reply_lines(out);
+  ASSERT_EQ(lines.size(), 3u);  // ready, verdict 0, summary — tick 1 unread
+  EXPECT_EQ(type_of(lines.back()), "summary");
+  EXPECT_EQ(json::parse(lines.back()).at("slots").as_number(), 1.0);
+}
+
+TEST_F(DaemonTest, TerminationSignalDrainsWithCode130) {
+  signals::request_termination(15);
+  std::istringstream in(tick_line(0, "{}") + "\n");
+  std::ostringstream out;
+  std::ostringstream err;
+  const int rc = run_daemon(small_config(), DaemonOptions{}, in, out, err);
+  EXPECT_EQ(rc, 130);
+  // The drain path still emits the summary for whoever is collecting.
+  const std::vector<std::string> lines = reply_lines(out);
+  EXPECT_EQ(type_of(lines.back()), "summary");
+  EXPECT_NE(err.str().find("terminated by signal"), std::string::npos);
+}
+
+TEST_F(DaemonTest, JournalAndCheckpointDriveRecovery) {
+  const ServeConfig config = small_config();
+  DaemonOptions options;
+  options.journal_path = (dir_ / "serve.journal").string();
+  options.checkpoint_path = (dir_ / "serve.ckpt").string();
+  options.checkpoint_every_slots = 2;
+
+  std::ostringstream first_out;
+  {
+    std::istringstream in(admit_line("web") + "\n" +
+                          tick_line(0, R"({"web":0.9})") + "\n" +
+                          tick_line(1, R"({"web":0.8})") + "\n" +
+                          tick_line(2, R"({"web":0.7})") + "\n");
+    std::ostringstream err;
+    ASSERT_EQ(run_daemon(config, options, in, first_out, err), 0);
+  }
+  ASSERT_TRUE(fs::exists(options.journal_path));
+  ASSERT_TRUE(fs::exists(options.checkpoint_path));
+
+  // Restart: the ready line reports checkpoint+journal recovery, and a
+  // resend of the last tick re-emits its verdict byte-identically.
+  const std::string last_tick = tick_line(2, R"({"web":0.7})");
+  std::ostringstream second_out;
+  {
+    std::istringstream in(last_tick + "\n" + tick_line(3, R"({"web":0.6})") +
+                          "\n");
+    std::ostringstream err;
+    ASSERT_EQ(run_daemon(config, options, in, second_out, err), 0);
+  }
+  const std::vector<std::string> first = reply_lines(first_out);
+  const std::vector<std::string> second = reply_lines(second_out);
+  const json::Value ready = json::parse(second[0]);
+  EXPECT_EQ(ready.at("recovery").as_string(), "checkpoint+journal");
+  EXPECT_EQ(ready.at("slots").as_number(), 3.0);
+  EXPECT_EQ(ready.at("apps").as_number(), 1.0);
+  // first: ready admission v0 v1 v2 summary; second: ready v2 v3 summary.
+  EXPECT_EQ(second[1], first[4]);
+  EXPECT_EQ(type_of(second[2]), "verdict");
+  EXPECT_EQ(json::parse(second[2]).at("slot").as_number(), 3.0);
+}
+
+TEST_F(DaemonTest, CorruptCheckpointFallsBackToJournalReplay) {
+  const ServeConfig config = small_config();
+  DaemonOptions options;
+  options.journal_path = (dir_ / "serve.journal").string();
+  options.checkpoint_path = (dir_ / "serve.ckpt").string();
+
+  std::ostringstream first_out;
+  {
+    std::istringstream in(admit_line("web") + "\n" +
+                          tick_line(0, R"({"web":0.9})") + "\n" +
+                          tick_line(1, R"({"web":0.4})") + "\n");
+    std::ostringstream err;
+    ASSERT_EQ(run_daemon(config, options, in, first_out, err), 0);
+  }
+  fs::resize_file(options.checkpoint_path,
+                  fs::file_size(options.checkpoint_path) / 2);
+
+  std::ostringstream second_out;
+  std::ostringstream err;
+  {
+    std::istringstream in(tick_line(2, R"({"web":0.5})") + "\n");
+    ASSERT_EQ(run_daemon(config, options, in, second_out, err), 0);
+  }
+  const std::vector<std::string> second = reply_lines(second_out);
+  const json::Value ready = json::parse(second[0]);
+  EXPECT_EQ(ready.at("recovery").as_string(), "journal");
+  EXPECT_EQ(ready.at("replayed").as_number(), 3.0);
+  EXPECT_EQ(ready.at("slots").as_number(), 2.0);
+  EXPECT_NE(err.str().find("checkpoint unused"), std::string::npos);
+}
+
+TEST_F(DaemonTest, RecoverStateModes) {
+  const ServeConfig config = small_config();
+  DaemonOptions options;
+
+  // No persistence configured: fresh, nothing replayed.
+  {
+    Arbiter arbiter(config);
+    const RecoveryReport report = recover_state(config, options, arbiter);
+    EXPECT_EQ(report.mode, RecoveryMode::kFresh);
+    EXPECT_EQ(report.replayed, 0u);
+  }
+
+  // Journal only: full replay.
+  options.journal_path = (dir_ / "r.journal").string();
+  {
+    Journal journal(options.journal_path, 0, 0);
+    journal.append(admit_line("web"));
+    journal.append(tick_line(0, R"({"web":1.0})"));
+  }
+  {
+    Arbiter arbiter(config);
+    const RecoveryReport report = recover_state(config, options, arbiter);
+    EXPECT_EQ(report.mode, RecoveryMode::kJournalReplay);
+    EXPECT_EQ(report.replayed, 2u);
+    EXPECT_EQ(arbiter.next_slot(), 1u);
+    EXPECT_EQ(arbiter.app_count(), 1u);
+  }
+
+  // A checkpoint claiming more entries than the journal holds is refused —
+  // the journal is the source of truth.
+  options.checkpoint_path = (dir_ / "r.ckpt").string();
+  {
+    Arbiter donor(config);
+    donor.handle(parse_message(admit_line("web")));
+    write_checkpoint(options.checkpoint_path, donor, 99);
+    Arbiter arbiter(config);
+    const RecoveryReport report = recover_state(config, options, arbiter);
+    EXPECT_EQ(report.mode, RecoveryMode::kJournalReplay);
+    EXPECT_EQ(report.checkpoint_error, "checkpoint is ahead of the journal");
+    EXPECT_EQ(report.replayed, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace ropus::serve

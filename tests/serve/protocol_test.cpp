@@ -1,0 +1,132 @@
+// Wire-protocol parsing: every malformed shape maps to exactly one typed
+// ProtocolError, and parse_message never throws anything else.
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ropus::serve {
+namespace {
+
+ProtocolError code_of(std::string_view line) {
+  try {
+    (void)parse_message(line);
+  } catch (const ProtocolViolation& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected ProtocolViolation for: " << line;
+  return ProtocolError::kMalformed;
+}
+
+TEST(ParseMessage, TickWithNumbersNullsAndCorruptReadings) {
+  const Message msg = parse_message(
+      R"({"type":"tick","slot":7,"demand":{"a":1.5,"b":null,"c":"oops"}})");
+  ASSERT_EQ(msg.type, MessageType::kTick);
+  EXPECT_EQ(msg.tick.slot, 7u);
+  ASSERT_EQ(msg.tick.demand.size(), 3u);
+  EXPECT_EQ(msg.tick.demand[0].app, "a");
+  EXPECT_DOUBLE_EQ(msg.tick.demand[0].value, 1.5);
+  EXPECT_FALSE(msg.tick.demand[0].missing);
+  EXPECT_TRUE(msg.tick.demand[1].missing);
+  // A non-numeric reading is routed through the corrupt-telemetry path as
+  // an out-of-domain value, not rejected at the protocol layer.
+  EXPECT_FALSE(msg.tick.demand[2].missing);
+  EXPECT_LT(msg.tick.demand[2].value, 0.0);
+}
+
+TEST(ParseMessage, AdmitDefaultsAndOverrides) {
+  const Message msg = parse_message(
+      R"({"type":"admit","app":"web","profile":[1,2,0.5],"revenue":3,)"
+      R"("uhigh":0.7,"udegr":0.92,"m":95,"tdegr":20})");
+  ASSERT_EQ(msg.type, MessageType::kAdmit);
+  EXPECT_EQ(msg.admit.app, "web");
+  EXPECT_EQ(msg.admit.profile.size(), 3u);
+  EXPECT_DOUBLE_EQ(msg.admit.revenue, 3.0);
+  EXPECT_DOUBLE_EQ(msg.admit.requirement.u_high, 0.7);
+  EXPECT_DOUBLE_EQ(msg.admit.requirement.m_percent, 95.0);
+  ASSERT_TRUE(msg.admit.requirement.t_degr_minutes.has_value());
+  EXPECT_DOUBLE_EQ(*msg.admit.requirement.t_degr_minutes, 20.0);
+
+  const Message defaulted = parse_message(
+      R"({"type":"admit","app":"db","profile":[1]})");
+  EXPECT_DOUBLE_EQ(defaulted.admit.requirement.m_percent, 97.0);
+  EXPECT_FALSE(defaulted.admit.requirement.t_degr_minutes.has_value());
+  EXPECT_DOUBLE_EQ(defaulted.admit.revenue, 1.0);
+}
+
+TEST(ParseMessage, ControlMessages) {
+  EXPECT_EQ(parse_message(R"({"type":"checkpoint"})").type,
+            MessageType::kCheckpoint);
+  EXPECT_EQ(parse_message(R"({"type":"shutdown"})").type,
+            MessageType::kShutdown);
+}
+
+TEST(ParseMessage, MalformedInput) {
+  EXPECT_EQ(code_of(""), ProtocolError::kMalformed);
+  EXPECT_EQ(code_of("{"), ProtocolError::kMalformed);
+  EXPECT_EQ(code_of("not json"), ProtocolError::kMalformed);
+  EXPECT_EQ(code_of("[1,2,3]"), ProtocolError::kMalformed);  // not an object
+  EXPECT_EQ(code_of(std::string(100000, '[')), ProtocolError::kMalformed);
+}
+
+TEST(ParseMessage, TypeDispatch) {
+  EXPECT_EQ(code_of(R"({"slot":1})"), ProtocolError::kUnknownType);
+  EXPECT_EQ(code_of(R"({"type":7})"), ProtocolError::kUnknownType);
+  EXPECT_EQ(code_of(R"({"type":"frobnicate"})"), ProtocolError::kUnknownType);
+}
+
+TEST(ParseMessage, TickFieldValidation) {
+  EXPECT_EQ(code_of(R"({"type":"tick","demand":{}})"),
+            ProtocolError::kMissingField);
+  EXPECT_EQ(code_of(R"({"type":"tick","slot":1})"),
+            ProtocolError::kMissingField);
+  EXPECT_EQ(code_of(R"({"type":"tick","slot":-1,"demand":{}})"),
+            ProtocolError::kBadValue);
+  EXPECT_EQ(code_of(R"({"type":"tick","slot":1.5,"demand":{}})"),
+            ProtocolError::kBadValue);
+  EXPECT_EQ(code_of(R"({"type":"tick","slot":1e13,"demand":{}})"),
+            ProtocolError::kBadValue);
+  EXPECT_EQ(code_of(R"({"type":"tick","slot":"x","demand":{}})"),
+            ProtocolError::kBadValue);
+  EXPECT_EQ(code_of(R"({"type":"tick","slot":1,"demand":[1]})"),
+            ProtocolError::kBadValue);
+}
+
+TEST(ParseMessage, AdmitFieldValidation) {
+  EXPECT_EQ(code_of(R"({"type":"admit","profile":[1]})"),
+            ProtocolError::kMissingField);
+  EXPECT_EQ(code_of(R"({"type":"admit","app":"","profile":[1]})"),
+            ProtocolError::kBadValue);
+  EXPECT_EQ(code_of(R"({"type":"admit","app":"a"})"),
+            ProtocolError::kMissingField);
+  EXPECT_EQ(code_of(R"({"type":"admit","app":"a","profile":[]})"),
+            ProtocolError::kBadValue);
+  EXPECT_EQ(code_of(R"({"type":"admit","app":"a","profile":[-1]})"),
+            ProtocolError::kBadValue);
+  EXPECT_EQ(code_of(R"({"type":"admit","app":"a","profile":["x"]})"),
+            ProtocolError::kBadValue);
+  EXPECT_EQ(code_of(R"({"type":"admit","app":"a","profile":[1],"revenue":-2})"),
+            ProtocolError::kBadValue);
+  // An inconsistent band (u_high > u_degr) fails Requirement::validate and
+  // surfaces as kBadValue, not an unhandled InvalidArgument.
+  EXPECT_EQ(code_of(R"({"type":"admit","app":"a","profile":[1],)"
+                    R"("uhigh":0.95,"udegr":0.9})"),
+            ProtocolError::kBadValue);
+}
+
+TEST(ErrorReply, RendersTypedLine) {
+  EXPECT_EQ(error_reply(ProtocolError::kStaleSlot, "slot 3 already judged"),
+            R"({"type":"error","code":"stale_slot","detail":"slot 3 already judged"})");
+  EXPECT_EQ(error_reply(ProtocolError::kLineTooLong, ""),
+            R"({"type":"error","code":"line_too_long","detail":""})");
+}
+
+TEST(ProtocolViolation, DetailCarriesCodePrefix) {
+  const ProtocolViolation e(ProtocolError::kOverload, "queue full");
+  EXPECT_EQ(e.code(), ProtocolError::kOverload);
+  EXPECT_STREQ(e.what(), "overload: queue full");
+}
+
+}  // namespace
+}  // namespace ropus::serve

@@ -1,0 +1,478 @@
+// Chaos drill for `ropus_cli serve`: drives a real daemon subprocess
+// through SIGKILLs at seeded points, checkpoint corruption, garbage input
+// and slow-consumer stalls, then asserts the crash-safety contract — the
+// surviving verdict stream and the final summary are byte-identical to an
+// uninterrupted reference run of the same request script.
+//
+// The drill is deterministic for a given --seed: the request script, the
+// kill points and the corruption sites all derive from one SplitMix64
+// stream. Exit 0 means every assertion held; any violation prints a
+// diagnostic and exits 1.
+//
+// POSIX-only (fork/exec/pipes); the build gates it on UNIX.
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using ropus::SplitMix64;
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "chaos_drill: FAIL: " << message << "\n";
+  std::exit(1);
+}
+
+/// A serve daemon subprocess with pipes on stdin/stdout. stderr passes
+/// through to the drill's stderr so daemon diagnostics stay visible.
+class Daemon {
+ public:
+  Daemon(const std::string& cli, const std::vector<std::string>& args) {
+    int to_child[2];
+    int from_child[2];
+    if (pipe(to_child) != 0 || pipe(from_child) != 0) {
+      fail(std::string("pipe: ") + std::strerror(errno));
+    }
+    pid_ = fork();
+    if (pid_ < 0) fail(std::string("fork: ") + std::strerror(errno));
+    if (pid_ == 0) {
+      dup2(to_child[0], STDIN_FILENO);
+      dup2(from_child[1], STDOUT_FILENO);
+      close(to_child[0]);
+      close(to_child[1]);
+      close(from_child[0]);
+      close(from_child[1]);
+      std::vector<char*> argv;
+      argv.push_back(const_cast<char*>(cli.c_str()));
+      for (const std::string& a : args) {
+        argv.push_back(const_cast<char*>(a.c_str()));
+      }
+      argv.push_back(nullptr);
+      execv(cli.c_str(), argv.data());
+      std::perror("execv");
+      _exit(127);
+    }
+    close(to_child[0]);
+    close(from_child[1]);
+    stdin_fd_ = to_child[1];
+    stdout_fd_ = from_child[0];
+  }
+
+  ~Daemon() {
+    if (pid_ > 0) {
+      kill9();
+      reap();
+    }
+  }
+
+  void send(const std::string& line) {
+    std::string framed = line;
+    framed += '\n';
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n =
+          write(stdin_fd_, framed.data() + off, framed.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        fail(std::string("write to daemon: ") + std::strerror(errno));
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Reads one reply line (15 s timeout).
+  std::string recv() {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      pollfd pfd{stdout_fd_, POLLIN, 0};
+      const int pr = poll(&pfd, 1, 15000);
+      if (pr == 0) fail("timed out waiting for a daemon reply");
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        fail(std::string("poll: ") + std::strerror(errno));
+      }
+      char chunk[4096];
+      const ssize_t n = read(stdout_fd_, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        fail(std::string("read from daemon: ") + std::strerror(errno));
+      }
+      if (n == 0) fail("daemon closed stdout unexpectedly");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  void close_stdin() {
+    if (stdin_fd_ >= 0) {
+      close(stdin_fd_);
+      stdin_fd_ = -1;
+    }
+  }
+
+  void kill9() {
+    if (pid_ > 0) ::kill(pid_, SIGKILL);
+  }
+
+  int reap() {
+    int status = 0;
+    if (pid_ > 0) {
+      waitpid(pid_, &status, 0);
+      pid_ = -1;
+    }
+    if (stdin_fd_ >= 0) close(stdin_fd_);
+    if (stdout_fd_ >= 0) close(stdout_fd_);
+    stdin_fd_ = stdout_fd_ = -1;
+    return status;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  std::string buffer_;
+};
+
+std::string type_of(const std::string& reply) {
+  // Every reply starts {"type":"<name>", — cheap extraction beats a parse.
+  const std::string prefix = "{\"type\":\"";
+  if (reply.rfind(prefix, 0) != 0) return "";
+  const std::size_t end = reply.find('"', prefix.size());
+  if (end == std::string::npos) return "";
+  return reply.substr(prefix.size(), end - prefix.size());
+}
+
+std::optional<std::size_t> slot_of(const std::string& verdict) {
+  const std::string key = "\"slot\":";
+  const std::size_t pos = verdict.find(key);
+  if (pos == std::string::npos) return std::nullopt;
+  return static_cast<std::size_t>(
+      std::strtoull(verdict.c_str() + pos + key.size(), nullptr, 10));
+}
+
+/// The deterministic request script both runs replay.
+struct Script {
+  std::vector<std::string> admits;
+  std::vector<std::string> ticks;  // one per slot, in slot order
+};
+
+std::string double_str(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+Script build_script(std::size_t apps, std::size_t ticks, std::uint64_t seed) {
+  Script script;
+  SplitMix64 rng(seed);
+  const std::size_t week_slots = 2016;  // 5-minute sampling
+  const auto uniform = [&rng](double lo, double hi) {
+    const double u =
+        static_cast<double>(rng.next() >> 11) / 9007199254740992.0;
+    return lo + (hi - lo) * u;
+  };
+  std::vector<std::string> names;
+  for (std::size_t a = 0; a < apps; ++a) {
+    names.push_back("app-" + std::to_string(a));
+    const double base = uniform(1.0, 3.0);
+    std::string line = "{\"type\":\"admit\",\"app\":\"" + names.back() +
+                       "\",\"revenue\":" + double_str(uniform(0.5, 2.0)) +
+                       ",\"profile\":[";
+    for (std::size_t s = 0; s < week_slots; ++s) {
+      if (s != 0) line += ',';
+      line += double_str(base + uniform(0.0, 1.5));
+    }
+    line += "]}";
+    script.admits.push_back(std::move(line));
+  }
+  for (std::size_t t = 0; t < ticks; ++t) {
+    std::string line =
+        "{\"type\":\"tick\",\"slot\":" + std::to_string(t) + ",\"demand\":{";
+    bool first = true;
+    for (const std::string& name : names) {
+      const std::uint64_t r = rng.next();
+      if (r % 13 == 0) continue;  // absent reading
+      if (!first) line += ',';
+      first = false;
+      line += '"' + name + "\":";
+      if (r % 17 == 0) {
+        line += "null";  // explicitly missing
+      } else {
+        line += double_str(1.0 + uniform(0.0, 4.0));
+      }
+    }
+    line += "}}";
+    script.ticks.push_back(std::move(line));
+  }
+  return script;
+}
+
+std::vector<std::string> daemon_args(const fs::path& dir, bool persist,
+                                     std::size_t queue) {
+  std::vector<std::string> args{"serve", "--queue=" + std::to_string(queue),
+                                "--checkpoint-every=16"};
+  if (persist) {
+    args.push_back("--checkpoint=" + (dir / "ckpt").string());
+    args.push_back("--journal=" + (dir / "journal").string());
+  }
+  return args;
+}
+
+void corrupt_checkpoint(const fs::path& path, std::uint64_t mode) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec || size == 0) return;  // no checkpoint yet — nothing to corrupt
+  if (mode % 2 == 0) {
+    fs::resize_file(path, size / 2, ec);  // torn write
+  } else {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << "ROPUS-CHECKPOINT v1 len=999 crc=deadbeef\n{\"garbage\":";  // lies
+  }
+}
+
+struct DrillStats {
+  std::size_t kills = 0;
+  std::size_t corruptions = 0;
+  std::size_t garbage = 0;
+  std::size_t stalls = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // A daemon we just killed may take its pipe down while a write is in
+  // flight; surface that as EPIPE, not process death.
+  signal(SIGPIPE, SIG_IGN);
+  std::vector<std::string> raw;
+  for (int i = 1; i < argc; ++i) raw.emplace_back(argv[i]);
+  const ropus::Flags flags(raw);
+  const std::string cli = flags.get_string("cli", "");
+  if (cli.empty()) {
+    std::cerr << "usage: chaos_drill --cli=<path-to-ropus_cli> [--apps=26] "
+                 "[--ticks=200] [--kills=10] [--seed=2006] [--dir=<workdir>]\n";
+    return 1;
+  }
+  const std::size_t apps = flags.get_size("apps", 26);
+  const std::size_t ticks = flags.get_size("ticks", 200);
+  const std::size_t kills = flags.get_size("kills", 10);
+  const auto seed = static_cast<std::uint64_t>(flags.get_size("seed", 2006));
+  fs::path dir = flags.get_string("dir", "");
+  if (dir.empty()) {
+    dir = fs::temp_directory_path() /
+          ("chaos_drill." + std::to_string(getpid()));
+  }
+  fs::create_directories(dir / "ref");
+  fs::create_directories(dir / "chaos");
+
+  const Script script = build_script(apps, ticks, seed);
+
+  // ---- Reference run: one daemon, no faults, lock-step request/reply.
+  std::vector<std::string> ref_admissions;
+  std::vector<std::string> ref_verdicts;  // index == slot
+  std::string ref_summary;
+  {
+    Daemon daemon(cli, daemon_args(dir / "ref", false, 1024));
+    if (type_of(daemon.recv()) != "ready") fail("reference daemon not ready");
+    for (const std::string& line : script.admits) {
+      daemon.send(line);
+      const std::string reply = daemon.recv();
+      if (type_of(reply) != "admission") {
+        fail("reference admission reply was: " + reply);
+      }
+      ref_admissions.push_back(reply);
+    }
+    for (const std::string& line : script.ticks) {
+      daemon.send(line);
+      const std::string reply = daemon.recv();
+      if (type_of(reply) != "verdict") {
+        fail("reference verdict reply was: " + reply);
+      }
+      ref_verdicts.push_back(reply);
+    }
+    daemon.send("{\"type\":\"shutdown\"}");
+    ref_summary = daemon.recv();
+    if (type_of(ref_summary) != "summary") {
+      fail("reference summary reply was: " + ref_summary);
+    }
+    daemon.close_stdin();
+    daemon.reap();
+  }
+
+  // ---- Chaos run: same script, persistent state, seeded violence.
+  SplitMix64 chaos_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<char> kill_here(ticks, 0);
+  for (std::size_t k = 0; k < kills && ticks > 0; ++k) {
+    kill_here[chaos_rng.next() % ticks] = 1;
+  }
+
+  DrillStats stats;
+  const fs::path chaos_dir = dir / "chaos";
+  auto daemon = std::make_unique<Daemon>(
+      cli, daemon_args(chaos_dir, true, 8));
+  if (type_of(daemon->recv()) != "ready") fail("chaos daemon not ready");
+
+  const auto restart = [&](bool corrupt) {
+    daemon->kill9();
+    daemon->reap();
+    if (corrupt) {
+      corrupt_checkpoint(chaos_dir / "ckpt", chaos_rng.next());
+      stats.corruptions += 1;
+    }
+    daemon = std::make_unique<Daemon>(cli, daemon_args(chaos_dir, true, 8));
+    const std::string ready = daemon->recv();
+    if (type_of(ready) != "ready") {
+      fail("daemon failed to restart after kill: " + ready);
+    }
+    stats.kills += 1;
+  };
+
+  std::map<std::size_t, std::string> chaos_verdicts;
+  const auto note_verdict = [&](const std::string& reply) {
+    const auto slot = slot_of(reply);
+    if (!slot.has_value()) fail("verdict without a slot: " + reply);
+    const auto [it, inserted] = chaos_verdicts.emplace(*slot, reply);
+    if (!inserted && it->second != reply) {
+      fail("slot " + std::to_string(*slot) +
+           " re-emitted a different verdict:\n  first: " + it->second +
+           "\n  then : " + reply);
+    }
+  };
+
+  for (std::size_t a = 0; a < script.admits.size(); ++a) {
+    daemon->send(script.admits[a]);
+    const std::string reply = daemon->recv();
+    if (type_of(reply) != "admission") {
+      fail("chaos admission reply was: " + reply);
+    }
+    if (reply != ref_admissions[a]) {
+      fail("admission " + std::to_string(a) + " diverged:\n  ref  : " +
+           ref_admissions[a] + "\n  chaos: " + reply);
+    }
+  }
+
+  for (std::size_t t = 0; t < script.ticks.size(); ++t) {
+    const std::string& line = script.ticks[t];
+    const std::uint64_t die = chaos_rng.next();
+
+    if (die % 7 == 0) {
+      // Garbage between valid requests must produce a typed error and
+      // nothing else.
+      static const std::vector<std::string> kGarbage = {
+          "{\"type\":\"tick\",\"slot\":-4,\"demand\":{}}",
+          "{\"type\":\"frobnicate\"}",
+          "{\"type\":\"tick\",\"slot\":",
+          std::string("{\"a\":\"b\x00trash\"}", 15),  // embedded NUL
+          "[[[[[[[[[[[[[[[[[[[[",
+      };
+      daemon->send(kGarbage[die % kGarbage.size()]);
+      const std::string reply = daemon->recv();
+      if (type_of(reply) != "error") {
+        fail("garbage input got a non-error reply: " + reply);
+      }
+      stats.garbage += 1;
+    }
+
+    if (kill_here[t] != 0) {
+      const bool after_read = die % 2 == 0;
+      daemon->send(line);
+      if (after_read) {
+        // Read the verdict, then kill: the restart must re-emit the exact
+        // bytes from its duplicate cache when the line is resent.
+        note_verdict(daemon->recv());
+      }
+      restart(/*corrupt=*/die % 3 == 0);
+      daemon->send(line);  // resend the in-flight request
+      const std::string reply = daemon->recv();
+      if (type_of(reply) != "verdict") {
+        fail("resend after kill got: " + reply);
+      }
+      note_verdict(reply);
+      continue;
+    }
+
+    if (die % 11 == 0 && t + 4 < script.ticks.size()) {
+      // Slow-consumer stall: burst several ticks without reading, let the
+      // bounded queue absorb or backpressure them, then drain the replies.
+      const std::size_t burst = 4;
+      for (std::size_t b = 0; b < burst; ++b) {
+        daemon->send(script.ticks[t + b]);
+      }
+      usleep(100000);
+      for (std::size_t b = 0; b < burst; ++b) {
+        const std::string reply = daemon->recv();
+        if (type_of(reply) != "verdict") fail("stall burst got: " + reply);
+        note_verdict(reply);
+      }
+      stats.stalls += 1;
+      t += burst - 1;
+      continue;
+    }
+
+    daemon->send(line);
+    const std::string reply = daemon->recv();
+    if (type_of(reply) != "verdict") fail("chaos verdict reply was: " + reply);
+    note_verdict(reply);
+  }
+
+  daemon->send("{\"type\":\"shutdown\"}");
+  const std::string chaos_summary = daemon->recv();
+  if (type_of(chaos_summary) != "summary") {
+    fail("chaos summary reply was: " + chaos_summary);
+  }
+  daemon->close_stdin();
+  daemon->reap();
+
+  // ---- The contract: verdicts and summary byte-identical to the
+  // uninterrupted reference.
+  if (chaos_verdicts.size() != ref_verdicts.size()) {
+    fail("chaos run produced " + std::to_string(chaos_verdicts.size()) +
+         " verdicts; reference produced " +
+         std::to_string(ref_verdicts.size()));
+  }
+  for (std::size_t t = 0; t < ref_verdicts.size(); ++t) {
+    const auto it = chaos_verdicts.find(t);
+    if (it == chaos_verdicts.end()) {
+      fail("no chaos verdict for slot " + std::to_string(t));
+    }
+    if (it->second != ref_verdicts[t]) {
+      fail("slot " + std::to_string(t) + " diverged:\n  ref  : " +
+           ref_verdicts[t] + "\n  chaos: " + it->second);
+    }
+  }
+  if (chaos_summary != ref_summary) {
+    fail("summary diverged:\n  ref  : " + ref_summary +
+         "\n  chaos: " + chaos_summary);
+  }
+
+  std::cout << "chaos_drill: PASS — " << apps << " apps, " << ticks
+            << " ticks; " << stats.kills << " kills ("
+            << stats.corruptions << " with checkpoint corruption), "
+            << stats.garbage << " garbage lines, " << stats.stalls
+            << " consumer stalls; verdicts and summary byte-identical\n";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return 0;
+}

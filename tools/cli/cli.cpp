@@ -8,6 +8,7 @@
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/signals.h"
 #include "obs/export.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
@@ -52,6 +53,11 @@ void usage(std::ostream& os) {
         "               (--records=rec[,rec..] [--bench=dir|file,..] "
         "[--json-out=] + QoS flags,\n"
         "               --failure-ulow= etc. for failure-mode bands)\n"
+        "  serve        long-running arbiter daemon (NDJSON on stdin;\n"
+        "               see docs/serve.md)  "
+        "([--checkpoint=] [--journal=] [--checkpoint-every=64]\n"
+        "               [--queue=1024] [--max-slot-gap=288] [--servers=13 "
+        "--cpus=16] + QoS flags)\n"
         "\n"
         "global flags (every command, see docs/observability.md):\n"
         "  --metrics-out=<path>   write the final metric snapshot "
@@ -94,6 +100,7 @@ std::optional<int> dispatch(const std::string& command, const Flags& flags,
   if (command == "whatif") return cmd_whatif(flags, out, err);
   if (command == "backtest") return cmd_backtest(flags, out, err);
   if (command == "report") return cmd_report(flags, out, err);
+  if (command == "serve") return cmd_serve(flags, out, err);
   return std::nullopt;
 }
 
@@ -163,6 +170,11 @@ int run(std::span<const std::string> args, std::ostream& out,
     const Flags flags(args.subspan(1));
     apply_log_level(flags);
     apply_thread_count(flags);
+    // SIGTERM/SIGINT request cooperative termination: long-running commands
+    // (faultsim trials, report recordings, the serve daemon) poll the flag
+    // and wind down, so the recorder/metrics/manifest outputs below still
+    // flush instead of dying half-written.
+    signals::install_termination_handlers();
     if (flags.has("trace-out")) obs::Tracer::global().set_enabled(true);
 
     // --record-out installs the process-global flight recorder before the
@@ -188,8 +200,13 @@ int run(std::span<const std::string> args, std::ostream& out,
       obs::Recorder::set_active(nullptr);
       recorder->finish();
     }
-    write_run_outputs(command, flags, *rc, obs::monotonic_seconds() - start);
-    return *rc;
+    // A termination signal reports the conventional 128+SIGTERM-ish 130
+    // (serve already returns it; other commands wound down cooperatively),
+    // but only after every output above flushed.
+    const int code =
+        signals::termination_requested() && *rc == 0 ? 130 : *rc;
+    write_run_outputs(command, flags, code, obs::monotonic_seconds() - start);
+    return code;
   } catch (const InvalidArgument& e) {
     err << "error: " << e.what() << "\n";
     return 1;

@@ -10,6 +10,7 @@
 #include "common/error.h"
 #include "common/file_io.h"
 #include "common/json.h"
+#include "common/signals.h"
 #include "common/table.h"
 #include "obs/recorder.h"
 #include "obs/watchdog.h"
@@ -159,6 +160,13 @@ int cmd_report(const Flags& flags, std::ostream& out, std::ostream& err) {
 
   std::vector<RecordingReport> reports;
   for (const std::string& path : paths) {
+    // Recordings can be large; a termination signal stops between files so
+    // the report (and any --metrics-out/--json-out) still flushes with the
+    // recordings judged so far.
+    if (signals::termination_requested()) {
+      err << "report: interrupted; skipping remaining recordings\n";
+      break;
+    }
     obs::Recording recording = obs::read_recording(path);
     obs::WatchdogConfig config;
     config.normal = band_from(normal);

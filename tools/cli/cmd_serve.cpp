@@ -1,0 +1,99 @@
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli_util.h"
+#include "cli/commands.h"
+#include "serve/daemon.h"
+#include "trace/calendar.h"
+
+namespace ropus::cli {
+
+// Long-running arbiter daemon: NDJSON requests on stdin, replies on
+// stdout. The deterministic core, persistence and drain behaviour live in
+// src/serve; this command only translates flags into a ServeConfig and
+// DaemonOptions (see docs/serve.md for the protocol).
+int cmd_serve(const Flags& flags, std::ostream& out, std::ostream& err) {
+  std::vector<std::string> allowed{
+      "theta",          "deadline",        "ulow",
+      "uhigh",          "udegr",           "m",
+      "tdegr",          "failure-ulow",    "failure-uhigh",
+      "failure-udegr",  "failure-m",       "failure-tdegr",
+      "servers",        "cpus",            "minutes",
+      "policy",         "window",          "revenue-rate",
+      "penalty-rate",   "headroom-margin", "renegotiate-m",
+      "renegotiate-tdegr", "max-slot-gap", "checkpoint",
+      "journal",        "checkpoint-every", "queue",
+      "max-line-bytes", "tick-deadline-ms"};
+  append_telemetry_flag_names(allowed);
+  if (!check_flags(flags, allowed, err)) return 1;
+
+  const qos::Requirement normal = requirement_from_flags(flags);
+  qos::Requirement failure;
+  if (flags.has("failure-ulow") || flags.has("failure-uhigh") ||
+      flags.has("failure-udegr") || flags.has("failure-m") ||
+      flags.has("failure-tdegr")) {
+    failure = requirement_from_flags(flags, "failure-");
+  } else {
+    failure = normal;
+    failure.m_percent = std::min(failure.m_percent, 97.0);
+    failure.t_degr_minutes = 30.0;
+  }
+
+  serve::ServeConfig config;
+  config.normal = serve::band_of(normal);
+  config.failure = serve::band_of(failure);
+  config.cos2 = cos2_from_flags(flags);
+  config.minutes_per_sample = flags.get_double("minutes", 5.0);
+  if (config.minutes_per_sample <= 0.0 ||
+      static_cast<double>(trace::Calendar::kMinutesPerDay) /
+              config.minutes_per_sample !=
+          std::floor(static_cast<double>(trace::Calendar::kMinutesPerDay) /
+                     config.minutes_per_sample)) {
+    err << "error: --minutes must divide a day evenly\n";
+    return 1;
+  }
+  config.slots_per_day = static_cast<std::size_t>(
+      static_cast<double>(trace::Calendar::kMinutesPerDay) /
+      config.minutes_per_sample);
+  config.servers = flags.get_size("servers", 13);
+  config.server_cpus = flags.get_double("cpus", 16.0);
+  config.history_window = flags.get_size("window", 3);
+  config.degraded = degraded_from_flags(flags);
+  config.max_slot_gap = flags.get_size("max-slot-gap", 288);
+
+  const std::string policy_name = flags.get_string("policy", "reactive");
+  if (policy_name == "reactive") {
+    config.policy = wlm::Policy::kReactive;
+  } else if (policy_name == "clairvoyant") {
+    config.policy = wlm::Policy::kClairvoyant;
+  } else if (policy_name == "windowed") {
+    config.policy = wlm::Policy::kWindowedMax;
+  } else {
+    err << "error: --policy must be reactive, clairvoyant or windowed\n";
+    return 1;
+  }
+
+  config.admission.revenue_per_cpu = flags.get_double("revenue-rate", 1.0);
+  config.admission.penalty_per_cpu = flags.get_double("penalty-rate", 2.0);
+  config.admission.headroom_margin = flags.get_double("headroom-margin", 0.1);
+  config.admission.renegotiate_m = flags.get_double("renegotiate-m", 90.0);
+  config.admission.renegotiate_tdegr =
+      flags.get_double("renegotiate-tdegr", 30.0);
+
+  serve::DaemonOptions options;
+  options.checkpoint_path = flags.get_string("checkpoint", "");
+  options.journal_path = flags.get_string("journal", "");
+  options.checkpoint_every_slots = flags.get_size("checkpoint-every", 64);
+  options.queue_capacity = flags.get_size("queue", 1024);
+  options.max_line_bytes = flags.get_size("max-line-bytes", 1 << 20);
+  options.tick_deadline_ms = flags.get_double("tick-deadline-ms", 0.0);
+
+  config.validate();
+  options.validate();
+  return serve::run_daemon(config, options, std::cin, out, err);
+}
+
+}  // namespace ropus::cli

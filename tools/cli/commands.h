@@ -19,5 +19,6 @@ int cmd_plan(const Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_whatif(const Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_backtest(const Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_report(const Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_serve(const Flags& flags, std::ostream& out, std::ostream& err);
 
 }  // namespace ropus::cli
