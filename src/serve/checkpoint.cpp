@@ -81,6 +81,7 @@ CheckpointLoad load_checkpoint(const std::filesystem::path& path,
   bool exists = false;
   const std::string content = read_whole_file(path, exists);
   if (!exists) {
+    result.missing = true;
     result.error = "no checkpoint file";
     return result;
   }
@@ -147,7 +148,6 @@ Journal::Recovered Journal::recover(const std::filesystem::path& path) {
   while (pos < content.size()) {
     // Frame: `<8hex crc> <len> <line>\n`. Anything that does not parse, or
     // whose CRC fails, marks a torn tail: keep the prefix, drop the rest.
-    const std::size_t line_start = pos;
     const std::size_t sp1 = content.find(' ', pos);
     if (sp1 == std::string::npos) break;
     std::uint32_t crc = 0;
@@ -161,15 +161,17 @@ Journal::Recovered Journal::recover(const std::filesystem::path& path) {
                    len)) {
       break;
     }
+    // Bound-check `len` before any arithmetic with it: a corrupt length
+    // near 2^64 would wrap `body + len` and slip past the checks below.
+    // body <= content.size() because sp2 < content.size().
     const std::size_t body = sp2 + 1;
-    if (body + len + 1 > content.size()) break;  // torn mid-body
+    if (len >= content.size() - body) break;  // torn mid-body
     if (content[body + len] != '\n') break;
     const std::string_view line(content.data() + body, len);
     if (crc::crc32(line) != crc) break;
     r.lines.emplace_back(line);
     pos = body + len + 1;
     r.valid_bytes = pos;
-    (void)line_start;
   }
   r.torn_tail = r.valid_bytes < content.size();
   return r;

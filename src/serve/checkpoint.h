@@ -35,6 +35,7 @@ void write_checkpoint(const std::filesystem::path& path,
 
 struct CheckpointLoad {
   bool ok = false;                     // state was restored
+  bool missing = false;                // no file at all (vs. a bad one)
   std::uint64_t journal_entries = 0;   // journal lines the state covers
   std::string error;                   // why ok == false (diagnostic)
 };

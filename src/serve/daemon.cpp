@@ -82,6 +82,7 @@ const char* recovery_mode_name(RecoveryMode mode) {
     case RecoveryMode::kFresh: return "fresh";
     case RecoveryMode::kJournalReplay: return "journal";
     case RecoveryMode::kCheckpointAndTail: return "checkpoint+journal";
+    case RecoveryMode::kCheckpointOnly: return "checkpoint";
   }
   return "unknown";
 }
@@ -105,16 +106,32 @@ bool should_shed(std::size_t queue_depth, std::size_t queue_capacity,
 RecoveryReport recover_state(const ServeConfig& config,
                              const DaemonOptions& options, Arbiter& arbiter) {
   RecoveryReport report;
-  if (options.journal_path.empty()) return report;
-  const Journal::Recovered recovered = Journal::recover(options.journal_path);
-  report.journal_entries = recovered.lines.size();
-  report.torn_tail = recovered.torn_tail;
+  Journal::Recovered recovered;
+  if (!options.journal_path.empty()) {
+    recovered = Journal::recover(options.journal_path);
+    report.journal_entries = recovered.lines.size();
+    report.journal_valid_bytes = recovered.valid_bytes;
+    report.torn_tail = recovered.torn_tail;
+  }
 
   std::uint64_t replay_from = 0;
   if (!options.checkpoint_path.empty()) {
     Arbiter candidate(config);
     const CheckpointLoad load =
         load_checkpoint(options.checkpoint_path, candidate);
+    if (options.journal_path.empty()) {
+      // No journal configured: the checkpoint is the sole source of truth,
+      // so a --checkpoint-only daemon still restores its state on restart
+      // (losing only the slots since the last snapshot). A missing file is
+      // a normal first start, not an error.
+      if (load.ok) {
+        arbiter = std::move(candidate);
+        report.mode = RecoveryMode::kCheckpointOnly;
+      } else if (!load.missing) {
+        report.checkpoint_error = load.error;
+      }
+      return report;
+    }
     if (load.ok && load.journal_entries <= recovered.lines.size()) {
       arbiter = std::move(candidate);
       replay_from = load.journal_entries;
@@ -123,7 +140,8 @@ RecoveryReport recover_state(const ServeConfig& config,
       // A checkpoint claiming more entries than the journal holds means the
       // journal (the source of truth) lost data; trust only the journal.
       report.checkpoint_error = "checkpoint is ahead of the journal";
-    } else {
+    } else if (!load.missing || !recovered.lines.empty()) {
+      // Worth reporting unless it is a missing checkpoint on a fresh start.
       report.checkpoint_error = load.error;
     }
   }
@@ -156,19 +174,21 @@ int run_daemon(const ServeConfig& config, const DaemonOptions& options,
   const RecoveryReport recovery = recover_state(config, options, arbiter);
   std::unique_ptr<Journal> journal;
   if (!options.journal_path.empty()) {
-    // Opening the journal truncates any torn tail found during recovery.
-    const Journal::Recovered recovered =
-        Journal::recover(options.journal_path);
-    journal = std::make_unique<Journal>(
-        options.journal_path, recovered.valid_bytes, recovered.lines.size());
+    // Opening the journal truncates any torn tail found during recovery;
+    // recover_state already parsed the file, so reuse its counts instead
+    // of reading it a second time.
+    journal = std::make_unique<Journal>(options.journal_path,
+                                        recovery.journal_valid_bytes,
+                                        recovery.journal_entries);
   }
   if (recovery.torn_tail) {
     err << "serve: journal had a torn tail; truncated to "
         << recovery.journal_entries << " entries\n";
   }
-  if (!recovery.checkpoint_error.empty() && recovery.journal_entries > 0) {
-    err << "serve: checkpoint unused (" << recovery.checkpoint_error
-        << "); replaying the journal\n";
+  if (!recovery.checkpoint_error.empty()) {
+    err << "serve: checkpoint unused (" << recovery.checkpoint_error << ")";
+    if (recovery.journal_entries > 0) err << "; replaying the journal";
+    err << '\n';
   }
 
   {
@@ -188,6 +208,28 @@ int run_daemon(const ServeConfig& config, const DaemonOptions& options,
   ingest->capacity = options.queue_capacity;
   std::thread reader(reader_main, ingest, std::ref(in));
 
+  // Must run before `reader` leaves scope on *every* path — including an
+  // IoError unwinding out of the loop below — because destroying a
+  // joinable std::thread calls std::terminate. The reader exits promptly
+  // unless it is blocked inside getline on a still-open pipe; give it a
+  // moment, then abandon it (it only touches shared_ptr-owned state plus
+  // the caller-guaranteed stream; see run_daemon's contract in daemon.h).
+  const auto stop_reader = [&] {
+    {
+      std::lock_guard lk(ingest->mu);
+      ingest->stop = true;
+      ingest->cv_push.notify_all();
+    }
+    for (int i = 0; i < 40 && !ingest->done.load(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (ingest->done.load()) {
+      reader.join();
+    } else {
+      reader.detach();
+    }
+  };
+
   const auto checkpoint_now = [&] {
     if (options.checkpoint_path.empty()) return false;
     write_checkpoint(options.checkpoint_path, arbiter,
@@ -199,128 +241,120 @@ int run_daemon(const ServeConfig& config, const DaemonOptions& options,
   double last_tick_ms = 0.0;
   int exit_code = 0;
 
-  for (;;) {
-    // A signal wants out now: drop queued lines (they were never journaled,
-    // so the client's resend after restart re-drives them).
-    if (signals::termination_requested()) {
-      exit_code = 130;
-      break;
-    }
-    std::string line;
-    {
-      std::unique_lock lk(ingest->mu);
-      ingest->cv_pop.wait_for(lk, std::chrono::milliseconds(50), [&ingest] {
-        return !ingest->queue.empty() || ingest->eof;
-      });
-      if (ingest->queue.empty()) {
-        if (ingest->eof) break;  // normal drain: input exhausted
-        continue;                // timeout: re-check the signal flag
+  try {
+    for (;;) {
+      // A signal wants out now: drop queued lines (they were never journaled,
+      // so the client's resend after restart re-drives them).
+      if (signals::termination_requested()) {
+        exit_code = 130;
+        break;
       }
-      line = std::move(ingest->queue.front());
-      ingest->queue.pop_front();
-      ingest->cv_push.notify_one();
-    }
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    if (line.size() > options.max_line_bytes) {
-      out << error_reply(ProtocolError::kLineTooLong,
-                         "line of " + std::to_string(line.size()) +
-                             " bytes exceeds the " +
-                             std::to_string(options.max_line_bytes) +
-                             " byte bound")
-          << '\n'
-          << std::flush;
-      continue;
-    }
-
-    bool shutdown = false;
-    try {
-      const Message msg = parse_message(line);
-      const auto started = std::chrono::steady_clock::now();
-      bool state_changed = false;
-      const std::vector<std::string> replies =
-          arbiter.handle(msg, &state_changed);
-      // Journal before emitting: a crash after the journal write but before
-      // the reply is re-driven by the client's resend, which the arbiter
-      // answers from its duplicate cache — never by double-applying.
-      if (state_changed && journal) journal->append(line);
-      for (const std::string& reply : replies) out << reply << '\n';
-
-      std::size_t queue_depth = 0;
+      std::string line;
       {
-        std::lock_guard lk(ingest->mu);
-        queue_depth = ingest->queue.size();
+        std::unique_lock lk(ingest->mu);
+        ingest->cv_pop.wait_for(lk, std::chrono::milliseconds(50), [&ingest] {
+          return !ingest->queue.empty() || ingest->eof;
+        });
+        if (ingest->queue.empty()) {
+          if (ingest->eof) break;  // normal drain: input exhausted
+          continue;                // timeout: re-check the signal flag
+        }
+        line = std::move(ingest->queue.front());
+        ingest->queue.pop_front();
+        ingest->cv_push.notify_one();
       }
-      const bool shed = should_shed(queue_depth, options.queue_capacity,
-                                    last_tick_ms, options.tick_deadline_ms);
-      switch (msg.type) {
-        case MessageType::kTick:
-          last_tick_ms =
-              std::chrono::duration<double, std::milli>(
-                  std::chrono::steady_clock::now() - started)
-                  .count();
-          if (!shed && !options.checkpoint_path.empty() &&
-              arbiter.next_slot() - slots_at_checkpoint >=
-                  options.checkpoint_every_slots) {
-            checkpoint_now();
-            slots_at_checkpoint = arbiter.next_slot();
-          }
-          break;
-        case MessageType::kCheckpoint:
-          if (options.checkpoint_path.empty()) {
-            out << error_reply(ProtocolError::kBadValue,
-                               "daemon runs without a checkpoint path");
-          } else if (shed) {
-            out << error_reply(ProtocolError::kOverload,
-                               "checkpoint shed under load; retry when the "
-                               "queue drains");
-          } else {
-            checkpoint_now();
-            slots_at_checkpoint = arbiter.next_slot();
-            out << ok_reply("checkpoint", arbiter.next_slot(),
-                            journal ? journal->entries() : 0);
-          }
-          out << '\n';
-          break;
-        case MessageType::kShutdown:
-          shutdown = true;
-          break;
-        case MessageType::kAdmit:
-          break;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      if (line.size() > options.max_line_bytes) {
+        out << error_reply(ProtocolError::kLineTooLong,
+                           "line of " + std::to_string(line.size()) +
+                               " bytes exceeds the " +
+                               std::to_string(options.max_line_bytes) +
+                               " byte bound")
+            << '\n'
+            << std::flush;
+        continue;
       }
-      out << std::flush;
-    } catch (const ProtocolViolation& e) {
-      out << error_reply(e.code(), violation_detail(e)) << '\n' << std::flush;
+
+      bool shutdown = false;
+      try {
+        const Message msg = parse_message(line);
+        const auto started = std::chrono::steady_clock::now();
+        bool state_changed = false;
+        const std::vector<std::string> replies =
+            arbiter.handle(msg, &state_changed);
+        // Journal before emitting: a crash after the journal write but before
+        // the reply is re-driven by the client's resend, which the arbiter
+        // answers from its duplicate cache — never by double-applying.
+        if (state_changed && journal) journal->append(line);
+        for (const std::string& reply : replies) out << reply << '\n';
+
+        std::size_t queue_depth = 0;
+        {
+          std::lock_guard lk(ingest->mu);
+          queue_depth = ingest->queue.size();
+        }
+        const bool shed = should_shed(queue_depth, options.queue_capacity,
+                                      last_tick_ms, options.tick_deadline_ms);
+        switch (msg.type) {
+          case MessageType::kTick:
+            last_tick_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+            if (!shed && !options.checkpoint_path.empty() &&
+                arbiter.next_slot() - slots_at_checkpoint >=
+                    options.checkpoint_every_slots) {
+              checkpoint_now();
+              slots_at_checkpoint = arbiter.next_slot();
+            }
+            break;
+          case MessageType::kCheckpoint:
+            if (options.checkpoint_path.empty()) {
+              out << error_reply(ProtocolError::kBadValue,
+                                 "daemon runs without a checkpoint path");
+            } else if (shed) {
+              out << error_reply(ProtocolError::kOverload,
+                                 "checkpoint shed under load; retry when the "
+                                 "queue drains");
+            } else {
+              checkpoint_now();
+              slots_at_checkpoint = arbiter.next_slot();
+              out << ok_reply("checkpoint", arbiter.next_slot(),
+                              journal ? journal->entries() : 0);
+            }
+            out << '\n';
+            break;
+          case MessageType::kShutdown:
+            shutdown = true;
+            break;
+          case MessageType::kAdmit:
+            break;
+        }
+        out << std::flush;
+      } catch (const ProtocolViolation& e) {
+        out << error_reply(e.code(), violation_detail(e)) << '\n' << std::flush;
+      }
+      if (shutdown) break;
     }
-    if (shutdown) break;
+
+    // Drain: final checkpoint plus the summary, on every exit path. The
+    // journal is already flushed per accepted line.
+    if (checkpoint_now()) {
+      err << "serve: final checkpoint at slot " << arbiter.next_slot() << '\n';
+    }
+    out << arbiter.summary() << '\n' << std::flush;
+    err << "serve: " << (exit_code == 130 ? "terminated by signal" : "drained")
+        << " after " << arbiter.next_slot() << " slots, "
+        << arbiter.app_count() << " apps\n";
+  } catch (...) {
+    // Persistence failures (journal append, checkpoint write) propagate as
+    // IoError per the contract in daemon.h — but only after the reader
+    // thread is stopped, or its destructor would abort the process.
+    stop_reader();
+    throw;
   }
 
-  // Drain: final checkpoint plus the summary, on every exit path. The
-  // journal is already flushed per accepted line.
-  if (checkpoint_now()) {
-    err << "serve: final checkpoint at slot " << arbiter.next_slot() << '\n';
-  }
-  out << arbiter.summary() << '\n' << std::flush;
-  err << "serve: " << (exit_code == 130 ? "terminated by signal" : "drained")
-      << " after " << arbiter.next_slot() << " slots, "
-      << arbiter.app_count() << " apps\n";
-
-  {
-    std::lock_guard lk(ingest->mu);
-    ingest->stop = true;
-    ingest->cv_push.notify_all();
-  }
-  // The reader exits promptly unless it is blocked inside getline on a
-  // still-open pipe; give it a moment, then abandon it (the process is
-  // about to exit anyway, and it only touches shared_ptr-owned state plus
-  // the caller-guaranteed stream).
-  for (int i = 0; i < 40 && !ingest->done.load(); ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
-  if (ingest->done.load()) {
-    reader.join();
-  } else {
-    reader.detach();
-  }
+  stop_reader();
   return exit_code;
 }
 

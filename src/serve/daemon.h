@@ -20,7 +20,9 @@ namespace ropus::serve {
 
 struct DaemonOptions {
   /// Checkpoint snapshot path; empty disables checkpoints (journal-only
-  /// recovery still works when a journal path is set).
+  /// recovery still works when a journal path is set). Without a journal
+  /// the checkpoint alone is the source of truth: restart restores the
+  /// last snapshot, losing only the slots since it was written.
   std::filesystem::path checkpoint_path;
   /// Append-only journal of accepted input lines; empty disables
   /// persistence entirely (a crash then loses all state).
@@ -47,15 +49,22 @@ struct DaemonOptions {
 bool should_shed(std::size_t queue_depth, std::size_t queue_capacity,
                  double last_tick_ms, double deadline_ms);
 
-/// How run_daemon recovered its state on startup.
-enum class RecoveryMode { kFresh, kJournalReplay, kCheckpointAndTail };
+/// How run_daemon recovered its state on startup. kCheckpointOnly is the
+/// journal-less configuration: the snapshot is the sole source of truth.
+enum class RecoveryMode {
+  kFresh,
+  kJournalReplay,
+  kCheckpointAndTail,
+  kCheckpointOnly,
+};
 
 struct RecoveryReport {
   RecoveryMode mode = RecoveryMode::kFresh;
-  std::uint64_t journal_entries = 0;   // total accepted lines on disk
-  std::uint64_t replayed = 0;          // lines replayed through the arbiter
-  bool torn_tail = false;              // journal had a truncated last record
-  std::string checkpoint_error;        // why the checkpoint was not used
+  std::uint64_t journal_entries = 0;     // total accepted lines on disk
+  std::uint64_t journal_valid_bytes = 0; // file length of the valid prefix
+  std::uint64_t replayed = 0;            // lines replayed through the arbiter
+  bool torn_tail = false;                // journal had a truncated last record
+  std::string checkpoint_error;          // why the checkpoint was not used
 };
 
 /// Restores an arbiter from checkpoint + journal (fast path) or full

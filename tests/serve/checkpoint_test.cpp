@@ -118,6 +118,49 @@ TEST_F(CheckpointTest, TornTailDetectedAndTruncatedOnReopen) {
   EXPECT_FALSE(r.torn_tail);
 }
 
+TEST_F(CheckpointTest, WrappingLengthFieldIsATornTailNotACrash) {
+  const std::string path = (dir_ / "wrap.journal").string();
+  {
+    Journal journal(path, 0, 0);
+    journal.append("good");
+  }
+  std::string bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(f), {});
+  }
+  const std::size_t newline_at = bytes.find('\n');
+  ASSERT_NE(newline_at, std::string::npos);
+  // Craft a tail frame whose length field wraps `body + len` around 2^64
+  // to land exactly on the first frame's newline: naive bounds arithmetic
+  // passes both the size and newline checks and crc32 then walks ~2^64
+  // bytes off the end of the buffer. Must be classified as a torn tail.
+  const std::size_t body = bytes.size() + 9 /* "deadbeef " */ + 20 + 1;
+  const std::uint64_t wrap_len = static_cast<std::uint64_t>(newline_at) -
+                                 static_cast<std::uint64_t>(body);
+  ASSERT_EQ(std::to_string(wrap_len).size(), 20u);
+  append_raw(path, "deadbeef " + std::to_string(wrap_len) + " ");
+
+  const Journal::Recovered r = Journal::recover(path);
+  EXPECT_EQ(r.lines, (std::vector<std::string>{"good"}));
+  EXPECT_TRUE(r.torn_tail);
+}
+
+TEST_F(CheckpointTest, LengthConsumingTheWholeTailIsTornNotOverread) {
+  const std::string path = (dir_ / "exact.journal").string();
+  {
+    Journal journal(path, 0, 0);
+    journal.append("good");
+  }
+  // Claimed length reaches exactly the end of the file, leaving no byte
+  // for the trailing newline: torn, and content[body + len] must never be
+  // evaluated.
+  append_raw(path, "deadbeef 4 abcd");
+  const Journal::Recovered r = Journal::recover(path);
+  EXPECT_EQ(r.lines, (std::vector<std::string>{"good"}));
+  EXPECT_TRUE(r.torn_tail);
+}
+
 TEST_F(CheckpointTest, FlippedByteStopsRecoveryAtTheDamage) {
   const std::string path = (dir_ / "flip.journal").string();
   {

@@ -246,6 +246,65 @@ TEST_F(DaemonTest, CorruptCheckpointFallsBackToJournalReplay) {
   EXPECT_NE(err.str().find("checkpoint unused"), std::string::npos);
 }
 
+TEST_F(DaemonTest, CheckpointOnlyRecoveryRestoresState) {
+  const ServeConfig config = small_config();
+  DaemonOptions options;
+  options.checkpoint_path = (dir_ / "only.ckpt").string();
+
+  {
+    std::istringstream in(admit_line("web") + "\n" +
+                          tick_line(0, R"({"web":0.9})") + "\n" +
+                          tick_line(1, R"({"web":0.8})") + "\n");
+    std::ostringstream out;
+    std::ostringstream err;
+    ASSERT_EQ(run_daemon(config, options, in, out, err), 0);
+  }
+  ASSERT_TRUE(fs::exists(options.checkpoint_path));
+
+  // Without a journal the exit checkpoint is the sole source of truth:
+  // restart restores it instead of silently starting fresh.
+  {
+    std::istringstream in(tick_line(2, R"({"web":0.7})") + "\n");
+    std::ostringstream out;
+    std::ostringstream err;
+    ASSERT_EQ(run_daemon(config, options, in, out, err), 0);
+    const std::vector<std::string> lines = reply_lines(out);
+    const json::Value ready = json::parse(lines[0]);
+    EXPECT_EQ(ready.at("recovery").as_string(), "checkpoint");
+    EXPECT_EQ(ready.at("slots").as_number(), 2.0);
+    EXPECT_EQ(ready.at("apps").as_number(), 1.0);
+    EXPECT_EQ(type_of(lines[1]), "verdict");
+    EXPECT_EQ(json::parse(lines[1]).at("slot").as_number(), 2.0);
+    EXPECT_EQ(err.str().find("checkpoint unused"), std::string::npos);
+  }
+
+  // A corrupt snapshot cannot be recovered from (there is no journal to
+  // fall back to), but the daemon says so and starts fresh.
+  fs::resize_file(options.checkpoint_path,
+                  fs::file_size(options.checkpoint_path) / 2);
+  {
+    std::istringstream in(tick_line(0, "{}") + "\n");
+    std::ostringstream out;
+    std::ostringstream err;
+    ASSERT_EQ(run_daemon(config, options, in, out, err), 0);
+    const std::vector<std::string> lines = reply_lines(out);
+    EXPECT_EQ(json::parse(lines[0]).at("recovery").as_string(), "fresh");
+    EXPECT_NE(err.str().find("checkpoint unused"), std::string::npos);
+  }
+}
+
+TEST_F(DaemonTest, PersistenceFailureThrowsIoErrorInsteadOfAborting) {
+  // An unwritable checkpoint path makes the drain checkpoint throw; the
+  // IoError must propagate per the run_daemon contract — not abort via a
+  // joinable reader thread's destructor.
+  DaemonOptions options;
+  options.checkpoint_path = (dir_ / "no_such_dir" / "state.ckpt").string();
+  std::istringstream in(tick_line(0, "{}") + "\n");
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_THROW(run_daemon(small_config(), options, in, out, err), IoError);
+}
+
 TEST_F(DaemonTest, RecoverStateModes) {
   const ServeConfig config = small_config();
   DaemonOptions options;
@@ -286,6 +345,19 @@ TEST_F(DaemonTest, RecoverStateModes) {
     EXPECT_EQ(report.mode, RecoveryMode::kJournalReplay);
     EXPECT_EQ(report.checkpoint_error, "checkpoint is ahead of the journal");
     EXPECT_EQ(report.replayed, 2u);
+  }
+
+  // Without a journal the same checkpoint is the sole source of truth and
+  // is loaded regardless of the journal count it recorded.
+  {
+    DaemonOptions only;
+    only.checkpoint_path = options.checkpoint_path;
+    Arbiter arbiter(config);
+    const RecoveryReport report = recover_state(config, only, arbiter);
+    EXPECT_EQ(report.mode, RecoveryMode::kCheckpointOnly);
+    EXPECT_TRUE(report.checkpoint_error.empty());
+    EXPECT_EQ(report.replayed, 0u);
+    EXPECT_EQ(arbiter.app_count(), 1u);
   }
 }
 
