@@ -15,7 +15,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.h"
@@ -27,10 +30,19 @@
 #include "qos/allocation.h"
 #include "qos/translation.h"
 #include "serve/arbiter.h"
+#include "serve/checkpoint.h"
 #include "sim/simulator.h"
 #include "slo/kernel.h"
 #include "support.h"
 #include "wlm/failure_drill.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/transport.h"
+#endif
 
 namespace {
 
@@ -336,6 +348,91 @@ void report(const BenchRun& run, bench::BenchReporter& reporter) {
          reporter);
 }
 
+/// The durable side of the serve daemon: one full compaction cycle —
+/// append a checkpoint interval's worth of journal frames, snapshot the
+/// arbiter (atomic write, fsync of file and parent directory), then
+/// truncate the journal to its new base. Dominated by the fsyncs, so this
+/// tracks the per-interval I/O tax the daemon pays for a bounded journal.
+[[gnu::noinline]] void bench_serve_compact(bench::BenchReporter& reporter) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("ropus_micro_" + std::to_string(static_cast<long>(::getpid())));
+  fs::create_directories(dir);
+
+  serve::ServeConfig config;
+  const trace::Calendar cal = demands()[0].calendar();
+  config.minutes_per_sample = static_cast<double>(cal.minutes_per_sample());
+  config.slots_per_day =
+      trace::Calendar::kMinutesPerDay / cal.minutes_per_sample();
+  serve::Arbiter arbiter(config);
+
+  serve::Journal journal(dir / "bench.journal", 0, 0, 0);
+  const std::string line =
+      R"({"type":"tick","slot":0,"demand":{"app-00":1.5,"app-01":2.25}})";
+  constexpr std::size_t kInterval = 64;
+  report(run_bench("serve/compact", 0,
+                   [&] {
+                     for (std::size_t i = 0; i < kInterval; ++i) {
+                       journal.append(line);
+                     }
+                     serve::write_checkpoint(dir / "bench.ckpt", arbiter,
+                                             journal.entries());
+                     do_not_optimize(journal.compact());
+                   }),
+         reporter);
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+/// One identified request over a Unix socket through the retrying client:
+/// connect once, then per iteration send a tick and read verdict + end
+/// marker back. No apps are admitted and no persistence is configured, so
+/// the arbiter's share is trivial and the number is the transport's —
+/// framing, poll wakeup, id bookkeeping, reply flush.
+[[gnu::noinline]] void bench_socket_roundtrip(bench::BenchReporter& reporter) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("ropus_micro_sock_" + std::to_string(static_cast<long>(::getpid())));
+  fs::create_directories(dir);
+
+  serve::ServeConfig config;
+  const trace::Calendar cal = demands()[0].calendar();
+  config.minutes_per_sample = static_cast<double>(cal.minutes_per_sample());
+  config.slots_per_day =
+      trace::Calendar::kMinutesPerDay / cal.minutes_per_sample();
+  serve::DaemonOptions options;
+  serve::TransportOptions transport;
+  transport.unix_path = (dir / "bench.sock").string();
+
+  serve::SocketServer server(config, options, transport);
+  std::ostringstream err;
+  std::thread server_thread([&] { server.run(err); });
+
+  serve::ClientOptions copts;
+  copts.unix_path = transport.unix_path;
+  copts.id_prefix = "bench";
+  serve::Client client(copts);
+  std::uint64_t slot = 0;
+  report(run_bench("serve/socket_roundtrip", 0,
+                   [&] {
+                     const std::string line =
+                         "{\"type\":\"tick\",\"slot\":" +
+                         std::to_string(slot++) + ",\"demand\":{}}";
+                     do_not_optimize(client.transact(line));
+                   }),
+         reporter);
+
+  client.transact(R"({"type":"shutdown"})");
+  server_thread.join();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+#endif
+
 }  // namespace
 
 int main() {
@@ -395,6 +492,10 @@ int main() {
 
   bench_slo_kernel(reporter);
   bench_serve_tick(reporter);
+  bench_serve_compact(reporter);
+#if defined(__unix__) || defined(__APPLE__)
+  bench_socket_roundtrip(reporter);
+#endif
   bench_campaign_threads(reporter);
   bench_recorder_overhead(reporter);
 

@@ -1,14 +1,47 @@
 #include "common/file_io.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
-#include <fstream>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
 #include <string>
 #include <system_error>
 
 #include "common/error.h"
 
 namespace ropus::io {
+
+namespace {
+std::atomic<std::uint64_t> g_file_fsyncs{0};
+std::atomic<std::uint64_t> g_dir_fsyncs{0};
+
+[[noreturn]] void fail_errno(const std::string& what,
+                             const std::filesystem::path& path) {
+  throw IoError(what + " " + path.string() + ": " + std::strerror(errno));
+}
+}  // namespace
+
+FsyncStats fsync_stats() {
+  return FsyncStats{g_file_fsyncs.load(std::memory_order_relaxed),
+                    g_dir_fsyncs.load(std::memory_order_relaxed)};
+}
+
+void fsync_parent_dir(const std::filesystem::path& path) {
+  std::filesystem::path dir = path.parent_path();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.string().c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) fail_errno("cannot open directory", dir);
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("cannot fsync directory", dir);
+  }
+  ::close(fd);
+  g_dir_fsyncs.fetch_add(1, std::memory_order_relaxed);
+}
 
 void write_file_atomic(const std::filesystem::path& path,
                        std::string_view content) {
@@ -20,19 +53,39 @@ void write_file_atomic(const std::filesystem::path& path,
   const std::filesystem::path tmp =
       dir / (path.filename().string() + ".tmp." +
              std::to_string(static_cast<unsigned long>(::getpid())));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw IoError("cannot open for writing: " + tmp.string());
-    out.write(content.data(),
-              static_cast<std::streamsize>(content.size()));
-    out.flush();
-    if (!out) {
-      out.close();
-      std::error_code ec;
-      std::filesystem::remove(tmp, ec);
-      throw IoError("write failed: " + tmp.string());
+
+  const int fd = ::open(tmp.string().c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail_errno("cannot open for writing", tmp);
+  const auto cleanup_and_fail = [&](const std::string& what) {
+    const int saved = errno;
+    ::close(fd);
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    errno = saved;
+    fail_errno(what, tmp);
+  };
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      cleanup_and_fail("write failed for");
     }
+    off += static_cast<std::size_t>(n);
   }
+  // Data must be on disk before the rename: otherwise the journal entry for
+  // the new name can survive a power cut while the blocks it points at do
+  // not, leaving a complete-looking file full of zeros.
+  if (::fsync(fd) != 0) cleanup_and_fail("cannot fsync");
+  g_file_fsyncs.fetch_add(1, std::memory_order_relaxed);
+  if (::close(fd) != 0) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    fail_errno("cannot close", tmp);
+  }
+
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
@@ -41,6 +94,9 @@ void write_file_atomic(const std::filesystem::path& path,
     throw IoError("cannot rename " + tmp.string() + " to " + path.string() +
                   ": " + ec.message());
   }
+  // And the rename itself must reach the disk: the new directory entry is
+  // ordinary directory data until its directory is synced.
+  fsync_parent_dir(path);
 }
 
 }  // namespace ropus::io

@@ -6,17 +6,39 @@
 // renames it into place. rename(2) within one directory is atomic on POSIX,
 // so readers observe either the old file or the complete new one — never a
 // truncated mix.
+//
+// Durability: atomicity alone survives a process crash but not power loss —
+// the rename may be reordered ahead of the data blocks, or the directory
+// entry may never reach the disk at all. write_file_atomic therefore
+// fsyncs the staged file *before* the rename and fsyncs the containing
+// directory *after* it, the classic create-rename-durable sequence. The
+// serve daemon's checkpoints lean on this ordering (docs/serve.md).
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <string_view>
 
 namespace ropus::io {
 
 /// Writes `content` to `path` atomically (temp file in the same directory +
-/// flush + rename). Throws IoError on any failure; the temporary file is
-/// removed before the throw, so a failed write leaves no debris.
+/// fsync + rename + directory fsync). Throws IoError on any failure; the
+/// temporary file is removed before the throw, so a failed write leaves no
+/// debris.
 void write_file_atomic(const std::filesystem::path& path,
                        std::string_view content);
+
+/// fsyncs the directory containing `path` so a preceding rename/creat in it
+/// survives power loss. No-op on platforms without directory fsync.
+/// Throws IoError when the directory cannot be opened or synced.
+void fsync_parent_dir(const std::filesystem::path& path);
+
+/// Process-wide fsync counts, so tests can assert the durability call path
+/// actually runs (there is no portable way to observe fsync from outside).
+struct FsyncStats {
+  std::uint64_t file_fsyncs = 0;
+  std::uint64_t dir_fsyncs = 0;
+};
+FsyncStats fsync_stats();
 
 }  // namespace ropus::io

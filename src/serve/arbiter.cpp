@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "qos/translation.h"
 #include "trace/calendar.h"
@@ -33,8 +34,11 @@ const char* telemetry_name(wlm::ObservationClass cls) {
   return "unknown";
 }
 
-/// Largest admitted-app id; kPoolApp and the ids above it stay reserved.
+/// Concurrent admitted-app bound; app ids are handed out monotonically and
+/// never reused after a departure, so the lifetime admission count is
+/// additionally bounded by the id space below kPoolApp (0xFFFF).
 constexpr std::size_t kMaxApps = 1024;
+constexpr std::size_t kMaxLifetimeApps = 0xFFFE;
 
 }  // namespace
 
@@ -93,20 +97,57 @@ Arbiter::Arbiter(const ServeConfig& config)
   backlogs_.assign(config_.servers, slo::DeferralQueue(deadline_slots));
 }
 
+const std::vector<std::string>* Arbiter::cached_replies(
+    const std::string& id) const {
+  if (id.empty()) return nullptr;
+  for (const auto& [key, replies] : id_cache_) {
+    if (key == id) return &replies;
+  }
+  return nullptr;
+}
+
+void Arbiter::remember(const std::string& id,
+                       const std::vector<std::string>& replies) {
+  if (id.empty()) return;
+  id_cache_.emplace_back(id, replies);
+  while (id_cache_.size() > kIdCacheCapacity) id_cache_.pop_front();
+}
+
 std::vector<std::string> Arbiter::handle(const Message& msg,
                                          bool* state_changed) {
   if (state_changed != nullptr) *state_changed = false;
+  // Retry idempotency: a resend of a remembered request id gets the
+  // original reply bytes without touching state — a client that lost the
+  // reply to a disconnect can never double-admit or double-judge.
+  if (const std::vector<std::string>* cached = cached_replies(msg.id)) {
+    static obs::Counter& retries = obs::counter("serve.id_cache.hits");
+    retries.add();
+    return *cached;
+  }
+  bool changed = false;
+  std::vector<std::string> replies;
   switch (msg.type) {
     case MessageType::kTick:
-      return tick(msg.tick, state_changed);
+      replies = tick(msg.tick, &changed);
+      break;
     case MessageType::kAdmit:
-      return {admit(msg.admit, state_changed)};
+      replies = {admit(msg.admit, &changed)};
+      break;
+    case MessageType::kDepart:
+    case MessageType::kEvict:
+      replies = {depart(msg.depart, &changed)};
+      break;
     case MessageType::kCheckpoint:
     case MessageType::kShutdown:
       // Handled by the daemon envelope; the arbiter has no state to change.
-      return {};
+      break;
   }
-  return {};
+  // Only state-changing requests are remembered: they are exactly the
+  // journaled ones, so replay rebuilds the cache; everything else is a pure
+  // function and re-answers identically anyway.
+  if (changed) remember(msg.id, replies);
+  if (state_changed != nullptr) *state_changed = changed;
+  return replies;
 }
 
 Arbiter::App Arbiter::build_app(const AdmitMessage& msg,
@@ -124,7 +165,7 @@ Arbiter::App Arbiter::build_app(const AdmitMessage& msg,
                            static_cast<std::size_t>(config_.minutes_per_sample));
   try {
     trace::DemandTrace profile(msg.app, calendar, msg.profile);
-    App app(msg.app, static_cast<std::uint16_t>(apps_.size()), req,
+    App app(msg.app, static_cast<std::uint16_t>(next_app_id_), req,
             std::move(profile), config_.cos2, config_);
     app.revenue = msg.revenue;
     return app;
@@ -144,7 +185,7 @@ std::string Arbiter::admit(const AdmitMessage& msg, bool* state_changed) {
                               "app '" + msg.app + "' is already admitted");
     }
   }
-  if (apps_.size() >= kMaxApps) {
+  if (apps_.size() >= kMaxApps || next_app_id_ >= kMaxLifetimeApps) {
     throw ProtocolViolation(ProtocolError::kBadValue,
                             "application limit reached");
   }
@@ -194,11 +235,16 @@ std::string Arbiter::admit(const AdmitMessage& msg, bool* state_changed) {
   w.key("type").value("admission");
   w.key("app").value(msg.app);
   if (outcome.decision == AdmissionDecision::kRejected) {
+    static obs::Counter& rejects = obs::counter("serve.admission.rejected");
+    rejects.add();
     w.key("decision").value("rejected");
     w.key("reason").value(outcome.reason);
     w.end_object();
     return w.str();
   }
+  static obs::Counter& accepts = obs::counter("serve.admission.accepted");
+  static obs::Counter& renegs = obs::counter("serve.admission.renegotiated");
+  (renegotiated ? renegs : accepts).add();
   candidate.renegotiated = renegotiated;
   candidate.host = outcome.host;
   w.key("decision").value(renegotiated ? "renegotiated" : "accepted");
@@ -211,8 +257,39 @@ std::string Arbiter::admit(const AdmitMessage& msg, bool* state_changed) {
   }
   w.end_object();
   apps_.push_back(std::move(candidate));
+  next_app_id_ += 1;
   if (state_changed != nullptr) *state_changed = true;
   return w.str();
+}
+
+std::string Arbiter::depart(const DepartMessage& msg, bool* state_changed) {
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    if (apps_[i].name != msg.app) continue;
+    const App& app = apps_[i];
+    json::Writer w;
+    w.begin_object();
+    w.key("type").value("departure");
+    w.key("app").value(app.name);
+    w.key("host").value(app.host);
+    w.key("released_peak").value(app.alloc.peak_allocation());
+    if (msg.evict) w.key("evicted").value(true);
+    w.key("apps").value(apps_.size() - 1);
+    w.end_object();
+    // Erasing the app is the whole capacity release: the incremental
+    // delta-placement path (place_candidate) re-derives every server's
+    // required capacity from the hosted set, so the freed headroom is
+    // visible to the very next admission. The app's watchdog history stays
+    // — attainment already judged is not unjudged by leaving.
+    apps_.erase(apps_.begin() + static_cast<std::ptrdiff_t>(i));
+    departed_ += 1;
+    static obs::Counter& departs = obs::counter("serve.departures");
+    static obs::Counter& evicts = obs::counter("serve.evictions");
+    (msg.evict ? evicts : departs).add();
+    if (state_changed != nullptr) *state_changed = true;
+    return w.str();
+  }
+  throw ProtocolViolation(ProtocolError::kUnknownApp,
+                          "app '" + msg.app + "' is not admitted");
 }
 
 std::vector<std::string> Arbiter::tick(const TickMessage& msg,
@@ -249,6 +326,8 @@ std::vector<std::string> Arbiter::tick(const TickMessage& msg,
 }
 
 std::string Arbiter::advance_slot(const TickMessage& msg, bool filler) {
+  static obs::Counter& slots = obs::counter("serve.slots");
+  slots.add();
   const std::size_t slot = next_slot_;
   next_slot_ += 1;
 
@@ -408,6 +487,7 @@ std::string Arbiter::summary() const {
   w.begin_object();
   w.key("type").value("summary");
   w.key("slots").value(next_slot_);
+  w.key("departed").value(departed_);
   w.key("theta").value(watchdog_.theta());
   w.key("apps").begin_array();
   for (const App& app : apps_) {
@@ -439,13 +519,26 @@ void Arbiter::save_state(json::Writer& w) const {
   w.key("any_tick").value(any_tick_);
   w.key("last_tick_slot").value(last_tick_slot_);
   w.key("reported_alerts").value(reported_alerts_);
+  w.key("next_app_id").value(next_app_id_);
+  w.key("departed").value(departed_);
   w.key("last_tick_replies").begin_array();
   for (const std::string& r : last_tick_replies_) w.value(r);
+  w.end_array();
+  w.key("id_cache").begin_array();
+  for (const auto& [id, replies] : id_cache_) {
+    w.begin_object();
+    w.key("id").value(id);
+    w.key("replies").begin_array();
+    for (const std::string& r : replies) w.value(r);
+    w.end_array();
+    w.end_object();
+  }
   w.end_array();
   w.key("apps").begin_array();
   for (const App& app : apps_) {
     w.begin_object();
     w.key("name").value(app.name);
+    w.key("id").value(static_cast<std::size_t>(app.id));
     w.key("host").value(app.host);
     w.key("revenue").value(app.revenue);
     w.key("renegotiated").value(app.renegotiated);
@@ -524,9 +617,19 @@ void Arbiter::load_state(const json::Value& v) {
   any_tick_ = v.at("any_tick").as_bool();
   last_tick_slot_ = read_size(v, "last_tick_slot");
   reported_alerts_ = read_size(v, "reported_alerts");
+  next_app_id_ = read_size(v, "next_app_id");
+  departed_ = read_size(v, "departed");
   last_tick_replies_.clear();
   for (const json::Value& r : v.at("last_tick_replies").as_array()) {
     last_tick_replies_.push_back(r.as_string());
+  }
+  id_cache_.clear();
+  for (const json::Value& item : v.at("id_cache").as_array()) {
+    std::vector<std::string> replies;
+    for (const json::Value& r : item.at("replies").as_array()) {
+      replies.push_back(r.as_string());
+    }
+    id_cache_.emplace_back(item.at("id").as_string(), std::move(replies));
   }
 
   apps_.clear();
@@ -545,6 +648,9 @@ void Arbiter::load_state(const json::Value& v) {
       msg.profile.push_back(d.as_number());
     }
     App app = build_app(msg, msg.requirement);
+    // build_app stamps the next fresh id; restored apps keep the one they
+    // were admitted with (departures leave holes that are never reused).
+    app.id = static_cast<std::uint16_t>(read_size(item, "id"));
     app.host = read_size(item, "host");
     app.renegotiated = item.at("renegotiated").as_bool();
 

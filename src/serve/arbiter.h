@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <map>
 #include <string>
 #include <vector>
@@ -77,8 +78,14 @@ class Arbiter {
 
   std::size_t next_slot() const { return next_slot_; }
   std::size_t app_count() const { return apps_.size(); }
+  std::size_t departed_count() const { return departed_; }
   const ServeConfig& config() const { return config_; }
   const obs::Watchdog& watchdog() const { return watchdog_; }
+
+  /// Identified requests the arbiter remembers for retry idempotency. A
+  /// client that resends an id within this window gets the original reply
+  /// bytes instead of a second application of the request.
+  static constexpr std::size_t kIdCacheCapacity = 256;
 
  private:
   struct App {
@@ -102,11 +109,14 @@ class Arbiter {
 
   std::vector<std::string> tick(const TickMessage& msg, bool* state_changed);
   std::string admit(const AdmitMessage& msg, bool* state_changed);
+  std::string depart(const DepartMessage& msg, bool* state_changed);
   std::string advance_slot(const TickMessage& msg, bool filler);
   App build_app(const AdmitMessage& msg, const qos::Requirement& req) const;
+  const std::vector<std::string>* cached_replies(const std::string& id) const;
+  void remember(const std::string& id, const std::vector<std::string>& replies);
 
   ServeConfig config_;
-  std::vector<App> apps_;  // admission order == id order
+  std::vector<App> apps_;  // admission order (ids are stable, never reused)
   std::vector<double> server_cpus_;
   std::vector<slo::DeferralQueue> backlogs_;  // per server
   obs::Watchdog watchdog_;
@@ -115,6 +125,12 @@ class Arbiter {
   bool any_tick_ = false;
   std::size_t last_tick_slot_ = 0;
   std::vector<std::string> last_tick_replies_;  // duplicate re-emit cache
+  std::size_t next_app_id_ = 0;  // monotone: departed ids are never reused
+  std::size_t departed_ = 0;     // lifetime departures (incl. evictions)
+  /// FIFO of (request id, reply lines) for retry idempotency; bounded at
+  /// kIdCacheCapacity. Part of the replayed state: ids live in journaled
+  /// lines, so replay rebuilds the cache byte-identically.
+  std::deque<std::pair<std::string, std::vector<std::string>>> id_cache_;
 };
 
 /// Converts an admitted requirement into the kernel's plain-number band.

@@ -16,7 +16,11 @@
 namespace ropus::serve {
 namespace {
 
-constexpr std::string_view kCheckpointMagic = "ROPUS-CHECKPOINT v1";
+// v2 payloads carry the app-id/departure/id-cache state; a v1 checkpoint
+// lacks those fields, so the magic rejects it up front instead of letting
+// the payload parse fail halfway through.
+constexpr std::string_view kCheckpointMagic = "ROPUS-CHECKPOINT v2";
+constexpr std::string_view kJournalMagic = "ROPUS-JOURNAL v2 ";
 
 std::string hex8(std::uint32_t v) {
   char buf[9];
@@ -49,6 +53,20 @@ std::string read_whole_file(const std::filesystem::path& path, bool& exists) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return std::move(buf).str();
+}
+
+/// `ROPUS-JOURNAL v2 <crc8> base=<N>\n` — the CRC covers `base=<N>`, so a
+/// bit flip anywhere in the count is caught, not replayed.
+std::string journal_header(std::uint64_t base) {
+  std::string body = "base=" + std::to_string(base);
+  std::string header;
+  header.reserve(kJournalMagic.size() + body.size() + 10);
+  header += kJournalMagic;
+  header += hex8(crc::crc32(body));
+  header += ' ';
+  header += body;
+  header += '\n';
+  return header;
 }
 
 }  // namespace
@@ -145,6 +163,35 @@ Journal::Recovered Journal::recover(const std::filesystem::path& path) {
   const std::string content = read_whole_file(path, exists);
   if (!exists) return r;
   std::size_t pos = 0;
+  // Optional compaction header. A file that starts with the magic but whose
+  // header does not parse (or fails its CRC) is corrupt at offset zero —
+  // the whole file is a torn tail, same as a v1 journal whose first frame
+  // is damaged, and recovery falls back to the checkpoint.
+  if (content.compare(0, kJournalMagic.size(), kJournalMagic) == 0) {
+    const std::size_t nl = content.find('\n');
+    bool ok = nl != std::string::npos;
+    std::uint32_t crc = 0;
+    std::string_view body;
+    if (ok) {
+      std::string_view header =
+          std::string_view(content).substr(kJournalMagic.size(),
+                                           nl - kJournalMagic.size());
+      ok = header.size() > 9 && header[8] == ' ' &&
+           parse_hex8(header.substr(0, 8), crc);
+      if (ok) {
+        body = header.substr(9);
+        ok = body.substr(0, 5) == "base=" && parse_u64(body.substr(5), r.base) &&
+             crc::crc32(body) == crc;
+      }
+    }
+    if (!ok) {
+      r.base = 0;
+      r.torn_tail = true;
+      return r;
+    }
+    pos = nl + 1;
+    r.valid_bytes = pos;
+  }
   while (pos < content.size()) {
     // Frame: `<8hex crc> <len> <line>\n`. Anything that does not parse, or
     // whose CRC fails, marks a torn tail: keep the prefix, drop the rest.
@@ -178,17 +225,28 @@ Journal::Recovered Journal::recover(const std::filesystem::path& path) {
 }
 
 Journal::Journal(const std::filesystem::path& path, std::uint64_t valid_bytes,
-                 std::uint64_t entries)
-    : path_(path), entries_(entries) {
+                 std::uint64_t entries, std::uint64_t base)
+    : path_(path), entries_(entries), base_(base) {
   std::error_code ec;
   const auto size = std::filesystem::file_size(path_, ec);
-  if (!ec && size > valid_bytes) {
+  if (ec && base > 0) {
+    // Recreating a compacted journal from scratch (the file vanished):
+    // stamp the base so the entry arithmetic stays truthful.
+    io::write_file_atomic(path_, journal_header(base));
+  } else if (!ec && size > valid_bytes) {
     std::filesystem::resize_file(path_, valid_bytes, ec);
     if (ec) {
       throw IoError("cannot truncate torn journal tail in " + path_.string() +
                     ": " + ec.message());
     }
   }
+  open_for_append();
+  std::error_code size_ec;
+  const auto now = std::filesystem::file_size(path_, size_ec);
+  bytes_ = size_ec ? 0 : static_cast<std::uint64_t>(now);
+}
+
+void Journal::open_for_append() {
   file_ = std::fopen(path_.string().c_str(), "ab");
   if (file_ == nullptr) {
     throw IoError("cannot open journal " + path_.string() + ": " +
@@ -215,6 +273,25 @@ void Journal::append(std::string_view line) {
                   std::strerror(errno));
   }
   ++entries_;
+  bytes_ += framed.size();
+}
+
+std::uint64_t Journal::compact() {
+  const std::uint64_t before = bytes_;
+  const std::string header = journal_header(entries_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  // Atomic rename: a crash leaves either the old journal (checkpoint tail
+  // replay still works, N <= total) or the new header-only one (checkpoint
+  // covers exactly base). write_file_atomic fsyncs the file and the parent
+  // directory, so the truncation cannot reorder past the snapshot.
+  io::write_file_atomic(path_, header);
+  open_for_append();
+  base_ = entries_;
+  bytes_ = header.size();
+  return before > bytes_ ? before - bytes_ : 0;
 }
 
 }  // namespace ropus::serve

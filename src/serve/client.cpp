@@ -1,0 +1,249 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace ropus::serve {
+namespace {
+
+/// SplitMix64: deterministic jitter without dragging in <random>.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void ClientOptions::validate() const {
+  ROPUS_REQUIRE(deadline_s > 0.0, "client deadline must be > 0");
+  ROPUS_REQUIRE(max_attempts >= 1, "client needs at least one attempt");
+  if (unix_path.empty()) {
+    ROPUS_REQUIRE(port > 0 && port <= 65535,
+                  "tcp client needs a port in 1..65535");
+  }
+}
+
+Client::Client(const ClientOptions& options)
+    : options_(options), jitter_state_(options.retry_seed) {
+  options_.validate();
+}
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbuf_.clear();
+}
+
+void Client::connect_once() {
+  int fd = -1;
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      throw InvalidArgument("unix socket path is too long");
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw IoError("cannot create unix socket");
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, options_.unix_path.c_str(),
+                options_.unix_path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      throw IoError("cannot connect to " + options_.unix_path + ": " + why);
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw IoError("cannot create tcp socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      throw InvalidArgument("cannot parse host '" + options_.host + "'");
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      throw IoError("cannot connect to " + options_.host + ":" +
+                    std::to_string(options_.port) + ": " + why);
+    }
+  }
+  fd_ = fd;
+  inbuf_.clear();
+}
+
+bool Client::send_all(const std::string& data, double deadline) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    if (obs::monotonic_seconds() > deadline) return false;
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool Client::read_line(std::string& line, double deadline) {
+  for (;;) {
+    const std::size_t nl = inbuf_.find('\n');
+    if (nl != std::string::npos) {
+      line = inbuf_.substr(0, nl);
+      inbuf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    const double remaining = deadline - obs::monotonic_seconds();
+    if (remaining <= 0.0) return false;
+    pollfd p{fd_, POLLIN, 0};
+    const int rc = ::poll(&p, 1, static_cast<int>(
+                                     std::min(remaining * 1000.0, 1000.0)));
+    if (rc < 0 && errno != EINTR) return false;
+    if (rc <= 0) continue;
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return false;  // peer closed or reset mid-response
+  }
+}
+
+std::vector<std::string> Client::transact(const std::string& request) {
+  // Establish the id first: it is what makes resending safe.
+  json::Value v = json::Value::null();
+  try {
+    v = json::parse(request);
+  } catch (const Error& e) {
+    throw InvalidArgument(std::string("request is not valid JSON: ") +
+                          e.what());
+  }
+  if (v.type() != json::Value::Type::kObject) {
+    throw InvalidArgument("request must be a JSON object");
+  }
+  std::string id;
+  std::string wire = request;
+  const json::Value* existing = v.find("id");
+  if (existing != nullptr && existing->type() == json::Value::Type::kString) {
+    id = existing->as_string();
+  } else {
+    id = options_.id_prefix + "-" + std::to_string(next_id_++);
+    json::Writer w;
+    w.begin_object();
+    w.key("id").value(id);
+    w.end_object();
+    const std::string injected = w.str();  // {"id":"..."} with escaping done
+    if (v.as_object().empty()) {
+      wire = injected;
+    } else {
+      const std::size_t brace = wire.find('{');
+      wire = wire.substr(0, brace + 1) +
+             injected.substr(1, injected.size() - 2) + "," +
+             wire.substr(brace + 1);
+    }
+  }
+  wire += '\n';
+
+  const double deadline = obs::monotonic_seconds() + options_.deadline_s;
+  std::string last_error = "no attempt made";
+  for (std::size_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff with deterministic jitter, clipped to the
+      // deadline so a dead server fails fast instead of oversleeping.
+      const double base =
+          std::min(1.0, 0.025 * static_cast<double>(1ULL << attempt));
+      const double jitter =
+          static_cast<double>(splitmix64(jitter_state_) % 25) / 1000.0;
+      const double remaining = deadline - obs::monotonic_seconds();
+      if (remaining <= 0.0) break;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(base + jitter, remaining)));
+    }
+    try {
+      if (fd_ < 0) {
+        connect_once();
+        std::string ready;
+        if (!read_line(ready, deadline)) {
+          disconnect();
+          last_error = "no greeting before the deadline";
+          continue;
+        }
+        greeting_ = ready;
+      }
+      if (!send_all(wire, deadline)) {
+        disconnect();
+        last_error = "send failed or timed out";
+        continue;
+      }
+      std::vector<std::string> replies;
+      bool framed = false;
+      std::string line;
+      while (read_line(line, deadline)) {
+        bool is_end = false;
+        try {
+          const json::Value r = json::parse(line);
+          const json::Value* type = r.find("type");
+          const json::Value* rid = r.find("id");
+          is_end = type != nullptr &&
+                   type->type() == json::Value::Type::kString &&
+                   type->as_string() == "end" && rid != nullptr &&
+                   rid->type() == json::Value::Type::kString &&
+                   rid->as_string() == id;
+        } catch (const Error&) {
+          // Not JSON — surface it to the caller like any other reply.
+        }
+        if (is_end) {
+          framed = true;
+          break;
+        }
+        replies.push_back(line);
+      }
+      if (framed) return replies;
+      disconnect();
+      last_error = "connection lost before the end marker";
+    } catch (const IoError& e) {
+      disconnect();
+      last_error = e.what();
+    }
+    if (obs::monotonic_seconds() > deadline) break;
+  }
+  throw IoError("request '" + id + "' failed after retries: " + last_error);
+}
+
+std::string Client::read_closing_line(double timeout_s) {
+  if (fd_ < 0) return "";
+  std::string line;
+  if (!read_line(line, obs::monotonic_seconds() + timeout_s)) return "";
+  return line;
+}
+
+}  // namespace ropus::serve

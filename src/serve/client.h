@@ -1,0 +1,81 @@
+// Client side of the serve socket protocol: one request in, its framed
+// replies out, with the fault handling a flaky transport demands done
+// once, here, instead of in every caller.
+//
+// Every request is sent with a request id (the caller's, or an injected
+// "<prefix>-<n>"), so the daemon's idempotency cache makes retries safe:
+// when the connection dies between send and reply — the ambiguous case
+// where the client cannot know whether the request was applied — the
+// client reconnects and resends the *same* id, and the daemon either
+// replays the original reply bytes from its cache or applies the request
+// for the first time. Either way the request happens exactly once.
+//
+// Reconnects back off exponentially with deterministic jitter (seeded, so
+// tests and the chaos drill reproduce byte-identical schedules) and the
+// whole transaction is bounded by a deadline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ropus::serve {
+
+struct ClientOptions {
+  /// Unix-domain socket path; non-empty selects UDS, otherwise TCP.
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Overall wall-clock bound for one transact() call, connect and
+  /// retries included.
+  double deadline_s = 30.0;
+  /// Connection attempts before giving up (each costs a backoff delay).
+  std::size_t max_attempts = 5;
+  /// Seed for the backoff jitter; fixed seed -> reproducible schedule.
+  std::uint64_t retry_seed = 1;
+  /// Prefix for injected request ids.
+  std::string id_prefix = "cli";
+
+  void validate() const;
+};
+
+class Client {
+ public:
+  explicit Client(const ClientOptions& options);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one NDJSON request (no trailing newline needed) and returns its
+  /// reply lines, end marker stripped. The request must be a JSON object;
+  /// an "id" is injected when absent. Reconnects and resends on transport
+  /// faults; throws IoError when the deadline or attempt budget runs out,
+  /// InvalidArgument when `request` is not a JSON object.
+  std::vector<std::string> transact(const std::string& request);
+
+  /// The daemon's "ready" greeting from the most recent connect; empty
+  /// before the first successful connection.
+  const std::string& greeting() const { return greeting_; }
+
+  /// Reads the stream's closing line on the current connection. The
+  /// daemon writes the shutdown summary *after* the end-marker frame, so
+  /// transact() for a shutdown request returns before it; call this next
+  /// to collect it. Returns empty when the connection is gone or nothing
+  /// arrives within `timeout_s` — never retries (the daemon is exiting).
+  std::string read_closing_line(double timeout_s = 5.0);
+
+ private:
+  void connect_once();
+  void disconnect();
+  bool send_all(const std::string& data, double deadline);
+  bool read_line(std::string& line, double deadline);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  std::string inbuf_;
+  std::string greeting_;
+  std::uint64_t jitter_state_ = 0;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace ropus::serve

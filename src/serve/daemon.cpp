@@ -3,18 +3,18 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <istream>
-#include <memory>
 #include <mutex>
 #include <ostream>
-#include <string>
 #include <thread>
 #include <utility>
 
 #include "common/error.h"
 #include "common/signals.h"
-#include "serve/checkpoint.h"
+#include "obs/metrics.h"
 
 namespace ropus::serve {
 namespace {
@@ -87,6 +87,31 @@ const char* recovery_mode_name(RecoveryMode mode) {
   return "unknown";
 }
 
+/// Fault-injection hook for the recovery tests and the chaos drill: when
+/// ROPUS_SERVE_CRASH names this point, die as abruptly as kill -9 would
+/// (no unwinding, no flushing) so the on-disk interleaving is exactly the
+/// one the drill wants to probe. Inert unless the variable is set.
+void crash_point(const char* point) {
+  const char* want = std::getenv("ROPUS_SERVE_CRASH");
+  if (want != nullptr && std::strcmp(want, point) == 0) std::_Exit(137);
+}
+
+/// Recovers the request id from a line that failed parsing or handling, so
+/// the error reply can still be framed with an end marker. Best effort:
+/// anything that is not a well-formed id yields "no id".
+std::string best_effort_id(const std::string& line) {
+  try {
+    const json::Value v = json::parse(line);
+    if (v.type() != json::Value::Type::kObject) return {};
+    const json::Value* id = v.find("id");
+    if (id == nullptr || id->type() != json::Value::Type::kString) return {};
+    if (id->as_string().empty() || id->as_string().size() > 128) return {};
+    return id->as_string();
+  } catch (const Error&) {
+    return {};
+  }
+}
+
 }  // namespace
 
 void DaemonOptions::validate() const {
@@ -95,6 +120,10 @@ void DaemonOptions::validate() const {
   ROPUS_REQUIRE(queue_capacity >= 1, "ingest queue needs capacity >= 1");
   ROPUS_REQUIRE(max_line_bytes >= 2, "line bound must be >= 2 bytes");
   ROPUS_REQUIRE(tick_deadline_ms >= 0.0, "tick deadline must be >= 0");
+  ROPUS_REQUIRE(!compact_journal ||
+                    (!checkpoint_path.empty() && !journal_path.empty()),
+                "journal compaction requires both a journal and a "
+                "checkpoint path");
 }
 
 bool should_shed(std::size_t queue_depth, std::size_t queue_capacity,
@@ -109,12 +138,26 @@ RecoveryReport recover_state(const ServeConfig& config,
   Journal::Recovered recovered;
   if (!options.journal_path.empty()) {
     recovered = Journal::recover(options.journal_path);
-    report.journal_entries = recovered.lines.size();
+    report.journal_entries = recovered.entries();
+    report.journal_base = recovered.base;
     report.journal_valid_bytes = recovered.valid_bytes;
     report.torn_tail = recovered.torn_tail;
   }
+  // A compacted journal's first `base` entries exist only inside a
+  // checkpoint; without one the state is gone, and pretending otherwise
+  // would silently serve wrong verdicts. Refuse loudly instead.
+  const auto unreconstructible = [&](const std::string& why) {
+    return IoError("journal " + options.journal_path.string() +
+                   " was compacted to base " +
+                   std::to_string(recovered.base) +
+                   " but no checkpoint covers it (" + why +
+                   "); state is unreconstructible");
+  };
+  if (recovered.base > 0 && options.checkpoint_path.empty()) {
+    throw unreconstructible("no checkpoint path configured");
+  }
 
-  std::uint64_t replay_from = 0;
+  std::uint64_t replay_from = 0;  // index into recovered.lines
   if (!options.checkpoint_path.empty()) {
     Arbiter candidate(config);
     const CheckpointLoad load =
@@ -132,13 +175,26 @@ RecoveryReport recover_state(const ServeConfig& config,
       }
       return report;
     }
-    if (load.ok && load.journal_entries <= recovered.lines.size()) {
+    if (!load.ok && recovered.base > 0) {
+      throw unreconstructible(load.error);
+    }
+    if (load.ok && load.journal_entries < recovered.base) {
+      // The checkpoint on disk predates the compaction that set this base;
+      // the entries between them are in neither file.
+      throw unreconstructible(
+          "checkpoint covers only " + std::to_string(load.journal_entries) +
+          " entries");
+    }
+    if (load.ok && load.journal_entries <= recovered.entries()) {
       arbiter = std::move(candidate);
-      replay_from = load.journal_entries;
+      replay_from = load.journal_entries - recovered.base;
       report.mode = RecoveryMode::kCheckpointAndTail;
     } else if (load.ok) {
       // A checkpoint claiming more entries than the journal holds means the
       // journal (the source of truth) lost data; trust only the journal.
+      if (recovered.base > 0) {
+        throw unreconstructible("checkpoint is ahead of the journal");
+      }
       report.checkpoint_error = "checkpoint is ahead of the journal";
     } else if (!load.missing || !recovered.lines.empty()) {
       // Worth reporting unless it is a missing checkpoint on a fresh start.
@@ -157,30 +213,168 @@ RecoveryReport recover_state(const ServeConfig& config,
     } catch (const Error& e) {
       // Only accepted (state-changing) lines are journaled, so replay must
       // not fault; a fault means the journal itself is damaged.
-      throw IoError("journal replay failed at entry " + std::to_string(i) +
-                    ": " + e.what());
+      throw IoError("journal replay failed at entry " +
+                    std::to_string(recovered.base + i) + ": " + e.what());
     }
     report.replayed += 1;
   }
   return report;
 }
 
-int run_daemon(const ServeConfig& config, const DaemonOptions& options,
-               std::istream& in, std::ostream& out, std::ostream& err) {
+DaemonCore::DaemonCore(const ServeConfig& config, const DaemonOptions& options)
+    : options_(options), arbiter_(config) {
   config.validate();
-  options.validate();
-
-  Arbiter arbiter(config);
-  const RecoveryReport recovery = recover_state(config, options, arbiter);
-  std::unique_ptr<Journal> journal;
-  if (!options.journal_path.empty()) {
+  options_.validate();
+  recovery_ = recover_state(config, options_, arbiter_);
+  if (!options_.journal_path.empty()) {
     // Opening the journal truncates any torn tail found during recovery;
     // recover_state already parsed the file, so reuse its counts instead
     // of reading it a second time.
-    journal = std::make_unique<Journal>(options.journal_path,
-                                        recovery.journal_valid_bytes,
-                                        recovery.journal_entries);
+    journal_ = std::make_unique<Journal>(
+        options_.journal_path, recovery_.journal_valid_bytes,
+        recovery_.journal_entries, recovery_.journal_base);
+    static obs::Gauge& bytes = obs::gauge("serve.journal.bytes");
+    bytes.set(static_cast<double>(journal_->bytes()));
   }
+  slots_at_checkpoint_ = arbiter_.next_slot();
+}
+
+std::string DaemonCore::ready_line() const {
+  json::Writer w;
+  w.begin_object();
+  w.key("type").value("ready");
+  w.key("recovery").value(recovery_mode_name(recovery_.mode));
+  w.key("slots").value(arbiter_.next_slot());
+  w.key("apps").value(arbiter_.app_count());
+  w.key("replayed").value(static_cast<std::int64_t>(recovery_.replayed));
+  if (recovery_.torn_tail) w.key("torn_tail").value(true);
+  w.end_object();
+  return w.str();
+}
+
+std::uint64_t DaemonCore::journal_entries() const {
+  return journal_ ? journal_->entries() : 0;
+}
+
+std::uint64_t DaemonCore::journal_bytes() const {
+  return journal_ ? journal_->bytes() : 0;
+}
+
+bool DaemonCore::checkpoint_now() {
+  if (options_.checkpoint_path.empty()) return false;
+  static obs::Histogram& duration =
+      obs::histogram("serve.checkpoint.duration_seconds");
+  static obs::Counter& checkpoints = obs::counter("serve.checkpoints");
+  static obs::Gauge& bytes = obs::gauge("serve.journal.bytes");
+  const double started = obs::monotonic_seconds();
+  write_checkpoint(options_.checkpoint_path, arbiter_, journal_entries());
+  crash_point("after-checkpoint");
+  if (options_.compact_journal && journal_ != nullptr) {
+    static obs::Counter& compactions = obs::counter("serve.compactions");
+    static obs::Counter& reclaimed =
+        obs::counter("serve.compaction.reclaimed_bytes");
+    reclaimed.add(journal_->compact());
+    compactions.add();
+    crash_point("after-compact");
+  }
+  duration.record(obs::monotonic_seconds() - started);
+  checkpoints.add();
+  if (journal_ != nullptr) bytes.set(static_cast<double>(journal_->bytes()));
+  slots_at_checkpoint_ = arbiter_.next_slot();
+  return true;
+}
+
+DaemonCore::Result DaemonCore::process_line(const std::string& line,
+                                            bool shed) {
+  Result result;
+  if (line.find_first_not_of(" \t\r") == std::string::npos) return result;
+  if (line.size() > options_.max_line_bytes) {
+    // Deliberately no end marker: the line is not parsed at all, so no id
+    // is recovered from it. Clients enforce the bound before sending.
+    result.replies.push_back(
+        error_reply(ProtocolError::kLineTooLong,
+                    "line of " + std::to_string(line.size()) +
+                        " bytes exceeds the " +
+                        std::to_string(options_.max_line_bytes) +
+                        " byte bound"));
+    return result;
+  }
+
+  std::string id;
+  try {
+    const Message msg = parse_message(line);
+    id = msg.id;
+    const auto started = std::chrono::steady_clock::now();
+    bool state_changed = false;
+    result.replies = arbiter_.handle(msg, &state_changed);
+    // Journal before surfacing any reply: a crash after the journal write
+    // but before the reply is re-driven by the client's resend, which the
+    // arbiter answers from its duplicate caches — never by double-applying.
+    if (state_changed && journal_) {
+      journal_->append(line);
+      static obs::Gauge& bytes = obs::gauge("serve.journal.bytes");
+      bytes.set(static_cast<double>(journal_->bytes()));
+      crash_point("after-journal-append");
+    }
+
+    switch (msg.type) {
+      case MessageType::kTick:
+        last_tick_ms_ = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - started)
+                            .count();
+        // Two triggers: the slot interval since the last checkpoint *this
+        // process* took, and the journal tail length. The second is what
+        // actually bounds the journal — slots_at_checkpoint_ resets on
+        // every restart, so a crash/restart storm with restarts closer
+        // together than the interval would otherwise postpone checkpoints
+        // (and compaction) indefinitely while the tail keeps growing.
+        if (!shed && !options_.checkpoint_path.empty() &&
+            (arbiter_.next_slot() - slots_at_checkpoint_ >=
+                 options_.checkpoint_every_slots ||
+             (options_.compact_journal && journal_ != nullptr &&
+              journal_->tail_frames() >= options_.checkpoint_every_slots))) {
+          checkpoint_now();
+        }
+        break;
+      case MessageType::kCheckpoint:
+        if (options_.checkpoint_path.empty()) {
+          result.replies.push_back(error_reply(
+              ProtocolError::kBadValue, "daemon runs without a checkpoint path"));
+        } else if (shed) {
+          result.replies.push_back(
+              error_reply(ProtocolError::kOverload,
+                          "checkpoint shed under load; retry when the "
+                          "queue drains"));
+        } else {
+          checkpoint_now();
+          result.replies.push_back(
+              ok_reply("checkpoint", arbiter_.next_slot(), journal_entries()));
+        }
+        break;
+      case MessageType::kShutdown:
+        result.shutdown = true;
+        break;
+      case MessageType::kAdmit:
+      case MessageType::kDepart:
+      case MessageType::kEvict:
+        break;
+    }
+  } catch (const ProtocolViolation& e) {
+    result.replies.push_back(error_reply(e.code(), violation_detail(e)));
+    id = best_effort_id(line);
+  }
+  // The end marker is a pure function of the input line (id and reply
+  // count), so a replayed or retried request frames identically.
+  if (!id.empty()) {
+    result.replies.push_back(end_reply(id, result.replies.size()));
+  }
+  return result;
+}
+
+int run_daemon(const ServeConfig& config, const DaemonOptions& options,
+               std::istream& in, std::ostream& out, std::ostream& err) {
+  DaemonCore core(config, options);
+  const RecoveryReport& recovery = core.recovery();
   if (recovery.torn_tail) {
     err << "serve: journal had a torn tail; truncated to "
         << recovery.journal_entries << " entries\n";
@@ -190,19 +384,7 @@ int run_daemon(const ServeConfig& config, const DaemonOptions& options,
     if (recovery.journal_entries > 0) err << "; replaying the journal";
     err << '\n';
   }
-
-  {
-    json::Writer w;
-    w.begin_object();
-    w.key("type").value("ready");
-    w.key("recovery").value(recovery_mode_name(recovery.mode));
-    w.key("slots").value(arbiter.next_slot());
-    w.key("apps").value(arbiter.app_count());
-    w.key("replayed").value(static_cast<std::int64_t>(recovery.replayed));
-    if (recovery.torn_tail) w.key("torn_tail").value(true);
-    w.end_object();
-    out << w.str() << '\n' << std::flush;
-  }
+  out << core.ready_line() << '\n' << std::flush;
 
   auto ingest = std::make_shared<Ingest>();
   ingest->capacity = options.queue_capacity;
@@ -230,17 +412,7 @@ int run_daemon(const ServeConfig& config, const DaemonOptions& options,
     }
   };
 
-  const auto checkpoint_now = [&] {
-    if (options.checkpoint_path.empty()) return false;
-    write_checkpoint(options.checkpoint_path, arbiter,
-                     journal ? journal->entries() : 0);
-    return true;
-  };
-
-  std::size_t slots_at_checkpoint = arbiter.next_slot();
-  double last_tick_ms = 0.0;
   int exit_code = 0;
-
   try {
     for (;;) {
       // A signal wants out now: drop queued lines (they were never journaled,
@@ -250,6 +422,7 @@ int run_daemon(const ServeConfig& config, const DaemonOptions& options,
         break;
       }
       std::string line;
+      std::size_t queue_depth = 0;
       {
         std::unique_lock lk(ingest->mu);
         ingest->cv_pop.wait_for(lk, std::chrono::milliseconds(50), [&ingest] {
@@ -262,90 +435,27 @@ int run_daemon(const ServeConfig& config, const DaemonOptions& options,
         line = std::move(ingest->queue.front());
         ingest->queue.pop_front();
         ingest->cv_push.notify_one();
+        queue_depth = ingest->queue.size();
       }
-      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      if (line.size() > options.max_line_bytes) {
-        out << error_reply(ProtocolError::kLineTooLong,
-                           "line of " + std::to_string(line.size()) +
-                               " bytes exceeds the " +
-                               std::to_string(options.max_line_bytes) +
-                               " byte bound")
-            << '\n'
-            << std::flush;
-        continue;
-      }
-
-      bool shutdown = false;
-      try {
-        const Message msg = parse_message(line);
-        const auto started = std::chrono::steady_clock::now();
-        bool state_changed = false;
-        const std::vector<std::string> replies =
-            arbiter.handle(msg, &state_changed);
-        // Journal before emitting: a crash after the journal write but before
-        // the reply is re-driven by the client's resend, which the arbiter
-        // answers from its duplicate cache — never by double-applying.
-        if (state_changed && journal) journal->append(line);
-        for (const std::string& reply : replies) out << reply << '\n';
-
-        std::size_t queue_depth = 0;
-        {
-          std::lock_guard lk(ingest->mu);
-          queue_depth = ingest->queue.size();
-        }
-        const bool shed = should_shed(queue_depth, options.queue_capacity,
-                                      last_tick_ms, options.tick_deadline_ms);
-        switch (msg.type) {
-          case MessageType::kTick:
-            last_tick_ms =
-                std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - started)
-                    .count();
-            if (!shed && !options.checkpoint_path.empty() &&
-                arbiter.next_slot() - slots_at_checkpoint >=
-                    options.checkpoint_every_slots) {
-              checkpoint_now();
-              slots_at_checkpoint = arbiter.next_slot();
-            }
-            break;
-          case MessageType::kCheckpoint:
-            if (options.checkpoint_path.empty()) {
-              out << error_reply(ProtocolError::kBadValue,
-                                 "daemon runs without a checkpoint path");
-            } else if (shed) {
-              out << error_reply(ProtocolError::kOverload,
-                                 "checkpoint shed under load; retry when the "
-                                 "queue drains");
-            } else {
-              checkpoint_now();
-              slots_at_checkpoint = arbiter.next_slot();
-              out << ok_reply("checkpoint", arbiter.next_slot(),
-                              journal ? journal->entries() : 0);
-            }
-            out << '\n';
-            break;
-          case MessageType::kShutdown:
-            shutdown = true;
-            break;
-          case MessageType::kAdmit:
-            break;
-        }
-        out << std::flush;
-      } catch (const ProtocolViolation& e) {
-        out << error_reply(e.code(), violation_detail(e)) << '\n' << std::flush;
-      }
-      if (shutdown) break;
+      const bool shed = should_shed(queue_depth, options.queue_capacity,
+                                    core.last_tick_ms(),
+                                    options.tick_deadline_ms);
+      const DaemonCore::Result result = core.process_line(line, shed);
+      for (const std::string& reply : result.replies) out << reply << '\n';
+      out << std::flush;
+      if (result.shutdown) break;
     }
 
     // Drain: final checkpoint plus the summary, on every exit path. The
     // journal is already flushed per accepted line.
-    if (checkpoint_now()) {
-      err << "serve: final checkpoint at slot " << arbiter.next_slot() << '\n';
+    if (core.checkpoint_now()) {
+      err << "serve: final checkpoint at slot " << core.arbiter().next_slot()
+          << '\n';
     }
-    out << arbiter.summary() << '\n' << std::flush;
+    out << core.arbiter().summary() << '\n' << std::flush;
     err << "serve: " << (exit_code == 130 ? "terminated by signal" : "drained")
-        << " after " << arbiter.next_slot() << " slots, "
-        << arbiter.app_count() << " apps\n";
+        << " after " << core.arbiter().next_slot() << " slots, "
+        << core.arbiter().app_count() << " apps\n";
   } catch (...) {
     // Persistence failures (journal append, checkpoint write) propagate as
     // IoError per the contract in daemon.h — but only after the reader

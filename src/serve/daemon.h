@@ -1,20 +1,31 @@
 // The serve daemon envelope around the deterministic Arbiter: ingest
 // thread with a bounded queue (backpressure, not data loss), crash-safe
-// journal + periodic checkpoints, overload shedding of optional work, and
-// graceful drain on EOF, shutdown request, or termination signal.
+// journal + periodic checkpoints with optional compaction, overload
+// shedding of optional work, and graceful drain on EOF, shutdown request,
+// or termination signal.
 //
 // Division of labour: everything that may observe time, thread scheduling
 // or I/O pressure lives here; the Arbiter it wraps is a pure function of
 // the accepted message sequence. Shedding therefore only ever skips
 // *optional* work (periodic checkpoints) — verdict bytes are identical
 // under any load.
+//
+// DaemonCore is the transport-independent half: parse, handle,
+// journal-before-emit, end-marker framing, checkpoint/compaction policy.
+// run_daemon drives it from stdin/stdout; serve_socket (transport.h)
+// drives the same core from a listening socket, so both transports share
+// one determinism and recovery story.
 #pragma once
 
 #include <cstddef>
 #include <filesystem>
 #include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "serve/arbiter.h"
+#include "serve/checkpoint.h"
 
 namespace ropus::serve {
 
@@ -29,6 +40,12 @@ struct DaemonOptions {
   std::filesystem::path journal_path;
   /// Slots between automatic checkpoints.
   std::size_t checkpoint_every_slots = 64;
+  /// Truncate the journal to its compaction header after every successful
+  /// checkpoint (snapshot-then-truncate), bounding steady-state disk usage
+  /// to roughly one checkpoint interval of frames. Requires both paths;
+  /// once a journal has been compacted, the checkpoint is mandatory for
+  /// recovery — the dropped prefix only exists inside it.
+  bool compact_journal = false;
   /// Ingest queue bound; a full queue blocks the reader thread, which
   /// blocks the client's pipe — backpressure, never silent drops.
   std::size_t queue_capacity = 1024;
@@ -49,7 +66,7 @@ struct DaemonOptions {
 bool should_shed(std::size_t queue_depth, std::size_t queue_capacity,
                  double last_tick_ms, double deadline_ms);
 
-/// How run_daemon recovered its state on startup. kCheckpointOnly is the
+/// How the daemon recovered its state on startup. kCheckpointOnly is the
 /// journal-less configuration: the snapshot is the sole source of truth.
 enum class RecoveryMode {
   kFresh,
@@ -60,18 +77,70 @@ enum class RecoveryMode {
 
 struct RecoveryReport {
   RecoveryMode mode = RecoveryMode::kFresh;
-  std::uint64_t journal_entries = 0;     // total accepted lines on disk
+  std::uint64_t journal_entries = 0;     // total accepted lines (incl. base)
+  std::uint64_t journal_base = 0;        // entries compacted into a checkpoint
   std::uint64_t journal_valid_bytes = 0; // file length of the valid prefix
   std::uint64_t replayed = 0;            // lines replayed through the arbiter
   bool torn_tail = false;                // journal had a truncated last record
   std::string checkpoint_error;          // why the checkpoint was not used
 };
 
-/// Restores an arbiter from checkpoint + journal (fast path) or full
+/// Restores an arbiter from checkpoint + journal tail (fast path) or full
 /// journal replay (fallback). Exposed for tests and the chaos drill's
-/// offline verdict recomputation.
+/// offline verdict recomputation. Throws IoError when the state is
+/// unreconstructible: the journal was compacted (its base entries exist
+/// only inside a checkpoint) but no usable checkpoint covers the base.
 RecoveryReport recover_state(const ServeConfig& config,
                              const DaemonOptions& options, Arbiter& arbiter);
+
+/// Transport-independent daemon core. Construction recovers state (same
+/// semantics as recover_state) and opens the journal for appending; then
+/// each accepted input line flows through process_line, whose replies are
+/// a pure function of the accepted line sequence — the property both the
+/// stdio and socket transports inherit without re-proving it.
+class DaemonCore {
+ public:
+  /// Throws InvalidArgument on bad config/options, IoError when persisted
+  /// state cannot be reconstructed.
+  DaemonCore(const ServeConfig& config, const DaemonOptions& options);
+
+  const RecoveryReport& recovery() const { return recovery_; }
+  /// The {"type":"ready",...} line transports emit before serving.
+  std::string ready_line() const;
+
+  struct Result {
+    std::vector<std::string> replies;  // in emission order, no newlines
+    bool shutdown = false;             // a graceful drain was requested
+  };
+
+  /// Processes one raw input line: blank lines yield no replies, oversized
+  /// lines a typed error, everything else is parsed, handled, journaled
+  /// (before any reply is surfaced — journal-before-emit), and answered.
+  /// Requests carrying an "id" get a trailing end marker counting their
+  /// reply lines, including error replies, so clients can frame responses.
+  /// `shed` gates optional work only (periodic/explicit checkpoints); it
+  /// never changes verdict bytes. Throws IoError on persistence failure.
+  Result process_line(const std::string& line, bool shed);
+
+  /// Writes a checkpoint now (and compacts the journal when configured).
+  /// Returns false when checkpoints are disabled. Throws IoError.
+  bool checkpoint_now();
+
+  double last_tick_ms() const { return last_tick_ms_; }
+  const DaemonOptions& options() const { return options_; }
+  const Arbiter& arbiter() const { return arbiter_; }
+  Arbiter& arbiter() { return arbiter_; }
+  std::uint64_t journal_entries() const;
+  std::uint64_t journal_bytes() const;
+
+ private:
+  DaemonOptions options_;
+  Arbiter arbiter_;
+  RecoveryReport recovery_;
+  std::unique_ptr<Journal> journal_;
+  std::size_t slots_at_checkpoint_ = 0;
+  double last_tick_ms_ = 0.0;
+};
 
 /// Runs the daemon loop: reads NDJSON requests from `in`, writes replies
 /// to `out` and operational notes to `err`. Returns 0 on EOF or a

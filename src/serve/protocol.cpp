@@ -15,6 +15,7 @@ const char* protocol_error_code(ProtocolError e) {
     case ProtocolError::kStaleSlot: return "stale_slot";
     case ProtocolError::kSlotGapTooLarge: return "slot_gap_too_large";
     case ProtocolError::kDuplicateApp: return "duplicate_app";
+    case ProtocolError::kUnknownApp: return "unknown_app";
     case ProtocolError::kLineTooLong: return "line_too_long";
     case ProtocolError::kOverload: return "overload";
   }
@@ -133,6 +134,36 @@ AdmitMessage parse_admit(const json::Value& v) {
   return admit;
 }
 
+DepartMessage parse_depart(const json::Value& v, bool evict) {
+  DepartMessage depart;
+  depart.evict = evict;
+  const json::Value* app = v.find("app");
+  if (app == nullptr) {
+    violate(ProtocolError::kMissingField, "required field 'app'");
+  }
+  if (app->type() != json::Value::Type::kString || app->as_string().empty()) {
+    violate(ProtocolError::kBadValue, "'app' must be a non-empty string");
+  }
+  depart.app = app->as_string();
+  return depart;
+}
+
+/// Largest accepted request id; ids are cache keys, not payloads.
+constexpr std::size_t kMaxIdBytes = 128;
+
+std::string parse_id(const json::Value& v) {
+  const json::Value* id = v.find("id");
+  if (id == nullptr) return {};
+  if (id->type() != json::Value::Type::kString || id->as_string().empty()) {
+    violate(ProtocolError::kBadValue, "'id' must be a non-empty string");
+  }
+  if (id->as_string().size() > kMaxIdBytes) {
+    violate(ProtocolError::kBadValue,
+            "'id' exceeds " + std::to_string(kMaxIdBytes) + " bytes");
+  }
+  return id->as_string();
+}
+
 }  // namespace
 
 Message parse_message(std::string_view line) {
@@ -150,6 +181,7 @@ Message parse_message(std::string_view line) {
     violate(ProtocolError::kUnknownType, "request needs a string 'type'");
   }
   Message msg;
+  msg.id = parse_id(v);
   const std::string& name = type->as_string();
   if (name == "tick") {
     msg.type = MessageType::kTick;
@@ -157,6 +189,12 @@ Message parse_message(std::string_view line) {
   } else if (name == "admit") {
     msg.type = MessageType::kAdmit;
     msg.admit = parse_admit(v);
+  } else if (name == "depart") {
+    msg.type = MessageType::kDepart;
+    msg.depart = parse_depart(v, /*evict=*/false);
+  } else if (name == "evict") {
+    msg.type = MessageType::kEvict;
+    msg.depart = parse_depart(v, /*evict=*/true);
   } else if (name == "checkpoint") {
     msg.type = MessageType::kCheckpoint;
   } else if (name == "shutdown") {
@@ -173,6 +211,16 @@ std::string error_reply(ProtocolError code, std::string_view detail) {
   w.key("type").value("error");
   w.key("code").value(protocol_error_code(code));
   w.key("detail").value(detail);
+  w.end_object();
+  return w.str();
+}
+
+std::string end_reply(std::string_view id, std::size_t n) {
+  json::Writer w;
+  w.begin_object();
+  w.key("type").value("end");
+  w.key("id").value(id);
+  w.key("n").value(n);
   w.end_object();
   return w.str();
 }

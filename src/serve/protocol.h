@@ -1,5 +1,6 @@
 // The serve daemon's wire protocol: newline-delimited JSON requests in,
-// newline-delimited JSON replies out.
+// newline-delimited JSON replies out — over stdin/stdout or a socket
+// (src/serve/transport.h); the framing is identical.
 //
 // Requests:
 //   {"type":"tick","slot":N,"demand":{"<app>":<cpus>|null, ...}}
@@ -14,14 +15,27 @@
 //       Admission request for a new application. `profile` is the
 //       representative demand series the QoS translation runs on (whole
 //       weeks of slots); band flags default to the paper's case study.
+//   {"type":"depart","app":"name"}   voluntary departure: the app leaves
+//       and its capacity returns to the pool for future admissions
+//   {"type":"evict","app":"name"}    operator-initiated removal; same
+//       state change as depart, flagged "evicted" in the reply
 //   {"type":"checkpoint"}   force a checkpoint now
 //   {"type":"shutdown"}     graceful drain (summary, final checkpoint)
 //
+// Any request may carry an optional string "id" (<= 128 bytes). The
+// arbiter remembers recent ids with their replies: a client that retries
+// after a disconnect gets the original bytes back instead of
+// double-applying (an admit resent with the same id cannot admit twice).
+// Identified requests additionally get a trailing
+// {"type":"end","id":...,"n":K} marker after their K reply lines, so a
+// client can frame multi-line responses (gap-filled ticks) without
+// protocol knowledge.
+//
 // Replies: {"type":"verdict",...}, {"type":"admission",...},
-// {"type":"ok",...}, {"type":"summary",...} and typed errors
-// {"type":"error","code":"<code>","detail":"..."}. Malformed input of any
-// shape yields an error reply, never a crash — the protocol tests and the
-// chaos drill hold this line.
+// {"type":"departure",...}, {"type":"ok",...}, {"type":"summary",...} and
+// typed errors {"type":"error","code":"<code>","detail":"..."}. Malformed
+// input of any shape yields an error reply, never a crash — the protocol
+// tests and the chaos drill hold this line.
 #pragma once
 
 #include <cstddef>
@@ -34,7 +48,14 @@
 
 namespace ropus::serve {
 
-enum class MessageType { kTick, kAdmit, kCheckpoint, kShutdown };
+enum class MessageType {
+  kTick,
+  kAdmit,
+  kDepart,
+  kEvict,
+  kCheckpoint,
+  kShutdown,
+};
 
 /// Typed protocol fault taxonomy — the wire-level counterpart of
 /// wlm::ObservationClass. Every way an input line can be unusable maps to
@@ -47,8 +68,9 @@ enum class ProtocolError {
   kStaleSlot,       // tick slot older than the most recent one
   kSlotGapTooLarge, // forward gap beyond max_slot_gap
   kDuplicateApp,    // admit for an app name already admitted
+  kUnknownApp,      // depart/evict for an app that is not admitted
   kLineTooLong,     // ingest line over the size bound
-  kOverload,        // ingest queue full and the client did not back off
+  kOverload,        // queue/connection saturated and the client kept pushing
 };
 
 const char* protocol_error_code(ProtocolError e);
@@ -84,10 +106,17 @@ struct AdmitMessage {
   std::vector<double> profile;         // representative demand (CPUs)
 };
 
+struct DepartMessage {
+  std::string app;
+  bool evict = false;  // operator-initiated (evict) vs voluntary (depart)
+};
+
 struct Message {
   MessageType type = MessageType::kTick;
-  TickMessage tick;    // valid when type == kTick
-  AdmitMessage admit;  // valid when type == kAdmit
+  std::string id;        // retry-idempotency key; empty = none supplied
+  TickMessage tick;      // valid when type == kTick
+  AdmitMessage admit;    // valid when type == kAdmit
+  DepartMessage depart;  // valid when type == kDepart or kEvict
 };
 
 /// Parses one request line. Throws ProtocolViolation — and nothing else —
@@ -96,5 +125,9 @@ Message parse_message(std::string_view line);
 
 /// Renders a typed error reply line (no trailing newline).
 std::string error_reply(ProtocolError code, std::string_view detail);
+
+/// Renders the end-of-response marker for an identified request that
+/// produced `n` reply lines.
+std::string end_reply(std::string_view id, std::size_t n);
 
 }  // namespace ropus::serve

@@ -1,0 +1,356 @@
+#include "serve/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ostream>
+#include <vector>
+
+#include "common/error.h"
+#include "common/signals.h"
+#include "obs/metrics.h"
+
+namespace ropus::serve {
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    fail_errno("cannot make socket non-blocking");
+  }
+}
+
+/// One accepted connection: buffered in both directions so the arbiter
+/// never waits on a peer.
+struct Conn {
+  int fd = -1;
+  std::string inbuf;
+  std::string outbuf;
+  double last_line = 0.0;      // monotonic time of connect / last full line
+  double last_progress = 0.0;  // last time outbuf drained (or was empty)
+  bool eof = false;            // peer half-closed; drain inbuf then flush
+  bool close_after_flush = false;
+};
+
+/// Best-effort flush of buffered output. Returns false when the socket is
+/// dead (peer reset); EAGAIN just leaves the rest for the next POLLOUT.
+bool flush_conn(Conn& c, double now) {
+  while (!c.outbuf.empty()) {
+    const ssize_t n =
+        ::send(c.fd, c.outbuf.data(), c.outbuf.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      c.outbuf.erase(0, static_cast<std::size_t>(n));
+      c.last_progress = now;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;
+  }
+  c.last_progress = now;
+  return true;
+}
+
+}  // namespace
+
+void TransportOptions::validate() const {
+  ROPUS_REQUIRE(max_connections >= 1, "need at least one connection slot");
+  ROPUS_REQUIRE(read_timeout_s >= 0.0, "read timeout must be >= 0");
+  ROPUS_REQUIRE(write_timeout_s >= 0.0, "write timeout must be >= 0");
+  ROPUS_REQUIRE(max_output_bytes >= 256,
+                "output buffer cap must hold at least one error reply");
+  if (!unix_path.empty()) {
+    sockaddr_un probe{};
+    ROPUS_REQUIRE(unix_path.size() < sizeof(probe.sun_path),
+                  "unix socket path is too long");
+  } else {
+    ROPUS_REQUIRE(port >= 0 && port <= 65535, "port must be 0..65535");
+    ROPUS_REQUIRE(!host.empty(), "tcp transport needs a bind host");
+  }
+}
+
+SocketServer::SocketServer(const ServeConfig& config,
+                           const DaemonOptions& options,
+                           const TransportOptions& transport)
+    : core_(config, options), transport_(transport) {
+  transport_.validate();
+  if (!transport_.unix_path.empty()) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) fail_errno("cannot create unix socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, transport_.unix_path.c_str(),
+                transport_.unix_path.size() + 1);
+    // A stale socket file from a crashed daemon would make bind fail with
+    // EADDRINUSE even though nobody is listening; replace it.
+    ::unlink(transport_.unix_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+        0) {
+      fail_errno("cannot bind " + transport_.unix_path);
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) fail_errno("cannot create tcp socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(transport_.port));
+    if (::inet_pton(AF_INET, transport_.host.c_str(), &addr.sin_addr) != 1) {
+      throw IoError("cannot parse bind host '" + transport_.host + "'");
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+        0) {
+      fail_errno("cannot bind " + transport_.host + ":" +
+                 std::to_string(transport_.port));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+        0) {
+      fail_errno("cannot read the bound port back");
+    }
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+  if (::listen(listen_fd_, 64) < 0) fail_errno("cannot listen");
+  set_nonblocking(listen_fd_);
+}
+
+SocketServer::~SocketServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (!transport_.unix_path.empty()) ::unlink(transport_.unix_path.c_str());
+}
+
+std::string SocketServer::address() const {
+  if (!transport_.unix_path.empty()) return "unix:" + transport_.unix_path;
+  return "tcp:" + transport_.host + ":" + std::to_string(port_);
+}
+
+int SocketServer::run(std::ostream& err) {
+  static obs::Counter& accepted = obs::counter("serve.transport.connections");
+  static obs::Counter& refused = obs::counter("serve.transport.refused");
+  static obs::Counter& idle_drops =
+      obs::counter("serve.transport.read_timeouts");
+  static obs::Counter& stall_drops =
+      obs::counter("serve.transport.write_timeouts");
+  static obs::Counter& sheds = obs::counter("serve.transport.overload_sheds");
+  static obs::Counter& lines = obs::counter("serve.transport.lines");
+
+  const RecoveryReport& recovery = core_.recovery();
+  if (recovery.torn_tail) {
+    err << "serve: journal had a torn tail; truncated to "
+        << recovery.journal_entries << " entries\n";
+  }
+  if (!recovery.checkpoint_error.empty()) {
+    err << "serve: checkpoint unused (" << recovery.checkpoint_error << ")\n";
+  }
+  err << "serve: listening on " << address() << '\n' << std::flush;
+
+  const std::string greeting = core_.ready_line() + "\n";
+  std::vector<Conn> conns;
+  bool draining = false;
+  double drain_deadline = 0.0;
+  int exit_code = 0;
+
+  const auto close_conn = [&](std::size_t i) {
+    ::close(conns[i].fd);
+    conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+  };
+
+  for (;;) {
+    const double now = obs::monotonic_seconds();
+    if ((signals::termination_requested() ||
+         stop_.load(std::memory_order_relaxed)) &&
+        !draining) {
+      exit_code = 130;
+      break;
+    }
+    if (draining) {
+      bool pending = false;
+      for (const Conn& c : conns) pending = pending || !c.outbuf.empty();
+      if (!pending || now > drain_deadline) break;
+    }
+
+    // Connections accepted below are appended after this point; the walk
+    // must only touch the prefix that has a matching pollfd entry.
+    const std::size_t polled = conns.size();
+    std::vector<pollfd> fds;
+    fds.reserve(polled + 1);
+    if (!draining) fds.push_back({listen_fd_, POLLIN, 0});
+    for (const Conn& c : conns) {
+      short events = 0;
+      if (!c.eof && !c.close_after_flush && !draining) events |= POLLIN;
+      if (!c.outbuf.empty()) events |= POLLOUT;
+      fds.push_back({c.fd, events, 0});
+    }
+    const int rc = ::poll(fds.data(), fds.size(), 50);
+    if (rc < 0 && errno != EINTR) fail_errno("poll failed");
+
+    std::size_t fd_index = 0;
+    if (!draining) {
+      // New connections: greet with the ready line, or refuse over the cap.
+      if ((fds[0].revents & POLLIN) != 0) {
+        for (;;) {
+          const int fd = ::accept(listen_fd_, nullptr, nullptr);
+          if (fd < 0) break;
+          if (conns.size() >= transport_.max_connections) {
+            const std::string msg =
+                error_reply(ProtocolError::kOverload,
+                            "connection limit reached") +
+                "\n";
+            (void)::send(fd, msg.data(), msg.size(), MSG_NOSIGNAL);
+            ::close(fd);
+            refused.add();
+            continue;
+          }
+          set_nonblocking(fd);
+          Conn c;
+          c.fd = fd;
+          c.outbuf = greeting;
+          c.last_line = now;
+          c.last_progress = now;
+          conns.push_back(std::move(c));
+          accepted.add();
+        }
+      }
+      fd_index = 1;
+    }
+
+    // Walk backwards so close_conn's erase cannot skip a neighbour. Only
+    // the polled prefix: conns accepted this iteration have no pollfd yet
+    // (their greeting goes out on the next POLLOUT).
+    for (std::size_t k = polled; k-- > 0;) {
+      Conn& c = conns[k];
+      const short revents = fds[fd_index + k].revents;
+      bool dead = (revents & (POLLERR | POLLNVAL)) != 0;
+
+      if (!dead && (revents & (POLLIN | POLLHUP)) != 0 && !c.eof) {
+        char buf[4096];
+        for (;;) {
+          const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+          if (n > 0) {
+            c.inbuf.append(buf, static_cast<std::size_t>(n));
+            // The line bound also bounds memory: a peer spraying bytes
+            // without a newline is cut off, not buffered forever.
+            if (c.inbuf.find('\n') == std::string::npos &&
+                c.inbuf.size() > core_.options().max_line_bytes) {
+              c.outbuf += error_reply(
+                  ProtocolError::kLineTooLong,
+                  "request exceeded " +
+                      std::to_string(core_.options().max_line_bytes) +
+                      " bytes without a newline");
+              c.outbuf += '\n';
+              c.close_after_flush = true;
+              break;
+            }
+            continue;
+          }
+          if (n == 0) {
+            c.eof = true;
+            break;
+          }
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          dead = true;
+          break;
+        }
+      }
+
+      // Parse and serve every complete line buffered so far.
+      std::size_t nl = std::string::npos;
+      while (!dead && !c.close_after_flush && !draining &&
+             (nl = c.inbuf.find('\n')) != std::string::npos) {
+        std::string line = c.inbuf.substr(0, nl);
+        c.inbuf.erase(0, nl + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        c.last_line = now;
+        lines.add();
+        if (c.outbuf.size() > transport_.max_output_bytes) {
+          // The peer is not reading its replies; shed instead of letting
+          // the buffer (and the arbiter's latency) grow without bound.
+          c.outbuf += error_reply(ProtocolError::kOverload,
+                                  "connection output buffer is full; drain "
+                                  "replies before sending more");
+          c.outbuf += '\n';
+          sheds.add();
+          continue;
+        }
+        const bool shed =
+            should_shed(c.outbuf.size(), transport_.max_output_bytes,
+                        core_.last_tick_ms(),
+                        core_.options().tick_deadline_ms);
+        const DaemonCore::Result result = core_.process_line(line, shed);
+        for (const std::string& reply : result.replies) {
+          c.outbuf += reply;
+          c.outbuf += '\n';
+        }
+        if (result.shutdown) {
+          // Mirror the stdio drain: final checkpoint, then the summary —
+          // sent to the requester; every connection is then flushed and
+          // closed.
+          if (core_.checkpoint_now()) {
+            err << "serve: final checkpoint at slot "
+                << core_.arbiter().next_slot() << '\n';
+          }
+          c.outbuf += core_.arbiter().summary();
+          c.outbuf += '\n';
+          draining = true;
+          drain_deadline =
+              now + (transport_.write_timeout_s > 0.0
+                         ? transport_.write_timeout_s
+                         : 5.0);
+          for (Conn& other : conns) other.close_after_flush = true;
+          break;
+        }
+      }
+
+      if (!dead && (!c.outbuf.empty() || c.eof || c.close_after_flush)) {
+        dead = !flush_conn(c, now);
+      }
+      if (!dead && transport_.write_timeout_s > 0.0 && !c.outbuf.empty() &&
+          now - c.last_progress > transport_.write_timeout_s) {
+        stall_drops.add();
+        dead = true;
+      }
+      if (!dead && !draining && transport_.read_timeout_s > 0.0 && !c.eof &&
+          now - c.last_line > transport_.read_timeout_s) {
+        idle_drops.add();
+        dead = true;
+      }
+      if (dead ||
+          ((c.eof || c.close_after_flush) && c.outbuf.empty() && !draining)) {
+        close_conn(k);
+      }
+    }
+  }
+
+  for (Conn& c : conns) ::close(c.fd);
+  conns.clear();
+  if (exit_code == 130) {
+    // Signal path: persist and note, like the stdio loop; there is no
+    // single peer to hand the summary to.
+    if (core_.checkpoint_now()) {
+      err << "serve: final checkpoint at slot " << core_.arbiter().next_slot()
+          << '\n';
+    }
+  }
+  err << "serve: "
+      << (exit_code == 130 ? "terminated by signal" : "drained") << " after "
+      << core_.arbiter().next_slot() << " slots, " << core_.arbiter().app_count()
+      << " apps\n"
+      << std::flush;
+  return exit_code;
+}
+
+}  // namespace ropus::serve

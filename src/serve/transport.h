@@ -1,0 +1,97 @@
+// Socket transport for the serve daemon: a poll()-based, single-threaded
+// NDJSON server over a Unix-domain or loopback TCP socket, driving the
+// same DaemonCore as the stdio loop — identical framing, identical
+// verdict bytes, identical journal.
+//
+// Fault posture (the reason this is not just "stdio over a socket"):
+//  * the arbiter is never blocked on a peer: writes are buffered
+//    per-connection and flushed when the socket drains; a connection whose
+//    buffered output exceeds the cap gets a typed `overload` error for
+//    further requests instead of stalling the daemon (backpressure by
+//    shedding, not by blocking);
+//  * a peer that stops reading (write timeout) or dribbles bytes without
+//    completing a line (idle-read timeout, the slowloris case) is
+//    disconnected; its journaled state survives, and a reconnecting client
+//    that retries with the same request id gets the original reply bytes
+//    back from the arbiter's id cache — a retried admit cannot double-admit;
+//  * a line that grows past max_line_bytes without a newline ends the
+//    connection after a line_too_long error: the stream cannot be resynced
+//    reliably mid-line;
+//  * connections beyond the cap are greeted with an overload error and
+//    closed.
+//
+// Every accepted connection is greeted with the daemon's "ready" line, so
+// clients learn the recovery mode and current slot before sending.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "serve/daemon.h"
+
+namespace ropus::serve {
+
+struct TransportOptions {
+  /// Unix-domain listen path; non-empty selects UDS (a stale socket file
+  /// left by a crashed daemon is replaced). Empty selects TCP.
+  std::string unix_path;
+  /// TCP bind address and port; port 0 binds an ephemeral port (read the
+  /// bound one back via SocketServer::port()).
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Accepted connections beyond this are refused with an overload error.
+  std::size_t max_connections = 64;
+  /// A connection with no complete request line for this long is dropped
+  /// (slowloris defense). 0 disables.
+  double read_timeout_s = 30.0;
+  /// Buffered output making no progress toward the peer for this long
+  /// drops the connection. 0 disables.
+  double write_timeout_s = 30.0;
+  /// Per-connection buffered-output cap: above it, further requests from
+  /// that connection are answered with `overload` instead of processed.
+  std::size_t max_output_bytes = 1 << 20;
+
+  void validate() const;
+};
+
+/// Binds and listens on construction (throws IoError on failure); run()
+/// serves until a shutdown request or termination signal.
+class SocketServer {
+ public:
+  SocketServer(const ServeConfig& config, const DaemonOptions& options,
+               const TransportOptions& transport);
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// "unix:<path>" or "tcp:<host>:<port>" with the actually-bound port.
+  std::string address() const;
+  /// Bound TCP port (the resolved one when options asked for port 0); 0
+  /// for a Unix-domain listener.
+  int port() const { return port_; }
+
+  const DaemonCore& core() const { return core_; }
+
+  /// Serves until a shutdown request (returns 0) or a termination signal
+  /// (returns 130). Operational notes go to `err`. The drain mirrors the
+  /// stdio loop: final checkpoint, then the summary line — delivered to
+  /// the connection that requested the shutdown. Throws IoError on
+  /// unrecoverable persistence failures.
+  int run(std::ostream& err);
+
+  /// Asks a run() in progress (typically on another thread) to stop as if
+  /// a termination signal had arrived: final checkpoint, exit code 130.
+  /// Safe to call from any thread.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+ private:
+  DaemonCore core_;
+  TransportOptions transport_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace ropus::serve

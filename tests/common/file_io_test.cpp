@@ -78,5 +78,33 @@ TEST_F(FileIoTest, MissingDirectoryThrowsIoErrorWithoutDebris) {
   EXPECT_FALSE(fs::exists(target));
 }
 
+// Durability is a call-path property: the data must be fsynced before the
+// rename, and the parent directory after it, or a power cut can leave a
+// renamed-but-empty file (data loss the content checks above can never
+// see). The stats counters are the observable proxy for those calls.
+TEST_F(FileIoTest, EveryAtomicWriteFsyncsFileAndParentDirectory) {
+  const FsyncStats before = fsync_stats();
+  write_file_atomic(dir_ / "a.txt", "payload");
+  const FsyncStats after_one = fsync_stats();
+  EXPECT_EQ(after_one.file_fsyncs, before.file_fsyncs + 1);
+  EXPECT_EQ(after_one.dir_fsyncs, before.dir_fsyncs + 1);
+
+  write_file_atomic(dir_ / "a.txt", "replacement");
+  write_file_atomic(dir_ / "b.txt", "second file");
+  const FsyncStats after_three = fsync_stats();
+  EXPECT_EQ(after_three.file_fsyncs, before.file_fsyncs + 3);
+  EXPECT_EQ(after_three.dir_fsyncs, before.dir_fsyncs + 3);
+}
+
+TEST_F(FileIoTest, FailedWriteFsyncsNothingExtra) {
+  const FsyncStats before = fsync_stats();
+  EXPECT_THROW(write_file_atomic(dir_ / "missing" / "x.txt", "x"), IoError);
+  const FsyncStats after = fsync_stats();
+  // The open fails before any data reaches a descriptor; neither counter
+  // may move, or the stats would overstate durability.
+  EXPECT_EQ(after.file_fsyncs, before.file_fsyncs);
+  EXPECT_EQ(after.dir_fsyncs, before.dir_fsyncs);
+}
+
 }  // namespace
 }  // namespace ropus::io

@@ -241,6 +241,160 @@ TEST(ArbiterTick, ForwardGapFilledAsMissingTelemetry) {
   EXPECT_EQ(arbiter.next_slot(), 4u);
 }
 
+TEST(ArbiterDepart, ReleasesCapacityForFutureAdmissions) {
+  ServeConfig config = small_config();
+  config.servers = 1;
+  config.server_cpus = 4.0;
+  Arbiter arbiter(config);
+  // Self-calibrating: admit identical apps until the pool refuses one, so
+  // the test does not hard-code the translation's per-app allocation.
+  const std::vector<double> profile(kWeekSlots, 1.2);
+  std::size_t fitted = 0;
+  for (; fitted < 16; ++fitted) {
+    const json::Value v = json::parse(
+        drive(arbiter,
+              admit_line("app" + std::to_string(fitted), profile))[0]);
+    if (v.at("decision").as_string() == "rejected") break;
+  }
+  ASSERT_GT(fitted, 0u);   // at least one fits
+  ASSERT_LT(fitted, 16u);  // the pool is finite
+  EXPECT_EQ(arbiter.app_count(), fitted);
+
+  bool changed = false;
+  const std::vector<std::string> replies =
+      drive(arbiter, R"({"type":"depart","app":"app0"})", &changed);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(changed);
+  const json::Value departure = json::parse(replies[0]);
+  EXPECT_EQ(departure.at("type").as_string(), "departure");
+  EXPECT_EQ(departure.at("app").as_string(), "app0");
+  EXPECT_GT(departure.at("released_peak").as_number(), 0.0);
+  EXPECT_EQ(departure.find("evicted"), nullptr);
+  EXPECT_EQ(arbiter.app_count(), fitted - 1);
+  EXPECT_EQ(arbiter.departed_count(), 1u);
+
+  // The released capacity is immediately admittable again: the admission
+  // that was just refused now succeeds.
+  const json::Value retry = json::parse(drive(
+      arbiter, admit_line("app" + std::to_string(fitted), profile))[0]);
+  EXPECT_EQ(retry.at("decision").as_string(), "accepted");
+  EXPECT_EQ(arbiter.app_count(), fitted);
+}
+
+TEST(ArbiterDepart, EvictFlagsTheReplyAndUnknownAppIsRejected) {
+  Arbiter arbiter(small_config());
+  drive(arbiter, admit_line("web", std::vector<double>(kWeekSlots, 1.0)));
+  const json::Value v = json::parse(
+      drive(arbiter, R"({"type":"evict","app":"web"})")[0]);
+  EXPECT_EQ(v.at("type").as_string(), "departure");
+  EXPECT_TRUE(v.at("evicted").as_bool());
+  EXPECT_EQ(arbiter.app_count(), 0u);
+
+  EXPECT_EQ(rejection_code(arbiter, R"({"type":"depart","app":"web"})"),
+            ProtocolError::kUnknownApp);
+  EXPECT_EQ(arbiter.departed_count(), 1u);
+}
+
+TEST(ArbiterDepart, DepartedAppIdsAreNeverReused) {
+  // The watchdog keys per-app accumulators by numeric id; a reused id
+  // would silently inherit a stranger's alert history. Departure + a new
+  // admission must therefore mint a fresh id.
+  Arbiter arbiter(small_config());
+  drive(arbiter, admit_line("a", std::vector<double>(kWeekSlots, 1.0)));
+  drive(arbiter, admit_line("b", std::vector<double>(kWeekSlots, 1.0)));
+  drive(arbiter, R"({"type":"depart","app":"a"})");
+  drive(arbiter, admit_line("c", std::vector<double>(kWeekSlots, 1.0)));
+
+  json::Writer w;
+  arbiter.save_state(w);
+  const json::Value state = json::parse(w.str());
+  const auto& apps = state.at("apps").as_array();
+  ASSERT_EQ(apps.size(), 2u);
+  EXPECT_EQ(apps[0].at("name").as_string(), "b");
+  EXPECT_EQ(apps[0].at("id").as_number(), 1.0);
+  EXPECT_EQ(apps[1].at("name").as_string(), "c");
+  EXPECT_EQ(apps[1].at("id").as_number(), 2.0);  // not a's freed 0
+}
+
+TEST(ArbiterDepart, TickAfterDepartureJudgesOnlySurvivors) {
+  Arbiter arbiter(small_config());
+  drive(arbiter, admit_line("web", std::vector<double>(kWeekSlots, 1.0)));
+  drive(arbiter, admit_line("db", std::vector<double>(kWeekSlots, 2.0)));
+  drive(arbiter, tick_line(0, R"({"web":1.0,"db":2.0})"));
+  drive(arbiter, R"({"type":"depart","app":"web"})");
+  const json::Value v = json::parse(
+      drive(arbiter, tick_line(1, R"({"web":1.0,"db":2.0})"))[0]);
+  const auto& apps = v.at("apps").as_array();
+  ASSERT_EQ(apps.size(), 1u);
+  EXPECT_EQ(apps[0].at("app").as_string(), "db");
+  // The departed app's reading now counts as unknown.
+  EXPECT_EQ(v.at("unknown_apps").as_number(), 1.0);
+}
+
+TEST(ArbiterIdCache, RetriedIdReturnsOriginalBytesWithoutReapplying) {
+  Arbiter arbiter(small_config());
+  const std::string admit =
+      R"({"type":"admit","id":"r1","app":"web","profile":[)" +
+      [] {
+        std::string p = "1.0";
+        for (std::size_t i = 1; i < kWeekSlots; ++i) p += ",1.0";
+        return p;
+      }() +
+      "]}";
+  const std::vector<std::string> first = drive(arbiter, admit);
+  bool changed = true;
+  const std::vector<std::string> replay = drive(arbiter, admit, &changed);
+  EXPECT_EQ(first, replay);
+  EXPECT_FALSE(changed);  // a cache hit must not be re-journaled
+  EXPECT_EQ(arbiter.app_count(), 1u);
+
+  // Ticks cache too: a retried tick id re-emits even after the slot moved
+  // past the single-slot duplicate window.
+  const std::vector<std::string> t0 = drive(
+      arbiter, R"({"type":"tick","id":"t0","slot":0,"demand":{"web":1.0}})");
+  drive(arbiter, tick_line(1, R"({"web":1.0})"));
+  drive(arbiter, tick_line(2, R"({"web":1.0})"));
+  EXPECT_EQ(drive(arbiter,
+                  R"({"type":"tick","id":"t0","slot":0,"demand":{"web":1.0}})"),
+            t0);
+  EXPECT_EQ(arbiter.next_slot(), 3u);
+}
+
+TEST(ArbiterIdCache, CacheIsBoundedFifo) {
+  Arbiter arbiter(small_config());
+  drive(arbiter, admit_line("web", std::vector<double>(kWeekSlots, 1.0)));
+  const std::string first_id_line =
+      R"({"type":"tick","id":"tick-0","slot":0,"demand":{"web":1.0}})";
+  drive(arbiter, first_id_line);
+  // Push kIdCacheCapacity more identified ticks: "tick-0" falls out.
+  for (std::size_t i = 1; i <= Arbiter::kIdCacheCapacity; ++i) {
+    drive(arbiter, R"({"type":"tick","id":"tick-)" + std::to_string(i) +
+                       R"(","slot":)" + std::to_string(i) +
+                       R"(,"demand":{"web":1.0}})");
+  }
+  // The evicted id is no longer answered from the cache; the slot is stale
+  // now, so the arbiter rejects instead of replaying — proving the miss.
+  EXPECT_EQ(rejection_code(arbiter, first_id_line), ProtocolError::kStaleSlot);
+}
+
+TEST(ArbiterIdCache, SurvivesSaveLoad) {
+  const ServeConfig config = small_config();
+  Arbiter original(config);
+  drive(original, admit_line("web", std::vector<double>(kWeekSlots, 1.0)));
+  const std::string line =
+      R"({"type":"tick","id":"t0","slot":0,"demand":{"web":1.3}})";
+  const std::vector<std::string> replies = drive(original, line);
+  drive(original, tick_line(1, R"({"web":1.0})"));
+
+  json::Writer w;
+  original.save_state(w);
+  Arbiter restored(config);
+  restored.load_state(json::parse(w.str()));
+  bool changed = true;
+  EXPECT_EQ(drive(restored, line, &changed), replies);
+  EXPECT_FALSE(changed);
+}
+
 TEST(ArbiterState, SaveLoadReproducesVerdictBytes) {
   const ServeConfig config = small_config();
   Arbiter original(config);

@@ -222,16 +222,119 @@ TEST_F(CheckpointTest, CorruptCheckpointRefusedWithoutTouchingState) {
   EXPECT_EQ(victim.next_slot(), 0u);
   EXPECT_EQ(victim.app_count(), 0u);
 
-  // Garbage header.
+  // Garbage header: the magic matches but the length/CRC lie.
   fs::remove(path);
-  append_raw(path, "ROPUS-CHECKPOINT v1 len=999 crc=deadbeef\n{\"garbage\":");
+  append_raw(path, "ROPUS-CHECKPOINT v2 len=999 crc=deadbeef\n{\"garbage\":");
   load = load_checkpoint(path, victim);
   EXPECT_FALSE(load.ok);
+
+  // A v1-era checkpoint predates the app-id/id-cache state and must be
+  // refused at the magic, not half-parsed.
+  fs::remove(path);
+  append_raw(path, "ROPUS-CHECKPOINT v1 len=2 crc=00000000\n{}");
+  load = load_checkpoint(path, victim);
+  EXPECT_FALSE(load.ok);
+  EXPECT_NE(load.error.find("magic"), std::string::npos);
 
   // Missing file.
   load = load_checkpoint((dir_ / "absent.ckpt").string(), victim);
   EXPECT_FALSE(load.ok);
   EXPECT_EQ(victim.next_slot(), 0u);
+}
+
+TEST_F(CheckpointTest, CompactDropsFramesButKeepsTheEntryCount) {
+  const std::string path = (dir_ / "compact.journal").string();
+  Journal journal(path, 0, 0);
+  journal.append("one");
+  journal.append("two");
+  journal.append("three");
+  const std::uint64_t before = fs::file_size(path);
+
+  const std::uint64_t reclaimed = journal.compact();
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_EQ(journal.entries(), 3u);  // compacted entries still count
+  EXPECT_LT(fs::file_size(path), before);
+  EXPECT_EQ(journal.bytes(), fs::file_size(path));
+
+  Journal::Recovered r = Journal::recover(path);
+  EXPECT_EQ(r.base, 3u);
+  EXPECT_TRUE(r.lines.empty());
+  EXPECT_EQ(r.entries(), 3u);
+  EXPECT_FALSE(r.torn_tail);
+
+  // The journal keeps accepting frames after its header.
+  journal.append("four");
+  journal.append("five");
+  EXPECT_EQ(journal.entries(), 5u);
+  r = Journal::recover(path);
+  EXPECT_EQ(r.base, 3u);
+  EXPECT_EQ(r.lines, (std::vector<std::string>{"four", "five"}));
+  EXPECT_EQ(r.entries(), 5u);
+}
+
+TEST_F(CheckpointTest, CompactedJournalReopensWithItsBase) {
+  const std::string path = (dir_ / "reopen.journal").string();
+  {
+    Journal journal(path, 0, 0);
+    journal.append("a");
+    journal.append("b");
+    journal.compact();
+    journal.append("c");
+  }
+  Journal::Recovered r = Journal::recover(path);
+  ASSERT_EQ(r.base, 2u);
+  ASSERT_EQ(r.lines, (std::vector<std::string>{"c"}));
+  {
+    Journal journal(path, r.valid_bytes, r.entries(), r.base);
+    EXPECT_EQ(journal.entries(), 3u);
+    journal.append("d");
+  }
+  r = Journal::recover(path);
+  EXPECT_EQ(r.base, 2u);
+  EXPECT_EQ(r.lines, (std::vector<std::string>{"c", "d"}));
+  EXPECT_EQ(r.entries(), 4u);
+}
+
+TEST_F(CheckpointTest, RepeatedCompactionAdvancesTheBase) {
+  const std::string path = (dir_ / "repeat.journal").string();
+  Journal journal(path, 0, 0);
+  journal.append("a");
+  journal.compact();
+  journal.append("b");
+  journal.append("c");
+  journal.compact();
+  const Journal::Recovered r = Journal::recover(path);
+  EXPECT_EQ(r.base, 3u);
+  EXPECT_TRUE(r.lines.empty());
+  // Steady state: the file holds exactly one header, nothing else.
+  EXPECT_EQ(fs::file_size(path), journal.bytes());
+}
+
+TEST_F(CheckpointTest, DamagedCompactionHeaderIsTornAtOffsetZero) {
+  const std::string path = (dir_ / "damaged.journal").string();
+  {
+    Journal journal(path, 0, 0);
+    journal.append("x");
+    journal.compact();
+  }
+  std::string bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(f), {});
+  }
+  // Corrupt the base digits: the header CRC no longer matches, so the
+  // whole file is untrusted (base unknown = nothing is replayable).
+  const std::size_t pos = bytes.find("base=");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos + 5] = '9';
+  fs::remove(path);
+  append_raw(path, bytes);
+
+  const Journal::Recovered r = Journal::recover(path);
+  EXPECT_EQ(r.base, 0u);
+  EXPECT_TRUE(r.lines.empty());
+  EXPECT_TRUE(r.torn_tail);
+  EXPECT_EQ(r.valid_bytes, 0u);
 }
 
 TEST_F(CheckpointTest, CheckpointOverwriteIsAtomicReplacement) {

@@ -115,6 +115,59 @@ TEST(ParseMessage, AdmitFieldValidation) {
             ProtocolError::kBadValue);
 }
 
+TEST(ParseMessage, DepartAndEvict) {
+  const Message depart = parse_message(R"({"type":"depart","app":"web"})");
+  ASSERT_EQ(depart.type, MessageType::kDepart);
+  EXPECT_EQ(depart.depart.app, "web");
+  EXPECT_FALSE(depart.depart.evict);
+
+  const Message evict = parse_message(R"({"type":"evict","app":"db"})");
+  ASSERT_EQ(evict.type, MessageType::kEvict);
+  EXPECT_EQ(evict.depart.app, "db");
+  EXPECT_TRUE(evict.depart.evict);
+
+  EXPECT_EQ(code_of(R"({"type":"depart"})"), ProtocolError::kMissingField);
+  EXPECT_EQ(code_of(R"({"type":"depart","app":""})"),
+            ProtocolError::kBadValue);
+  EXPECT_EQ(code_of(R"({"type":"evict","app":7})"), ProtocolError::kBadValue);
+}
+
+TEST(ParseMessage, RequestIdOnEveryType) {
+  EXPECT_EQ(parse_message(R"({"type":"tick","id":"t-1","slot":0,"demand":{}})")
+                .id,
+            "t-1");
+  EXPECT_EQ(
+      parse_message(R"({"type":"admit","id":"a1","app":"x","profile":[1]})")
+          .id,
+      "a1");
+  EXPECT_EQ(parse_message(R"({"type":"depart","id":"d1","app":"x"})").id,
+            "d1");
+  EXPECT_EQ(parse_message(R"({"type":"checkpoint","id":"c1"})").id, "c1");
+  // Absent id means none.
+  EXPECT_TRUE(parse_message(R"({"type":"shutdown"})").id.empty());
+}
+
+TEST(ParseMessage, RequestIdValidation) {
+  EXPECT_EQ(code_of(R"({"type":"checkpoint","id":7})"),
+            ProtocolError::kBadValue);
+  // An empty id would be indistinguishable from "no id" on the reply
+  // path, so it is rejected rather than silently dropped.
+  EXPECT_EQ(code_of(R"({"type":"checkpoint","id":""})"),
+            ProtocolError::kBadValue);
+  const std::string long_id(129, 'x');
+  EXPECT_EQ(code_of(R"({"type":"checkpoint","id":")" + long_id + R"("})"),
+            ProtocolError::kBadValue);
+  const std::string max_id(128, 'x');
+  EXPECT_EQ(
+      parse_message(R"({"type":"checkpoint","id":")" + max_id + R"("})").id,
+      max_id);
+}
+
+TEST(EndReply, FramesIdentifiedResponses) {
+  EXPECT_EQ(end_reply("t-1", 3), R"({"type":"end","id":"t-1","n":3})");
+  EXPECT_EQ(end_reply("a\"b", 0), R"({"type":"end","id":"a\"b","n":0})");
+}
+
 TEST(ErrorReply, RendersTypedLine) {
   EXPECT_EQ(error_reply(ProtocolError::kStaleSlot, "slot 3 already judged"),
             R"({"type":"error","code":"stale_slot","detail":"slot 3 already judged"})");

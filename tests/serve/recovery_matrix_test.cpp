@@ -1,0 +1,289 @@
+// Recovery interleaving matrix: every crash point the persistence layer
+// can be killed at — after a journal append, after a snapshot, after the
+// compaction truncate, mid-truncate — crossed with every persistence
+// configuration (journal-only, checkpoint-only, both). Each cell is built
+// as the exact file state that crash leaves behind, recovered through
+// recover_state, and the survivor must continue byte-identically with an
+// undisturbed reference arbiter (or, where entries are legitimately lost,
+// match the documented loss).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "serve/checkpoint.h"
+#include "serve/daemon.h"
+
+namespace ropus::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kWeekSlots = 7 * 24;
+
+ServeConfig small_config() {
+  ServeConfig config;
+  config.minutes_per_sample = 60.0;
+  config.slots_per_day = 24;
+  config.servers = 2;
+  config.server_cpus = 8.0;
+  return config;
+}
+
+std::string admit_line(const std::string& app, double level) {
+  std::string profile = std::to_string(level);
+  for (std::size_t i = 1; i < kWeekSlots; ++i) {
+    profile += "," + std::to_string(level);
+  }
+  return R"({"type":"admit","app":")" + app + R"(","profile":[)" + profile +
+         "]}";
+}
+
+std::string tick_line(std::size_t slot, double web, double db) {
+  return R"({"type":"tick","slot":)" + std::to_string(slot) +
+         R"(,"demand":{"web":)" + std::to_string(web) + R"(,"db":)" +
+         std::to_string(db) + "}}";
+}
+
+/// The accepted-line script every cell replays a suffix of.
+std::vector<std::string> script() {
+  return {
+      admit_line("web", 1.5), admit_line("db", 2.0), tick_line(0, 1.2, 1.8),
+      tick_line(1, 1.9, 0.4), tick_line(2, 0.8, 2.2), tick_line(3, 1.1, 1.0),
+  };
+}
+
+Arbiter arbiter_at(const ServeConfig& config, std::size_t entries) {
+  Arbiter arbiter(config);
+  const std::vector<std::string> lines = script();
+  for (std::size_t i = 0; i < entries && i < lines.size(); ++i) {
+    arbiter.handle(parse_message(lines[i]));
+  }
+  return arbiter;
+}
+
+enum class Crash {
+  kAfterJournalAppend,  // all lines journaled; snapshot is older (entry 4)
+  kAfterSnapshot,       // snapshot covers everything; journal not compacted
+  kAfterTruncate,       // snapshot + compacted (header-only) journal
+  kMidTruncate,         // rename interrupted: old journal + tmp debris
+};
+
+enum class Mode { kJournalOnly, kCheckpointOnly, kBoth };
+
+struct Cell {
+  Crash crash;
+  Mode mode;
+};
+
+std::string cell_name(const ::testing::TestParamInfo<Cell>& info) {
+  std::string name;
+  switch (info.param.crash) {
+    case Crash::kAfterJournalAppend: name = "AfterJournalAppend"; break;
+    case Crash::kAfterSnapshot: name = "AfterSnapshot"; break;
+    case Crash::kAfterTruncate: name = "AfterTruncate"; break;
+    case Crash::kMidTruncate: name = "MidTruncate"; break;
+  }
+  switch (info.param.mode) {
+    case Mode::kJournalOnly: name += "_JournalOnly"; break;
+    case Mode::kCheckpointOnly: name += "_CheckpointOnly"; break;
+    case Mode::kBoth: name += "_Both"; break;
+  }
+  return name;
+}
+
+class RecoveryMatrixTest : public ::testing::TestWithParam<Cell> {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ropus_recovery_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  fs::path dir_;
+};
+
+TEST_P(RecoveryMatrixTest, SurvivorContinuesByteIdentically) {
+  const Cell cell = GetParam();
+  const ServeConfig config = small_config();
+  const std::vector<std::string> lines = script();
+
+  DaemonOptions options;
+  if (cell.mode != Mode::kCheckpointOnly) {
+    options.journal_path = dir_ / "state.journal";
+  }
+  if (cell.mode != Mode::kJournalOnly) {
+    options.checkpoint_path = dir_ / "state.ckpt";
+  }
+
+  // Lay down exactly the files the crash leaves behind.
+  if (!options.journal_path.empty()) {
+    Journal journal(options.journal_path, 0, 0);
+    for (const std::string& line : lines) journal.append(line);
+    if (!options.checkpoint_path.empty()) {
+      switch (cell.crash) {
+        case Crash::kAfterJournalAppend: {
+          // The snapshot predates the last two appends.
+          Arbiter old = arbiter_at(config, 4);
+          write_checkpoint(options.checkpoint_path, old, 4);
+          break;
+        }
+        case Crash::kAfterSnapshot:
+        case Crash::kMidTruncate: {
+          Arbiter full = arbiter_at(config, lines.size());
+          write_checkpoint(options.checkpoint_path, full, lines.size());
+          break;
+        }
+        case Crash::kAfterTruncate: {
+          Arbiter full = arbiter_at(config, lines.size());
+          write_checkpoint(options.checkpoint_path, full, lines.size());
+          journal.compact();
+          break;
+        }
+      }
+    }
+    if (cell.crash == Crash::kMidTruncate) {
+      // write_file_atomic stages a temp file and renames; dying between
+      // the two leaves the old journal plus staged debris. Recovery must
+      // read only the journal path and ignore the debris.
+      std::ofstream debris(dir_ / "state.journal.tmp.1234",
+                           std::ios::binary);
+      debris << "ROPUS-JOURNAL v2 00000000 base=999\n";
+    }
+  } else {
+    // Checkpoint-only: the snapshot is all there is; crashes around the
+    // (nonexistent) journal collapse to "snapshot present or not".
+    Arbiter full = arbiter_at(config, lines.size());
+    write_checkpoint(options.checkpoint_path, full, 0);
+  }
+
+  Arbiter survivor(config);
+  const RecoveryReport report = recover_state(config, options, survivor);
+
+  switch (cell.mode) {
+    case Mode::kJournalOnly:
+      EXPECT_EQ(report.mode, RecoveryMode::kJournalReplay);
+      EXPECT_EQ(report.replayed, lines.size());
+      break;
+    case Mode::kCheckpointOnly:
+      EXPECT_EQ(report.mode, RecoveryMode::kCheckpointOnly);
+      EXPECT_EQ(report.replayed, 0u);
+      break;
+    case Mode::kBoth:
+      EXPECT_EQ(report.mode, RecoveryMode::kCheckpointAndTail);
+      EXPECT_EQ(report.replayed,
+                cell.crash == Crash::kAfterJournalAppend ? 2u : 0u);
+      EXPECT_EQ(report.journal_base,
+                cell.crash == Crash::kAfterTruncate ? lines.size() : 0u);
+      break;
+  }
+  EXPECT_EQ(report.journal_entries,
+            cell.mode == Mode::kCheckpointOnly ? 0u : lines.size());
+  EXPECT_FALSE(report.torn_tail);
+  EXPECT_TRUE(report.checkpoint_error.empty()) << report.checkpoint_error;
+
+  // The survivor and an undisturbed reference answer the next slot with
+  // the same bytes — recovery is invisible downstream.
+  Arbiter reference = arbiter_at(config, lines.size());
+  EXPECT_EQ(survivor.summary(), reference.summary());
+  const Message next = parse_message(tick_line(4, 1.3, 1.3));
+  EXPECT_EQ(survivor.handle(next), reference.handle(next));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Interleavings, RecoveryMatrixTest,
+    ::testing::Values(
+        Cell{Crash::kAfterJournalAppend, Mode::kJournalOnly},
+        Cell{Crash::kAfterJournalAppend, Mode::kCheckpointOnly},
+        Cell{Crash::kAfterJournalAppend, Mode::kBoth},
+        Cell{Crash::kAfterSnapshot, Mode::kJournalOnly},
+        Cell{Crash::kAfterSnapshot, Mode::kCheckpointOnly},
+        Cell{Crash::kAfterSnapshot, Mode::kBoth},
+        Cell{Crash::kAfterTruncate, Mode::kJournalOnly},
+        Cell{Crash::kAfterTruncate, Mode::kCheckpointOnly},
+        Cell{Crash::kAfterTruncate, Mode::kBoth},
+        Cell{Crash::kMidTruncate, Mode::kJournalOnly},
+        Cell{Crash::kMidTruncate, Mode::kCheckpointOnly},
+        Cell{Crash::kMidTruncate, Mode::kBoth}),
+    cell_name);
+
+// The refusal half of the compaction contract: once entries have been
+// folded into a checkpoint and dropped from the journal, recovery without
+// that checkpoint must fail loudly — silently starting fresh would serve
+// wrong verdicts with a straight face.
+class CompactionRefusalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ropus_refusal_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+    options_.journal_path = dir_ / "state.journal";
+    options_.checkpoint_path = dir_ / "state.ckpt";
+    Journal journal(options_.journal_path, 0, 0);
+    for (const std::string& line : script()) journal.append(line);
+    Arbiter full = arbiter_at(small_config(), script().size());
+    write_checkpoint(options_.checkpoint_path, full, script().size());
+    journal.compact();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  fs::path dir_;
+  DaemonOptions options_;
+};
+
+TEST_F(CompactionRefusalTest, MissingCheckpointIsAnIoError) {
+  fs::remove(options_.checkpoint_path);
+  Arbiter survivor(small_config());
+  EXPECT_THROW(recover_state(small_config(), options_, survivor), IoError);
+}
+
+TEST_F(CompactionRefusalTest, CorruptCheckpointIsAnIoError) {
+  fs::resize_file(options_.checkpoint_path,
+                  fs::file_size(options_.checkpoint_path) / 2);
+  Arbiter survivor(small_config());
+  EXPECT_THROW(recover_state(small_config(), options_, survivor), IoError);
+}
+
+TEST_F(CompactionRefusalTest, NoCheckpointPathIsAnIoError) {
+  options_.checkpoint_path.clear();
+  Arbiter survivor(small_config());
+  EXPECT_THROW(recover_state(small_config(), options_, survivor), IoError);
+}
+
+TEST_F(CompactionRefusalTest, CheckpointBehindTheBaseIsAnIoError) {
+  // An operator restored an old checkpoint backup: it covers fewer entries
+  // than the compaction dropped, so the gap is in neither file.
+  Arbiter old = arbiter_at(small_config(), 2);
+  write_checkpoint(options_.checkpoint_path, old, 2);
+  Arbiter survivor(small_config());
+  EXPECT_THROW(recover_state(small_config(), options_, survivor), IoError);
+}
+
+TEST_F(CompactionRefusalTest, CoveringCheckpointRecoversCleanly) {
+  Arbiter survivor(small_config());
+  const RecoveryReport report =
+      recover_state(small_config(), options_, survivor);
+  EXPECT_EQ(report.mode, RecoveryMode::kCheckpointAndTail);
+  EXPECT_EQ(report.journal_base, script().size());
+  Arbiter reference = arbiter_at(small_config(), script().size());
+  EXPECT_EQ(survivor.summary(), reference.summary());
+}
+
+}  // namespace
+}  // namespace ropus::serve

@@ -1,0 +1,352 @@
+// Socket transport: round trips over UDS and TCP, the greeting, retry
+// idempotency across reconnects, and the fault ladder — slowloris
+// disconnects, oversized lines, the connection cap — none of which may
+// disturb the arbiter's journaled state.
+#include "serve/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <poll.h>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "serve/client.h"
+
+namespace ropus::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kWeekSlots = 7 * 24;
+
+ServeConfig small_config() {
+  ServeConfig config;
+  config.minutes_per_sample = 60.0;
+  config.slots_per_day = 24;
+  config.servers = 2;
+  config.server_cpus = 8.0;
+  return config;
+}
+
+std::string admit_line(const std::string& app, const std::string& id = "") {
+  std::string profile = "1.5";
+  for (std::size_t i = 1; i < kWeekSlots; ++i) profile += ",1.5";
+  std::string head = R"({"type":"admit",)";
+  if (!id.empty()) head += R"("id":")" + id + R"(",)";
+  return head + R"("app":")" + app + R"(","profile":[)" + profile + "]}";
+}
+
+std::string type_of(const std::string& reply) {
+  const json::Value v = json::parse(reply);
+  const json::Value* t = v.find("type");
+  return t != nullptr ? t->as_string() : "";
+}
+
+/// Raw blocking UDS client for the misbehaving-peer tests (Client is too
+/// well-behaved to send half a line).
+class RawConn {
+ public:
+  explicit RawConn(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+  void send(const std::string& data) {
+    (void)::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+  }
+  /// Next line, or "" on EOF/timeout.
+  std::string read_line(int timeout_ms = 3000) {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      pollfd p{fd_, POLLIN, 0};
+      if (::poll(&p, 1, timeout_ms) <= 0) return {};
+      char tmp[4096];
+      const ssize_t n = ::recv(fd_, tmp, sizeof tmp, 0);
+      if (n <= 0) return {};
+      buf_.append(tmp, static_cast<std::size_t>(n));
+    }
+  }
+  /// True when the peer closed (recv returns 0) within the timeout.
+  bool closed_by_peer(int timeout_ms = 3000) {
+    pollfd p{fd_, POLLIN, 0};
+    if (::poll(&p, 1, timeout_ms) <= 0) return false;
+    char tmp[256];
+    return ::recv(fd_, tmp, sizeof tmp, 0) == 0;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buf_;
+};
+
+class TransportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Keyed by pid, not just the gtest seed: ctest -j runs each test of
+    // this suite as its own process with the same seed, and a shared dir
+    // would let one test's remove_all unlink another's listening socket.
+    dir_ = fs::temp_directory_path() /
+           ("ropus_tp_" + std::to_string(::getpid()) + "_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+    fs::create_directories(dir_);
+    sock_ = (dir_ / (std::string(::testing::UnitTest::GetInstance()
+                                     ->current_test_info()
+                                     ->name())
+                         .substr(0, 24) +
+                     ".sock"))
+                .string();
+  }
+  void TearDown() override {
+    // A test that failed before its shutdown leaves the server running;
+    // stop it so the join cannot hang the whole suite.
+    if (server_thread_.joinable()) {
+      if (server_) server_->request_stop();
+      server_thread_.join();
+    }
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  /// Starts a UDS server on sock_ in a background thread; returns once it
+  /// accepts connections (bind happens in the constructor, so immediately).
+  void start(const DaemonOptions& options, TransportOptions transport) {
+    transport.unix_path = sock_;
+    server_ = std::make_unique<SocketServer>(small_config(), options,
+                                             transport);
+    server_thread_ = std::thread([this] { exit_code_ = server_->run(err_); });
+  }
+
+  void shutdown_and_join() {
+    ClientOptions copts;
+    copts.unix_path = sock_;
+    copts.deadline_s = 5.0;
+    Client client(copts);
+    client.transact(R"({"type":"shutdown"})");
+    // The summary is the stream's closing line, written after the end
+    // marker — transact() must not swallow it.
+    EXPECT_EQ(client.read_closing_line().substr(0, 17),
+              R"({"type":"summary")");
+    server_thread_.join();
+  }
+
+  fs::path dir_;
+  std::string sock_;
+  std::unique_ptr<SocketServer> server_;
+  std::thread server_thread_;
+  std::ostringstream err_;
+  int exit_code_ = -1;
+};
+
+TEST_F(TransportTest, UnixRoundTripWithGreetingAndFraming) {
+  start({}, {});
+  ClientOptions copts;
+  copts.unix_path = sock_;
+  copts.deadline_s = 5.0;
+  Client client(copts);
+
+  std::vector<std::string> replies = client.transact(admit_line("web"));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(type_of(replies[0]), "admission");
+  EXPECT_EQ(type_of(client.greeting()), "ready");
+
+  replies =
+      client.transact(R"({"type":"tick","slot":0,"demand":{"web":1.2}})");
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(type_of(replies[0]), "verdict");
+
+  // A forward gap fills missing slots: multi-line response, one end marker.
+  replies =
+      client.transact(R"({"type":"tick","slot":3,"demand":{"web":1.0}})");
+  EXPECT_EQ(replies.size(), 3u);
+
+  replies = client.transact(R"({"type":"depart","app":"web"})");
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(type_of(replies[0]), "departure");
+
+  shutdown_and_join();
+  EXPECT_EQ(exit_code_, 0);
+}
+
+TEST_F(TransportTest, TcpEphemeralPortRoundTrip) {
+  DaemonOptions options;
+  TransportOptions transport;  // unix_path empty -> TCP
+  SocketServer server(small_config(), options, transport);
+  EXPECT_GT(server.port(), 0);
+  EXPECT_EQ(server.address(),
+            "tcp:127.0.0.1:" + std::to_string(server.port()));
+  std::ostringstream err;
+  std::thread runner([&] { server.run(err); });
+
+  ClientOptions copts;
+  copts.port = server.port();
+  copts.deadline_s = 5.0;
+  Client client(copts);
+  const std::vector<std::string> replies = client.transact(admit_line("web"));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(type_of(replies[0]), "admission");
+  client.transact(R"({"type":"shutdown"})");
+  runner.join();
+}
+
+TEST_F(TransportTest, RetriedRequestIdNeverDoubleAdmits) {
+  start({}, {});
+  const std::string request = admit_line("web", "retry-1");
+
+  RawConn first(sock_);
+  ASSERT_TRUE(first.connected());
+  EXPECT_EQ(type_of(first.read_line()), "ready");
+  first.send(request + "\n");
+  const std::string original = first.read_line();
+  EXPECT_EQ(type_of(original), "admission");
+
+  // The client "lost" the reply: reconnect, resend the same id. The
+  // arbiter answers from its id cache with the original bytes — the app
+  // is admitted exactly once.
+  RawConn second(sock_);
+  ASSERT_TRUE(second.connected());
+  EXPECT_EQ(type_of(second.read_line()), "ready");
+  second.send(request + "\n");
+  const std::string replay = second.read_line();
+  EXPECT_EQ(replay, original);
+  EXPECT_EQ(type_of(second.read_line()), "end");
+
+  // A *different* id is a real duplicate admission and is refused.
+  second.send(admit_line("web", "retry-2") + "\n");
+  const std::string dup = second.read_line();
+  EXPECT_EQ(type_of(dup), "error");
+  EXPECT_NE(dup.find("duplicate_app"), std::string::npos);
+
+  shutdown_and_join();
+}
+
+TEST_F(TransportTest, SlowlorisConnectionIsDropped) {
+  TransportOptions transport;
+  transport.read_timeout_s = 0.2;
+  start({}, transport);
+
+  RawConn loris(sock_);
+  ASSERT_TRUE(loris.connected());
+  EXPECT_EQ(type_of(loris.read_line()), "ready");
+  loris.send(R"({"type":"tick","slo)");  // never finishes the line
+  EXPECT_TRUE(loris.closed_by_peer(3000));
+
+  // The daemon is still serving others.
+  RawConn healthy(sock_);
+  ASSERT_TRUE(healthy.connected());
+  EXPECT_EQ(type_of(healthy.read_line()), "ready");
+  shutdown_and_join();
+}
+
+TEST_F(TransportTest, OversizedLineGetsTypedErrorThenDisconnect) {
+  DaemonOptions options;
+  options.max_line_bytes = 128;
+  start(options, {});
+
+  RawConn conn(sock_);
+  ASSERT_TRUE(conn.connected());
+  EXPECT_EQ(type_of(conn.read_line()), "ready");
+  conn.send(std::string(1024, 'x'));  // no newline, over the bound
+  const std::string reply = conn.read_line();
+  EXPECT_EQ(type_of(reply), "error");
+  EXPECT_NE(reply.find("line_too_long"), std::string::npos);
+  EXPECT_TRUE(conn.closed_by_peer(3000));
+  shutdown_and_join();
+}
+
+TEST_F(TransportTest, ConnectionCapRefusesWithOverloadError) {
+  TransportOptions transport;
+  transport.max_connections = 1;
+  start({}, transport);
+
+  {
+    RawConn first(sock_);
+    ASSERT_TRUE(first.connected());
+    EXPECT_EQ(type_of(first.read_line()), "ready");
+
+    RawConn second(sock_);
+    ASSERT_TRUE(second.connected());
+    const std::string refusal = second.read_line();
+    EXPECT_EQ(type_of(refusal), "error");
+    EXPECT_NE(refusal.find("overload"), std::string::npos);
+    EXPECT_TRUE(second.closed_by_peer(3000));
+  }  // release the only slot so the shutdown client can connect
+
+  shutdown_and_join();
+}
+
+TEST_F(TransportTest, MalformedRequestWithIdIsStillFramed) {
+  start({}, {});
+  RawConn conn(sock_);
+  ASSERT_TRUE(conn.connected());
+  EXPECT_EQ(type_of(conn.read_line()), "ready");
+  conn.send(R"({"type":"nope","id":"q-7"})" "\n");
+  const std::string error = conn.read_line();
+  EXPECT_EQ(type_of(error), "error");
+  const std::string end = conn.read_line();
+  EXPECT_EQ(type_of(end), "end");
+  EXPECT_NE(end.find("q-7"), std::string::npos);
+  shutdown_and_join();
+}
+
+TEST_F(TransportTest, SocketStateSurvivesRestartViaJournal) {
+  DaemonOptions options;
+  options.journal_path = dir_ / "t.journal";
+  options.checkpoint_path = dir_ / "t.ckpt";
+  options.compact_journal = true;
+  start(options, {});
+  {
+    ClientOptions copts;
+    copts.unix_path = sock_;
+    copts.deadline_s = 5.0;
+    Client client(copts);
+    client.transact(admit_line("web"));
+    client.transact(R"({"type":"tick","slot":0,"demand":{"web":1.2}})");
+    client.transact(R"({"type":"shutdown"})");
+  }
+  server_thread_.join();
+  server_.reset();  // releases the socket path
+
+  // Restart on the same files: the shutdown checkpoint (+ compacted
+  // journal) restores the state, and the greeting says so. The recovered
+  // id cache still remembers the first client's ids, so this client needs
+  // its own prefix — reusing "cli-0" would replay the cached admission.
+  start(options, {});
+  ClientOptions copts;
+  copts.unix_path = sock_;
+  copts.deadline_s = 5.0;
+  copts.id_prefix = "second";
+  Client client(copts);
+  const std::vector<std::string> replies =
+      client.transact(R"({"type":"tick","slot":1,"demand":{"web":1.4}})");
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(type_of(replies[0]), "verdict");
+  const json::Value greeting = json::parse(client.greeting());
+  EXPECT_EQ(greeting.at("recovery").as_string(), "checkpoint+journal");
+  EXPECT_EQ(static_cast<int>(greeting.at("apps").as_number()), 1);
+  shutdown_and_join();
+}
+
+}  // namespace
+}  // namespace ropus::serve

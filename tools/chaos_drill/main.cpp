@@ -4,6 +4,18 @@
 // surviving verdict stream and the final summary are byte-identical to an
 // uninterrupted reference run of the same request script.
 //
+// Two campaigns:
+//  * stdio: the original pipe-driven drill (kills, checkpoint corruption,
+//    garbage, consumer stalls);
+//  * network (--net-ticks > 0): the same contract over a Unix-domain
+//    socket daemon with journal compaction on — mid-line disconnects,
+//    slowloris writers, duplicate retried request ids, kill -9 between
+//    snapshot and truncate (ROPUS_SERVE_CRASH), and pool departures; the
+//    reference run is the *stdio* transport, so the campaign also proves
+//    the two transports produce identical verdict bytes. The journal is
+//    sampled at every checkpoint interval and must stay bounded by two
+//    intervals' worth of frames.
+//
 // The drill is deterministic for a given --seed: the request script, the
 // kill points and the corruption sites all derive from one SplitMix64
 // stream. Exit 0 means every assertion held; any violation prints a
@@ -14,6 +26,8 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -24,6 +38,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -31,14 +46,28 @@
 
 #include "common/flags.h"
 #include "common/rng.h"
+#include "serve/checkpoint.h"
 
 namespace {
 
 namespace fs = std::filesystem;
 using ropus::SplitMix64;
 
+// Every live daemon subprocess, so fail() can kill them before exiting.
+// std::exit skips stack unwinding for frames above main's callees, and an
+// orphaned daemon inherits our stderr pipe — a caller reading it to EOF
+// (ctest, CI log capture) would then hang on a *failed* drill.
+std::vector<pid_t>& live_daemons() {
+  static std::vector<pid_t> pids;
+  return pids;
+}
+
 [[noreturn]] void fail(const std::string& message) {
   std::cerr << "chaos_drill: FAIL: " << message << "\n";
+  for (pid_t pid : live_daemons()) {
+    ::kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+  }
   std::exit(1);
 }
 
@@ -46,7 +75,8 @@ using ropus::SplitMix64;
 /// through to the drill's stderr so daemon diagnostics stay visible.
 class Daemon {
  public:
-  Daemon(const std::string& cli, const std::vector<std::string>& args) {
+  Daemon(const std::string& cli, const std::vector<std::string>& args,
+         const std::vector<std::string>& env = {}) {
     int to_child[2];
     int from_child[2];
     if (pipe(to_child) != 0 || pipe(from_child) != 0) {
@@ -61,6 +91,11 @@ class Daemon {
       close(to_child[1]);
       close(from_child[0]);
       close(from_child[1]);
+      for (const std::string& kv : env) {
+        // The string outlives execv (the child's copy of this vector);
+        // putenv keeps the pointer in environ, which execv passes on.
+        putenv(const_cast<char*>(kv.c_str()));
+      }
       std::vector<char*> argv;
       argv.push_back(const_cast<char*>(cli.c_str()));
       for (const std::string& a : args) {
@@ -75,6 +110,7 @@ class Daemon {
     close(from_child[1]);
     stdin_fd_ = to_child[1];
     stdout_fd_ = from_child[0];
+    live_daemons().push_back(pid_);
   }
 
   ~Daemon() {
@@ -141,6 +177,7 @@ class Daemon {
     int status = 0;
     if (pid_ > 0) {
       waitpid(pid_, &status, 0);
+      std::erase(live_daemons(), pid_);
       pid_ = -1;
     }
     if (stdin_fd_ >= 0) close(stdin_fd_);
@@ -260,6 +297,428 @@ struct DrillStats {
   std::size_t stalls = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Network campaign
+// ---------------------------------------------------------------------------
+
+/// Blocking Unix-domain client for the socket daemon. Unlike serve::Client
+/// it retries nothing on its own — the drill orchestrates every kill and
+/// resend itself so it can assert on the exact interleaving.
+class Sock {
+ public:
+  explicit Sock(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      close(fd_);
+      fd_ = -1;
+      return;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~Sock() {
+    if (fd_ >= 0) close(fd_);
+  }
+  Sock(const Sock&) = delete;
+  Sock& operator=(const Sock&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+
+  /// Best-effort raw send; a dead peer (EPIPE after a kill) is expected
+  /// chaos, not a drill failure.
+  void send_raw(const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// False on EOF (daemon died or dropped us); fails the drill on timeout.
+  bool try_recv_line(std::string& line, int timeout_ms = 15000) {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int pr = poll(&pfd, 1, timeout_ms);
+      if (pr == 0) fail("timed out waiting for a socket reply");
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        fail(std::string("poll: ") + std::strerror(errno));
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string recv_line() {
+    std::string line;
+    if (!try_recv_line(line)) fail("daemon closed the socket unexpectedly");
+    return line;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Splices `"id":"<id>",` into a request line right after the opening
+/// brace, like serve::Client does.
+std::string with_id(const std::string& line, const std::string& id) {
+  const std::size_t brace = line.find('{');
+  return line.substr(0, brace + 1) + "\"id\":\"" + id + "\"," +
+         line.substr(brace + 1);
+}
+
+/// One scripted request and the reply type it must produce.
+struct NetEvent {
+  std::string line;
+  const char* expect;
+};
+
+struct NetStats {
+  std::size_t kills = 0;
+  std::size_t crash_points = 0;  // ROPUS_SERVE_CRASH restarts
+  std::size_t midline = 0;       // disconnects halfway through a line
+  std::size_t lorises = 0;       // connections left dribbling
+  std::size_t duplicates = 0;    // same-id retries without a kill
+  std::size_t departures = 0;
+  std::size_t journal_peak = 0;  // max frames past the compaction base
+};
+
+int run_network_campaign(const std::string& cli, const fs::path& dir,
+                         std::size_t apps, std::size_t ticks,
+                         std::size_t kills, std::size_t interval,
+                         std::uint64_t seed) {
+  SplitMix64 rng(seed ^ 0xda3e39cb94b95bdbULL);
+  const auto uniform = [&rng](double lo, double hi) {
+    const double u =
+        static_cast<double>(rng.next() >> 11) / 9007199254740992.0;
+    return lo + (hi - lo) * u;
+  };
+  const std::size_t week_slots = 2016;
+  const auto admit_for = [&](const std::string& name) {
+    const double base = uniform(1.0, 3.0);
+    std::string line = "{\"type\":\"admit\",\"app\":\"" + name +
+                       "\",\"revenue\":" + double_str(uniform(0.5, 2.0)) +
+                       ",\"profile\":[";
+    for (std::size_t s = 0; s < week_slots; ++s) {
+      if (s != 0) line += ',';
+      line += double_str(base + uniform(0.0, 1.5));
+    }
+    line += "]}";
+    return line;
+  };
+
+  // ---- Script: admits, ticks, and seeded departures with replacement
+  // admissions — the pool churns but stays deterministic.
+  std::vector<std::string> names;
+  std::vector<NetEvent> events;
+  NetStats stats;
+  for (std::size_t a = 0; a < apps; ++a) {
+    names.push_back("app-" + std::to_string(a));
+    events.push_back({admit_for(names.back()), "admission"});
+  }
+  std::vector<char> departed(apps, 0);
+  std::size_t extra = 0;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    if (apps > 0 && ticks > 8 && t > 0 && t % (ticks / 4) == 0) {
+      const std::size_t victim = rng.next() % apps;
+      if (departed[victim] == 0) {
+        departed[victim] = 1;
+        const bool evict = rng.next() % 2 == 0;
+        events.push_back({std::string("{\"type\":\"") +
+                              (evict ? "evict" : "depart") + "\",\"app\":\"" +
+                              names[victim] + "\"}",
+                          "departure"});
+        events.push_back(
+            {admit_for("app-extra-" + std::to_string(extra++)), "admission"});
+        stats.departures += 1;
+      }
+    }
+    std::string line =
+        "{\"type\":\"tick\",\"slot\":" + std::to_string(t) + ",\"demand\":{";
+    bool first = true;
+    for (const std::string& name : names) {
+      const std::uint64_t r = rng.next();
+      if (r % 13 == 0) continue;
+      if (!first) line += ',';
+      first = false;
+      line += '"' + name + "\":";
+      line += r % 17 == 0 ? "null" : double_str(1.0 + uniform(0.0, 4.0));
+    }
+    line += "}}";
+    events.push_back({std::move(line), "verdict"});
+  }
+
+  // ---- Reference run over stdio: no faults, no persistence. Matching it
+  // byte for byte also proves transport equivalence.
+  std::vector<std::string> ref_replies;
+  std::string ref_summary;
+  {
+    Daemon daemon(cli, {"serve", "--queue=1024"});
+    if (type_of(daemon.recv()) != "ready") fail("net reference not ready");
+    for (const NetEvent& ev : events) {
+      daemon.send(ev.line);
+      const std::string reply = daemon.recv();
+      if (type_of(reply) != ev.expect) {
+        fail(std::string("net reference expected ") + ev.expect + ", got: " +
+             reply);
+      }
+      ref_replies.push_back(reply);
+    }
+    daemon.send("{\"type\":\"shutdown\"}");
+    ref_summary = daemon.recv();
+    if (type_of(ref_summary) != "summary") {
+      fail("net reference summary was: " + ref_summary);
+    }
+    daemon.close_stdin();
+    daemon.reap();
+  }
+
+  // ---- Chaos run over a Unix socket with journal compaction on.
+  const fs::path net_dir = dir / "net";
+  fs::create_directories(net_dir);
+  const std::string sock = (net_dir / "d.sock").string();
+  const fs::path journal = net_dir / "journal";
+  const auto start_daemon = [&](const char* crash_point) {
+    std::vector<std::string> env;
+    if (crash_point != nullptr) {
+      env.push_back(std::string("ROPUS_SERVE_CRASH=") + crash_point);
+    }
+    auto d = std::make_unique<Daemon>(
+        cli,
+        std::vector<std::string>{
+            "serve", "--socket=" + sock,
+            "--journal=" + journal.string(),
+            "--checkpoint=" + (net_dir / "ckpt").string(), "--compact=true",
+            "--checkpoint-every=" + std::to_string(interval),
+            "--read-timeout=30", "--write-timeout=30"},
+        env);
+    if (type_of(d->recv()) != "listening") fail("socket daemon not listening");
+    return d;
+  };
+  const auto connect_greet = [&]() {
+    auto s = std::make_unique<Sock>(sock);
+    if (!s->ok()) fail("cannot connect to " + sock);
+    if (type_of(s->recv_line()) != "ready") fail("socket greeting missing");
+    return s;
+  };
+  /// Replies until the end marker for `id` (the marker itself excluded);
+  /// nullopt when the connection died first.
+  const auto read_frame = [](Sock& s, const std::string& id)
+      -> std::optional<std::vector<std::string>> {
+    std::vector<std::string> replies;
+    for (;;) {
+      std::string line;
+      if (!s.try_recv_line(line)) return std::nullopt;
+      if (type_of(line) == "end" &&
+          line.find("\"id\":\"" + id + "\"") != std::string::npos) {
+        return replies;
+      }
+      replies.push_back(line);
+    }
+  };
+
+  auto daemon = start_daemon(nullptr);
+  auto conn = connect_greet();
+  std::vector<std::unique_ptr<Sock>> lorises;
+  static const char* kCrashPoints[] = {"after-checkpoint", "after-compact",
+                                       "after-journal-append"};
+
+  std::vector<char> kill_here(events.size(), 0);
+  for (std::size_t k = 0; k < kills && !events.empty(); ++k) {
+    kill_here[rng.next() % events.size()] = 1;
+  }
+
+  const auto check_journal_bound = [&]() {
+    const ropus::serve::Journal::Recovered r =
+        ropus::serve::Journal::recover(journal);
+    stats.journal_peak = std::max(stats.journal_peak, r.lines.size());
+    // One in-flight line may be mid-append while we sample; allow it on
+    // top of the two-interval bound.
+    if (r.lines.size() > 2 * interval + 1) {
+      fail("journal grew past its bound: " + std::to_string(r.lines.size()) +
+           " frames past base " + std::to_string(r.base) +
+           " (checkpoint interval " + std::to_string(interval) + ")");
+    }
+  };
+
+  std::size_t ticks_seen = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const NetEvent& ev = events[i];
+    const std::string id = "net-" + std::to_string(i);
+    const std::string wire = with_id(ev.line, id) + "\n";
+    const std::uint64_t die = rng.next();
+
+    if (die % 23 == 0) {
+      // Disconnect halfway through the line; the daemon must discard the
+      // fragment and the full resend below must apply exactly once.
+      auto half = connect_greet();
+      half->send_raw(wire.substr(0, wire.size() / 2));
+      half.reset();
+      stats.midline += 1;
+    }
+    if (die % 19 == 0) {
+      // A slowloris writer: dribbles a prefix and never finishes. It may
+      // not block the arbiter — if it did, every transaction below would
+      // time the drill out.
+      auto loris = connect_greet();
+      loris->send_raw("{\"ty");
+      lorises.push_back(std::move(loris));
+      stats.lorises += 1;
+    }
+
+    if (die % 29 == 0) {
+      // Restart into a crash-armed daemon: it will _Exit(137) at a chosen
+      // point inside the persistence path and must come back
+      // byte-identical.
+      const char* point = kCrashPoints[die % 3];
+      daemon->kill9();
+      daemon->reap();
+      conn.reset();
+      daemon = start_daemon(point);
+      conn = connect_greet();
+      stats.crash_points += 1;
+      if (std::string(point) != "after-journal-append") {
+        // An explicit checkpoint request dies between snapshot and
+        // truncate (after-checkpoint) or right after the truncate
+        // (after-compact); drain to EOF proves the death.
+        conn->send_raw(with_id("{\"type\":\"checkpoint\"}", id + "-ck") +
+                       "\n");
+        std::string ignored;
+        while (conn->try_recv_line(ignored, 15000)) {
+        }
+        daemon->reap();
+        conn.reset();
+        daemon = start_daemon(nullptr);
+        conn = connect_greet();
+      }
+      // after-journal-append stays armed: the next journaled append —
+      // usually this very event — kills the daemon mid-frame, and the
+      // dead-connection recovery below must replay the original bytes.
+    }
+
+    if (kill_here[i] != 0) {
+      conn->send_raw(wire);
+      std::optional<std::vector<std::string>> before;
+      if (die % 2 == 0) before = read_frame(*conn, id);
+      daemon->kill9();
+      daemon->reap();
+      conn.reset();
+      daemon = start_daemon(nullptr);
+      conn = connect_greet();
+      stats.kills += 1;
+      conn->send_raw(wire);
+      const auto replies = read_frame(*conn, id);
+      if (!replies.has_value()) fail("resend after kill lost its frame");
+      if (before.has_value() && *before != *replies) {
+        fail("retried id " + id + " got different bytes after the kill");
+      }
+      if (replies->size() != 1 || (*replies)[0] != ref_replies[i]) {
+        fail("event " + std::to_string(i) + " diverged after kill+resend");
+      }
+    } else {
+      conn->send_raw(wire);
+      auto replies = read_frame(*conn, id);
+      if (!replies.has_value()) {
+        // The daemon died underneath us (possible when a crash-point
+        // restart above consumed this event's journal append). Restart
+        // and resend — the id makes this safe.
+        daemon->reap();
+        conn.reset();
+        daemon = start_daemon(nullptr);
+        conn = connect_greet();
+        conn->send_raw(wire);
+        replies = read_frame(*conn, id);
+        if (!replies.has_value()) fail("frame lost twice for " + id);
+      }
+      if (replies->size() != 1 || (*replies)[0] != ref_replies[i]) {
+        fail("event " + std::to_string(i) + " diverged:\n  ref  : " +
+             ref_replies[i] + "\n  chaos: " +
+             (replies->empty() ? "<empty>" : (*replies)[0]));
+      }
+      if (die % 17 == 0) {
+        // Duplicate retry without a kill: a second connection resending
+        // the same id gets the cached bytes, not a second application.
+        auto dup = connect_greet();
+        dup->send_raw(wire);
+        const auto again = read_frame(*dup, id);
+        if (!again.has_value() || *again != *replies) {
+          fail("duplicate id " + id + " was not answered from the cache");
+        }
+        stats.duplicates += 1;
+      }
+    }
+
+    if (std::string(ev.expect) == "verdict") {
+      ticks_seen += 1;
+      if (ticks_seen % interval == 0) check_journal_bound();
+    }
+  }
+
+  // ---- Drain: summary arrives after the end frame, as the stream's
+  // closing line; it must match the undisturbed stdio reference.
+  conn->send_raw(with_id("{\"type\":\"shutdown\"}", "net-bye") + "\n");
+  const auto frame = read_frame(*conn, "net-bye");
+  if (!frame.has_value()) fail("shutdown frame lost");
+  const std::string chaos_summary = conn->recv_line();
+  if (chaos_summary != ref_summary) {
+    fail("net summary diverged:\n  ref  : " + ref_summary +
+         "\n  chaos: " + chaos_summary);
+  }
+  conn.reset();
+  lorises.clear();
+  const int status = daemon->reap();
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    fail("socket daemon did not exit cleanly after shutdown");
+  }
+
+  // The final compaction folded everything into the checkpoint.
+  const ropus::serve::Journal::Recovered final_state =
+      ropus::serve::Journal::recover(journal);
+  if (ticks >= interval && final_state.base == 0) {
+    fail("journal was never compacted despite --compact");
+  }
+  if (final_state.lines.size() > 2 * interval + 1) {
+    fail("journal not bounded after shutdown: " +
+         std::to_string(final_state.lines.size()) + " frames");
+  }
+
+  std::cout << "chaos_drill: net PASS — " << apps << "+" << extra << " apps, "
+            << ticks << " ticks over " << sock << "; " << stats.kills
+            << " kills, " << stats.crash_points << " crash-point restarts, "
+            << stats.midline << " mid-line disconnects, " << stats.lorises
+            << " slowloris conns, " << stats.duplicates
+            << " duplicate retries, " << stats.departures
+            << " departures; journal peak " << stats.journal_peak
+            << " frames (bound " << 2 * interval
+            << "); replies and summary byte-identical to the stdio "
+               "reference\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -272,12 +731,18 @@ int main(int argc, char** argv) {
   const std::string cli = flags.get_string("cli", "");
   if (cli.empty()) {
     std::cerr << "usage: chaos_drill --cli=<path-to-ropus_cli> [--apps=26] "
-                 "[--ticks=200] [--kills=10] [--seed=2006] [--dir=<workdir>]\n";
+                 "[--ticks=200] [--kills=10] [--seed=2006] [--dir=<workdir>] "
+                 "[--net-ticks=48] [--net-apps=8] [--net-kills=4] "
+                 "[--interval=16]\n";
     return 1;
   }
   const std::size_t apps = flags.get_size("apps", 26);
   const std::size_t ticks = flags.get_size("ticks", 200);
   const std::size_t kills = flags.get_size("kills", 10);
+  const std::size_t net_ticks = flags.get_size("net-ticks", 48);
+  const std::size_t net_apps = flags.get_size("net-apps", 8);
+  const std::size_t net_kills = flags.get_size("net-kills", 4);
+  const std::size_t interval = flags.get_size("interval", 16);
   const auto seed = static_cast<std::uint64_t>(flags.get_size("seed", 2006));
   fs::path dir = flags.get_string("dir", "");
   if (dir.empty()) {
@@ -472,6 +937,14 @@ int main(int argc, char** argv) {
             << stats.corruptions << " with checkpoint corruption), "
             << stats.garbage << " garbage lines, " << stats.stalls
             << " consumer stalls; verdicts and summary byte-identical\n";
+
+  if (net_ticks > 0) {
+    const int rc =
+        run_network_campaign(cli, dir, net_apps, net_ticks, net_kills,
+                             interval, seed);
+    if (rc != 0) return rc;
+  }
+
   std::error_code ec;
   fs::remove_all(dir, ec);
   return 0;

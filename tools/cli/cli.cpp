@@ -53,11 +53,21 @@ void usage(std::ostream& os) {
         "               (--records=rec[,rec..] [--bench=dir|file,..] "
         "[--json-out=] + QoS flags,\n"
         "               --failure-ulow= etc. for failure-mode bands)\n"
-        "  serve        long-running arbiter daemon (NDJSON on stdin;\n"
-        "               see docs/serve.md)  "
-        "([--checkpoint=] [--journal=] [--checkpoint-every=64]\n"
-        "               [--queue=1024] [--max-slot-gap=288] [--servers=13 "
-        "--cpus=16] + QoS flags)\n"
+        "  serve        long-running arbiter daemon (NDJSON on stdin, or a\n"
+        "               socket with --socket=/--port=; see docs/serve.md)\n"
+        "               ([--checkpoint=] [--journal=] [--checkpoint-every=64] "
+        "[--compact]\n"
+        "               [--socket=path | --port=N [--host=]] "
+        "[--max-connections=64]\n"
+        "               [--read-timeout=30] [--write-timeout=30] "
+        "[--queue=1024]\n"
+        "               [--max-slot-gap=288] [--servers=13 --cpus=16] + QoS "
+        "flags)\n"
+        "  connect      NDJSON client for a socket-mode serve daemon\n"
+        "               (--socket=path | --port=N [--host=]; requests on "
+        "stdin,\n"
+        "               [--deadline=30] [--attempts=5] [--retry-seed=1] "
+        "[--id-prefix=cli])\n"
         "\n"
         "global flags (every command, see docs/observability.md):\n"
         "  --metrics-out=<path>   write the final metric snapshot "
@@ -101,6 +111,7 @@ std::optional<int> dispatch(const std::string& command, const Flags& flags,
   if (command == "backtest") return cmd_backtest(flags, out, err);
   if (command == "report") return cmd_report(flags, out, err);
   if (command == "serve") return cmd_serve(flags, out, err);
+  if (command == "connect") return cmd_connect(flags, out, err);
   return std::nullopt;
 }
 

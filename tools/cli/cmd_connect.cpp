@@ -1,0 +1,86 @@
+#include <unistd.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli_util.h"
+#include "cli/commands.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "serve/client.h"
+
+namespace ropus::cli {
+
+// Thin NDJSON client for a socket-mode serve daemon: each stdin line is
+// one request, its reply lines are printed to stdout. The fault handling
+// (request ids, reconnect with jittered backoff, deadline) lives in
+// serve::Client, so a retried request is applied exactly once even across
+// daemon restarts and dropped connections.
+int cmd_connect(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::vector<std::string> allowed{
+      "socket",   "host",    "port",      "deadline",
+      "attempts", "retry-seed", "id-prefix"};
+  if (!check_flags(flags, allowed, err)) return 1;
+
+  serve::ClientOptions options;
+  options.unix_path = flags.get_string("socket", "");
+  options.host = flags.get_string("host", "127.0.0.1");
+  options.port = static_cast<int>(flags.get_size("port", 0));
+  options.deadline_s = flags.get_double("deadline", 30.0);
+  options.max_attempts = flags.get_size("attempts", 5);
+  options.retry_seed = flags.get_size("retry-seed", 1);
+  // The daemon's id cache survives restarts via the journal, so two
+  // clients that share a prefix would collide on ids like "cli-0" and get
+  // each other's cached replies. Default to a per-process prefix; pass
+  // --id-prefix explicitly to make retries idempotent across *process*
+  // restarts of this client.
+  options.id_prefix =
+      flags.get_string("id-prefix", "cli" + std::to_string(::getpid()));
+  if (options.unix_path.empty() && options.port == 0) {
+    err << "error: connect needs --socket <path> or --port <n>\n";
+    return 1;
+  }
+
+  try {
+    options.validate();
+    serve::Client client(options);
+    std::string line;
+    bool first = true;
+    while (std::getline(std::cin, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      const std::vector<std::string> replies = client.transact(line);
+      if (first && !client.greeting().empty()) {
+        // Surface the daemon's ready line once so scripts can check the
+        // recovery mode; replies follow in order.
+        err << client.greeting() << '\n';
+        first = false;
+      }
+      for (const std::string& reply : replies) out << reply << '\n';
+      // The daemon writes the shutdown summary *after* the end marker as
+      // the stream's closing line; transact() returns before it, so
+      // collect it here or it would be silently dropped.
+      bool is_shutdown = false;
+      try {
+        const json::Value v = json::parse(line);
+        const json::Value* type = v.find("type");
+        is_shutdown = type != nullptr &&
+                      type->type() == json::Value::Type::kString &&
+                      type->as_string() == "shutdown";
+      } catch (const Error&) {
+        // Unparseable input already got its typed error reply above.
+      }
+      if (is_shutdown) {
+        const std::string summary = client.read_closing_line();
+        if (!summary.empty()) out << summary << '\n';
+      }
+      out << std::flush;
+    }
+  } catch (const Error& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace ropus::cli

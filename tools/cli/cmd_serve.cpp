@@ -6,15 +6,18 @@
 
 #include "cli/cli_util.h"
 #include "cli/commands.h"
+#include "common/json.h"
 #include "serve/daemon.h"
+#include "serve/transport.h"
 #include "trace/calendar.h"
 
 namespace ropus::cli {
 
 // Long-running arbiter daemon: NDJSON requests on stdin, replies on
-// stdout. The deterministic core, persistence and drain behaviour live in
-// src/serve; this command only translates flags into a ServeConfig and
-// DaemonOptions (see docs/serve.md for the protocol).
+// stdout — or, with --socket/--port, over a Unix-domain/TCP listener. The
+// deterministic core, persistence and drain behaviour live in src/serve;
+// this command only translates flags into a ServeConfig, DaemonOptions
+// and TransportOptions (see docs/serve.md for the protocol).
 int cmd_serve(const Flags& flags, std::ostream& out, std::ostream& err) {
   std::vector<std::string> allowed{
       "theta",          "deadline",        "ulow",
@@ -26,7 +29,10 @@ int cmd_serve(const Flags& flags, std::ostream& out, std::ostream& err) {
       "penalty-rate",   "headroom-margin", "renegotiate-m",
       "renegotiate-tdegr", "max-slot-gap", "checkpoint",
       "journal",        "checkpoint-every", "queue",
-      "max-line-bytes", "tick-deadline-ms"};
+      "max-line-bytes", "tick-deadline-ms", "compact",
+      "socket",         "host",            "port",
+      "max-connections", "read-timeout",   "write-timeout",
+      "max-output-bytes"};
   append_telemetry_flag_names(allowed);
   if (!check_flags(flags, allowed, err)) return 1;
 
@@ -87,12 +93,36 @@ int cmd_serve(const Flags& flags, std::ostream& out, std::ostream& err) {
   options.checkpoint_path = flags.get_string("checkpoint", "");
   options.journal_path = flags.get_string("journal", "");
   options.checkpoint_every_slots = flags.get_size("checkpoint-every", 64);
+  options.compact_journal = flags.get_bool("compact", false);
   options.queue_capacity = flags.get_size("queue", 1024);
   options.max_line_bytes = flags.get_size("max-line-bytes", 1 << 20);
   options.tick_deadline_ms = flags.get_double("tick-deadline-ms", 0.0);
 
   config.validate();
   options.validate();
+
+  if (flags.has("socket") || flags.has("port")) {
+    serve::TransportOptions transport;
+    transport.unix_path = flags.get_string("socket", "");
+    transport.host = flags.get_string("host", "127.0.0.1");
+    transport.port = static_cast<int>(flags.get_size("port", 0));
+    transport.max_connections = flags.get_size("max-connections", 64);
+    transport.read_timeout_s = flags.get_double("read-timeout", 30.0);
+    transport.write_timeout_s = flags.get_double("write-timeout", 30.0);
+    transport.max_output_bytes = flags.get_size("max-output-bytes", 1 << 20);
+    transport.validate();
+    serve::SocketServer server(config, options, transport);
+    // Announce the resolved endpoint on stdout so a parent that asked for
+    // an ephemeral port (--port 0) can learn what was bound.
+    json::Writer w;
+    w.begin_object();
+    w.key("type").value("listening");
+    w.key("address").value(server.address());
+    w.key("port").value(static_cast<std::int64_t>(server.port()));
+    w.end_object();
+    out << w.str() << '\n' << std::flush;
+    return server.run(err);
+  }
   return serve::run_daemon(config, options, std::cin, out, err);
 }
 
