@@ -164,9 +164,11 @@ Journal::Recovered Journal::recover(const std::filesystem::path& path) {
   if (!exists) return r;
   std::size_t pos = 0;
   // Optional compaction header. A file that starts with the magic but whose
-  // header does not parse (or fails its CRC) is corrupt at offset zero —
-  // the whole file is a torn tail, same as a v1 journal whose first frame
-  // is damaged, and recovery falls back to the checkpoint.
+  // header does not parse (or fails its CRC) is corrupt at offset zero:
+  // the base is unknown, so nothing in the file can be indexed. That is
+  // flagged as header_corrupt — NOT reported as an empty journal — so
+  // recover_state can restore from the covering checkpoint instead of
+  // concluding the checkpoint is ahead of a zero-entry journal.
   if (content.compare(0, kJournalMagic.size(), kJournalMagic) == 0) {
     const std::size_t nl = content.find('\n');
     bool ok = nl != std::string::npos;
@@ -187,6 +189,7 @@ Journal::Recovered Journal::recover(const std::filesystem::path& path) {
     if (!ok) {
       r.base = 0;
       r.torn_tail = true;
+      r.header_corrupt = true;
       return r;
     }
     pos = nl + 1;
@@ -229,9 +232,13 @@ Journal::Journal(const std::filesystem::path& path, std::uint64_t valid_bytes,
     : path_(path), entries_(entries), base_(base) {
   std::error_code ec;
   const auto size = std::filesystem::file_size(path_, ec);
-  if (ec && base > 0) {
-    // Recreating a compacted journal from scratch (the file vanished):
-    // stamp the base so the entry arithmetic stays truthful.
+  if (base > 0 && valid_bytes == 0) {
+    // Recreating a compacted journal from scratch: the file vanished, or
+    // its header was corrupt and recovery fell back to the checkpoint, so
+    // no on-disk prefix is worth keeping. Stamp a fresh header carrying
+    // the base so the entry arithmetic stays truthful across the next
+    // restart (an atomic replace, never a blind truncate-to-zero that
+    // would masquerade as a never-compacted v1 journal).
     io::write_file_atomic(path_, journal_header(base));
   } else if (!ec && size > valid_bytes) {
     std::filesystem::resize_file(path_, valid_bytes, ec);

@@ -70,6 +70,12 @@ class Journal {
     std::vector<std::string> lines;   // the valid on-disk suffix, in order
     std::uint64_t valid_bytes = 0;    // file length of the valid prefix
     bool torn_tail = false;           // trailing garbage was discarded
+    // The compaction magic is present but its header fails to parse or
+    // checksum: the base is unknown, so the frames that follow cannot be
+    // indexed and the whole file is unusable. Distinct from a plain torn
+    // tail because recovery must NOT treat this as "journal holds zero
+    // entries" — the covering checkpoint is the only usable state copy.
+    bool header_corrupt = false;
 
     /// Total accepted entries the journal accounts for (compacted + kept).
     std::uint64_t entries() const { return base + lines.size(); }

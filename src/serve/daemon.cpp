@@ -96,9 +96,8 @@ void crash_point(const char* point) {
   if (want != nullptr && std::strcmp(want, point) == 0) std::_Exit(137);
 }
 
-/// Recovers the request id from a line that failed parsing or handling, so
-/// the error reply can still be framed with an end marker. Best effort:
-/// anything that is not a well-formed id yields "no id".
+}  // namespace
+
 std::string best_effort_id(const std::string& line) {
   try {
     const json::Value v = json::parse(line);
@@ -111,8 +110,6 @@ std::string best_effort_id(const std::string& line) {
     return {};
   }
 }
-
-}  // namespace
 
 void DaemonOptions::validate() const {
   ROPUS_REQUIRE(checkpoint_every_slots >= 1,
@@ -156,6 +153,36 @@ RecoveryReport recover_state(const ServeConfig& config,
   if (recovered.base > 0 && options.checkpoint_path.empty()) {
     throw unreconstructible("no checkpoint path configured");
   }
+  if (recovered.header_corrupt) {
+    // The compaction magic is on disk but its header is damaged, so the
+    // base — and with it the index of every frame that follows — is
+    // unknown. The journal as a whole is unusable; the covering
+    // checkpoint is the only usable copy of the state. Restore from it
+    // alone (losing at most the entries since the snapshot, like any
+    // checkpoint-only recovery), or refuse loudly — never start fresh.
+    const auto corrupt_header = [&](const std::string& why) {
+      return IoError("journal " + options.journal_path.string() +
+                     " has a corrupt compaction header and no usable "
+                     "checkpoint covers it (" + why +
+                     "); state is unreconstructible");
+    };
+    if (options.checkpoint_path.empty()) {
+      throw corrupt_header("no checkpoint path configured");
+    }
+    Arbiter candidate(config);
+    const CheckpointLoad load =
+        load_checkpoint(options.checkpoint_path, candidate);
+    if (!load.ok) throw corrupt_header(load.error);
+    arbiter = std::move(candidate);
+    report.mode = RecoveryMode::kCheckpointOnly;
+    // The checkpoint's coverage becomes the new base: the Journal
+    // constructor re-stamps a fresh header from these counts (valid_bytes
+    // 0 keeps nothing of the damaged file).
+    report.journal_entries = load.journal_entries;
+    report.journal_base = load.journal_entries;
+    report.journal_valid_bytes = 0;
+    return report;
+  }
 
   std::uint64_t replay_from = 0;  // index into recovered.lines
   if (!options.checkpoint_path.empty()) {
@@ -194,6 +221,21 @@ RecoveryReport recover_state(const ServeConfig& config,
       // journal (the source of truth) lost data; trust only the journal.
       if (recovered.base > 0) {
         throw unreconstructible("checkpoint is ahead of the journal");
+      }
+      if (recovered.torn_tail && recovered.lines.empty()) {
+        // The journal file is non-empty but nothing in it parses: damage
+        // at offset zero (e.g. a bit flip in a compacted journal's magic,
+        // which makes the file read as an empty v1 journal), not
+        // testimony that no entries ever existed. The checkpoint proves
+        // accepted state existed — restore from it instead of silently
+        // starting fresh. (An intact-but-shorter journal still wins over
+        // an ahead checkpoint: that is the branch below.)
+        arbiter = std::move(candidate);
+        report.mode = RecoveryMode::kCheckpointOnly;
+        report.journal_entries = load.journal_entries;
+        report.journal_base = load.journal_entries;
+        report.journal_valid_bytes = 0;
+        return report;
       }
       report.checkpoint_error = "checkpoint is ahead of the journal";
     } else if (!load.missing || !recovered.lines.empty()) {

@@ -85,11 +85,20 @@ struct RecoveryReport {
   std::string checkpoint_error;          // why the checkpoint was not used
 };
 
+/// Recovers the request id from a raw input line that will not (or did
+/// not) reach the arbiter, so an error reply emitted outside process_line
+/// — e.g. the transport's overload shed — can still be framed with an end
+/// marker. Best effort: anything without a well-formed id yields "".
+std::string best_effort_id(const std::string& line);
+
 /// Restores an arbiter from checkpoint + journal tail (fast path) or full
-/// journal replay (fallback). Exposed for tests and the chaos drill's
+/// journal replay (fallback). A journal whose compaction header is
+/// corrupt (unknown base) is recovered from the covering checkpoint
+/// alone, checkpoint-only style. Exposed for tests and the chaos drill's
 /// offline verdict recomputation. Throws IoError when the state is
 /// unreconstructible: the journal was compacted (its base entries exist
-/// only inside a checkpoint) but no usable checkpoint covers the base.
+/// only inside a checkpoint) but no usable checkpoint covers the base —
+/// including the corrupt-header case with no usable checkpoint.
 RecoveryReport recover_state(const ServeConfig& config,
                              const DaemonOptions& options, Arbiter& arbiter);
 

@@ -41,6 +41,8 @@ struct Conn {
   double last_progress = 0.0;  // last time outbuf drained (or was empty)
   bool eof = false;            // peer half-closed; drain inbuf then flush
   bool close_after_flush = false;
+  bool shedding = false;       // outbuf over cap: one framed overload sent,
+                               // further lines dropped until it drains
 };
 
 /// Best-effort flush of buffered output. Returns false when the socket is
@@ -93,7 +95,25 @@ SocketServer::SocketServer(const ServeConfig& config,
     std::memcpy(addr.sun_path, transport_.unix_path.c_str(),
                 transport_.unix_path.size() + 1);
     // A stale socket file from a crashed daemon would make bind fail with
-    // EADDRINUSE even though nobody is listening; replace it.
+    // EADDRINUSE even though nobody is listening — but blindly unlinking
+    // would steal the endpoint from a *live* daemon (and, when the two
+    // share --journal/--checkpoint paths, let both append to one journal
+    // and corrupt it). Probe first: a connect() that succeeds means
+    // someone is serving, so fail loudly; a refusal means the file is
+    // crash debris and safe to replace.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      const bool live =
+          ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+          0;
+      ::close(probe);
+      if (live) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw IoError("another daemon is already listening on " +
+                      transport_.unix_path);
+      }
+    }
     ::unlink(transport_.unix_path.c_str());
     if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
         0) {
@@ -279,13 +299,29 @@ int SocketServer::run(std::ostream& err) {
         if (c.outbuf.size() > transport_.max_output_bytes) {
           // The peer is not reading its replies; shed instead of letting
           // the buffer (and the arbiter's latency) grow without bound.
-          c.outbuf += error_reply(ProtocolError::kOverload,
-                                  "connection output buffer is full; drain "
-                                  "replies before sending more");
-          c.outbuf += '\n';
+          // The first over-cap line gets a *framed* overload error — the
+          // end marker is what lets Client::transact surface the typed
+          // backpressure instead of waiting out its whole deadline — and
+          // further lines are dropped outright, making the cap a hard
+          // memory bound (cap plus one framed reply) even with the write
+          // timeout disabled. Dropped requests are re-driven by the
+          // client's id-cached resend once the buffer drains.
+          if (!c.shedding) {
+            c.shedding = true;
+            const std::string id = best_effort_id(line);
+            c.outbuf += error_reply(ProtocolError::kOverload,
+                                    "connection output buffer is full; "
+                                    "drain replies before sending more");
+            c.outbuf += '\n';
+            if (!id.empty()) {
+              c.outbuf += end_reply(id, 1);
+              c.outbuf += '\n';
+            }
+          }
           sheds.add();
           continue;
         }
+        c.shedding = false;
         const bool shed =
             should_shed(c.outbuf.size(), transport_.max_output_bytes,
                         core_.last_tick_ms(),

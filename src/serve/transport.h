@@ -6,9 +6,11 @@
 // Fault posture (the reason this is not just "stdio over a socket"):
 //  * the arbiter is never blocked on a peer: writes are buffered
 //    per-connection and flushed when the socket drains; a connection whose
-//    buffered output exceeds the cap gets a typed `overload` error for
-//    further requests instead of stalling the daemon (backpressure by
-//    shedding, not by blocking);
+//    buffered output exceeds the cap gets one framed `overload` error
+//    (error plus end marker, so a retrying client sees the typed signal
+//    instead of timing out) and further lines are dropped until the buffer
+//    drains — the cap is a hard memory bound, and backpressure works by
+//    shedding, not by blocking;
 //  * a peer that stops reading (write timeout) or dribbles bytes without
 //    completing a line (idle-read timeout, the slowloris case) is
 //    disconnected; its journaled state survives, and a reconnecting client
@@ -34,8 +36,10 @@
 namespace ropus::serve {
 
 struct TransportOptions {
-  /// Unix-domain listen path; non-empty selects UDS (a stale socket file
-  /// left by a crashed daemon is replaced). Empty selects TCP.
+  /// Unix-domain listen path; non-empty selects UDS. A stale socket file
+  /// left by a crashed daemon is replaced, but a path another daemon is
+  /// actively listening on (connect() probe succeeds) is an IoError —
+  /// binding would silently steal the endpoint. Empty selects TCP.
   std::string unix_path;
   /// TCP bind address and port; port 0 binds an ephemeral port (read the
   /// bound one back via SocketServer::port()).
@@ -49,8 +53,9 @@ struct TransportOptions {
   /// Buffered output making no progress toward the peer for this long
   /// drops the connection. 0 disables.
   double write_timeout_s = 30.0;
-  /// Per-connection buffered-output cap: above it, further requests from
-  /// that connection are answered with `overload` instead of processed.
+  /// Per-connection buffered-output cap: the first request over it is
+  /// answered with a framed `overload` error, the rest are dropped until
+  /// the buffer drains (hard bound: cap plus one framed reply).
   std::size_t max_output_bytes = 1 << 20;
 
   void validate() const;

@@ -275,6 +275,113 @@ TEST_F(CompactionRefusalTest, CheckpointBehindTheBaseIsAnIoError) {
   EXPECT_THROW(recover_state(small_config(), options_, survivor), IoError);
 }
 
+/// Flips one bit in the journal's first byte: the compaction magic no
+/// longer matches, so the file reads as a v1 journal whose first frame is
+/// garbage — zero parseable entries.
+void flip_first_byte(const fs::path& path) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  char c = 0;
+  f.get(c);
+  f.seekp(0);
+  f.put(static_cast<char>(c ^ 0x01));
+}
+
+/// Same, but inside the header body so the magic still matches and only
+/// the header CRC can catch it.
+void flip_header_body_byte(const fs::path& path) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  const std::size_t off = std::string("ROPUS-JOURNAL v2 00000000 base=").size();
+  f.seekg(static_cast<std::streamoff>(off));
+  char c = 0;
+  f.get(c);
+  f.seekp(static_cast<std::streamoff>(off));
+  f.put(static_cast<char>(c ^ 0x01));
+}
+
+TEST_F(CompactionRefusalTest, CorruptHeaderFallsBackToCheckpointNotFresh) {
+  // A bit flip inside the compaction header (magic intact, CRC broken)
+  // must not read as "journal holds zero entries": that path would
+  // discard the covering checkpoint as 'ahead of the journal' and start
+  // fresh — the exact silent-wrong-verdicts outcome this suite forbids.
+  flip_header_body_byte(options_.journal_path);
+  Arbiter survivor(small_config());
+  const RecoveryReport report =
+      recover_state(small_config(), options_, survivor);
+  EXPECT_EQ(report.mode, RecoveryMode::kCheckpointOnly);
+  EXPECT_EQ(report.journal_base, script().size());
+  EXPECT_EQ(report.journal_entries, script().size());
+  EXPECT_EQ(report.journal_valid_bytes, 0u);
+  Arbiter reference = arbiter_at(small_config(), script().size());
+  EXPECT_EQ(survivor.summary(), reference.summary());
+
+  // The daemon then reopens the journal with the report's counts: the
+  // damaged file is replaced by a fresh header at the checkpoint's base,
+  // so the *next* restart sees an ordinary compacted journal again.
+  {
+    Journal journal(options_.journal_path, report.journal_valid_bytes,
+                    report.journal_entries, report.journal_base);
+    EXPECT_EQ(journal.entries(), script().size());
+    EXPECT_EQ(journal.tail_frames(), 0u);
+  }
+  const Journal::Recovered again = Journal::recover(options_.journal_path);
+  EXPECT_FALSE(again.header_corrupt);
+  EXPECT_EQ(again.base, script().size());
+  Arbiter second(small_config());
+  const RecoveryReport rerun =
+      recover_state(small_config(), options_, second);
+  EXPECT_EQ(rerun.mode, RecoveryMode::kCheckpointAndTail);
+  EXPECT_EQ(second.summary(), reference.summary());
+}
+
+TEST_F(CompactionRefusalTest, CorruptHeaderMagicFlipFallsBackToCheckpoint) {
+  // The literal review scenario: a bit flip at byte 0. The magic no
+  // longer matches, so the journal parses as empty v1 — a state that
+  // must read as "damaged, zero testimony", never as "the checkpoint is
+  // ahead of an empty journal, start fresh".
+  flip_first_byte(options_.journal_path);
+  Arbiter survivor(small_config());
+  const RecoveryReport report =
+      recover_state(small_config(), options_, survivor);
+  EXPECT_EQ(report.mode, RecoveryMode::kCheckpointOnly);
+  EXPECT_EQ(report.journal_base, script().size());
+  Arbiter reference = arbiter_at(small_config(), script().size());
+  EXPECT_EQ(survivor.summary(), reference.summary());
+}
+
+TEST_F(CompactionRefusalTest, TornFirstFrameOnFreshV1JournalStaysFresh) {
+  // The benign twin of the damaged-at-offset-zero cases: a brand-new
+  // journal-only daemon crashed mid-append of its very first entry. The
+  // entry was never acknowledged (journal-before-reply), so fresh is the
+  // *correct* recovery — this pins that the checkpoint fallback above
+  // does not over-trigger when no checkpoint exists.
+  DaemonOptions options;
+  options.journal_path = dir_ / "v1.journal";
+  std::ofstream torn(options.journal_path, std::ios::binary);
+  torn << "deadbeef 17 half-writ";
+  torn.close();
+  Arbiter survivor(small_config());
+  const RecoveryReport report =
+      recover_state(small_config(), options, survivor);
+  EXPECT_EQ(report.mode, RecoveryMode::kFresh);
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_EQ(report.journal_entries, 0u);
+}
+
+TEST_F(CompactionRefusalTest, CorruptHeaderWithoutCheckpointIsAnIoError) {
+  flip_header_body_byte(options_.journal_path);
+  fs::remove(options_.checkpoint_path);
+  Arbiter survivor(small_config());
+  EXPECT_THROW(recover_state(small_config(), options_, survivor), IoError);
+}
+
+TEST_F(CompactionRefusalTest, CorruptHeaderWithCorruptCheckpointIsAnIoError) {
+  flip_header_body_byte(options_.journal_path);
+  fs::resize_file(options_.checkpoint_path,
+                  fs::file_size(options_.checkpoint_path) / 2);
+  Arbiter survivor(small_config());
+  EXPECT_THROW(recover_state(small_config(), options_, survivor), IoError);
+}
+
 TEST_F(CompactionRefusalTest, CoveringCheckpointRecoversCleanly) {
   Arbiter survivor(small_config());
   const RecoveryReport report =

@@ -310,6 +310,98 @@ TEST_F(TransportTest, MalformedRequestWithIdIsStillFramed) {
   shutdown_and_join();
 }
 
+TEST_F(TransportTest, LiveSocketIsNotStolenButStaleFileIsReplaced) {
+  start({}, {});
+  // A second daemon pointed at the same --socket must fail loudly: were
+  // the path silently re-bound, both processes could append to one
+  // journal and corrupt it.
+  TransportOptions second;
+  second.unix_path = sock_;
+  EXPECT_THROW(SocketServer(small_config(), DaemonOptions{}, second),
+               IoError);
+  // ...and the live daemon keeps serving on its endpoint.
+  RawConn healthy(sock_);
+  ASSERT_TRUE(healthy.connected());
+  EXPECT_EQ(type_of(healthy.read_line()), "ready");
+  shutdown_and_join();
+  server_.reset();  // unlinks the socket path
+
+  // A *stale* file — bound once, never unlinked, nobody listening — is
+  // crash debris and must be replaced, not EADDRINUSE'd.
+  const int stale = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(stale, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, sock_.c_str(), sock_.size() + 1);
+  ASSERT_EQ(::bind(stale, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  ::close(stale);  // file remains, listener gone
+  start({}, {});
+  RawConn revived(sock_);
+  ASSERT_TRUE(revived.connected());
+  EXPECT_EQ(type_of(revived.read_line()), "ready");
+  shutdown_and_join();
+}
+
+TEST_F(TransportTest, OverloadShedIsFramedAndAHardBound) {
+  TransportOptions transport;
+  transport.max_output_bytes = 256;  // the minimum the validator allows
+  transport.write_timeout_s = 0.0;   // the cap must bound memory alone
+  start({}, transport);
+
+  RawConn conn(sock_);
+  ASSERT_TRUE(conn.connected());
+  EXPECT_EQ(type_of(conn.read_line()), "ready");
+
+  // One burst, read nothing: the line loop appends replies to outbuf
+  // without flushing between lines, so the cap is crossed mid-batch and
+  // the over-cap lines hit the shed path.
+  std::string burst;
+  const int kLines = 40;
+  for (int i = 0; i < kLines; ++i) {
+    burst += R"({"type":"tick","id":"burst-)" + std::to_string(i) +
+             R"(","slot":)" + std::to_string(i) +
+             R"(,"demand":{"web":1.0}})" "\n";
+  }
+  conn.send(burst);
+
+  // Every reply the daemon does emit must be properly framed: each id'd
+  // request that gets any reply — including the typed overload error —
+  // is terminated by an end marker, so Client::transact never hangs on a
+  // shed request until its deadline.
+  int ends = 0;
+  int overloads = 0;
+  std::string pending_type;
+  for (;;) {
+    const std::string line = conn.read_line(1000);
+    if (line.empty()) break;  // drained: nothing more within the timeout
+    const std::string type = type_of(line);
+    if (type == "error" && line.find("overload") != std::string::npos) {
+      ++overloads;
+      const std::string end = conn.read_line(1000);
+      ASSERT_EQ(type_of(end), "end") << "overload error was not framed";
+    } else if (type == "end") {
+      ++ends;
+    }
+  }
+  // The cap actually shed: exactly one framed overload error per shed
+  // episode (not one per over-cap line — that regrowth is what made the
+  // cap soft), and some of the burst was dropped outright.
+  EXPECT_GE(overloads, 1);
+  EXPECT_LT(ends + overloads, kLines) << "no lines were dropped";
+
+  // The connection survives shedding: once the backlog is drained the
+  // shed latch resets and fresh requests are served normally.
+  conn.send(R"({"type":"tick","id":"after","slot":)" +
+            std::to_string(kLines) + R"(,"demand":{"web":1.0}})" "\n");
+  std::string type;
+  do {
+    const std::string line = conn.read_line(3000);
+    ASSERT_FALSE(line.empty());
+    type = type_of(line);
+  } while (type != "end");
+  shutdown_and_join();
+}
+
 TEST_F(TransportTest, SocketStateSurvivesRestartViaJournal) {
   DaemonOptions options;
   options.journal_path = dir_ / "t.journal";
