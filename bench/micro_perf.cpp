@@ -25,6 +25,8 @@
 #include "faultsim/campaign.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "obs/timeseries.h"
+#include "serve/daemon.h"
 #include "placement/genetic.h"
 #include "placement/problem.h"
 #include "qos/allocation.h"
@@ -386,6 +388,70 @@ void report(const BenchRun& run, bench::BenchReporter& reporter) {
   fs::remove_all(dir, ec);
 }
 
+/// The introspection plane's two hot paths. serve/stats is one full
+/// stats_reply render against a warm daemon core — what every `stats`
+/// verb and /stats poll of `ropus_cli top` costs the poll loop.
+/// obs/timeseries_append is one registry snapshot plus one ring append of
+/// it, the per-cadence price of keeping /stats.json live; the ring is at
+/// capacity so the steady-state overwrite path is what gets timed.
+[[gnu::noinline]] void bench_observability(bench::BenchReporter& reporter) {
+  const std::size_t n = 8;
+  serve::ServeConfig config;
+  const trace::Calendar cal = demands()[0].calendar();
+  config.minutes_per_sample = static_cast<double>(cal.minutes_per_sample());
+  config.slots_per_day =
+      trace::Calendar::kMinutesPerDay / cal.minutes_per_sample();
+  config.servers = 4;
+  config.server_cpus = 64.0;
+  serve::DaemonCore core(config, serve::DaemonOptions{});
+  for (std::size_t a = 0; a < n; ++a) {
+    std::string line = R"({"type":"admit","app":")" +
+                       std::string(demands()[a].name()) + R"(","profile":[)";
+    const auto& values = demands()[a].values();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) line += ',';
+      line += std::to_string(values[i]);
+    }
+    line += "]}";
+    (void)core.process_line(line, false);
+  }
+  for (std::uint64_t slot = 0; slot < 4; ++slot) {
+    (void)core.process_line("{\"type\":\"tick\",\"slot\":" +
+                                std::to_string(slot) + ",\"demand\":{}}",
+                            false);
+  }
+  report(run_bench("serve/stats", 0,
+                   [&] { do_not_optimize(core.stats_reply()); }),
+         reporter);
+
+  obs::Registry registry;
+  for (int i = 0; i < 24; ++i) {
+    registry.counter("bench.counter." + std::to_string(i)).add(
+        static_cast<std::uint64_t>(i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    registry.gauge("bench.gauge." + std::to_string(i)).set(1.5 * i);
+  }
+  for (int i = 0; i < 4; ++i) {
+    obs::Histogram& h = registry.histogram("bench.hist." + std::to_string(i));
+    for (int s = 0; s < 64; ++s) h.record(0.001 * (s + 1));
+  }
+  obs::TimeSeries series;
+  double t = 0.0;
+  // Fill to capacity first so every timed append overwrites the oldest
+  // window instead of growing the ring.
+  for (std::size_t i = 0; i <= obs::TimeSeries::Options{}.capacity; ++i) {
+    series.sample(registry.snapshot(), t += 1.0);
+  }
+  report(run_bench("obs/timeseries_append", 0,
+                   [&] {
+                     registry.counter("bench.counter.0").add(3);
+                     series.sample(registry.snapshot(), t += 1.0);
+                     do_not_optimize(series.samples());
+                   }),
+         reporter);
+}
+
 #if defined(__unix__) || defined(__APPLE__)
 /// One identified request over a Unix socket through the retrying client:
 /// connect once, then per iteration send a tick and read verdict + end
@@ -493,6 +559,7 @@ int main() {
   bench_slo_kernel(reporter);
   bench_serve_tick(reporter);
   bench_serve_compact(reporter);
+  bench_observability(reporter);
 #if defined(__unix__) || defined(__APPLE__)
   bench_socket_roundtrip(reporter);
 #endif

@@ -7,12 +7,15 @@ namespace ropus::signals {
 namespace {
 
 std::atomic<int> g_signal{0};
+std::atomic<bool> g_flush{false};
 
 extern "C" void on_termination(int signo) {
   // Only lock-free atomic stores are async-signal-safe; everything else
   // (flushing, logging, checkpointing) happens at the next poll site.
   g_signal.store(signo, std::memory_order_relaxed);
 }
+
+extern "C" void on_flush(int) { g_flush.store(true, std::memory_order_relaxed); }
 
 }  // namespace
 
@@ -33,6 +36,21 @@ void request_termination(int signo) {
   g_signal.store(signo, std::memory_order_relaxed);
 }
 
-void reset_for_tests() { g_signal.store(0, std::memory_order_relaxed); }
+void install_flush_handler() {
+#ifdef SIGUSR1
+  std::signal(SIGUSR1, on_flush);
+#endif
+}
+
+bool consume_flush_request() {
+  return g_flush.exchange(false, std::memory_order_relaxed);
+}
+
+void request_flush() { g_flush.store(true, std::memory_order_relaxed); }
+
+void reset_for_tests() {
+  g_signal.store(0, std::memory_order_relaxed);
+  g_flush.store(false, std::memory_order_relaxed);
+}
 
 }  // namespace ropus::signals

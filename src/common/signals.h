@@ -25,6 +25,19 @@ int termination_signal();
 /// tests use this in place of a real signal.
 void request_termination(int signo);
 
+/// Installs a SIGUSR1 handler that sets the flush flag: a request to
+/// rewrite observability artifacts (--metrics-out, the manifest) now,
+/// without terminating. Idempotent. No-op on platforms without SIGUSR1.
+void install_flush_handler();
+
+/// Consumes one pending flush request: true exactly once per delivered
+/// SIGUSR1 (or request_flush call).
+bool consume_flush_request();
+
+/// Sets the flush flag programmatically — tests use this in place of a
+/// real SIGUSR1.
+void request_flush();
+
 /// Clears the flag so one test's simulated signal does not leak into the
 /// next. Not for production paths.
 void reset_for_tests();

@@ -1,0 +1,247 @@
+#include "obs/burnrate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace ropus::obs {
+
+std::string_view burn_severity_name(BurnSeverity severity) {
+  return severity == BurnSeverity::kCritical ? "critical" : "warning";
+}
+
+std::vector<BurnRateRule> default_burn_rules() {
+  std::vector<BurnRateRule> rules;
+  rules.push_back({"fast", 5.0, 60.0, 14.4, BurnSeverity::kCritical});
+  rules.push_back({"slow", 60.0, 360.0, 3.0, BurnSeverity::kWarning});
+  return rules;
+}
+
+void BurnRateConfig::validate() const {
+  if (!(budget > 0.0) || budget > 1.0) {
+    throw InvalidArgument("burnrate budget must be in (0, 1]");
+  }
+  if (!(minutes_per_slot > 0.0)) {
+    throw InvalidArgument("burnrate minutes_per_slot must be positive");
+  }
+  if (capacity == 0) {
+    throw InvalidArgument("burnrate capacity must be positive");
+  }
+  if (max_alerts == 0) {
+    throw InvalidArgument("burnrate max_alerts must be positive");
+  }
+  for (const BurnRateRule& rule : rules) {
+    if (rule.name.empty()) {
+      throw InvalidArgument("burnrate rule name must be non-empty");
+    }
+    if (!(rule.short_minutes > 0.0) ||
+        rule.long_minutes < rule.short_minutes) {
+      throw InvalidArgument("burnrate rule windows must satisfy 0 < short <= long");
+    }
+    if (!(rule.threshold > 0.0)) {
+      throw InvalidArgument("burnrate rule threshold must be positive");
+    }
+  }
+}
+
+std::string describe(const BurnAlert& alert) {
+  char buf[64];
+  std::string out = "[burnrate] " + alert.stream + "/" + alert.rule;
+  out += alert.active ? " FIRING" : " resolved";
+  std::snprintf(buf, sizeof(buf), " at slot %llu: short=%.1fx long=%.1fx",
+                static_cast<unsigned long long>(alert.slot), alert.burn_short,
+                alert.burn_long);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), " (threshold %.1fx, ", alert.threshold);
+  out += buf;
+  out += burn_severity_name(alert.severity);
+  out += ")";
+  return out;
+}
+
+BurnRate::BurnRate(std::string stream, BurnRateConfig config)
+    : stream_(std::move(stream)), config_(std::move(config)) {
+  if (stream_.empty()) {
+    throw InvalidArgument("burnrate stream must be non-empty");
+  }
+  config_.validate();
+  states_.resize(config_.rules.size());
+}
+
+std::uint64_t BurnRate::window_slots(double minutes) const {
+  const double slots = minutes / config_.minutes_per_slot;
+  return static_cast<std::uint64_t>(std::max(1LL, std::llround(slots)));
+}
+
+double BurnRate::burn_over_slots(std::uint64_t slots) const {
+  if (!any_ || ring_.empty()) return 0.0;
+  const bool full = ring_.size() >= config_.capacity;
+  const Point& last = ring_[full ? (head_ + ring_.size() - 1) % ring_.size()
+                                 : ring_.size() - 1];
+  const std::uint64_t start_slot =
+      last.slot >= slots ? last.slot - slots : 0;
+  // Baseline = newest cumulative point at or before the window start.
+  // Before the ring wraps, missing baseline means the stream started
+  // inside the window, so cumulative-from-zero is exact; after it wraps,
+  // the window is clipped to retained history (the oldest point).
+  Point base{};
+  bool found = false;
+  for (std::size_t i = ring_.size(); i-- > 0;) {
+    const Point& p =
+        full ? ring_[(head_ + i) % ring_.size()] : ring_[i];
+    if (p.slot <= start_slot) {
+      base = p;
+      found = true;
+      break;
+    }
+  }
+  if (!found && full) {
+    base = ring_[head_];  // oldest retained
+    if (base.slot >= last.slot) base = Point{};
+  }
+  const std::uint64_t total =
+      last.total >= base.total ? last.total - base.total : 0;
+  const std::uint64_t bad = last.bad >= base.bad ? last.bad - base.bad : 0;
+  const double frac =
+      static_cast<double>(bad) / static_cast<double>(std::max<std::uint64_t>(1, total));
+  return frac / config_.budget;
+}
+
+double BurnRate::burn(double window_minutes) const {
+  return burn_over_slots(window_slots(window_minutes));
+}
+
+void BurnRate::record_transition(const BurnRateRule& rule,
+                                 const RuleState& state, bool firing) {
+  BurnAlert alert;
+  alert.stream = stream_;
+  alert.rule = rule.name;
+  alert.severity = rule.severity;
+  alert.slot = last_slot_;
+  alert.burn_short = state.burn_short;
+  alert.burn_long = state.burn_long;
+  alert.threshold = rule.threshold;
+  alert.active = firing;
+
+  const std::string base = "obs.burnrate." + stream_ + "." + rule.name;
+  if (firing) counter(base + ".fired").add(1);
+  gauge(base + ".active").set(firing ? 1.0 : 0.0);
+
+  Tracer& tracer = Tracer::global();
+  if (tracer.enabled()) {
+    // An instant marker on the trace timeline, tagged so it joins the
+    // request spans of the same stream.
+    SpanRecord span;
+    span.name = firing ? "burnrate.fire" : "burnrate.resolve";
+    span.tag = stream_ + "/" + rule.name;
+    span.start_seconds = monotonic_seconds();
+    span.duration_seconds = 0.0;
+    tracer.append(std::move(span));
+  }
+
+  if (log_limit_.allow()) {
+    ROPUS_LOG(kWarn) << describe(alert);
+  }
+
+  if (alerts_.size() >= config_.max_alerts) {
+    alerts_.erase(alerts_.begin());
+    alerts_dropped_ += 1;
+  }
+  alerts_.push_back(std::move(alert));
+}
+
+void BurnRate::observe(std::uint64_t slot, std::uint64_t total,
+                       std::uint64_t bad) {
+  if (any_ && slot < last_slot_) {
+    throw InvalidArgument("burnrate slots must be non-decreasing");
+  }
+  Point next;
+  if (!ring_.empty()) {
+    const bool full = ring_.size() >= config_.capacity;
+    next = ring_[full ? (head_ + ring_.size() - 1) % ring_.size()
+                      : ring_.size() - 1];
+  }
+  next.slot = slot;
+  next.total += total;
+  next.bad += bad;
+  if (ring_.size() < config_.capacity) {
+    ring_.push_back(next);
+  } else {
+    ring_[head_] = next;
+    head_ = (head_ + 1) % ring_.size();
+  }
+  last_slot_ = slot;
+  any_ = true;
+
+  for (std::size_t i = 0; i < config_.rules.size(); ++i) {
+    const BurnRateRule& rule = config_.rules[i];
+    RuleState& state = states_[i];
+    state.burn_short = burn_over_slots(window_slots(rule.short_minutes));
+    state.burn_long = burn_over_slots(window_slots(rule.long_minutes));
+    const bool firing = state.burn_short >= rule.threshold &&
+                        state.burn_long >= rule.threshold;
+    if (firing == state.active) continue;
+    state.active = firing;
+    if (firing) state.since_slot = slot;
+    record_transition(rule, state, firing);
+  }
+}
+
+bool BurnRate::rule_active(std::string_view rule) const {
+  for (std::size_t i = 0; i < config_.rules.size(); ++i) {
+    if (config_.rules[i].name == rule) return states_[i].active;
+  }
+  return false;
+}
+
+std::size_t BurnRate::active_count() const {
+  std::size_t n = 0;
+  for (const RuleState& state : states_) {
+    if (state.active) ++n;
+  }
+  return n;
+}
+
+std::vector<BurnAlert> BurnRate::active_alerts() const {
+  std::vector<BurnAlert> out;
+  for (std::size_t i = 0; i < config_.rules.size(); ++i) {
+    if (!states_[i].active) continue;
+    const BurnRateRule& rule = config_.rules[i];
+    BurnAlert alert;
+    alert.stream = stream_;
+    alert.rule = rule.name;
+    alert.severity = rule.severity;
+    alert.slot = states_[i].since_slot;
+    alert.burn_short = states_[i].burn_short;
+    alert.burn_long = states_[i].burn_long;
+    alert.threshold = rule.threshold;
+    alert.active = true;
+    out.push_back(std::move(alert));
+  }
+  return out;
+}
+
+std::string BurnRate::active_json() const {
+  json::Writer w;
+  w.begin_array();
+  for (const BurnAlert& alert : active_alerts()) {
+    w.begin_object();
+    w.key("stream").value(alert.stream);
+    w.key("rule").value(alert.rule);
+    w.key("severity").value(burn_severity_name(alert.severity));
+    w.key("since_slot").value(static_cast<std::int64_t>(alert.slot));
+    w.key("burn_short").value(alert.burn_short);
+    w.key("burn_long").value(alert.burn_long);
+    w.key("threshold").value(alert.threshold);
+    w.end_object();
+  }
+  w.end_array();
+  return w.str();
+}
+
+}  // namespace ropus::obs

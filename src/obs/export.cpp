@@ -96,27 +96,69 @@ std::string to_csv(const Snapshot& snapshot) {
   return out;
 }
 
-std::string to_prometheus(const Snapshot& snapshot) {
+std::string prometheus_escape_label(std::string_view value) {
   std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  // Exposition format version 0.0.4: one HELP + TYPE header per family,
+  // `_total`-suffixed counters, cumulative le-labelled histogram buckets.
+  // HELP text carries the original dotted metric name (HELP escaping
+  // shares the label rules minus the quote).
+  std::string out;
+  const auto header = [&out](const std::string& family, std::string_view name,
+                             const char* type) {
+    out += "# HELP " + family + " R-Opus metric " +
+           prometheus_escape_label(name) + "\n";
+    out += "# TYPE " + family + " ";
+    out += type;
+    out += "\n";
+  };
   for (const auto& [name, value] : snapshot.counters) {
-    const std::string prom = prometheus_name(name);
-    out += "# TYPE " + prom + " counter\n";
-    out += prom + " " + std::to_string(value) + "\n";
+    std::string family = prometheus_name(name);
+    if (!family.ends_with("_total")) family += "_total";
+    header(family, name, "counter");
+    out += family + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    const std::string prom = prometheus_name(name);
-    out += "# TYPE " + prom + " gauge\n";
-    out += prom + " " + format_double(value) + "\n";
+    const std::string family = prometheus_name(name);
+    header(family, name, "gauge");
+    out += family + " " + format_double(value) + "\n";
   }
   for (const auto& [name, h] : snapshot.histograms) {
-    const std::string prom = prometheus_name(name);
-    out += "# TYPE " + prom + " summary\n";
-    out += prom + "{quantile=\"0.5\"} " + format_double(h.p50) + "\n";
-    out += prom + "{quantile=\"0.95\"} " + format_double(h.p95) + "\n";
-    out += prom + "{quantile=\"0.99\"} " + format_double(h.p99) + "\n";
-    out += prom + "_sum " + format_double(h.sum) + "\n";
-    out += prom + "_count " + std::to_string(h.count) + "\n";
-    out += prom + "_max " + format_double(h.max) + "\n";
+    const std::string family = prometheus_name(name);
+    header(family, name, "histogram");
+    for (const auto& [le, cumulative] : h.buckets) {
+      const std::string bound =
+          std::isinf(le) ? "+Inf" : format_double(le);
+      out += family + "_bucket{le=\"" + prometheus_escape_label(bound) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    if (h.buckets.empty()) {
+      // Hand-built snapshots (tests, JSON round-trips) may lack the
+      // distribution; the +Inf bucket alone keeps the family well-formed.
+      out += family + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) +
+             "\n";
+    }
+    out += family + "_sum " + format_double(h.sum) + "\n";
+    out += family + "_count " + std::to_string(h.count) + "\n";
   }
   return out;
 }

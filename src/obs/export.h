@@ -19,10 +19,16 @@ std::string to_json(const Snapshot& snapshot);
 /// Rows of `metric,kind,stat,value` with a header.
 std::string to_csv(const Snapshot& snapshot);
 
-/// Prometheus text format. Metric names are sanitized ('.' and '-' become
-/// '_') and prefixed "ropus_"; histograms export _count/_sum plus
-/// quantile-labelled gauges.
+/// Prometheus text exposition format (version 0.0.4 conformant): every
+/// family gets `# HELP` and `# TYPE` lines, counters carry the `_total`
+/// suffix, and histograms export cumulative `_bucket{le="..."}` series
+/// (ending in `le="+Inf"`) plus `_sum` and `_count`. Metric names are
+/// sanitized ('.' and '-' become '_') and prefixed "ropus_".
 std::string to_prometheus(const Snapshot& snapshot);
+
+/// Escapes a label value for the exposition format: backslash, double
+/// quote and newline become `\\`, `\"` and `\n`.
+std::string prometheus_escape_label(std::string_view value);
 
 /// Writes a snapshot atomically, choosing the format from the extension:
 /// .json, .csv, or anything else (.prom, .txt) as Prometheus text.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "common/error.h"
 
@@ -98,6 +99,20 @@ HistogramSnapshot Histogram::snapshot() const {
   }
   HistogramSnapshot snap;
   snap.count = total;
+  // Cumulative export buckets, downsampled to ~16 boundaries so the
+  // exposition stays readable; always present (even at count 0) so the
+  // Prometheus histogram family is well-formed from first scrape.
+  const std::size_t stride = std::max<std::size_t>(1, options_.buckets / 16);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b + 1 < options_.buckets; ++b) {
+    cumulative += counts[b];
+    if ((b + 1) % stride == 0) {
+      snap.buckets.emplace_back(
+          options_.min * std::pow(ratio_, static_cast<double>(b + 1)),
+          cumulative);
+    }
+  }
+  snap.buckets.emplace_back(std::numeric_limits<double>::infinity(), total);
   if (total == 0) return snap;
   snap.sum = sum_.load(std::memory_order_relaxed);
   snap.min = min_.load(std::memory_order_relaxed);

@@ -23,6 +23,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace ropus::obs {
@@ -69,6 +70,11 @@ struct HistogramSnapshot {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  /// Cumulative distribution for Prometheus-style export: (upper bound,
+  /// samples at or below it), downsampled from the internal layout to
+  /// ~16 boundaries. The final entry is (+infinity, count), matching the
+  /// `le="+Inf"` bucket the exposition format requires.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
   double mean() const {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
   }

@@ -75,9 +75,13 @@ void Tracer::append(SpanRecord record) {
   records_.push_back(std::move(record));
 }
 
-ScopedSpan::ScopedSpan(std::string_view name) : name_(name) {
+ScopedSpan::ScopedSpan(std::string_view name) : ScopedSpan(name, {}) {}
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view tag)
+    : name_(name) {
   Tracer& tracer = Tracer::global();
   if (!tracer.enabled()) return;
+  tag_ = std::string(tag);
   active_ = true;
   id_ = tracer.next_id_.fetch_add(1, std::memory_order_relaxed);
   saved_parent_ = t_current_span;
@@ -94,6 +98,7 @@ ScopedSpan::~ScopedSpan() {
   t_depth -= 1;
   SpanRecord record;
   record.name = std::string(name_);
+  record.tag = std::move(tag_);
   record.id = id_;
   record.parent = saved_parent_;
   record.depth = depth_;
@@ -121,6 +126,7 @@ std::string trace_to_json(std::span<const SpanRecord> records) {
     w.key("id").value(static_cast<std::int64_t>(r.id));
     w.key("parent").value(r.parent);
     w.key("depth").value(static_cast<std::int64_t>(r.depth));
+    if (!r.tag.empty()) w.key("tag").value(r.tag);
     w.end_object();
     w.end_object();
   }

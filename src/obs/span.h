@@ -25,9 +25,13 @@
 namespace ropus::obs {
 
 /// A closed span. `parent` is the id of the enclosing span on the same
-/// thread, or -1 for a root. Times come from the monotonic clock.
+/// thread, or -1 for a root. Times come from the monotonic clock. `tag`
+/// is an optional request-scoped annotation (the serve plane puts the
+/// client-generated request id here, so a client trace and the daemon
+/// trace join on it); empty tags are omitted from exports.
 struct SpanRecord {
   std::string name;
+  std::string tag;
   std::uint64_t id = 0;
   std::int64_t parent = -1;
   std::uint32_t depth = 0;
@@ -66,16 +70,19 @@ class Tracer {
   friend class ScopedSpan;
 };
 
-/// RAII span handle. The name must outlive the span (string literals do).
+/// RAII span handle. The name must outlive the span (string literals do);
+/// the tag, when given, is copied (request ids are short-lived strings).
 class ScopedSpan {
  public:
   explicit ScopedSpan(std::string_view name);
+  ScopedSpan(std::string_view name, std::string_view tag);
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
   ~ScopedSpan();
 
  private:
   std::string_view name_;
+  std::string tag_;
   std::uint64_t id_ = 0;
   std::int64_t saved_parent_ = -1;
   std::uint32_t depth_ = 0;

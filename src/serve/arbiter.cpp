@@ -138,6 +138,7 @@ std::vector<std::string> Arbiter::handle(const Message& msg,
       replies = {depart(msg.depart, &changed)};
       break;
     case MessageType::kCheckpoint:
+    case MessageType::kStats:
     case MessageType::kShutdown:
       // Handled by the daemon envelope; the arbiter has no state to change.
       break;
@@ -480,6 +481,12 @@ std::string Arbiter::advance_slot(const TickMessage& msg, bool filler) {
   }
   w.end_object();
   return w.str();
+}
+
+double Arbiter::backlog_total() const {
+  double total = 0.0;
+  for (const slo::DeferralQueue& q : backlogs_) total += q.total();
+  return total;
 }
 
 std::string Arbiter::summary() const {

@@ -81,6 +81,8 @@ class Arbiter {
   std::size_t departed_count() const { return departed_; }
   const ServeConfig& config() const { return config_; }
   const obs::Watchdog& watchdog() const { return watchdog_; }
+  /// Total CoS2 work currently deferred across all servers (CPU-slots).
+  double backlog_total() const;
 
   /// Identified requests the arbiter remembers for retry idempotency. A
   /// client that resends an id within this window gets the original reply

@@ -16,6 +16,7 @@
 #include "common/error.h"
 #include "common/json.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace ropus::serve {
 namespace {
@@ -172,6 +173,11 @@ std::vector<std::string> Client::transact(const std::string& request) {
     }
   }
   wire += '\n';
+
+  // The span is tagged with the request id — the same id the daemon tags
+  // its handling span with — so a client trace and a daemon trace of the
+  // same request join on the tag.
+  obs::ScopedSpan span("client.transact", id);
 
   const double deadline = obs::monotonic_seconds() + options_.deadline_s;
   std::string last_error = "no attempt made";

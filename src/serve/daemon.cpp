@@ -13,8 +13,10 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/logging.h"
 #include "common/signals.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace ropus::serve {
 namespace {
@@ -96,6 +98,45 @@ void crash_point(const char* point) {
   if (want != nullptr && std::strcmp(want, point) == 0) std::_Exit(137);
 }
 
+/// Span name for one request type; literals so the name outlives the span.
+const char* request_span_name(MessageType type) {
+  switch (type) {
+    case MessageType::kTick: return "serve.tick";
+    case MessageType::kAdmit: return "serve.admit";
+    case MessageType::kDepart: return "serve.depart";
+    case MessageType::kEvict: return "serve.evict";
+    case MessageType::kCheckpoint: return "serve.checkpoint";
+    case MessageType::kStats: return "serve.stats";
+    case MessageType::kShutdown: return "serve.shutdown";
+  }
+  return "serve.request";
+}
+
+/// Per-type envelope latency histogram, cached so the steady state never
+/// touches the registry lock.
+obs::Histogram& request_histogram(MessageType type) {
+  static obs::Histogram* const hists[] = {
+      &obs::histogram("serve.request.tick_seconds"),
+      &obs::histogram("serve.request.admit_seconds"),
+      &obs::histogram("serve.request.depart_seconds"),
+      &obs::histogram("serve.request.evict_seconds"),
+      &obs::histogram("serve.request.checkpoint_seconds"),
+      &obs::histogram("serve.request.stats_seconds"),
+      &obs::histogram("serve.request.shutdown_seconds"),
+  };
+  const auto index = static_cast<std::size_t>(type);
+  static_assert(std::size(hists) ==
+                static_cast<std::size_t>(MessageType::kShutdown) + 1);
+  return *hists[index];
+}
+
+/// Burn-rate rules scaled to this pool's tick length.
+obs::BurnRateConfig burn_config(const ServeConfig& config) {
+  obs::BurnRateConfig bc;
+  bc.minutes_per_slot = config.minutes_per_sample;
+  return bc;
+}
+
 }  // namespace
 
 std::string best_effort_id(const std::string& line) {
@@ -117,6 +158,7 @@ void DaemonOptions::validate() const {
   ROPUS_REQUIRE(queue_capacity >= 1, "ingest queue needs capacity >= 1");
   ROPUS_REQUIRE(max_line_bytes >= 2, "line bound must be >= 2 bytes");
   ROPUS_REQUIRE(tick_deadline_ms >= 0.0, "tick deadline must be >= 0");
+  ROPUS_REQUIRE(slow_request_ms >= 0.0, "slow-request threshold must be >= 0");
   ROPUS_REQUIRE(!compact_journal ||
                     (!checkpoint_path.empty() && !journal_path.empty()),
                 "journal compaction requires both a journal and a "
@@ -264,10 +306,19 @@ RecoveryReport recover_state(const ServeConfig& config,
 }
 
 DaemonCore::DaemonCore(const ServeConfig& config, const DaemonOptions& options)
-    : options_(options), arbiter_(config) {
+    : options_(options),
+      arbiter_(config),
+      slo_burn_("slo", burn_config(config)),
+      admission_burn_("admission", burn_config(config)) {
   config.validate();
   options_.validate();
   recovery_ = recover_state(config, options_, arbiter_);
+  // Alerts restored from the checkpoint/journal predate this process;
+  // burn tracking starts from the recovered baseline, not from zero, so
+  // a restart never re-fires on old history.
+  watchdog_alerts_seen_ =
+      arbiter_.watchdog().alerts().size() +
+      static_cast<std::size_t>(arbiter_.watchdog().alerts_dropped());
   if (!options_.journal_path.empty()) {
     // Opening the journal truncates any torn tail found during recovery;
     // recover_state already parsed the file, so reuse its counts instead
@@ -300,6 +351,10 @@ std::uint64_t DaemonCore::journal_entries() const {
 
 std::uint64_t DaemonCore::journal_bytes() const {
   return journal_ ? journal_->bytes() : 0;
+}
+
+std::uint64_t DaemonCore::journal_tail_frames() const {
+  return journal_ ? journal_->tail_frames() : 0;
 }
 
 bool DaemonCore::checkpoint_now() {
@@ -342,10 +397,23 @@ DaemonCore::Result DaemonCore::process_line(const std::string& line,
     return result;
   }
 
+  // Envelope latency: parse through end-marker, recorded per message type
+  // (unparseable lines land in the histogram of their attempted type's
+  // fallback, "invalid"). Clock reads are skipped when timing is off.
+  const bool timed = obs::timing_enabled();
+  const double request_started = timed ? obs::monotonic_seconds() : 0.0;
+  MessageType request_type = MessageType::kTick;
+  bool request_parsed = false;
+
   std::string id;
   try {
     const Message msg = parse_message(line);
     id = msg.id;
+    request_type = msg.type;
+    request_parsed = true;
+    // The span carries the client-generated request id, so a client-side
+    // trace and the daemon trace join on it end to end.
+    obs::ScopedSpan span(request_span_name(msg.type), msg.id);
     const auto started = std::chrono::steady_clock::now();
     bool state_changed = false;
     result.replies = arbiter_.handle(msg, &state_changed);
@@ -360,10 +428,20 @@ DaemonCore::Result DaemonCore::process_line(const std::string& line,
     }
 
     switch (msg.type) {
-      case MessageType::kTick:
+      case MessageType::kTick: {
         last_tick_ms_ = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - started)
                             .count();
+        // Feed the SLO burn tracker one point per tick: bad when the
+        // watchdog emitted any new alert while handling it. Observing
+        // verdicts, never shaping them — the tracker lives entirely in
+        // the envelope.
+        const std::size_t alerts_now =
+            arbiter_.watchdog().alerts().size() +
+            static_cast<std::size_t>(arbiter_.watchdog().alerts_dropped());
+        const bool bad = alerts_now > watchdog_alerts_seen_;
+        watchdog_alerts_seen_ = alerts_now;
+        slo_burn_.observe(arbiter_.next_slot(), 1, bad ? 1 : 0);
         // Two triggers: the slot interval since the last checkpoint *this
         // process* took, and the journal tail length. The second is what
         // actually bounds the journal — slots_at_checkpoint_ resets on
@@ -378,6 +456,7 @@ DaemonCore::Result DaemonCore::process_line(const std::string& line,
           checkpoint_now();
         }
         break;
+      }
       case MessageType::kCheckpoint:
         if (options_.checkpoint_path.empty()) {
           result.replies.push_back(error_reply(
@@ -393,10 +472,24 @@ DaemonCore::Result DaemonCore::process_line(const std::string& line,
               ok_reply("checkpoint", arbiter_.next_slot(), journal_entries()));
         }
         break;
+      case MessageType::kStats:
+        // Pure read, never journaled or id-cached: the arbiter ignored
+        // it, the envelope answers from live state.
+        result.replies.push_back(stats_reply());
+        break;
       case MessageType::kShutdown:
         result.shutdown = true;
         break;
-      case MessageType::kAdmit:
+      case MessageType::kAdmit: {
+        // One admission-stream burn point per decision; the decision is
+        // read back from the reply the arbiter just produced.
+        const bool rejected =
+            !result.replies.empty() &&
+            result.replies.front().find("\"decision\":\"rejected\"") !=
+                std::string::npos;
+        admission_burn_.observe(arbiter_.next_slot(), 1, rejected ? 1 : 0);
+        break;
+      }
       case MessageType::kDepart:
       case MessageType::kEvict:
         break;
@@ -410,7 +503,87 @@ DaemonCore::Result DaemonCore::process_line(const std::string& line,
   if (!id.empty()) {
     result.replies.push_back(end_reply(id, result.replies.size()));
   }
+
+  if (timed) {
+    const double elapsed = obs::monotonic_seconds() - request_started;
+    if (request_parsed) {
+      request_histogram(request_type).record(elapsed);
+    } else {
+      static obs::Histogram& invalid =
+          obs::histogram("serve.request.invalid_seconds");
+      invalid.record(elapsed);
+    }
+    if (options_.slow_request_ms > 0.0 &&
+        elapsed * 1000.0 > options_.slow_request_ms) {
+      static obs::Counter& slow = obs::counter("serve.request.slow");
+      slow.add();
+      static log::Every limit(8, 64);
+      if (limit.allow()) {
+        ROPUS_LOG(kWarn) << "serve: slow request"
+                         << (request_parsed
+                                 ? std::string(" type=") +
+                                       message_type_name(request_type)
+                                 : std::string(" (unparseable)"))
+                         << (id.empty() ? std::string()
+                                        : " id=" + id)
+                         << " took " << elapsed * 1000.0 << " ms (threshold "
+                         << options_.slow_request_ms << " ms)";
+      }
+    }
+  }
   return result;
+}
+
+std::string DaemonCore::stats_reply() const {
+  json::Writer w;
+  w.begin_object();
+  w.key("type").value("stats");
+  w.key("slot").value(arbiter_.next_slot());
+  w.key("apps").value(arbiter_.app_count());
+  w.key("departed").value(arbiter_.departed_count());
+  w.key("theta").value(arbiter_.watchdog().theta());
+  w.key("backlog").value(arbiter_.backlog_total());
+  w.key("recovery").value(recovery_mode_name(recovery_.mode));
+  w.key("journal_entries").value(static_cast<std::int64_t>(journal_entries()));
+  w.key("journal_bytes").value(static_cast<std::int64_t>(journal_bytes()));
+  w.key("last_tick_ms").value(last_tick_ms_);
+  // Admission counters are lifetime-of-process registry values; the
+  // arbiter itself only keeps what replay needs.
+  w.key("admitted").value(
+      static_cast<std::int64_t>(obs::counter("serve.admission.accepted").value()));
+  w.key("rejected").value(
+      static_cast<std::int64_t>(obs::counter("serve.admission.rejected").value()));
+  w.key("renegotiated").value(static_cast<std::int64_t>(
+      obs::counter("serve.admission.renegotiated").value()));
+  const obs::HistogramSnapshot ticks =
+      request_histogram(MessageType::kTick).snapshot();
+  w.key("tick_latency_seconds").begin_object();
+  w.key("count").value(static_cast<std::int64_t>(ticks.count));
+  w.key("p50").value(ticks.p50);
+  w.key("p95").value(ticks.p95);
+  w.key("p99").value(ticks.p99);
+  w.key("max").value(ticks.max);
+  w.end_object();
+  w.key("watchdog_alerts")
+      .value(arbiter_.watchdog().alerts().size() +
+             static_cast<std::size_t>(arbiter_.watchdog().alerts_dropped()));
+  w.key("alerts").begin_array();
+  for (const obs::BurnRate* burn : {&slo_burn_, &admission_burn_}) {
+    for (const obs::BurnAlert& alert : burn->active_alerts()) {
+      w.begin_object();
+      w.key("stream").value(alert.stream);
+      w.key("rule").value(alert.rule);
+      w.key("severity").value(obs::burn_severity_name(alert.severity));
+      w.key("since_slot").value(static_cast<std::int64_t>(alert.slot));
+      w.key("burn_short").value(alert.burn_short);
+      w.key("burn_long").value(alert.burn_long);
+      w.key("threshold").value(alert.threshold);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 int run_daemon(const ServeConfig& config, const DaemonOptions& options,

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/burnrate.h"
 #include "serve/arbiter.h"
 #include "serve/checkpoint.h"
 
@@ -56,6 +57,10 @@ struct DaemonOptions {
   /// optional work (the periodic checkpoint) is shed until load recedes.
   /// 0 disables the deadline.
   double tick_deadline_ms = 0.0;
+  /// Requests whose envelope processing exceeds this many milliseconds
+  /// are logged at warn level (rate-limited). 0 disables. Pure
+  /// observability: never changes replies or shedding.
+  double slow_request_ms = 0.0;
 
   void validate() const;
 };
@@ -141,6 +146,27 @@ class DaemonCore {
   Arbiter& arbiter() { return arbiter_; }
   std::uint64_t journal_entries() const;
   std::uint64_t journal_bytes() const;
+  /// Journal frames appended since the last compaction (0 without a
+  /// journal); a tail far beyond the checkpoint interval means the
+  /// daemon cannot keep up with its own compaction — the /healthz
+  /// journal-lag signal.
+  std::uint64_t journal_tail_frames() const;
+
+  /// The {"type":"stats"} reply body: live introspection (slot, apps,
+  /// journal size, tick latency percentiles, theta, backlog, active
+  /// burn-rate alerts). Read-only; also served as the NDJSON `stats` verb.
+  std::string stats_reply() const;
+
+  /// Error-budget burn trackers: "slo" is fed one point per tick (bad =
+  /// a watchdog alert fired that tick), "admission" one per admit (bad =
+  /// reject). Both live in the envelope — they observe verdicts, they
+  /// never shape them.
+  const obs::BurnRate& slo_burn() const { return slo_burn_; }
+  const obs::BurnRate& admission_burn() const { return admission_burn_; }
+  /// Rules currently firing across both streams.
+  std::size_t active_alert_count() const {
+    return slo_burn_.active_count() + admission_burn_.active_count();
+  }
 
  private:
   DaemonOptions options_;
@@ -149,6 +175,9 @@ class DaemonCore {
   std::unique_ptr<Journal> journal_;
   std::size_t slots_at_checkpoint_ = 0;
   double last_tick_ms_ = 0.0;
+  obs::BurnRate slo_burn_;
+  obs::BurnRate admission_burn_;
+  std::size_t watchdog_alerts_seen_ = 0;  // alerts() + alerts_dropped()
 };
 
 /// Runs the daemon loop: reads NDJSON requests from `in`, writes replies

@@ -166,6 +166,19 @@ std::string parse_id(const json::Value& v) {
 
 }  // namespace
 
+const char* message_type_name(MessageType type) {
+  switch (type) {
+    case MessageType::kTick: return "tick";
+    case MessageType::kAdmit: return "admit";
+    case MessageType::kDepart: return "depart";
+    case MessageType::kEvict: return "evict";
+    case MessageType::kCheckpoint: return "checkpoint";
+    case MessageType::kStats: return "stats";
+    case MessageType::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
 Message parse_message(std::string_view line) {
   json::Value v = json::Value::null();
   try {
@@ -197,6 +210,8 @@ Message parse_message(std::string_view line) {
     msg.depart = parse_depart(v, /*evict=*/true);
   } else if (name == "checkpoint") {
     msg.type = MessageType::kCheckpoint;
+  } else if (name == "stats") {
+    msg.type = MessageType::kStats;
   } else if (name == "shutdown") {
     msg.type = MessageType::kShutdown;
   } else {

@@ -20,6 +20,10 @@
 //   {"type":"evict","app":"name"}    operator-initiated removal; same
 //       state change as depart, flagged "evicted" in the reply
 //   {"type":"checkpoint"}   force a checkpoint now
+//   {"type":"stats"}        live introspection snapshot: slot, apps,
+//       journal size, recovery mode, tick latency percentiles, theta and
+//       active burn-rate alerts. Read-only: never journaled, answered
+//       even while the daemon sheds optional work.
 //   {"type":"shutdown"}     graceful drain (summary, final checkpoint)
 //
 // Any request may carry an optional string "id" (<= 128 bytes). The
@@ -54,8 +58,13 @@ enum class MessageType {
   kDepart,
   kEvict,
   kCheckpoint,
+  kStats,
   kShutdown,
 };
+
+/// Wire name of a message type ("tick", "admit", ...); used for
+/// per-request-type metric names as well as diagnostics.
+const char* message_type_name(MessageType type);
 
 /// Typed protocol fault taxonomy — the wire-level counterpart of
 /// wlm::ObservationClass. Every way an input line can be unusable maps to

@@ -15,7 +15,9 @@
 
 #include "common/error.h"
 #include "common/signals.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace ropus::serve {
 namespace {
@@ -64,6 +66,42 @@ bool flush_conn(Conn& c, double now) {
   return true;
 }
 
+/// One HTTP scrape connection: request bytes in, one response out, close.
+struct HttpConn {
+  int fd = -1;
+  std::string inbuf;
+  std::string outbuf;
+  double started = 0.0;   // connect time, for the scrape timeout
+  bool responded = false;
+  bool eof = false;
+};
+
+/// Scrape connections beyond this are answered 503 and closed; scrapes
+/// are one-shot, so a small cap is plenty.
+constexpr std::size_t kMaxHttpConns = 16;
+/// A scraper that has neither sent a full request nor drained its
+/// response within this window is dropped.
+constexpr double kHttpTimeoutSeconds = 10.0;
+
+std::string http_response(int code, const char* reason,
+                          const char* content_type, std::string_view body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// "GET /path HTTP/1.x" -> "/path"; empty when the line is not a GET.
+std::string http_get_path(std::string_view request_line) {
+  if (!request_line.starts_with("GET ")) return {};
+  request_line.remove_prefix(4);
+  const std::size_t space = request_line.find(' ');
+  if (space == 0 || space == std::string_view::npos) return {};
+  return std::string(request_line.substr(0, space));
+}
+
 }  // namespace
 
 void TransportOptions::validate() const {
@@ -72,6 +110,9 @@ void TransportOptions::validate() const {
   ROPUS_REQUIRE(write_timeout_s >= 0.0, "write timeout must be >= 0");
   ROPUS_REQUIRE(max_output_bytes >= 256,
                 "output buffer cap must hold at least one error reply");
+  ROPUS_REQUIRE(http_port >= -1 && http_port <= 65535,
+                "http port must be -1 (disabled) or 0..65535");
+  ROPUS_REQUIRE(drain_grace_s >= 0.0, "drain grace must be >= 0");
   if (!unix_path.empty()) {
     sockaddr_un probe{};
     ROPUS_REQUIRE(unix_path.size() < sizeof(probe.sun_path),
@@ -145,10 +186,42 @@ SocketServer::SocketServer(const ServeConfig& config,
   }
   if (::listen(listen_fd_, 64) < 0) fail_errno("cannot listen");
   set_nonblocking(listen_fd_);
+
+  if (transport_.http_port >= 0) {
+    // The scrape listener is always TCP loopback, even when the NDJSON
+    // side is Unix-domain — curl and Prometheus speak TCP.
+    http_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (http_fd_ < 0) fail_errno("cannot create http socket");
+    const int one = 1;
+    ::setsockopt(http_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(transport_.http_port));
+    const std::string http_host =
+        transport_.unix_path.empty() ? transport_.host : "127.0.0.1";
+    if (::inet_pton(AF_INET, http_host.c_str(), &addr.sin_addr) != 1) {
+      throw IoError("cannot parse http bind host '" + http_host + "'");
+    }
+    if (::bind(http_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+        0) {
+      fail_errno("cannot bind http port " +
+                 std::to_string(transport_.http_port));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(http_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+        0) {
+      fail_errno("cannot read the bound http port back");
+    }
+    http_port_ = static_cast<int>(ntohs(bound.sin_port));
+    if (::listen(http_fd_, 16) < 0) fail_errno("cannot listen on http port");
+    set_nonblocking(http_fd_);
+  }
 }
 
 SocketServer::~SocketServer() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (http_fd_ >= 0) ::close(http_fd_);
   if (!transport_.unix_path.empty()) ::unlink(transport_.unix_path.c_str());
 }
 
@@ -166,6 +239,9 @@ int SocketServer::run(std::ostream& err) {
       obs::counter("serve.transport.write_timeouts");
   static obs::Counter& sheds = obs::counter("serve.transport.overload_sheds");
   static obs::Counter& lines = obs::counter("serve.transport.lines");
+  static obs::Counter& scrapes = obs::counter("serve.http.requests");
+  static obs::Counter& scrape_refused = obs::counter("serve.http.refused");
+  static obs::Gauge& open_conns = obs::gauge("serve.transport.open");
 
   const RecoveryReport& recovery = core_.recovery();
   if (recovery.torn_tail) {
@@ -175,11 +251,16 @@ int SocketServer::run(std::ostream& err) {
   if (!recovery.checkpoint_error.empty()) {
     err << "serve: checkpoint unused (" << recovery.checkpoint_error << ")\n";
   }
-  err << "serve: listening on " << address() << '\n' << std::flush;
+  err << "serve: listening on " << address();
+  if (http_fd_ >= 0) err << " (http on 127.0.0.1:" << http_port_ << ")";
+  err << '\n' << std::flush;
 
   const std::string greeting = core_.ready_line() + "\n";
   std::vector<Conn> conns;
+  std::vector<HttpConn> https;
+  obs::TimeSeries series;  // scrape-cadence registry samples, /stats.json
   bool draining = false;
+  bool signal_drain = false;  // grace drain: hold until the deadline
   double drain_deadline = 0.0;
   int exit_code = 0;
 
@@ -187,64 +268,180 @@ int SocketServer::run(std::ostream& err) {
     ::close(conns[i].fd);
     conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
   };
+  const auto close_http = [&](std::size_t i) {
+    ::close(https[i].fd);
+    https.erase(https.begin() + static_cast<std::ptrdiff_t>(i));
+  };
+
+  // GET /healthz: 503 while draining (stop routing work here) or
+  // overloaded (a peer is being shed, the last tick blew its deadline, or
+  // the journal tail has outrun compaction by 4 checkpoint intervals).
+  const auto health = [&]() {
+    const char* status = "ok";
+    if (draining) {
+      status = "draining";
+    } else {
+      bool overloaded = false;
+      for (const Conn& c : conns) overloaded = overloaded || c.shedding;
+      const DaemonOptions& opts = core_.options();
+      if (opts.tick_deadline_ms > 0.0 &&
+          core_.last_tick_ms() > opts.tick_deadline_ms) {
+        overloaded = true;
+      }
+      if (opts.compact_journal &&
+          core_.journal_tail_frames() >= 4 * opts.checkpoint_every_slots) {
+        overloaded = true;
+      }
+      if (overloaded) status = "overloaded";
+    }
+    json::Writer w;
+    w.begin_object();
+    w.key("status").value(status);
+    w.key("slot").value(core_.arbiter().next_slot());
+    w.key("apps").value(core_.arbiter().app_count());
+    w.key("journal_bytes")
+        .value(static_cast<std::int64_t>(core_.journal_bytes()));
+    w.key("last_tick_ms").value(core_.last_tick_ms());
+    w.key("active_alerts").value(core_.active_alert_count());
+    w.key("connections").value(conns.size());
+    w.end_object();
+    const bool ok = std::string_view(status) == "ok";
+    return std::pair<int, std::string>(ok ? 200 : 503, w.str() + "\n");
+  };
+
+  const auto respond = [&](HttpConn& h, std::string_view request_line) {
+    scrapes.add();
+    const std::string path = http_get_path(request_line);
+    if (path == "/metrics") {
+      h.outbuf += http_response(
+          200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+          obs::to_prometheus(obs::Registry::global().snapshot()));
+    } else if (path == "/healthz") {
+      const auto [code, body] = health();
+      h.outbuf += http_response(
+          code, code == 200 ? "OK" : "Service Unavailable",
+          "application/json", body);
+    } else if (path == "/stats.json") {
+      h.outbuf += http_response(200, "OK", "application/json",
+                                series.to_json() + "\n");
+    } else if (path.empty()) {
+      h.outbuf += http_response(405, "Method Not Allowed", "text/plain",
+                                "only GET is supported\n");
+    } else {
+      h.outbuf += http_response(404, "Not Found", "text/plain",
+                                "try /metrics, /healthz or /stats.json\n");
+    }
+    h.responded = true;
+  };
 
   for (;;) {
     const double now = obs::monotonic_seconds();
+    series.maybe_sample(obs::Registry::global(), now);
+    open_conns.set(static_cast<double>(conns.size()));
     if ((signals::termination_requested() ||
          stop_.load(std::memory_order_relaxed)) &&
         !draining) {
       exit_code = 130;
-      break;
+      if (transport_.drain_grace_s <= 0.0) break;
+      // Grace drain: stop accepting and processing NDJSON work but keep
+      // answering scrapes (reporting "draining") for the window, so an
+      // orchestrator observes the transition before the process goes.
+      draining = true;
+      signal_drain = true;
+      drain_deadline = now + transport_.drain_grace_s;
+      for (Conn& c : conns) c.close_after_flush = true;
     }
     if (draining) {
       bool pending = false;
       for (const Conn& c : conns) pending = pending || !c.outbuf.empty();
-      if (!pending || now > drain_deadline) break;
+      if (signal_drain) {
+        if (now >= drain_deadline) break;
+      } else if (!pending || now > drain_deadline) {
+        break;
+      }
     }
 
-    // Connections accepted below are appended after this point; the walk
+    // Connections accepted below are appended after this point; the walks
     // must only touch the prefix that has a matching pollfd entry.
     const std::size_t polled = conns.size();
+    const std::size_t polled_http = https.size();
     std::vector<pollfd> fds;
-    fds.reserve(polled + 1);
-    if (!draining) fds.push_back({listen_fd_, POLLIN, 0});
+    fds.reserve(polled + polled_http + 2);
+    std::ptrdiff_t listen_at = -1;
+    std::ptrdiff_t http_at = -1;
+    if (!draining) {
+      listen_at = static_cast<std::ptrdiff_t>(fds.size());
+      fds.push_back({listen_fd_, POLLIN, 0});
+    }
+    if (http_fd_ >= 0) {
+      // The scrape listener stays live while draining: that window is
+      // exactly when /healthz has something worth saying.
+      http_at = static_cast<std::ptrdiff_t>(fds.size());
+      fds.push_back({http_fd_, POLLIN, 0});
+    }
+    const std::size_t conn_base = fds.size();
     for (const Conn& c : conns) {
       short events = 0;
       if (!c.eof && !c.close_after_flush && !draining) events |= POLLIN;
       if (!c.outbuf.empty()) events |= POLLOUT;
       fds.push_back({c.fd, events, 0});
     }
+    const std::size_t http_base = fds.size();
+    for (const HttpConn& h : https) {
+      short events = 0;
+      if (!h.responded) events |= POLLIN;
+      if (!h.outbuf.empty()) events |= POLLOUT;
+      fds.push_back({h.fd, events, 0});
+    }
     const int rc = ::poll(fds.data(), fds.size(), 50);
     if (rc < 0 && errno != EINTR) fail_errno("poll failed");
 
-    std::size_t fd_index = 0;
-    if (!draining) {
+    if (listen_at >= 0 && (fds[static_cast<std::size_t>(listen_at)].revents &
+                           POLLIN) != 0) {
       // New connections: greet with the ready line, or refuse over the cap.
-      if ((fds[0].revents & POLLIN) != 0) {
-        for (;;) {
-          const int fd = ::accept(listen_fd_, nullptr, nullptr);
-          if (fd < 0) break;
-          if (conns.size() >= transport_.max_connections) {
-            const std::string msg =
-                error_reply(ProtocolError::kOverload,
-                            "connection limit reached") +
-                "\n";
-            (void)::send(fd, msg.data(), msg.size(), MSG_NOSIGNAL);
-            ::close(fd);
-            refused.add();
-            continue;
-          }
-          set_nonblocking(fd);
-          Conn c;
-          c.fd = fd;
-          c.outbuf = greeting;
-          c.last_line = now;
-          c.last_progress = now;
-          conns.push_back(std::move(c));
-          accepted.add();
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        if (conns.size() >= transport_.max_connections) {
+          const std::string msg =
+              error_reply(ProtocolError::kOverload,
+                          "connection limit reached") +
+              "\n";
+          (void)::send(fd, msg.data(), msg.size(), MSG_NOSIGNAL);
+          ::close(fd);
+          refused.add();
+          continue;
         }
+        set_nonblocking(fd);
+        Conn c;
+        c.fd = fd;
+        c.outbuf = greeting;
+        c.last_line = now;
+        c.last_progress = now;
+        conns.push_back(std::move(c));
+        accepted.add();
       }
-      fd_index = 1;
+    }
+    if (http_at >= 0 &&
+        (fds[static_cast<std::size_t>(http_at)].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = ::accept(http_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        if (https.size() >= kMaxHttpConns) {
+          const std::string msg = http_response(
+              503, "Service Unavailable", "text/plain",
+              "scrape connection limit reached\n");
+          (void)::send(fd, msg.data(), msg.size(), MSG_NOSIGNAL);
+          ::close(fd);
+          scrape_refused.add();
+          continue;
+        }
+        set_nonblocking(fd);
+        HttpConn h;
+        h.fd = fd;
+        h.started = now;
+        https.push_back(std::move(h));
+      }
     }
 
     // Walk backwards so close_conn's erase cannot skip a neighbour. Only
@@ -252,7 +449,7 @@ int SocketServer::run(std::ostream& err) {
     // (their greeting goes out on the next POLLOUT).
     for (std::size_t k = polled; k-- > 0;) {
       Conn& c = conns[k];
-      const short revents = fds[fd_index + k].revents;
+      const short revents = fds[conn_base + k].revents;
       bool dead = (revents & (POLLERR | POLLNVAL)) != 0;
 
       if (!dead && (revents & (POLLIN | POLLHUP)) != 0 && !c.eof) {
@@ -369,10 +566,83 @@ int SocketServer::run(std::ostream& err) {
         close_conn(k);
       }
     }
+
+    // HTTP scrape connections: one request, one response, close. Same
+    // backwards-over-the-polled-prefix discipline as the NDJSON walk.
+    for (std::size_t k = polled_http; k-- > 0;) {
+      HttpConn& h = https[k];
+      const short revents = fds[http_base + k].revents;
+      bool dead = (revents & (POLLERR | POLLNVAL)) != 0;
+
+      if (!dead && (revents & (POLLIN | POLLHUP)) != 0 && !h.responded &&
+          !h.eof) {
+        char buf[2048];
+        for (;;) {
+          const ssize_t n = ::recv(h.fd, buf, sizeof buf, 0);
+          if (n > 0) {
+            h.inbuf.append(buf, static_cast<std::size_t>(n));
+            if (h.inbuf.size() > 8192) {  // scrape requests are tiny
+              h.outbuf += http_response(400, "Bad Request", "text/plain",
+                                        "request too large\n");
+              h.responded = true;
+              break;
+            }
+            continue;
+          }
+          if (n == 0) {
+            h.eof = true;
+            break;
+          }
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          dead = true;
+          break;
+        }
+      }
+      if (!dead && !h.responded) {
+        // Answer once the header block is complete (or the peer finished
+        // its request with a half-close); responding mid-headers risks a
+        // reset racing the reply past unread input.
+        const bool complete =
+            h.inbuf.find("\r\n\r\n") != std::string::npos ||
+            h.inbuf.find("\n\n") != std::string::npos ||
+            (h.eof && h.inbuf.find('\n') != std::string::npos);
+        if (complete) {
+          std::string_view first(h.inbuf);
+          first = first.substr(0, h.inbuf.find('\n'));
+          if (!first.empty() && first.back() == '\r') {
+            first.remove_suffix(1);
+          }
+          respond(h, first);
+        } else if (h.eof) {
+          dead = true;  // closed before sending a request
+        }
+      }
+
+      if (!dead && !h.outbuf.empty()) {
+        while (!h.outbuf.empty()) {
+          const ssize_t n =
+              ::send(h.fd, h.outbuf.data(), h.outbuf.size(), MSG_NOSIGNAL);
+          if (n > 0) {
+            h.outbuf.erase(0, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n < 0 && errno == EINTR) continue;
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          dead = true;
+          break;
+        }
+      }
+      if (!dead && h.responded && h.outbuf.empty()) dead = true;  // served
+      if (!dead && now - h.started > kHttpTimeoutSeconds) dead = true;
+      if (dead) close_http(k);
+    }
   }
 
   for (Conn& c : conns) ::close(c.fd);
   conns.clear();
+  for (HttpConn& h : https) ::close(h.fd);
+  https.clear();
   if (exit_code == 130) {
     // Signal path: persist and note, like the stdio loop; there is no
     // single peer to hand the summary to.

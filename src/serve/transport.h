@@ -57,6 +57,19 @@ struct TransportOptions {
   /// answered with a framed `overload` error, the rest are dropped until
   /// the buffer drains (hard bound: cap plus one framed reply).
   std::size_t max_output_bytes = 1 << 20;
+  /// HTTP scrape listener port (always TCP loopback on `host`, even when
+  /// the NDJSON side is Unix-domain): -1 disables, 0 binds an ephemeral
+  /// port (read back via http_port()). Serves GET /metrics (Prometheus
+  /// text), /healthz (drain/overload aware) and /stats.json (in-memory
+  /// time-series) from the same poll loop — scrapes never block the
+  /// arbiter, and the arbiter never blocks a scrape for longer than one
+  /// request.
+  int http_port = -1;
+  /// Grace window after a termination signal during which the daemon
+  /// stops accepting NDJSON work but keeps answering HTTP (reporting
+  /// "draining") before exiting. 0 preserves the immediate-exit
+  /// behaviour.
+  double drain_grace_s = 0.0;
 
   void validate() const;
 };
@@ -76,6 +89,8 @@ class SocketServer {
   /// Bound TCP port (the resolved one when options asked for port 0); 0
   /// for a Unix-domain listener.
   int port() const { return port_; }
+  /// Bound HTTP scrape port; -1 when the listener is disabled.
+  int http_port() const { return http_port_; }
 
   const DaemonCore& core() const { return core_; }
 
@@ -96,6 +111,8 @@ class SocketServer {
   TransportOptions transport_;
   int listen_fd_ = -1;
   int port_ = 0;
+  int http_fd_ = -1;
+  int http_port_ = -1;
   std::atomic<bool> stop_{false};
 };
 

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/json.h"
@@ -28,6 +29,8 @@ Snapshot sample_snapshot() {
   h.p50 = 0.2;
   h.p95 = 0.35;
   h.p99 = 0.4;
+  h.buckets.emplace_back(0.25, 2);
+  h.buckets.emplace_back(std::numeric_limits<double>::infinity(), 4);
   snap.histograms.emplace_back("export.hist", h);
   return snap;
 }
@@ -66,15 +69,33 @@ TEST(Export, CsvHasHeaderAndOneRowPerStat) {
   EXPECT_NE(text.find("export.hist,histogram,p95,"), std::string::npos);
 }
 
-TEST(Export, PrometheusSanitizesNamesAndEmitsSummaries) {
+TEST(Export, PrometheusSanitizesNamesAndEmitsConformantFamilies) {
   const std::string text = to_prometheus(sample_snapshot());
-  // '.' and '-' both become '_', and everything gets the ropus_ prefix.
-  EXPECT_NE(text.find("ropus_export_alpha 3"), std::string::npos);
-  EXPECT_NE(text.find("ropus_export_beta_dash 12"), std::string::npos);
-  EXPECT_NE(text.find("# TYPE ropus_export_alpha counter"),
+  // '.' and '-' both become '_', everything gets the ropus_ prefix, and
+  // counters carry the _total suffix.
+  EXPECT_NE(text.find("ropus_export_alpha_total 3"), std::string::npos);
+  EXPECT_NE(text.find("ropus_export_beta_dash_total 12"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ropus_export_alpha_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP ropus_export_alpha_total "), std::string::npos);
+  // Histograms are real Prometheus histograms: cumulative le buckets
+  // ending at +Inf, plus _sum and _count — no summary quantiles.
+  EXPECT_NE(text.find("# TYPE ropus_export_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("ropus_export_hist_bucket{le=\"0.25\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("ropus_export_hist_bucket{le=\"+Inf\"} 4"),
             std::string::npos);
   EXPECT_NE(text.find("ropus_export_hist_count 4"), std::string::npos);
-  EXPECT_NE(text.find("quantile=\"0.95\""), std::string::npos);
+  EXPECT_NE(text.find("ropus_export_hist_sum 1"), std::string::npos);
+  EXPECT_EQ(text.find("quantile="), std::string::npos);
+}
+
+TEST(Export, PrometheusEscapesLabelValues) {
+  EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_label("a\nb"), "a\\nb");
 }
 
 TEST(Export, WriteSnapshotPicksFormatFromExtension) {

@@ -1,0 +1,139 @@
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace ropus::obs {
+namespace {
+
+Snapshot snap_with_counter(const std::string& name, std::uint64_t value) {
+  Snapshot snap;
+  snap.counters.emplace_back(name, value);
+  return snap;
+}
+
+TEST(TimeSeriesTest, CounterDeltasAreMeasuredAgainstPreviousSample) {
+  TimeSeries ts;
+  ts.sample(snap_with_counter("reqs", 10), 1.0);
+  ts.sample(snap_with_counter("reqs", 25), 2.0);
+  ts.sample(snap_with_counter("reqs", 25), 3.0);
+
+  const auto series = ts.counter_series("reqs");
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].delta, 10u);  // first sample: delta from zero
+  EXPECT_EQ(series[0].total, 10u);
+  EXPECT_EQ(series[1].delta, 15u);
+  EXPECT_EQ(series[1].total, 25u);
+  EXPECT_EQ(series[2].delta, 0u);
+  EXPECT_DOUBLE_EQ(series[1].duration_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(series[1].rate(), 15.0);
+}
+
+TEST(TimeSeriesTest, CounterResetRestartsDeltaInsteadOfWrapping) {
+  TimeSeries ts;
+  ts.sample(snap_with_counter("reqs", 100), 1.0);
+  ts.sample(snap_with_counter("reqs", 4), 2.0);  // process restarted
+
+  const auto series = ts.counter_series("reqs");
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[1].delta, 4u);
+  EXPECT_EQ(series[1].total, 4u);
+}
+
+TEST(TimeSeriesTest, RingOverwritesOldestAtCapacity) {
+  TimeSeries::Options options;
+  options.capacity = 4;
+  TimeSeries ts(options);
+  for (int i = 1; i <= 10; ++i) {
+    ts.sample(snap_with_counter("c", static_cast<std::uint64_t>(i)),
+              static_cast<double>(i));
+  }
+  const auto series = ts.counter_series("c");
+  ASSERT_EQ(series.size(), 4u);
+  // Oldest-first: samples 7..10 survive, each with delta 1.
+  EXPECT_EQ(series.front().total, 7u);
+  EXPECT_EQ(series.back().total, 10u);
+  for (const CounterWindow& w : series) EXPECT_EQ(w.delta, 1u);
+}
+
+TEST(TimeSeriesTest, TrailingWindowDeltaMergesWindows) {
+  TimeSeries ts;
+  for (int i = 1; i <= 10; ++i) {
+    ts.sample(snap_with_counter("c", static_cast<std::uint64_t>(3 * i)),
+              static_cast<double>(i));
+  }
+  // Trailing 4 seconds: windows closing at t=7..10 (>= 10 - 4 + epsilon
+  // handling aside, at least the last four windows), 3 events each.
+  const std::uint64_t delta = ts.counter_delta("c", 4.0);
+  EXPECT_GE(delta, 9u);
+  EXPECT_LE(delta, 15u);
+  EXPECT_GT(ts.counter_rate("c", 4.0), 0.0);
+  EXPECT_EQ(ts.counter_delta("missing", 4.0), 0u);
+}
+
+TEST(TimeSeriesTest, MaybeSampleHonorsCadence) {
+  Registry registry;
+  registry.counter("x").add(1);
+  TimeSeries::Options options;
+  options.cadence_seconds = 1.0;
+  TimeSeries ts(options);
+
+  EXPECT_TRUE(ts.maybe_sample(registry, 10.0));   // first always samples
+  EXPECT_FALSE(ts.maybe_sample(registry, 10.5));  // inside the cadence
+  EXPECT_TRUE(ts.maybe_sample(registry, 11.0));
+  EXPECT_EQ(ts.samples(), 2u);
+  EXPECT_DOUBLE_EQ(ts.last_sample_seconds(), 11.0);
+}
+
+TEST(TimeSeriesTest, GaugesAndHistogramsAreSampled) {
+  Registry registry;
+  registry.gauge("g").set(4.5);
+  registry.histogram("h").record(0.25);
+  registry.histogram("h").record(0.75);
+  TimeSeries ts;
+  ts.sample(registry.snapshot(), 1.0);
+  registry.histogram("h").record(0.5);
+  ts.sample(registry.snapshot(), 2.0);
+
+  const auto gauges = ts.gauge_series("g");
+  ASSERT_EQ(gauges.size(), 2u);
+  EXPECT_DOUBLE_EQ(gauges[0].value, 4.5);
+
+  const auto hists = ts.histogram_series("h");
+  ASSERT_EQ(hists.size(), 2u);
+  EXPECT_EQ(hists[0].delta, 2u);  // first window: all recorded so far
+  EXPECT_EQ(hists[1].delta, 1u);
+  EXPECT_EQ(hists[1].snapshot.count, 3u);
+}
+
+TEST(TimeSeriesTest, ToJsonParsesAndCarriesTheSeries) {
+  Registry registry;
+  registry.counter("c").add(7);
+  registry.gauge("g").set(1.5);
+  registry.histogram("h").record(0.1);
+  TimeSeries ts;
+  ts.sample(registry.snapshot(), 3.0);
+
+  const json::Value doc = json::parse(ts.to_json());
+  EXPECT_EQ(doc.at("samples").as_number(), 1.0);
+  const json::Value& c = doc.at("counters").at("c");
+  ASSERT_EQ(c.as_array().size(), 1u);
+  EXPECT_EQ(c.as_array()[0].at("total").as_number(), 7.0);
+  EXPECT_EQ(doc.at("gauges").at("g").as_array().size(), 1u);
+  EXPECT_EQ(doc.at("histograms").at("h").as_array().size(), 1u);
+}
+
+TEST(TimeSeriesTest, OptionsValidate) {
+  TimeSeries::Options zero_capacity;
+  zero_capacity.capacity = 0;
+  EXPECT_THROW(TimeSeries{zero_capacity}, InvalidArgument);
+  TimeSeries::Options bad_cadence;
+  bad_cadence.cadence_seconds = 0.0;
+  EXPECT_THROW(TimeSeries{bad_cadence}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ropus::obs

@@ -361,5 +361,77 @@ TEST_F(DaemonTest, RecoverStateModes) {
   }
 }
 
+TEST_F(DaemonTest, StatsVerbIsFramedAndNeverJournaled) {
+  DaemonOptions options;
+  options.journal_path = dir_ / "stats.journal";
+  DaemonCore core(small_config(), options);
+  (void)core.process_line(admit_line("web"), false);
+  (void)core.process_line(tick_line(0, R"({"web":1.0})"), false);
+  const std::uint64_t journaled = core.journal_entries();
+
+  // Answered even while shedding: stats is pure observability, never
+  // optional work, and a read must not grow the journal.
+  const DaemonCore::Result result =
+      core.process_line(R"({"type":"stats","id":"s-1"})", true);
+  ASSERT_EQ(result.replies.size(), 2u);
+  EXPECT_EQ(type_of(result.replies[0]), "stats");
+  EXPECT_EQ(type_of(result.replies[1]), "end");
+  EXPECT_EQ(json::parse(result.replies[1]).at("id").as_string(), "s-1");
+  EXPECT_EQ(core.journal_entries(), journaled);
+
+  const json::Value stats = json::parse(result.replies[0]);
+  EXPECT_EQ(stats.at("slot").as_number(), 1.0);
+  EXPECT_EQ(stats.at("apps").as_number(), 1.0);
+  EXPECT_EQ(stats.at("journal_entries").as_number(),
+            static_cast<double>(journaled));
+  EXPECT_GE(stats.at("tick_latency_seconds").at("count").as_number(), 0.0);
+  EXPECT_GE(stats.at("admitted").as_number(), 1.0);
+  EXPECT_TRUE(stats.at("alerts").as_array().empty());
+}
+
+TEST_F(DaemonTest, AdmissionRejectStormFiresBurnAlert) {
+  DaemonCore core(small_config(), DaemonOptions{});
+  const DaemonCore::Result ok = core.process_line(admit_line("web"), false);
+  ASSERT_FALSE(ok.replies.empty());
+  EXPECT_NE(ok.replies.front().find("\"decision\":\"accepted\""),
+            std::string::npos);
+  // Advance a slot so the storm's window has the healthy accept as its
+  // baseline — a burn window measures deltas against the previous slot.
+  (void)core.process_line(tick_line(0, R"({"web":1.0})"), false);
+  EXPECT_EQ(core.active_alert_count(), 0u);
+
+  // A profile demanding 100 cpus per slot on a 16-cpu pool is always
+  // rejected; with 60-minute slots both fast-rule windows collapse to one
+  // slot, so a reject storm one slot after the accept pushes the admission
+  // stream's bad fraction far past 14.4x the 1% budget.
+  for (int i = 0; i < 8; ++i) {
+    std::string line = R"({"type":"admit","app":"hog)" + std::to_string(i) +
+                       R"(","profile":[100)";
+    for (std::size_t s = 1; s < kWeekSlots; ++s) line += ",100";
+    line += "]}";
+    const DaemonCore::Result r = core.process_line(line, false);
+    ASSERT_FALSE(r.replies.empty());
+    EXPECT_NE(r.replies.front().find("\"decision\":\"rejected\""),
+              std::string::npos);
+  }
+  EXPECT_GT(core.active_alert_count(), 0u);
+  EXPECT_TRUE(core.admission_burn().rule_active("fast"));
+  EXPECT_EQ(core.slo_burn().active_count(), 0u);
+
+  const json::Value stats = json::parse(core.stats_reply());
+  const auto& alerts = stats.at("alerts").as_array();
+  ASSERT_FALSE(alerts.empty());
+  bool admission_alert = false;
+  for (const json::Value& a : alerts) {
+    if (a.at("stream").as_string() != "admission") continue;
+    admission_alert = true;
+    EXPECT_GE(a.at("burn_short").as_number(), a.at("threshold").as_number());
+    if (a.at("rule").as_string() == "fast") {
+      EXPECT_EQ(a.at("severity").as_string(), "critical");
+    }
+  }
+  EXPECT_TRUE(admission_alert);
+}
+
 }  // namespace
 }  // namespace ropus::serve

@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <poll.h>
@@ -437,6 +440,141 @@ TEST_F(TransportTest, SocketStateSurvivesRestartViaJournal) {
   const json::Value greeting = json::parse(client.greeting());
   EXPECT_EQ(greeting.at("recovery").as_string(), "checkpoint+journal");
   EXPECT_EQ(static_cast<int>(greeting.at("apps").as_number()), 1);
+  shutdown_and_join();
+}
+
+/// One-shot request against the HTTP scrape listener: connects to
+/// 127.0.0.1:port, sends the raw request text, reads to EOF.
+std::string http_get(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return {};
+  }
+  (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string reply;
+  for (;;) {
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, 5000) <= 0) break;
+    char tmp[8192];
+    const ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
+    if (n <= 0) break;
+    reply.append(tmp, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+std::string http_body(const std::string& reply) {
+  const std::size_t at = reply.find("\r\n\r\n");
+  return at == std::string::npos ? std::string() : reply.substr(at + 4);
+}
+
+TEST_F(TransportTest, HttpMetricsHealthzAndStats) {
+  TransportOptions transport;
+  transport.http_port = 0;  // ephemeral
+  start({}, transport);
+  ASSERT_GT(server_->http_port(), 0);
+  const int port = server_->http_port();
+
+  // Drive some real traffic first so the scrape has content.
+  ClientOptions copts;
+  copts.unix_path = sock_;
+  copts.deadline_s = 5.0;
+  Client client(copts);
+  (void)client.transact(admit_line("web"));
+  (void)client.transact(R"({"type":"tick","slot":0,"demand":{"web":1.0}})");
+
+  const std::string metrics = http_get(port, "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(metrics.rfind("HTTP/1.0 200 OK", 0), 0u) << metrics;
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("ropus_serve_transport_lines_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE ropus_serve_transport_connections_total"
+                         " counter"),
+            std::string::npos);
+
+  const std::string healthz = http_get(port, "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(healthz.rfind("HTTP/1.0 200 OK", 0), 0u) << healthz;
+  const json::Value health = json::parse(http_body(healthz));
+  EXPECT_EQ(health.at("status").as_string(), "ok");
+  EXPECT_EQ(health.at("apps").as_number(), 1.0);
+  EXPECT_EQ(health.at("active_alerts").as_number(), 0.0);
+
+  const std::string stats = http_get(port, "GET /stats.json HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(stats.rfind("HTTP/1.0 200 OK", 0), 0u) << stats;
+  const json::Value doc = json::parse(http_body(stats));
+  EXPECT_GE(doc.at("samples").as_number(), 1.0);
+
+  // The scrape counter itself moved — it is in the registry it exports.
+  const std::string again = http_get(port, "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(again.find("ropus_serve_http_requests_total"), std::string::npos);
+
+  EXPECT_EQ(http_get(port, "GET /nope HTTP/1.0\r\n\r\n")
+                .rfind("HTTP/1.0 404", 0),
+            0u);
+  EXPECT_EQ(http_get(port, "POST /metrics HTTP/1.0\r\n\r\n")
+                .rfind("HTTP/1.0 405", 0),
+            0u);
+
+  // NDJSON service is untouched by the scrapes.
+  const std::vector<std::string> replies =
+      client.transact(R"({"type":"tick","slot":1,"demand":{"web":1.0}})");
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(type_of(replies[0]), "verdict");
+  shutdown_and_join();
+}
+
+TEST_F(TransportTest, HealthzReportsDrainingDuringGraceAndExits130) {
+  TransportOptions transport;
+  transport.http_port = 0;
+  transport.drain_grace_s = 1.5;
+  start({}, transport);
+  ASSERT_GT(server_->http_port(), 0);
+  const int port = server_->http_port();
+
+  const std::string before = http_get(port, "GET /healthz HTTP/1.0\r\n\r\n");
+  ASSERT_EQ(before.rfind("HTTP/1.0 200 OK", 0), 0u) << before;
+
+  // Stop request enters the grace window: NDJSON stops, but the scrape
+  // listener keeps answering and reports the transition with a 503.
+  server_->request_stop();
+  std::string during;
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    during = http_get(port, "GET /healthz HTTP/1.0\r\n\r\n");
+    if (during.rfind("HTTP/1.0 503", 0) == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(during.rfind("HTTP/1.0 503", 0), 0u) << during;
+  EXPECT_EQ(json::parse(http_body(during)).at("status").as_string(),
+            "draining");
+
+  server_thread_.join();
+  EXPECT_EQ(exit_code_, 130);
+}
+
+TEST_F(TransportTest, StatsVerbOverSocket) {
+  start({}, {});
+  ClientOptions copts;
+  copts.unix_path = sock_;
+  copts.deadline_s = 5.0;
+  Client client(copts);
+  (void)client.transact(admit_line("web"));
+
+  const std::vector<std::string> replies =
+      client.transact(R"({"type":"stats"})");
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(type_of(replies[0]), "stats");
+  const json::Value stats = json::parse(replies[0]);
+  EXPECT_EQ(stats.at("apps").as_number(), 1.0);
+  EXPECT_EQ(stats.at("slot").as_number(), 0.0);
+  EXPECT_TRUE(stats.find("tick_latency_seconds") != nullptr);
   shutdown_and_join();
 }
 

@@ -23,7 +23,9 @@
 //
 // POSIX-only (fork/exec/pipes); the build gates it on UNIX.
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
@@ -32,11 +34,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
@@ -173,6 +177,11 @@ class Daemon {
     if (pid_ > 0) ::kill(pid_, SIGKILL);
   }
 
+  /// Graceful termination signal — exercises the daemon's drain path.
+  void terminate() {
+    if (pid_ > 0) ::kill(pid_, SIGTERM);
+  }
+
   int reap() {
     int status = 0;
     if (pid_ > 0) {
@@ -298,6 +307,149 @@ struct DrillStats {
 };
 
 // ---------------------------------------------------------------------------
+// HTTP scrape plane
+// ---------------------------------------------------------------------------
+
+/// One-shot scrape against the daemon's HTTP listener: connects to
+/// 127.0.0.1:port, sends a GET, reads to EOF. Empty on connect failure
+/// (e.g. the daemon already exited) — callers decide whether that fails.
+std::string http_get(int port, const std::string& path, int timeout_ms = 5000) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    close(fd);
+    return {};
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + off, request.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string reply;
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = poll(&pfd, 1, timeout_ms);
+    if (pr <= 0) break;
+    char chunk[8192];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    reply.append(chunk, static_cast<std::size_t>(n));
+  }
+  close(fd);
+  return reply;
+}
+
+int http_status(const std::string& reply) {
+  if (reply.rfind("HTTP/1.0 ", 0) != 0) return -1;
+  return static_cast<int>(std::strtol(reply.c_str() + 9, nullptr, 10));
+}
+
+std::string http_body(const std::string& reply) {
+  const std::size_t at = reply.find("\r\n\r\n");
+  return at == std::string::npos ? std::string() : reply.substr(at + 4);
+}
+
+/// Prometheus 0.0.4 exposition-format invariants a real scraper depends
+/// on: no blank lines, a TYPE per family before its samples, the ropus_
+/// prefix, `_total` counters, cumulative `_bucket` series ending at
+/// le="+Inf" equal to `_count`. Any violation fails the drill.
+void check_prometheus(const std::string& body) {
+  std::istringstream in(body);
+  std::string line;
+  std::map<std::string, std::string> types;
+  std::map<std::string, std::vector<std::pair<double, double>>> buckets;
+  std::map<std::string, double> counts;
+  bool any_sample = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) fail("/metrics body has a blank line");
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t sp = rest.find(' ');
+      if (sp == std::string::npos) fail("malformed TYPE line: " + line);
+      if (!types.emplace(rest.substr(0, sp), rest.substr(sp + 1)).second) {
+        fail("duplicate TYPE for family " + rest.substr(0, sp));
+      }
+      continue;
+    }
+    if (line[0] == '#') fail("unknown comment form in /metrics: " + line);
+    any_sample = true;
+    const std::size_t sp = line.rfind(' ');
+    const std::size_t brace = line.find('{');
+    if (sp == std::string::npos) fail("malformed sample line: " + line);
+    const std::string name = brace != std::string::npos && brace < sp
+                                 ? line.substr(0, brace)
+                                 : line.substr(0, sp);
+    if (name.rfind("ropus_", 0) != 0) {
+      fail("metric without the ropus_ prefix: " + line);
+    }
+    const double value = std::strtod(line.c_str() + sp + 1, nullptr);
+    std::string family = name;
+    for (const char* sfx : {"_bucket", "_sum", "_count"}) {
+      const std::string s(sfx);
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0 &&
+          types.count(name.substr(0, name.size() - s.size())) != 0) {
+        family = name.substr(0, name.size() - s.size());
+      }
+    }
+    const auto it = types.find(family);
+    if (it == types.end()) fail("sample without a TYPE: " + line);
+    if (it->second == "counter" &&
+        (family.size() < 6 ||
+         family.compare(family.size() - 6, 6, "_total") != 0)) {
+      fail("counter family without _total suffix: " + family);
+    }
+    if (it->second == "histogram" && family != name) {
+      if (name == family + "_bucket") {
+        const std::size_t le = line.find("le=\"");
+        if (le == std::string::npos) fail("bucket without le label: " + line);
+        const char* ptr = line.c_str() + le + 4;
+        const double bound = std::strncmp(ptr, "+Inf", 4) == 0
+                                 ? std::numeric_limits<double>::infinity()
+                                 : std::strtod(ptr, nullptr);
+        buckets[family].emplace_back(bound, value);
+      } else if (name == family + "_count") {
+        counts[family] = value;
+      }
+    }
+  }
+  if (!any_sample) fail("/metrics body has no samples");
+  for (const auto& [family, series] : buckets) {
+    for (std::size_t i = 1; i < series.size(); ++i) {
+      if (!(series[i - 1].first < series[i].first) ||
+          series[i - 1].second > series[i].second) {
+        fail("histogram " + family + " buckets are not cumulative");
+      }
+    }
+    if (series.empty() || !std::isinf(series.back().first) ||
+        counts.find(family) == counts.end() ||
+        series.back().second != counts[family]) {
+      fail("histogram " + family + " +Inf bucket does not match _count");
+    }
+  }
+}
+
+int http_port_of(const std::string& listening) {
+  const std::string key = "\"http_port\":";
+  const std::size_t pos = listening.find(key);
+  if (pos == std::string::npos) return -1;
+  return static_cast<int>(
+      std::strtol(listening.c_str() + pos + key.size(), nullptr, 10));
+}
+
+// ---------------------------------------------------------------------------
 // Network campaign
 // ---------------------------------------------------------------------------
 
@@ -405,6 +557,7 @@ struct NetStats {
   std::size_t duplicates = 0;    // same-id retries without a kill
   std::size_t departures = 0;
   std::size_t journal_peak = 0;  // max frames past the compaction base
+  std::size_t scrapes = 0;       // mid-campaign /metrics + /healthz checks
 };
 
 int run_network_campaign(const std::string& cli, const fs::path& dir,
@@ -502,6 +655,7 @@ int run_network_campaign(const std::string& cli, const fs::path& dir,
   fs::create_directories(net_dir);
   const std::string sock = (net_dir / "d.sock").string();
   const fs::path journal = net_dir / "journal";
+  int http_port = -1;
   const auto start_daemon = [&](const char* crash_point) {
     std::vector<std::string> env;
     if (crash_point != nullptr) {
@@ -510,13 +664,18 @@ int run_network_campaign(const std::string& cli, const fs::path& dir,
     auto d = std::make_unique<Daemon>(
         cli,
         std::vector<std::string>{
-            "serve", "--socket=" + sock,
+            "serve", "--socket=" + sock, "--http-port=0",
             "--journal=" + journal.string(),
             "--checkpoint=" + (net_dir / "ckpt").string(), "--compact=true",
             "--checkpoint-every=" + std::to_string(interval),
             "--read-timeout=30", "--write-timeout=30"},
         env);
-    if (type_of(d->recv()) != "listening") fail("socket daemon not listening");
+    const std::string listening = d->recv();
+    if (type_of(listening) != "listening") fail("socket daemon not listening");
+    http_port = http_port_of(listening);
+    if (http_port <= 0) {
+      fail("listening line carries no http_port: " + listening);
+    }
     return d;
   };
   const auto connect_greet = [&]() {
@@ -674,7 +833,30 @@ int run_network_campaign(const std::string& cli, const fs::path& dir,
 
     if (std::string(ev.expect) == "verdict") {
       ticks_seen += 1;
-      if (ticks_seen % interval == 0) check_journal_bound();
+      if (ticks_seen % interval == 0) {
+        check_journal_bound();
+        // Scrape mid-campaign: the introspection plane must stay
+        // conformant and truthful while the daemon is being tortured.
+        const std::string metrics = http_get(http_port, "/metrics");
+        if (http_status(metrics) != 200) {
+          fail("mid-campaign /metrics scrape failed: " +
+               metrics.substr(0, 64));
+        }
+        check_prometheus(http_body(metrics));
+        const std::string healthz = http_get(http_port, "/healthz");
+        const int hs = http_status(healthz);
+        const std::string hb = http_body(healthz);
+        const bool ok_state = hs == 200 &&
+                              hb.find("\"status\":\"ok\"") != std::string::npos;
+        const bool overloaded_state =
+            hs == 503 &&
+            hb.find("\"status\":\"overloaded\"") != std::string::npos;
+        if (!ok_state && !overloaded_state) {
+          fail("mid-campaign /healthz was neither ok nor overloaded: " +
+               healthz.substr(0, 128));
+        }
+        stats.scrapes += 1;
+      }
     }
   }
 
@@ -713,9 +895,273 @@ int run_network_campaign(const std::string& cli, const fs::path& dir,
             << " slowloris conns, " << stats.duplicates
             << " duplicate retries, " << stats.departures
             << " departures; journal peak " << stats.journal_peak
-            << " frames (bound " << 2 * interval
-            << "); replies and summary byte-identical to the stdio "
-               "reference\n";
+            << " frames (bound " << 2 * interval << "); " << stats.scrapes
+            << " conformant mid-campaign scrapes; replies and summary "
+               "byte-identical to the stdio reference\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection campaign: burn-rate alerting and health transitions
+// ---------------------------------------------------------------------------
+
+struct LiveDaemon {
+  std::unique_ptr<Daemon> proc;
+  int http_port = -1;
+};
+
+LiveDaemon start_live(const std::string& cli, const std::string& sock,
+                      const std::vector<std::string>& extra) {
+  std::vector<std::string> args{"serve", "--socket=" + sock, "--http-port=0"};
+  args.insert(args.end(), extra.begin(), extra.end());
+  LiveDaemon d;
+  d.proc = std::make_unique<Daemon>(cli, args);
+  const std::string listening = d.proc->recv();
+  if (type_of(listening) != "listening") {
+    fail("introspection daemon not listening: " + listening);
+  }
+  d.http_port = http_port_of(listening);
+  if (d.http_port <= 0) fail("no http_port in: " + listening);
+  return d;
+}
+
+/// The live-plane contract, proven against real daemons: a quiet pool
+/// fires no burn-rate alert; an overbooked pool whose apps peak together
+/// fires the fast rule within its window; a slow consumer flips /healthz
+/// to overloaded; and SIGTERM flips it to draining for the grace window
+/// before exit 130.
+int run_introspection_campaign(const std::string& cli, const fs::path& dir) {
+  const fs::path ip_dir = dir / "introspect";
+  fs::create_directories(ip_dir);
+  const std::size_t week_slots = 2016;
+  constexpr std::size_t kApps = 4;
+
+  const auto admit_line = [&](std::size_t a) {
+    std::string line = "{\"type\":\"admit\",\"app\":\"app-" +
+                       std::to_string(a) + "\",\"profile\":[1.5";
+    for (std::size_t s = 1; s < week_slots; ++s) line += ",1.5";
+    return line + "]}";
+  };
+  const auto tick_line = [&](std::size_t slot, double demand) {
+    std::string line =
+        "{\"type\":\"tick\",\"slot\":" + std::to_string(slot) + ",\"demand\":{";
+    for (std::size_t a = 0; a < kApps; ++a) {
+      if (a != 0) line += ',';
+      line += "\"app-" + std::to_string(a) + "\":" + double_str(demand);
+    }
+    return line + "}}";
+  };
+  /// Sends one identified request and returns its frame's replies.
+  const auto transact = [&](Sock& s, const std::string& line,
+                            const std::string& id) {
+    s.send_raw(with_id(line, id) + "\n");
+    std::vector<std::string> replies;
+    for (;;) {
+      std::string reply;
+      if (!s.try_recv_line(reply)) fail("introspection frame lost for " + id);
+      if (type_of(reply) == "end" &&
+          reply.find("\"id\":\"" + id + "\"") != std::string::npos) {
+        return replies;
+      }
+      replies.push_back(reply);
+    }
+  };
+
+  // ---- Quiet reference: demand inside the profile, zero alerts.
+  {
+    const std::string sock = (ip_dir / "quiet.sock").string();
+    LiveDaemon d = start_live(cli, sock, {"--servers=2", "--cpus=8"});
+    Sock conn(sock);
+    if (!conn.ok()) fail("cannot connect to " + sock);
+    if (type_of(conn.recv_line()) != "ready") fail("quiet greeting missing");
+    for (std::size_t a = 0; a < kApps; ++a) {
+      const auto replies = transact(conn, admit_line(a), "q-a" +
+                                    std::to_string(a));
+      if (replies.size() != 1 || type_of(replies[0]) != "admission") {
+        fail("quiet admission failed");
+      }
+    }
+    for (std::size_t t = 0; t < 24; ++t) {
+      const auto replies =
+          transact(conn, tick_line(t, 1.2), "q-t" + std::to_string(t));
+      if (replies.size() != 1 || type_of(replies[0]) != "verdict") {
+        fail("quiet verdict failed");
+      }
+    }
+    const std::string metrics = http_get(d.http_port, "/metrics");
+    if (http_status(metrics) != 200) fail("quiet /metrics scrape failed");
+    if (metrics.find("Content-Type: text/plain; version=0.0.4") ==
+        std::string::npos) {
+      fail("/metrics content type is not the 0.0.4 text format");
+    }
+    check_prometheus(http_body(metrics));
+    if (http_body(metrics).find("ropus_serve_transport_lines_total") ==
+        std::string::npos) {
+      fail("quiet /metrics is missing the transport line counter");
+    }
+    const std::string healthz = http_get(d.http_port, "/healthz");
+    if (http_status(healthz) != 200 ||
+        http_body(healthz).find("\"status\":\"ok\"") == std::string::npos ||
+        http_body(healthz).find("\"active_alerts\":0") == std::string::npos) {
+      fail("quiet /healthz was not ok with zero alerts: " + healthz);
+    }
+    const auto stats = transact(conn, "{\"type\":\"stats\"}", "q-s");
+    if (stats.size() != 1 || type_of(stats[0]) != "stats" ||
+        stats[0].find("\"alerts\":[]") == std::string::npos) {
+      fail("quiet stats verb reported alerts: " +
+           (stats.empty() ? "<none>" : stats[0]));
+    }
+    const std::string sj = http_get(d.http_port, "/stats.json");
+    if (http_status(sj) != 200 ||
+        http_body(sj).find("\"samples\":") == std::string::npos) {
+      fail("quiet /stats.json scrape failed");
+    }
+    (void)transact(conn, "{\"type\":\"shutdown\"}", "q-bye");
+    if (type_of(conn.recv_line()) != "summary") fail("quiet summary missing");
+    const int status = d.proc->reap();
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      fail("quiet daemon did not exit cleanly");
+    }
+  }
+
+  // ---- Overload run: the admission path guarantees the sum of per-app
+  // CoS1 peaks fits the pool, so the induced overload is the overbooking
+  // hazard itself — apps admitted on staggered bursty profiles (one peak
+  // rotates through the pool at a time) that then all peak simultaneously.
+  // The CoS2 commitment is reneged pool-wide, the watchdog crosses theta
+  // on every fresh slot group, and the slo stream's fast rule must fire
+  // within its (1-slot + 12-slot) window. ulow/uhigh put the breakpoint
+  // at p ~ 0.7 so the demand split actually exercises both classes.
+  constexpr std::size_t kHotApps = 6;
+  constexpr double kHotPeak = 2.2;
+  const auto hot_admit_line = [&](std::size_t a) {
+    std::string line = "{\"type\":\"admit\",\"app\":\"app-" +
+                       std::to_string(a) + "\",\"profile\":[";
+    for (std::size_t s = 0; s < week_slots; ++s) {
+      if (s != 0) line += ',';
+      line += s % kHotApps == a ? "2.2" : "0.2";
+    }
+    return line + "],\"ulow\":0.65,\"uhigh\":0.66,\"udegr\":0.9,\"m\":97}";
+  };
+  const auto hot_tick_line = [&](std::size_t slot) {
+    std::string line =
+        "{\"type\":\"tick\",\"slot\":" + std::to_string(slot) + ",\"demand\":{";
+    for (std::size_t a = 0; a < kHotApps; ++a) {
+      if (a != 0) line += ',';
+      line += "\"app-" + std::to_string(a) + "\":" + double_str(kHotPeak);
+    }
+    return line + "}}";
+  };
+  const std::string sock = (ip_dir / "hot.sock").string();
+  LiveDaemon d = start_live(cli, sock,
+                            {"--servers=1", "--cpus=8", "--drain-grace=2",
+                             "--max-output-bytes=2048"});
+  Sock conn(sock);
+  if (!conn.ok()) fail("cannot connect to " + sock);
+  if (type_of(conn.recv_line()) != "ready") fail("hot greeting missing");
+  std::size_t accepted = 0;
+  for (std::size_t a = 0; a < kHotApps; ++a) {
+    const auto replies =
+        transact(conn, hot_admit_line(a), "h-a" + std::to_string(a));
+    if (replies.size() == 1 &&
+        replies[0].find("\"decision\":\"accepted\"") != std::string::npos) {
+      accepted += 1;
+    }
+  }
+  // The policy stops admitting once the pool is booked; the overload only
+  // needs the accepted subset to peak together.
+  if (accepted < 3) {
+    fail("overbooked pool admitted only " + std::to_string(accepted) +
+         " of 6 staggered apps");
+  }
+  std::size_t slot = 0;
+  bool fired = false;
+  std::size_t fired_after = 0;
+  for (; slot < 48 && !fired; ++slot) {
+    (void)transact(conn, hot_tick_line(slot), "h-t" + std::to_string(slot));
+    const auto stats = transact(conn, "{\"type\":\"stats\"}",
+                                "h-s" + std::to_string(slot));
+    if (stats.size() == 1 &&
+        stats[0].find("\"stream\":\"slo\"") != std::string::npos &&
+        stats[0].find("\"rule\":\"fast\"") != std::string::npos) {
+      fired = true;
+      fired_after = slot + 1;
+    }
+  }
+  if (!fired) {
+    fail("induced overload did not fire the fast-burn alert in 48 ticks");
+  }
+  const std::string hot_health = http_get(d.http_port, "/healthz");
+  const std::string hot_body = http_body(hot_health);
+  const std::size_t aa = hot_body.find("\"active_alerts\":");
+  if (http_status(hot_health) != 200 || aa == std::string::npos ||
+      std::strtol(hot_body.c_str() + aa + 16, nullptr, 10) < 1) {
+    fail("overloaded pool's /healthz does not report active alerts: " +
+         hot_health);
+  }
+  const std::string hot_metrics = http_body(http_get(d.http_port, "/metrics"));
+  if (hot_metrics.find("ropus_obs_burnrate_slo_fast_active 1") ==
+      std::string::npos) {
+    fail("fast-burn active gauge missing from /metrics");
+  }
+
+  // ---- Slow consumer: burst ticks on a connection that never reads.
+  // Once the kernel buffers fill, the 2 KiB output cap trips shedding and
+  // /healthz must flip to overloaded.
+  bool overloaded = false;
+  {
+    Sock burst(sock);
+    if (!burst.ok()) fail("cannot open the burst connection");
+    if (type_of(burst.recv_line()) != "ready") fail("burst greeting missing");
+    for (int round = 0; round < 60 && !overloaded; ++round) {
+      std::string chunk;
+      for (int i = 0; i < 400; ++i) {
+        chunk += hot_tick_line(slot++) + "\n";
+      }
+      burst.send_raw(chunk);
+      const std::string h = http_get(d.http_port, "/healthz");
+      overloaded =
+          http_status(h) == 503 &&
+          http_body(h).find("\"status\":\"overloaded\"") != std::string::npos;
+    }
+  }
+  if (!overloaded) {
+    fail("slow-consumer burst never flipped /healthz to overloaded");
+  }
+  // Closing the stuck connection clears the shed state.
+  for (int i = 0; i < 100; ++i) {
+    const std::string h = http_get(d.http_port, "/healthz");
+    if (http_status(h) == 200 &&
+        http_body(h).find("\"status\":\"ok\"") != std::string::npos) {
+      break;
+    }
+    usleep(30000);
+    if (i == 99) fail("/healthz stayed overloaded after the consumer left");
+  }
+
+  // ---- SIGTERM: the grace window reports draining over HTTP, then the
+  // daemon exits 130 like any signal-terminated run.
+  d.proc->terminate();
+  bool draining = false;
+  for (int i = 0; i < 200 && !draining; ++i) {
+    const std::string h = http_get(d.http_port, "/healthz", 1000);
+    draining =
+        http_status(h) == 503 &&
+        http_body(h).find("\"status\":\"draining\"") != std::string::npos;
+    if (!draining) usleep(10000);
+  }
+  if (!draining) fail("/healthz never reported draining after SIGTERM");
+  const int status = d.proc->reap();
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 130) {
+    fail("drained daemon did not exit 130");
+  }
+
+  std::cout << "chaos_drill: introspection PASS — quiet pool scraped "
+               "conformant and alert-free; overbooked-pool overload fired "
+               "slo/fast after "
+            << fired_after
+            << " ticks; slow consumer flipped /healthz overloaded and "
+               "recovered; SIGTERM drained via 503 draining to exit 130\n";
   return 0;
 }
 
@@ -942,6 +1388,11 @@ int main(int argc, char** argv) {
     const int rc =
         run_network_campaign(cli, dir, net_apps, net_ticks, net_kills,
                              interval, seed);
+    if (rc != 0) return rc;
+  }
+
+  {
+    const int rc = run_introspection_campaign(cli, dir);
     if (rc != 0) return rc;
   }
 

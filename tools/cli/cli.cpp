@@ -1,7 +1,11 @@
 #include "cli/cli.h"
 
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 
 #include "cli/commands.h"
 #include "common/error.h"
@@ -52,7 +56,8 @@ void usage(std::ostream& os) {
         "  report       SLO-attainment report from flight recordings\n"
         "               (--records=rec[,rec..] [--bench=dir|file,..] "
         "[--json-out=] + QoS flags,\n"
-        "               --failure-ulow= etc. for failure-mode bands)\n"
+        "               --failure-ulow= etc. for failure-mode bands,\n"
+        "               [--alerts] for an offline burn-rate replay)\n"
         "  serve        long-running arbiter daemon (NDJSON on stdin, or a\n"
         "               socket with --socket=/--port=; see docs/serve.md)\n"
         "               ([--checkpoint=] [--journal=] [--checkpoint-every=64] "
@@ -61,6 +66,8 @@ void usage(std::ostream& os) {
         "[--max-connections=64]\n"
         "               [--read-timeout=30] [--write-timeout=30] "
         "[--queue=1024]\n"
+        "               [--http-port=N] [--drain-grace=S] "
+        "[--slow-request-ms=T]\n"
         "               [--max-slot-gap=288] [--servers=13 --cpus=16] + QoS "
         "flags)\n"
         "  connect      NDJSON client for a socket-mode serve daemon\n"
@@ -68,6 +75,10 @@ void usage(std::ostream& os) {
         "stdin,\n"
         "               [--deadline=30] [--attempts=5] [--retry-seed=1] "
         "[--id-prefix=cli])\n"
+        "  top          live daemon view: polls a socket-mode serve daemon's\n"
+        "               stats verb and redraws (--socket=path | --port=N "
+        "[--host=],\n"
+        "               [--interval=2] [--once] for a single JSON dump)\n"
         "\n"
         "global flags (every command, see docs/observability.md):\n"
         "  --metrics-out=<path>   write the final metric snapshot "
@@ -80,6 +91,10 @@ void usage(std::ostream& os) {
         "metrics)\n"
         "  --log-level=<level>    debug|info|warn|error|off (overrides "
         "ROPUS_LOG)\n"
+        "  --metrics-interval=<s> rewrite the artifacts above every s "
+        "seconds while\n"
+        "                         running (atomic; SIGUSR1 also triggers a "
+        "flush)\n"
         "  --threads=<n>          worker threads for sharded loops "
         "(faultsim trials,\n"
         "                         genetic offspring; default: hardware; "
@@ -112,6 +127,7 @@ std::optional<int> dispatch(const std::string& command, const Flags& flags,
   if (command == "report") return cmd_report(flags, out, err);
   if (command == "serve") return cmd_serve(flags, out, err);
   if (command == "connect") return cmd_connect(flags, out, err);
+  if (command == "top") return cmd_top(flags, out, err);
   return std::nullopt;
 }
 
@@ -168,6 +184,58 @@ void write_run_outputs(const std::string& command, const Flags& flags,
     obs::write_manifest(*manifest_out, manifest, &snapshot);
   }
 }
+/// Periodic observability flusher: rewrites --metrics-out / --trace-out /
+/// --run-manifest every --metrics-interval seconds, and immediately on
+/// SIGUSR1, so a long-running command (the serve daemon above all) can be
+/// inspected from disk without waiting for exit. Every write is the same
+/// atomic rewrite the end-of-run path uses; interim manifests carry
+/// exit_code -1 ("still running"), and the final end-of-run write wins.
+class PeriodicFlusher {
+ public:
+  PeriodicFlusher(std::string command, const Flags& flags, double interval_s,
+                  double start_seconds)
+      : command_(std::move(command)),
+        flags_(flags),
+        interval_(interval_s),
+        start_(start_seconds),
+        thread_([this] { loop(); }) {}
+
+  ~PeriodicFlusher() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    double last = start_;
+    for (;;) {
+      // Wake every 100ms: often enough that a SIGUSR1 flush feels
+      // immediate, cheap enough to be invisible next to any real work.
+      cv_.wait_for(lock, std::chrono::milliseconds(100),
+                   [this] { return stop_; });
+      if (stop_) return;
+      const double now = obs::monotonic_seconds();
+      const bool due = interval_ > 0.0 && now - last >= interval_;
+      if (!due && !signals::consume_flush_request()) continue;
+      last = now;
+      write_run_outputs(command_, flags_, /*exit_code=*/-1, now - start_);
+    }
+  }
+
+  std::string command_;
+  const Flags& flags_;
+  double interval_ = 0.0;
+  double start_ = 0.0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 }  // namespace
 
 int run(std::span<const std::string> args, std::ostream& out,
@@ -201,7 +269,23 @@ int run(std::span<const std::string> args, std::ostream& out,
     }
 
     const double start = obs::monotonic_seconds();
+
+    // --metrics-interval / SIGUSR1: periodic atomic rewrites of the
+    // observability artifacts while the command is still running. The
+    // flusher is stopped (joined) before the final end-of-run write below
+    // so the last write always carries the real exit code.
+    std::unique_ptr<PeriodicFlusher> flusher;
+    const double metrics_interval = flags.get_double("metrics-interval", 0.0);
+    ROPUS_REQUIRE(metrics_interval >= 0.0, "--metrics-interval must be >= 0");
+    if (flags.has("metrics-out") || flags.has("run-manifest") ||
+        flags.has("trace-out")) {
+      signals::install_flush_handler();
+      flusher = std::make_unique<PeriodicFlusher>(command, flags,
+                                                  metrics_interval, start);
+    }
+
     const std::optional<int> rc = dispatch(command, flags, out, err);
+    flusher.reset();
     if (!rc.has_value()) {
       err << "unknown command: " << command << "\n\n";
       usage(err);

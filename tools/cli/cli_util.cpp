@@ -44,7 +44,8 @@ bool check_flags(const Flags& flags, std::span<const std::string> allowed,
   // so no per-command allowed list needs to repeat them.
   std::vector<std::string> all(allowed.begin(), allowed.end());
   all.insert(all.end(), {"metrics-out", "trace-out", "run-manifest",
-                         "log-level", "record-out", "threads"});
+                         "log-level", "record-out", "threads",
+                         "metrics-interval"});
   const auto unknown = flags.unknown_flags(all);
   for (const std::string& name : unknown) {
     err << "unknown flag: --" << name << "\n";

@@ -12,6 +12,7 @@
 #include "common/json.h"
 #include "common/signals.h"
 #include "common/table.h"
+#include "obs/burnrate.h"
 #include "obs/recorder.h"
 #include "obs/watchdog.h"
 #include "qos/requirements.h"
@@ -106,6 +107,8 @@ struct RecordingReport {
   obs::Recording recording;
   obs::Watchdog watchdog;
   bool ok = true;
+  std::vector<obs::BurnAlert> burn_log;     // fire/resolve transitions
+  std::vector<obs::BurnAlert> burn_active;  // still firing at end
 
   RecordingReport(std::string p, obs::Recording r, obs::WatchdogConfig config)
       : path(std::move(p)), recording(std::move(r)), watchdog(config) {}
@@ -113,6 +116,40 @@ struct RecordingReport {
 
 const char* severity_name(obs::AlertSeverity severity) {
   return severity == obs::AlertSeverity::kCritical ? "critical" : "warning";
+}
+
+/// Offline burn-rate replay for --alerts: walks the recorded slot range in
+/// order, marking a slot bad when any watchdog alert covers it, and feeds
+/// the same multi-window rules the live daemon evaluates. The result is
+/// the fire/resolve transition log — the "would the pager have gone off,
+/// and when would it have quieted" view of a recording.
+void replay_burn(RecordingReport& report) {
+  obs::BurnRateConfig config;
+  config.minutes_per_slot =
+      report.recording.minutes_per_sample *
+      static_cast<double>(std::max<std::size_t>(1, report.recording.stride));
+  obs::BurnRate burn("slo", config);
+  if (report.recording.records.empty()) return;
+
+  std::uint32_t first = report.recording.records.front().slot;
+  std::uint32_t last = first;
+  for (const obs::SlotRecord& r : report.recording.records) {
+    first = std::min(first, r.slot);
+    last = std::max(last, r.slot);
+  }
+  std::vector<bool> bad(static_cast<std::size_t>(last - first) + 1, false);
+  for (const obs::Alert& a : report.watchdog.alerts()) {
+    const std::uint32_t span = std::max<std::uint32_t>(1, a.duration_slots);
+    for (std::uint32_t s = std::max(a.first_slot, first);
+         s < a.first_slot + span && s <= last; ++s) {
+      bad[s - first] = true;
+    }
+  }
+  for (std::uint32_t slot = first; slot <= last; ++slot) {
+    burn.observe(slot, 1, bad[slot - first] ? 1 : 0);
+  }
+  report.burn_log = burn.alerts();
+  report.burn_active = burn.active_alerts();
 }
 
 }  // namespace
@@ -130,7 +167,7 @@ int cmd_report(const Flags& flags, std::ostream& out, std::ostream& err) {
       "m",             "tdegr",         "epochs",         "failure-ulow",
       "failure-uhigh", "failure-udegr", "failure-m",      "failure-tdegr",
       "failure-epochs", "theta",        "deadline",       "warmup-slots",
-      "bench",         "out",           "json-out"};
+      "bench",         "out",           "json-out",       "alerts"};
   if (!check_flags(flags, allowed, err)) return 1;
   const auto records_spec = flags.get("records");
   if (!records_spec.has_value()) {
@@ -193,6 +230,7 @@ int cmd_report(const Flags& flags, std::ostream& out, std::ostream& err) {
       report.watchdog.observe(record);
     }
     report.watchdog.finish();
+    if (flags.get_bool("alerts", false)) replay_burn(report);
   }
 
   std::vector<BenchSummary> benches;
@@ -319,6 +357,21 @@ int cmd_report(const Flags& flags, std::ostream& out, std::ostream& err) {
     if (alerts.size() > shown) {
       body << "    .. " << alerts.size() - shown << " more\n";
     }
+    if (flags.get_bool("alerts", false)) {
+      // --alerts: the offline burn-rate replay — when would the live
+      // daemon's error-budget rules have fired and resolved over this
+      // recording's alert timeline.
+      body << "  burn-rate : " << report.burn_log.size() << " transitions, "
+           << report.burn_active.size() << " firing at end\n";
+      for (const obs::BurnAlert& a : report.burn_log) {
+        body << "    " << obs::describe(a) << "\n";
+      }
+      for (const obs::BurnAlert& a : report.burn_active) {
+        body << "    still firing at end: " << a.stream << "/" << a.rule
+             << " (" << obs::burn_severity_name(a.severity)
+             << ") since slot " << a.slot << "\n";
+      }
+    }
     if (!report.ok) all_ok = false;
   }
 
@@ -410,6 +463,22 @@ int cmd_report(const Flags& flags, std::ostream& out, std::ostream& err) {
       w.end_array();
       w.key("alerts_dropped")
           .value(static_cast<std::size_t>(report.watchdog.alerts_dropped()));
+      if (flags.get_bool("alerts", false)) {
+        w.key("burn_transitions").begin_array();
+        for (const obs::BurnAlert& a : report.burn_log) {
+          w.begin_object();
+          w.key("stream").value(a.stream);
+          w.key("rule").value(a.rule);
+          w.key("severity").value(obs::burn_severity_name(a.severity));
+          w.key("active").value(a.active);
+          w.key("slot").value(static_cast<std::size_t>(a.slot));
+          w.key("burn_short").value(a.burn_short);
+          w.key("burn_long").value(a.burn_long);
+          w.key("threshold").value(a.threshold);
+          w.end_object();
+        }
+        w.end_array();
+      }
       w.end_object();
     }
     w.end_array();

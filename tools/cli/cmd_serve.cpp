@@ -32,7 +32,8 @@ int cmd_serve(const Flags& flags, std::ostream& out, std::ostream& err) {
       "max-line-bytes", "tick-deadline-ms", "compact",
       "socket",         "host",            "port",
       "max-connections", "read-timeout",   "write-timeout",
-      "max-output-bytes"};
+      "max-output-bytes", "http-port",     "drain-grace",
+      "slow-request-ms"};
   append_telemetry_flag_names(allowed);
   if (!check_flags(flags, allowed, err)) return 1;
 
@@ -97,6 +98,7 @@ int cmd_serve(const Flags& flags, std::ostream& out, std::ostream& err) {
   options.queue_capacity = flags.get_size("queue", 1024);
   options.max_line_bytes = flags.get_size("max-line-bytes", 1 << 20);
   options.tick_deadline_ms = flags.get_double("tick-deadline-ms", 0.0);
+  options.slow_request_ms = flags.get_double("slow-request-ms", 0.0);
 
   config.validate();
   options.validate();
@@ -110,15 +112,24 @@ int cmd_serve(const Flags& flags, std::ostream& out, std::ostream& err) {
     transport.read_timeout_s = flags.get_double("read-timeout", 30.0);
     transport.write_timeout_s = flags.get_double("write-timeout", 30.0);
     transport.max_output_bytes = flags.get_size("max-output-bytes", 1 << 20);
+    // --http-port enables the scrape listener (/metrics, /healthz,
+    // /stats.json); 0 asks for an ephemeral port, announced below.
+    transport.http_port = flags.has("http-port")
+                              ? static_cast<int>(flags.get_size("http-port", 0))
+                              : -1;
+    transport.drain_grace_s = flags.get_double("drain-grace", 0.0);
     transport.validate();
     serve::SocketServer server(config, options, transport);
     // Announce the resolved endpoint on stdout so a parent that asked for
-    // an ephemeral port (--port 0) can learn what was bound.
+    // an ephemeral port (--port 0 / --http-port 0) can learn what was bound.
     json::Writer w;
     w.begin_object();
     w.key("type").value("listening");
     w.key("address").value(server.address());
     w.key("port").value(static_cast<std::int64_t>(server.port()));
+    if (server.http_port() >= 0) {
+      w.key("http_port").value(static_cast<std::int64_t>(server.http_port()));
+    }
     w.end_object();
     out << w.str() << '\n' << std::flush;
     return server.run(err);

@@ -1,0 +1,161 @@
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/cli_util.h"
+#include "cli/commands.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "common/signals.h"
+#include "serve/client.h"
+
+namespace ropus::cli {
+namespace {
+
+double num(const json::Value& v, const char* key, double fallback = 0.0) {
+  const json::Value* f = v.find(key);
+  return f != nullptr && f->type() == json::Value::Type::kNumber
+             ? f->as_number()
+             : fallback;
+}
+
+std::string str(const json::Value& v, const char* key) {
+  const json::Value* f = v.find(key);
+  return f != nullptr && f->type() == json::Value::Type::kString
+             ? f->as_string()
+             : std::string();
+}
+
+std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+/// One redrawn frame: plain text, no curses — \033[2J\033[H clears and
+/// homes, which every terminal this targets understands, and piping the
+/// output to a file stays readable.
+void render(const json::Value& stats, const std::string& endpoint,
+            bool clear, std::ostream& out) {
+  if (clear) out << "\033[2J\033[H";
+  out << "ropus serve @ " << endpoint << "   slot "
+      << static_cast<long long>(num(stats, "slot")) << "   recovery "
+      << str(stats, "recovery") << "\n\n";
+  out << "  apps        " << static_cast<long long>(num(stats, "apps"))
+      << " active, " << static_cast<long long>(num(stats, "departed"))
+      << " departed\n";
+  out << "  admission   " << static_cast<long long>(num(stats, "admitted"))
+      << " admitted, " << static_cast<long long>(num(stats, "rejected"))
+      << " rejected, "
+      << static_cast<long long>(num(stats, "renegotiated"))
+      << " renegotiated\n";
+  out << "  theta       " << fmt("%.4f", num(stats, "theta", 1.0))
+      << "   CoS2 backlog " << fmt("%.2f", num(stats, "backlog"))
+      << " cpu-slots\n";
+  out << "  journal     "
+      << static_cast<long long>(num(stats, "journal_entries")) << " entries, "
+      << static_cast<long long>(num(stats, "journal_bytes")) << " bytes\n";
+  const json::Value* ticks = stats.find("tick_latency_seconds");
+  if (ticks != nullptr && ticks->type() == json::Value::Type::kObject) {
+    out << "  tick        p50 " << fmt("%.3f", num(*ticks, "p50") * 1e3)
+        << "ms  p95 " << fmt("%.3f", num(*ticks, "p95") * 1e3) << "ms  p99 "
+        << fmt("%.3f", num(*ticks, "p99") * 1e3) << "ms  max "
+        << fmt("%.3f", num(*ticks, "max") * 1e3) << "ms  ("
+        << static_cast<long long>(num(*ticks, "count")) << " ticks)\n";
+  }
+  out << "  watchdog    "
+      << static_cast<long long>(num(stats, "watchdog_alerts"))
+      << " SLO alerts total\n";
+  const json::Value* alerts = stats.find("alerts");
+  if (alerts != nullptr && alerts->type() == json::Value::Type::kArray &&
+      !alerts->as_array().empty()) {
+    out << "\n  BURN-RATE ALERTS FIRING:\n";
+    for (const json::Value& a : alerts->as_array()) {
+      out << "    [" << str(a, "severity") << "] " << str(a, "stream") << "/"
+          << str(a, "rule") << " since slot "
+          << static_cast<long long>(num(a, "since_slot")) << ": short "
+          << fmt("%.1f", num(a, "burn_short")) << "x, long "
+          << fmt("%.1f", num(a, "burn_long")) << "x (threshold "
+          << fmt("%.1f", num(a, "threshold")) << "x)\n";
+    }
+  } else {
+    out << "\n  no burn-rate alerts firing\n";
+  }
+  out << std::flush;
+}
+
+}  // namespace
+
+// Live daemon view: polls a socket-mode serve daemon's read-only `stats`
+// verb and redraws a plain-text summary — admissions, theta, backlog,
+// journal size, tick latency percentiles, active burn-rate alerts. With
+// --once it prints the raw stats JSON a single time and exits, which is
+// the scripting/degraded-terminal mode.
+int cmd_top(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::vector<std::string> allowed{"socket", "host",     "port",
+                                         "interval", "once",   "deadline",
+                                         "attempts", "retry-seed"};
+  if (!check_flags(flags, allowed, err)) return 1;
+
+  serve::ClientOptions options;
+  options.unix_path = flags.get_string("socket", "");
+  options.host = flags.get_string("host", "127.0.0.1");
+  options.port = static_cast<int>(flags.get_size("port", 0));
+  options.deadline_s = flags.get_double("deadline", 5.0);
+  options.max_attempts = flags.get_size("attempts", 3);
+  options.retry_seed = flags.get_size("retry-seed", 1);
+  options.id_prefix = "top" + std::to_string(::getpid());
+  if (options.unix_path.empty() && options.port == 0) {
+    err << "error: top needs --socket <path> or --port <n>\n";
+    return 1;
+  }
+  const bool once = flags.get_bool("once", false);
+  const double interval = flags.get_double("interval", 2.0);
+  if (interval <= 0.0) {
+    err << "error: --interval must be positive\n";
+    return 1;
+  }
+  const std::string endpoint = options.unix_path.empty()
+                                   ? options.host + ":" +
+                                         std::to_string(options.port)
+                                   : options.unix_path;
+
+  try {
+    options.validate();
+    serve::Client client(options);
+    for (;;) {
+      const std::vector<std::string> replies =
+          client.transact("{\"type\":\"stats\"}");
+      if (replies.empty()) {
+        err << "error: daemon returned no stats reply\n";
+        return 1;
+      }
+      if (once) {
+        out << replies.front() << '\n' << std::flush;
+        return 0;
+      }
+      const json::Value stats = json::parse(replies.front());
+      render(stats, endpoint, /*clear=*/true, out);
+      // Sleep in short slices so SIGINT lands within ~100ms, not a full
+      // interval later.
+      const auto until = std::chrono::steady_clock::now() +
+                         std::chrono::duration<double>(interval);
+      while (std::chrono::steady_clock::now() < until) {
+        if (signals::termination_requested()) return 0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      if (signals::termination_requested()) return 0;
+    }
+  } catch (const Error& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace ropus::cli
