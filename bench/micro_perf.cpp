@@ -24,6 +24,7 @@
 #include "common/parallel.h"
 #include "faultsim/campaign.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/recorder.h"
 #include "obs/timeseries.h"
 #include "serve/daemon.h"
@@ -283,6 +284,52 @@ void report(const BenchRun& run, bench::BenchReporter& reporter) {
                           ? (recorded.min_seconds / bare.min_seconds - 1.0) *
                                 100.0
                           : 0.0);
+}
+
+/// The sampling profiler's tax on a CPU-bound phase: the same event-
+/// schedule replay as the recorder gate, bare vs under an active 99 Hz
+/// capture (SIGPROF delivery, handler unwind, ring append). The capture is
+/// stopped — and its samples discarded — without any I/O in the timed
+/// region, so the number is pure sampling overhead. Skipped (metric absent)
+/// where per-thread CPU timers are unavailable.
+[[gnu::noinline]] void bench_profiler_overhead(bench::BenchReporter& reporter) {
+  if (!obs::prof::Profiler::supported()) return;
+  const std::size_t n = 8;
+  const std::span<const trace::DemandTrace> fleet(demands().data(), n);
+  const qos::Requirement req2 = bench::paper_requirement(97.0, 30.0);
+  std::vector<qos::Translation> normal;
+  for (std::size_t a = 0; a < n; ++a) {
+    normal.push_back(qos::translate(demands()[a], req2, cos2()));
+  }
+  const auto pool = sim::homogeneous_pool(4, 16);
+  wlm::SchedulePhase phase;
+  phase.start_slot = 0;
+  phase.failure_mode.assign(n, false);
+  phase.down.assign(pool.size(), false);
+  for (std::size_t a = 0; a < n; ++a) phase.hosts.push_back(a % pool.size());
+  const std::vector<wlm::SchedulePhase> phases{phase};
+  const auto run_schedule = [&] {
+    do_not_optimize(wlm::run_event_schedule(fleet, normal, normal, pool,
+                                            phases, {}, wlm::Policy::kReactive));
+  };
+  const std::uint64_t items = fleet.front().size() * n;
+  const BenchRun bare = run_bench("obs/profiler_off", items, run_schedule);
+  report(bare, reporter);
+
+  parallel::set_thread_start_hook(&obs::prof::register_current_thread);
+  obs::prof::register_current_thread();
+  if (!obs::prof::Profiler::global().start({})) return;
+  const BenchRun sampled =
+      run_bench("obs/profiler_overhead", items, run_schedule);
+  const obs::prof::Profile profile = obs::prof::Profiler::global().stop();
+  report(sampled, reporter);
+  reporter.set_metric("profiler_overhead_pct",
+                      bare.min_seconds > 0.0
+                          ? (sampled.min_seconds / bare.min_seconds - 1.0) *
+                                100.0
+                          : 0.0);
+  reporter.set_metric("profiler_capture_samples",
+                      static_cast<double>(profile.samples));
 }
 
 /// The serve daemon's steady-state tick: parse one NDJSON line and judge
@@ -565,6 +612,7 @@ int main() {
 #endif
   bench_campaign_threads(reporter);
   bench_recorder_overhead(reporter);
+  bench_profiler_overhead(reporter);
 
   const std::filesystem::path out = reporter.write();
   std::printf("wrote %s\n", out.string().c_str());

@@ -15,6 +15,7 @@ namespace ropus::parallel {
 namespace {
 
 std::atomic<std::size_t> g_thread_count{0};  // 0 = hardware default
+std::atomic<void (*)()> g_thread_start_hook{nullptr};
 
 // True on pool workers (and on callers already inside a for_each_index),
 // so nested parallel loops degrade to the serial path instead of waiting
@@ -98,6 +99,9 @@ class Pool {
 
   void worker_loop() {
     t_in_parallel = true;
+    if (void (*hook)() = g_thread_start_hook.load(std::memory_order_acquire)) {
+      hook();
+    }
     std::uint64_t seen_generation = 0;
     for (;;) {
       Job* job = nullptr;
@@ -181,6 +185,10 @@ void for_each_index(std::size_t n, std::size_t threads,
 void for_each_index(std::size_t n,
                     const std::function<void(std::size_t)>& fn) {
   for_each_index(n, thread_count(), fn);
+}
+
+void set_thread_start_hook(void (*hook)()) {
+  g_thread_start_hook.store(hook, std::memory_order_release);
 }
 
 }  // namespace ropus::parallel

@@ -42,4 +42,13 @@ void for_each_index(std::size_t n, std::size_t threads,
 /// Same, with the process-wide thread_count().
 void for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+/// Registers a callback invoked once at the start of every pool worker
+/// thread created after this call. This is the seam the sampling profiler
+/// (src/obs/profiler.h) uses to register worker threads for per-thread CPU
+/// timers without common/ depending on obs/: install the hook before the
+/// first sharded loop (ropus_cli does it at startup) and every worker the
+/// pool ever spawns announces itself. The hook must be cheap and must not
+/// call back into for_each_index. nullptr clears it.
+void set_thread_start_hook(void (*hook)());
+
 }  // namespace ropus::parallel

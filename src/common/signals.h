@@ -5,7 +5,16 @@
 // losing them. The handler only stores into lock-free atomics —
 // async-signal-safe by construction — and leaves all real work to the
 // polling thread.
+//
+// This file owns *every* signal disposition the process installs —
+// SIGTERM/SIGINT termination, the SIGUSR1 flush, and the sampling
+// profiler's SIGPROF — so no subsystem can clobber another's handler:
+// each signal has exactly one registration site, and all of them go
+// through sigaction with SA_RESTART so an interrupted read()/getline()
+// resumes instead of surfacing a spurious EINTR into the daemon loops.
 #pragma once
+
+#include <csignal>
 
 namespace ropus::signals {
 
@@ -37,6 +46,19 @@ bool consume_flush_request();
 /// Sets the flush flag programmatically — tests use this in place of a
 /// real SIGUSR1.
 void request_flush();
+
+/// Installs `handler` as the process SIGPROF action (SA_SIGINFO |
+/// SA_RESTART). Owned here, next to the termination and flush handlers,
+/// so the profiler's registration cannot race or replace theirs. The
+/// handler must be async-signal-safe; the sampling profiler's is (it only
+/// touches thread-local rings and lock-free atomics). Passing the same
+/// handler twice is idempotent; passing a different one replaces it.
+void install_profile_handler(void (*handler)(int, siginfo_t*, void*));
+
+/// Replaces the SIGPROF handler with SIG_IGN (not SIG_DFL: a straggler
+/// tick from a timer disarmed a microsecond ago must not kill the
+/// process).
+void clear_profile_handler();
 
 /// Clears the flag so one test's simulated signal does not leak into the
 /// next. Not for production paths.

@@ -16,6 +16,14 @@ namespace {
 thread_local std::int64_t t_current_span = -1;
 thread_local std::uint32_t t_depth = 0;
 
+/// Active-span stack for the sampling profiler. Written only by the
+/// owning thread; read by the same thread's SIGPROF handler, so the
+/// push protocol is entry-then-depth with a signal fence between — the
+/// handler always sees a valid prefix.
+std::atomic<bool> g_span_tracking{false};
+thread_local spanprof::ActiveSpan t_span_stack[spanprof::kTrackedDepth];
+thread_local std::atomic<std::uint32_t> t_tracked_depth{0};
+
 std::uint64_t thread_token() {
   // A small stable per-thread number (nicer in exports than hashed ids).
   static std::atomic<std::uint64_t> next{0};
@@ -80,22 +88,37 @@ ScopedSpan::ScopedSpan(std::string_view name) : ScopedSpan(name, {}) {}
 ScopedSpan::ScopedSpan(std::string_view name, std::string_view tag)
     : name_(name) {
   Tracer& tracer = Tracer::global();
-  if (!tracer.enabled()) return;
-  tag_ = std::string(tag);
-  active_ = true;
+  const bool record = tracer.enabled();
+  if (!record && !g_span_tracking.load(std::memory_order_relaxed)) return;
+  tracked_ = true;
   id_ = tracer.next_id_.fetch_add(1, std::memory_order_relaxed);
   saved_parent_ = t_current_span;
   depth_ = t_depth;
   t_current_span = static_cast<std::int64_t>(id_);
   t_depth += 1;
+  // Entry first, then the depth, with a signal fence between: the SIGPROF
+  // handler that reads this stack always observes a fully-written prefix.
+  const std::uint32_t d = t_tracked_depth.load(std::memory_order_relaxed);
+  if (d < spanprof::kTrackedDepth) {
+    t_span_stack[d].name = name.data();
+    t_span_stack[d].size = static_cast<std::uint32_t>(name.size());
+    std::atomic_signal_fence(std::memory_order_release);
+  }
+  t_tracked_depth.store(d + 1, std::memory_order_relaxed);
+  if (!record) return;
+  tag_ = std::string(tag);
+  active_ = true;
   start_ = monotonic_seconds();
 }
 
 ScopedSpan::~ScopedSpan() {
-  if (!active_) return;
-  const double end = monotonic_seconds();
+  if (!tracked_) return;
+  const double end = active_ ? monotonic_seconds() : 0.0;
+  const std::uint32_t d = t_tracked_depth.load(std::memory_order_relaxed);
+  if (d > 0) t_tracked_depth.store(d - 1, std::memory_order_relaxed);
   t_current_span = saved_parent_;
   t_depth -= 1;
+  if (!active_) return;
   SpanRecord record;
   record.name = std::string(name_);
   record.tag = std::move(tag_);
@@ -140,5 +163,29 @@ void write_trace_json(const std::filesystem::path& path) {
   io::write_file_atomic(path, trace_to_json(Tracer::global().records()) +
                                   "\n");
 }
+
+namespace spanprof {
+
+void set_tracking_enabled(bool enabled) {
+  g_span_tracking.store(enabled, std::memory_order_relaxed);
+}
+
+bool tracking_enabled() {
+  return g_span_tracking.load(std::memory_order_relaxed);
+}
+
+std::size_t snapshot_active_spans(ActiveSpan* out, std::size_t max) noexcept {
+  std::uint32_t d = t_tracked_depth.load(std::memory_order_relaxed);
+  std::atomic_signal_fence(std::memory_order_acquire);
+  if (d > kTrackedDepth) d = kTrackedDepth;
+  std::size_t n = d;
+  if (n > max) n = max;
+  for (std::size_t i = 0; i < n; ++i) out[i] = t_span_stack[i];
+  return n;
+}
+
+std::int64_t current_span_id() noexcept { return t_current_span; }
+
+}  // namespace spanprof
 
 }  // namespace ropus::obs

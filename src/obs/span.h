@@ -70,8 +70,11 @@ class Tracer {
   friend class ScopedSpan;
 };
 
-/// RAII span handle. The name must outlive the span (string literals do);
-/// the tag, when given, is copied (request ids are short-lived strings).
+/// RAII span handle. The name must outlive the span — in practice every
+/// call site passes a string literal, and the sampling profiler (which
+/// snapshots name pointers from a signal handler and resolves them after
+/// the span closed) depends on exactly that; the tag, when given, is
+/// copied (request ids are short-lived strings).
 class ScopedSpan {
  public:
   explicit ScopedSpan(std::string_view name);
@@ -87,8 +90,46 @@ class ScopedSpan {
   std::int64_t saved_parent_ = -1;
   std::uint32_t depth_ = 0;
   double start_ = 0.0;
-  bool active_ = false;
+  bool active_ = false;   // recording into the tracer
+  bool tracked_ = false;  // pushed onto the thread's active-span stack
 };
+
+// --- Profiler interface -----------------------------------------------
+//
+// The sampling profiler attributes CPU samples to the span that was open
+// on the interrupted thread. Spans normally cost nothing while the tracer
+// is disabled; enabling *tracking* makes every ScopedSpan maintain a
+// small per-thread stack of (name pointer, length) entries — no clock
+// reads, no record allocation — which the SIGPROF handler snapshots.
+namespace spanprof {
+
+/// One open span on the calling thread. The pointer references the
+/// ScopedSpan's name (a string literal at every call site), so it stays
+/// valid after the span closes.
+struct ActiveSpan {
+  const char* name = nullptr;
+  std::uint32_t size = 0;
+};
+
+/// Spans deeper than this are tracked for nesting but not snapshotted.
+inline constexpr std::size_t kTrackedDepth = 32;
+
+/// Turns per-thread active-span bookkeeping on/off independently of the
+/// tracer; the profiler enables it for the duration of a capture.
+void set_tracking_enabled(bool enabled);
+bool tracking_enabled();
+
+/// Copies the calling thread's open spans into `out` (outermost first,
+/// at most `max`) and returns the count. Async-signal-safe: plain
+/// thread-local reads paired with signal fences, no locks, no
+/// allocation.
+std::size_t snapshot_active_spans(ActiveSpan* out, std::size_t max) noexcept;
+
+/// Id of the innermost open span on the calling thread, -1 when none.
+/// Async-signal-safe for the same reason.
+std::int64_t current_span_id() noexcept;
+
+}  // namespace spanprof
 
 /// Serializes span records as a Chrome trace-event JSON document (load it
 /// in chrome://tracing or Perfetto). Records are emitted in start order.

@@ -10,13 +10,16 @@
 
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <ostream>
 #include <vector>
 
 #include "common/error.h"
+#include "common/logging.h"
 #include "common/signals.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/timeseries.h"
 
 namespace ropus::serve {
@@ -74,6 +77,9 @@ struct HttpConn {
   double started = 0.0;   // connect time, for the scrape timeout
   bool responded = false;
   bool eof = false;
+  /// Parked on /debug/profile: the response arrives when the capture
+  /// window closes, so this connection is exempt from the scrape timeout.
+  bool waiting_profile = false;
 };
 
 /// Scrape connections beyond this are answered 503 and closed; scrapes
@@ -93,13 +99,69 @@ std::string http_response(int code, const char* reason,
   return out;
 }
 
-/// "GET /path HTTP/1.x" -> "/path"; empty when the line is not a GET.
+/// "GET /path?query HTTP/1.x" -> "/path?query"; empty when not a GET.
 std::string http_get_path(std::string_view request_line) {
   if (!request_line.starts_with("GET ")) return {};
   request_line.remove_prefix(4);
   const std::size_t space = request_line.find(' ');
   if (space == 0 || space == std::string_view::npos) return {};
   return std::string(request_line.substr(0, space));
+}
+
+/// Splits the request target at '?': the path alone.
+std::string_view target_path(std::string_view target) {
+  return target.substr(0, target.find('?'));
+}
+
+/// Returns the raw value of `name` in the target's query string, or
+/// nullopt. No percent-decoding: every parameter this server understands
+/// (seconds, hz, format) is a plain token.
+std::optional<std::string> query_param(std::string_view target,
+                                       std::string_view name) {
+  const std::size_t mark = target.find('?');
+  if (mark == std::string_view::npos) return std::nullopt;
+  std::string_view query = target.substr(mark + 1);
+  while (!query.empty()) {
+    std::size_t amp = query.find('&');
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view pair = query.substr(0, amp);
+    query.remove_prefix(amp == query.size() ? amp : amp + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    if (pair.substr(0, eq) == name) {
+      return std::string(pair.substr(eq + 1));
+    }
+  }
+  return std::nullopt;
+}
+
+/// Typed JSON error body for the debug endpoints, mirroring the NDJSON
+/// plane's error replies: machine-readable code plus human detail.
+std::string http_error_body(std::string_view error, std::string_view detail) {
+  json::Writer w;
+  w.begin_object();
+  w.key("error").value(error);
+  w.key("detail").value(detail);
+  w.end_object();
+  return w.str() + "\n";
+}
+
+/// The /stats.json "profiler" block (also spliced into the stats verb by
+/// DaemonCore::stats_reply): live capture state, not capture results.
+std::string profiler_stats_object() {
+  const obs::prof::ProfilerState state = obs::prof::Profiler::global().state();
+  json::Writer w;
+  w.begin_object();
+  w.key("supported").value(obs::prof::Profiler::supported());
+  w.key("active").value(state.active);
+  w.key("hz").value(static_cast<std::int64_t>(state.hz));
+  w.key("seconds").value(state.seconds);
+  w.key("samples").value(static_cast<std::int64_t>(state.samples));
+  w.key("dropped").value(static_cast<std::int64_t>(state.dropped));
+  w.key("threads").value(static_cast<std::int64_t>(state.threads));
+  w.key("captures").value(static_cast<std::int64_t>(state.captures));
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace
@@ -241,7 +303,16 @@ int SocketServer::run(std::ostream& err) {
   static obs::Counter& lines = obs::counter("serve.transport.lines");
   static obs::Counter& scrapes = obs::counter("serve.http.requests");
   static obs::Counter& scrape_refused = obs::counter("serve.http.refused");
+  static obs::Counter& profile_captures =
+      obs::counter("serve.http.profile_captures");
+  static obs::Counter& profile_refused =
+      obs::counter("serve.http.profile_refused");
   static obs::Gauge& open_conns = obs::gauge("serve.transport.open");
+
+  // The poll loop is where tick CPU burns; make sure this thread shows up
+  // in /debug/profile captures even when the daemon was not started
+  // through ropus_cli (tests construct SocketServer directly).
+  obs::prof::register_current_thread();
 
   const RecoveryReport& recovery = core_.recovery();
   if (recovery.torn_tail) {
@@ -263,6 +334,18 @@ int SocketServer::run(std::ostream& err) {
   bool signal_drain = false;  // grace drain: hold until the deadline
   double drain_deadline = 0.0;
   int exit_code = 0;
+
+  // One /debug/profile capture at a time, finalized by the poll loop when
+  // the window closes. The requesting connection waits (exempt from the
+  // scrape timeout); if it disappears meanwhile the capture completes and
+  // the result is discarded.
+  struct DebugCapture {
+    bool active = false;
+    double deadline = 0.0;
+    std::string format;  // "folded" | "svg" | "json"
+    int conn_fd = -1;
+  };
+  DebugCapture profiling;
 
   const auto close_conn = [&](std::size_t i) {
     ::close(conns[i].fd);
@@ -309,9 +392,81 @@ int SocketServer::run(std::ostream& err) {
     return std::pair<int, std::string>(ok ? 200 : 503, w.str() + "\n");
   };
 
+  // GET /debug/profile?seconds=N&hz=H&format=folded|svg|json: start an
+  // on-demand capture and park the connection until the window closes.
+  // Refusals are typed JSON errors: 409 while any capture holds the
+  // profiler (this endpoint or a --profile-out run), 503 while draining.
+  const auto respond_profile = [&](HttpConn& h, std::string_view target) {
+    if (draining) {
+      h.outbuf += http_response(503, "Service Unavailable",
+                                "application/json",
+                                http_error_body("draining",
+                                                "daemon is draining; no new "
+                                                "captures"));
+      profile_refused.add();
+      return;
+    }
+    if (!obs::prof::Profiler::supported()) {
+      h.outbuf += http_response(
+          501, "Not Implemented", "application/json",
+          http_error_body("profiler_unsupported",
+                          "no per-thread CPU timers on this platform"));
+      profile_refused.add();
+      return;
+    }
+    double seconds = 2.0;
+    int hz = 99;
+    std::string format = "folded";
+    try {
+      if (const auto v = query_param(target, "seconds")) {
+        seconds = std::stod(*v);
+      }
+      if (const auto v = query_param(target, "hz")) hz = std::stoi(*v);
+      if (const auto v = query_param(target, "format")) format = *v;
+    } catch (const std::exception&) {
+      seconds = -1.0;  // fall through to the validation reply below
+    }
+    if (!(seconds >= 0.1 && seconds <= 120.0) || hz < 1 || hz > 1000 ||
+        (format != "folded" && format != "svg" && format != "json")) {
+      h.outbuf += http_response(
+          400, "Bad Request", "application/json",
+          http_error_body("bad_request",
+                          "want seconds=0.1..120, hz=1..1000, "
+                          "format=folded|svg|json"));
+      profile_refused.add();
+      return;
+    }
+    if (profiling.active) {
+      h.outbuf += http_response(
+          409, "Conflict", "application/json",
+          http_error_body("profile_capture_active",
+                          "another /debug/profile capture is draining; "
+                          "retry when it completes"));
+      profile_refused.add();
+      return;
+    }
+    obs::prof::ProfilerOptions options;
+    options.hz = hz;
+    if (!obs::prof::Profiler::global().start(options)) {
+      h.outbuf += http_response(
+          409, "Conflict", "application/json",
+          http_error_body("profiler_busy",
+                          "the profiler is held by another capture "
+                          "(a --profile-out run?)"));
+      profile_refused.add();
+      return;
+    }
+    profiling.active = true;
+    profiling.deadline = obs::monotonic_seconds() + seconds;
+    profiling.format = format;
+    profiling.conn_fd = h.fd;
+    h.waiting_profile = true;
+  };
+
   const auto respond = [&](HttpConn& h, std::string_view request_line) {
     scrapes.add();
-    const std::string path = http_get_path(request_line);
+    const std::string target = http_get_path(request_line);
+    const std::string_view path = target_path(target);
     if (path == "/metrics") {
       h.outbuf += http_response(
           200, "OK", "text/plain; version=0.0.4; charset=utf-8",
@@ -322,14 +477,20 @@ int SocketServer::run(std::ostream& err) {
           code, code == 200 ? "OK" : "Service Unavailable",
           "application/json", body);
     } else if (path == "/stats.json") {
-      h.outbuf += http_response(200, "OK", "application/json",
-                                series.to_json() + "\n");
+      // Splice the live profiler block in after the opening brace; the
+      // series document's own keys stay untouched.
+      std::string body = series.to_json();
+      body.insert(1, "\"profiler\":" + profiler_stats_object() + ",");
+      h.outbuf += http_response(200, "OK", "application/json", body + "\n");
+    } else if (path == "/debug/profile") {
+      respond_profile(h, target);
     } else if (path.empty()) {
       h.outbuf += http_response(405, "Method Not Allowed", "text/plain",
                                 "only GET is supported\n");
     } else {
-      h.outbuf += http_response(404, "Not Found", "text/plain",
-                                "try /metrics, /healthz or /stats.json\n");
+      h.outbuf += http_response(
+          404, "Not Found", "text/plain",
+          "try /metrics, /healthz, /stats.json or /debug/profile\n");
     }
     h.responded = true;
   };
@@ -338,6 +499,40 @@ int SocketServer::run(std::ostream& err) {
     const double now = obs::monotonic_seconds();
     series.maybe_sample(obs::Registry::global(), now);
     open_conns.set(static_cast<double>(conns.size()));
+
+    if (profiling.active && now >= profiling.deadline) {
+      // The capture window closed: stop, render in the requested format
+      // and answer the parked connection (if it is still around).
+      const obs::prof::Profile profile = obs::prof::Profiler::global().stop();
+      profile_captures.add();
+      std::string body;
+      const char* content_type = "text/plain; charset=utf-8";
+      if (profiling.format == "svg") {
+        content_type = "image/svg+xml";
+        body = obs::prof::flamegraph_svg(profile.stacks,
+                                         "ropus serve /debug/profile");
+      } else if (profiling.format == "json") {
+        content_type = "application/json";
+        body = obs::prof::profile_to_json(profile) + "\n";
+      } else {
+        char header[160];
+        std::snprintf(header, sizeof header,
+                      "# ropus serve profile: %llu samples, %d Hz, %.2fs, "
+                      "%llu threads, %llu dropped\n",
+                      static_cast<unsigned long long>(profile.samples),
+                      profile.hz, profile.duration_seconds,
+                      static_cast<unsigned long long>(profile.threads),
+                      static_cast<unsigned long long>(profile.dropped));
+        body = header + obs::prof::to_folded(profile.stacks);
+      }
+      for (HttpConn& h : https) {
+        if (h.waiting_profile && h.fd == profiling.conn_fd) {
+          h.outbuf += http_response(200, "OK", content_type, body);
+          h.waiting_profile = false;
+        }
+      }
+      profiling = DebugCapture{};
+    }
     if ((signals::termination_requested() ||
          stop_.load(std::memory_order_relaxed)) &&
         !draining) {
@@ -516,6 +711,16 @@ int SocketServer::run(std::ostream& err) {
             }
           }
           sheds.add();
+          // A slow consumer sheds once per buffered line: without a rate
+          // limit one stuck peer writes thousands of identical warnings.
+          static log::Every shed_warn(4, 1024);
+          if (shed_warn.allow()) {
+            ROPUS_LOG(kWarn)
+                << "serve: shedding requests from a slow consumer (outbuf "
+                << c.outbuf.size() << " bytes over the "
+                << transport_.max_output_bytes << "-byte cap; "
+                << shed_warn.suppressed() << " similar warnings suppressed)";
+          }
           continue;
         }
         c.shedding = false;
@@ -554,11 +759,25 @@ int SocketServer::run(std::ostream& err) {
       if (!dead && transport_.write_timeout_s > 0.0 && !c.outbuf.empty() &&
           now - c.last_progress > transport_.write_timeout_s) {
         stall_drops.add();
+        static log::Every stall_warn(4, 256);
+        if (stall_warn.allow()) {
+          ROPUS_LOG(kWarn)
+              << "serve: dropping stalled connection (no write progress for "
+              << transport_.write_timeout_s << "s; " << stall_warn.suppressed()
+              << " similar warnings suppressed)";
+        }
         dead = true;
       }
       if (!dead && !draining && transport_.read_timeout_s > 0.0 && !c.eof &&
           now - c.last_line > transport_.read_timeout_s) {
         idle_drops.add();
+        static log::Every idle_warn(4, 256);
+        if (idle_warn.allow()) {
+          ROPUS_LOG(kWarn)
+              << "serve: dropping idle connection (no request line for "
+              << transport_.read_timeout_s << "s; " << idle_warn.suppressed()
+              << " similar warnings suppressed)";
+        }
         dead = true;
       }
       if (dead ||
@@ -633,8 +852,13 @@ int SocketServer::run(std::ostream& err) {
           break;
         }
       }
-      if (!dead && h.responded && h.outbuf.empty()) dead = true;  // served
-      if (!dead && now - h.started > kHttpTimeoutSeconds) dead = true;
+      if (!dead && h.responded && h.outbuf.empty() && !h.waiting_profile) {
+        dead = true;  // served
+      }
+      if (!dead && !h.waiting_profile &&
+          now - h.started > kHttpTimeoutSeconds) {
+        dead = true;
+      }
       if (dead) close_http(k);
     }
   }
@@ -643,6 +867,11 @@ int SocketServer::run(std::ostream& err) {
   conns.clear();
   for (HttpConn& h : https) ::close(h.fd);
   https.clear();
+  if (profiling.active) {
+    // Shutdown landed mid-capture: release the profiler; there is no
+    // connection left to hand the result to.
+    (void)obs::prof::Profiler::global().stop();
+  }
   if (exit_code == 130) {
     // Signal path: persist and note, like the stdio loop; there is no
     // single peer to hand the summary to.

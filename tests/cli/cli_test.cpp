@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "common/json.h"
+#include "obs/profiler.h"
 #include "obs/recorder.h"
 #include "trace/trace_io.h"
 
@@ -595,6 +596,161 @@ TEST_F(CliTest, KilledRunLeavesAbsentOrCompleteRecording) {
     // The child happened to finish before the kill: the file must parse.
     EXPECT_NO_THROW(obs::read_recording(rec));
   }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST_F(CliTest, ProfileOutWritesArtifactInEveryFormat) {
+  if (!obs::prof::Profiler::supported()) {
+    GTEST_SKIP() << "no per-thread CPU timers on this platform";
+  }
+  generate_traces();
+  const std::string folded = (dir_ / "run.folded").string();
+  const int code = run_cli(
+      args({"faultsim", ("--traces=" + traces_).c_str(), "--servers=4",
+            "--trials=10", "--seed=7", "--mtbf=200", "--mttr=10",
+            ("--profile-out=" + folded + ":499").c_str()}));
+  EXPECT_TRUE(code == 0 || code == 2) << err_.str();
+  const std::string content = slurp(folded);
+  EXPECT_NE(content.find("# ropus_cli faultsim profile:"), std::string::npos);
+  EXPECT_NE(content.find("499 Hz"), std::string::npos);
+  EXPECT_NO_THROW((void)obs::prof::parse_folded(content));
+
+  // Extension picks the format; a near-instant command (possibly zero
+  // samples) must still flush a well-formed artifact.
+  const std::string svg = (dir_ / "run.svg").string();
+  ASSERT_EQ(run_cli(args({"analyze", ("--traces=" + traces_).c_str(),
+                          ("--profile-out=" + svg).c_str()})),
+            0)
+      << err_.str();
+  EXPECT_EQ(slurp(svg).rfind("<svg", 0), 0u);
+  const std::string as_json = (dir_ / "run.json").string();
+  ASSERT_EQ(run_cli(args({"analyze", ("--traces=" + traces_).c_str(),
+                          ("--profile-out=" + as_json).c_str()})),
+            0)
+      << err_.str();
+  EXPECT_EQ(json::parse(slurp(as_json)).at("schema").as_string(),
+            "ropus.profile.v1");
+}
+
+TEST_F(CliTest, ProfileOutRejectsBadSpec) {
+  generate_traces();
+  EXPECT_EQ(run_cli(args({"analyze", ("--traces=" + traces_).c_str(),
+                          "--profile-out=x.folded:9999"})),
+            1);
+  EXPECT_NE(err_.str().find("--profile-out rate"), std::string::npos);
+  EXPECT_EQ(run_cli(args({"analyze", ("--traces=" + traces_).c_str(),
+                          "--profile-out=:99"})),
+            1);
+  EXPECT_NE(err_.str().find("--profile-out needs"), std::string::npos);
+}
+
+TEST_F(CliTest, ProfileOutDoesNotPerturbVerdictBytes) {
+  // The determinism contract survives sampling: the same faultsim campaign
+  // at --threads=1 (plain serial loops) and --threads=8 under an active
+  // 499 Hz capture produces byte-identical output.
+  if (!obs::prof::Profiler::supported()) {
+    GTEST_SKIP() << "no per-thread CPU timers on this platform";
+  }
+  generate_traces();
+  const std::vector<std::string> base =
+      args({"faultsim", ("--traces=" + traces_).c_str(), "--servers=4",
+            "--trials=12", "--seed=2006", "--mtbf=150", "--mttr=8",
+            "--threads=1"});
+  const int first_code = run_cli(base);
+  const std::string reference = out_.str();
+
+  std::vector<std::string> profiled = base;
+  profiled.back() = "--threads=8";
+  profiled.push_back("--profile-out=" + (dir_ / "det.folded").string() +
+                     ":499");
+  const int second_code = run_cli(profiled);
+  EXPECT_EQ(first_code, second_code);
+  EXPECT_EQ(reference, out_.str());
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "det.folded"));
+}
+
+class ProfileCmdTest : public CliTest {
+ protected:
+  std::string write_folded(const std::string& name,
+                           const std::string& content) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream(path) << content;
+    return path;
+  }
+};
+
+TEST_F(ProfileCmdTest, TopRanksFramesBySelfTime) {
+  const std::string a =
+      write_folded("a.folded", "main;work 90\nmain;other 10\n");
+  EXPECT_EQ(run_cli(args({"profile", ("--top=" + a).c_str()})), 0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("100 samples"), std::string::npos);
+  // `work` leads with 90% self; `main` has 0% self but 100% total.
+  EXPECT_NE(out_.str().find("90.00"), std::string::npos);
+  EXPECT_NE(out_.str().find("work"), std::string::npos);
+  EXPECT_NE(out_.str().find("100.00"), std::string::npos);
+}
+
+TEST_F(ProfileCmdTest, AggregateSumsAndRenderEmitsSvg) {
+  const std::string a =
+      write_folded("a.folded", "main;work 90\nmain;other 10\n");
+  const std::string b = write_folded("b.folded", "main;work 10\n");
+  const std::string merged = (dir_ / "merged.folded").string();
+  EXPECT_EQ(run_cli(args({"profile", "--aggregate", a.c_str(), b.c_str(),
+                          ("--out=" + merged).c_str()})),
+            0)
+      << err_.str();
+  const auto stacks = obs::prof::parse_folded(slurp(merged));
+  EXPECT_EQ(stacks.at("main;work"), 100u);
+  EXPECT_EQ(stacks.at("main;other"), 10u);
+
+  EXPECT_EQ(run_cli(args({"profile", ("--render=" + merged).c_str(),
+                          "--title=merged"})),
+            0)
+      << err_.str();
+  EXPECT_EQ(out_.str().rfind("<svg", 0), 0u);
+  EXPECT_NE(out_.str().find("merged"), std::string::npos);
+}
+
+TEST_F(ProfileCmdTest, DiffComparesSharesAndGates) {
+  // work: 90% -> 50% self share; other: 10% -> 50% (+40 points).
+  const std::string a =
+      write_folded("old.folded", "main;work 90\nmain;other 10\n");
+  const std::string b =
+      write_folded("new.folded", "main;work 50\nmain;other 50\n");
+  EXPECT_EQ(run_cli(args({"profile", "--diff", a.c_str(), b.c_str()})), 0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("+40.00"), std::string::npos);
+  EXPECT_NE(out_.str().find("-40.00"), std::string::npos);
+
+  EXPECT_EQ(
+      run_cli(args({"profile", "--diff", a.c_str(), b.c_str(), "--gate=10"})),
+      2);
+  EXPECT_NE(out_.str().find("GATE FAIL"), std::string::npos);
+  EXPECT_NE(out_.str().find("other"), std::string::npos);
+  EXPECT_EQ(
+      run_cli(args({"profile", "--diff", a.c_str(), b.c_str(), "--gate=45"})),
+      0);
+  EXPECT_NE(out_.str().find("gate ok"), std::string::npos);
+}
+
+TEST_F(ProfileCmdTest, ValidationAndErrorPaths) {
+  EXPECT_EQ(run_cli(args({"profile"})), 1);
+  EXPECT_NE(err_.str().find("exactly one of"), std::string::npos);
+  const std::string a = write_folded("a.folded", "main;work 1\n");
+  EXPECT_EQ(run_cli(args({"profile", ("--top=" + a).c_str(),
+                          ("--render=" + a).c_str()})),
+            1);
+  EXPECT_EQ(run_cli(args({"profile", "--top=/nonexistent.folded"})), 2);
+  const std::string bad = write_folded("bad.folded", "no-count-here\n");
+  EXPECT_EQ(run_cli(args({"profile", ("--top=" + bad).c_str()})), 2);
+  EXPECT_NE(err_.str().find("bad.folded"), std::string::npos);
+  EXPECT_EQ(run_cli(args({"profile", "--diff", a.c_str()})), 1);
+  EXPECT_NE(err_.str().find("exactly two"), std::string::npos);
 }
 
 }  // namespace

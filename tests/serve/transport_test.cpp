@@ -12,6 +12,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "obs/profiler.h"
 #include "serve/client.h"
 
 namespace ropus::serve {
@@ -557,6 +559,120 @@ TEST_F(TransportTest, HealthzReportsDrainingDuringGraceAndExits130) {
 
   server_thread_.join();
   EXPECT_EQ(exit_code_, 130);
+}
+
+TEST_F(TransportTest, HttpDebugProfileCapturesInEveryFormat) {
+  if (!obs::prof::Profiler::supported()) {
+    GTEST_SKIP() << "no per-thread CPU timers on this platform";
+  }
+  TransportOptions transport;
+  transport.http_port = 0;
+  start({}, transport);
+  ASSERT_GT(server_->http_port(), 0);
+  const int port = server_->http_port();
+
+  ClientOptions copts;
+  copts.unix_path = sock_;
+  copts.deadline_s = 5.0;
+  Client client(copts);
+  (void)client.transact(admit_line("web"));
+
+  // The profiler samples CPU time, so an idle poll loop produces nothing:
+  // keep the daemon ticking while the capture window is open.
+  std::atomic<bool> stop_load{false};
+  std::thread load([&] {
+    Client load_client(copts);
+    long slot = 1;
+    while (!stop_load.load()) {
+      (void)load_client.transact(R"({"type":"tick","slot":)" +
+                                 std::to_string(slot++) +
+                                 R"(,"demand":{"web":1.0}})");
+    }
+  });
+  const std::string folded = http_get(
+      port, "GET /debug/profile?seconds=0.4&hz=499 HTTP/1.0\r\n\r\n");
+  stop_load = true;
+  load.join();
+  EXPECT_EQ(folded.rfind("HTTP/1.0 200 OK", 0), 0u) << folded;
+  const std::string folded_body = http_body(folded);
+  EXPECT_NE(folded_body.find("# ropus serve profile:"), std::string::npos);
+  // The body round-trips through the folded parser (comments skipped).
+  EXPECT_NO_THROW((void)obs::prof::parse_folded(folded_body));
+
+  const std::string svg = http_get(
+      port,
+      "GET /debug/profile?seconds=0.2&format=svg HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(svg.rfind("HTTP/1.0 200 OK", 0), 0u) << svg;
+  EXPECT_NE(svg.find("Content-Type: image/svg+xml"), std::string::npos);
+  EXPECT_EQ(http_body(svg).rfind("<svg", 0), 0u);
+
+  const std::string as_json = http_get(
+      port,
+      "GET /debug/profile?seconds=0.2&format=json HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(as_json.rfind("HTTP/1.0 200 OK", 0), 0u) << as_json;
+  const json::Value doc = json::parse(http_body(as_json));
+  EXPECT_EQ(doc.at("schema").as_string(), "ropus.profile.v1");
+
+  // Both stats surfaces report the finished captures.
+  const std::string stats =
+      http_get(port, "GET /stats.json HTTP/1.0\r\n\r\n");
+  const json::Value stats_doc = json::parse(http_body(stats));
+  EXPECT_GE(stats_doc.at("profiler").at("captures").as_number(), 3.0);
+  const std::vector<std::string> replies =
+      client.transact(R"({"type":"stats"})");
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_GE(json::parse(replies[0]).at("profiler").at("captures").as_number(),
+            3.0);
+  shutdown_and_join();
+}
+
+TEST_F(TransportTest, HttpDebugProfileRejectsBadArgsAndConcurrentCaptures) {
+  TransportOptions transport;
+  transport.http_port = 0;
+  start({}, transport);
+  ASSERT_GT(server_->http_port(), 0);
+  const int port = server_->http_port();
+
+  for (const char* bad :
+       {"GET /debug/profile?seconds=abc HTTP/1.0\r\n\r\n",
+        "GET /debug/profile?seconds=500 HTTP/1.0\r\n\r\n",
+        "GET /debug/profile?hz=0 HTTP/1.0\r\n\r\n",
+        "GET /debug/profile?format=xml HTTP/1.0\r\n\r\n"}) {
+    const std::string reply = http_get(port, bad);
+    EXPECT_EQ(reply.rfind("HTTP/1.0 400", 0), 0u) << bad << "\n" << reply;
+    EXPECT_NE(http_body(reply).find("bad_request"), std::string::npos);
+  }
+
+  if (!obs::prof::Profiler::supported()) {
+    shutdown_and_join();
+    GTEST_SKIP() << "no per-thread CPU timers on this platform";
+  }
+
+  // While something else (a --profile-out run, here: the test) holds the
+  // profiler, the endpoint refuses with a typed 409.
+  ASSERT_TRUE(obs::prof::Profiler::global().start({}));
+  const std::string busy =
+      http_get(port, "GET /debug/profile?seconds=0.2 HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(busy.rfind("HTTP/1.0 409", 0), 0u) << busy;
+  EXPECT_NE(http_body(busy).find("profiler_busy"), std::string::npos);
+  (void)obs::prof::Profiler::global().stop();
+
+  // A second HTTP capture while one is parked also gets a typed 409. The
+  // first window is long enough that the second request cannot slip in
+  // after it finishes.
+  std::thread first([&] {
+    const std::string ok = http_get(
+        port, "GET /debug/profile?seconds=2 HTTP/1.0\r\n\r\n");
+    EXPECT_EQ(ok.rfind("HTTP/1.0 200 OK", 0), 0u) << ok;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  const std::string second =
+      http_get(port, "GET /debug/profile?seconds=0.2 HTTP/1.0\r\n\r\n");
+  first.join();
+  EXPECT_EQ(second.rfind("HTTP/1.0 409", 0), 0u) << second;
+  EXPECT_NE(http_body(second).find("profile_capture_active"),
+            std::string::npos);
+  shutdown_and_join();
 }
 
 TEST_F(TransportTest, StatsVerbOverSocket) {

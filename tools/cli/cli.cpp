@@ -1,7 +1,10 @@
 #include "cli/cli.h"
 
+#include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -9,6 +12,7 @@
 
 #include "cli/commands.h"
 #include "common/error.h"
+#include "common/file_io.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -16,6 +20,7 @@
 #include "obs/export.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/recorder.h"
 #include "obs/span.h"
 
@@ -78,7 +83,13 @@ void usage(std::ostream& os) {
         "  top          live daemon view: polls a socket-mode serve daemon's\n"
         "               stats verb and redraws (--socket=path | --port=N "
         "[--host=],\n"
-        "               [--interval=2] [--once] for a single JSON dump)\n"
+        "               [--interval=2] [--once] for a single JSON dump,\n"
+        "               [--json] for machine-readable one-shot output)\n"
+        "  profile      work with folded CPU profiles from --profile-out or\n"
+        "               /debug/profile (--render=f [--out=x.svg] [--title=] |\n"
+        "               --aggregate a b .. [--out=] | --diff old new "
+        "[--limit=]\n"
+        "               [--gate=pct] | --top f [--limit=20])\n"
         "\n"
         "global flags (every command, see docs/observability.md):\n"
         "  --metrics-out=<path>   write the final metric snapshot "
@@ -105,6 +116,13 @@ void usage(std::ostream& os) {
         "else binary;\n"
         "                         stride N = every Nth slot, ring = newest "
         "records kept, 0 = all)\n"
+        "  --profile-out=<path[:hz]>\n"
+        "                         sample this process's CPU at hz (default "
+        "99) and write\n"
+        "                         the profile on exit: .svg = flamegraph, "
+        ".json = full\n"
+        "                         profile, else folded stacks (see "
+        "docs/observability.md)\n"
         "\n"
         "common QoS flags default to the paper's case study: U_low=0.5,\n"
         "U_high=0.66, U_degr=0.9, M=97, theta=0.95, deadline=60.\n";
@@ -128,6 +146,7 @@ std::optional<int> dispatch(const std::string& command, const Flags& flags,
   if (command == "serve") return cmd_serve(flags, out, err);
   if (command == "connect") return cmd_connect(flags, out, err);
   if (command == "top") return cmd_top(flags, out, err);
+  if (command == "profile") return cmd_profile(flags, out, err);
   return std::nullopt;
 }
 
@@ -151,6 +170,67 @@ void apply_log_level(const Flags& flags) {
                       *level + "')");
     log::set_level(*parsed);
   }
+}
+
+/// --profile-out=<path[:hz]>: a trailing all-digit `:hz` suffix (after the
+/// last path separator, so `C:\...` style paths and plain filenames with
+/// colons keep working) overrides the default 99 Hz sampling rate.
+struct ProfileSpec {
+  std::string path;
+  int hz = 99;
+};
+
+ProfileSpec parse_profile_spec(const std::string& spec) {
+  ProfileSpec out;
+  out.path = spec;
+  const std::size_t colon = spec.rfind(':');
+  const std::size_t slash = spec.rfind('/');
+  if (colon != std::string::npos && colon + 1 < spec.size() &&
+      (slash == std::string::npos || colon > slash)) {
+    const std::string tail = spec.substr(colon + 1);
+    const bool digits =
+        std::all_of(tail.begin(), tail.end(),
+                    [](unsigned char c) { return std::isdigit(c) != 0; });
+    if (digits) {
+      ROPUS_REQUIRE(tail.size() <= 4,
+                    "--profile-out rate must be 1..1000 Hz (got '" + tail +
+                        "')");
+      out.path = spec.substr(0, colon);
+      out.hz = std::stoi(tail);
+      ROPUS_REQUIRE(out.hz >= 1 && out.hz <= 1000,
+                    "--profile-out rate must be 1..1000 Hz (got '" + tail +
+                        "')");
+    }
+  }
+  ROPUS_REQUIRE(!out.path.empty(), "--profile-out needs a file path");
+  return out;
+}
+
+/// Writes the captured profile in the format the path's extension names:
+/// .svg = self-contained flamegraph, .json = full profile (stacks + span
+/// attribution + capture metadata), anything else = folded stacks with a
+/// `#` header line. Atomic like every other run artifact.
+void write_profile_artifact(const std::string& path,
+                            const std::string& command,
+                            const obs::prof::Profile& profile) {
+  std::string body;
+  if (path.ends_with(".svg")) {
+    body = obs::prof::flamegraph_svg(profile.stacks, "ropus_cli " + command);
+  } else if (path.ends_with(".json")) {
+    body = obs::prof::profile_to_json(profile) + "\n";
+  } else {
+    char header[160];
+    std::snprintf(header, sizeof(header),
+                  "# ropus_cli %s profile: %llu samples, %d Hz, %.2fs, "
+                  "%llu threads, %llu dropped\n",
+                  command.c_str(),
+                  static_cast<unsigned long long>(profile.samples), profile.hz,
+                  profile.duration_seconds,
+                  static_cast<unsigned long long>(profile.threads),
+                  static_cast<unsigned long long>(profile.dropped));
+    body = header + obs::prof::to_folded(profile.stacks);
+  }
+  io::write_file_atomic(path, body);
 }
 
 /// Emits the observability outputs after the command body finished. Runs
@@ -249,6 +329,13 @@ int run(std::span<const std::string> args, std::ostream& out,
     const Flags flags(args.subspan(1));
     apply_log_level(flags);
     apply_thread_count(flags);
+    // Every worker the parallel pool spawns registers with the sampling
+    // profiler, so a capture (--profile-out here, /debug/profile in serve)
+    // sees sharded loops, not just the main thread. Registration without an
+    // active capture is a cheap TLS setup; the hook is installed
+    // unconditionally so mid-capture pool churn is covered too.
+    parallel::set_thread_start_hook(&obs::prof::register_current_thread);
+    obs::prof::register_current_thread();
     // SIGTERM/SIGINT request cooperative termination: long-running commands
     // (faultsim trials, report recordings, the serve daemon) poll the flag
     // and wind down, so the recorder/metrics/manifest outputs below still
@@ -284,8 +371,28 @@ int run(std::span<const std::string> args, std::ostream& out,
                                                   metrics_interval, start);
     }
 
+    // --profile-out samples the whole command body. Started last so setup
+    // (flag parsing, recorder install) stays out of the profile; stopped
+    // and flushed on every normal return — including domain exits like
+    // faultsim's code 2 — so a failing run still leaves its profile.
+    std::optional<ProfileSpec> profile_spec;
+    if (const auto spec = flags.get("profile-out")) {
+      profile_spec = parse_profile_spec(*spec);
+      ROPUS_REQUIRE(obs::prof::Profiler::supported(),
+                    "--profile-out: the sampling profiler is not supported "
+                    "on this platform");
+      obs::prof::ProfilerOptions popts;
+      popts.hz = profile_spec->hz;
+      ROPUS_REQUIRE(obs::prof::Profiler::global().start(popts),
+                    "--profile-out: a profile capture is already active");
+    }
+
     const std::optional<int> rc = dispatch(command, flags, out, err);
     flusher.reset();
+    if (profile_spec.has_value()) {
+      write_profile_artifact(profile_spec->path, command,
+                             obs::prof::Profiler::global().stop());
+    }
     if (!rc.has_value()) {
       err << "unknown command: " << command << "\n\n";
       usage(err);

@@ -45,7 +45,7 @@ bool check_flags(const Flags& flags, std::span<const std::string> allowed,
   std::vector<std::string> all(allowed.begin(), allowed.end());
   all.insert(all.end(), {"metrics-out", "trace-out", "run-manifest",
                          "log-level", "record-out", "threads",
-                         "metrics-interval"});
+                         "metrics-interval", "profile-out"});
   const auto unknown = flags.unknown_flags(all);
   for (const std::string& name : unknown) {
     err << "unknown flag: --" << name << "\n";

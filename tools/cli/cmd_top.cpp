@@ -72,6 +72,30 @@ void render(const json::Value& stats, const std::string& endpoint,
   out << "  watchdog    "
       << static_cast<long long>(num(stats, "watchdog_alerts"))
       << " SLO alerts total\n";
+  const json::Value* prof = stats.find("profiler");
+  if (prof != nullptr && prof->type() == json::Value::Type::kObject) {
+    const json::Value* supported = prof->find("supported");
+    if (supported != nullptr && supported->is_bool() &&
+        !supported->as_bool()) {
+      out << "  profiler    unsupported on this platform\n";
+    } else {
+      const json::Value* active = prof->find("active");
+      if (active != nullptr && active->is_bool() && active->as_bool()) {
+        out << "  profiler    CAPTURING at "
+            << static_cast<long long>(num(*prof, "hz")) << " Hz, "
+            << fmt("%.1f", num(*prof, "seconds")) << "s elapsed, "
+            << static_cast<long long>(num(*prof, "samples")) << " samples ("
+            << static_cast<long long>(num(*prof, "dropped")) << " dropped), "
+            << static_cast<long long>(num(*prof, "threads")) << " threads\n";
+      } else {
+        out << "  profiler    idle, "
+            << static_cast<long long>(num(*prof, "captures"))
+            << " captures so far ("
+            << static_cast<long long>(num(*prof, "threads"))
+            << " threads registered)\n";
+      }
+    }
+  }
   const json::Value* alerts = stats.find("alerts");
   if (alerts != nullptr && alerts->type() == json::Value::Type::kArray &&
       !alerts->as_array().empty()) {
@@ -98,9 +122,9 @@ void render(const json::Value& stats, const std::string& endpoint,
 // --once it prints the raw stats JSON a single time and exits, which is
 // the scripting/degraded-terminal mode.
 int cmd_top(const Flags& flags, std::ostream& out, std::ostream& err) {
-  const std::vector<std::string> allowed{"socket", "host",     "port",
-                                         "interval", "once",   "deadline",
-                                         "attempts", "retry-seed"};
+  const std::vector<std::string> allowed{"socket",   "host",       "port",
+                                         "interval", "once",       "deadline",
+                                         "attempts", "retry-seed", "json"};
   if (!check_flags(flags, allowed, err)) return 1;
 
   serve::ClientOptions options;
@@ -115,7 +139,10 @@ int cmd_top(const Flags& flags, std::ostream& out, std::ostream& err) {
     err << "error: top needs --socket <path> or --port <n>\n";
     return 1;
   }
-  const bool once = flags.get_bool("once", false);
+  // --json is the scripting mode: one machine-readable stats object on
+  // stdout, exit 0. --once is its older spelling; both stay supported.
+  const bool once =
+      flags.get_bool("once", false) || flags.get_bool("json", false);
   const double interval = flags.get_double("interval", 2.0);
   if (interval <= 0.0) {
     err << "error: --interval must be positive\n";

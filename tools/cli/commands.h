@@ -22,5 +22,6 @@ int cmd_report(const Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_serve(const Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_connect(const Flags& flags, std::ostream& out, std::ostream& err);
 int cmd_top(const Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_profile(const Flags& flags, std::ostream& out, std::ostream& err);
 
 }  // namespace ropus::cli
