@@ -34,6 +34,7 @@
 #include "qos/translation.h"
 #include "serve/arbiter.h"
 #include "serve/checkpoint.h"
+#include "sim/incremental.h"
 #include "sim/simulator.h"
 #include "slo/kernel.h"
 #include "support.h"
@@ -81,12 +82,23 @@ struct BenchRun {
 /// Runs `fn` until it has consumed ~`budget` seconds of warmup, then times
 /// `reps` repetitions of a batch sized so one repetition takes at least
 /// `batch_seconds`.
+///
+/// Two floors keep noisy hosts from writing outliers into the baseline
+/// JSON: every repetition runs at least kMinBatch iterations (a single
+/// scheduler blip cannot define a whole repetition), and when the spread
+/// between the fastest and the median repetition exceeds kSpreadLimit the
+/// phase runs extra rounds of repetitions (bounded at kMaxRounds) and
+/// reports over the pooled samples — a transiently-perturbed run converges
+/// toward the steady state instead of recording the perturbation.
 template <typename Fn>
 BenchRun run_bench(const std::string& name, std::uint64_t items_per_iter,
                    Fn&& fn) {
   const std::size_t reps = reps_from_env();
   const double warmup_budget = fast_mode() ? 0.01 : 0.05;
   const double batch_seconds = fast_mode() ? 0.02 : 0.1;
+  constexpr std::size_t kMinBatch = 3;
+  constexpr double kSpreadLimit = 0.25;  // median may exceed min by 25%
+  constexpr std::size_t kMaxRounds = 3;
 
   // Warmup, and a first estimate of the per-iteration cost.
   std::size_t warm_iters = 0;
@@ -99,24 +111,29 @@ BenchRun run_bench(const std::string& name, std::uint64_t items_per_iter,
   } while (elapsed < warmup_budget);
   const double est = elapsed / static_cast<double>(warm_iters);
 
-  const auto batch = static_cast<std::size_t>(
-      std::max(1.0, batch_seconds / std::max(est, 1e-9)));
+  const auto batch = std::max<std::size_t>(
+      kMinBatch, static_cast<std::size_t>(
+                     std::max(1.0, batch_seconds / std::max(est, 1e-9))));
 
   std::vector<double> per_iter;
-  per_iter.reserve(reps);
-  for (std::size_t r = 0; r < reps; ++r) {
-    const double start = obs::monotonic_seconds();
-    for (std::size_t i = 0; i < batch; ++i) fn();
-    per_iter.push_back((obs::monotonic_seconds() - start) /
-                       static_cast<double>(batch));
+  per_iter.reserve(reps * kMaxRounds);
+  for (std::size_t round = 0; round < kMaxRounds; ++round) {
+    for (std::size_t r = 0; r < reps; ++r) {
+      const double start = obs::monotonic_seconds();
+      for (std::size_t i = 0; i < batch; ++i) fn();
+      per_iter.push_back((obs::monotonic_seconds() - start) /
+                         static_cast<double>(batch));
+    }
+    std::sort(per_iter.begin(), per_iter.end());
+    const double median = per_iter[per_iter.size() / 2];
+    if (median <= per_iter.front() * (1.0 + kSpreadLimit)) break;
   }
-  std::sort(per_iter.begin(), per_iter.end());
 
   BenchRun run;
   run.name = name;
   run.min_seconds = per_iter.front();
   run.median_seconds = per_iter[per_iter.size() / 2];
-  run.iterations = static_cast<std::uint64_t>(batch) * reps;
+  run.iterations = static_cast<std::uint64_t>(batch) * per_iter.size();
   run.items = items_per_iter;
   return run;
 }
@@ -600,6 +617,49 @@ int main() {
              cfg.seed = seed++;
              do_not_optimize(placement::genetic_search(problem, initial, cfg));
            }),
+           reporter);
+  }
+
+  {
+    // The delta-evaluation engine's two hot paths, at the same 8-workload /
+    // 2016-slot scale as `evaluate` and `required_capacity` above so the
+    // delta-vs-batch ratio reads straight off the table.
+    const std::size_t n = 8;
+    const trace::Calendar cal = demands()[0].calendar();
+    sim::IncrementalEvaluator engine(cal, cos2(),
+                                     std::vector<double>{64.0, 64.0, 64.0});
+    for (std::size_t id = 0; id < n; ++id) {
+      engine.register_workload(id, allocations()[id].cos1(),
+                               allocations()[id].cos2());
+      engine.add(id, id < 6 ? id % 2 : 2);
+    }
+    // The probe candidate stays unhosted for the whole phase.
+    engine.register_workload(n, allocations()[n].cos1(),
+                             allocations()[n].cos2());
+    (void)engine.verdict(0);
+    (void)engine.verdict(1);
+    (void)engine.verdict(2);
+
+    // One placement move: two O(slots) series passes (leave one server,
+    // land on the other) plus two warm-started verdicts — the genetic
+    // search's inner loop when the memo misses.
+    std::size_t flip = 0;
+    report(run_bench("placement/delta_move", cal.size(),
+                     [&] {
+                       const std::size_t id = flip % 6;
+                       engine.move(id, engine.host_of(id) == 0 ? 1 : 0);
+                       do_not_optimize(engine.verdict(0));
+                       do_not_optimize(engine.verdict(1));
+                       ++flip;
+                     }),
+           reporter);
+
+    // One admission probe: temporary add, warm required-capacity search,
+    // exact removal — what each per-server fit check costs the serve
+    // daemon's delta admission path (vs the cold `required_capacity`
+    // phase above).
+    report(run_bench("sim/required_capacity_delta", cal.size(),
+                     [&] { do_not_optimize(engine.probe(2, n)); }),
            reporter);
   }
 

@@ -1,6 +1,7 @@
 #include "placement/baselines.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "common/rng.h"
@@ -12,12 +13,18 @@ namespace {
 
 /// Greedy core: place workloads in `order`, choosing a server for each via
 /// `pick`, which receives the candidate servers that fit and returns the
-/// chosen index into that list (or nullopt to fail).
+/// chosen index into that list (or nullopt to fail). Fit checks ride the
+/// delta-evaluation engine: each candidate is a probe() against the
+/// server's maintained exact sums (memoized through the problem's shared
+/// verdict memo), and the chosen server absorbs the workload in O(slots)
+/// instead of re-aggregating its whole hosted set.
 template <typename Picker>
 std::optional<Assignment> greedy_place(const PlacementProblem& problem,
                                        std::span<const std::size_t> order,
                                        Picker pick) {
   const std::size_t servers = problem.server_count();
+  const std::unique_ptr<DeltaPlacementContext> ctx =
+      problem.make_delta_context();
   std::vector<std::vector<std::size_t>> hosted(servers);
   Assignment result(problem.workload_count());
 
@@ -29,16 +36,14 @@ std::optional<Assignment> greedy_place(const PlacementProblem& problem,
     };
     std::vector<Candidate> fits;
     for (std::size_t s = 0; s < servers; ++s) {
-      std::vector<std::size_t> trial = hosted[s];
-      trial.push_back(w);
-      const sim::RequiredCapacity rc =
-          problem.server_required_capacity(trial, problem.servers()[s]);
-      if (rc.fits) {
-        fits.push_back({s, rc.capacity, problem.servers()[s].capacity()});
+      const ServerVerdict v = ctx->probe(s, w);
+      if (v.fits) {
+        fits.push_back({s, v.capacity, problem.servers()[s].capacity()});
       }
     }
     if (fits.empty()) return std::nullopt;
     const std::size_t choice = pick(fits, hosted);
+    ctx->add(w, fits[choice].server);
     hosted[fits[choice].server].push_back(w);
     result[w] = fits[choice].server;
   }
@@ -126,6 +131,8 @@ std::optional<Assignment> correlation_aware_greedy(
   const auto corr = trace::correlation_matrix(totals);
 
   const auto order = decreasing_peak_order(problem);
+  const std::unique_ptr<DeltaPlacementContext> ctx =
+      problem.make_delta_context();
   std::vector<std::vector<std::size_t>> hosted(problem.server_count());
   Assignment result(n);
   for (std::size_t w : order) {
@@ -135,10 +142,7 @@ std::optional<Assignment> correlation_aware_greedy(
     double best_corr = 0.0;
     std::size_t first_empty = problem.server_count();
     for (std::size_t s = 0; s < problem.server_count(); ++s) {
-      std::vector<std::size_t> trial = hosted[s];
-      trial.push_back(w);
-      if (!problem.server_required_capacity(trial, problem.servers()[s])
-               .fits) {
+      if (!ctx->probe(s, w).fits) {
         continue;
       }
       if (hosted[s].empty()) {
@@ -157,6 +161,7 @@ std::optional<Assignment> correlation_aware_greedy(
     }
     if (best == problem.server_count()) best = first_empty;
     if (best == problem.server_count()) return std::nullopt;
+    ctx->add(w, best);
     hosted[best].push_back(w);
     result[w] = best;
   }
@@ -168,6 +173,8 @@ std::optional<Assignment> random_search(const PlacementProblem& problem,
                                         std::uint64_t seed) {
   ROPUS_REQUIRE(restarts >= 1, "need at least one restart");
   Rng rng(seed);
+  const std::unique_ptr<DeltaPlacementContext> ctx =
+      problem.make_delta_context();
   std::optional<Assignment> best;
   double best_score = 0.0;
   for (std::size_t r = 0; r < restarts; ++r) {
@@ -175,7 +182,7 @@ std::optional<Assignment> random_search(const PlacementProblem& problem,
     for (std::size_t& gene : a) {
       gene = rng.uniform_index(problem.server_count());
     }
-    const PlacementEvaluation ev = problem.evaluate(a);
+    const PlacementEvaluation ev = ctx->evaluate(a);
     if (ev.feasible && (!best || ev.score > best_score)) {
       best = a;
       best_score = ev.score;

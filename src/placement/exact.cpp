@@ -1,6 +1,7 @@
 #include "placement/exact.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "common/error.h"
@@ -13,6 +14,11 @@ namespace {
 
 struct SearchState {
   const PlacementProblem& problem;
+  // Fit checks ride the delta engine: the DFS probes a candidate server in
+  // O(slots), commits with add() on descent and undoes with remove() on
+  // backtrack (exact-residue removal restores the server's sums bit for
+  // bit), instead of re-aggregating the hosted set at every node.
+  std::unique_ptr<DeltaPlacementContext> ctx;
   std::vector<std::size_t> order;  // workloads, decreasing peak allocation
   std::vector<std::vector<std::size_t>> hosted;  // per server
   Assignment current;
@@ -26,6 +32,7 @@ struct SearchState {
 
   explicit SearchState(const PlacementProblem& p, std::size_t limit)
       : problem(p),
+        ctx(p.make_delta_context()),
         hosted(p.server_count()),
         current(p.workload_count(), 0),
         node_limit(limit) {
@@ -80,17 +87,16 @@ struct SearchState {
           if (seen_same_size) continue;
         }
       }
-      hosted[s].push_back(w);
-      const bool fits =
-          problem.server_required_capacity(hosted[s], problem.servers()[s])
-              .fits;
-      if (fits) {
+      if (ctx->probe(s, w).fits) {
+        ctx->add(w, s);
+        hosted[s].push_back(w);
         current[w] = s;
         used += empty ? 1 : 0;
         dfs(depth + 1);
         used -= empty ? 1 : 0;
+        hosted[s].pop_back();
+        ctx->remove(w);
       }
-      hosted[s].pop_back();
       if (empty) opened_empty = true;
       if (aborted) return;
     }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 #include "common/error.h"
 #include "common/logging.h"
@@ -34,6 +37,31 @@ struct Individual {
   Assignment genes;
   PlacementEvaluation eval;
   double fitness = 0.0;  // eval.score minus any migration penalty
+};
+
+/// Checks an evaluation context out of the model's pool for one task,
+/// returning it on scope exit (including when the task throws).
+/// parallel::for_each_index does not expose a worker id, so workers lease a
+/// context per task; a worker usually gets a context back-to-back, which is
+/// what keeps the delta engine's state warm. Pooling lives on the model
+/// (PlacementModel::acquire_context), so contexts also persist across
+/// searches over the same problem. Correctness never depends on WHICH
+/// context a task gets — contexts return bit-identical evaluations
+/// regardless of history — so the handout order being nondeterministic
+/// under contention does not break the --threads determinism contract.
+class ContextLease {
+ public:
+  explicit ContextLease(const PlacementModel& model)
+      : model_(model), ctx_(model.acquire_context()) {}
+  ~ContextLease() { model_.release_context(std::move(ctx_)); }
+  ContextLease(const ContextLease&) = delete;
+  ContextLease& operator=(const ContextLease&) = delete;
+
+  PlacementContext& operator*() { return *ctx_; }
+
+ private:
+  const PlacementModel& model_;
+  std::unique_ptr<PlacementContext> ctx_;
 };
 
 /// Fitness = objective score minus the churn penalty against the reference
@@ -187,11 +215,15 @@ GeneticResult genetic_search(const PlacementModel& problem,
                                   ? 1
                                   : parallel::thread_count();
 
+  // Evaluations run through per-worker contexts (the delta-evaluation
+  // engine for PlacementProblem): a context re-verdicts only the servers an
+  // assignment changed relative to the last one it saw, and all contexts
+  // share the problem's required-capacity memo.
   std::size_t evals = 0;  // batched into the evaluations counter on return
-  auto finish = [&problem, &config](Assignment genes) {
+  auto finish = [&config](PlacementContext& ctx, Assignment genes) {
     Individual ind;
     ind.genes = std::move(genes);
-    ind.eval = problem.evaluate(ind.genes);
+    ind.eval = ctx.evaluate(ind.genes);
     ind.fitness = fitness_of(ind.genes, ind.eval, config);
     return ind;
   };
@@ -209,7 +241,8 @@ GeneticResult genetic_search(const PlacementModel& problem,
   }
   std::vector<Individual> population(founders.size());
   parallel::for_each_index(founders.size(), threads, [&](std::size_t i) {
-    population[i] = finish(std::move(founders[i]));
+    ContextLease ctx(problem);
+    population[i] = finish(*ctx, std::move(founders[i]));
   });
   evals += population.size();
 
@@ -273,18 +306,20 @@ GeneticResult genetic_search(const PlacementModel& problem,
 
     std::vector<Individual> children(offspring);
     parallel::for_each_index(offspring, threads, [&](std::size_t c) {
+      ContextLease ctx(problem);
       Assignment genes = std::move(child_genes[c]);
       Rng child_rng(child_seeds[c]);
-      // Shape-aware mutation needs the child's evaluation; server-subset
-      // memoization keeps the extra evaluation cheap.
-      const PlacementEvaluation pre = problem.evaluate(genes);
+      // Shape-aware mutation needs the child's evaluation; the mutation
+      // then only moves a few genes, so the post-mutation evaluation in
+      // finish() is a near-pure delta on the same context.
+      const PlacementEvaluation pre = (*ctx).evaluate(genes);
       if (!pre.feasible) {
         relief_mutation(problem, genes, pre, child_rng);
       } else if (child_rng.bernoulli(config.vacate_rate)) {
         vacate_mutation(problem, genes, pre, child_rng);
       }
       gene_mutation(problem, genes, config.gene_mutation_rate, child_rng);
-      children[c] = finish(std::move(genes));
+      children[c] = finish(*ctx, std::move(genes));
     });
     evals += 2 * offspring;
 

@@ -1,0 +1,36 @@
+#include "placement/model.h"
+
+namespace ropus::placement {
+
+namespace {
+
+/// The fallback context: no incremental state, every evaluate() is the
+/// model's batch evaluate(). Bit-equality with the model is trivial.
+class BatchContext final : public PlacementContext {
+ public:
+  explicit BatchContext(const PlacementModel& model) : model_(model) {}
+
+  PlacementEvaluation evaluate(const Assignment& a) override {
+    return model_.evaluate(a);
+  }
+
+ private:
+  const PlacementModel& model_;
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementContext> PlacementModel::make_context() const {
+  return std::make_unique<BatchContext>(*this);
+}
+
+std::unique_ptr<PlacementContext> PlacementModel::acquire_context() const {
+  return make_context();
+}
+
+void PlacementModel::release_context(
+    std::unique_ptr<PlacementContext> ctx) const {
+  ctx.reset();
+}
+
+}  // namespace ropus::placement

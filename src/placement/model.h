@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -32,6 +33,35 @@ struct PlacementEvaluation {
   std::vector<ServerEvaluation> servers;
 };
 
+/// A per-server verdict pared down to what scoring needs — the value the
+/// shared required-capacity memo stores and the probe result of the delta
+/// path. `capacity` is meaningful only when `fits`.
+struct ServerVerdict {
+  bool fits = false;
+  double capacity = 0.0;
+};
+
+/// A mutable evaluation context for one search thread. Contexts exist so a
+/// model can carry incremental state between the assignments one searcher
+/// evaluates (the delta-evaluation engine re-verdicts only the servers an
+/// offspring actually changed); the contract is that `evaluate` returns
+/// bit-identical results to `PlacementModel::evaluate` regardless of what
+/// the context evaluated before. Contexts are NOT thread-safe — searches
+/// hand one context to one worker at a time (see genetic.cpp's pool).
+class PlacementContext {
+ public:
+  virtual ~PlacementContext() = default;
+
+  /// Scores `a` — same validation, same bits as the owning model's
+  /// evaluate().
+  virtual PlacementEvaluation evaluate(const Assignment& a) = 0;
+
+ protected:
+  PlacementContext() = default;
+  PlacementContext(const PlacementContext&) = default;
+  PlacementContext& operator=(const PlacementContext&) = default;
+};
+
 class PlacementModel {
  public:
   virtual ~PlacementModel() = default;
@@ -52,6 +82,23 @@ class PlacementModel {
   virtual std::optional<Assignment> greedy_seed() const {
     return std::nullopt;
   }
+
+  /// A fresh evaluation context. The default simply forwards to the
+  /// model's batch evaluate(); models with an incremental engine
+  /// (PlacementProblem) override it with their delta context. The model
+  /// must outlive every context it hands out.
+  virtual std::unique_ptr<PlacementContext> make_context() const;
+
+  /// Checks a context out for one worker's exclusive use; pair with
+  /// release_context when done. Models with expensive contexts
+  /// (PlacementProblem's engine allocates per-server slot sums and scans
+  /// every workload once) keep released contexts in an internal pool so
+  /// repeated searches over the same model reuse them — engine state
+  /// carried between searches never changes results, only how much work a
+  /// verdict costs. The default has nothing to pool: acquire makes a fresh
+  /// context, release discards it.
+  virtual std::unique_ptr<PlacementContext> acquire_context() const;
+  virtual void release_context(std::unique_ptr<PlacementContext> ctx) const;
 
  protected:
   PlacementModel() = default;

@@ -42,40 +42,77 @@ double PlacementProblem::total_peak_allocation() const {
   return total;
 }
 
-std::size_t PlacementProblem::CacheKeyHash::operator()(
-    const CacheKey& k) const {
-  std::size_t h = 0x9e3779b97f4a7c15ULL ^ k.cpus;
-  for (std::size_t id : k.workload_ids) {
+// --------------------------------------------------------------------------
+// The shared memo. Hash and equality are transparent over borrowed
+// (span, cpus) keys so the delta context can look up a server's hosted set
+// in place — no copy, no sort — and only a miss allocates the owned key.
+
+namespace {
+std::size_t hash_ids(std::span<const std::size_t> ids, std::size_t cpus) {
+  std::size_t h = 0x9e3779b97f4a7c15ULL ^ cpus;
+  for (std::size_t id : ids) {
     h ^= id + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   }
   return h;
 }
+}  // namespace
 
-sim::RequiredCapacity PlacementProblem::server_required_capacity(
-    std::vector<std::size_t> workload_ids, const sim::ServerSpec& server)
-    const {
+std::size_t PlacementProblem::MemoHash::operator()(const MemoKey& k) const {
+  return hash_ids(k.ids, k.cpus);
+}
+std::size_t PlacementProblem::MemoHash::operator()(
+    const std::pair<std::span<const std::size_t>, std::size_t>& k) const {
+  return hash_ids(k.first, k.second);
+}
+bool PlacementProblem::MemoEq::operator()(const MemoKey& a,
+                                          const MemoKey& b) const {
+  return a.cpus == b.cpus && a.ids == b.ids;
+}
+bool PlacementProblem::MemoEq::operator()(
+    const std::pair<std::span<const std::size_t>, std::size_t>& a,
+    const MemoKey& b) const {
+  return a.second == b.cpus && std::ranges::equal(a.first, b.ids);
+}
+bool PlacementProblem::MemoEq::operator()(
+    const MemoKey& a,
+    const std::pair<std::span<const std::size_t>, std::size_t>& b) const {
+  return operator()(b, a);
+}
+
+bool PlacementProblem::memo_find(std::span<const std::size_t> sorted_ids,
+                                 std::size_t cpus, ServerVerdict& out) const {
+  const std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+  const auto it = cache_.find(std::pair(sorted_ids, cpus));
+  if (it == cache_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+void PlacementProblem::memo_store(std::span<const std::size_t> sorted_ids,
+                                  std::size_t cpus, ServerVerdict v) const {
+  MemoKey key{{sorted_ids.begin(), sorted_ids.end()}, cpus};
+  const std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+  cache_.emplace(std::move(key), v);
+}
+
+ServerVerdict PlacementProblem::server_required_capacity(
+    std::vector<std::size_t> workload_ids,
+    const sim::ServerSpec& server) const {
   std::sort(workload_ids.begin(), workload_ids.end());
-  CacheKey key{std::move(workload_ids), server.cpus};
-  {
-    const std::shared_lock<std::shared_mutex> lock(cache_mutex_);
-    if (const auto it = cache_.find(key); it != cache_.end()) {
-      return it->second;
-    }
-  }
+  ServerVerdict v;
+  if (memo_find(workload_ids, server.cpus, v)) return v;
   std::vector<const qos::AllocationTrace*> hosted;
-  hosted.reserve(key.workload_ids.size());
-  for (std::size_t id : key.workload_ids) {
+  hosted.reserve(workload_ids.size());
+  for (std::size_t id : workload_ids) {
     ROPUS_REQUIRE(id < workloads_.size(), "unknown workload id");
     hosted.push_back(&workloads_[id]);
   }
   const sim::Aggregate agg = sim::aggregate_workloads(hosted, calendar_);
-  sim::RequiredCapacity rc =
+  const sim::RequiredCapacity rc =
       sim::required_capacity(agg, server.capacity(), cos2_, tolerance_);
-  // Two threads may compute the same key concurrently; emplace keeps the
-  // first value and the results are identical anyway (the search is pure).
-  const std::unique_lock<std::shared_mutex> lock(cache_mutex_);
-  cache_.emplace(std::move(key), rc);
-  return rc;
+  v = ServerVerdict{rc.fits, rc.capacity};
+  memo_store(workload_ids, server.cpus, v);
+  return v;
 }
 
 double PlacementProblem::utilization_score(double utilization,
@@ -83,6 +120,26 @@ double PlacementProblem::utilization_score(double utilization,
   ROPUS_REQUIRE(utilization >= 0.0 && utilization <= 1.0,
                 "utilization must be in [0, 1]");
   return std::pow(utilization, 2.0 * static_cast<double>(cpus));
+}
+
+void PlacementProblem::score_server(ServerEvaluation& se,
+                                    const ServerVerdict& v,
+                                    const sim::ServerSpec& spec,
+                                    PlacementEvaluation& ev) {
+  se.used = true;
+  ev.servers_used += 1;
+  se.fits = v.fits;
+  if (!v.fits) {
+    ev.feasible = false;
+    se.score = -static_cast<double>(se.workloads.size());
+    ev.score += se.score;
+    return;
+  }
+  se.required_capacity = v.capacity;
+  se.utilization = std::min(1.0, v.capacity / spec.capacity());
+  se.score = utilization_score(se.utilization, spec.cpus);
+  ev.score += se.score;
+  ev.total_required_capacity += v.capacity;
 }
 
 PlacementEvaluation PlacementProblem::evaluate(const Assignment& a) const {
@@ -100,24 +157,125 @@ PlacementEvaluation PlacementProblem::evaluate(const Assignment& a) const {
       ev.score += se.score;
       continue;
     }
-    se.used = true;
-    ev.servers_used += 1;
-    const sim::RequiredCapacity rc =
-        server_required_capacity(se.workloads, servers_[s]);
-    se.fits = rc.fits;
-    if (!rc.fits) {
-      ev.feasible = false;
-      se.score = -static_cast<double>(se.workloads.size());
+    const ServerVerdict v = server_required_capacity(se.workloads, servers_[s]);
+    score_server(se, v, servers_[s], ev);
+  }
+  return ev;
+}
+
+// --------------------------------------------------------------------------
+// The delta context.
+
+std::unique_ptr<PlacementContext> PlacementProblem::make_context() const {
+  return make_delta_context();
+}
+
+std::unique_ptr<DeltaPlacementContext> PlacementProblem::make_delta_context()
+    const {
+  return std::make_unique<DeltaPlacementContext>(*this);
+}
+
+std::unique_ptr<PlacementContext> PlacementProblem::acquire_context() const {
+  {
+    const std::lock_guard<std::mutex> lock(context_pool_mutex_);
+    if (!context_pool_.empty()) {
+      std::unique_ptr<PlacementContext> ctx = std::move(context_pool_.back());
+      context_pool_.pop_back();
+      return ctx;
+    }
+  }
+  return make_delta_context();
+}
+
+void PlacementProblem::release_context(
+    std::unique_ptr<PlacementContext> ctx) const {
+  if (!ctx) return;
+  const std::lock_guard<std::mutex> lock(context_pool_mutex_);
+  context_pool_.push_back(std::move(ctx));
+}
+
+namespace {
+std::vector<double> capacities_of(const std::vector<sim::ServerSpec>& pool) {
+  std::vector<double> out;
+  out.reserve(pool.size());
+  for (const sim::ServerSpec& s : pool) out.push_back(s.capacity());
+  return out;
+}
+}  // namespace
+
+DeltaPlacementContext::DeltaPlacementContext(const PlacementProblem& problem)
+    : problem_(problem),
+      engine_(problem.calendar_, problem.cos2_, capacities_of(problem.servers_),
+              problem.tolerance_) {
+  for (std::size_t id = 0; id < problem.workloads_.size(); ++id) {
+    const qos::AllocationTrace& w = problem.workloads_[id];
+    engine_.register_workload(id, w.cos1(), w.cos2());
+  }
+}
+
+PlacementEvaluation DeltaPlacementContext::evaluate(const Assignment& a) {
+  validate_assignment(a, problem_.workloads_.size(), problem_.servers_.size());
+  // Diff against the engine's current hosting: only changed workloads move,
+  // so only their source and destination servers lose verdict caches.
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    const std::size_t host = engine_.host_of(w);
+    if (host == a[w]) continue;
+    if (host == sim::IncrementalEvaluator::npos) {
+      engine_.add(w, a[w]);
+    } else {
+      engine_.move(w, a[w]);
+    }
+  }
+
+  PlacementEvaluation ev;
+  ev.servers.resize(problem_.servers_.size());
+  ev.feasible = true;
+  for (std::size_t s = 0; s < problem_.servers_.size(); ++s) {
+    ServerEvaluation& se = ev.servers[s];
+    const std::span<const std::size_t> hosted = engine_.hosted(s);
+    se.workloads.assign(hosted.begin(), hosted.end());
+    if (hosted.empty()) {
+      se.score = 1.0;
       ev.score += se.score;
       continue;
     }
-    se.required_capacity = rc.capacity;
-    se.utilization = std::min(1.0, rc.capacity / servers_[s].capacity());
-    se.score = utilization_score(se.utilization, servers_[s].cpus);
-    ev.score += se.score;
-    ev.total_required_capacity += rc.capacity;
+    const sim::ServerSpec& spec = problem_.servers_[s];
+    ServerVerdict v;
+    if (!problem_.memo_find(hosted, spec.cpus, v)) {
+      const sim::RequiredCapacity& rc = engine_.verdict(s);
+      v = ServerVerdict{rc.fits, rc.capacity};
+      problem_.memo_store(hosted, spec.cpus, v);
+    }
+    PlacementProblem::score_server(se, v, spec, ev);
   }
   return ev;
+}
+
+ServerVerdict DeltaPlacementContext::probe(std::size_t server,
+                                           std::size_t workload) {
+  const std::span<const std::size_t> hosted = engine_.hosted(server);
+  probe_key_.clear();
+  probe_key_.reserve(hosted.size() + 1);
+  const auto split = std::ranges::lower_bound(hosted, workload);
+  probe_key_.insert(probe_key_.end(), hosted.begin(), split);
+  probe_key_.push_back(workload);
+  probe_key_.insert(probe_key_.end(), split, hosted.end());
+
+  const sim::ServerSpec& spec = problem_.servers_[server];
+  ServerVerdict v;
+  if (problem_.memo_find(probe_key_, spec.cpus, v)) return v;
+  const sim::RequiredCapacity rc = engine_.probe(server, workload);
+  v = ServerVerdict{rc.fits, rc.capacity};
+  problem_.memo_store(probe_key_, spec.cpus, v);
+  return v;
+}
+
+void DeltaPlacementContext::add(std::size_t workload, std::size_t server) {
+  engine_.add(workload, server);
+}
+
+void DeltaPlacementContext::remove(std::size_t workload) {
+  engine_.remove(workload);
 }
 
 }  // namespace ropus::placement

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/grid.h"
+
 namespace ropus::qos {
 
 AllocationTrace::AllocationTrace(const trace::DemandTrace& demand,
@@ -17,8 +19,11 @@ AllocationTrace::AllocationTrace(const trace::DemandTrace& demand,
     const double capped = std::min(demand[i], tr.d_new_max);
     const double d1 = std::min(capped, cos1_cap);
     const double d2 = capped - d1;
-    cos1_[i] = d1 / u_low;
-    cos2_[i] = d2 / u_low;
+    // Snapping to the 2^-20 CPU grid (common/grid.h) is what makes every
+    // downstream per-slot sum exact, hence reversible and order-independent
+    // — the contract the incremental placement engine is built on.
+    cos1_[i] = grid::snap(d1 / u_low);
+    cos2_[i] = grid::snap(d2 / u_low);
     peak_total_ = std::max(peak_total_, cos1_[i] + cos2_[i]);
     peak_cos1_ = std::max(peak_cos1_, cos1_[i]);
   }

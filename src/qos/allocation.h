@@ -4,6 +4,12 @@
 // For each observation the application's demand is capped at D_new_max,
 // split at the breakpoint (demand up to p * D_new_max on CoS1, the rest on
 // CoS2), and scaled by the burst factor 1/U_low into an allocation request.
+//
+// Every per-slot value is snapped to the 2^-20 CPU allocation grid
+// (common/grid.h) at construction. On-grid values sum exactly in plain
+// doubles, which makes aggregate sums order-independent and reversible —
+// the contract sim::IncrementalEvaluator and the placement delta path rely
+// on (docs/algorithms.md §11).
 #pragma once
 
 #include <string>

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
-#include "sim/simulator.h"
+#include "sim/incremental.h"
 
 namespace ropus::serve {
 
@@ -26,29 +26,18 @@ const char* admission_decision_name(AdmissionDecision d) {
   return "unknown";
 }
 
-AdmissionOutcome place_candidate(const qos::AllocationTrace& candidate,
-                                 double revenue_weight,
-                                 std::span<const HostedWorkload> hosted,
-                                 std::span<const double> server_cpus,
-                                 const qos::CosCommitment& cos2,
+AdmissionOutcome place_candidate(sim::IncrementalEvaluator& engine,
+                                 std::size_t candidate_id,
+                                 double candidate_peak, double revenue_weight,
                                  const AdmissionPolicy& policy) {
   policy.validate();
   AdmissionOutcome best;
   bool any_fit = false;
-  for (std::size_t s = 0; s < server_cpus.size(); ++s) {
-    std::vector<const qos::AllocationTrace*> workloads;
-    for (const HostedWorkload& w : hosted) {
-      if (w.host == s) workloads.push_back(w.alloc);
-    }
-    workloads.push_back(&candidate);
-    const sim::Aggregate agg =
-        sim::aggregate_workloads(workloads, candidate.calendar());
-    const sim::RequiredCapacity rc =
-        sim::required_capacity(agg, server_cpus[s], cos2);
+  for (std::size_t s = 0; s < engine.server_count(); ++s) {
+    const sim::RequiredCapacity rc = engine.probe(s, candidate_id);
     if (!rc.fits) continue;
-    const double headroom =
-        server_cpus[s] > 0.0 ? (server_cpus[s] - rc.capacity) / server_cpus[s]
-                             : 0.0;
+    const double cpus = engine.server_cpus(s);
+    const double headroom = cpus > 0.0 ? (cpus - rc.capacity) / cpus : 0.0;
     // Best-fit by headroom; strict > keeps ties on the lower server index.
     if (!any_fit || headroom > best.headroom) {
       any_fit = true;
@@ -61,12 +50,11 @@ AdmissionOutcome place_candidate(const qos::AllocationTrace& candidate,
     best.reason = "no server can hold the workload under its commitment";
     return best;
   }
-  const double peak = candidate.peak_allocation();
-  const double revenue = policy.revenue_per_cpu * revenue_weight * peak;
+  const double revenue = policy.revenue_per_cpu * revenue_weight * candidate_peak;
   const double risk = std::clamp(
       (policy.headroom_margin - best.headroom) / policy.headroom_margin, 0.0,
       1.0);
-  const double penalty = policy.penalty_per_cpu * peak * risk;
+  const double penalty = policy.penalty_per_cpu * candidate_peak * risk;
   best.score = revenue - penalty;
   if (best.score < 0.0) {
     best.decision = AdmissionDecision::kRejected;
@@ -75,6 +63,27 @@ AdmissionOutcome place_candidate(const qos::AllocationTrace& candidate,
   }
   best.decision = AdmissionDecision::kAccepted;
   return best;
+}
+
+AdmissionOutcome place_candidate(const qos::AllocationTrace& candidate,
+                                 double revenue_weight,
+                                 std::span<const HostedWorkload> hosted,
+                                 std::span<const double> server_cpus,
+                                 const qos::CosCommitment& cos2,
+                                 const AdmissionPolicy& policy) {
+  sim::IncrementalEvaluator engine(
+      candidate.calendar(), cos2,
+      std::vector<double>(server_cpus.begin(), server_cpus.end()));
+  for (std::size_t i = 0; i < hosted.size(); ++i) {
+    const HostedWorkload& w = hosted[i];
+    ROPUS_REQUIRE(w.alloc != nullptr, "null hosted workload");
+    engine.register_workload(i, w.alloc->cos1(), w.alloc->cos2());
+    engine.add(i, w.host);
+  }
+  const std::size_t candidate_id = hosted.size();
+  engine.register_workload(candidate_id, candidate.cos1(), candidate.cos2());
+  return place_candidate(engine, candidate_id, candidate.peak_allocation(),
+                         revenue_weight, policy);
 }
 
 }  // namespace ropus::serve

@@ -1,18 +1,27 @@
 // Revenue/penalty-aware admission control (after Mazzucco et al.'s
 // QoS-aware provisioning policies): an arriving application is translated
 // through the QoS kernel, placed incrementally around the existing fleet
-// (per-server required-capacity deltas — no full placement re-run), and
-// then accepted, renegotiated to a weaker band, or rejected by comparing
-// the expected revenue of hosting it against the penalty exposure of the
-// headroom it would leave.
+// (per-server probes of the reversible delta-evaluation engine — no full
+// placement re-run), and then accepted, renegotiated to a weaker band, or
+// rejected by comparing the expected revenue of hosting it against the
+// penalty exposure of the headroom it would leave.
+//
+// Both entry points drive the same engine probes and the same scoring
+// arithmetic: the persistent-engine overload reuses the arbiter's
+// long-lived engine (per-server sums survive across admissions), while the
+// span-based overload builds a throwaway engine per call — the stateless
+// "batch" path the chaos drill A/Bs against. Their verdict bytes are
+// identical by the engine's bit-equality contract.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "qos/allocation.h"
 #include "qos/requirements.h"
+#include "sim/incremental.h"
 
 namespace ropus::serve {
 
@@ -52,12 +61,22 @@ struct HostedWorkload {
   std::size_t host = 0;
 };
 
-/// Scores `candidate` (weighting `revenue_weight`) against every server:
-/// for each server the existing workloads plus the candidate are
-/// re-evaluated with the simulator's required-capacity search; feasible
-/// servers are ranked best-fit by post-admission headroom and the winner's
-/// revenue/penalty score decides acceptance. Deterministic: ties break on
-/// the lower server index. `server_cpus` gives each server's capacity.
+/// Scores the registered, unhosted workload `candidate_id` (weighting
+/// `revenue_weight`, peaking at `candidate_peak` CPUs) against every server
+/// of `engine`: each server is probed with the candidate temporarily added;
+/// feasible servers are ranked best-fit by post-admission headroom and the
+/// winner's revenue/penalty score decides acceptance. Deterministic: ties
+/// break on the lower server index. Engine state is unchanged.
+AdmissionOutcome place_candidate(sim::IncrementalEvaluator& engine,
+                                 std::size_t candidate_id,
+                                 double candidate_peak, double revenue_weight,
+                                 const AdmissionPolicy& policy);
+
+/// The stateless form: builds a fresh engine over `hosted` plus `candidate`
+/// and scores through the overload above. `server_cpus` gives each server's
+/// capacity. Slower (per-server sums are rebuilt every call) but
+/// byte-identical — the serve daemon's batch-admission fallback and the
+/// chaos drill's reference path.
 AdmissionOutcome place_candidate(const qos::AllocationTrace& candidate,
                                  double revenue_weight,
                                  std::span<const HostedWorkload> hosted,

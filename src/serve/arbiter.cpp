@@ -151,6 +151,23 @@ std::vector<std::string> Arbiter::handle(const Message& msg,
   return replies;
 }
 
+sim::IncrementalEvaluator& Arbiter::engine_for(
+    const trace::Calendar& calendar) {
+  if (engine_ == nullptr || !(engine_->calendar() == calendar)) {
+    // A calendar change is only possible while the fleet is empty (admit
+    // enforces matching profile lengths), so rebuilding from apps_ is both
+    // correct and cheap. The same rebuild restores the engine after
+    // load_state dropped it.
+    engine_ = std::make_unique<sim::IncrementalEvaluator>(
+        calendar, config_.cos2, server_cpus_);
+    for (const App& app : apps_) {
+      engine_->register_workload(app.id, app.alloc.cos1(), app.alloc.cos2());
+      engine_->add(app.id, app.host);
+    }
+  }
+  return *engine_;
+}
+
 Arbiter::App Arbiter::build_app(const AdmitMessage& msg,
                                 const qos::Requirement& req) const {
   const std::size_t week_slots =
@@ -198,16 +215,32 @@ std::string Arbiter::admit(const AdmitMessage& msg, bool* state_changed) {
             std::to_string(apps_.front().profile.size()) + " slots)");
   }
 
-  std::vector<HostedWorkload> hosted;
-  hosted.reserve(apps_.size());
-  for (const App& app : apps_) {
-    hosted.push_back(HostedWorkload{&app.alloc, app.host});
-  }
+  // Both paths probe the delta-evaluation engine; they differ only in
+  // whether the engine persists across admissions. The candidate is
+  // registered for the probes and unregistered before this lambda returns,
+  // so a rejection (or the renegotiation retry with a different allocation
+  // under the same id) leaves no trace in the persistent engine.
+  const auto place = [&](const App& app) {
+    if (!config_.delta_admission) {
+      std::vector<HostedWorkload> hosted;
+      hosted.reserve(apps_.size());
+      for (const App& existing : apps_) {
+        hosted.push_back(HostedWorkload{&existing.alloc, existing.host});
+      }
+      return place_candidate(app.alloc, msg.revenue, hosted, server_cpus_,
+                             config_.cos2, config_.admission);
+    }
+    sim::IncrementalEvaluator& engine = engine_for(app.alloc.calendar());
+    engine.register_workload(app.id, app.alloc.cos1(), app.alloc.cos2());
+    const AdmissionOutcome out =
+        place_candidate(engine, app.id, app.alloc.peak_allocation(),
+                        msg.revenue, config_.admission);
+    engine.unregister_workload(app.id);
+    return out;
+  };
 
   App candidate = build_app(msg, msg.requirement);
-  AdmissionOutcome outcome =
-      place_candidate(candidate.alloc, msg.revenue, hosted, server_cpus_,
-                      config_.cos2, config_.admission);
+  AdmissionOutcome outcome = place(candidate);
   bool renegotiated = false;
   if (outcome.decision == AdmissionDecision::kRejected &&
       config_.admission.renegotiate_m < msg.requirement.m_percent) {
@@ -221,9 +254,7 @@ std::string Arbiter::admit(const AdmitMessage& msg, bool* state_changed) {
       weaker.t_degr_minutes.reset();
     }
     App weaker_app = build_app(msg, weaker);
-    const AdmissionOutcome retry =
-        place_candidate(weaker_app.alloc, msg.revenue, hosted, server_cpus_,
-                        config_.cos2, config_.admission);
+    const AdmissionOutcome retry = place(weaker_app);
     if (retry.decision == AdmissionDecision::kAccepted) {
       candidate = std::move(weaker_app);
       outcome = retry;
@@ -258,6 +289,15 @@ std::string Arbiter::admit(const AdmitMessage& msg, bool* state_changed) {
   }
   w.end_object();
   apps_.push_back(std::move(candidate));
+  if (config_.delta_admission && engine_ != nullptr) {
+    // Mirror the admission into the persistent engine. Registering the
+    // *stored* app's spans (not the moved-from local's) keeps the borrow
+    // tied to the allocation that now lives in apps_.
+    const App& stored = apps_.back();
+    engine_->register_workload(stored.id, stored.alloc.cos1(),
+                               stored.alloc.cos2());
+    engine_->add(stored.id, stored.host);
+  }
   next_app_id_ += 1;
   if (state_changed != nullptr) *state_changed = true;
   return w.str();
@@ -276,11 +316,16 @@ std::string Arbiter::depart(const DepartMessage& msg, bool* state_changed) {
     if (msg.evict) w.key("evicted").value(true);
     w.key("apps").value(apps_.size() - 1);
     w.end_object();
-    // Erasing the app is the whole capacity release: the incremental
-    // delta-placement path (place_candidate) re-derives every server's
-    // required capacity from the hosted set, so the freed headroom is
-    // visible to the very next admission. The app's watchdog history stays
-    // — attainment already judged is not unjudged by leaving.
+    // Releasing capacity is an exact-residue removal: the persistent
+    // engine's per-server sums return to the bits they held before this
+    // app was admitted, so the freed headroom is visible to the very next
+    // admission. Unregister before the App (and the spans the engine
+    // borrows) dies. The app's watchdog history stays — attainment already
+    // judged is not unjudged by leaving.
+    if (engine_ != nullptr && engine_->registered(app.id)) {
+      engine_->remove(app.id);
+      engine_->unregister_workload(app.id);
+    }
     apps_.erase(apps_.begin() + static_cast<std::ptrdiff_t>(i));
     departed_ += 1;
     static obs::Counter& departs = obs::counter("serve.departures");
@@ -640,6 +685,9 @@ void Arbiter::load_state(const json::Value& v) {
   }
 
   apps_.clear();
+  // The engine borrows spans from the apps being torn down; drop it and let
+  // the next delta-path admission rebuild it from the restored fleet.
+  engine_.reset();
   for (const json::Value& item : v.at("apps").as_array()) {
     AdmitMessage msg;
     msg.app = item.at("name").as_string();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <span>
 
 #include "common/error.h"
 #include "obs/metrics.h"
@@ -56,17 +58,21 @@ Aggregate aggregate_workloads(
   return agg;
 }
 
-Evaluation evaluate(const Aggregate& agg, double capacity,
+Evaluation evaluate(const AggregateView& agg, double capacity,
                     const qos::CosCommitment& cos2) {
   ROPUS_REQUIRE(capacity >= 0.0, "capacity must be >= 0");
   cos2.validate();
   Evaluation ev;
   if (agg.empty()) return ev;
   evaluate_calls().add(1);
-  evaluate_slots().add(agg.calendar.size());
+  evaluate_slots().add(agg.calendar->size());
 
-  const trace::Calendar& cal = agg.calendar;
+  const trace::Calendar& cal = *agg.calendar;
   const std::size_t deadline_slots = cal.observations_in(cos2.deadline_minutes);
+  const std::size_t n = cal.size();
+  const std::size_t spd = cal.slots_per_day();
+  const double* const s1v = agg.cos1.data();
+  const double* const s2v = agg.cos2.data();
 
   // Flight recording: each evaluate() call opens its own section, so the
   // capacity search's repeated passes over the same slots stay separable in
@@ -83,10 +89,51 @@ Evaluation evaluate(const Aggregate& agg, double capacity,
   slo::ThetaAccumulator theta(cal.weeks(), cal.slots_per_day());
   slo::DeferralQueue backlog(deadline_slots);
 
-  for (std::size_t i = 0; i < cal.size(); ++i) {
-    const double s1 = agg.cos1[i];
-    const double s2 = agg.cos2[i];
-    if (s1 > capacity + kCapacityEps) {
+  // Scratch for the vectorized day path (stack-friendly, one day at most).
+  double satbuf[1024];
+  std::vector<double> satheap;
+  double* sat_run = satbuf;
+  if (spd > std::size(satbuf)) {
+    satheap.resize(spd);
+    sat_run = satheap.data();
+  }
+
+  std::size_t i = 0;
+  while (i < n) {
+    // The remainder of the current calendar day: groups are consecutive
+    // within it, so pure days become one ThetaAccumulator::add_run.
+    const std::size_t end = std::min(n, i + (spd - i % spd));
+
+    // A day is "pure" when no slot violates CoS1, no slot leaves a CoS2
+    // deficit above the epsilon defer() would enqueue, the backlog is empty
+    // going in (nothing to drain or expire), and nothing is recording. On
+    // such a day the sequential loop below degenerates to theta adds of
+    // sat2 = min(s2, max(0, C - s1)); computing exactly those values in a
+    // vector pass is bit-identical by construction.
+    bool pure = rec == nullptr && backlog.empty();
+    if (pure) {
+      double m1 = 0.0;
+      double mt = 0.0;
+      for (std::size_t j = i; j < end; ++j) {
+        m1 = std::max(m1, s1v[j]);
+        mt = std::max(mt, s1v[j] + s2v[j]);
+      }
+      pure = m1 <= capacity + kCapacityEps && mt <= capacity + kCapacityEps;
+    }
+    if (pure) {
+      for (std::size_t j = i; j < end; ++j) {
+        sat_run[j - i] = std::min(s2v[j], std::max(0.0, capacity - s1v[j]));
+      }
+      theta.add_run(i, std::span(s2v + i, end - i),
+                    std::span(sat_run, end - i));
+      i = end;
+      continue;
+    }
+
+    for (; i < end; ++i) {
+      const double s1 = s1v[i];
+      const double s2 = s2v[i];
+      if (s1 > capacity + kCapacityEps) {
       ev.cos1_satisfied = false;
       if (rec != nullptr && rec->should_record(i)) {
         obs::SlotRecord record;
@@ -133,9 +180,10 @@ Evaluation evaluate(const Aggregate& agg, double capacity,
     backlog.defer(i, deficit);
     ev.max_backlog = std::max(ev.max_backlog, backlog.total());
     if (backlog.overdue(i)) ev.deadline_met = false;
+    }
   }
   // Anything still queued past its deadline at the end of the trace counts.
-  if (backlog.overdue_at_end(cal.size())) ev.deadline_met = false;
+  if (backlog.overdue_at_end(n)) ev.deadline_met = false;
 
   ev.theta = theta.theta();
   return ev;
@@ -162,9 +210,16 @@ ThetaBreakdown theta_breakdown(const Aggregate& agg, double capacity) {
   return breakdown;
 }
 
-RequiredCapacity required_capacity(const Aggregate& agg, double limit,
+double capacity_grid_step(double tolerance) {
+  ROPUS_REQUIRE(tolerance > 0.0, "tolerance must be > 0");
+  int e = 0;
+  std::frexp(tolerance, &e);  // tolerance = m * 2^e with m in [0.5, 1)
+  return std::ldexp(1.0, e - 1);
+}
+
+RequiredCapacity required_capacity(const AggregateView& agg, double limit,
                                    const qos::CosCommitment& cos2,
-                                   double tolerance) {
+                                   double tolerance, double warm_capacity) {
   ROPUS_REQUIRE(limit >= 0.0, "capacity limit must be >= 0");
   ROPUS_REQUIRE(tolerance > 0.0, "tolerance must be > 0");
   static obs::Counter& searches = obs::counter("sim.required_capacity.searches");
@@ -194,34 +249,119 @@ RequiredCapacity required_capacity(const Aggregate& agg, double limit,
   // exceed the server's capacity, or the workloads do not fit.
   if (agg.sum_peak_cos1 > limit + kCapacityEps) return result;
 
-  // The guaranteed class needs at least the aggregate CoS1 peak.
-  double lo = agg.peak_cos1;
-  double hi = limit;
-  Evaluation at_hi = evaluate(agg, hi, cos2);
-  if (!at_hi.satisfies(cos2)) return result;  // not satisfiable within limit
+  // The candidate set: grid multiples k*step inside [CoS1 peak, limit],
+  // with `limit` itself as the last resort when even the topmost grid point
+  // falls short. The predicate "satisfies at capacity C" is monotone in C
+  // (more capacity never hurts CoS1, theta, or the deferral deadline), so
+  // the minimum satisfying candidate is unique and every search strategy —
+  // cold bisection here, warm galloping below — lands on the same bits.
+  const double step = capacity_grid_step(tolerance);
+  const std::int64_t k_lo =
+      static_cast<std::int64_t>(std::ceil(agg.peak_cos1 / step));
+  const std::int64_t k_hi =
+      static_cast<std::int64_t>(std::floor(limit / step));
 
-  Evaluation at_lo = evaluate(agg, lo, cos2);
-  if (at_lo.satisfies(cos2)) {
+  const auto finish = [&](double capacity, const Evaluation& at) {
     result.fits = true;
-    result.capacity = lo;
-    result.at_capacity = at_lo;
+    result.capacity = capacity;
+    result.at_capacity = at;
     return result;
+  };
+
+  if (k_lo > k_hi) {
+    // No grid candidate between the peak and the limit; only `limit` left.
+    const Evaluation at_limit = evaluate(agg, limit, cos2);
+    if (!at_limit.satisfies(cos2)) return result;
+    return finish(limit, at_limit);
   }
 
-  while (hi - lo > tolerance) {
-    const double mid = 0.5 * (lo + hi);
-    const Evaluation at_mid = evaluate(agg, mid, cos2);
-    if (at_mid.satisfies(cos2)) {
-      hi = mid;
-      at_hi = at_mid;
+  // Bracket invariant: lo_k known-unsatisfying (k_lo - 1 is virtually
+  // unsatisfying: below the CoS1 peak candidate range), hi_k known-
+  // satisfying with its evaluation in at_hi.
+  std::int64_t lo_k = k_lo - 1;
+  std::int64_t hi_k = -1;
+  Evaluation at_hi;
+
+  if (warm_capacity >= 0.0) {
+    // Warm start: gallop out from the previous verdict. After a small
+    // delta the boundary is usually within a step or two.
+    const std::int64_t k_w = std::clamp(
+        static_cast<std::int64_t>(std::llround(warm_capacity / step)), k_lo,
+        k_hi);
+    const Evaluation at_w = evaluate(agg, static_cast<double>(k_w) * step,
+                                     cos2);
+    if (at_w.satisfies(cos2)) {
+      hi_k = k_w;
+      at_hi = at_w;
+      for (std::int64_t d = 1; hi_k > lo_k + 1; d *= 2) {
+        const std::int64_t p = std::max(k_lo, k_w - d);
+        if (p >= hi_k) continue;
+        const Evaluation e = evaluate(agg, static_cast<double>(p) * step,
+                                      cos2);
+        if (e.satisfies(cos2)) {
+          hi_k = p;
+          at_hi = e;
+          if (p == k_lo) break;
+        } else {
+          lo_k = p;
+          break;
+        }
+      }
     } else {
-      lo = mid;
+      lo_k = k_w;
+      for (std::int64_t d = 1; lo_k < k_hi; d *= 2) {
+        const std::int64_t p = std::min(k_hi, k_w + d);
+        if (p <= lo_k) continue;
+        const Evaluation e = evaluate(agg, static_cast<double>(p) * step,
+                                      cos2);
+        if (e.satisfies(cos2)) {
+          hi_k = p;
+          at_hi = e;
+          break;
+        }
+        lo_k = p;
+      }
+    }
+  } else {
+    // Cold start: confirm the top, quick-check the bottom, then bisect.
+    const Evaluation at_top =
+        evaluate(agg, static_cast<double>(k_hi) * step, cos2);
+    if (at_top.satisfies(cos2)) {
+      hi_k = k_hi;
+      at_hi = at_top;
+      if (k_lo < k_hi) {
+        const Evaluation at_bot =
+            evaluate(agg, static_cast<double>(k_lo) * step, cos2);
+        if (at_bot.satisfies(cos2)) return finish(
+            static_cast<double>(k_lo) * step, at_bot);
+        lo_k = k_lo;
+      }
+    } else {
+      lo_k = k_hi;
     }
   }
-  result.fits = true;
-  result.capacity = hi;
-  result.at_capacity = at_hi;
-  return result;
+
+  if (hi_k < 0) {
+    // Even the topmost grid candidate fails; `limit` is the only hope.
+    if (limit > static_cast<double>(k_hi) * step) {
+      const Evaluation at_limit = evaluate(agg, limit, cos2);
+      if (at_limit.satisfies(cos2)) return finish(limit, at_limit);
+    }
+    return result;  // not satisfiable within limit
+  }
+
+  while (hi_k - lo_k > 1) {
+    const std::int64_t mid = lo_k + (hi_k - lo_k) / 2;
+    const Evaluation at_mid =
+        evaluate(agg, static_cast<double>(mid) * step, cos2);
+    if (at_mid.satisfies(cos2)) {
+      hi_k = mid;
+      at_hi = at_mid;
+    } else {
+      lo_k = mid;
+    }
+  }
+  return finish(static_cast<double>(hi_k) * step, at_hi);
 }
 
 }  // namespace ropus::sim

@@ -38,6 +38,31 @@ Aggregate aggregate_workloads(
     std::span<const qos::AllocationTrace* const> workloads,
     const trace::Calendar& calendar);
 
+/// Non-owning view of an aggregate's per-slot series — the shape the replay
+/// actually consumes. `Aggregate` converts implicitly; the incremental
+/// engine (sim/incremental.h) builds views over its own per-server buffers,
+/// so delta and batch verdicts run through literally the same replay and
+/// search code.
+struct AggregateView {
+  const trace::Calendar* calendar = nullptr;
+  std::span<const double> cos1;
+  std::span<const double> cos2;
+  double sum_peak_cos1 = 0.0;  // sum of per-workload CoS1 peaks
+  double peak_cos1 = 0.0;      // peak of the aggregated CoS1 series
+  std::size_t workloads = 0;
+
+  AggregateView() = default;
+  AggregateView(const Aggregate& agg)
+      : calendar(&agg.calendar),
+        cos1(agg.cos1),
+        cos2(agg.cos2),
+        sum_peak_cos1(agg.sum_peak_cos1),
+        peak_cos1(agg.peak_cos1),
+        workloads(agg.workloads) {}
+
+  bool empty() const { return workloads == 0; }
+};
+
 /// Outcome of replaying an Aggregate against a fixed capacity.
 struct Evaluation {
   bool cos1_satisfied = true;   // aggregate CoS1 never exceeded capacity
@@ -52,8 +77,11 @@ struct Evaluation {
 
 /// Replays the aggregate at `capacity` under `cos2` (the deadline is taken
 /// from the commitment; theta in the commitment is *not* used here — compare
-/// via Evaluation::satisfies).
-Evaluation evaluate(const Aggregate& agg, double capacity,
+/// via Evaluation::satisfies). Days whose slots neither violate CoS1 nor
+/// leave a deficit (while the backlog is empty) take a vectorized path that
+/// performs the exact per-slot arithmetic without the FIFO bookkeeping —
+/// the result is bit-identical to the sequential replay by construction.
+Evaluation evaluate(const AggregateView& agg, double capacity,
                     const qos::CosCommitment& cos2);
 
 /// Per-(week, slot) diagnostics: where and when a server's commitment is
@@ -80,13 +108,27 @@ struct RequiredCapacity {
   Evaluation at_capacity;   // evaluation at the reported capacity
 };
 
+/// The capacity search grid: the largest power of two <= `tolerance`
+/// (0.03125 CPUs for the default 0.05). Searching a fixed grid instead of
+/// bisecting real endpoints makes the result a pure function of the
+/// aggregate — the minimum of a fixed candidate set under a monotone
+/// predicate — so a warm-started delta search and the cold batch search
+/// land on the same bits (docs/algorithms.md §11).
+double capacity_grid_step(double tolerance);
+
 /// Section VI-A's search: first the peak-demand precheck (sum of per-
-/// workload CoS1 peaks must not exceed `limit`), then binary search for the
-/// smallest capacity in [aggregate CoS1 peak, limit] meeting the commitment,
-/// to within `tolerance` CPUs. An empty aggregate trivially fits with
-/// required capacity 0.
-RequiredCapacity required_capacity(const Aggregate& agg, double limit,
+/// workload CoS1 peaks must not exceed `limit`), then a search for the
+/// smallest satisfying capacity among the grid candidates
+///   { k * capacity_grid_step(tolerance) : k*step in [CoS1 peak, limit] }
+/// with `limit` itself as the last-resort candidate. An empty aggregate
+/// trivially fits with required capacity 0.
+///
+/// `warm_capacity` (>= 0) seeds the search near a previous verdict for the
+/// same server — the incremental engine's O(1)-ish re-verdict after a small
+/// move. The returned capacity is identical with or without a seed.
+RequiredCapacity required_capacity(const AggregateView& agg, double limit,
                                    const qos::CosCommitment& cos2,
-                                   double tolerance = 0.05);
+                                   double tolerance = 0.05,
+                                   double warm_capacity = -1.0);
 
 }  // namespace ropus::sim

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "common/grid.h"
 #include "workload/fleet.h"
 
 namespace ropus::qos {
@@ -34,9 +35,11 @@ TEST(AllocationTrace, BurstFactorScalesDemand) {
   const Translation tr = translate(t, paper_req(), CosCommitment{0.6, 60.0});
   const AllocationTrace alloc(t, tr);
 
-  // An uncapped observation's total allocation is demand / U_low.
-  EXPECT_NEAR(alloc.total(0), 1.0 / 0.5, 1e-9);
-  EXPECT_NEAR(alloc.total(200), std::min(2.0, tr.d_new_max) / 0.5, 1e-9);
+  // An uncapped observation's total allocation is demand / U_low, up to
+  // the 2^-20 allocation grid each class is snapped to (common/grid.h).
+  EXPECT_NEAR(alloc.total(0), 1.0 / 0.5, grid::kStep);
+  EXPECT_NEAR(alloc.total(200), std::min(2.0, tr.d_new_max) / 0.5,
+              grid::kStep);
 }
 
 TEST(AllocationTrace, SplitsAtBreakpoint) {
@@ -49,8 +52,9 @@ TEST(AllocationTrace, SplitsAtBreakpoint) {
   for (std::size_t i : {std::size_t{0}, std::size_t{100}, std::size_t{200}}) {
     const double capped = std::min(t[i], tr.d_new_max);
     const double d1 = std::min(capped, cap);
-    EXPECT_NEAR(alloc.cos1()[i], d1 / 0.5, 1e-9) << i;
-    EXPECT_NEAR(alloc.cos2()[i], (capped - d1) / 0.5, 1e-9) << i;
+    // Half a grid step of snap rounding per class (common/grid.h).
+    EXPECT_NEAR(alloc.cos1()[i], d1 / 0.5, grid::kStep) << i;
+    EXPECT_NEAR(alloc.cos2()[i], (capped - d1) / 0.5, grid::kStep) << i;
   }
 }
 
@@ -67,8 +71,9 @@ TEST(AllocationTrace, PeakAllocationMatchesTranslation) {
   const DemandTrace t = simple_trace();
   const Translation tr = translate(t, paper_req(), CosCommitment{0.6, 60.0});
   const AllocationTrace alloc(t, tr);
-  EXPECT_NEAR(alloc.peak_allocation(), tr.peak_allocation(), 1e-9);
-  EXPECT_NEAR(alloc.peak_cos1(), tr.peak_cos1_allocation(), 1e-9);
+  // The peaks are maxima of grid-snapped per-slot values.
+  EXPECT_NEAR(alloc.peak_allocation(), tr.peak_allocation(), grid::kStep);
+  EXPECT_NEAR(alloc.peak_cos1(), tr.peak_cos1_allocation(), grid::kStep);
 }
 
 TEST(AllocationTrace, NonNegativeAndConsistentEverywhere) {

@@ -395,6 +395,119 @@ TEST(ArbiterIdCache, SurvivesSaveLoad) {
   EXPECT_FALSE(changed);
 }
 
+// The delta/batch admission switch is a pure performance knob: an arbiter
+// admitting through the persistent delta-evaluation engine and one forced
+// onto the stateless per-admission path must emit byte-identical replies
+// across the whole repertoire — accepts, rejects, renegotiations,
+// departures that release exact capacity residues, re-admissions into the
+// freed headroom, ticks, and a checkpoint round-trip.
+TEST(ArbiterAdmissionPath, DeltaAndBatchPathsAreByteIdentical) {
+  ServeConfig delta_config = small_config();
+  delta_config.servers = 1;
+  delta_config.server_cpus = 8.0;
+  ServeConfig batch_config = delta_config;
+  batch_config.delta_admission = false;
+  Arbiter delta(delta_config);
+  Arbiter batch(batch_config);
+
+  const auto lockstep = [&](const std::string& line) {
+    const std::vector<std::string> a = drive(delta, line);
+    const std::vector<std::string> b = drive(batch, line);
+    EXPECT_EQ(a, b) << line;
+    return a;
+  };
+
+  // Fill the pool until an admission is refused, so accepted AND rejected
+  // replies both flow through the comparison (self-calibrating, like
+  // ArbiterDepart.ReleasesCapacityForFutureAdmissions).
+  const std::vector<double> profile(kWeekSlots, 1.2);
+  std::size_t fitted = 0;
+  bool saw_reject = false;
+  for (; fitted < 32 && !saw_reject; ++fitted) {
+    const json::Value v = json::parse(
+        lockstep(admit_line("app" + std::to_string(fitted), profile))[0]);
+    saw_reject = v.at("decision").as_string() == "rejected";
+  }
+  ASSERT_TRUE(saw_reject) << "pool never filled; the reject path went untested";
+  ASSERT_GE(fitted, 3u) << "need at least two admitted apps to churn";
+
+  lockstep(tick_line(0, R"({"app0":1.4,"app1":0.7})"));
+  // Departure and eviction must release the same exact capacity residue in
+  // the persistent engine as a stateless rebuild observes.
+  lockstep(R"({"type":"depart","app":"app1"})");
+  lockstep(R"({"type":"evict","app":"app0"})");
+  lockstep(admit_line("late", profile));
+  lockstep(tick_line(1, R"({"late":1.0,"app2":2.0})"));
+
+  EXPECT_EQ(delta.summary(), batch.summary());
+  json::Writer wd;
+  json::Writer wb;
+  delta.save_state(wd);
+  batch.save_state(wb);
+  // delta_admission is not checkpoint state, so the blobs must agree.
+  EXPECT_EQ(wd.str(), wb.str());
+
+  // load_state drops the delta arbiter's engine; the next admission
+  // rebuilds it from the restored fleet and must still match batch bytes.
+  Arbiter restored(delta_config);
+  restored.load_state(json::parse(wd.str()));
+  const std::string readmit = admit_line("post-restore", profile);
+  EXPECT_EQ(drive(restored, readmit), drive(batch, readmit));
+  const std::string t2 = tick_line(2, R"({"late":1.2,"post-restore":0.9})");
+  EXPECT_EQ(drive(restored, t2), drive(batch, t2));
+  EXPECT_EQ(restored.summary(), batch.summary());
+}
+
+TEST(ArbiterAdmissionPath, RenegotiationMatchesAcrossPaths) {
+  // A renegotiated admission probes the engine twice (strict band, then
+  // weakened band) with a register/unregister between — the delta path must
+  // leave no residue from the failed strict probe. Calibration mirrors
+  // ArbiterAdmit.RenegotiatesToWeakerBandWhenStrictDoesNotFit.
+  ServeConfig config = small_config();
+  config.servers = 1;
+  config.server_cpus = 64.0;
+  std::vector<double> profile(kWeekSlots, 1.0);
+  for (std::size_t i = 0; i < 4; ++i) profile[40 + 20 * i] = 8.0;
+
+  double strict_need = 0.0;
+  double weak_need = 0.0;
+  {
+    Arbiter probe(config);
+    const json::Value strict = json::parse(
+        drive(probe, admit_line("probe-strict", profile, R"("m":100)"))[0]);
+    ASSERT_EQ(strict.at("decision").as_string(), "accepted");
+    strict_need =
+        config.server_cpus * (1.0 - strict.at("headroom").as_number());
+  }
+  {
+    Arbiter probe(config);
+    const json::Value weak = json::parse(drive(
+        probe,
+        admit_line("probe-weak", profile, R"("m":90,"tdegr":120)"))[0]);
+    ASSERT_EQ(weak.at("decision").as_string(), "accepted");
+    weak_need = config.server_cpus * (1.0 - weak.at("headroom").as_number());
+  }
+  ASSERT_LT(weak_need, strict_need);
+
+  config.server_cpus = (strict_need + weak_need) / 2.0;
+  config.admission.renegotiate_m = 90.0;
+  config.admission.renegotiate_tdegr = 120.0;
+  ServeConfig batch_config = config;
+  batch_config.delta_admission = false;
+  Arbiter delta(config);
+  Arbiter batch(batch_config);
+  const std::string line = admit_line("web", profile, R"("m":100)");
+  const std::vector<std::string> a = drive(delta, line);
+  const std::vector<std::string> b = drive(batch, line);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(json::parse(a[0]).at("decision").as_string(), "renegotiated");
+
+  // A follow-up admission exercises the engine state left behind by the
+  // renegotiated accept (registered under the weakened band only).
+  const std::string next = admit_line("tail", profile, R"("m":90,"tdegr":120)");
+  EXPECT_EQ(drive(delta, next), drive(batch, next));
+}
+
 TEST(ArbiterState, SaveLoadReproducesVerdictBytes) {
   const ServeConfig config = small_config();
   Arbiter original(config);

@@ -1,0 +1,264 @@
+// Partial-aggregate invariants of the SLO kernel (docs/algorithms.md §11):
+// per-app contributions are removable (add-then-remove restores the exact
+// prior bits for on-grid values), mergeable (partials built separately merge
+// to the single-stream result), and the vectorized add_run performs exactly
+// the adds the slot-at-a-time path would. These are the properties the
+// reversible delta-evaluation engine (sim/incremental.h) relies on.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/grid.h"
+#include "common/rng.h"
+#include "slo/kernel.h"
+
+namespace ropus::slo {
+namespace {
+
+/// A random value guaranteed on the 2^-20 allocation grid.
+double grid_value(Rng& rng, double max) {
+  return grid::snap(rng.uniform() * max);
+}
+
+TEST(ThetaPartials, AddThenRemoveRestoresExactBits) {
+  Rng rng(20260809);
+  ThetaAccumulator acc(2, 4);  // 2 weeks, 4 slots/day
+  const std::size_t n = 2 * 7 * 4;
+  // A base population so removal happens against nonzero sums.
+  for (std::size_t s = 0; s < n; ++s) {
+    acc.add(s, grid_value(rng, 8.0), grid_value(rng, 8.0));
+  }
+  const std::vector<double> req_before(acc.requested_raw().begin(),
+                                       acc.requested_raw().end());
+  const std::vector<double> sat_before(acc.satisfied_raw().begin(),
+                                       acc.satisfied_raw().end());
+  const double theta_before = acc.theta();
+
+  // Add one "app"'s 200 observations, then remove them in a different
+  // order — exact sums are order-independent, so the bits come back.
+  std::vector<std::size_t> slots;
+  std::vector<double> reqs, sats;
+  for (std::size_t k = 0; k < 200; ++k) {
+    const std::size_t s = rng.uniform_index(n);
+    const double r = grid_value(rng, 16.0);
+    const double v = grid_value(rng, r > 0.0 ? r : 1.0);
+    acc.add(s, r, v);
+    slots.push_back(s);
+    reqs.push_back(r);
+    sats.push_back(v);
+  }
+  for (std::size_t k = slots.size(); k-- > 0;) {
+    acc.remove(slots[k], reqs[k], sats[k]);
+  }
+  ASSERT_EQ(acc.groups(), req_before.size());
+  for (std::size_t g = 0; g < acc.groups(); ++g) {
+    ASSERT_EQ(acc.requested(g), req_before[g]) << g;  // bit compare
+    ASSERT_EQ(acc.satisfied(g), sat_before[g]) << g;
+  }
+  ASSERT_EQ(acc.theta(), theta_before);
+}
+
+TEST(ThetaPartials, MergeOfPerAppPartialsMatchesCombinedStream) {
+  Rng rng(7);
+  const std::size_t spd = 6;
+  const std::size_t n = 7 * spd;  // one week
+  // Three per-app partials vs one combined accumulator fed everything.
+  ThetaAccumulator combined(1, spd);
+  std::vector<ThetaAccumulator> parts(3, ThetaAccumulator(1, spd));
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t a = 0; a < 3; ++a) {
+      const double r = grid_value(rng, 12.0);
+      const double v = grid_value(rng, r > 0.0 ? r : 1.0);
+      combined.add(s, r, v);
+      parts[a].add(s, r, v);
+    }
+  }
+  // Merge in an order different from the feed order.
+  ThetaAccumulator merged(1, spd);
+  merged.merge(parts[2]);
+  merged.merge(parts[0]);
+  merged.merge(parts[1]);
+  ASSERT_EQ(merged.groups(), combined.groups());
+  for (std::size_t g = 0; g < merged.groups(); ++g) {
+    ASSERT_EQ(merged.requested(g), combined.requested(g)) << g;
+    ASSERT_EQ(merged.satisfied(g), combined.satisfied(g)) << g;
+  }
+  ASSERT_EQ(merged.theta(), combined.theta());
+}
+
+TEST(ThetaPartials, AddRunMatchesSlotAtATimeAdds) {
+  Rng rng(11);
+  const std::size_t spd = 24;
+  ThetaAccumulator fast(1, spd);
+  ThetaAccumulator slow(1, spd);
+  // Runs of varying length and alignment, never crossing a day boundary.
+  std::size_t slot = 0;
+  const std::size_t n = 7 * spd;
+  while (slot < n) {
+    const std::size_t day_left = spd - slot % spd;
+    const std::size_t len = 1 + rng.uniform_index(day_left);
+    std::vector<double> req(len), sat(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      req[i] = grid_value(rng, 20.0);
+      sat[i] = grid_value(rng, req[i] > 0.0 ? req[i] : 1.0);
+    }
+    fast.add_run(slot, req, sat);
+    for (std::size_t i = 0; i < len; ++i) slow.add(slot + i, req[i], sat[i]);
+    slot += len;
+  }
+  ASSERT_EQ(fast.groups(), slow.groups());
+  for (std::size_t g = 0; g < fast.groups(); ++g) {
+    ASSERT_EQ(fast.requested(g), slow.requested(g)) << g;
+    ASSERT_EQ(fast.satisfied(g), slow.satisfied(g)) << g;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BandAccumulator::merge: split a stream at every possible point (and at
+// random points of longer streams) and check the stitched result equals the
+// single-stream replay — counts AND degraded-run bookkeeping.
+
+void feed(BandAccumulator& acc, std::span<const double> demand,
+          std::span<const double> granted, const Band& band) {
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    acc.observe(demand[i], granted[i], band);
+  }
+}
+
+void expect_same_counts(const BandAccumulator& a, const BandAccumulator& b) {
+  const BandCounts& x = a.counts();
+  const BandCounts& y = b.counts();
+  ASSERT_EQ(x.intervals, y.intervals);
+  ASSERT_EQ(x.idle, y.idle);
+  ASSERT_EQ(x.acceptable, y.acceptable);
+  ASSERT_EQ(x.degraded, y.degraded);
+  ASSERT_EQ(x.violating, y.violating);
+  ASSERT_EQ(x.longest_degraded_minutes, y.longest_degraded_minutes);
+  ASSERT_EQ(a.current_run(), b.current_run());
+  ASSERT_EQ(a.longest_run(), b.longest_run());
+}
+
+TEST(BandPartials, MergeEqualsSingleStreamAtEverySplitPoint) {
+  const Band band{};  // defaults: u_high 0.66, u_degr 0.9
+  // A stream engineered to exercise every boundary shape: degraded runs
+  // crossing the split, idle gaps, violations, all-degraded prefixes.
+  const std::vector<double> demand = {0.0, 5.0, 8.0, 8.5, 9.5, 8.8, 0.0,
+                                      3.0, 9.9, 9.9, 9.9, 1.0, 7.0, 8.0};
+  std::vector<double> granted(demand.size(), 10.0);
+  for (std::size_t split = 0; split <= demand.size(); ++split) {
+    BandAccumulator whole;
+    feed(whole, demand, granted, band);
+    BandAccumulator first, second;
+    feed(first, std::span(demand).first(split), std::span(granted).first(split),
+         band);
+    feed(second, std::span(demand).subspan(split),
+         std::span(granted).subspan(split), band);
+    first.merge(second);
+    expect_same_counts(first, whole);
+    if (HasFatalFailure()) FAIL() << "split=" << split;
+  }
+}
+
+TEST(BandPartials, RandomizedMultiWayMergeEqualsSingleStream) {
+  Rng rng(0xBADCAFE);
+  const Band band{0.66, 0.9, 97.0, 30.0};
+  for (std::size_t trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 20 + rng.uniform_index(100);
+    std::vector<double> demand(n), granted(n, 10.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mostly degraded-or-worse so runs regularly straddle splits.
+      demand[i] = rng.uniform() < 0.15 ? 0.0 : 5.0 + rng.uniform() * 5.0;
+    }
+    BandAccumulator whole;
+    feed(whole, demand, granted, band);
+    // Split into 2–5 consecutive pieces, replay each separately, then
+    // merge left to right.
+    const std::size_t pieces = 2 + rng.uniform_index(4);
+    std::vector<std::size_t> cuts = {0, n};
+    for (std::size_t k = 1; k < pieces; ++k) {
+      cuts.push_back(rng.uniform_index(n + 1));
+    }
+    std::sort(cuts.begin(), cuts.end());
+    BandAccumulator merged;
+    for (std::size_t k = 0; k + 1 < cuts.size(); ++k) {
+      BandAccumulator part;
+      feed(part, std::span(demand).subspan(cuts[k], cuts[k + 1] - cuts[k]),
+           std::span(granted).subspan(cuts[k], cuts[k + 1] - cuts[k]), band);
+      merged.merge(part);
+    }
+    expect_same_counts(merged, whole);
+    if (HasFatalFailure()) FAIL() << "trial=" << trial;
+  }
+}
+
+TEST(BandPartials, EndRunAtPieceStartBreaksTheJoin) {
+  const Band band{};
+  // Degraded run split across pieces, but the second piece starts with a
+  // masked slot — end_run() must prevent the stitch.
+  const std::vector<double> demand = {8.0, 8.0, 8.0, 8.0};
+  const std::vector<double> granted(4, 10.0);
+  BandAccumulator first;
+  feed(first, std::span(demand).first(2), std::span(granted).first(2), band);
+  BandAccumulator second;
+  second.end_run();  // masked slot before any observation
+  feed(second, std::span(demand).subspan(2), std::span(granted).subspan(2),
+       band);
+  first.merge(second);
+  // 2 + masked-break + 2: the longest stitched run must be 2, not 4.
+  EXPECT_EQ(first.longest_run(), 2u);
+  EXPECT_EQ(first.counts().degraded, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// DeferralQueue::merge: consecutive-range concatenation.
+
+TEST(DeferralPartials, MergeConcatenatesConsecutiveRanges) {
+  const std::size_t deadline = 12;
+  DeferralQueue whole(deadline);
+  DeferralQueue a(deadline);
+  DeferralQueue b(deadline);
+  // Range [0, 50): deficits with no spare (nothing drains), then range
+  // [50, 100) likewise — the precondition under which merge is exact.
+  Rng rng(5);
+  for (std::size_t s = 0; s < 100; ++s) {
+    const double deficit = rng.uniform() < 0.3 ? grid_value(rng, 2.0) : 0.0;
+    whole.defer(s, deficit);
+    (s < 50 ? a : b).defer(s, deficit);
+  }
+  a.merge(b);
+  ASSERT_EQ(a.total(), whole.total());  // exact on-grid sums
+  const auto ea = a.entries();
+  const auto ew = whole.entries();
+  ASSERT_EQ(ea.size(), ew.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    ASSERT_EQ(ea[i].created, ew[i].created);
+    ASSERT_EQ(ea[i].remaining, ew[i].remaining);
+  }
+  ASSERT_EQ(a.overdue(100), whole.overdue(100));
+  ASSERT_EQ(a.overdue_at_end(100), whole.overdue_at_end(100));
+}
+
+TEST(BandPartials, CheckpointStateRoundTripsMergeBookkeeping) {
+  const Band band{};
+  BandAccumulator acc;
+  feed(acc, std::vector<double>{8.0, 8.0, 3.0, 8.0},
+       std::vector<double>{10.0, 10.0, 10.0, 10.0}, band);
+  const BandAccumulator::State s = acc.state();
+  EXPECT_EQ(s.lead, 2u);        // all-degraded prefix length
+  EXPECT_FALSE(s.unbroken);     // the acceptable slot ended it
+  BandAccumulator back;
+  back.restore(s);
+  expect_same_counts(back, acc);
+  // A merge after restore behaves like a merge on the original.
+  BandAccumulator tail1, tail2;
+  feed(tail1, std::vector<double>{8.0}, std::vector<double>{10.0}, band);
+  tail2.restore(tail1.state());
+  BandAccumulator m1 = acc;
+  m1.merge(tail1);
+  back.merge(tail2);
+  expect_same_counts(back, m1);
+}
+
+}  // namespace
+}  // namespace ropus::slo
